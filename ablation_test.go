@@ -1,0 +1,83 @@
+package fdp
+
+// Ablation benchmarks: each toggles one design choice DESIGN.md calls out
+// and reports the resulting simulated IPC alongside the wall-clock cost,
+// so a single `go test -bench Ablation` run shows what every feature buys.
+
+import (
+	"testing"
+
+	"fdp/internal/core"
+)
+
+func benchAblation(b *testing.B, cfg Config) {
+	b.Helper()
+	w := benchOpts.Workloads[0] // the server-class bench workload
+	var ipc float64
+	for i := 0; i < b.N; i++ {
+		r, err := Simulate(cfg, w, 30_000, 120_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ipc = r.IPC()
+	}
+	b.ReportMetric(ipc, "IPC")
+}
+
+func BenchmarkAblationFDPOff(b *testing.B) {
+	benchAblation(b, BaselineConfig())
+}
+
+func BenchmarkAblationFDPOn(b *testing.B) {
+	benchAblation(b, DefaultConfig())
+}
+
+func BenchmarkAblationPFCOff(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.PFC = false
+	benchAblation(b, cfg)
+}
+
+func BenchmarkAblationSmallBTBPFCOn(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.BTBEntries = 1024
+	benchAblation(b, cfg)
+}
+
+func BenchmarkAblationSmallBTBPFCOff(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.BTBEntries = 1024
+	cfg.PFC = false
+	benchAblation(b, cfg)
+}
+
+func BenchmarkAblationGHRHistory(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.HistPolicy = core.HistGHRFix
+	cfg.BTBAllocPolicy = core.AllocAll
+	benchAblation(b, cfg)
+}
+
+func BenchmarkAblationShallowFTQ(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.FTQEntries = 4
+	benchAblation(b, cfg)
+}
+
+func BenchmarkAblationHalfPredictBandwidth(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.PredictWidth = 6
+	benchAblation(b, cfg)
+}
+
+func BenchmarkAblationGshare(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Dir = DirGshare
+	benchAblation(b, cfg)
+}
+
+func BenchmarkAblationWithEIP(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Prefetcher = "eip-27kb"
+	benchAblation(b, cfg)
+}

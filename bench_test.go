@@ -1,0 +1,88 @@
+package fdp
+
+import (
+	"testing"
+
+	"fdp/internal/experiments"
+	"fdp/internal/synth"
+)
+
+// benchOptions keeps experiment benchmarks small enough to iterate: two
+// reduced workloads (one server-class, one spec-class) and short runs.
+// They exercise the exact same code paths as the full experiments; use
+// cmd/experiments for paper-scale numbers.
+func benchOptions() experiments.Options {
+	srv := synth.ServerParams(0)
+	srv.Name = "bench-server"
+	srv.Funcs = 700
+	spec := synth.SpecParams(0)
+	spec.Name = "bench-spec"
+	spec.Funcs = 200
+	return experiments.Options{
+		Warmup:  15_000,
+		Measure: 50_000,
+		Workloads: []*synth.Workload{
+			synth.MustGenerate(srv, "server", 0xBE11),
+			synth.MustGenerate(spec, "spec", 0xBE12),
+		},
+	}
+}
+
+var benchOpts = benchOptions()
+
+// benchExperiment runs one paper experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tables) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// One benchmark per paper table and figure (§VI). Each regenerates the
+// corresponding artifact end-to-end: workload streams, simulation grid,
+// aggregation, rendering.
+
+func BenchmarkFig1(b *testing.B)   { benchExperiment(b, "fig1") }
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "tab1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "tab2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "tab3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "tab4") }
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "tab5") }
+func BenchmarkFig6a(b *testing.B)  { benchExperiment(b, "fig6a") }
+func BenchmarkFig6b(b *testing.B)  { benchExperiment(b, "fig6b") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (retired
+// instructions per second) on the default FDP configuration.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w := benchOpts.Workloads[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := Simulate(DefaultConfig(), w, 5_000, 50_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.IPC() <= 0 {
+			b.Fatal("bad run")
+		}
+	}
+	b.ReportMetric(float64(b.N)*55_000/b.Elapsed().Seconds(), "inst/s")
+}

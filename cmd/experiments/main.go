@@ -1,0 +1,95 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                # run everything at default scale
+//	experiments -run fig7      # one experiment
+//	experiments -quick         # fast smoke run (6 workloads, short)
+//	experiments -full          # heavyweight run (2M+8M instructions)
+//	experiments -list          # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fdp/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment ID to run, or 'all'")
+		quick = flag.Bool("quick", false, "quick smoke run")
+		full  = flag.Bool("full", false, "heavyweight run")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		csv   = flag.String("csv", "", "also write each experiment's tables as CSV files into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.AllWithExtensions() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.DefaultOptions()
+	scale := "default"
+	if *quick {
+		opts = experiments.QuickOptions()
+		scale = "quick"
+	}
+	if *full {
+		opts = experiments.FullOptions()
+		scale = "full"
+	}
+	fmt.Printf("scale=%s workloads=%d warmup=%d measure=%d\n\n",
+		scale, len(opts.Workloads), opts.Warmup, opts.Measure)
+
+	var todo []experiments.Experiment
+	if *run == "all" {
+		todo = experiments.AllWithExtensions()
+	} else {
+		e, ok := experiments.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", *run)
+			os.Exit(1)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	if *csv != "" {
+		if err := os.MkdirAll(*csv, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range todo {
+		t0 := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(res)
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(t0).Seconds())
+		if *csv != "" {
+			for i, tb := range res.Tables {
+				name := res.ID
+				if len(res.Tables) > 1 {
+					name = fmt.Sprintf("%s_%d", res.ID, i)
+				}
+				path := filepath.Join(*csv, name+".csv")
+				content := "# " + strings.ReplaceAll(tb.Title(), "\n", " ") + "\n" + tb.CSV()
+				if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Command fdpsim runs one frontend configuration on one or more workloads
+// and prints the measured statistics.
+//
+// Usage:
+//
+//	fdpsim [flags]
+//	fdpsim -workload server_a -ftq 24 -pfc
+//	fdpsim -workload all -baseline
+//	fdpsim -trace trace.fdpt.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fdp/internal/core"
+	"fdp/internal/stats"
+	"fdp/internal/synth"
+	"fdp/internal/trace"
+)
+
+func main() {
+	var (
+		workload   = flag.String("workload", "server_a", "standard workload name, or 'all'")
+		traceFile  = flag.String("trace", "", "simulate a trace file instead of a synthetic workload")
+		baseline   = flag.Bool("baseline", false, "use the no-FDP/no-prefetch baseline configuration")
+		ftqEntries = flag.Int("ftq", 0, "override FTQ entries (0 = config default)")
+		btbEntries = flag.Int("btb", 0, "override BTB entries")
+		pfc        = flag.Bool("pfc", true, "enable post-fetch correction")
+		dir        = flag.String("dir", "", "direction predictor: tage-9kb|tage-18kb|tage-36kb|gshare-8kb|perceptron-8kb|tage-sc-l-24kb|tage-sc-l-64kb|perfect")
+		hist       = flag.String("hist", "thr", "history policy: thr|ghr-nofix|ghr-fix|ideal")
+		prefetcher = flag.String("prefetcher", "", "dedicated prefetcher: nl1|fnl+mma|djolt|eip-128kb|eip-27kb|sn4l+dis|rdip")
+		btbPref    = flag.Bool("btb-prefetch", false, "enable BTB prefetching at fill pre-decode")
+		l1btb      = flag.Int("l1btb", 0, "enable the two-level BTB extension with this many L1 entries")
+		timeline   = flag.Bool("timeline", false, "print a per-workload IPC sparkline (10K-instruction windows)")
+		warmup     = flag.Uint64("warmup", 200_000, "warmup instructions")
+		measure    = flag.Uint64("measure", 800_000, "measured instructions")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	if *baseline {
+		cfg = core.BaselineConfig()
+	}
+	if *ftqEntries > 0 {
+		cfg.FTQEntries = *ftqEntries
+	}
+	if *btbEntries > 0 {
+		cfg.BTBEntries = *btbEntries
+	}
+	cfg.PFC = *pfc && !*baseline
+	if *dir != "" {
+		cfg.Dir = core.DirKind(*dir)
+	}
+	switch *hist {
+	case "thr":
+		cfg.HistPolicy = core.HistTHR
+	case "ghr-nofix":
+		cfg.HistPolicy, cfg.BTBAllocPolicy = core.HistGHRNoFix, core.AllocAll
+	case "ghr-fix":
+		cfg.HistPolicy, cfg.BTBAllocPolicy = core.HistGHRFix, core.AllocAll
+	case "ideal":
+		cfg.HistPolicy = core.HistIdeal
+	default:
+		fatal("unknown history policy %q", *hist)
+	}
+	cfg.Prefetcher = *prefetcher
+	cfg.BTBPrefetch = *btbPref
+	if *l1btb > 0 {
+		cfg.L1BTBEntries = *l1btb
+		cfg.L1BTBWays = 4
+		cfg.L2BTBPenalty = cfg.BTBLatency
+	}
+	cfg.Name = "custom"
+	if *baseline {
+		cfg.Name = "baseline"
+	}
+
+	t := stats.NewTable("fdpsim results",
+		"workload", "IPC", "branch MPKI", "L1I MPKI", "starv/KI", "tag/KI", "PFC resteers", "BTB hit%")
+	var timelines []string
+	report := func(name string, r *stats.Run) {
+		t.AddRow(name, r.IPC(), r.BranchMPKI(), r.L1IMPKI(), r.StarvationPKI(),
+			r.TagProbesPKI(), r.PFCResteers, 100*r.BTBHitRate())
+		if *timeline {
+			timelines = append(timelines, fmt.Sprintf("%-10s %s", name, stats.Sparkline(r.WindowIPC)))
+		}
+	}
+
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("trace %s: %s/%s, %d instructions, image %dKB\n",
+			*traceFile, tr.Header.Name, tr.Header.Class, tr.Header.Instructions,
+			tr.Image().Bytes()/1024)
+		r, err := core.Simulate(cfg, tr.NewStream(), tr.Header.Name, *warmup, *measure)
+		if err != nil {
+			fatal("%v", err)
+		}
+		report(tr.Header.Name, r)
+		fmt.Print(t)
+		return
+	}
+
+	var workloads []*synth.Workload
+	if *workload == "all" {
+		workloads = synth.StandardWorkloads()
+	} else {
+		w := synth.ByName(*workload)
+		if w == nil {
+			fatal("unknown workload %q (have: %v)", *workload, synth.Names())
+		}
+		workloads = []*synth.Workload{w}
+	}
+	for _, w := range workloads {
+		r, err := core.Simulate(cfg, w.NewStream(), w.Name, *warmup, *measure)
+		if err != nil {
+			fatal("%s: %v", w.Name, err)
+		}
+		report(w.Name, r)
+	}
+	fmt.Print(t)
+	for _, tl := range timelines {
+		fmt.Println(tl)
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "fdpsim: "+format+"\n", args...)
+	os.Exit(1)
+}

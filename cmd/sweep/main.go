@@ -1,0 +1,119 @@
+// Command sweep runs one-dimensional parameter sweeps and emits CSV, for
+// ad-hoc sensitivity studies beyond the canned experiments.
+//
+// Usage:
+//
+//	sweep -param ftq -values 2,4,8,16,24,32
+//	sweep -param btb -values 1024,4096,16384 -workloads server_a,server_b
+//	sweep -param resolve -values 8,14,20,30 -pfc=false
+//
+// Output: one CSV row per (value, workload) plus a geomean summary row per
+// value, on stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fdp/internal/core"
+	"fdp/internal/stats"
+	"fdp/internal/synth"
+)
+
+// params maps sweepable parameter names to config mutators.
+var params = map[string]func(*core.Config, int){
+	"ftq":      func(c *core.Config, v int) { c.FTQEntries = v },
+	"btb":      func(c *core.Config, v int) { c.BTBEntries = v },
+	"predict":  func(c *core.Config, v int) { c.PredictWidth = v },
+	"fetch":    func(c *core.Config, v int) { c.FetchWidth = v },
+	"resolve":  func(c *core.Config, v int) { c.ResolveLatency = v },
+	"btblat":   func(c *core.Config, v int) { c.BTBLatency = v },
+	"mshrs":    func(c *core.Config, v int) { c.MSHRs = v },
+	"l1i":      func(c *core.Config, v int) { c.L1IBytes = v },
+	"ras":      func(c *core.Config, v int) { c.RASDepth = v },
+	"taken":    func(c *core.Config, v int) { c.MaxTakenPerCycle = v },
+	"memlat":   func(c *core.Config, v int) { c.Lat.Mem = uint64(v) },
+	"l1btb":    func(c *core.Config, v int) { c.L1BTBEntries = v; c.L1BTBWays = 4; c.L2BTBPenalty = c.BTBLatency },
+	"decodeq":  func(c *core.Config, v int) { c.DecodeQueueCap = v },
+	"pfdegree": func(c *core.Config, v int) { c.PrefetchDegree = v },
+}
+
+func main() {
+	var (
+		param     = flag.String("param", "ftq", "parameter to sweep: "+paramNames())
+		valuesStr = flag.String("values", "2,4,8,16,24,32", "comma-separated values")
+		wlStr     = flag.String("workloads", "server_a,client_a,spec_a", "comma-separated workloads, or 'all'")
+		pfc       = flag.Bool("pfc", true, "post-fetch correction")
+		warmup    = flag.Uint64("warmup", 100_000, "warmup instructions")
+		measure   = flag.Uint64("measure", 400_000, "measured instructions")
+	)
+	flag.Parse()
+
+	mutate, ok := params[*param]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sweep: unknown parameter %q (have %s)\n", *param, paramNames())
+		os.Exit(1)
+	}
+	var values []int
+	for _, v := range strings.Split(*valuesStr, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: bad value %q\n", v)
+			os.Exit(1)
+		}
+		values = append(values, n)
+	}
+	var workloads []*synth.Workload
+	if *wlStr == "all" {
+		workloads = synth.StandardWorkloads()
+	} else {
+		for _, name := range strings.Split(*wlStr, ",") {
+			w := synth.ByName(strings.TrimSpace(name))
+			if w == nil {
+				fmt.Fprintf(os.Stderr, "sweep: unknown workload %q\n", name)
+				os.Exit(1)
+			}
+			workloads = append(workloads, w)
+		}
+	}
+
+	fmt.Printf("param,value,workload,ipc,branch_mpki,l1i_mpki,starv_pki,tag_pki,pfc_resteers\n")
+	for _, v := range values {
+		var ipcs []float64
+		for _, w := range workloads {
+			cfg := core.DefaultConfig()
+			cfg.PFC = *pfc
+			mutate(&cfg, v)
+			cfg.Name = fmt.Sprintf("%s=%d", *param, v)
+			r, err := core.Simulate(cfg, w.NewStream(), w.Name, *warmup, *measure)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: %s %s: %v\n", cfg.Name, w.Name, err)
+				os.Exit(1)
+			}
+			ipcs = append(ipcs, r.IPC())
+			fmt.Printf("%s,%d,%s,%.4f,%.3f,%.3f,%.2f,%.2f,%d\n",
+				*param, v, w.Name, r.IPC(), r.BranchMPKI(), r.L1IMPKI(),
+				r.StarvationPKI(), r.TagProbesPKI(), r.PFCResteers)
+		}
+		fmt.Printf("%s,%d,GEOMEAN,%.4f,,,,,\n", *param, v, stats.GeoMean(ipcs))
+	}
+}
+
+func paramNames() string {
+	names := make([]string, 0, len(params))
+	for k := range params {
+		names = append(names, k)
+	}
+	// Stable order for help text.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	return strings.Join(names, "|")
+}

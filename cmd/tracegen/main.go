@@ -1,0 +1,108 @@
+// Command tracegen generates workload trace files and inspects them.
+//
+// Usage:
+//
+//	tracegen -workload server_a -n 1000000 -o server_a.fdpt.gz
+//	tracegen -inspect server_a.fdpt.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fdp/internal/program"
+	"fdp/internal/synth"
+	"fdp/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "server_a", "standard workload name")
+		n        = flag.Uint64("n", 1_000_000, "dynamic instructions to record")
+		out      = flag.String("o", "", "output file (default <workload>.fdpt.gz)")
+		inspect  = flag.String("inspect", "", "print a trace file's header and histogram")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		doInspect(*inspect)
+		return
+	}
+
+	w := synth.ByName(*workload)
+	if w == nil {
+		fatal("unknown workload %q (have: %v)", *workload, synth.Names())
+	}
+	path := *out
+	if path == "" {
+		path = w.Name + ".fdpt.gz"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	tw, err := trace.NewWriter(f, trace.Header{
+		Name: w.Name, Class: w.Class, Seed: w.Seed, Entry: w.Entry(),
+	}, w.Image())
+	if err != nil {
+		fatal("%v", err)
+	}
+	s := w.NewStream()
+	for i := uint64(0); i < *n; i++ {
+		tw.Record(s.Next())
+	}
+	if err := tw.Close(); err != nil {
+		fatal("%v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("%v", err)
+	}
+	fi, _ := os.Stat(path)
+	fmt.Printf("wrote %s: %d instructions, image %dKB, %d bytes (%.2f b/inst)\n",
+		path, *n, w.FootprintBytes()/1024, fi.Size(), float64(fi.Size())/float64(*n))
+}
+
+func doInspect(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fatal("%v", err)
+	}
+	h := tr.Header
+	fmt.Printf("trace:        %s (class %s, seed %#x)\n", h.Name, h.Class, h.Seed)
+	fmt.Printf("entry:        %#x\n", h.Entry)
+	fmt.Printf("instructions: %d\n", h.Instructions)
+	img := tr.Image()
+	fmt.Printf("image:        base %#x, %d instructions, %dKB\n", img.Base(), img.Size(), img.Bytes()/1024)
+	hist := img.CountByType()
+	for t := 0; t < program.NumInstTypes; t++ {
+		if hist[t] > 0 {
+			fmt.Printf("  %-12s %d\n", program.InstType(t).String(), hist[t])
+		}
+	}
+
+	// Dynamic statistics from one replay pass.
+	s := tr.NewStream()
+	var branches, taken uint64
+	for i := uint64(0); i < h.Instructions; i++ {
+		d := s.Next()
+		if d.SI.IsBranch() {
+			branches++
+			if d.Taken {
+				taken++
+			}
+		}
+	}
+	fmt.Printf("dynamic:      %.1f%% branches, %.1f%% of branches taken\n",
+		100*float64(branches)/float64(h.Instructions), 100*float64(taken)/float64(branches))
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

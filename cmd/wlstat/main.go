@@ -1,0 +1,91 @@
+// Command wlstat characterizes the synthetic workloads: static footprint
+// and branch mix, dynamic working-set size, and (optionally) the baseline
+// frontend metrics that determine how frontend-bound each one is.
+//
+// Usage:
+//
+//	wlstat               # static + dynamic characterization
+//	wlstat -baseline     # also simulate the no-FDP baseline per workload
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"fdp/internal/core"
+	"fdp/internal/program"
+	"fdp/internal/stats"
+	"fdp/internal/synth"
+)
+
+func main() {
+	var (
+		baseline = flag.Bool("baseline", false, "simulate the baseline for MPKI / perfect-I$ uplift")
+		window   = flag.Int("window", 200_000, "working-set window in instructions")
+		n        = flag.Int("n", 1_000_000, "dynamic instructions to sample")
+	)
+	flag.Parse()
+
+	t := stats.NewTable("workload characterization",
+		"workload", "class", "code KB", "static branches", "dyn branch%", "taken%", "WSS KB")
+	for _, w := range synth.StandardWorkloads() {
+		s := w.NewStream()
+		var branches, taken uint64
+		win := map[uint64]bool{}
+		var wssSum, wssN float64
+		for i := 0; i < *n; i++ {
+			d := s.Next()
+			if d.SI.IsBranch() {
+				branches++
+				if d.Taken {
+					taken++
+				}
+			}
+			win[d.SI.PC>>6] = true
+			if (i+1)%*window == 0 {
+				wssSum += float64(len(win)) / 16
+				wssN++
+				win = map[uint64]bool{}
+			}
+		}
+		t.AddRow(w.Name, w.Class, w.FootprintBytes()/1024, w.StaticBranches(),
+			100*float64(branches)/float64(*n),
+			100*float64(taken)/float64(branches),
+			wssSum/wssN)
+	}
+	fmt.Print(t)
+
+	if !*baseline {
+		return
+	}
+	fmt.Println()
+	bt := stats.NewTable("baseline frontend behaviour (no FDP, no prefetching)",
+		"workload", "IPC", "L1I MPKI", "branch MPKI", "starv/KI", "perfect-I$ uplift")
+	for _, w := range synth.StandardWorkloads() {
+		base, err := core.Simulate(core.BaselineConfig(), w.NewStream(), w.Name, 150_000, 500_000)
+		if err != nil {
+			panic(err)
+		}
+		pcfg := core.BaselineConfig()
+		pcfg.Name = "perfect-i$"
+		pcfg.PerfectPrefetch = true
+		perf, err := core.Simulate(pcfg, w.NewStream(), w.Name, 150_000, 500_000)
+		if err != nil {
+			panic(err)
+		}
+		bt.AddRow(w.Name, base.IPC(), base.L1IMPKI(), base.BranchMPKI(),
+			base.StarvationPKI(), fmt.Sprintf("%+.1f%%", 100*(perf.Speedup(base)-1)))
+	}
+	fmt.Print(bt)
+	fmt.Println("\n(the paper's selection criterion: every workload shows >5% uplift with a perfect I-cache)")
+
+	// Static instruction mix across the suite.
+	fmt.Println()
+	mt := stats.NewTable("static instruction mix", "workload", "non-branch", "cond", "jump", "call", "ind-jump", "ind-call", "return")
+	for _, w := range synth.StandardWorkloads() {
+		h := w.Image().CountByType()
+		mt.AddRow(w.Name, h[program.NonBranch], h[program.CondDirect], h[program.Jump],
+			h[program.Call], h[program.IndJump], h[program.IndCall], h[program.Return])
+	}
+	fmt.Print(mt)
+}

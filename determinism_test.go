@@ -1,0 +1,54 @@
+package fdp
+
+// Whole-stack determinism: every configuration variant must produce
+// bit-identical statistics across repeated runs. This is the property that
+// makes the experiment tables reproducible, so it is tested across the
+// full feature matrix, not just the default config.
+
+import "testing"
+
+func TestEveryVariantIsDeterministic(t *testing.T) {
+	w := WorkloadByName("spec_b")
+	variants := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"default", func(c *Config) {}},
+		{"baseline", func(c *Config) { *c = BaselineConfig() }},
+		{"no-pfc", func(c *Config) { c.PFC = false }},
+		{"ghr-fix", func(c *Config) { c.HistPolicy = HistGHRFix; c.BTBAllocPolicy = AllocAll }},
+		{"ideal", func(c *Config) { c.HistPolicy = HistIdeal }},
+		{"small-btb", func(c *Config) { c.BTBEntries = 1024 }},
+		{"perfect-btb", func(c *Config) { c.PerfectBTB = true }},
+		{"two-level", func(c *Config) { c.L1BTBEntries = 256; c.L1BTBWays = 4; c.L2BTBPenalty = 2 }},
+		{"bb-btb", func(c *Config) { c.BasicBlockBTB = true }},
+		{"gshare", func(c *Config) { c.Dir = DirGshare }},
+		{"scl", func(c *Config) { c.Dir = DirTAGESCL24 }},
+		{"perceptron", func(c *Config) { c.Dir = DirPerceptron }},
+		{"nl1", func(c *Config) { c.Prefetcher = "nl1" }},
+		{"eip", func(c *Config) { c.Prefetcher = "eip-27kb" }},
+		{"djolt+btbpref", func(c *Config) { c.Prefetcher = "djolt"; c.BTBPrefetch = true }},
+		{"data-model", func(c *Config) { c.DataModel = true }},
+		{"perfect-pf", func(c *Config) { c.PerfectPrefetch = true }},
+		{"b18m", func(c *Config) { c.PredictWidth = 18; c.MaxTakenPerCycle = 2 }},
+	}
+	for _, v := range variants {
+		cfg := DefaultConfig()
+		v.mut(&cfg)
+		cfg.Name = v.name
+		run := func() *Run {
+			r, err := Simulate(cfg, w, 10_000, 50_000)
+			if err != nil {
+				t.Fatalf("%s: %v", v.name, err)
+			}
+			return r
+		}
+		a, b := run(), run()
+		if a.Cycles != b.Cycles || a.Mispredictions != b.Mispredictions ||
+			a.L1IMisses != b.L1IMisses || a.PFCResteers != b.PFCResteers ||
+			a.StarvationCycles != b.StarvationCycles {
+			t.Errorf("%s: nondeterministic (cycles %d/%d mispred %d/%d)",
+				v.name, a.Cycles, b.Cycles, a.Mispredictions, b.Mispredictions)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package fdp_test
+
+import (
+	"fmt"
+	"log"
+
+	"fdp"
+)
+
+// The minimal library usage: compare the paper's FDP design against the
+// no-runahead baseline on one workload.
+func Example() {
+	w := fdp.WorkloadByName("spec_a")
+	base, err := fdp.Simulate(fdp.BaselineConfig(), w, 50_000, 200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := fdp.Simulate(fdp.DefaultConfig(), w, 50_000, 200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("FDP faster:", run.IPC() > base.IPC())
+	fmt.Println("FTQ cost bytes:", fdp.FTQCost(24).TotalBytes)
+	// Output:
+	// FDP faster: true
+	// FTQ cost bytes: 195
+}
+
+// Configurations are plain values: copy one and flip the knobs under
+// study.
+func ExampleConfig() {
+	cfg := fdp.DefaultConfig()
+	cfg.BTBEntries = 1024
+	cfg.PFC = false
+	fmt.Println(cfg.FTQEntries, cfg.BTBEntries, cfg.PFC, cfg.HistPolicy)
+	// Output: 24 1024 false THR
+}
+
+// Experiments regenerate the paper's artifacts programmatically.
+func ExampleExperimentByID() {
+	e, ok := fdp.ExperimentByID("tab3")
+	fmt.Println(ok, e.ID)
+	// Output: true tab3
+}

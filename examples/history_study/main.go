@@ -1,0 +1,80 @@
+// history_study compares the branch-history management policies of the
+// paper's Table V / Fig. 8: taken-only target history (THR) against
+// direction-history variants with and without BTB-miss fixup, and the
+// idealized reference.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fdp"
+)
+
+type policy struct {
+	name   string
+	mutate func(*fdp.Config)
+}
+
+func main() {
+	policies := []policy{
+		{"Ideal", func(c *fdp.Config) { c.HistPolicy = fdp.HistIdeal }},
+		{"THR", func(c *fdp.Config) { c.HistPolicy = fdp.HistTHR }},
+		{"GHR0 (nofix,taken)", func(c *fdp.Config) {
+			c.HistPolicy = fdp.HistGHRNoFix
+			c.BTBAllocPolicy = fdp.AllocTakenOnly
+		}},
+		{"GHR1 (nofix,all)", func(c *fdp.Config) {
+			c.HistPolicy = fdp.HistGHRNoFix
+			c.BTBAllocPolicy = fdp.AllocAll
+		}},
+		{"GHR2 (fix,taken)", func(c *fdp.Config) {
+			c.HistPolicy = fdp.HistGHRFix
+			c.BTBAllocPolicy = fdp.AllocTakenOnly
+		}},
+		{"GHR3 (fix,all)", func(c *fdp.Config) {
+			c.HistPolicy = fdp.HistGHRFix
+			c.BTBAllocPolicy = fdp.AllocAll
+		}},
+	}
+
+	workloads := []*fdp.Workload{
+		fdp.WorkloadByName("server_a"),
+		fdp.WorkloadByName("server_c"),
+		fdp.WorkloadByName("client_c"),
+	}
+	const warmup, measure = 100_000, 400_000
+
+	base := &fdp.Set{Config: "base"}
+	for _, w := range workloads {
+		r, err := fdp.Simulate(fdp.BaselineConfig(), w, warmup, measure)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base.Add(r)
+	}
+
+	fmt.Printf("history policy study over %d workloads (FDP, PFC on)\n\n", len(workloads))
+	fmt.Printf("%-20s  %10s  %12s  %14s\n", "policy", "speedup", "branch MPKI", "fixup flush/KI")
+	for _, p := range policies {
+		cfg := fdp.DefaultConfig()
+		p.mutate(&cfg)
+		set := &fdp.Set{Config: p.name}
+		var flushes, insts uint64
+		for _, w := range workloads {
+			r, err := fdp.Simulate(cfg, w, warmup, measure)
+			if err != nil {
+				log.Fatal(err)
+			}
+			set.Add(r)
+			flushes += r.HistFixupFlushes
+			insts += r.Instructions
+		}
+		fmt.Printf("%-20s  %+9.1f%%  %12.2f  %14.2f\n",
+			p.name, 100*(set.GeoMeanSpeedup(base)-1), set.MeanBranchMPKI(),
+			1000*float64(flushes)/float64(insts))
+	}
+
+	fmt.Println("\nExpected shape (paper §VI-C): THR tracks Ideal and wins; the fixup")
+	fmt.Println("policies (GHR2/GHR3) pay for history repairs with frontend flushes.")
+}

@@ -1,0 +1,73 @@
+// prefetcher_compare pits the dedicated instruction prefetchers (next
+// line, the IPC-1 top-3 and perfect prefetching) against plain FDP, with
+// and without a decoupled run-ahead frontend — the paper's central
+// comparison (Figs. 1 and 6a).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fdp"
+)
+
+const (
+	warmup  = 100_000
+	measure = 400_000
+)
+
+// run simulates one config over a few workloads and returns the
+// geometric-mean speedup over base.
+func run(cfg fdp.Config, workloads []*fdp.Workload, base *fdp.Set) (*fdp.Set, float64) {
+	set := &fdp.Set{Config: cfg.Name}
+	for _, w := range workloads {
+		r, err := fdp.Simulate(cfg, w, warmup, measure)
+		if err != nil {
+			log.Fatal(err)
+		}
+		set.Add(r)
+	}
+	if base == nil {
+		return set, 1
+	}
+	return set, set.GeoMeanSpeedup(base)
+}
+
+func main() {
+	var workloads []*fdp.Workload
+	for _, name := range []string{"server_a", "server_b", "client_b", "spec_b"} {
+		workloads = append(workloads, fdp.WorkloadByName(name))
+	}
+
+	baseCfg := fdp.BaselineConfig()
+	base, _ := run(baseCfg, workloads, nil)
+
+	prefetchers := []string{"nl1", "fnl+mma", "djolt", "eip-27kb", "eip-128kb"}
+
+	fmt.Printf("geomean speedup over no-FDP/no-prefetch baseline (%d workloads)\n\n", len(workloads))
+	fmt.Printf("%-12s  %10s  %10s\n", "mechanism", "no FDP", "with FDP")
+	for _, pf := range prefetchers {
+		noFDP := fdp.BaselineConfig()
+		noFDP.Name = pf
+		noFDP.Prefetcher = pf
+		_, sp1 := run(noFDP, workloads, base)
+
+		withFDP := fdp.DefaultConfig()
+		withFDP.Name = "fdp+" + pf
+		withFDP.Prefetcher = pf
+		_, sp2 := run(withFDP, workloads, base)
+		fmt.Printf("%-12s  %+9.1f%%  %+9.1f%%\n", pf, 100*(sp1-1), 100*(sp2-1))
+	}
+
+	_, fdpOnly := run(fdp.DefaultConfig(), workloads, base)
+	perfect := fdp.BaselineConfig()
+	perfect.Name = "perfect"
+	perfect.PerfectPrefetch = true
+	_, sp := run(perfect, workloads, base)
+	fmt.Printf("%-12s  %+9.1f%%  %10s\n", "perfect-pf", 100*(sp-1), "-")
+	fmt.Printf("%-12s  %10s  %+9.1f%%\n", "fdp alone", "-", 100*(fdpOnly-1))
+
+	fmt.Println("\nThe paper's point: FDP alone (195 bytes of FTQ) lands in the same")
+	fmt.Println("range as dedicated prefetchers with tens-of-KB metadata budgets, and")
+	fmt.Println("layering those prefetchers on top of FDP adds only a little.")
+}

@@ -1,0 +1,34 @@
+// Quickstart: simulate one frontend-bound server workload with and
+// without fetch-directed prefetching and print the headline numbers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fdp"
+)
+
+func main() {
+	w := fdp.WorkloadByName("server_a")
+	fmt.Printf("workload %s: %dKB code, %d static branches\n",
+		w.Name, w.FootprintBytes()/1024, w.StaticBranches())
+
+	const warmup, measure = 200_000, 800_000
+
+	base, err := fdp.Simulate(fdp.BaselineConfig(), w, warmup, measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fdpRun, err := fdp.Simulate(fdp.DefaultConfig(), w, warmup, measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("baseline (no FDP):  IPC %.3f, %5.1f L1I MPKI, %6.1f starvation cycles/KI\n",
+		base.IPC(), base.L1IMPKI(), base.StarvationPKI())
+	fmt.Printf("FDP (24-entry FTQ): IPC %.3f, %5.1f L1I MPKI, %6.1f starvation cycles/KI\n",
+		fdpRun.IPC(), fdpRun.L1IMPKI(), fdpRun.StarvationPKI())
+	fmt.Printf("FDP speedup: %+.1f%%  (hardware cost: %d bytes of FTQ)\n",
+		100*(fdpRun.Speedup(base)-1), fdp.FTQCost(fdp.DefaultConfig().FTQEntries).TotalBytes)
+}

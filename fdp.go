@@ -1,0 +1,141 @@
+// Package fdp is a trace-driven CPU-frontend simulator reproducing
+// "Re-establishing Fetch-Directed Instruction Prefetching: An Industry
+// Perspective" (Ishii, Lee, Nathella, Sunwoo — ISPASS 2021).
+//
+// The library models a decoupled frontend — a branch prediction pipeline
+// (TAGE/ITTAGE/BTB/RAS) running ahead of instruction fetch through a Fetch
+// Target Queue — with the paper's two FDP improvements (taken-only branch
+// target history and post-fetch correction), a full instruction-side
+// memory hierarchy, the IPC-1 prefetcher baselines, synthetic
+// frontend-bound workloads, and one experiment runner per table and figure
+// in the paper's evaluation.
+//
+// Quick start:
+//
+//	w := fdp.WorkloadByName("server_a")
+//	base, _ := fdp.Simulate(fdp.BaselineConfig(), w, 200_000, 800_000)
+//	fdpRun, _ := fdp.Simulate(fdp.DefaultConfig(), w, 200_000, 800_000)
+//	fmt.Printf("FDP speedup: %.1f%%\n", 100*(fdpRun.Speedup(base)-1))
+package fdp
+
+import (
+	"fmt"
+
+	"fdp/internal/core"
+	"fdp/internal/experiments"
+	"fdp/internal/ftq"
+	"fdp/internal/stats"
+	"fdp/internal/synth"
+)
+
+// Config is the full machine configuration (frontend geometry, predictors,
+// history policy, caches, prefetcher, backend). See core.Config for field
+// documentation.
+type Config = core.Config
+
+// Run holds the measured statistics of one simulation.
+type Run = stats.Run
+
+// Set aggregates runs of one configuration across workloads with the
+// paper's rules (geomean speedup, arithmetic-mean MPKI).
+type Set = stats.Set
+
+// Workload is an immutable synthetic program plus branch behaviour models.
+type Workload = synth.Workload
+
+// WorkloadParams parameterizes workload generation.
+type WorkloadParams = synth.Params
+
+// History policies (Table V).
+const (
+	HistTHR      = core.HistTHR
+	HistGHRNoFix = core.HistGHRNoFix
+	HistGHRFix   = core.HistGHRFix
+	HistIdeal    = core.HistIdeal
+)
+
+// BTB allocation policies.
+const (
+	AllocTakenOnly = core.AllocTakenOnly
+	AllocAll       = core.AllocAll
+)
+
+// Direction predictors (Fig. 12, plus the extension predictors).
+const (
+	DirTAGE9      = core.DirTAGE9
+	DirTAGE18     = core.DirTAGE18
+	DirTAGE36     = core.DirTAGE36
+	DirGshare     = core.DirGshare
+	DirPerceptron = core.DirPerceptron
+	DirTAGESCL24  = core.DirTAGESCL24
+	DirTAGESCL64  = core.DirTAGESCL64
+	DirPerfect    = core.DirPerfect
+)
+
+// DefaultConfig returns the paper's FDP design (Table IV): 24-entry FTQ,
+// PFC, taken-only target history, 8K-entry BTB, TAGE-18KB.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// BaselineConfig returns the paper's baseline: no FDP run-ahead (2-entry
+// FTQ), no PFC, no prefetching.
+func BaselineConfig() Config { return core.BaselineConfig() }
+
+// StandardWorkloads returns the 12 standard workloads (4 server, 4 client,
+// 4 SPEC-like) used by the paper experiments.
+func StandardWorkloads() []*Workload { return synth.StandardWorkloads() }
+
+// WorkloadByName returns a standard workload by name (e.g. "server_a"),
+// or nil if unknown.
+func WorkloadByName(name string) *Workload { return synth.ByName(name) }
+
+// WorkloadNames lists the standard workload names.
+func WorkloadNames() []string { return synth.Names() }
+
+// GenerateWorkload builds a custom workload from parameters and a seed.
+func GenerateWorkload(p WorkloadParams, class string, seed uint64) (*Workload, error) {
+	return synth.Generate(p, class, seed)
+}
+
+// Simulate runs cfg on the workload for warmup + measure retired
+// instructions and returns the measurement statistics.
+func Simulate(cfg Config, w *Workload, warmup, measure uint64) (*Run, error) {
+	if w == nil {
+		return nil, fmt.Errorf("fdp: nil workload")
+	}
+	r, err := core.Simulate(cfg, w.NewStream(), w.Name, warmup, measure)
+	if r != nil {
+		r.Class = w.Class
+	}
+	return r, err
+}
+
+// FTQCost returns the Table III hardware cost for an n-entry FTQ (195
+// bytes for the paper's 24 entries).
+func FTQCost(n int) ftq.HardwareCost { return ftq.Cost(n) }
+
+// Experiment is one reproducible table or figure from the paper.
+type Experiment = experiments.Experiment
+
+// ExperimentOptions control experiment run lengths and workloads.
+type ExperimentOptions = experiments.Options
+
+// ExperimentResult is a rendered experiment output.
+type ExperimentResult = experiments.Result
+
+// Experiments returns every paper experiment in order.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID looks up one experiment (e.g. "fig7").
+func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }
+
+// DefaultExperimentOptions returns the scaled-down standard evaluation.
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
+// QuickExperimentOptions returns the fast smoke evaluation.
+func QuickExperimentOptions() ExperimentOptions { return experiments.QuickOptions() }
+
+// FullExperimentOptions returns the heavyweight evaluation.
+func FullExperimentOptions() ExperimentOptions { return experiments.FullOptions() }
+
+// GeoMean is the paper's IPC aggregation rule.
+func GeoMean(xs []float64) float64 { return stats.GeoMean(xs) }

@@ -1,0 +1,100 @@
+package fdp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicWorkloadAPI(t *testing.T) {
+	if len(StandardWorkloads()) != 12 {
+		t.Fatalf("StandardWorkloads = %d", len(StandardWorkloads()))
+	}
+	if WorkloadByName("server_a") == nil {
+		t.Error("WorkloadByName(server_a) = nil")
+	}
+	if WorkloadByName("missing") != nil {
+		t.Error("WorkloadByName(missing) != nil")
+	}
+	names := WorkloadNames()
+	if len(names) != 12 || names[0] != "server_a" {
+		t.Errorf("WorkloadNames = %v", names)
+	}
+}
+
+func TestPublicSimulate(t *testing.T) {
+	w := WorkloadByName("spec_a")
+	r, err := Simulate(BaselineConfig(), w, 20_000, 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC() <= 0 {
+		t.Errorf("IPC = %v", r.IPC())
+	}
+	if _, err := Simulate(BaselineConfig(), nil, 1, 1); err == nil {
+		t.Error("Simulate(nil workload) succeeded")
+	}
+}
+
+func TestPublicConfigs(t *testing.T) {
+	d := DefaultConfig()
+	b := BaselineConfig()
+	if d.FTQEntries != 24 || !d.PFC || d.HistPolicy != HistTHR {
+		t.Errorf("DefaultConfig: %+v", d)
+	}
+	if b.FTQEntries != 2 || b.PFC {
+		t.Errorf("BaselineConfig: FTQ=%d PFC=%v", b.FTQEntries, b.PFC)
+	}
+}
+
+func TestPublicFTQCost(t *testing.T) {
+	if got := FTQCost(24).TotalBytes; got != 195 {
+		t.Errorf("FTQCost(24) = %d bytes, want 195", got)
+	}
+}
+
+func TestPublicExperiments(t *testing.T) {
+	if len(Experiments()) != 16 {
+		t.Errorf("Experiments = %d, want 16", len(Experiments()))
+	}
+	e, ok := ExperimentByID("tab3")
+	if !ok {
+		t.Fatal("tab3 missing")
+	}
+	res, err := e.Run(QuickExperimentOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.String(), "195") {
+		t.Error("tab3 output missing 195")
+	}
+}
+
+func TestGenerateWorkload(t *testing.T) {
+	p := WorkloadParams{
+		Name: "custom", Funcs: 50, Levels: 4, BlocksPerFuncMean: 8,
+		BlockLenMean: 5, JumpFrac: 0.1, CallFrac: 0.15, IndJumpFrac: 0.02,
+		IndCallFrac: 0.02, LoopFrac: 0.2, PatternFrac: 0.1,
+		StrongBiasFrac: 0.8, TripMean: 5, IndTargetsMax: 4,
+		MarkovStay: 0.8, HotFraction: 0.5,
+	}
+	w, err := GenerateWorkload(p, "custom", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Simulate(DefaultConfig(), w, 10_000, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC() <= 0 {
+		t.Error("custom workload failed to simulate")
+	}
+	if _, err := GenerateWorkload(WorkloadParams{}, "x", 1); err == nil {
+		t.Error("GenerateWorkload accepted empty params")
+	}
+}
+
+func TestGeoMeanExported(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); g != 4 {
+		t.Errorf("GeoMean = %v", g)
+	}
+}

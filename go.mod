@@ -1,0 +1,3 @@
+module fdp
+
+go 1.22

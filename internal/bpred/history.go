@@ -1,0 +1,178 @@
+// Package bpred implements the branch-direction prediction stack: the
+// global-history machinery shared by all history-based predictors (raw
+// history bits plus incrementally-folded index registers), the TAGE and
+// Gshare direction predictors, and the history-management policies the
+// paper compares (taken-only target history vs direction history, §III-A,
+// Table V).
+package bpred
+
+// HistoryBits is the raw global history register capacity in bits. The
+// paper uses up to 280-bit direction history and 260-bit target history.
+const HistoryBits = 320
+
+const histWords = HistoryBits / 64
+
+// FoldSpec describes one folded view of the global history: the low Length
+// bits folded (by XOR of Width-bit chunks, with rotation) into Width bits.
+// Predictor tables register the FoldSpecs they need at construction time.
+type FoldSpec struct {
+	Length int // history bits consumed (0 < Length < HistoryBits)
+	Width  int // folded register width in bits (1..31)
+}
+
+// History is the speculative (or architectural) global history: raw bits
+// plus one incrementally-maintained folded register per registered
+// FoldSpec. All predictors sharing a frontend share one History so that a
+// single insert updates every folded view at once.
+//
+// The two insertion flavours implement the paper's Eq. 1 (direction
+// history) and Eq. 2/3 (taken-only target history; the target hash is
+// folded to two bits per event so the register remains a pure shift
+// register, preserving O(1) folded updates).
+type History struct {
+	bits   [histWords]uint64
+	specs  []FoldSpec
+	folded []uint32
+	// Precomputed per-spec constants for InsertBit.
+	outWord  []int    // word index of the outgoing bit (raw position Length)
+	outShift []uint   // bit offset of the outgoing bit within its word
+	remShift []uint   // Length % Width: where the outgoing bit sits in the fold
+	mask     []uint32 // (1 << Width) - 1
+	width    []uint   // Width
+}
+
+// NewHistory creates a History maintaining the given folded views.
+func NewHistory(specs []FoldSpec) *History {
+	for _, s := range specs {
+		if s.Length <= 0 || s.Length >= HistoryBits {
+			panic("bpred: FoldSpec.Length out of range")
+		}
+		if s.Width <= 0 || s.Width > 31 {
+			panic("bpred: FoldSpec.Width out of range")
+		}
+	}
+	h := &History{specs: specs, folded: make([]uint32, len(specs))}
+	h.outWord = make([]int, len(specs))
+	h.outShift = make([]uint, len(specs))
+	h.remShift = make([]uint, len(specs))
+	h.mask = make([]uint32, len(specs))
+	h.width = make([]uint, len(specs))
+	for i, s := range specs {
+		h.outWord[i] = s.Length >> 6
+		h.outShift[i] = uint(s.Length) & 63
+		h.remShift[i] = uint(s.Length) % uint(s.Width)
+		h.mask[i] = 1<<uint(s.Width) - 1
+		h.width[i] = uint(s.Width)
+	}
+	return h
+}
+
+// NumFolds returns the number of folded registers.
+func (h *History) NumFolds() int { return len(h.folded) }
+
+// Folded returns the current value of folded register i.
+func (h *History) Folded(i int) uint32 { return h.folded[i] }
+
+// Bit returns raw history bit p (0 = newest).
+func (h *History) Bit(p int) uint32 {
+	return uint32(h.bits[p>>6]>>(uint(p)&63)) & 1
+}
+
+// InsertBit shifts one bit into the history and updates all folded views.
+func (h *History) InsertBit(b uint32) {
+	for i := histWords - 1; i > 0; i-- {
+		h.bits[i] = h.bits[i]<<1 | h.bits[i-1]>>63
+	}
+	h.bits[0] = h.bits[0]<<1 | uint64(b&1)
+	b &= 1
+	for i := range h.folded {
+		comp := h.folded[i]
+		comp = comp<<1 | b
+		comp ^= comp >> h.width[i] // wrap the overflow bit to position 0
+		comp &= h.mask[i]
+		// Remove the bit that just left the Length-bit window; after the
+		// shift it sits at raw position Length.
+		out := uint32(h.bits[h.outWord[i]]>>h.outShift[i]) & 1
+		comp ^= out << h.remShift[i]
+		h.folded[i] = comp
+	}
+}
+
+// InsertDir records a conditional-branch direction (Eq. 1).
+func (h *History) InsertDir(taken bool) {
+	b := uint32(0)
+	if taken {
+		b = 1
+	}
+	h.InsertBit(b)
+}
+
+// TargetHash computes the paper's Eq. 2 hash of a taken branch, folded to
+// two bits.
+func TargetHash(pc, target uint64) uint32 {
+	x := (pc >> 2) ^ (target >> 3)
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	return uint32(x) & 3
+}
+
+// InsertTaken records a taken branch in target-history mode (Eq. 3): two
+// history bits derived from the pc/target hash.
+func (h *History) InsertTaken(pc, target uint64) {
+	hash := TargetHash(pc, target)
+	h.InsertBit(hash >> 1)
+	h.InsertBit(hash & 1)
+}
+
+// Snapshot is a saved History state. The folded slice is owned by the
+// snapshot and reused across saves, so snapshots are cheap in steady state.
+type Snapshot struct {
+	bits   [histWords]uint64
+	folded []uint32
+}
+
+// Save copies the current state into s (allocating s.folded on first use).
+func (h *History) Save(s *Snapshot) {
+	s.bits = h.bits
+	if cap(s.folded) < len(h.folded) {
+		s.folded = make([]uint32, len(h.folded))
+	}
+	s.folded = s.folded[:len(h.folded)]
+	copy(s.folded, h.folded)
+}
+
+// Restore sets the history back to a previously saved state. The snapshot
+// must come from a History with the same FoldSpecs.
+func (h *History) Restore(s *Snapshot) {
+	h.bits = s.bits
+	copy(h.folded, s.folded)
+}
+
+// CopyFrom makes h identical to src (same FoldSpecs required).
+func (h *History) CopyFrom(src *History) {
+	h.bits = src.bits
+	copy(h.folded, src.folded)
+}
+
+// Reset clears all history.
+func (h *History) Reset() {
+	h.bits = [histWords]uint64{}
+	for i := range h.folded {
+		h.folded[i] = 0
+	}
+}
+
+// FoldBrute computes the folded view from the raw bits directly (bit p of
+// the low Length bits contributes to folded bit p mod Width). It is the
+// specification the incremental registers are tested against and is also
+// used when a predictor needs an ad-hoc fold it did not register.
+func (h *History) FoldBrute(s FoldSpec) uint32 {
+	var comp uint32
+	for p := 0; p < s.Length; p++ {
+		comp ^= h.Bit(p) << (uint(p) % uint(s.Width))
+	}
+	return comp
+}

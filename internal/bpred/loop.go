@@ -1,0 +1,84 @@
+package bpred
+
+// LoopPredictor identifies conditional branches with stable trip counts
+// and predicts their exits exactly — the "L" component of TAGE-SC-L
+// (Seznec, CBP-4/5) and one of the auxiliary predictors the paper lists
+// among modern frontends (§II-A). It is consulted only when confident.
+type LoopPredictor struct {
+	entries []loopEntry
+	idxMask uint32
+
+	// Hits counts confident predictions served.
+	Hits uint64
+}
+
+type loopEntry struct {
+	tag   uint16
+	trip  uint16 // learned iteration count (taken trip-1 times, then exit)
+	count uint16 // architectural iteration counter
+	conf  uint8  // 0..7; confident at >= 3
+	age   uint8
+}
+
+// NewLoopPredictor builds a predictor with 2^idxBits entries.
+func NewLoopPredictor(idxBits int) *LoopPredictor {
+	return &LoopPredictor{
+		entries: make([]loopEntry, 1<<idxBits),
+		idxMask: 1<<uint(idxBits) - 1,
+	}
+}
+
+func (l *LoopPredictor) index(pc uint64) (*loopEntry, uint16) {
+	return &l.entries[uint32(pc>>2)&l.idxMask], uint16(pc >> 18)
+}
+
+// StorageBits returns the table budget.
+func (l *LoopPredictor) StorageBits() int {
+	return len(l.entries) * (16 + 16 + 16 + 3 + 2)
+}
+
+// Predict returns (taken, confident). When not confident the caller must
+// fall back to its main predictor. The iteration counter is architectural
+// (advanced by Update), so deep run-ahead over several iterations of the
+// same loop sees a slightly stale count; exits may still mispredict under
+// extreme overlap, as in real implementations that checkpoint lazily.
+func (l *LoopPredictor) Predict(pc uint64) (taken, confident bool) {
+	e, tag := l.index(pc)
+	if e.tag != tag || e.conf < 3 || e.trip < 2 {
+		return false, false
+	}
+	l.Hits++
+	return e.count+1 < e.trip, true
+}
+
+// Update trains the predictor with an executed conditional branch outcome.
+func (l *LoopPredictor) Update(pc uint64, taken bool) {
+	e, tag := l.index(pc)
+	if e.tag != tag {
+		// Age the incumbent; replace once it decays.
+		if e.age > 0 {
+			e.age--
+			return
+		}
+		*e = loopEntry{tag: tag, age: 3}
+	}
+	if taken {
+		if e.count < 0xffff {
+			e.count++
+		}
+		return
+	}
+	// Loop exit: the completed activation ran count+1 iterations (count
+	// taken executions plus this not-taken exit).
+	observed := e.count + 1
+	if observed == e.trip {
+		if e.conf < 7 {
+			e.conf++
+		}
+	} else {
+		e.trip = observed
+		e.conf = 0
+	}
+	e.count = 0
+	e.age = 3
+}

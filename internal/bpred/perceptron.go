@@ -1,0 +1,94 @@
+package bpred
+
+// Perceptron is the Jimenez/Lin perceptron branch predictor (HPCA 2001),
+// cited by the paper among the direction predictors modern frontends draw
+// from. Each branch hashes to a weight vector dotted with the recent
+// global history bits; training is the classic perceptron rule gated by
+// the margin threshold.
+type Perceptron struct {
+	name      string
+	weights   [][]int8 // [entry][histLen+1], weights[_][0] is the bias
+	idxBits   int
+	histLen   int
+	threshold int32
+}
+
+// NewPerceptron builds a predictor with 2^idxBits weight vectors over
+// histLen history bits.
+func NewPerceptron(name string, idxBits, histLen int) *Perceptron {
+	p := &Perceptron{
+		name:      name,
+		idxBits:   idxBits,
+		histLen:   histLen,
+		threshold: int32(1.93*float64(histLen) + 14),
+	}
+	p.weights = make([][]int8, 1<<idxBits)
+	for i := range p.weights {
+		p.weights[i] = make([]int8, histLen+1)
+	}
+	return p
+}
+
+// Perceptron8KB returns an ~8KB configuration comparable to the Fig. 12
+// gshare point (256 vectors x 33 8-bit weights).
+func Perceptron8KB() *Perceptron { return NewPerceptron("perceptron-8kb", 8, 32) }
+
+// Name implements DirPredictor.
+func (p *Perceptron) Name() string { return p.name }
+
+// Specs implements DirPredictor: the perceptron reads raw history bits,
+// no folded views needed.
+func (p *Perceptron) Specs() []FoldSpec { return nil }
+
+// Bind implements DirPredictor.
+func (p *Perceptron) Bind(int) {}
+
+// StorageBits implements DirPredictor.
+func (p *Perceptron) StorageBits() int {
+	return len(p.weights) * (p.histLen + 1) * 8
+}
+
+func (p *Perceptron) index(pc uint64) uint32 {
+	return uint32(pc>>2) & (1<<uint(p.idxBits) - 1)
+}
+
+func (p *Perceptron) output(pc uint64, h *History) int32 {
+	w := p.weights[p.index(pc)]
+	y := int32(w[0])
+	for i := 0; i < p.histLen; i++ {
+		if h.Bit(i) == 1 {
+			y += int32(w[i+1])
+		} else {
+			y -= int32(w[i+1])
+		}
+	}
+	return y
+}
+
+// Predict implements DirPredictor.
+func (p *Perceptron) Predict(pc uint64, h *History) bool {
+	return p.output(pc, h) >= 0
+}
+
+// Update implements DirPredictor.
+func (p *Perceptron) Update(pc uint64, h *History, taken bool) {
+	y := p.output(pc, h)
+	pred := y >= 0
+	if pred == taken && abs32(y) > p.threshold {
+		return
+	}
+	w := p.weights[p.index(pc)]
+	adj := func(c *int8, agree bool) {
+		if agree {
+			if *c < 127 {
+				*c++
+			}
+		} else if *c > -128 {
+			*c--
+		}
+	}
+	adj(&w[0], taken)
+	for i := 0; i < p.histLen; i++ {
+		adj(&w[i+1], (h.Bit(i) == 1) == taken)
+	}
+}

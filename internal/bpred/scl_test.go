@@ -1,0 +1,194 @@
+package bpred
+
+import (
+	"testing"
+
+	"fdp/internal/xrand"
+)
+
+func TestLoopPredictorLearnsFixedTrip(t *testing.T) {
+	l := NewLoopPredictor(6)
+	pc := uint64(0x40_0000)
+	const trip = 12
+	// Train several complete activations (trip-1 taken, 1 not-taken).
+	for act := 0; act < 6; act++ {
+		for i := 0; i < trip-1; i++ {
+			l.Update(pc, true)
+		}
+		l.Update(pc, false)
+	}
+	// Now predict a full activation exactly.
+	for i := 0; i < trip-1; i++ {
+		taken, conf := l.Predict(pc)
+		if !conf {
+			t.Fatalf("iteration %d: not confident", i)
+		}
+		if !taken {
+			t.Fatalf("iteration %d: predicted exit too early", i)
+		}
+		l.Update(pc, true)
+	}
+	taken, conf := l.Predict(pc)
+	if !conf || taken {
+		t.Fatalf("exit: conf=%v taken=%v, want confident not-taken", conf, taken)
+	}
+}
+
+func TestLoopPredictorRejectsUnstableTrips(t *testing.T) {
+	l := NewLoopPredictor(6)
+	pc := uint64(0x1000)
+	rng := xrand.New(7)
+	for act := 0; act < 20; act++ {
+		trip := 3 + rng.Intn(10) // wildly varying
+		for i := 0; i < trip-1; i++ {
+			l.Update(pc, true)
+		}
+		l.Update(pc, false)
+	}
+	if _, conf := l.Predict(pc); conf {
+		t.Error("confident on an unstable loop")
+	}
+}
+
+func TestLoopPredictorAgingReplacement(t *testing.T) {
+	l := NewLoopPredictor(2) // 4 entries: force conflicts
+	a := uint64(0x1000)
+	b := a + (1 << 4) // same index (idx bits 2..3), different tag
+	for act := 0; act < 4; act++ {
+		for i := 0; i < 4; i++ {
+			l.Update(a, true)
+		}
+		l.Update(a, false)
+	}
+	if _, conf := l.Predict(a); !conf {
+		t.Skip("index aliasing differs; entry not trained")
+	}
+	// Hammer a conflicting branch until it takes over.
+	for i := 0; i < 40; i++ {
+		l.Update(b, false)
+	}
+	if _, conf := l.Predict(a); conf {
+		t.Error("stale entry survived replacement pressure")
+	}
+}
+
+func sclHarness(t *testing.T, p DirPredictor, seq func(i int) (uint64, bool), n int) float64 {
+	t.Helper()
+	h := NewHistory(p.Specs())
+	p.Bind(0)
+	correct, measured := 0, 0
+	for i := 0; i < n; i++ {
+		pc, taken := seq(i)
+		pred := p.Predict(pc, h)
+		p.Update(pc, h, taken)
+		h.InsertDir(taken)
+		if i >= n/2 {
+			measured++
+			if pred == taken {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(measured)
+}
+
+func TestTAGESCLBeatsTAGEOnLongLoops(t *testing.T) {
+	// Trip count 200: far beyond TAGE history reach; the loop predictor
+	// nails it.
+	seq := func(i int) (uint64, bool) { return 0x2000, i%200 != 199 }
+	scl := sclHarness(t, TAGESCL24KB(), seq, 40000)
+	tage := sclHarness(t, NewTAGE(TAGE18KB()), seq, 40000)
+	if scl < tage {
+		t.Errorf("TAGE-SC-L %.4f < TAGE %.4f on a long loop", scl, tage)
+	}
+	if scl < 0.999 {
+		t.Errorf("TAGE-SC-L accuracy %.4f on a fixed long loop", scl)
+	}
+}
+
+func TestTAGESCLMatchesTAGEOnPatterns(t *testing.T) {
+	seq := func(i int) (uint64, bool) { return 0x3000, i%4 != 3 }
+	scl := sclHarness(t, TAGESCL24KB(), seq, 20000)
+	if scl < 0.99 {
+		t.Errorf("TAGE-SC-L pattern accuracy %.3f", scl)
+	}
+}
+
+func TestTAGESCLStatisticallyBiased(t *testing.T) {
+	// A branch taken 80% at random: TAGE churns allocations; the
+	// statistical corrector should keep accuracy near the bias.
+	rng := xrand.New(11)
+	seq := func(i int) (uint64, bool) { return 0x4000, rng.Bool(0.8) }
+	scl := sclHarness(t, TAGESCL24KB(), seq, 40000)
+	if scl < 0.70 {
+		t.Errorf("TAGE-SC-L accuracy %.3f on 80%% biased branch", scl)
+	}
+}
+
+func TestTAGESCLInterface(t *testing.T) {
+	p := TAGESCL64KB()
+	if p.Name() != "tage-sc-l-64kb" {
+		t.Errorf("Name = %s", p.Name())
+	}
+	if p.StorageBits() <= NewTAGE(TAGE36KB()).StorageBits() {
+		t.Error("SC-L storage not larger than bare TAGE")
+	}
+	specs := p.Specs()
+	if len(specs) <= len(NewTAGE(TAGE36KB()).Specs()) {
+		t.Error("SC-L registers no extra folds")
+	}
+	for _, s := range specs {
+		if s.Length <= 0 || s.Width <= 0 {
+			t.Errorf("bad spec %+v", s)
+		}
+	}
+}
+
+func TestPerceptronLearnsLinearlySeparable(t *testing.T) {
+	// Outcome = history bit 3 (a linearly separable function).
+	var hist []bool
+	seq := func(i int) (uint64, bool) {
+		taken := i%2 == 0
+		if len(hist) >= 4 {
+			taken = hist[len(hist)-4]
+		}
+		hist = append(hist, taken)
+		return 0x5000, taken
+	}
+	acc := sclHarness(t, Perceptron8KB(), seq, 20000)
+	if acc < 0.97 {
+		t.Errorf("perceptron accuracy %.3f on linearly separable branch", acc)
+	}
+}
+
+func TestPerceptronLearnsBias(t *testing.T) {
+	acc := sclHarness(t, Perceptron8KB(), func(i int) (uint64, bool) {
+		return uint64(0x100 + (i%32)*4), (i % 32) < 24
+	}, 30000)
+	if acc < 0.95 {
+		t.Errorf("perceptron bias accuracy %.3f", acc)
+	}
+}
+
+func TestPerceptronInterface(t *testing.T) {
+	p := Perceptron8KB()
+	if p.StorageBits() != 256*33*8 {
+		t.Errorf("storage = %d", p.StorageBits())
+	}
+	if len(p.Specs()) != 0 {
+		t.Error("perceptron should need no folds")
+	}
+	if p.Name() != "perceptron-8kb" {
+		t.Errorf("Name = %s", p.Name())
+	}
+}
+
+func BenchmarkTAGESCLPredict(b *testing.B) {
+	p := TAGESCL24KB()
+	h := NewHistory(p.Specs())
+	p.Bind(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Predict(uint64(0x40_0000+(i%512)*4), h)
+	}
+}

@@ -1,0 +1,129 @@
+package btb
+
+import "fdp/internal/program"
+
+// BasicBlock is a basic-block-based BTB in the style of the academic
+// baselines the paper contrasts with (Confluence/Boomerang/Shotgun,
+// §III-A): entries are keyed by the *block start* address and hold the
+// block size, the terminating branch's type and its taken target — exactly
+// one branch per entry, including not-taken conditionals. This gives
+// perfect branch detection for covered blocks (no GHR gaps) at the price
+// of extra fields, entries for never-taken branches, and lookups that must
+// happen at block granularity.
+type BasicBlock struct {
+	sets     int
+	ways     int
+	setMask  uint64
+	entries  []bbEntry
+	lruClock uint64
+
+	lookups uint64
+	hits    uint64
+	// Inserts and Replacements support pollution studies.
+	Inserts      uint64
+	Replacements uint64
+}
+
+type bbEntry struct {
+	valid  bool
+	tag    uint64 // block start >> 2
+	size   uint16 // instructions up to and including the branch
+	typ    program.InstType
+	target uint64
+	lru    uint64
+}
+
+// MaxBlockSize bounds the block-size field (6 bits, like Shotgun's
+// encodings); longer blocks are split by allocation.
+const MaxBlockSize = 63
+
+// NewBasicBlock builds a BB-BTB with the given entry count and
+// associativity.
+func NewBasicBlock(entries, ways int) *BasicBlock {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("btb: bad basic-block geometry")
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic("btb: basic-block set count not a power of two")
+	}
+	return &BasicBlock{
+		sets:    sets,
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		entries: make([]bbEntry, entries),
+	}
+}
+
+// Entries returns the capacity.
+func (b *BasicBlock) Entries() int { return b.sets * b.ways }
+
+// EntryBits returns the per-entry storage cost in bits: tag-ish start
+// address (48), size (6), type (3) and target (48) — the "additional
+// fields" overhead of §III-A versus the ~7-byte instruction-BTB entry.
+func EntryBits() int { return 48 + 6 + 3 + 48 }
+
+func (b *BasicBlock) set(start uint64) []bbEntry {
+	s := int((start >> 2) & b.setMask)
+	return b.entries[s*b.ways : (s+1)*b.ways]
+}
+
+// Lookup finds the block starting exactly at start. It returns the block
+// size in instructions, the terminating branch's type and taken target.
+func (b *BasicBlock) Lookup(start uint64) (size int, t program.InstType, target uint64, ok bool) {
+	b.lookups++
+	tag := start >> 2
+	set := b.set(start)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			b.hits++
+			b.lruClock++
+			set[i].lru = b.lruClock
+			return int(set[i].size), set[i].typ, set[i].target, true
+		}
+	}
+	return 0, program.NonBranch, 0, false
+}
+
+// Insert installs or refreshes the block starting at start.
+func (b *BasicBlock) Insert(start uint64, size int, t program.InstType, target uint64) {
+	if size < 1 {
+		return
+	}
+	if size > MaxBlockSize {
+		size = MaxBlockSize
+	}
+	tag := start >> 2
+	set := b.set(start)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].size = uint16(size)
+			set[i].typ = t
+			set[i].target = target
+			b.lruClock++
+			set[i].lru = b.lruClock
+			return
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	b.Inserts++
+	if set[victim].valid {
+		b.Replacements++
+	}
+	b.lruClock++
+	set[victim] = bbEntry{valid: true, tag: tag, size: uint16(size), typ: t, target: target, lru: b.lruClock}
+}
+
+// Lookups returns the access count.
+func (b *BasicBlock) Lookups() uint64 { return b.lookups }
+
+// Hits returns the hit count.
+func (b *BasicBlock) Hits() uint64 { return b.hits }
+
+// ResetStats clears counters, keeping contents.
+func (b *BasicBlock) ResetStats() { b.lookups, b.hits, b.Inserts, b.Replacements = 0, 0, 0, 0 }

@@ -1,0 +1,244 @@
+// Package btb implements the Branch Target Buffer: a 16-byte-indexed
+// set-associative structure holding branch type and target, the allocation
+// policies the paper compares (taken-only vs all-branch, Table V), and the
+// perfect-BTB oracle used in the limit studies.
+package btb
+
+import "fdp/internal/program"
+
+// TargetBuffer is the prediction pipeline's view of a BTB. Lookup is
+// consulted for every instruction address the prediction pipe scans;
+// Insert/UpdateTarget train it at branch resolution (and, for BTB
+// prefetching, at pre-decode).
+type TargetBuffer interface {
+	// Lookup returns the stored branch type and target for pc. ok is
+	// false when pc misses (the branch is undetected).
+	Lookup(pc uint64) (t program.InstType, target uint64, ok bool)
+	// Insert installs or refreshes the entry for pc.
+	Insert(pc uint64, t program.InstType, target uint64)
+	// Lookups and Hits return access statistics.
+	Lookups() uint64
+	Hits() uint64
+	// ResetStats clears statistics, keeping contents.
+	ResetStats()
+	// Name identifies the implementation for reports.
+	Name() string
+}
+
+// blockShift implements the paper's 16B-indexed BTB: all branches in the
+// same 16-byte block map to the same set.
+const blockShift = 4
+
+type entry struct {
+	valid  bool
+	typ    program.InstType
+	tag    uint64 // pc >> 2 (distinguishes branches within a block)
+	target uint64
+	lru    uint64
+}
+
+// BTB is a set-associative branch target buffer with true-LRU replacement.
+type BTB struct {
+	sets     int
+	ways     int
+	setMask  uint64
+	entries  []entry
+	lruClock uint64
+
+	lookups uint64
+	hits    uint64
+	// Inserts and Replacements are exported counters for studies of BTB
+	// pollution (Fig. 10).
+	Inserts      uint64
+	Replacements uint64
+}
+
+// New builds a BTB with the given total entry count and associativity.
+// entries must be a power-of-two multiple of ways.
+func New(entries, ways int) *BTB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("btb: bad geometry")
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic("btb: set count not a power of two")
+	}
+	return &BTB{
+		sets:    sets,
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		entries: make([]entry, entries),
+	}
+}
+
+// Entries returns the total capacity.
+func (b *BTB) Entries() int { return b.sets * b.ways }
+
+// Name implements TargetBuffer.
+func (b *BTB) Name() string { return "btb" }
+
+func (b *BTB) set(pc uint64) []entry {
+	s := int((pc >> blockShift) & b.setMask)
+	return b.entries[s*b.ways : (s+1)*b.ways]
+}
+
+// Lookup implements TargetBuffer.
+func (b *BTB) Lookup(pc uint64) (program.InstType, uint64, bool) {
+	b.lookups++
+	tag := pc >> 2
+	set := b.set(pc)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			b.hits++
+			b.lruClock++
+			set[i].lru = b.lruClock
+			return set[i].typ, set[i].target, true
+		}
+	}
+	return program.NonBranch, 0, false
+}
+
+// Peek reports whether pc is present without touching LRU or stats.
+func (b *BTB) Peek(pc uint64) bool {
+	tag := pc >> 2
+	set := b.set(pc)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert implements TargetBuffer: it installs pc, replacing LRU on
+// conflict, or refreshes the existing entry (updating the target, which is
+// how indirect-branch targets stay current).
+func (b *BTB) Insert(pc uint64, t program.InstType, target uint64) {
+	tag := pc >> 2
+	set := b.set(pc)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].typ = t
+			set[i].target = target
+			b.lruClock++
+			set[i].lru = b.lruClock
+			return
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	b.Inserts++
+	if set[victim].valid {
+		b.Replacements++
+	}
+	b.lruClock++
+	set[victim] = entry{valid: true, typ: t, tag: tag, target: target, lru: b.lruClock}
+}
+
+// InsertCold installs a *prefetched* branch at the LRU position of its
+// set: it only survives if a real lookup promotes it, bounding the BTB
+// pollution that blind pre-decode installs cause (§VI-E). An existing
+// entry just gets its target refreshed.
+func (b *BTB) InsertCold(pc uint64, t program.InstType, target uint64) {
+	tag := pc >> 2
+	set := b.set(pc)
+	victim := 0
+	var minLRU uint64
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].typ = t
+			set[i].target = target
+			return
+		}
+		if !set[i].valid {
+			// Free slot: use it, still marked old.
+			set[i] = entry{valid: true, typ: t, tag: tag, target: target}
+			b.Inserts++
+			return
+		}
+		if i == 0 || set[i].lru < minLRU {
+			victim = i
+			minLRU = set[i].lru
+		}
+	}
+	b.Inserts++
+	b.Replacements++
+	// Replace the LRU entry but keep the slot's age, so the prefetched
+	// entry is itself the next victim unless a lookup promotes it.
+	set[victim] = entry{valid: true, typ: t, tag: tag, target: target, lru: minLRU}
+}
+
+// Lookups implements TargetBuffer.
+func (b *BTB) Lookups() uint64 { return b.lookups }
+
+// Hits implements TargetBuffer.
+func (b *BTB) Hits() uint64 { return b.hits }
+
+// ResetStats implements TargetBuffer.
+func (b *BTB) ResetStats() { b.lookups, b.hits, b.Inserts, b.Replacements = 0, 0, 0, 0 }
+
+// Reset clears contents and statistics.
+func (b *BTB) Reset() {
+	for i := range b.entries {
+		b.entries[i] = entry{}
+	}
+	b.lruClock = 0
+	b.ResetStats()
+}
+
+// Perfect is the perfect-BTB oracle (§VI-A): every branch in the program
+// image is detected with its static type; direct branches return their
+// static target. Indirect branches return their last observed target (what
+// an infinite BTB would hold), refinable by the indirect predictor;
+// returns are detected and resolved through the RAS, as in hardware.
+type Perfect struct {
+	img      *program.Image
+	indirect map[uint64]uint64 // pc -> last taken target (indirect sites)
+	lookups  uint64
+	hits     uint64
+}
+
+// NewPerfect wraps a program image as a perfect BTB.
+func NewPerfect(img *program.Image) *Perfect {
+	return &Perfect{img: img, indirect: make(map[uint64]uint64)}
+}
+
+// Name implements TargetBuffer.
+func (p *Perfect) Name() string { return "perfect-btb" }
+
+// Lookup implements TargetBuffer.
+func (p *Perfect) Lookup(pc uint64) (program.InstType, uint64, bool) {
+	p.lookups++
+	si, ok := p.img.At(pc)
+	if !ok || !si.Type.IsBranch() {
+		return program.NonBranch, 0, false
+	}
+	p.hits++
+	target := si.Target
+	if si.Type.IsIndirect() {
+		target = p.indirect[pc]
+	}
+	return si.Type, target, true
+}
+
+// Insert implements TargetBuffer: detection is already perfect, but the
+// last target of indirect branches is recorded, as an infinite real BTB
+// would.
+func (p *Perfect) Insert(pc uint64, t program.InstType, target uint64) {
+	if t.IsIndirect() {
+		p.indirect[pc] = target
+	}
+}
+
+// Lookups implements TargetBuffer.
+func (p *Perfect) Lookups() uint64 { return p.lookups }
+
+// Hits implements TargetBuffer.
+func (p *Perfect) Hits() uint64 { return p.hits }
+
+// ResetStats implements TargetBuffer.
+func (p *Perfect) ResetStats() { p.lookups, p.hits = 0, 0 }

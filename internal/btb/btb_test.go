@@ -1,0 +1,372 @@
+package btb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fdp/internal/program"
+)
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	for _, tc := range []struct{ entries, ways int }{
+		{0, 4}, {16, 0}, {15, 4}, {12, 4}, // 3 sets
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", tc.entries, tc.ways)
+				}
+			}()
+			New(tc.entries, tc.ways)
+		}()
+	}
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	b := New(1024, 4)
+	pc := uint64(0x40_0010)
+	if _, _, ok := b.Lookup(pc); ok {
+		t.Fatal("hit in empty BTB")
+	}
+	b.Insert(pc, program.CondDirect, 0x40_1000)
+	ty, tgt, ok := b.Lookup(pc)
+	if !ok || ty != program.CondDirect || tgt != 0x40_1000 {
+		t.Fatalf("Lookup = %v %#x %v", ty, tgt, ok)
+	}
+	if b.Lookups() != 2 || b.Hits() != 1 {
+		t.Errorf("stats: %d/%d", b.Hits(), b.Lookups())
+	}
+}
+
+func TestDistinctBranchesInSame16BBlock(t *testing.T) {
+	b := New(1024, 4)
+	// Two branches 4 bytes apart: same set (16B-indexed), distinct tags.
+	b.Insert(0x1000, program.Jump, 0x2000)
+	b.Insert(0x1004, program.Call, 0x3000)
+	ty, tgt, ok := b.Lookup(0x1000)
+	if !ok || ty != program.Jump || tgt != 0x2000 {
+		t.Errorf("first branch: %v %#x %v", ty, tgt, ok)
+	}
+	ty, tgt, ok = b.Lookup(0x1004)
+	if !ok || ty != program.Call || tgt != 0x3000 {
+		t.Errorf("second branch: %v %#x %v", ty, tgt, ok)
+	}
+}
+
+func TestInsertUpdatesExistingTarget(t *testing.T) {
+	b := New(64, 4)
+	b.Insert(0x100, program.IndJump, 0x200)
+	b.Insert(0x100, program.IndJump, 0x300) // new indirect target
+	_, tgt, _ := b.Lookup(0x100)
+	if tgt != 0x300 {
+		t.Errorf("target = %#x, want updated 0x300", tgt)
+	}
+	if b.Inserts != 1 {
+		t.Errorf("Inserts = %d, want 1 (update is not an insert)", b.Inserts)
+	}
+}
+
+func TestLRUEvictionWithinSet(t *testing.T) {
+	b := New(8, 2) // 4 sets, 2 ways; set = (pc>>4)&3
+	// Three branches mapping to set 0: blocks 0x00, 0x40, 0x80.
+	b.Insert(0x00, program.Jump, 1)
+	b.Insert(0x40, program.Jump, 2)
+	b.Lookup(0x00) // refresh 0x00
+	b.Insert(0x80, program.Jump, 3)
+	if !b.Peek(0x00) {
+		t.Error("MRU entry evicted")
+	}
+	if b.Peek(0x40) {
+		t.Error("LRU entry survived")
+	}
+	if b.Replacements != 1 {
+		t.Errorf("Replacements = %d", b.Replacements)
+	}
+}
+
+func TestPeekQuiet(t *testing.T) {
+	b := New(64, 4)
+	b.Insert(0x10, program.Jump, 0x20)
+	before := b.Lookups()
+	if !b.Peek(0x10) || b.Peek(0x14) {
+		t.Error("Peek wrong")
+	}
+	if b.Lookups() != before {
+		t.Error("Peek counted a lookup")
+	}
+}
+
+func TestResetAndResetStats(t *testing.T) {
+	b := New(64, 4)
+	b.Insert(0x10, program.Jump, 0x20)
+	b.Lookup(0x10)
+	b.ResetStats()
+	if b.Lookups() != 0 || b.Hits() != 0 {
+		t.Error("ResetStats left counters")
+	}
+	if !b.Peek(0x10) {
+		t.Error("ResetStats dropped contents")
+	}
+	b.Reset()
+	if b.Peek(0x10) {
+		t.Error("Reset kept contents")
+	}
+}
+
+// Property: inserted branches are immediately findable with their exact
+// type and target.
+func TestInsertLookupProperty(t *testing.T) {
+	f := func(raw uint32, tyRaw uint8, tgt uint64) bool {
+		b := New(256, 4)
+		pc := uint64(raw) &^ 3
+		ty := program.InstType(tyRaw % uint8(program.NumInstTypes))
+		b.Insert(pc, ty, tgt)
+		gotTy, gotTgt, ok := b.Lookup(pc)
+		return ok && gotTy == ty && gotTgt == tgt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapacityPressure(t *testing.T) {
+	b := New(64, 4)
+	// Insert 1000 distinct branches; capacity stays bounded and the most
+	// recent ones survive.
+	for i := 0; i < 1000; i++ {
+		b.Insert(uint64(i)*4, program.CondDirect, uint64(i))
+	}
+	live := 0
+	for i := 0; i < 1000; i++ {
+		if b.Peek(uint64(i) * 4) {
+			live++
+		}
+	}
+	if live > 64 {
+		t.Errorf("%d live entries exceed capacity 64", live)
+	}
+	if !b.Peek(999 * 4) {
+		t.Error("most recent insert missing")
+	}
+	if b.Entries() != 64 {
+		t.Errorf("Entries = %d", b.Entries())
+	}
+}
+
+func TestPerfectBTB(t *testing.T) {
+	img := program.NewImage(0x1000)
+	img.Append(program.NonBranch)
+	jpc := img.Append(program.Jump)
+	img.SetTarget(jpc, 0x1000)
+	rpc := img.Append(program.Return)
+	if err := img.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPerfect(img)
+	if _, _, ok := p.Lookup(0x1000); ok {
+		t.Error("perfect BTB hit on non-branch")
+	}
+	ty, tgt, ok := p.Lookup(jpc)
+	if !ok || ty != program.Jump || tgt != 0x1000 {
+		t.Errorf("jump: %v %#x %v", ty, tgt, ok)
+	}
+	ty, _, ok = p.Lookup(rpc)
+	if !ok || ty != program.Return {
+		t.Errorf("return: %v %v", ty, ok)
+	}
+	// Outside the image: miss, no panic.
+	if _, _, ok := p.Lookup(0xdead_0000); ok {
+		t.Error("hit outside image")
+	}
+	if p.Lookups() != 4 || p.Hits() != 2 {
+		t.Errorf("stats %d/%d", p.Hits(), p.Lookups())
+	}
+	p.Insert(0x1000, program.Jump, 0) // direct insert: no-op, no panic
+	p.ResetStats()
+	if p.Lookups() != 0 {
+		t.Error("ResetStats failed")
+	}
+	if p.Name() != "perfect-btb" {
+		t.Errorf("Name = %s", p.Name())
+	}
+}
+
+func TestPerfectBTBTracksIndirectTargets(t *testing.T) {
+	img := program.NewImage(0x1000)
+	ipc := img.Append(program.IndCall)
+	if err := img.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPerfect(img)
+	ty, tgt, ok := p.Lookup(ipc)
+	if !ok || ty != program.IndCall || tgt != 0 {
+		t.Fatalf("cold indirect lookup: %v %#x %v", ty, tgt, ok)
+	}
+	p.Insert(ipc, program.IndCall, 0x4000)
+	if _, tgt, _ := p.Lookup(ipc); tgt != 0x4000 {
+		t.Errorf("indirect target not tracked: %#x", tgt)
+	}
+	p.Insert(ipc, program.IndCall, 0x5000)
+	if _, tgt, _ := p.Lookup(ipc); tgt != 0x5000 {
+		t.Errorf("indirect target not updated: %#x", tgt)
+	}
+}
+
+func TestTwoLevelLookupAndPromotion(t *testing.T) {
+	tl := NewTwoLevel(8, 2, 1024, 4)
+	pc := uint64(0x40_0000)
+	if _, _, ok := tl.Lookup(pc); ok {
+		t.Fatal("hit in empty two-level BTB")
+	}
+	tl.Insert(pc, program.Jump, 0x5000)
+	// First lookup: L1 hit (Insert fills both levels).
+	if _, _, ok := tl.Lookup(pc); !ok || tl.LastFromL2 {
+		t.Errorf("expected L1 hit: ok=%v fromL2=%v", ok, tl.LastFromL2)
+	}
+	// Thrash the tiny L1 so pc falls back to the L2.
+	for i := uint64(1); i <= 64; i++ {
+		tl.Insert(pc+i*16, program.Jump, 0x6000)
+	}
+	ty, tgt, ok := tl.Lookup(pc)
+	if !ok || ty != program.Jump || tgt != 0x5000 {
+		t.Fatalf("L2 lookup failed: %v %#x %v", ty, tgt, ok)
+	}
+	if !tl.LastFromL2 {
+		t.Error("L2-served hit not flagged")
+	}
+	if tl.Promotions == 0 {
+		t.Error("no promotion recorded")
+	}
+	// Promoted: next lookup is an L1 hit again.
+	if _, _, ok := tl.Lookup(pc); !ok || tl.LastFromL2 {
+		t.Error("promotion did not land in L1")
+	}
+}
+
+func TestTwoLevelStats(t *testing.T) {
+	tl := NewTwoLevel(8, 2, 64, 4)
+	tl.Insert(0x10, program.Call, 0x20)
+	tl.Lookup(0x10)
+	tl.Lookup(0x9999000)
+	if tl.Lookups() != 2 || tl.Hits() != 1 {
+		t.Errorf("stats %d/%d", tl.Hits(), tl.Lookups())
+	}
+	tl.ResetStats()
+	if tl.Lookups() != 0 || tl.Promotions != 0 {
+		t.Error("ResetStats incomplete")
+	}
+	if tl.Name() != "btb-2level" {
+		t.Errorf("Name = %s", tl.Name())
+	}
+	if tl.L1() == nil || tl.L2() == nil {
+		t.Error("level accessors nil")
+	}
+}
+
+func TestInsertColdDoesNotEvictHotEntries(t *testing.T) {
+	b := New(8, 2) // 4 sets, 2 ways
+	// Two hot branches in set 0, both looked up (MRU).
+	b.Insert(0x00, program.Jump, 1)
+	b.Insert(0x40, program.Jump, 2)
+	b.Lookup(0x00)
+	b.Lookup(0x40)
+	// Cold-insert a third branch into the same set: it replaces the LRU
+	// (0x00 was refreshed first so 0x00 is LRU among the two).
+	b.InsertCold(0x80, program.CondDirect, 3)
+	if !b.Peek(0x80) {
+		t.Error("cold insert absent")
+	}
+	// Another cold insert replaces the previous cold entry, not 0x40.
+	b.InsertCold(0xc0, program.CondDirect, 4)
+	if b.Peek(0x80) {
+		t.Error("cold entry survived a second cold insert")
+	}
+	if !b.Peek(0x40) {
+		t.Error("hot entry evicted by cold inserts")
+	}
+}
+
+func TestInsertColdRefreshesExisting(t *testing.T) {
+	b := New(8, 2)
+	b.Insert(0x10, program.IndJump, 0x100)
+	b.InsertCold(0x10, program.IndJump, 0x200)
+	_, tgt, _ := b.Lookup(0x10)
+	if tgt != 0x200 {
+		t.Errorf("target = %#x, want refreshed 0x200", tgt)
+	}
+}
+
+func TestInsertColdPromotionByLookup(t *testing.T) {
+	b := New(2, 2) // 1 set, 2 ways
+	b.InsertCold(0x00, program.Jump, 1)
+	b.Lookup(0x00) // promote
+	b.InsertCold(0x40, program.Jump, 2)
+	b.InsertCold(0x80, program.Jump, 3) // replaces 0x40, not promoted 0x00
+	if !b.Peek(0x00) {
+		t.Error("promoted cold entry evicted")
+	}
+}
+
+func TestBasicBlockLookupInsert(t *testing.T) {
+	bb := NewBasicBlock(1024, 4)
+	start := uint64(0x40_0000)
+	if _, _, _, ok := bb.Lookup(start); ok {
+		t.Fatal("hit in empty BB-BTB")
+	}
+	bb.Insert(start, 5, program.CondDirect, 0x40_2000)
+	size, ty, tgt, ok := bb.Lookup(start)
+	if !ok || size != 5 || ty != program.CondDirect || tgt != 0x40_2000 {
+		t.Fatalf("Lookup = %d %v %#x %v", size, ty, tgt, ok)
+	}
+	// Refresh with a new size (block re-learned).
+	bb.Insert(start, 3, program.CondDirect, 0x40_2000)
+	size, _, _, _ = bb.Lookup(start)
+	if size != 3 {
+		t.Errorf("size = %d after refresh", size)
+	}
+	if bb.Lookups() != 3 || bb.Hits() != 2 {
+		t.Errorf("stats %d/%d", bb.Hits(), bb.Lookups())
+	}
+}
+
+func TestBasicBlockSizeClamp(t *testing.T) {
+	bb := NewBasicBlock(64, 4)
+	bb.Insert(0x100, 1000, program.Jump, 0x200)
+	size, _, _, ok := bb.Lookup(0x100)
+	if !ok || size != MaxBlockSize {
+		t.Errorf("size = %d, want clamp to %d", size, MaxBlockSize)
+	}
+	bb.Insert(0x200, 0, program.Jump, 0x300) // ignored
+	if _, _, _, ok := bb.Lookup(0x200); ok {
+		t.Error("zero-size insert accepted")
+	}
+}
+
+func TestBasicBlockEvictionAndReset(t *testing.T) {
+	bb := NewBasicBlock(8, 2)
+	for i := uint64(0); i < 64; i++ {
+		bb.Insert(i*4, 2, program.Jump, 0)
+	}
+	if bb.Replacements == 0 {
+		t.Error("no replacements under pressure")
+	}
+	bb.ResetStats()
+	if bb.Lookups() != 0 || bb.Inserts != 0 {
+		t.Error("ResetStats incomplete")
+	}
+	if bb.Entries() != 8 {
+		t.Errorf("Entries = %d", bb.Entries())
+	}
+	if EntryBits() <= 56 { // must exceed the ~7-byte instruction entry
+		t.Errorf("EntryBits = %d", EntryBits())
+	}
+}
+
+func TestBasicBlockBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad geometry did not panic")
+		}
+	}()
+	NewBasicBlock(12, 4)
+}

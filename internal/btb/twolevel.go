@@ -1,0 +1,76 @@
+package btb
+
+import "fdp/internal/program"
+
+// TwoLevel is a two-level BTB hierarchy, the organization the paper notes
+// commercial CPUs use (§II-A, "similar to the multi-level cache hierarchy,
+// the multi-level BTB hierarchy can be implemented"): a small fast L1 BTB
+// backed by the large L2 BTB. Lookups that are served by the L2 promote
+// the entry into the L1 and are flagged so the frontend can charge the
+// extra redirect latency (LastFromL2).
+type TwoLevel struct {
+	l1 *BTB
+	l2 *BTB
+
+	// LastFromL2 reports whether the most recent hit was served by the
+	// L2 (and therefore pays the slower redirect). Cleared on L1 hits.
+	LastFromL2 bool
+
+	// Promotions counts L2->L1 entry promotions.
+	Promotions uint64
+
+	lookups uint64
+	hits    uint64
+}
+
+// NewTwoLevel builds the hierarchy from entry counts and associativities.
+func NewTwoLevel(l1Entries, l1Ways, l2Entries, l2Ways int) *TwoLevel {
+	return &TwoLevel{l1: New(l1Entries, l1Ways), l2: New(l2Entries, l2Ways)}
+}
+
+// Name implements TargetBuffer.
+func (t *TwoLevel) Name() string { return "btb-2level" }
+
+// L1 exposes the first level (tests, stats).
+func (t *TwoLevel) L1() *BTB { return t.l1 }
+
+// L2 exposes the second level (tests, stats).
+func (t *TwoLevel) L2() *BTB { return t.l2 }
+
+// Lookup implements TargetBuffer.
+func (t *TwoLevel) Lookup(pc uint64) (program.InstType, uint64, bool) {
+	t.lookups++
+	if ty, tgt, ok := t.l1.Lookup(pc); ok {
+		t.hits++
+		t.LastFromL2 = false
+		return ty, tgt, true
+	}
+	if ty, tgt, ok := t.l2.Lookup(pc); ok {
+		t.hits++
+		t.LastFromL2 = true
+		t.Promotions++
+		t.l1.Insert(pc, ty, tgt)
+		return ty, tgt, true
+	}
+	return program.NonBranch, 0, false
+}
+
+// Insert implements TargetBuffer: new branches land in both levels (the
+// L1 as the hot set, the L2 as the backing store).
+func (t *TwoLevel) Insert(pc uint64, ty program.InstType, target uint64) {
+	t.l1.Insert(pc, ty, target)
+	t.l2.Insert(pc, ty, target)
+}
+
+// Lookups implements TargetBuffer.
+func (t *TwoLevel) Lookups() uint64 { return t.lookups }
+
+// Hits implements TargetBuffer.
+func (t *TwoLevel) Hits() uint64 { return t.hits }
+
+// ResetStats implements TargetBuffer.
+func (t *TwoLevel) ResetStats() {
+	t.lookups, t.hits, t.Promotions = 0, 0, 0
+	t.l1.ResetStats()
+	t.l2.ResetStats()
+}

@@ -1,0 +1,201 @@
+// Package cache models the instruction-side memory hierarchy: a generic
+// set-associative cache used for the L1I, L2 and LLC tag state, an I-TLB,
+// MSHR-style in-flight fill tracking, and a Hierarchy that ties them
+// together with fixed per-level latencies. Prefetch fills travel the same
+// path as demand fills and are accounted separately so the experiments can
+// report tag-probe overheads (Fig. 9) and prefetch usefulness.
+package cache
+
+import "fmt"
+
+// LineShift is log2 of the cache line size; all caches use 64-byte lines.
+const LineShift = 6
+
+// LineBytes is the cache line size in bytes.
+const LineBytes = 1 << LineShift
+
+// LineAddr converts a byte address into a line address (address >> LineShift).
+func LineAddr(addr uint64) uint64 { return addr >> LineShift }
+
+type way struct {
+	tag        uint64
+	valid      bool
+	prefetched bool // filled by a prefetch and not yet demanded
+	lru        uint64
+}
+
+// Cache is a set-associative tag array with true-LRU replacement. It tracks
+// tags only (this is an instruction-side timing model; data values are the
+// program image). All addresses passed in are *line* addresses.
+type Cache struct {
+	name     string
+	sets     int
+	waysPer  int
+	setMask  uint64
+	ways     []way // sets*waysPer, row-major
+	lruClock uint64
+
+	// Stats.
+	Probes     uint64 // tag-array accesses of any kind
+	Hits       uint64
+	Misses     uint64
+	PrefHits   uint64 // demand hits on prefetched lines (useful prefetches)
+	Evictions  uint64
+	PrefFilled uint64
+}
+
+// New creates a cache with the given line capacity and associativity.
+// sizeBytes must be a power-of-two multiple of waysPer*LineBytes.
+func New(name string, sizeBytes, waysPer int) *Cache {
+	if sizeBytes <= 0 || waysPer <= 0 {
+		panic(fmt.Sprintf("cache %s: bad geometry size=%d ways=%d", name, sizeBytes, waysPer))
+	}
+	lines := sizeBytes / LineBytes
+	sets := lines / waysPer
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a positive power of two", name, sets))
+	}
+	return &Cache{
+		name:    name,
+		sets:    sets,
+		waysPer: waysPer,
+		setMask: uint64(sets - 1),
+		ways:    make([]way, sets*waysPer),
+	}
+}
+
+// Name returns the cache's name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.waysPer }
+
+// SizeBytes returns the capacity in bytes.
+func (c *Cache) SizeBytes() int { return c.sets * c.waysPer * LineBytes }
+
+func (c *Cache) set(line uint64) []way {
+	s := int(line & c.setMask)
+	return c.ways[s*c.waysPer : (s+1)*c.waysPer]
+}
+
+// Probe looks up a line address, counting a tag access. On a hit it updates
+// LRU, clears the prefetched bit (counting a useful prefetch if it was
+// set), and returns the hit way index.
+func (c *Cache) Probe(line uint64) (hit bool, wayIdx int) {
+	c.Probes++
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			c.Hits++
+			if set[i].prefetched {
+				c.PrefHits++
+				set[i].prefetched = false
+			}
+			c.lruClock++
+			set[i].lru = c.lruClock
+			return true, i
+		}
+	}
+	c.Misses++
+	return false, -1
+}
+
+// Peek reports whether the line is present without disturbing LRU,
+// prefetch bits or statistics.
+func (c *Cache) Peek(line uint64) bool {
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// ProbeQuiet is a tag access that counts a probe but does not update LRU or
+// prefetched bits. Prefetchers use it to filter redundant prefetches; the
+// probe still costs tag-array power (Fig. 9).
+func (c *Cache) ProbeQuiet(line uint64) bool {
+	c.Probes++
+	return c.Peek(line)
+}
+
+// Fill inserts a line (replacing LRU), returning the way used. prefetch
+// marks the line as prefetched-not-yet-used. Filling a line that is already
+// present refreshes it in place.
+func (c *Cache) Fill(line uint64, prefetch bool) (wayIdx int) {
+	set := c.set(line)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			// Already present: a demand fill clears the prefetched bit.
+			if !prefetch {
+				set[i].prefetched = false
+			}
+			c.lruClock++
+			set[i].lru = c.lruClock
+			return i
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		c.Evictions++
+	}
+	if prefetch {
+		c.PrefFilled++
+	}
+	c.lruClock++
+	set[victim] = way{tag: line, valid: true, prefetched: prefetch, lru: c.lruClock}
+	return victim
+}
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.ways {
+		c.ways[i] = way{}
+	}
+	c.lruClock = 0
+	c.Probes, c.Hits, c.Misses = 0, 0, 0
+	c.PrefHits, c.Evictions, c.PrefFilled = 0, 0, 0
+}
+
+// ResetStats clears statistics but keeps cache contents (end of warmup).
+func (c *Cache) ResetStats() {
+	c.Probes, c.Hits, c.Misses = 0, 0, 0
+	c.PrefHits, c.Evictions, c.PrefFilled = 0, 0, 0
+}
+
+// TLB is a tiny fully-counted set-associative translation buffer keyed by
+// page address. Only timing matters, so it reuses the Cache tag machinery
+// with 4KB "lines" mapped onto line addresses.
+type TLB struct {
+	c         *Cache
+	pageShift uint
+}
+
+// NewTLB builds a TLB with the given number of entries and associativity.
+func NewTLB(entries, ways int) *TLB {
+	return &TLB{c: New("itlb", entries*LineBytes, ways), pageShift: 12}
+}
+
+// Probe looks up the page of addr, returning hit/miss.
+func (t *TLB) Probe(addr uint64) bool {
+	hit, _ := t.c.Probe(addr >> t.pageShift)
+	return hit
+}
+
+// Fill installs the translation for addr's page.
+func (t *TLB) Fill(addr uint64) { t.c.Fill(addr>>t.pageShift, false) }
+
+// Reset clears the TLB.
+func (t *TLB) Reset() { t.c.Reset() }
+
+// Misses returns the number of TLB misses so far.
+func (t *TLB) Misses() uint64 { return t.c.Misses }

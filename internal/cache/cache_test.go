@@ -1,0 +1,203 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeometry(t *testing.T) {
+	c := New("l1i", 32*1024, 8)
+	if c.Sets() != 64 || c.Ways() != 8 || c.SizeBytes() != 32*1024 {
+		t.Errorf("geometry: sets=%d ways=%d size=%d", c.Sets(), c.Ways(), c.SizeBytes())
+	}
+	if c.Name() != "l1i" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	for _, tc := range []struct{ size, ways int }{
+		{0, 8}, {1024, 0}, {3 * LineBytes, 1}, // 3 sets: not a power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", tc.size, tc.ways)
+				}
+			}()
+			New("bad", tc.size, tc.ways)
+		}()
+	}
+}
+
+func TestProbeMissThenHit(t *testing.T) {
+	c := New("c", 8*LineBytes, 2)
+	if hit, _ := c.Probe(5); hit {
+		t.Fatal("hit in empty cache")
+	}
+	w := c.Fill(5, false)
+	hit, w2 := c.Probe(5)
+	if !hit || w2 != w {
+		t.Fatalf("after fill: hit=%v way=%d want way %d", hit, w2, w)
+	}
+	if c.Probes != 2 || c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("stats: %d probes %d hits %d misses", c.Probes, c.Hits, c.Misses)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 1 set, 2 ways: lines mapping to set 0.
+	c := New("c", 2*LineBytes, 2)
+	c.Fill(0, false)
+	c.Fill(1, false)
+	c.Probe(0)       // 0 now MRU
+	c.Fill(2, false) // evicts 1
+	if !c.Peek(0) {
+		t.Error("MRU line 0 evicted")
+	}
+	if c.Peek(1) {
+		t.Error("LRU line 1 survived")
+	}
+	if !c.Peek(2) {
+		t.Error("new line 2 absent")
+	}
+	if c.Evictions != 1 {
+		t.Errorf("evictions = %d", c.Evictions)
+	}
+}
+
+func TestPrefetchedBitAndUsefulness(t *testing.T) {
+	c := New("c", 4*LineBytes, 4)
+	c.Fill(7, true)
+	if c.PrefFilled != 1 {
+		t.Errorf("PrefFilled = %d", c.PrefFilled)
+	}
+	hit, _ := c.Probe(7)
+	if !hit || c.PrefHits != 1 {
+		t.Errorf("useful prefetch not counted: hit=%v prefHits=%d", hit, c.PrefHits)
+	}
+	// Second demand hit must not double-count usefulness.
+	c.Probe(7)
+	if c.PrefHits != 1 {
+		t.Errorf("PrefHits double-counted: %d", c.PrefHits)
+	}
+}
+
+func TestDemandFillClearsPrefetchBit(t *testing.T) {
+	c := New("c", 4*LineBytes, 4)
+	c.Fill(9, true)
+	c.Fill(9, false) // demand refill of present line
+	c.Probe(9)
+	if c.PrefHits != 0 {
+		t.Errorf("prefetch bit survived demand fill: PrefHits=%d", c.PrefHits)
+	}
+}
+
+func TestProbeQuietCountsProbeOnly(t *testing.T) {
+	c := New("c", 4*LineBytes, 4)
+	c.Fill(3, true)
+	if !c.ProbeQuiet(3) {
+		t.Error("ProbeQuiet missed present line")
+	}
+	if c.ProbeQuiet(4) {
+		t.Error("ProbeQuiet hit absent line")
+	}
+	if c.Probes != 2 {
+		t.Errorf("Probes = %d, want 2", c.Probes)
+	}
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Errorf("ProbeQuiet affected hit/miss stats: %d/%d", c.Hits, c.Misses)
+	}
+	// Prefetched bit untouched.
+	c.Probe(3)
+	if c.PrefHits != 1 {
+		t.Error("ProbeQuiet consumed prefetched bit")
+	}
+}
+
+func TestPeekDoesNotTouchLRU(t *testing.T) {
+	c := New("c", 2*LineBytes, 2)
+	c.Fill(0, false)
+	c.Fill(1, false)
+	c.Peek(0)        // must NOT make 0 MRU
+	c.Fill(2, false) // evicts 0 (it is LRU)
+	if c.Peek(0) {
+		t.Error("Peek updated LRU")
+	}
+}
+
+func TestResetAndResetStats(t *testing.T) {
+	c := New("c", 4*LineBytes, 2)
+	c.Fill(1, false)
+	c.Probe(1)
+	c.ResetStats()
+	if c.Probes != 0 || c.Hits != 0 {
+		t.Error("ResetStats left counters")
+	}
+	if !c.Peek(1) {
+		t.Error("ResetStats dropped contents")
+	}
+	c.Reset()
+	if c.Peek(1) {
+		t.Error("Reset kept contents")
+	}
+}
+
+// Property: after filling any line, probing it hits, and capacity is never
+// exceeded (filling K distinct lines into an N-line cache keeps at most N).
+func TestFillProbeProperty(t *testing.T) {
+	f := func(lines []uint16) bool {
+		c := New("c", 16*LineBytes, 4)
+		for _, l := range lines {
+			c.Fill(uint64(l), false)
+			if hit, _ := c.Probe(uint64(l)); !hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetConflictEviction(t *testing.T) {
+	c := New("c", 16*LineBytes, 2) // 8 sets, 2 ways
+	// Three lines in the same set (stride 8): third fill evicts first.
+	c.Fill(0, false)
+	c.Fill(8, false)
+	c.Fill(16, false)
+	if c.Peek(0) {
+		t.Error("line 0 should be evicted by set conflict")
+	}
+	if !c.Peek(8) || !c.Peek(16) {
+		t.Error("later lines missing")
+	}
+}
+
+func TestTLB(t *testing.T) {
+	tlb := NewTLB(64, 4)
+	addr := uint64(0x40_0000)
+	if tlb.Probe(addr) {
+		t.Error("hit in empty TLB")
+	}
+	tlb.Fill(addr)
+	if !tlb.Probe(addr) {
+		t.Error("miss after fill")
+	}
+	// Same page, different offset: hit.
+	if !tlb.Probe(addr + 0xfff) {
+		t.Error("same-page probe missed")
+	}
+	// Different page: miss.
+	if tlb.Probe(addr + 0x1000) {
+		t.Error("different-page probe hit")
+	}
+	if tlb.Misses() != 2 {
+		t.Errorf("Misses = %d", tlb.Misses())
+	}
+	tlb.Reset()
+	if tlb.Probe(addr) {
+		t.Error("hit after Reset")
+	}
+}

@@ -1,0 +1,169 @@
+package cache
+
+// Latencies are the fixed access latencies (in cycles) of each level of the
+// instruction-side hierarchy, charged on top of the L1I pipeline itself.
+type Latencies struct {
+	L2  uint64 // L1I miss, L2 hit
+	LLC uint64 // L2 miss, LLC hit
+	Mem uint64 // LLC miss
+}
+
+// DefaultLatencies returns Sunny-Cove-like latencies (Table IV).
+func DefaultLatencies() Latencies { return Latencies{L2: 14, LLC: 44, Mem: 210} }
+
+// Fill describes one in-flight line fill.
+type Fill struct {
+	Line     uint64
+	Done     uint64 // completion cycle
+	Prefetch bool   // true if no demand request has merged into it
+	// Demanded is the cycle at which a demand request first needed this
+	// line (==issue cycle for demand fills); used for exposed-miss
+	// classification.
+	Demanded uint64
+	// Way is the L1I way the line landed in (set by Advance).
+	Way int
+}
+
+// Hierarchy is the instruction-side memory system: an L1I backed by a
+// unified L2 and LLC with fixed latencies, and an MSHR file bounding the
+// number of in-flight fills. Lower-level state (L2/LLC tags) is updated at
+// request time; only the L1I fill is delayed by the computed latency.
+type Hierarchy struct {
+	L1I *Cache
+	L2  *Cache
+	LLC *Cache
+	Lat Latencies
+
+	mshrs    int
+	inflight []Fill
+
+	// Stats.
+	DemandFills   uint64
+	PrefetchFills uint64
+	MemAccesses   uint64 // requests that reached DRAM
+	MSHRFull      uint64 // fill requests rejected for lack of an MSHR
+}
+
+// NewHierarchy builds a hierarchy. mshrs bounds in-flight fills (demand +
+// prefetch combined), modelling a shared MSHR file.
+func NewHierarchy(l1iBytes, l1iWays, l2Bytes, l2Ways, llcBytes, llcWays, mshrs int, lat Latencies) *Hierarchy {
+	return &Hierarchy{
+		L1I:   New("l1i", l1iBytes, l1iWays),
+		L2:    New("l2", l2Bytes, l2Ways),
+		LLC:   New("llc", llcBytes, llcWays),
+		Lat:   lat,
+		mshrs: mshrs,
+	}
+}
+
+// DefaultHierarchy returns the Table IV configuration: 32KB/8-way L1I,
+// 1MB/16-way L2, 8MB/16-way LLC, 16 MSHRs.
+func DefaultHierarchy() *Hierarchy {
+	return NewHierarchy(32*1024, 8, 1024*1024, 16, 8*1024*1024, 16, 16, DefaultLatencies())
+}
+
+// InFlight returns the number of outstanding fills.
+func (h *Hierarchy) InFlight() int { return len(h.inflight) }
+
+// Pending reports whether a fill for the line is outstanding and, if so,
+// its completion cycle.
+func (h *Hierarchy) Pending(line uint64) (done uint64, pending bool) {
+	for i := range h.inflight {
+		if h.inflight[i].Line == line {
+			return h.inflight[i].Done, true
+		}
+	}
+	return 0, false
+}
+
+// lowerLatency walks L2 and LLC for a line, updating their contents, and
+// returns the total fill latency for the L1I.
+func (h *Hierarchy) lowerLatency(line uint64) uint64 {
+	if hit, _ := h.L2.Probe(line); hit {
+		return h.Lat.L2
+	}
+	if hit, _ := h.LLC.Probe(line); hit {
+		h.L2.Fill(line, false)
+		return h.Lat.L2 + h.Lat.LLC
+	}
+	h.MemAccesses++
+	h.LLC.Fill(line, false)
+	h.L2.Fill(line, false)
+	return h.Lat.L2 + h.Lat.LLC + h.Lat.Mem
+}
+
+// RequestFill starts (or merges into) a fill of the line, returning the
+// cycle at which the L1I will contain it. ok is false if no MSHR is
+// available. A demand request merging into a prefetch fill converts it to
+// demand and records the demand time.
+func (h *Hierarchy) RequestFill(line uint64, prefetch bool, now uint64) (done uint64, ok bool) {
+	for i := range h.inflight {
+		if h.inflight[i].Line == line {
+			f := &h.inflight[i]
+			if !prefetch && f.Prefetch {
+				f.Prefetch = false
+				f.Demanded = now
+			}
+			return f.Done, true
+		}
+	}
+	if len(h.inflight) >= h.mshrs {
+		h.MSHRFull++
+		return 0, false
+	}
+	lat := h.lowerLatency(line)
+	done = now + lat
+	f := Fill{Line: line, Done: done, Prefetch: prefetch}
+	if prefetch {
+		h.PrefetchFills++
+	} else {
+		h.DemandFills++
+		f.Demanded = now
+	}
+	h.inflight = append(h.inflight, f)
+	return done, true
+}
+
+// Advance completes all fills due at or before now, inserting them into the
+// L1I and returning them (completed fills are appended to out to avoid
+// per-cycle allocation).
+func (h *Hierarchy) Advance(now uint64, out []Fill) []Fill {
+	kept := h.inflight[:0]
+	for _, f := range h.inflight {
+		if f.Done <= now {
+			f.Way = h.L1I.Fill(f.Line, f.Prefetch)
+			out = append(out, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	h.inflight = kept
+	return out
+}
+
+// InstantFill walks the lower levels for traffic accounting and fills the
+// L1I immediately, returning the way used. It models the paper's perfect
+// prefetching: "a prefetch brings the data into the cache instantaneously
+// but still sends out the request to the memory subsystem".
+func (h *Hierarchy) InstantFill(line uint64) (way int) {
+	h.lowerLatency(line)
+	h.PrefetchFills++
+	return h.L1I.Fill(line, false)
+}
+
+// Reset clears all cache contents, in-flight fills and statistics.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L2.Reset()
+	h.LLC.Reset()
+	h.inflight = h.inflight[:0]
+	h.DemandFills, h.PrefetchFills, h.MemAccesses, h.MSHRFull = 0, 0, 0, 0
+}
+
+// ResetStats clears statistics but keeps cache contents (end of warmup).
+func (h *Hierarchy) ResetStats() {
+	h.L1I.ResetStats()
+	h.L2.ResetStats()
+	h.LLC.ResetStats()
+	h.DemandFills, h.PrefetchFills, h.MemAccesses, h.MSHRFull = 0, 0, 0, 0
+}

@@ -1,0 +1,176 @@
+package cache
+
+import "testing"
+
+func smallHierarchy() *Hierarchy {
+	return NewHierarchy(4*LineBytes, 2, 16*LineBytes, 4, 64*LineBytes, 4, 4,
+		Latencies{L2: 10, LLC: 30, Mem: 100})
+}
+
+func TestFillLatencyLevels(t *testing.T) {
+	h := smallHierarchy()
+	// Cold: miss everywhere -> L2+LLC+Mem.
+	done, ok := h.RequestFill(1, false, 0)
+	if !ok || done != 140 {
+		t.Fatalf("cold fill done=%d ok=%v, want 140", done, ok)
+	}
+	var fills []Fill
+	fills = h.Advance(140, fills)
+	if len(fills) != 1 || fills[0].Line != 1 {
+		t.Fatalf("Advance returned %v", fills)
+	}
+	if !h.L1I.Peek(1) {
+		t.Error("line not in L1I after completion")
+	}
+	if h.MemAccesses != 1 {
+		t.Errorf("MemAccesses = %d", h.MemAccesses)
+	}
+
+	// Evict from L1I but line remains in L2: L2-latency fill.
+	h.L1I.Reset()
+	done, ok = h.RequestFill(1, false, 200)
+	if !ok || done != 210 {
+		t.Errorf("L2 hit fill done=%d, want 210", done)
+	}
+}
+
+func TestLLCHitLatency(t *testing.T) {
+	h := smallHierarchy()
+	// Pre-install into LLC only.
+	h.LLC.Fill(5, false)
+	done, _ := h.RequestFill(5, false, 0)
+	if done != 40 { // L2 + LLC
+		t.Errorf("LLC-hit fill done=%d, want 40", done)
+	}
+	// The walk promotes the line into L2.
+	if !h.L2.Peek(5) {
+		t.Error("line not promoted to L2")
+	}
+}
+
+func TestMergeDuplicateFills(t *testing.T) {
+	h := smallHierarchy()
+	d1, ok1 := h.RequestFill(2, true, 0)
+	d2, ok2 := h.RequestFill(2, false, 3) // demand merges into prefetch
+	if !ok1 || !ok2 || d1 != d2 {
+		t.Fatalf("merge failed: %d/%v %d/%v", d1, ok1, d2, ok2)
+	}
+	if h.InFlight() != 1 {
+		t.Errorf("InFlight = %d", h.InFlight())
+	}
+	var fills []Fill
+	fills = h.Advance(d1, fills)
+	if len(fills) != 1 {
+		t.Fatalf("fills = %v", fills)
+	}
+	if fills[0].Prefetch {
+		t.Error("merged fill still marked prefetch")
+	}
+	if fills[0].Demanded != 3 {
+		t.Errorf("Demanded = %d, want 3", fills[0].Demanded)
+	}
+}
+
+func TestMSHRLimit(t *testing.T) {
+	h := smallHierarchy() // 4 MSHRs
+	for i := uint64(0); i < 4; i++ {
+		if _, ok := h.RequestFill(i, false, 0); !ok {
+			t.Fatalf("fill %d rejected", i)
+		}
+	}
+	if _, ok := h.RequestFill(99, false, 0); ok {
+		t.Error("5th fill accepted with 4 MSHRs")
+	}
+	if h.MSHRFull != 1 {
+		t.Errorf("MSHRFull = %d", h.MSHRFull)
+	}
+	// Merging does not need a free MSHR.
+	if _, ok := h.RequestFill(2, false, 1); !ok {
+		t.Error("merge rejected when MSHRs full")
+	}
+}
+
+func TestPending(t *testing.T) {
+	h := smallHierarchy()
+	if _, p := h.Pending(7); p {
+		t.Error("Pending on idle hierarchy")
+	}
+	done, _ := h.RequestFill(7, false, 0)
+	got, p := h.Pending(7)
+	if !p || got != done {
+		t.Errorf("Pending = %d,%v want %d,true", got, p, done)
+	}
+	h.Advance(done, nil)
+	if _, p := h.Pending(7); p {
+		t.Error("Pending after completion")
+	}
+}
+
+func TestAdvanceOrderAndPartial(t *testing.T) {
+	h := smallHierarchy()
+	h.L2.Fill(1, false) // 10-cycle fill
+	h.RequestFill(1, false, 0)
+	h.RequestFill(2, false, 0) // cold, 140 cycles
+	var fills []Fill
+	fills = h.Advance(10, fills)
+	if len(fills) != 1 || fills[0].Line != 1 {
+		t.Fatalf("early Advance returned %v", fills)
+	}
+	if h.InFlight() != 1 {
+		t.Errorf("InFlight = %d", h.InFlight())
+	}
+	fills = h.Advance(140, fills[:0])
+	if len(fills) != 1 || fills[0].Line != 2 {
+		t.Fatalf("late Advance returned %v", fills)
+	}
+}
+
+func TestPrefetchFillMarksL1I(t *testing.T) {
+	h := smallHierarchy()
+	done, _ := h.RequestFill(3, true, 0)
+	h.Advance(done, nil)
+	// Demand probe of a prefetched line counts a useful prefetch.
+	h.L1I.Probe(3)
+	if h.L1I.PrefHits != 1 {
+		t.Errorf("PrefHits = %d", h.L1I.PrefHits)
+	}
+	if h.PrefetchFills != 1 || h.DemandFills != 0 {
+		t.Errorf("fills: pref=%d demand=%d", h.PrefetchFills, h.DemandFills)
+	}
+}
+
+func TestHierarchyResets(t *testing.T) {
+	h := smallHierarchy()
+	h.RequestFill(1, false, 0)
+	h.ResetStats()
+	if h.DemandFills != 0 {
+		t.Error("ResetStats left DemandFills")
+	}
+	if h.InFlight() != 1 {
+		t.Error("ResetStats dropped in-flight fill")
+	}
+	h.Reset()
+	if h.InFlight() != 0 {
+		t.Error("Reset kept in-flight fill")
+	}
+	if h.L1I.Peek(1) {
+		t.Error("Reset kept L1I contents")
+	}
+}
+
+func TestDefaultHierarchy(t *testing.T) {
+	h := DefaultHierarchy()
+	if h.L1I.SizeBytes() != 32*1024 || h.L1I.Ways() != 8 {
+		t.Errorf("L1I geometry %d/%d", h.L1I.SizeBytes(), h.L1I.Ways())
+	}
+	if h.L2.SizeBytes() != 1024*1024 {
+		t.Errorf("L2 size %d", h.L2.SizeBytes())
+	}
+	if h.LLC.SizeBytes() != 8*1024*1024 {
+		t.Errorf("LLC size %d", h.LLC.SizeBytes())
+	}
+	lat := DefaultLatencies()
+	if lat.L2 == 0 || lat.LLC <= lat.L2 || lat.Mem <= lat.LLC {
+		t.Errorf("latencies not monotone: %+v", lat)
+	}
+}

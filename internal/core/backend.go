@@ -1,0 +1,176 @@
+package core
+
+import "fdp/internal/program"
+
+// dispatchStage consumes decoded instructions in order, matching them
+// against the oracle stream. Correct-path instructions retire and train
+// the predictors with architectural state; the first control-flow
+// divergence schedules a pipeline flush ResolveLatency cycles later
+// (execution-stage branch resolution), and everything dispatched in
+// between is wrong-path work that gets squashed.
+func (c *Core) dispatchStage() {
+	if c.diverged && c.now >= c.flushAt {
+		c.applyFlush()
+	}
+	if c.now < c.blockedUntil {
+		return
+	}
+	budget := c.cfg.DecodeWidth
+	for budget > 0 && c.dqLen > 0 {
+		u := c.dq[c.dqHead]
+		c.dqHead = (c.dqHead + 1) % len(c.dq)
+		c.dqLen--
+		budget--
+
+		if c.diverged {
+			c.wrongPathDisp++
+			continue
+		}
+		if u.pc != c.oracle.PC() {
+			panic("core: correct-path stream out of sync with oracle")
+		}
+		dyn := c.oracle.Next()
+		c.retired++
+
+		if dyn.SI.IsBranch() {
+			c.trainBranch(u, dyn)
+		}
+
+		if u.next != dyn.NextPC {
+			// Misprediction: detected architecturally now, but the flush
+			// and redirect happen at execution-stage resolution.
+			c.diverged = true
+			c.flushAt = c.now + uint64(c.cfg.ResolveLatency)
+			c.flushTo = dyn.NextPC
+			c.run.Mispredictions++
+			switch {
+			case dyn.Taken && !u.detected && !u.pfc:
+				c.run.MispredBTBMiss++
+			case dyn.SI.Type.IsConditional():
+				c.run.MispredCond++
+			case dyn.SI.Type.IsIndirect():
+				c.run.MispredIndirect++
+			case dyn.SI.Type.IsReturn():
+				c.run.MispredReturn++
+			}
+			if u.pfc {
+				c.run.PFCWrong++
+			}
+			if c.debugMispred != nil {
+				c.debugMispred(u, dyn)
+			}
+		}
+
+		if c.data != nil {
+			if !dyn.SI.IsBranch() && c.data.loadFor(u.pc) {
+				if stall := c.data.access(u.pc, c.retired); stall > 0 {
+					c.blockedUntil = c.now + stall
+					return
+				}
+			}
+		} else if c.cfg.StallProb > 0 && c.stallRng.Bool(c.cfg.StallProb) {
+			c.blockedUntil = c.now + uint64(c.cfg.StallCycles)
+			return
+		}
+	}
+}
+
+// trainBranch updates every predictor with the architectural outcome of a
+// retired branch, using the architectural history (the state the frontend
+// would have predicted this branch with on a correct path).
+func (c *Core) trainBranch(u uop, dyn program.DynInst) {
+	si := dyn.SI
+	mispred := u.next != dyn.NextPC
+	c.run.Branches++
+	if si.Type.IsConditional() {
+		c.run.CondBranches++
+		if u.hint != dyn.Taken {
+			c.run.DirMispredictions++
+		}
+		c.dir.Update(u.pc, c.histArch, dyn.Taken)
+	}
+	if dyn.Taken {
+		c.run.TakenBranches++
+		if !u.detected {
+			c.run.BTBMissTaken++
+		}
+	}
+	if si.Type.IsIndirect() {
+		c.it.Update(u.pc, c.histArch, dyn.NextPC)
+	}
+
+	// BTB allocation policy (Table V). The perfect BTB ignores direct
+	// inserts but records indirect targets, as an infinite BTB would.
+	// Basic-block mode allocates one block entry per retired branch —
+	// including not-taken conditionals, by the definition of a basic
+	// block (§III-A).
+	if c.bb != nil {
+		if u.pc >= c.archBlockStart {
+			size := int((u.pc-c.archBlockStart)/program.InstBytes) + 1
+			tgt := dyn.NextPC
+			if !dyn.Taken {
+				tgt = si.Target
+			}
+			c.bb.Insert(c.archBlockStart, size, si.Type, tgt)
+		}
+		if dyn.Taken {
+			c.archBlockStart = dyn.NextPC
+		} else {
+			c.archBlockStart = u.pc + program.InstBytes
+		}
+	} else {
+		switch {
+		case dyn.Taken:
+			c.tb.Insert(u.pc, si.Type, dyn.NextPC)
+		case c.cfg.BTBAllocPolicy == AllocAll:
+			c.tb.Insert(u.pc, si.Type, si.Target)
+		}
+	}
+
+	// Architectural RAS.
+	if si.Type.IsCall() {
+		c.rasArch.Push(u.pc + program.InstBytes)
+	}
+	if si.Type.IsReturn() {
+		c.rasArch.Pop()
+	}
+
+	// Architectural history, mirroring the speculative insertion rules so
+	// flush recovery restores exactly the history the frontend would have
+	// had (§III-A: the flush "unrolls" and fixes the history).
+	switch c.cfg.HistPolicy {
+	case HistTHR:
+		if dyn.Taken {
+			c.histArch.InsertTaken(u.pc, dyn.NextPC)
+		}
+	case HistGHRNoFix:
+		if u.detected || u.pfc || mispred {
+			c.histArch.InsertDir(dyn.Taken)
+		}
+	case HistGHRFix, HistIdeal:
+		c.histArch.InsertDir(dyn.Taken)
+	}
+
+	if c.pf != nil {
+		c.pf.OnBranch(u.pc, si.Type, dyn.NextPC, c.emitPF)
+	}
+}
+
+// applyFlush squashes the frontend and restarts it on the correct path
+// with architectural history and RAS state.
+func (c *Core) applyFlush() {
+	c.diverged = false
+	// Account speculative fetch work thrown away: entries that initiated
+	// fills but never delivered an instruction.
+	for i := 0; i < c.q.Len(); i++ {
+		e := c.q.At(i)
+		if e.FillInitiated && e.FetchedUpTo == e.StartOffset() {
+			c.run.WrongPathFills++
+		}
+	}
+	c.q.Flush()
+	c.dqHead, c.dqLen = 0, 0
+	c.histSpec.CopyFrom(c.histArch)
+	c.rasSpec.CopyFrom(c.rasArch)
+	c.resteer(c.flushTo)
+}

@@ -1,0 +1,295 @@
+// Package core ties the whole machine together: the decoupled frontend
+// (branch prediction pipeline → FTQ → instruction fetch pipeline with
+// post-fetch correction) feeding a simple in-order-dispatch backend that
+// matches the delivered instruction stream against the workload oracle,
+// trains the predictors, and charges branch-resolution flushes. It is the
+// paper's "comprehensive frontend design for FDP" (§IV) as a cycle-driven
+// simulator.
+package core
+
+import (
+	"fmt"
+
+	"fdp/internal/cache"
+)
+
+// HistPolicy selects the global-history management scheme (§III-A,
+// Table V).
+type HistPolicy int
+
+const (
+	// HistTHR is taken-only branch target history (the paper's choice):
+	// the GHR is updated only by taken-branch pc/target hashes.
+	HistTHR HistPolicy = iota
+	// HistGHRNoFix is direction history updated only by BTB-detected
+	// branches, with no correction for undetected not-taken branches
+	// (GHR0/GHR1).
+	HistGHRNoFix
+	// HistGHRFix is direction history with pre-decode fixup flushes for
+	// BTB-miss not-taken branches (GHR2/GHR3).
+	HistGHRFix
+	// HistIdeal is the idealized direction history: perfect branch
+	// detection with actual outcomes (the paper's "Ideal" reference).
+	HistIdeal
+)
+
+// String returns the Table V style name.
+func (p HistPolicy) String() string {
+	switch p {
+	case HistTHR:
+		return "THR"
+	case HistGHRNoFix:
+		return "GHR-nofix"
+	case HistGHRFix:
+		return "GHR-fix"
+	case HistIdeal:
+		return "Ideal"
+	}
+	return fmt.Sprintf("HistPolicy(%d)", int(p))
+}
+
+// BTBAlloc selects which resolved branches allocate BTB entries.
+type BTBAlloc int
+
+const (
+	// AllocTakenOnly installs only taken branches (pairs with THR).
+	AllocTakenOnly BTBAlloc = iota
+	// AllocAll installs every branch, including not-taken conditionals
+	// (pairs with direction-history schemes).
+	AllocAll
+)
+
+// String names the policy.
+func (a BTBAlloc) String() string {
+	if a == AllocTakenOnly {
+		return "taken-only"
+	}
+	return "all-branches"
+}
+
+// DirKind selects the direction predictor (Fig. 12).
+type DirKind string
+
+// Direction predictor kinds.
+const (
+	DirTAGE9      DirKind = "tage-9kb"
+	DirTAGE18     DirKind = "tage-18kb"
+	DirTAGE36     DirKind = "tage-36kb"
+	DirGshare     DirKind = "gshare-8kb"
+	DirPerceptron DirKind = "perceptron-8kb"
+	DirTAGESCL24  DirKind = "tage-sc-l-24kb"
+	DirTAGESCL64  DirKind = "tage-sc-l-64kb"
+	DirPerfect    DirKind = "perfect"
+)
+
+// Config holds every knob of the machine. DefaultConfig returns the
+// paper's Table IV baseline; experiments override individual fields.
+type Config struct {
+	// Name labels the configuration in reports.
+	Name string
+
+	// --- Frontend geometry ---
+
+	// FTQEntries sizes the fetch target queue; 24 is the paper's FDP
+	// design, 2 disables FDP run-ahead (§V).
+	FTQEntries int
+	// PredictWidth is the branch-prediction bandwidth in instructions
+	// per cycle (12 = 2x fetch width, §V).
+	PredictWidth int
+	// MaxTakenPerCycle bounds taken predictions per cycle (1; B18m uses 2).
+	MaxTakenPerCycle int
+	// FetchWidth is the instruction fetch bandwidth per cycle (6).
+	FetchWidth int
+	// DecodeWidth is the decode/dispatch width (6); also the starvation
+	// threshold of §VI-D.
+	DecodeWidth int
+	// DecodeQueueCap bounds the decode queue.
+	DecodeQueueCap int
+	// BTBLatency is the prediction-pipeline restart latency after any
+	// flush or re-steer (pipelined in steady state, §VI-F3).
+	BTBLatency int
+	// TagProbesPerCycle is how many FTQ entries may probe the I-TLB and
+	// I-cache tags per cycle (the paper's "two oldest ready entries").
+	TagProbesPerCycle int
+
+	// --- Predictors ---
+
+	// Dir selects the direction predictor.
+	Dir DirKind
+	// BTBEntries/BTBWays size the BTB (8K x 4-way baseline).
+	BTBEntries int
+	BTBWays    int
+	// PerfectBTB replaces the BTB with the image oracle (§VI-A).
+	PerfectBTB bool
+	// L1BTBEntries > 0 enables the two-level BTB extension (§II-A): a
+	// small zero-bubble L1 BTB in front of the main BTB, whose hits that
+	// fall to the second level cost L2BTBPenalty extra cycles on taken
+	// redirects.
+	L1BTBEntries int
+	L1BTBWays    int
+	L2BTBPenalty int
+	// BasicBlockBTB switches to the academic basic-block-based BTB
+	// organization (§III-A): entries keyed by block start, one branch per
+	// entry including not-taken conditionals. Uses BTBEntries/BTBWays.
+	BasicBlockBTB bool
+	// PerfectIndirect replaces ITTAGE and RAS targets with the workload
+	// oracle ("Perfect All" in Fig. 12, together with DirPerfect).
+	PerfectIndirect bool
+	// HistPolicy and BTBAllocPolicy pick the Table V row.
+	HistPolicy     HistPolicy
+	BTBAllocPolicy BTBAlloc
+	// RASDepth sizes the return address stack.
+	RASDepth int
+
+	// --- FDP features ---
+
+	// PFC enables post-fetch correction (§III-B).
+	PFC bool
+
+	// --- Memory hierarchy ---
+
+	// L1IBytes/L1IWays size the instruction cache (32KB 8-way).
+	L1IBytes int
+	L1IWays  int
+	// L2Bytes/L2Ways and LLCBytes/LLCWays size the lower levels.
+	L2Bytes  int
+	L2Ways   int
+	LLCBytes int
+	LLCWays  int
+	// MSHRs bounds in-flight fills.
+	MSHRs int
+	// Lat holds the fill latencies.
+	Lat cache.Latencies
+	// ITLBEntries/ITLBWays size the I-TLB; ITLBMissPenalty is charged on
+	// a miss before the tag probe can proceed.
+	ITLBEntries     int
+	ITLBWays        int
+	ITLBMissPenalty int
+
+	// --- Prefetching ---
+
+	// Prefetcher names the dedicated prefetcher ("", "nl1", "fnl+mma",
+	// "djolt", "eip-128kb", "eip-27kb", "sn4l+dis", "sn4l+dis+btb").
+	Prefetcher string
+	// PerfectPrefetch makes every demand miss fill instantly while still
+	// issuing the memory request (§V "Perfect").
+	PerfectPrefetch bool
+	// PrefetchDegree bounds prefetch issues per cycle.
+	PrefetchDegree int
+	// PrefetchQueueCap bounds buffered prefetch candidates.
+	PrefetchQueueCap int
+	// BTBPrefetch pre-decodes filled lines and installs their PC-relative
+	// branches into the BTB (§VI-E).
+	BTBPrefetch bool
+
+	// --- Backend ---
+
+	// ResolveLatency is the dispatch-to-flush delay of a mispredicted
+	// branch (execution-stage resolution).
+	ResolveLatency int
+	// StallProb/StallCycles crudely model backend (data-side) stalls: a
+	// dispatched instruction blocks dispatch for StallCycles with
+	// probability StallProb. Deterministic per run.
+	StallProb   float64
+	StallCycles int
+	// DataModel replaces the stochastic stalls with the cache-driven
+	// data-side model: L1DBytes/L1DWays size the data cache and
+	// DataFootprint is the synthetic data working set in bytes.
+	DataModel     bool
+	L1DBytes      int
+	L1DWays       int
+	DataFootprint int
+}
+
+// DefaultConfig returns the Table IV baseline configuration with FDP
+// enabled (24-entry FTQ, PFC on, THR history, 8K-entry BTB, TAGE-18KB).
+func DefaultConfig() Config {
+	return Config{
+		Name:              "fdp",
+		FTQEntries:        24,
+		PredictWidth:      12,
+		MaxTakenPerCycle:  1,
+		FetchWidth:        6,
+		DecodeWidth:       6,
+		DecodeQueueCap:    64,
+		BTBLatency:        2,
+		TagProbesPerCycle: 2,
+
+		Dir:            DirTAGE18,
+		BTBEntries:     8192,
+		BTBWays:        4,
+		HistPolicy:     HistTHR,
+		BTBAllocPolicy: AllocTakenOnly,
+		RASDepth:       32,
+
+		PFC: true,
+
+		L1IBytes:        32 * 1024,
+		L1IWays:         8,
+		L2Bytes:         512 * 1024,
+		L2Ways:          8,
+		LLCBytes:        2 * 1024 * 1024,
+		LLCWays:         16,
+		MSHRs:           16,
+		Lat:             cache.DefaultLatencies(),
+		ITLBEntries:     64,
+		ITLBWays:        4,
+		ITLBMissPenalty: 8,
+
+		PrefetchDegree:   4,
+		PrefetchQueueCap: 32,
+
+		ResolveLatency: 14,
+		StallProb:      0.03,
+		StallCycles:    8,
+
+		L1DBytes:      48 * 1024,
+		L1DWays:       12,
+		DataFootprint: 8 * 1024 * 1024,
+	}
+}
+
+// BaselineConfig returns the paper's baseline: no FDP run-ahead (2-entry
+// FTQ), no PFC, no prefetching. Everything else matches DefaultConfig.
+func BaselineConfig() Config {
+	c := DefaultConfig()
+	c.Name = "baseline"
+	c.FTQEntries = 2
+	c.PFC = false
+	return c
+}
+
+// Validate reports the first invalid field.
+func (c *Config) Validate() error {
+	switch {
+	case c.FTQEntries < 1:
+		return fmt.Errorf("core: FTQEntries = %d", c.FTQEntries)
+	case c.PredictWidth < 1 || c.FetchWidth < 1 || c.DecodeWidth < 1:
+		return fmt.Errorf("core: non-positive pipeline width")
+	case c.MaxTakenPerCycle < 1:
+		return fmt.Errorf("core: MaxTakenPerCycle = %d", c.MaxTakenPerCycle)
+	case c.DecodeQueueCap < c.FetchWidth:
+		return fmt.Errorf("core: DecodeQueueCap %d < FetchWidth %d", c.DecodeQueueCap, c.FetchWidth)
+	case c.BTBLatency < 1:
+		return fmt.Errorf("core: BTBLatency = %d", c.BTBLatency)
+	case !c.PerfectBTB && (c.BTBEntries < 1 || c.BTBWays < 1):
+		return fmt.Errorf("core: bad BTB geometry")
+	case c.L1BTBEntries > 0 && (c.L1BTBWays < 1 || c.L2BTBPenalty < 0):
+		return fmt.Errorf("core: bad L1 BTB geometry")
+	case c.BasicBlockBTB && (c.PerfectBTB || c.L1BTBEntries > 0):
+		return fmt.Errorf("core: BasicBlockBTB excludes PerfectBTB and the two-level extension")
+	case c.RASDepth < 1:
+		return fmt.Errorf("core: RASDepth = %d", c.RASDepth)
+	case c.ResolveLatency < 1:
+		return fmt.Errorf("core: ResolveLatency = %d", c.ResolveLatency)
+	case c.StallProb < 0 || c.StallProb >= 1:
+		return fmt.Errorf("core: StallProb = %v", c.StallProb)
+	case c.TagProbesPerCycle < 1:
+		return fmt.Errorf("core: TagProbesPerCycle = %d", c.TagProbesPerCycle)
+	case c.PrefetchDegree < 0 || c.PrefetchQueueCap < 0:
+		return fmt.Errorf("core: negative prefetch bounds")
+	case c.DataModel && (c.L1DBytes <= 0 || c.L1DWays <= 0 || c.DataFootprint < cache.LineBytes):
+		return fmt.Errorf("core: bad data-side geometry")
+	}
+	return nil
+}

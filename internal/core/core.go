@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+
+	"fdp/internal/bpred"
+	"fdp/internal/btb"
+	"fdp/internal/cache"
+	"fdp/internal/ftq"
+	"fdp/internal/indirect"
+	"fdp/internal/prefetch"
+	"fdp/internal/program"
+	"fdp/internal/ras"
+	"fdp/internal/stats"
+	"fdp/internal/xrand"
+)
+
+// Oracle is the workload interface the core consumes: the architectural
+// instruction stream plus the peek side-channels needed only by the
+// idealized configurations (perfect direction / Perfect All / Ideal
+// history). synth.Stream implements it.
+type Oracle interface {
+	program.Stream
+	// PC returns the address of the next architectural instruction.
+	PC() uint64
+	// PeekDirection returns the direction the conditional branch at pc
+	// will take on its next execution.
+	PeekDirection(pc uint64) bool
+	// PeekTarget returns the target the indirect branch at pc will choose
+	// on its next execution.
+	PeekTarget(pc uint64) (uint64, bool)
+}
+
+// uop is one instruction delivered from the frontend to the backend.
+type uop struct {
+	pc       uint64
+	next     uint64 // the frontend's intended successor address
+	hint     bool   // direction hint attached in the FTQ
+	detected bool   // prediction-time BTB hit
+	pfc      bool   // successor came from a PFC re-steer
+}
+
+// Core is one simulated processor running one workload.
+type Core struct {
+	cfg    Config
+	oracle Oracle
+	img    *program.Image
+
+	// Memory system.
+	hier *cache.Hierarchy
+	itlb *cache.TLB
+
+	// Predictors.
+	dir      bpred.DirPredictor
+	tb       btb.TargetBuffer
+	realBTB  *btb.BTB        // nil under PerfectBTB, TwoLevel and BasicBlock
+	twoLevel *btb.TwoLevel   // nil unless the two-level extension is on
+	bb       *btb.BasicBlock // nil unless BasicBlockBTB is on
+	it       *indirect.ITTAGE
+
+	// Basic-block walk state (speculative side).
+	bbValid       bool
+	bbExpectStart uint64
+	bbBranchPC    uint64
+	bbType        program.InstType
+	bbTarget      uint64
+	// archBlockStart tracks the current basic block at dispatch for
+	// BB-BTB allocation.
+	archBlockStart uint64
+
+	// Speculative (frontend) and architectural (backend) history state.
+	histSpec *bpred.History
+	histArch *bpred.History
+	rasSpec  *ras.RAS
+	rasArch  *ras.RAS
+
+	// Frontend.
+	q              *ftq.FTQ
+	specPC         uint64
+	predStallUntil uint64
+
+	// Decode queue (ring).
+	dq     []uop
+	dqHead int
+	dqLen  int
+
+	// Prefetch.
+	pf      prefetch.Prefetcher
+	pfQueue []uint64
+
+	// Backend.
+	data          *dataSide // nil unless Config.DataModel
+	diverged      bool
+	flushAt       uint64
+	flushTo       uint64
+	blockedUntil  uint64
+	stallRng      *xrand.SplitMix64
+	retired       uint64
+	wrongPathDisp uint64
+
+	// Clock and stats.
+	now        uint64
+	run        *stats.Run
+	fillBuf    []cache.Fill
+	winStart   uint64 // cycle at the start of the current IPC window
+	winRetired uint64 // retired count at the start of the window
+
+	// debugMispred, when set, observes every misprediction (tests only).
+	debugMispred func(u uop, dyn program.DynInst)
+}
+
+// New builds a core for the given configuration and workload oracle.
+func New(cfg Config, oracle Oracle) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:      cfg,
+		oracle:   oracle,
+		img:      oracle.Image(),
+		itlb:     cache.NewTLB(cfg.ITLBEntries, cfg.ITLBWays),
+		q:        ftq.New(cfg.FTQEntries),
+		dq:       make([]uop, cfg.DecodeQueueCap),
+		rasSpec:  ras.New(cfg.RASDepth),
+		rasArch:  ras.New(cfg.RASDepth),
+		stallRng: xrand.New(0x57a11),
+		run:      &stats.Run{Config: cfg.Name},
+		specPC:   oracle.PC(),
+	}
+	c.hier = cache.NewHierarchy(cfg.L1IBytes, cfg.L1IWays, cfg.L2Bytes, cfg.L2Ways,
+		cfg.LLCBytes, cfg.LLCWays, cfg.MSHRs, cfg.Lat)
+
+	switch cfg.Dir {
+	case DirTAGE9:
+		c.dir = bpred.NewTAGE(bpred.TAGE9KB())
+	case DirTAGE18, "":
+		c.dir = bpred.NewTAGE(bpred.TAGE18KB())
+	case DirTAGE36:
+		c.dir = bpred.NewTAGE(bpred.TAGE36KB())
+	case DirGshare:
+		c.dir = bpred.Gshare8KB()
+	case DirPerceptron:
+		c.dir = bpred.Perceptron8KB()
+	case DirTAGESCL24:
+		c.dir = bpred.TAGESCL24KB()
+	case DirTAGESCL64:
+		c.dir = bpred.TAGESCL64KB()
+	case DirPerfect:
+		c.dir = &bpred.PerfectDir{Oracle: oracle.PeekDirection}
+	default:
+		return nil, fmt.Errorf("core: unknown direction predictor %q", cfg.Dir)
+	}
+
+	switch {
+	case cfg.PerfectBTB:
+		c.tb = btb.NewPerfect(c.img)
+	case cfg.BasicBlockBTB:
+		c.bb = btb.NewBasicBlock(cfg.BTBEntries, cfg.BTBWays)
+		c.bbExpectStart = c.specPC
+		c.archBlockStart = c.specPC
+	case cfg.L1BTBEntries > 0:
+		c.twoLevel = btb.NewTwoLevel(cfg.L1BTBEntries, cfg.L1BTBWays, cfg.BTBEntries, cfg.BTBWays)
+		c.tb = c.twoLevel
+	default:
+		c.realBTB = btb.New(cfg.BTBEntries, cfg.BTBWays)
+		c.tb = c.realBTB
+	}
+	c.it = indirect.New(indirect.DefaultConfig())
+
+	// Assemble the shared history: the direction predictor's folds first,
+	// then ITTAGE's.
+	specs := c.dir.Specs()
+	c.dir.Bind(0)
+	c.it.Bind(len(specs))
+	specs = append(specs, c.it.Specs()...)
+	c.histSpec = bpred.NewHistory(specs)
+	c.histArch = bpred.NewHistory(specs)
+
+	if cfg.DataModel {
+		c.data = newDataSide(&cfg)
+	}
+	pf, err := prefetch.Build(cfg.Prefetcher)
+	if err != nil {
+		return nil, err
+	}
+	if _, isNone := pf.(prefetch.None); !isNone {
+		c.pf = pf
+		c.pfQueue = make([]uint64, 0, cfg.PrefetchQueueCap)
+	}
+	return c, nil
+}
+
+// Now returns the current cycle.
+func (c *Core) Now() uint64 { return c.now }
+
+// Retired returns the number of retired (correct-path) instructions.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// Stats returns the active statistics record.
+func (c *Core) Stats() *stats.Run { return c.run }
+
+// Prefetcher returns the attached prefetcher, or nil.
+func (c *Core) Prefetcher() prefetch.Prefetcher { return c.pf }
+
+// ipcWindow is the sampling interval for the IPC timeline.
+const ipcWindow = 10_000
+
+// cycle advances the machine one clock.
+func (c *Core) cycle() {
+	c.now++
+	c.completeFills()
+	c.fetchStage()
+	c.fillStage()
+	c.predictStage()
+	c.dispatchStage()
+
+	if c.dqLen < c.cfg.DecodeWidth {
+		c.run.StarvationCycles++
+	}
+	c.run.FTQOccupancySum += uint64(c.q.Len())
+
+	if c.retired-c.winRetired >= ipcWindow {
+		if dc := c.now - c.winStart; dc > 0 {
+			c.run.WindowIPC = append(c.run.WindowIPC, float64(c.retired-c.winRetired)/float64(dc))
+		}
+		c.winStart = c.now
+		c.winRetired = c.retired
+	}
+}
+
+// Step runs n cycles (exposed for tests and interactive tools).
+func (c *Core) Step(n int) {
+	for i := 0; i < n; i++ {
+		c.cycle()
+	}
+}
+
+// Run simulates warmup retired instructions, resets statistics, then
+// simulates measure more and returns the measurement record.
+func (c *Core) Run(warmup, measure uint64) (*stats.Run, error) {
+	if err := c.runUntil(c.retired + warmup); err != nil {
+		return nil, err
+	}
+	c.resetStats()
+	startCycles := c.now
+	startRetired := c.retired
+	if err := c.runUntil(startRetired + measure); err != nil {
+		return nil, err
+	}
+	c.run.Cycles = c.now - startCycles
+	c.run.Instructions = c.retired - startRetired
+	c.finalize()
+	return c.run, nil
+}
+
+func (c *Core) runUntil(target uint64) error {
+	lastRetired := c.retired
+	idle := 0
+	for c.retired < target {
+		c.cycle()
+		if c.retired == lastRetired {
+			idle++
+			if idle > 1_000_000 {
+				return fmt.Errorf("core: no forward progress for 1M cycles at cycle %d (pc %#x, ftq %d, dq %d)",
+					c.now, c.specPC, c.q.Len(), c.dqLen)
+			}
+		} else {
+			idle = 0
+			lastRetired = c.retired
+		}
+	}
+	return nil
+}
+
+func (c *Core) resetStats() {
+	c.hier.ResetStats()
+	if c.bb != nil {
+		c.bb.ResetStats()
+	} else {
+		c.tb.ResetStats()
+	}
+	old := c.run
+	c.run = &stats.Run{Config: old.Config, Workload: old.Workload, Class: old.Class}
+	c.wrongPathDisp = 0
+	c.winStart = c.now
+	c.winRetired = c.retired
+}
+
+// finalize folds cache-level counters into the run record.
+func (c *Core) finalize() {
+	c.run.L1ITagProbes = c.hier.L1I.Probes
+	c.run.PrefetchUseful = c.hier.L1I.PrefHits
+	if c.bb != nil {
+		c.run.BTBLookups = c.bb.Lookups()
+		c.run.BTBHits = c.bb.Hits()
+	} else {
+		c.run.BTBLookups = c.tb.Lookups()
+		c.run.BTBHits = c.tb.Hits()
+	}
+}
+
+// DebugMemStats exposes lower-level cache hit/miss counts for calibration
+// and tests.
+func (c *Core) DebugMemStats() (l2Hits, l2Misses, llcHits, llcMisses, memAccesses uint64) {
+	return c.hier.L2.Hits, c.hier.L2.Misses, c.hier.LLC.Hits, c.hier.LLC.Misses, c.hier.MemAccesses
+}
+
+// SetWorkloadName labels the statistics record.
+func (c *Core) SetWorkloadName(name string) { c.run.Workload = name }
+
+// SimulateDebug runs like Simulate but tallies mispredictions by branch
+// type into byType (tests and calibration only).
+func SimulateDebug(cfg Config, oracle Oracle, workload string, warmup, measure uint64, byType map[string]int) (*stats.Run, error) {
+	c, err := New(cfg, oracle)
+	if err != nil {
+		return nil, err
+	}
+	c.SetWorkloadName(workload)
+	c.debugMispred = func(u uop, dyn program.DynInst) {
+		key := dyn.SI.Type.String()
+		if dyn.SI.Type.IsConditional() {
+			if !u.detected {
+				key += "-undet"
+			}
+		}
+		byType[key]++
+	}
+	return c.Run(warmup, measure)
+}
+
+// Simulate is the package-level convenience: build a core, run it, and
+// return the measurement record.
+func Simulate(cfg Config, oracle Oracle, workload string, warmup, measure uint64) (*stats.Run, error) {
+	c, err := New(cfg, oracle)
+	if err != nil {
+		return nil, err
+	}
+	c.SetWorkloadName(workload)
+	return c.Run(warmup, measure)
+}

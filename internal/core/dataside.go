@@ -1,0 +1,75 @@
+package core
+
+// Opt-in data-side model. The paper's ChampSim runs a full out-of-order
+// core with data caches; the default reproduction abstracts the backend as
+// a dispatch pipe with stochastic stalls (Config.StallProb). Enabling
+// Config.DataModel replaces that with a deterministic cache-driven model:
+// a fixed fraction of non-branch instructions are loads, each load derives
+// a synthetic data address from its PC and a slowly-rotating phase, and
+// load misses in a modelled L1D block dispatch for the fill latency. This
+// keeps runs deterministic while giving the backend realistic bursty
+// stalls whose rate scales with the configured data footprint.
+
+import (
+	"fdp/internal/cache"
+	"fdp/internal/xrand"
+)
+
+// dataSide holds the data-side state.
+type dataSide struct {
+	l1d *cache.Cache
+	lat cache.Latencies
+
+	// footprintLines is the synthetic data working set in cache lines.
+	footprintLines uint64
+	// phaseShift controls how often the pc->address mapping rotates
+	// (every 2^phaseShift retired instructions), creating periodic
+	// working-set turnover.
+	phaseShift uint
+
+	// Loads and LoadMisses count data-side activity.
+	Loads      uint64
+	LoadMisses uint64
+}
+
+func newDataSide(cfg *Config) *dataSide {
+	return &dataSide{
+		l1d:            cache.New("l1d", cfg.L1DBytes, cfg.L1DWays),
+		lat:            cfg.Lat,
+		footprintLines: uint64(cfg.DataFootprint) / cache.LineBytes,
+		phaseShift:     14,
+	}
+}
+
+// loadFor reports whether the instruction at pc is modelled as a load
+// (deterministic per PC, roughly one in four non-branches).
+func (d *dataSide) loadFor(pc uint64) bool {
+	return xrand.Mix(pc)&3 == 0
+}
+
+// address derives the synthetic data line address for a load.
+func (d *dataSide) address(pc, retired uint64) uint64 {
+	phase := retired >> d.phaseShift
+	return xrand.Mix(pc^phase*0x9e37_79b9_7f4a_7c15) % d.footprintLines
+}
+
+// access performs the load, returning the dispatch-stall cycles.
+func (d *dataSide) access(pc, retired uint64) uint64 {
+	d.Loads++
+	line := d.address(pc, retired)
+	if hit, _ := d.l1d.Probe(line); hit {
+		return 0
+	}
+	d.LoadMisses++
+	d.l1d.Fill(line, false)
+	// A miss blocks dispatch for the L2 latency; a fraction of misses go
+	// deeper (modelled deterministically off the line address).
+	switch line % 16 {
+	case 0:
+		return d.lat.L2 + d.lat.LLC + d.lat.Mem/4
+	case 1, 2:
+		return d.lat.L2 + d.lat.LLC
+	default:
+		return d.lat.L2
+	}
+}

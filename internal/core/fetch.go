@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fdp/internal/cache"
+	"fdp/internal/ftq"
+	"fdp/internal/program"
+)
+
+// completeFills drains finished L1I fills, waking matching FTQ entries and
+// running the fill-side hooks (prefetcher training, BTB prefetching,
+// exposed-miss classification).
+func (c *Core) completeFills() {
+	c.fillBuf = c.hier.Advance(c.now, c.fillBuf[:0])
+	for i := range c.fillBuf {
+		f := &c.fillBuf[i]
+		if c.pf != nil {
+			c.pf.OnFill(f.Line, c.emitPF)
+		}
+		if c.cfg.BTBPrefetch {
+			c.btbPredecodeLine(f.Line)
+		}
+		for j := 0; j < c.q.Len(); j++ {
+			e := c.q.At(j)
+			if e.State == ftq.StateWaitFill && cache.LineAddr(e.BlockBase()) == f.Line {
+				e.State = ftq.StateFetchable
+				e.Way = int8(f.Way)
+				if e.Missed {
+					c.classifyMiss(e)
+					e.Missed = false
+				}
+			}
+		}
+	}
+}
+
+// classifyMiss implements the §VI-G taxonomy: covered (filled before any
+// starvation was observed), fully exposed (fill initiated only once the
+// entry reached the FTQ head) or partially exposed.
+func (c *Core) classifyMiss(e *ftq.Entry) {
+	switch {
+	case c.run.StarvationCycles == e.StarvAtReq:
+		c.run.MissCovered++
+	case e.FillAtHead:
+		c.run.MissFullyExposed++
+	default:
+		c.run.MissPartiallyExposed++
+	}
+}
+
+// btbPredecodeLine implements BTB prefetching (§VI-E): pre-decode a filled
+// line and unconditionally install its PC-relative branches. Register-
+// indirect branches cannot be prefetched this way.
+func (c *Core) btbPredecodeLine(line uint64) {
+	// Prefetched branches are installed cold (at LRU) so they cannot
+	// displace the trained working set unless a real lookup wants them.
+	target := c.realBTB
+	if target == nil && c.twoLevel != nil {
+		target = c.twoLevel.L2()
+	}
+	if target == nil {
+		return // perfect BTB: nothing to prefetch into
+	}
+	base := line << cache.LineShift
+	for o := 0; o < cache.LineBytes/program.InstBytes; o++ {
+		pc := base + uint64(o)*program.InstBytes
+		si, ok := c.img.At(pc)
+		if !ok {
+			continue
+		}
+		switch si.Type {
+		case program.CondDirect, program.Jump, program.Call:
+			target.InsertCold(pc, si.Type, si.Target)
+		}
+	}
+}
+
+// fillStage probes the I-TLB and I-cache tags for the oldest ready FTQ
+// entries and launches fills for misses, decoupled from the fetch stage
+// (§IV-C: fills start without waiting for the entry to reach the head).
+func (c *Core) fillStage() {
+	probes := c.cfg.TagProbesPerCycle
+	for i := 0; i < c.q.Len() && probes > 0; i++ {
+		e := c.q.At(i)
+		if e.State != ftq.StateReady || c.now < e.RetryAt {
+			continue
+		}
+		probes--
+		if !e.Translated {
+			if !c.itlb.Probe(e.StartPC) {
+				// Page walk: the response is delivered to this entry after
+				// the penalty even if the TLB entry is evicted meanwhile.
+				c.itlb.Fill(e.StartPC)
+				e.Translated = true
+				e.RetryAt = c.now + uint64(c.cfg.ITLBMissPenalty)
+				continue
+			}
+			e.Translated = true
+		}
+		line := cache.LineAddr(e.BlockBase())
+		c.run.L1IAccesses++
+		prefBefore := c.hier.L1I.PrefHits
+		hit, way := c.hier.L1I.Probe(line)
+		prefHit := c.hier.L1I.PrefHits > prefBefore
+		if c.pf != nil {
+			c.pf.OnAccess(line, hit, prefHit, c.emitPF)
+		}
+		if hit {
+			e.State = ftq.StateFetchable
+			e.Way = int8(way)
+			continue
+		}
+		c.run.L1IMisses++
+		if c.cfg.PerfectPrefetch {
+			// Perfect prefetching: the line appears instantly but the
+			// memory request still happens (§V).
+			e.State = ftq.StateFetchable
+			e.Way = int8(c.hier.InstantFill(line))
+			c.run.PrefetchIssued++
+			c.run.MissCovered++
+			continue
+		}
+		done, ok := c.hier.RequestFill(line, false, c.now)
+		if !ok {
+			continue // MSHR full; retry next cycle
+		}
+		e.State = ftq.StateWaitFill
+		e.Missed = true
+		e.FillInitiated = true
+		e.FillAtHead = i == 0
+		e.FillDone = done
+		e.StarvAtReq = c.run.StarvationCycles
+	}
+	c.issuePrefetches()
+}
+
+// emitPF enqueues a prefetch candidate from a prefetcher hook.
+func (c *Core) emitPF(line uint64) {
+	if len(c.pfQueue) < c.cfg.PrefetchQueueCap {
+		c.pfQueue = append(c.pfQueue, line)
+	}
+}
+
+// issuePrefetches filters queued candidates against the tag array
+// (charging tag probes) and launches prefetch fills through the MSHRs.
+func (c *Core) issuePrefetches() {
+	issued := 0
+	for len(c.pfQueue) > 0 && issued < c.cfg.PrefetchDegree {
+		line := c.pfQueue[0]
+		c.pfQueue = c.pfQueue[:copy(c.pfQueue, c.pfQueue[1:])]
+		issued++
+		if c.hier.L1I.ProbeQuiet(line) {
+			c.run.PrefetchRedundant++
+			continue
+		}
+		if _, pending := c.hier.Pending(line); pending {
+			c.run.PrefetchRedundant++
+			continue
+		}
+		if _, ok := c.hier.RequestFill(line, true, c.now); ok {
+			c.run.PrefetchIssued++
+		}
+	}
+}
+
+// fetchStage delivers instructions from the FTQ head to the decode queue,
+// running the pre-decoder (PFC, §III-B; GHR fixup, §III-A) the first time
+// each entry is touched.
+func (c *Core) fetchStage() {
+	budget := c.cfg.FetchWidth
+	for budget > 0 && !c.q.Empty() {
+		e := c.q.Head()
+		if e.State != ftq.StateFetchable {
+			return
+		}
+		if !e.PFCChecked {
+			if c.predecode(e) {
+				return // re-steered or fixed up: frontend bubble this cycle
+			}
+		}
+		for budget > 0 && e.FetchedUpTo <= e.EndOffset {
+			if c.dqLen == c.cfg.DecodeQueueCap {
+				return
+			}
+			o := e.FetchedUpTo
+			pc := e.PCAt(o)
+			next := pc + program.InstBytes
+			isEnd := o == e.EndOffset
+			if isEnd {
+				next = e.NextPC
+			}
+			c.pushUop(uop{
+				pc:       pc,
+				next:     next,
+				hint:     e.HintAt(o),
+				detected: e.DetectedAt(o),
+				pfc:      e.PFCApplied && isEnd,
+			})
+			e.FetchedUpTo++
+			budget--
+		}
+		if e.FetchedUpTo > e.EndOffset {
+			c.q.PopHead()
+		} else {
+			return
+		}
+	}
+}
+
+func (c *Core) pushUop(u uop) {
+	c.dq[(c.dqHead+c.dqLen)%len(c.dq)] = u
+	c.dqLen++
+}
+
+// predecode scans an entry's instructions against the program image (the
+// hardware pre-decoder inspecting fetched bytes) and applies post-fetch
+// correction or GHR fixup. It returns true when the frontend was
+// re-steered or flushed.
+func (c *Core) predecode(e *ftq.Entry) bool {
+	e.PFCChecked = true
+	so := e.StartOffset()
+	if c.cfg.PFC {
+		// PFC window: branches before the terminating offset; when the
+		// block was not predicted taken, the final slot is included (the
+		// flow claims sequential fall-through past it).
+		last := e.EndOffset
+		if e.PredictedTaken {
+			last = e.EndOffset - 1
+		}
+		for o := so; o <= last; o++ {
+			si, ok := c.img.At(e.PCAt(o))
+			if !ok {
+				continue
+			}
+			switch {
+			case si.Type == program.Jump || si.Type == program.Call || si.Type.IsReturn():
+				// Case 1: unconditional with a pre-decode-recoverable
+				// target that the flow sailed past.
+				c.doPFC(e, o, si)
+				return true
+			case si.Type == program.CondDirect && e.HintAt(o):
+				// Case 2: BTB-miss conditional whose hint says taken.
+				c.doPFC(e, o, si)
+				return true
+			}
+		}
+	}
+	if c.cfg.HistPolicy == HistGHRFix && c.needsHistFixup(e) {
+		c.doHistFixup(e)
+		return true
+	}
+	return false
+}
+
+// needsHistFixup reports whether the entry contains an undetected
+// conditional branch whose direction bit is missing from the GHR.
+func (c *Core) needsHistFixup(e *ftq.Entry) bool {
+	for o := e.StartOffset(); o <= e.EndOffset; o++ {
+		si, ok := c.img.At(e.PCAt(o))
+		if ok && si.Type == program.CondDirect && !e.DetectedAt(o) &&
+			!(e.PredictedTaken && o == e.EndOffset) {
+			return true
+		}
+	}
+	return false
+}
+
+// doPFC performs a post-fetch correction re-steer at block offset o: the
+// speculative history and RAS are rewound to the entry's checkpoint,
+// replayed up to o, the corrected taken branch is folded in, younger FTQ
+// entries are flushed, the entry is truncated at o, and prediction resumes
+// at the recovered target.
+func (c *Core) doPFC(e *ftq.Entry, o int, si program.StaticInst) {
+	c.run.PFCResteers++
+	c.histSpec.Restore(&e.Hist)
+	c.rasSpec.Restore(&e.RAS)
+	c.replayHistory(e, o)
+
+	pc := e.PCAt(o)
+	target := si.Target
+	if si.Type.IsReturn() {
+		target = c.rasSpec.Pop()
+	}
+	if si.Type.IsCall() {
+		c.rasSpec.Push(pc + program.InstBytes)
+	}
+	switch c.cfg.HistPolicy {
+	case HistTHR:
+		c.histSpec.InsertTaken(pc, target)
+	case HistGHRNoFix, HistGHRFix:
+		c.histSpec.InsertDir(true)
+	case HistIdeal:
+		c.histSpec.InsertDir(true) // PFC asserts the branch is taken
+	}
+
+	e.EndOffset = o
+	e.PredictedTaken = true
+	e.NextPC = target
+	e.PFCApplied = true
+
+	c.q.TruncateAfter(0) // e is the head
+	c.resteer(target)
+}
+
+// replayHistory re-applies the per-instruction history effects of entry e
+// for offsets before stop, mirroring what the prediction pipe inserted.
+// Under THR nothing precedes a PFC point (a detected taken branch would
+// have ended the block); under GHR policies detected not-taken
+// conditionals re-insert their bits; under Ideal every branch re-inserts
+// its actual outcome.
+func (c *Core) replayHistory(e *ftq.Entry, stop int) {
+	switch c.cfg.HistPolicy {
+	case HistGHRNoFix, HistGHRFix:
+		for o := e.StartOffset(); o < stop; o++ {
+			if e.DetectedAt(o) {
+				c.histSpec.InsertDir(false)
+			}
+		}
+	case HistIdeal:
+		for o := e.StartOffset(); o < stop; o++ {
+			c.specInsertIdeal(e.PCAt(o), e.HintAt(o))
+		}
+	}
+}
+
+// doHistFixup implements the GHR-fix policies (GHR2/GHR3): when pre-decode
+// finds undetected not-taken conditionals, the speculative history is
+// rebuilt with them included and everything younger is flushed (the
+// paper's "more frontend flushes and backend pipeline stalls").
+func (c *Core) doHistFixup(e *ftq.Entry) {
+	c.run.HistFixupFlushes++
+	c.histSpec.Restore(&e.Hist)
+	c.rasSpec.Restore(&e.RAS)
+	for o := e.StartOffset(); o <= e.EndOffset; o++ {
+		pc := e.PCAt(o)
+		si, ok := c.img.At(pc)
+		if !ok || !si.IsBranch() {
+			continue
+		}
+		switch {
+		case si.Type.IsConditional():
+			// The terminating detected-taken conditional re-inserts its
+			// taken bit; all others (detected or fixed-up) are not-taken
+			// on this flow.
+			c.histSpec.InsertDir(e.PredictedTaken && o == e.EndOffset)
+		case e.DetectedAt(o):
+			c.histSpec.InsertDir(true)
+		}
+		// Replay RAS effects of the terminating taken branch.
+		if e.PredictedTaken && o == e.EndOffset {
+			if si.Type.IsReturn() {
+				c.rasSpec.Pop()
+			}
+			if si.Type.IsCall() {
+				c.rasSpec.Push(pc + program.InstBytes)
+			}
+		}
+	}
+	c.q.TruncateAfter(0)
+	c.resteer(e.NextPC)
+}
+
+// resteer restarts the prediction pipeline at pc after a frontend-local
+// redirect (PFC or history fixup), charging the pipeline restart latency.
+func (c *Core) resteer(pc uint64) {
+	c.specPC = pc
+	c.predStallUntil = c.now + uint64(c.cfg.BTBLatency)
+	if c.bb != nil {
+		// Redirect targets are block starts: re-synchronize the walk.
+		c.bbValid = false
+		c.bbExpectStart = pc
+	}
+}

@@ -1,0 +1,389 @@
+package core
+
+// Micro-program tests: hand-built images with scripted branch outcomes
+// exercise the PFC and misprediction machinery precisely, instruction by
+// instruction, where the synthetic workloads can only check aggregates.
+
+import (
+	"testing"
+
+	"fdp/internal/program"
+)
+
+// scripted is a minimal Oracle over a hand-built image. cond decides
+// conditional outcomes per (pc, occurrence); indirect targets come from
+// tgt.
+type scripted struct {
+	img    *program.Image
+	pc     uint64
+	entry  uint64
+	counts map[uint64]int
+	stack  []uint64
+	cond   func(pc uint64, n int) bool
+	tgt    func(pc uint64, n int) uint64
+}
+
+func newScripted(img *program.Image, entry uint64) *scripted {
+	return &scripted{img: img, pc: entry, entry: entry, counts: map[uint64]int{},
+		cond: func(uint64, int) bool { return false },
+		tgt:  func(uint64, int) uint64 { return 0 },
+	}
+}
+
+func (s *scripted) Image() *program.Image { return s.img }
+func (s *scripted) PC() uint64            { return s.pc }
+
+func (s *scripted) Next() program.DynInst {
+	si, ok := s.img.At(s.pc)
+	if !ok {
+		panic("scripted oracle escaped image")
+	}
+	n := s.counts[s.pc]
+	s.counts[s.pc]++
+	d := program.DynInst{SI: si}
+	switch si.Type {
+	case program.NonBranch:
+		d.NextPC = si.FallThrough()
+	case program.CondDirect:
+		d.Taken = s.cond(s.pc, n)
+		if d.Taken {
+			d.NextPC = si.Target
+		} else {
+			d.NextPC = si.FallThrough()
+		}
+	case program.Jump:
+		d.Taken, d.NextPC = true, si.Target
+	case program.Call:
+		d.Taken, d.NextPC = true, si.Target
+		s.stack = append(s.stack, si.FallThrough())
+	case program.IndJump, program.IndCall:
+		d.Taken, d.NextPC = true, s.tgt(s.pc, n)
+		if si.Type == program.IndCall {
+			s.stack = append(s.stack, si.FallThrough())
+		}
+	case program.Return:
+		d.Taken = true
+		if len(s.stack) > 0 {
+			d.NextPC = s.stack[len(s.stack)-1]
+			s.stack = s.stack[:len(s.stack)-1]
+		} else {
+			d.NextPC = s.entry
+		}
+	}
+	s.pc = d.NextPC
+	return d
+}
+
+func (s *scripted) PeekDirection(pc uint64) bool {
+	return s.cond(pc, s.counts[pc])
+}
+
+func (s *scripted) PeekTarget(pc uint64) (uint64, bool) {
+	si, ok := s.img.At(pc)
+	if !ok || !si.Type.IsIndirect() {
+		return 0, false
+	}
+	return s.tgt(pc, s.counts[pc]), true
+}
+
+// loopImage builds: body NonBranch x (n-1), then Jump back to base.
+func loopImage(t *testing.T, n int) *program.Image {
+	t.Helper()
+	img := program.NewImage(0x40_0000)
+	for i := 0; i < n-1; i++ {
+		img.Append(program.NonBranch)
+	}
+	j := img.Append(program.Jump)
+	img.SetTarget(j, img.Base())
+	if err := img.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// microConfig is the default config without the stochastic backend stalls,
+// so cycle-level assertions are stable.
+func microConfig() Config {
+	cfg := DefaultConfig()
+	cfg.StallProb = 0
+	return cfg
+}
+
+// TestPFCFixesBTBMissJump: the first encounter of an unconditional jump
+// misses the BTB. With PFC the pre-decoder re-steers (no pipeline flush at
+// all); without PFC it costs a full misprediction.
+func TestPFCFixesBTBMissJump(t *testing.T) {
+	for _, pfc := range []bool{true, false} {
+		img := loopImage(t, 16)
+		cfg := microConfig()
+		cfg.PFC = pfc
+		c, err := New(cfg, newScripted(img, img.Base()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Step(3000)
+		r := c.Stats()
+		if pfc {
+			if r.PFCResteers == 0 {
+				t.Error("PFC on: no resteers for BTB-miss jump")
+			}
+			if r.Mispredictions != 0 {
+				t.Errorf("PFC on: %d mispredictions, want 0", r.Mispredictions)
+			}
+		} else {
+			if r.Mispredictions == 0 {
+				t.Error("PFC off: BTB-miss jump never mispredicted")
+			}
+			if r.PFCResteers != 0 {
+				t.Errorf("PFC off: %d resteers", r.PFCResteers)
+			}
+		}
+		// After the first resolution the jump is in the BTB: exactly one
+		// corrective event total.
+		if got := r.PFCResteers + r.Mispredictions; got != 1 {
+			t.Errorf("pfc=%v: %d corrective events, want exactly 1", pfc, got)
+		}
+	}
+}
+
+// TestPFCCase2FixesHintTakenCond: a conditional that is always taken; the
+// cold bimodal base predicts weakly-taken, so the first encounter is a
+// BTB-miss with a taken hint — exactly PFC case 2.
+func TestPFCCase2FixesHintTakenCond(t *testing.T) {
+	img := program.NewImage(0x40_0000)
+	for i := 0; i < 10; i++ {
+		img.Append(program.NonBranch)
+	}
+	cpc := img.Append(program.CondDirect)
+	img.SetTarget(cpc, img.Base())
+	// Fall-through tail (never executed).
+	for i := 0; i < 8; i++ {
+		img.Append(program.NonBranch)
+	}
+	if err := img.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	o := newScripted(img, img.Base())
+	o.cond = func(uint64, int) bool { return true } // always taken
+	cfg := microConfig()
+	c, err := New(cfg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step(3000)
+	r := c.Stats()
+	if r.PFCResteers == 0 {
+		t.Error("PFC case 2 never fired")
+	}
+	if r.Mispredictions != 0 {
+		t.Errorf("%d mispredictions, want 0 (PFC should fix the cold miss)", r.Mispredictions)
+	}
+	if r.PFCWrong != 0 {
+		t.Errorf("PFCWrong = %d for an always-taken branch", r.PFCWrong)
+	}
+}
+
+// TestPFCWrongOnNeverTakenCond: a never-taken conditional with a cold
+// weakly-taken hint triggers a *wrong* PFC re-steer on first encounter —
+// the harmful case the paper describes for strongly-biased branches
+// (§VI-B), charged as a full misprediction.
+func TestPFCWrongOnNeverTakenCond(t *testing.T) {
+	img := program.NewImage(0x40_0000)
+	for i := 0; i < 10; i++ {
+		img.Append(program.NonBranch)
+	}
+	cpc := img.Append(program.CondDirect)
+	img.SetTarget(cpc, img.Base()+4) // bogus target, never taken
+	for i := 0; i < 4; i++ {
+		img.Append(program.NonBranch)
+	}
+	j := img.Append(program.Jump)
+	img.SetTarget(j, img.Base())
+	if err := img.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	o := newScripted(img, img.Base()) // cond defaults to never-taken
+	cfg := microConfig()
+	c, err := New(cfg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step(4000)
+	r := c.Stats()
+	if r.PFCWrong == 0 {
+		t.Error("wrong PFC re-steer not recorded")
+	}
+	if r.Mispredictions == 0 {
+		t.Error("wrong PFC did not cost a misprediction")
+	}
+}
+
+// TestRASPredictsReturns: a call/return pair; after warmup, returns are
+// predicted by the RAS with no flushes.
+func TestRASPredictsReturns(t *testing.T) {
+	img := program.NewImage(0x40_0000)
+	// main: 6 insts, call f, 6 insts, jump main.
+	for i := 0; i < 6; i++ {
+		img.Append(program.NonBranch)
+	}
+	callPC := img.Append(program.Call)
+	for i := 0; i < 6; i++ {
+		img.Append(program.NonBranch)
+	}
+	jmp := img.Append(program.Jump)
+	img.SetTarget(jmp, img.Base())
+	// f: 4 insts, return.
+	fEntry := img.Append(program.NonBranch)
+	for i := 0; i < 3; i++ {
+		img.Append(program.NonBranch)
+	}
+	img.Append(program.Return)
+	img.SetTarget(callPC, fEntry)
+	if err := img.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(microConfig(), newScripted(img, img.Base()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step(2000)
+	before := c.Stats().Mispredictions + c.Stats().PFCResteers
+	c.Step(4000)
+	after := c.Stats().Mispredictions + c.Stats().PFCResteers
+	if after != before {
+		t.Errorf("steady-state call/return loop still mispredicting: %d -> %d", before, after)
+	}
+	if c.Stats().Branches == 0 {
+		t.Error("no branches retired")
+	}
+}
+
+// TestIndirectLearnsTarget: a monomorphic indirect jump becomes
+// predictable once the BTB holds its last target.
+func TestIndirectLearnsTarget(t *testing.T) {
+	img := program.NewImage(0x40_0000)
+	for i := 0; i < 7; i++ {
+		img.Append(program.NonBranch)
+	}
+	ind := img.Append(program.IndJump)
+	tail := img.Append(program.NonBranch)
+	_ = tail
+	if err := img.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	o := newScripted(img, img.Base())
+	o.tgt = func(uint64, int) uint64 { return img.Base() } // always back to start
+	_ = ind
+	c, err := New(microConfig(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step(2000)
+	before := c.Stats().Mispredictions
+	c.Step(4000)
+	if got := c.Stats().Mispredictions; got != before {
+		t.Errorf("monomorphic indirect still mispredicting: %d -> %d", before, got)
+	}
+}
+
+// TestOracleSyncPanicIsAbsent: the frontend/oracle synchronization
+// invariant must hold across a long mixed run (the dispatch stage panics
+// on violation).
+func TestOracleSyncInvariant(t *testing.T) {
+	img := loopImage(t, 64)
+	c, err := New(microConfig(), newScripted(img, img.Base()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step(20000) // panics on violation
+	if c.Retired() == 0 {
+		t.Error("nothing retired")
+	}
+}
+
+// TestFTQNeverExceedsCapacity exercises the frontend under a tiny FTQ.
+func TestTinyFTQ(t *testing.T) {
+	img := loopImage(t, 40)
+	cfg := microConfig()
+	cfg.FTQEntries = 1
+	c, err := New(cfg, newScripted(img, img.Base()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step(5000)
+	if c.Retired() == 0 {
+		t.Error("1-entry FTQ made no progress")
+	}
+}
+
+// TestGHRFixupFlushOnUndetectedCond: under the GHR-fix policy, a
+// BTB-miss not-taken conditional discovered at pre-decode forces a
+// history-fixup flush of the younger FTQ entries (§III-A).
+func TestGHRFixupFlushOnUndetectedCond(t *testing.T) {
+	img := program.NewImage(0x40_0000)
+	for i := 0; i < 9; i++ {
+		img.Append(program.NonBranch)
+	}
+	cpc := img.Append(program.CondDirect) // never taken, never in BTB (taken-only alloc)
+	img.SetTarget(cpc, img.Base())
+	for i := 0; i < 5; i++ {
+		img.Append(program.NonBranch)
+	}
+	j := img.Append(program.Jump)
+	img.SetTarget(j, img.Base())
+	if err := img.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := microConfig()
+	cfg.HistPolicy = HistGHRFix
+	cfg.BTBAllocPolicy = AllocTakenOnly // the cond never enters the BTB
+	cfg.PFC = false
+	c, err := New(cfg, newScripted(img, img.Base()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step(4000)
+	r := c.Stats()
+	if r.HistFixupFlushes == 0 {
+		t.Error("undetected not-taken cond never triggered a fixup flush")
+	}
+	// The fixup repeats every iteration: the branch stays out of the BTB.
+	if r.HistFixupFlushes < 10 {
+		t.Errorf("only %d fixup flushes in 4000 cycles", r.HistFixupFlushes)
+	}
+}
+
+// TestGHRFixupAbsentWithAllAlloc: the same program under all-branch
+// allocation detects the conditional after its first resolution, so fixup
+// flushes stop.
+func TestGHRFixupAbsentWithAllAlloc(t *testing.T) {
+	img := program.NewImage(0x40_0000)
+	for i := 0; i < 9; i++ {
+		img.Append(program.NonBranch)
+	}
+	cpc := img.Append(program.CondDirect)
+	img.SetTarget(cpc, img.Base())
+	for i := 0; i < 5; i++ {
+		img.Append(program.NonBranch)
+	}
+	j := img.Append(program.Jump)
+	img.SetTarget(j, img.Base())
+	if err := img.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := microConfig()
+	cfg.HistPolicy = HistGHRFix
+	cfg.BTBAllocPolicy = AllocAll
+	cfg.PFC = false
+	c, err := New(cfg, newScripted(img, img.Base()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step(2000)
+	early := c.Stats().HistFixupFlushes
+	c.Step(4000)
+	late := c.Stats().HistFixupFlushes
+	if late != early {
+		t.Errorf("fixups continued after BTB allocation: %d -> %d", early, late)
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fdp/internal/ftq"
+	"fdp/internal/program"
+)
+
+// predictStage runs the branch prediction pipeline for one cycle: it scans
+// up to PredictWidth sequential instruction addresses from the speculative
+// PC, predicting the direction of every instruction (EV8-style hints),
+// consulting the BTB for detection and targets, and pushes 32-byte-aligned
+// blocks into the FTQ. Prediction stops at the first predicted-taken
+// branch (MaxTakenPerCycle) and whenever the FTQ fills (§IV-B).
+func (c *Core) predictStage() {
+	if c.now < c.predStallUntil {
+		return
+	}
+	budget := c.cfg.PredictWidth
+	takenBudget := c.cfg.MaxTakenPerCycle
+	for budget > 0 && !c.q.Full() {
+		used, taken := c.predictBlock(budget)
+		budget -= used
+		if taken {
+			takenBudget--
+			if takenBudget == 0 {
+				return
+			}
+		}
+	}
+}
+
+// predictBlock predicts one FTQ block starting at the speculative PC and
+// returns the instructions consumed and whether it ended predicted-taken.
+func (c *Core) predictBlock(budget int) (used int, takenEnd bool) {
+	e := c.q.Push()
+	c.histSpec.Save(&e.Hist)
+	c.rasSpec.Save(&e.RAS)
+	e.StartPC = c.specPC
+	e.State = ftq.StateReady
+
+	base := e.BlockBase()
+	so := e.StartOffset()
+	e.FetchedUpTo = so
+	end := so + budget - 1
+	if end > ftq.BlockInsts-1 {
+		end = ftq.BlockInsts - 1
+	}
+
+	taken := false
+	var nextPC uint64
+	o := so
+	for ; o <= end; o++ {
+		pc := base + uint64(o)*program.InstBytes
+		ty, tgt, hit := c.detect(pc)
+		// Hardware predicts the direction of every instruction
+		// (EV8-style) to populate the FTQ hint bits. Simulating a
+		// prediction is only observable when the hint can ever be read:
+		// for real branches (the pre-decoder checks the image first) and
+		// for BTB hits (aliased hits on non-branches steer the flow), so
+		// the simulator skips the dead lookups.
+		hint := false
+		if hit || c.img.AtOrSequential(pc).IsBranch() {
+			hint = c.dir.Predict(pc, c.histSpec)
+		}
+		if hint {
+			e.Hints |= 1 << uint(o)
+		}
+		if hit {
+			e.Detected |= 1 << uint(o)
+			t := true
+			if ty.IsConditional() {
+				t = hint
+			}
+			if t {
+				target := c.predictTarget(pc, ty, tgt)
+				if ty.IsCall() {
+					c.rasSpec.Push(pc + program.InstBytes)
+				}
+				c.specInsertTaken(pc, target, ty)
+				e.DetectedTaken |= 1 << uint(o)
+				taken = true
+				nextPC = target
+			} else {
+				c.specInsertNotTaken()
+			}
+		}
+		c.specInsertIdeal(pc, hint)
+		if taken {
+			break
+		}
+	}
+
+	if taken {
+		e.EndOffset = o
+		e.PredictedTaken = true
+		e.NextPC = nextPC
+		used = o - so + 1
+		// Two-level BTB extension: a taken redirect served by the second
+		// level pays the slower array's bubble.
+		if c.twoLevel != nil && c.twoLevel.LastFromL2 {
+			c.predStallUntil = c.now + uint64(c.cfg.L2BTBPenalty)
+		}
+		// Basic-block mode: the taken target starts a new block.
+		if c.bb != nil {
+			c.bbValid = false
+			c.bbExpectStart = nextPC
+		}
+	} else {
+		// Not taken: fall through to the next instruction — the next
+		// block when the whole block was covered, or the next offset of
+		// the same block when the prediction budget truncated it.
+		e.EndOffset = end
+		e.NextPC = base + uint64(end+1)*program.InstBytes
+		used = end - so + 1
+	}
+	c.specPC = e.NextPC
+	return used, taken
+}
+
+// detect consults the active BTB organization for the instruction at pc.
+// In instruction-BTB mode it is a plain lookup. In basic-block mode the
+// walk state tracks the current block: a lookup happens only at known
+// block-start addresses, and the block's single branch is reported when
+// the walk reaches it; after a miss at a block start, detection is lost
+// until the next redirect re-synchronizes the walk (the cost §III-A
+// ascribes to block-grained BTBs without prefilling).
+func (c *Core) detect(pc uint64) (ty program.InstType, tgt uint64, hit bool) {
+	if c.bb == nil {
+		return c.tb.Lookup(pc)
+	}
+	if !c.bbValid && c.bbExpectStart == pc {
+		if size, bty, btgt, ok := c.bb.Lookup(pc); ok {
+			c.bbValid = true
+			c.bbBranchPC = pc + uint64(size-1)*program.InstBytes
+			c.bbType, c.bbTarget = bty, btgt
+		} else {
+			c.bbExpectStart = 0
+		}
+	}
+	if c.bbValid && pc == c.bbBranchPC {
+		c.bbValid = false
+		c.bbExpectStart = pc + program.InstBytes // fallthrough block start
+		return c.bbType, c.bbTarget, true
+	}
+	return program.NonBranch, 0, false
+}
+
+// predictTarget resolves the target of a detected predicted-taken branch:
+// BTB target for direct branches, RAS for returns, the indirect predictor
+// (or the Perfect-All oracle) for register-indirect branches.
+func (c *Core) predictTarget(pc uint64, ty program.InstType, btbTarget uint64) uint64 {
+	switch {
+	case ty.IsReturn():
+		return c.rasSpec.Pop()
+	case ty.IsIndirect():
+		if c.cfg.PerfectIndirect {
+			if t, ok := c.oracle.PeekTarget(pc); ok {
+				return t
+			}
+		}
+		if t, ok := c.it.Predict(pc, c.histSpec); ok {
+			return t
+		}
+		return btbTarget // fall back to the BTB's last stored target
+	default:
+		return btbTarget
+	}
+}
+
+// specInsertTaken records a predicted-taken branch in the speculative
+// history, per the active policy.
+func (c *Core) specInsertTaken(pc, target uint64, _ program.InstType) {
+	switch c.cfg.HistPolicy {
+	case HistTHR:
+		c.histSpec.InsertTaken(pc, target)
+	case HistGHRNoFix, HistGHRFix:
+		c.histSpec.InsertDir(true)
+	case HistIdeal:
+		// Handled by specInsertIdeal (actual outcomes, perfect detection).
+	}
+}
+
+// specInsertNotTaken records a detected predicted-not-taken branch.
+func (c *Core) specInsertNotTaken() {
+	switch c.cfg.HistPolicy {
+	case HistGHRNoFix, HistGHRFix:
+		c.histSpec.InsertDir(false)
+	}
+}
+
+// specInsertIdeal implements the HistIdeal policy: perfect branch
+// detection via the image (no BTB-miss history gaps), inserting the
+// predicted direction for conditionals and taken for unconditionals. On a
+// correct path the predicted direction equals the actual one (wrong
+// predictions divert the flow and are repaired by the flush), so the
+// speculative and architectural histories agree — the property that makes
+// the policy "ideal".
+func (c *Core) specInsertIdeal(pc uint64, hint bool) {
+	if c.cfg.HistPolicy != HistIdeal {
+		return
+	}
+	si, ok := c.img.At(pc)
+	if !ok || !si.IsBranch() {
+		return
+	}
+	dir := true
+	if si.Type.IsConditional() {
+		dir = hint
+	}
+	c.histSpec.InsertDir(dir)
+}

@@ -1,0 +1,454 @@
+package core
+
+// Stress tests: squeeze each frontend resource to its minimum and verify
+// the machine still makes forward progress with sane statistics. These
+// exercise the retry/backpressure paths (MSHR-full, decode-queue-full,
+// I-TLB misses) that the default configuration rarely hits.
+
+import (
+	"testing"
+
+	"fdp/internal/stats"
+	"fdp/internal/synth"
+)
+
+func stressWorkload() *synth.Workload {
+	p := synth.ServerParams(0)
+	p.Name = "stress"
+	p.Funcs = 500
+	return synth.MustGenerate(p, "server", 0x57E55)
+}
+
+var stressWL = stressWorkload()
+
+func runStress(t *testing.T, mutate func(*Config)) {
+	t.Helper()
+	cfg := DefaultConfig()
+	mutate(&cfg)
+	r, err := Simulate(cfg, stressWL.NewStream(), stressWL.Name, 10_000, 60_000)
+	if err != nil {
+		t.Fatalf("%s: %v", cfg.Name, err)
+	}
+	if r.IPC() <= 0 || r.IPC() > float64(cfg.DecodeWidth) {
+		t.Errorf("%s: IPC = %v", cfg.Name, r.IPC())
+	}
+}
+
+func TestSingleMSHR(t *testing.T) {
+	runStress(t, func(c *Config) { c.Name = "mshr1"; c.MSHRs = 1 })
+}
+
+func TestTinyDecodeQueue(t *testing.T) {
+	runStress(t, func(c *Config) { c.Name = "dq"; c.DecodeQueueCap = c.FetchWidth })
+}
+
+func TestTinyITLB(t *testing.T) {
+	runStress(t, func(c *Config) {
+		c.Name = "itlb"
+		c.ITLBEntries = 2
+		c.ITLBWays = 1
+		c.ITLBMissPenalty = 20
+	})
+}
+
+func TestTinyL1I(t *testing.T) {
+	runStress(t, func(c *Config) { c.Name = "l1i"; c.L1IBytes = 2048; c.L1IWays = 2 })
+}
+
+func TestMinimalBTB(t *testing.T) {
+	runStress(t, func(c *Config) { c.Name = "btb"; c.BTBEntries = 16; c.BTBWays = 2 })
+}
+
+func TestShallowRAS(t *testing.T) {
+	runStress(t, func(c *Config) { c.Name = "ras"; c.RASDepth = 2 })
+}
+
+func TestHugeResolveLatency(t *testing.T) {
+	runStress(t, func(c *Config) { c.Name = "resolve"; c.ResolveLatency = 100 })
+}
+
+func TestWidePredictNarrowFetch(t *testing.T) {
+	runStress(t, func(c *Config) { c.Name = "wide"; c.PredictWidth = 24; c.FetchWidth = 2; c.DecodeWidth = 2 })
+}
+
+func TestConstantBackendStalls(t *testing.T) {
+	runStress(t, func(c *Config) { c.Name = "stall"; c.StallProb = 0.5; c.StallCycles = 3 })
+}
+
+func TestEveryPrefetcherUnderPressure(t *testing.T) {
+	for _, pf := range []string{"nl1", "fnl+mma", "djolt", "eip-27kb", "sn4l+dis"} {
+		pf := pf
+		runStress(t, func(c *Config) {
+			c.Name = "pf-" + pf
+			c.Prefetcher = pf
+			c.MSHRs = 2 // prefetches and demand fills fight for MSHRs
+			c.L1IBytes = 4096
+			c.L1IWays = 2
+		})
+	}
+}
+
+// The frontend must tolerate a workload shorter than its runahead (the
+// oracle wraps immediately).
+func TestVeryShortRun(t *testing.T) {
+	r, err := Simulate(DefaultConfig(), stressWL.NewStream(), stressWL.Name, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instructions < 100 {
+		t.Errorf("Instructions = %d", r.Instructions)
+	}
+}
+
+// Warmup-free runs must work (statistics start from a cold machine).
+func TestNoWarmup(t *testing.T) {
+	r, err := Simulate(DefaultConfig(), stressWL.NewStream(), stressWL.Name, 0, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC() <= 0 {
+		t.Errorf("IPC = %v", r.IPC())
+	}
+}
+
+// TestTwoLevelBTBExtension: the two-level BTB must run and behave like a
+// capacity between its L1 and the flat L2.
+func TestTwoLevelBTBExtension(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Name = "btb-2l"
+	cfg.L1BTBEntries = 128
+	cfg.L1BTBWays = 4
+	cfg.L2BTBPenalty = 3
+	r, err := Simulate(cfg, stressWL.NewStream(), stressWL.Name, 20_000, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC() <= 0 {
+		t.Errorf("IPC = %v", r.IPC())
+	}
+	// A flat 8K BTB with no redirect penalty must be at least as fast.
+	flat, err := Simulate(DefaultConfig(), stressWL.NewStream(), stressWL.Name, 20_000, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC() > flat.IPC()*1.02 {
+		t.Errorf("two-level (%v) implausibly beats flat ideal-latency BTB (%v)", r.IPC(), flat.IPC())
+	}
+}
+
+// TestExtendedPredictorsRun: the perceptron and TAGE-SC-L options must
+// simulate and land in a sane accuracy band.
+func TestExtendedPredictorsRun(t *testing.T) {
+	base, err := Simulate(DefaultConfig(), stressWL.NewStream(), stressWL.Name, 20_000, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []DirKind{DirPerceptron, DirTAGESCL24, DirTAGESCL64} {
+		cfg := DefaultConfig()
+		cfg.Name = string(d)
+		cfg.Dir = d
+		r, err := Simulate(cfg, stressWL.NewStream(), stressWL.Name, 20_000, 100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.IPC() <= 0 {
+			t.Errorf("%s: IPC = %v", d, r.IPC())
+		}
+		// SC-L must not be drastically worse than plain TAGE.
+		if d != DirPerceptron && r.IPC() < 0.9*base.IPC() {
+			t.Errorf("%s IPC %.3f far below TAGE %.3f", d, r.IPC(), base.IPC())
+		}
+	}
+}
+
+// TestFTQSizeMonotonicity: more FTQ run-ahead must not hurt materially
+// (the Fig. 14 curve is monotone up to noise).
+func TestFTQSizeMonotonicity(t *testing.T) {
+	var last float64
+	for i, sz := range []int{2, 8, 24} {
+		cfg := DefaultConfig()
+		cfg.Name = "ftq"
+		cfg.FTQEntries = sz
+		if sz == 2 {
+			cfg.PFC = false
+		}
+		r, err := Simulate(cfg, stressWL.NewStream(), stressWL.Name, 50_000, 250_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && r.IPC() < last*0.99 {
+			t.Errorf("FTQ %d IPC %.3f below smaller FTQ's %.3f", sz, r.IPC(), last)
+		}
+		last = r.IPC()
+	}
+}
+
+// TestPredictBandwidthMonotonicity: B6 <= B12 within tolerance.
+func TestPredictBandwidthMonotonicity(t *testing.T) {
+	ipc := func(width int) float64 {
+		cfg := DefaultConfig()
+		cfg.Name = "bw"
+		cfg.PredictWidth = width
+		r, err := Simulate(cfg, stressWL.NewStream(), stressWL.Name, 50_000, 250_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.IPC()
+	}
+	if b6, b12 := ipc(6), ipc(12); b6 > b12*1.01 {
+		t.Errorf("B6 (%.3f) beats B12 (%.3f)", b6, b12)
+	}
+}
+
+// TestMemLatencySensitivity: slower memory must hurt the baseline more
+// than the FDP machine (latency hiding is FDP's whole point).
+func TestMemLatencySensitivity(t *testing.T) {
+	run := func(cfg Config, memLat uint64) float64 {
+		cfg.Lat.Mem = memLat
+		r, err := Simulate(cfg, stressWL.NewStream(), stressWL.Name, 50_000, 250_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.IPC()
+	}
+	baseFast := run(BaselineConfig(), 100)
+	baseSlow := run(BaselineConfig(), 400)
+	fdpFast := run(DefaultConfig(), 100)
+	fdpSlow := run(DefaultConfig(), 400)
+	baseLoss := baseFast / baseSlow
+	fdpLoss := fdpFast / fdpSlow
+	if fdpLoss > baseLoss*1.02 {
+		t.Errorf("FDP lost more from slow memory (%.3fx) than baseline (%.3fx)", fdpLoss, baseLoss)
+	}
+}
+
+// TestMispredBreakdownSums: the per-cause misprediction counters must
+// partition (up to the non-branch residue) the total.
+func TestMispredBreakdownSums(t *testing.T) {
+	r, err := Simulate(DefaultConfig(), stressWL.NewStream(), stressWL.Name, 30_000, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := r.MispredCond + r.MispredIndirect + r.MispredReturn + r.MispredBTBMiss
+	if parts > r.Mispredictions {
+		t.Errorf("breakdown %d exceeds total %d", parts, r.Mispredictions)
+	}
+	// The unclassified residue (e.g. wrong-PFC direct branches) must be
+	// small.
+	if r.Mispredictions-parts > r.Mispredictions/5 {
+		t.Errorf("breakdown covers only %d of %d", parts, r.Mispredictions)
+	}
+	if r.MispredCond == 0 {
+		t.Error("no conditional mispredictions recorded")
+	}
+}
+
+// TestBasicBlockBTBRuns: the BB-BTB organization must run and detect
+// not-taken conditionals on covered blocks (no GHR fixups needed even
+// under the fix policy).
+func TestBasicBlockBTBRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Name = "bbbtb"
+	cfg.BasicBlockBTB = true
+	cfg.HistPolicy = HistGHRFix
+	cfg.BTBAllocPolicy = AllocAll
+	r, err := Simulate(cfg, stressWL.NewStream(), stressWL.Name, 30_000, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC() <= 0 {
+		t.Errorf("IPC = %v", r.IPC())
+	}
+	// Compare against the instruction BTB under the same policy: the
+	// BB-BTB's perfect per-block detection must cut fixup flushes.
+	flat := cfg
+	flat.Name = "flat"
+	flat.BasicBlockBTB = false
+	fr, err := Simulate(flat, stressWL.NewStream(), stressWL.Name, 30_000, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HistFixupFlushes >= fr.HistFixupFlushes {
+		t.Errorf("BB-BTB fixups %d not below instruction-BTB's %d (with taken-only... all-alloc)",
+			r.HistFixupFlushes, fr.HistFixupFlushes)
+	}
+}
+
+// TestBasicBlockBTBConfigValidation: incompatible combinations rejected.
+func TestBasicBlockBTBConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BasicBlockBTB = true
+	cfg.PerfectBTB = true
+	if _, err := New(cfg, stressWL.NewStream()); err == nil {
+		t.Error("BB-BTB + perfect BTB accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.BasicBlockBTB = true
+	cfg.L1BTBEntries = 64
+	cfg.L1BTBWays = 4
+	if _, err := New(cfg, stressWL.NewStream()); err == nil {
+		t.Error("BB-BTB + two-level accepted")
+	}
+}
+
+// TestDataModel: the cache-driven data side must run deterministically and
+// a larger data footprint must cost IPC.
+func TestDataModel(t *testing.T) {
+	run := func(footprint int) *stats.Run {
+		cfg := DefaultConfig()
+		cfg.Name = "data"
+		cfg.DataModel = true
+		cfg.DataFootprint = footprint
+		r, err := Simulate(cfg, stressWL.NewStream(), stressWL.Name, 30_000, 150_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	small := run(32 * 1024) // fits L1D: almost no stalls
+	big := run(32 * 1024 * 1024)
+	if small.IPC() <= big.IPC() {
+		t.Errorf("bigger data footprint did not cost IPC: %.3f vs %.3f", small.IPC(), big.IPC())
+	}
+	// Determinism.
+	a, b := run(8*1024*1024), run(8*1024*1024)
+	if a.Cycles != b.Cycles {
+		t.Errorf("data model nondeterministic: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+// TestDataModelPreservesFDPBenefit: the headline conclusion must survive a
+// cache-driven backend.
+func TestDataModelPreservesFDPBenefit(t *testing.T) {
+	run := func(cfg Config) *stats.Run {
+		cfg.DataModel = true
+		r, err := Simulate(cfg, stressWL.NewStream(), stressWL.Name, 40_000, 200_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := run(BaselineConfig())
+	fdp := run(DefaultConfig())
+	if fdp.Speedup(base) < 1.05 {
+		t.Errorf("FDP speedup under data model = %.3f", fdp.Speedup(base))
+	}
+}
+
+// TestValidateMatrix covers every rejection branch of Config.Validate.
+func TestValidateMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"ftq", func(c *Config) { c.FTQEntries = 0 }},
+		{"widths", func(c *Config) { c.PredictWidth = 0 }},
+		{"fetch", func(c *Config) { c.FetchWidth = 0 }},
+		{"decode", func(c *Config) { c.DecodeWidth = 0 }},
+		{"taken", func(c *Config) { c.MaxTakenPerCycle = 0 }},
+		{"dq", func(c *Config) { c.DecodeQueueCap = 1 }},
+		{"btblat", func(c *Config) { c.BTBLatency = 0 }},
+		{"btb", func(c *Config) { c.BTBEntries = 0 }},
+		{"btbways", func(c *Config) { c.BTBWays = 0 }},
+		{"l1btb", func(c *Config) { c.L1BTBEntries = 64; c.L1BTBWays = 0 }},
+		{"bb+perfect", func(c *Config) { c.BasicBlockBTB = true; c.PerfectBTB = true }},
+		{"ras", func(c *Config) { c.RASDepth = 0 }},
+		{"resolve", func(c *Config) { c.ResolveLatency = 0 }},
+		{"stall", func(c *Config) { c.StallProb = 1.5 }},
+		{"probes", func(c *Config) { c.TagProbesPerCycle = 0 }},
+		{"prefetch", func(c *Config) { c.PrefetchDegree = -1 }},
+		{"data", func(c *Config) { c.DataModel = true; c.DataFootprint = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted bad config", tc.name)
+		}
+	}
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+	// Perfect BTB skips the BTB geometry check.
+	p := DefaultConfig()
+	p.PerfectBTB = true
+	p.BTBEntries = 0
+	if err := p.Validate(); err != nil {
+		t.Errorf("perfect BTB with zero entries rejected: %v", err)
+	}
+}
+
+// TestDebugHelpers exercises the calibration-only accessors.
+func TestDebugHelpers(t *testing.T) {
+	byType := map[string]int{}
+	r, err := SimulateDebug(DefaultConfig(), stressWL.NewStream(), stressWL.Name, 10_000, 60_000, byType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mispredictions > 0 && len(byType) == 0 {
+		t.Error("SimulateDebug recorded no breakdown")
+	}
+	c, err := New(DefaultConfig(), stressWL.NewStream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step(20_000)
+	l2h, l2m, _, _, _ := c.DebugMemStats()
+	if l2h+l2m == 0 {
+		t.Error("no L2 traffic observed")
+	}
+}
+
+// TestFTQOccupancyBounds: the mean occupancy statistic must stay within
+// the FTQ capacity, and FDP run-ahead must keep the queue meaningfully
+// occupied on a frontend-bound workload.
+func TestFTQOccupancyBounds(t *testing.T) {
+	r, err := Simulate(DefaultConfig(), stressWL.NewStream(), stressWL.Name, 30_000, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := r.MeanFTQOccupancy()
+	if occ < 0 || occ > float64(DefaultConfig().FTQEntries) {
+		t.Errorf("mean FTQ occupancy %.2f out of bounds", occ)
+	}
+	if occ < 2 {
+		t.Errorf("mean FTQ occupancy %.2f suspiciously low for FDP", occ)
+	}
+	base, err := Simulate(BaselineConfig(), stressWL.NewStream(), stressWL.Name, 30_000, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.MeanFTQOccupancy() > 2 {
+		t.Errorf("2-entry FTQ occupancy %.2f > 2", base.MeanFTQOccupancy())
+	}
+}
+
+// TestWrongPathFillsRecorded: FDP run-ahead must generate some wrong-path
+// fills on a mispredicting workload, and the baseline far fewer.
+func TestWrongPathFillsRecorded(t *testing.T) {
+	fdp, err := Simulate(DefaultConfig(), stressWL.NewStream(), stressWL.Name, 30_000, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fdp.WrongPathFills == 0 {
+		t.Error("no wrong-path fills recorded under FDP run-ahead")
+	}
+}
+
+// TestWindowIPCSampled: the IPC timeline must be populated with plausible
+// values during the measurement phase only.
+func TestWindowIPCSampled(t *testing.T) {
+	r, err := Simulate(DefaultConfig(), stressWL.NewStream(), stressWL.Name, 30_000, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.WindowIPC) < 5 || len(r.WindowIPC) > 12 {
+		t.Errorf("timeline samples = %d for 100K instructions", len(r.WindowIPC))
+	}
+	for i, v := range r.WindowIPC {
+		if v <= 0 || v > float64(DefaultConfig().DecodeWidth) {
+			t.Errorf("window %d IPC = %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§VI). Each experiment is a named runner that sweeps the
+// relevant configurations over the workload set and renders the same rows
+// or series the paper reports. Runs are parallelized across a worker pool;
+// each (config, workload) pair simulates on its own deterministic stream,
+// so results are reproducible regardless of scheduling.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"fdp/internal/core"
+	"fdp/internal/stats"
+	"fdp/internal/synth"
+)
+
+// Options control run lengths and the workload set. The paper uses 50M
+// warmup + 50M measured instructions; the defaults here are scaled down so
+// the full suite completes in minutes (see EXPERIMENTS.md for the scaling
+// rationale and a -full mode).
+type Options struct {
+	Warmup    uint64
+	Measure   uint64
+	Workloads []*synth.Workload
+	// Parallel bounds concurrent simulations (defaults to GOMAXPROCS).
+	Parallel int
+}
+
+// DefaultOptions returns the standard scaled-down evaluation: all 12
+// workloads, 200K warmup + 800K measured instructions each.
+func DefaultOptions() Options {
+	return Options{Warmup: 200_000, Measure: 800_000, Workloads: synth.StandardWorkloads()}
+}
+
+// QuickOptions returns a fast smoke-level evaluation: 6 workloads, 50K
+// warmup + 200K measured.
+func QuickOptions() Options {
+	var ws []*synth.Workload
+	for _, name := range []string{"server_a", "server_b", "client_a", "client_b", "spec_a", "spec_b"} {
+		ws = append(ws, synth.ByName(name))
+	}
+	return Options{Warmup: 50_000, Measure: 200_000, Workloads: ws}
+}
+
+// FullOptions returns the heavyweight evaluation: all workloads, 2M warmup
+// + 8M measured instructions.
+func FullOptions() Options {
+	return Options{Warmup: 2_000_000, Measure: 8_000_000, Workloads: synth.StandardWorkloads()}
+}
+
+func (o *Options) parallel() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Result is the rendered output of one experiment.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	Notes  []string
+}
+
+// String renders the result.
+func (r *Result) String() string {
+	out := fmt.Sprintf("### %s: %s\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		out += t.String() + "\n"
+	}
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+// Runner executes one experiment.
+type Runner func(Options) (*Result, error)
+
+// Experiment pairs an ID with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1", "Prefetching limit study (IPC-1-like framework, perfect BTB)", Fig1},
+		{"tab1", "BTB capacity gap between academia and industry", Table1},
+		{"tab2", "Handling BTB-miss not-taken branches", Table2},
+		{"tab3", "FTQ hardware overhead", Table3},
+		{"tab4", "Common simulation parameters", Table4},
+		{"tab5", "Branch history management policies", Table5},
+		{"fig6a", "IPC improvement by instruction prefetching", Fig6a},
+		{"fig6b", "Per-trace EIP-128KB improvement vs branch MPKI", Fig6b},
+		{"fig7", "PFC benefit vs BTB capacity", Fig7},
+		{"fig8", "Branch history management", Fig8},
+		{"fig9", "ISO-budget analysis", Fig9},
+		{"fig10", "BTB prefetching (SN4L+Dis+BTB)", Fig10},
+		{"fig11", "BTB capacity sensitivity", Fig11},
+		{"fig12", "Branch direction predictor sensitivity", Fig12},
+		{"fig13", "Prediction bandwidth / BTB latency sensitivity", Fig13},
+		{"fig14", "FTQ size sensitivity and exposed misses", Fig14},
+	}
+}
+
+// ByID returns the experiment with the given ID, searching the paper
+// artifacts and the extensions.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range AllWithExtensions() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// job is one (config, workload) simulation.
+type job struct {
+	cfg core.Config
+	wl  *synth.Workload
+}
+
+// runGrid simulates every config over every workload in parallel and
+// returns one Set per config, keyed by config name, with runs in workload
+// order.
+func runGrid(opts Options, configs []core.Config) (map[string]*stats.Set, error) {
+	type outcome struct {
+		cfgName string
+		run     *stats.Run
+		err     error
+	}
+	var jobs []job
+	for _, cfg := range configs {
+		for _, wl := range opts.Workloads {
+			jobs = append(jobs, job{cfg, wl})
+		}
+	}
+	results := make([]outcome, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.parallel())
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			j := jobs[i]
+			run, err := core.Simulate(j.cfg, j.wl.NewStream(), j.wl.Name, opts.Warmup, opts.Measure)
+			if run != nil {
+				run.Class = j.wl.Class
+			}
+			results[i] = outcome{j.cfg.Name, run, err}
+		}(i)
+	}
+	wg.Wait()
+
+	sets := make(map[string]*stats.Set)
+	for _, cfg := range configs {
+		sets[cfg.Name] = &stats.Set{Config: cfg.Name}
+	}
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		sets[r.cfgName].Add(r.run)
+	}
+	return sets, nil
+}
+
+// speedupPct formats a speedup ratio as a percent-improvement string.
+func speedupPct(sp float64) string {
+	return fmt.Sprintf("%+.1f%%", 100*(sp-1))
+}
+
+// sortedNames returns map keys in sorted order (determinism for reports).
+func sortedNames(m map[string]*stats.Set) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"fdp/internal/synth"
+)
+
+// tinyOptions keeps unit tests fast: two workloads, short runs.
+func tinyOptions() Options {
+	p := synth.SpecParams(0)
+	p.Name = "exp-test"
+	p.Funcs = 150
+	w := synth.MustGenerate(p, "spec", 0xE0)
+	p2 := synth.ServerParams(0)
+	p2.Name = "exp-test-srv"
+	p2.Funcs = 600
+	w2 := synth.MustGenerate(p2, "server", 0xE1)
+	return Options{Warmup: 20_000, Measure: 80_000, Workloads: []*synth.Workload{w, w2}}
+}
+
+var tiny = tinyOptions()
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	want := []string{"fig1", "tab1", "tab2", "tab3", "tab4", "tab5", "fig6a", "fig6b",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("experiment %d = %s, want %s", i, all[i].ID, id)
+		}
+		if all[i].Run == nil || all[i].Title == "" {
+			t.Errorf("experiment %s incomplete", id)
+		}
+	}
+	if _, ok := ByID("fig7"); !ok {
+		t.Error("ByID(fig7) failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) succeeded")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	// The pure-documentation tables run instantly and must render.
+	for _, id := range []string{"tab1", "tab3", "tab4", "tab5"} {
+		e, _ := ByID(id)
+		res, err := e.Run(tiny)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Tables) == 0 || res.Tables[0].NumRows() == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+		if res.ID != id {
+			t.Errorf("%s: result ID %s", id, res.ID)
+		}
+	}
+}
+
+func TestTable3Shows195Bytes(t *testing.T) {
+	res, err := Table3(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.String()
+	if !strings.Contains(out, "195 bytes") {
+		t.Errorf("Table III missing the 195-byte total:\n%s", out)
+	}
+	for _, n := range res.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Errorf("Table III self-check failed: %s", n)
+		}
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	res, err := Table2(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].NumRows() != 3 {
+		t.Errorf("Table II rows = %d", res.Tables[0].NumRows())
+	}
+	out := res.String()
+	if !strings.Contains(out, "Target") || !strings.Contains(out, "Direction (fix)") {
+		t.Errorf("Table II missing rows:\n%s", out)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	res, err := Fig7(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].NumRows() != len(btbSizes) {
+		t.Errorf("Fig7 rows = %d, want %d", res.Tables[0].NumRows(), len(btbSizes))
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	res, err := Fig14(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].NumRows() != len(ftqSizes) {
+		t.Errorf("Fig14 rows = %d", res.Tables[0].NumRows())
+	}
+	out := res.String()
+	if !strings.Contains(out, "speedup") {
+		t.Errorf("Fig14 output malformed:\n%s", out)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	res, err := Fig13(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 2 {
+		t.Fatalf("Fig13 tables = %d, want 2 (bandwidth + latency)", len(res.Tables))
+	}
+	if res.Tables[0].NumRows() != 4 || res.Tables[1].NumRows() != 4 {
+		t.Errorf("Fig13 rows = %d/%d", res.Tables[0].NumRows(), res.Tables[1].NumRows())
+	}
+}
+
+func TestFig6bPerWorkloadRows(t *testing.T) {
+	res, err := Fig6b(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].NumRows() != len(tiny.Workloads) {
+		t.Errorf("Fig6b rows = %d, want %d", res.Tables[0].NumRows(), len(tiny.Workloads))
+	}
+}
+
+func TestOptionsPresets(t *testing.T) {
+	d := DefaultOptions()
+	if len(d.Workloads) != 12 || d.Measure <= d.Warmup {
+		t.Errorf("DefaultOptions: %d workloads, %d/%d", len(d.Workloads), d.Warmup, d.Measure)
+	}
+	q := QuickOptions()
+	if len(q.Workloads) != 6 {
+		t.Errorf("QuickOptions workloads = %d", len(q.Workloads))
+	}
+	if q.Measure >= d.Measure {
+		t.Error("quick not quicker than default")
+	}
+	f := FullOptions()
+	if f.Measure <= d.Measure {
+		t.Error("full not fuller than default")
+	}
+	if (&Options{}).parallel() < 1 {
+		t.Error("parallel() < 1")
+	}
+	if (&Options{Parallel: 3}).parallel() != 3 {
+		t.Error("explicit Parallel ignored")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res, _ := Table1(tiny)
+	out := res.String()
+	for _, want := range []string{"### tab1", "Shotgun", "note:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Result.String missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fdp/internal/core"
+	"fdp/internal/stats"
+)
+
+// withPrefetcher derives a config using the named dedicated prefetcher.
+func withPrefetcher(base core.Config, name, pf string) core.Config {
+	c := base
+	c.Name = name
+	switch pf {
+	case "perfect":
+		c.PerfectPrefetch = true
+	default:
+		c.Prefetcher = pf
+	}
+	return c
+}
+
+// noFDP converts a config to the paper's no-FDP machine: a 2-entry FTQ
+// (no run-ahead) without PFC.
+func noFDP(c core.Config) core.Config {
+	c.FTQEntries = 2
+	c.PFC = false
+	return c
+}
+
+// Fig1 reproduces the Fig. 1 limit study: the IPC-1-like framework
+// (perfect branch target prediction, i.e. a perfect BTB) with the IPC-1
+// prefetchers, with a shallow FTQ ("no FDP") and with a 192-instruction
+// FTQ ("+FDP"). The paper's observations: the top prefetchers reach close
+// to perfect prefetching without FDP, and FDP alone matches them.
+func Fig1(opts Options) (*Result, error) {
+	base := core.DefaultConfig()
+	base.PerfectBTB = true
+	base.PFC = false // the IPC-1 framework's "basic FDP capability"
+
+	prefetchers := []string{"nl1", "fnl+mma", "djolt", "eip-128kb", "perfect"}
+	configs := []core.Config{noFDP(withPrefetcher(base, "base", ""))}
+	for _, pf := range prefetchers {
+		configs = append(configs, noFDP(withPrefetcher(base, pf, pf)))
+	}
+	fdp := base
+	fdp.Name = "fdp"
+	configs = append(configs, fdp)
+	for _, pf := range prefetchers {
+		configs = append(configs, withPrefetcher(base, "fdp+"+pf, pf))
+	}
+	sets, err := runGrid(opts, configs)
+	if err != nil {
+		return nil, err
+	}
+	baseSet := sets["base"]
+	t := stats.NewTable("Fig 1: speedup over no-prefetch/no-FDP (perfect BTB framework)",
+		"mechanism", "no FDP", "+FDP (192-inst FTQ)")
+	for _, pf := range prefetchers {
+		t.AddRow(pf, speedupPct(sets[pf].GeoMeanSpeedup(baseSet)),
+			speedupPct(sets["fdp+"+pf].GeoMeanSpeedup(baseSet)))
+	}
+	t.AddRow("fdp alone", "-", speedupPct(sets["fdp"].GeoMeanSpeedup(baseSet)))
+	return &Result{
+		ID: "fig1", Title: "Prefetching limit study",
+		Tables: []*stats.Table{t},
+		Notes: []string{
+			"paper: top-3 ~+28%, perfect +30.6%, FDP alone +30.2%, prefetchers on top of FDP add little",
+		},
+	}, nil
+}
+
+// Fig6a reproduces Fig. 6a: speedups of NL1, the IPC-1 prefetchers and
+// perfect prefetching, each with and without FDP, plus FDP with a perfect
+// BTB and with perfect everything.
+func Fig6a(opts Options) (*Result, error) {
+	base := core.DefaultConfig() // full FDP machine (THR, PFC)
+	prefetchers := []string{"nl1", "fnl+mma", "djolt", "eip-27kb", "eip-128kb", "perfect"}
+
+	configs := []core.Config{noFDP(withPrefetcher(base, "base", ""))}
+	for _, pf := range prefetchers {
+		configs = append(configs, noFDP(withPrefetcher(base, pf, pf)))
+	}
+	fdp := base
+	fdp.Name = "fdp"
+	configs = append(configs, fdp)
+	for _, pf := range prefetchers {
+		configs = append(configs, withPrefetcher(base, "fdp+"+pf, pf))
+	}
+	pbtb := base
+	pbtb.Name = "fdp+perfect-btb"
+	pbtb.PerfectBTB = true
+	configs = append(configs, pbtb)
+	pall := pbtb
+	pall.Name = "fdp+perfect-btb+perfect-pf"
+	pall.PerfectPrefetch = true
+	configs = append(configs, pall)
+
+	sets, err := runGrid(opts, configs)
+	if err != nil {
+		return nil, err
+	}
+	baseSet := sets["base"]
+	t := stats.NewTable("Fig 6a: speedup over baseline (no FDP, no prefetching)",
+		"mechanism", "no FDP", "+FDP")
+	for _, pf := range prefetchers {
+		t.AddRow(pf, speedupPct(sets[pf].GeoMeanSpeedup(baseSet)),
+			speedupPct(sets["fdp+"+pf].GeoMeanSpeedup(baseSet)))
+	}
+	t.AddRow("fdp alone", "-", speedupPct(sets["fdp"].GeoMeanSpeedup(baseSet)))
+	t.AddRow("fdp + perfect BTB", "-", speedupPct(sets["fdp+perfect-btb"].GeoMeanSpeedup(baseSet)))
+	t.AddRow("fdp + perfect BTB + perfect pf", "-", speedupPct(sets["fdp+perfect-btb+perfect-pf"].GeoMeanSpeedup(baseSet)))
+
+	tc := stats.NewTable("Fig 6a (by workload class): FDP speedup over baseline",
+		"class", "fdp", "fdp+eip-128kb")
+	for _, class := range []string{"server", "client", "spec"} {
+		f := sets["fdp"].ClassSpeedup(baseSet, class)
+		fe := sets["fdp+eip-128kb"].ClassSpeedup(baseSet, class)
+		if f == 0 {
+			continue // class absent at this scale
+		}
+		tc.AddRow(class, speedupPct(f), speedupPct(fe))
+	}
+	return &Result{
+		ID: "fig6a", Title: "IPC improvement by instruction prefetching",
+		Tables: []*stats.Table{t, tc},
+		Notes: []string{
+			"paper: FDP +41.0%; FDP+perfectBTB +3.4% more; FDP+EIP-128KB +4.3% more;",
+			"FDP+perfect +5.4% more; both perfect +46.9% total",
+		},
+	}, nil
+}
+
+// Fig6b reproduces Fig. 6b: per-workload speedup of EIP-128KB with FDP on
+// and off, against each workload's branch MPKI (which is unchanged by
+// prefetching).
+func Fig6b(opts Options) (*Result, error) {
+	base := core.DefaultConfig()
+	configs := []core.Config{
+		noFDP(withPrefetcher(base, "base", "")),
+		noFDP(withPrefetcher(base, "eip", "eip-128kb")),
+		func() core.Config { c := base; c.Name = "fdp"; return c }(),
+		withPrefetcher(base, "fdp+eip", "eip-128kb"),
+	}
+	sets, err := runGrid(opts, configs)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Fig 6b: per-workload EIP-128KB speedup vs branch MPKI",
+		"workload", "branch MPKI", "EIP speedup (no FDP)", "EIP speedup (with FDP)")
+	for _, wl := range opts.Workloads {
+		b := sets["base"].ByWorkload(wl.Name)
+		e := sets["eip"].ByWorkload(wl.Name)
+		f := sets["fdp"].ByWorkload(wl.Name)
+		fe := sets["fdp+eip"].ByWorkload(wl.Name)
+		t.AddRow(wl.Name, b.BranchMPKI(),
+			speedupPct(e.Speedup(b)), speedupPct(fe.Speedup(f)))
+	}
+	t.SortByColumn(1)
+	return &Result{
+		ID: "fig6b", Title: "Per-trace EIP-128KB improvement",
+		Tables: []*stats.Table{t},
+		Notes: []string{
+			"paper: without FDP EIP reaches up to 2.01x; with FDP the max falls to +14.8%",
+			"and a couple of workloads regress slightly",
+		},
+	}, nil
+}
+
+// Fig9 reproduces the ISO-budget analysis (Fig. 9): an 8K-entry BTB
+// against a 4K-entry BTB plus EIP-27KB (similar storage), with a 4K-entry
+// BTB as the reference, all on top of FDP.
+func Fig9(opts Options) (*Result, error) {
+	mk := func(name string, btbEntries int, pf string) core.Config {
+		c := core.DefaultConfig()
+		c.Name = name
+		c.BTBEntries = btbEntries
+		c.Prefetcher = pf
+		return c
+	}
+	configs := []core.Config{
+		noFDP(withPrefetcher(core.DefaultConfig(), "base", "")),
+		mk("fdp-8k-btb", 8192, ""),
+		mk("fdp-4k-btb+eip27", 4096, "eip-27kb"),
+		mk("fdp-4k-btb", 4096, ""),
+	}
+	sets, err := runGrid(opts, configs)
+	if err != nil {
+		return nil, err
+	}
+	baseSet := sets["base"]
+	t := stats.NewTable("Fig 9: ISO-budget analysis (on top of FDP)",
+		"config", "speedup", "branch MPKI", "starvation cyc/KI", "I$ tag accesses/KI")
+	for _, name := range []string{"fdp-8k-btb", "fdp-4k-btb+eip27", "fdp-4k-btb"} {
+		s := sets[name]
+		t.AddRow(name, speedupPct(s.GeoMeanSpeedup(baseSet)),
+			s.MeanBranchMPKI(), s.MeanStarvationPKI(), s.MeanTagProbesPKI())
+	}
+	ratio := sets["fdp-4k-btb+eip27"].MeanTagProbesPKI() / sets["fdp-8k-btb"].MeanTagProbesPKI()
+	return &Result{
+		ID: "fig9", Title: "ISO-budget analysis",
+		Tables: []*stats.Table{t},
+		Notes: []string{
+			fmt.Sprintf("tag-access ratio EIP-27KB vs 8K-BTB: %.2fx (paper: 3.5x)", ratio),
+			"paper: 41.0% vs 40.6% speedup; 8K-BTB has 12% fewer mispredictions;",
+			"EIP-27KB has 13.5% lower starvation but 3.5x more tag accesses",
+		},
+	}, nil
+}
+
+// Fig10 reproduces Fig. 10: Divide-and-Conquer's SN4L+Dis with and
+// without BTB prefetching, across BTB sizes, history policies and PFC.
+func Fig10(opts Options) (*Result, error) {
+	var configs []core.Config
+	base := noFDP(withPrefetcher(core.DefaultConfig(), "base", ""))
+	configs = append(configs, base)
+	type axis struct {
+		btb     int // 0 = perfect
+		hist    core.HistPolicy
+		alloc   core.BTBAlloc
+		btbPref bool
+		pfc     bool
+	}
+	name := func(a axis) string {
+		btbName := "perfect"
+		if a.btb > 0 {
+			btbName = fmt.Sprintf("%dk", a.btb/1024)
+		}
+		h := "thr"
+		if a.hist != core.HistTHR {
+			h = "ghr3"
+		}
+		pf := "sn4l+dis"
+		if a.btbPref {
+			pf = "sn4l+dis+btb"
+		}
+		p := "pfc-off"
+		if a.pfc {
+			p = "pfc-on"
+		}
+		return fmt.Sprintf("%s/%s/%s/%s", btbName, h, pf, p)
+	}
+	var axes []axis
+	for _, btb := range []int{2048, 8192, 0} {
+		for _, thr := range []bool{true, false} {
+			for _, bp := range []bool{false, true} {
+				for _, pfc := range []bool{false, true} {
+					a := axis{btb: btb, btbPref: bp, pfc: pfc}
+					if thr {
+						a.hist, a.alloc = core.HistTHR, core.AllocTakenOnly
+					} else {
+						a.hist, a.alloc = core.HistGHRFix, core.AllocAll // GHR3
+					}
+					axes = append(axes, a)
+				}
+			}
+		}
+	}
+	for _, a := range axes {
+		c := core.DefaultConfig()
+		c.Name = name(a)
+		c.Prefetcher = "sn4l+dis"
+		c.BTBPrefetch = a.btbPref
+		c.HistPolicy = a.hist
+		c.BTBAllocPolicy = a.alloc
+		c.PFC = a.pfc
+		if a.btb == 0 {
+			c.PerfectBTB = true
+			c.BTBPrefetch = false // nothing to prefetch into
+		} else {
+			c.BTBEntries = a.btb
+		}
+		configs = append(configs, c)
+	}
+	sets, err := runGrid(opts, configs)
+	if err != nil {
+		return nil, err
+	}
+	baseSet := sets["base"]
+	t := stats.NewTable("Fig 10: BTB prefetching with SN4L+Dis (speedup over no-FDP baseline)",
+		"btb", "history", "prefetcher", "PFC off", "PFC on", "MPKI (pfc on)")
+	for _, btbName := range []string{"2k", "8k", "perfect"} {
+		for _, h := range []string{"ghr3", "thr"} {
+			for _, pf := range []string{"sn4l+dis", "sn4l+dis+btb"} {
+				if btbName == "perfect" && pf == "sn4l+dis+btb" {
+					continue
+				}
+				off := sets[btbName+"/"+h+"/"+pf+"/pfc-off"]
+				on := sets[btbName+"/"+h+"/"+pf+"/pfc-on"]
+				if off == nil || on == nil {
+					continue
+				}
+				t.AddRow(btbName, h, pf,
+					speedupPct(off.GeoMeanSpeedup(baseSet)),
+					speedupPct(on.GeoMeanSpeedup(baseSet)),
+					on.MeanBranchMPKI())
+			}
+		}
+	}
+	return &Result{
+		ID: "fig10", Title: "BTB prefetching",
+		Tables: []*stats.Table{t},
+		Notes: []string{
+			"paper: PFC beats BTB prefetching; THR always beats GHR;",
+			"BTB prefetching helps small BTBs with GHR, hurts 8K-BTB with THR (pollution)",
+		},
+	}, nil
+}

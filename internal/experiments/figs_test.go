@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"fdp/internal/core"
+	"fdp/internal/synth"
+)
+
+// miniOptions is even smaller than tinyOptions, for the many-config
+// figure runners.
+func miniOptions() Options {
+	p := synth.SpecParams(0)
+	p.Name = "mini"
+	p.Funcs = 100
+	w := synth.MustGenerate(p, "spec", 0xF0)
+	return Options{Warmup: 8_000, Measure: 30_000, Workloads: []*synth.Workload{w}}
+}
+
+var mini = miniOptions()
+
+func TestFig1Shape(t *testing.T) {
+	res, err := Fig1(mini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 prefetchers + fdp-alone row.
+	if res.Tables[0].NumRows() != 6 {
+		t.Errorf("Fig1 rows = %d", res.Tables[0].NumRows())
+	}
+	if !strings.Contains(res.String(), "fdp alone") {
+		t.Error("Fig1 missing fdp-alone row")
+	}
+}
+
+func TestFig6aShape(t *testing.T) {
+	res, err := Fig6a(mini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.String()
+	for _, want := range []string{"nl1", "eip-128kb", "perfect", "fdp alone", "perfect BTB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig6a missing %q", want)
+		}
+	}
+	// 6 prefetchers + 3 fdp rows.
+	if res.Tables[0].NumRows() != 9 {
+		t.Errorf("Fig6a rows = %d", res.Tables[0].NumRows())
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	res, err := Fig8(mini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].NumRows() != len(historyConfigs()) {
+		t.Errorf("Fig8 rows = %d", res.Tables[0].NumRows())
+	}
+	out := res.String()
+	for _, p := range []string{"Ideal", "THR", "GHR0", "GHR1", "GHR2", "GHR3"} {
+		if !strings.Contains(out, p) {
+			t.Errorf("Fig8 missing policy %s", p)
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	res, err := Fig9(mini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].NumRows() != 3 {
+		t.Errorf("Fig9 rows = %d", res.Tables[0].NumRows())
+	}
+	out := res.String()
+	if !strings.Contains(out, "fdp-8k-btb") || !strings.Contains(out, "fdp-4k-btb+eip27") {
+		t.Errorf("Fig9 missing configs:\n%s", out)
+	}
+	if !strings.Contains(out, "tag-access ratio") {
+		t.Error("Fig9 missing tag-access ratio note")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	res, err := Fig10(mini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 BTB sizes x 2 histories x 2 prefetchers, minus the
+	// perfect-BTB+btb-prefetch combinations: (2*2*2) + (1*2*1) = 10.
+	if res.Tables[0].NumRows() != 10 {
+		t.Errorf("Fig10 rows = %d, want 10", res.Tables[0].NumRows())
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	res, err := Fig11(mini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].NumRows() != len(btbSizes) {
+		t.Errorf("Fig11 rows = %d", res.Tables[0].NumRows())
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	res, err := Fig12(mini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 predictors + perfect-all.
+	if res.Tables[0].NumRows() != 6 {
+		t.Errorf("Fig12 rows = %d", res.Tables[0].NumRows())
+	}
+	if !strings.Contains(res.String(), "perfect-all") {
+		t.Error("Fig12 missing perfect-all row")
+	}
+}
+
+// The grid runner must surface simulation errors instead of dropping them.
+func TestRunGridPropagatesErrors(t *testing.T) {
+	bad := core.DefaultConfig()
+	bad.Name = "bad"
+	bad.Prefetcher = "no-such-prefetcher"
+	if _, err := runGrid(mini, []core.Config{bad}); err == nil {
+		t.Error("runGrid swallowed an error")
+	}
+}
+
+// runGrid must key sets by config name with one run per workload.
+func TestRunGridShape(t *testing.T) {
+	a := core.BaselineConfig()
+	a.Name = "a"
+	b := core.DefaultConfig()
+	b.Name = "b"
+	sets, err := runGrid(mini, []core.Config{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 {
+		t.Fatalf("sets = %d", len(sets))
+	}
+	for _, name := range sortedNames(sets) {
+		if got := len(sets[name].Runs); got != len(mini.Workloads) {
+			t.Errorf("set %s has %d runs", name, got)
+		}
+	}
+	// FDP beats baseline even at mini scale.
+	if sp := sets["b"].GeoMeanSpeedup(sets["a"]); sp <= 0 {
+		t.Errorf("speedup = %v", sp)
+	}
+}
+
+func TestExtensionsRegistered(t *testing.T) {
+	exts := Extensions()
+	if len(exts) != 5 {
+		t.Fatalf("extensions = %d", len(exts))
+	}
+	if _, ok := ByID("ext-btb2l"); !ok {
+		t.Error("ByID(ext-btb2l) failed")
+	}
+	all := AllWithExtensions()
+	if len(all) != len(All())+len(exts) {
+		t.Error("AllWithExtensions incomplete")
+	}
+}
+
+func TestExtBTB2LShape(t *testing.T) {
+	res, err := ExtBTB2L(mini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].NumRows() != 4 {
+		t.Errorf("rows = %d", res.Tables[0].NumRows())
+	}
+}
+
+func TestExtPredictorsShape(t *testing.T) {
+	res, err := ExtPredictors(mini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].NumRows() != 6 {
+		t.Errorf("rows = %d", res.Tables[0].NumRows())
+	}
+	if !strings.Contains(res.String(), "tage-sc-l-64kb") {
+		t.Error("missing SC-L row")
+	}
+}
+
+func TestExtSeedsShape(t *testing.T) {
+	o := mini
+	o.Warmup, o.Measure = 5_000, 20_000
+	res, err := ExtSeeds(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].NumRows() != 3 {
+		t.Errorf("rows = %d", res.Tables[0].NumRows())
+	}
+}
+
+func TestExtBBBTBShape(t *testing.T) {
+	res, err := ExtBBBTB(mini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].NumRows() != 3 {
+		t.Errorf("rows = %d", res.Tables[0].NumRows())
+	}
+}
+
+func TestExtDataModelShape(t *testing.T) {
+	res, err := ExtDataModel(mini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].NumRows() != 2 {
+		t.Errorf("rows = %d", res.Tables[0].NumRows())
+	}
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fdp/internal/core"
+	"fdp/internal/ftq"
+	"fdp/internal/stats"
+)
+
+// Table1 reproduces Table I: the BTB capacity gap between academic
+// baselines and disclosed commercial designs. The data is from the paper
+// and its citations (a documentation table, not a measurement).
+func Table1(Options) (*Result, error) {
+	t := stats.NewTable("Table I: BTB capacity gap (entries)", "academia", "BTB", "industry", "BTB")
+	t.AddRow("Shotgun [12]", "2.1K", "AMD Zen2 [29]", "7K")
+	t.AddRow("Confluence [10]", "1.5K", "Samsung Exynos M3 [27]", "16K")
+	t.AddRow("Divide&Conquer [13]", "2K", "Arm Neoverse N1 [26]", "6K")
+	return &Result{
+		ID: "tab1", Title: "BTB capacity gap between academia and industry",
+		Tables: []*stats.Table{t},
+		Notes:  []string{"static reproduction of the paper's survey data"},
+	}, nil
+}
+
+// Table2 reproduces Table II as a measurement: how the three ways of
+// handling BTB-miss not-taken branches differ in mispredictions, frontend
+// stalls (fixup flushes) and BTB allocation.
+func Table2(opts Options) (*Result, error) {
+	target := core.DefaultConfig()
+	target.Name = "target"
+	target.HistPolicy = core.HistTHR
+	target.BTBAllocPolicy = core.AllocTakenOnly
+
+	dirNoFix := core.DefaultConfig()
+	dirNoFix.Name = "direction-nofix"
+	dirNoFix.HistPolicy = core.HistGHRNoFix
+	dirNoFix.BTBAllocPolicy = core.AllocAll
+
+	dirFix := core.DefaultConfig()
+	dirFix.Name = "direction-fix"
+	dirFix.HistPolicy = core.HistGHRFix
+	dirFix.BTBAllocPolicy = core.AllocAll
+
+	sets, err := runGrid(opts, []core.Config{target, dirNoFix, dirFix})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Table II: handling BTB-miss not-taken branches",
+		"history type", "GHR fixup", "branch MPKI", "fixup flushes/KI", "BTB allocation")
+	row := func(set *stats.Set, hist, fixup, alloc string) {
+		var flushPKI float64
+		for _, r := range set.Runs {
+			flushPKI += 1000 * float64(r.HistFixupFlushes) / float64(r.Instructions)
+		}
+		flushPKI /= float64(len(set.Runs))
+		t.AddRow(hist, fixup, set.MeanBranchMPKI(), flushPKI, alloc)
+	}
+	row(sets["target"], "Target", "no need", "Taken")
+	row(sets["direction-nofix"], "Direction (no fix)", "no", "All")
+	row(sets["direction-fix"], "Direction (fix)", "yes", "All")
+	return &Result{
+		ID: "tab2", Title: "Handling BTB-miss not-taken branches",
+		Tables: []*stats.Table{t},
+		Notes: []string{
+			"paper's qualitative claims: Target has fewest mispredictions and no fixup stalls;",
+			"Direction(fix) trades mispredictions for frontend fixup flushes",
+		},
+	}, nil
+}
+
+// Table3 reproduces Table III: the FTQ hardware overhead, including the
+// 195-byte total for the 24-entry FTQ and the 24-byte PFC addition.
+func Table3(Options) (*Result, error) {
+	c := ftq.Cost(24)
+	t := stats.NewTable("Table III: hardware overhead", "field", "size")
+	t.AddRow("Start address", fmt.Sprintf("%d-bit", c.StartAddrBits))
+	t.AddRow("Block predicted taken", fmt.Sprintf("%d-bit", c.PredTakenBits))
+	t.AddRow("Block termination offset", fmt.Sprintf("%d-bit", c.EndOffsetBits))
+	t.AddRow("I-cache way", fmt.Sprintf("%d-bit", c.WayBits))
+	t.AddRow("State", fmt.Sprintf("%d-bit", c.StateBits))
+	t.AddRow("Direction hint", fmt.Sprintf("%d-bit", c.HintBits))
+	t.AddRow(fmt.Sprintf("Total (%d-entry)", c.Entries), fmt.Sprintf("%d bytes", c.TotalBytes))
+	t.AddRow("PFC-specific (hints)", fmt.Sprintf("%d bytes", c.PFCExtraBytes))
+	notes := []string{fmt.Sprintf("per-entry cost: %d bits", c.PerEntryBits)}
+	if c.TotalBytes != 195 {
+		notes = append(notes, fmt.Sprintf("WARNING: expected 195 bytes, computed %d", c.TotalBytes))
+	}
+	return &Result{ID: "tab3", Title: "FTQ hardware overhead", Tables: []*stats.Table{t}, Notes: notes}, nil
+}
+
+// Table4 reproduces Table IV: the common core parameters, printed from
+// the live default configuration so the report can never drift from the
+// simulator.
+func Table4(Options) (*Result, error) {
+	c := core.DefaultConfig()
+	t := stats.NewTable("Table IV: common parameters", "parameter", "value")
+	t.AddRow("Fetch width", fmt.Sprintf("%d inst/cycle", c.FetchWidth))
+	t.AddRow("Decode width", fmt.Sprintf("%d inst/cycle", c.DecodeWidth))
+	t.AddRow("Prediction bandwidth", fmt.Sprintf("%d inst/cycle", c.PredictWidth))
+	t.AddRow("Taken predictions", fmt.Sprintf("%d /cycle", c.MaxTakenPerCycle))
+	t.AddRow("FTQ", fmt.Sprintf("%d entries (%d instructions)", c.FTQEntries, c.FTQEntries*ftq.BlockInsts))
+	t.AddRow("Direction predictor", string(c.Dir)+" (260-bit target history)")
+	t.AddRow("BTB", fmt.Sprintf("%d entries, %d-way, 16B-indexed, %d-cycle", c.BTBEntries, c.BTBWays, c.BTBLatency))
+	t.AddRow("Indirect predictor", "ittage (4 tagged tables + base)")
+	t.AddRow("RAS", fmt.Sprintf("%d entries", c.RASDepth))
+	t.AddRow("L1I", fmt.Sprintf("%dKB %d-way, 64B lines", c.L1IBytes/1024, c.L1IWays))
+	t.AddRow("L2", fmt.Sprintf("%dKB %d-way, +%d cycles", c.L2Bytes/1024, c.L2Ways, c.Lat.L2))
+	t.AddRow("LLC", fmt.Sprintf("%dKB %d-way, +%d cycles", c.LLCBytes/1024, c.LLCWays, c.Lat.LLC))
+	t.AddRow("Memory", fmt.Sprintf("+%d cycles", c.Lat.Mem))
+	t.AddRow("MSHRs", fmt.Sprintf("%d", c.MSHRs))
+	t.AddRow("Branch resolution", fmt.Sprintf("%d cycles after dispatch", c.ResolveLatency))
+	t.AddRow("History policy", c.HistPolicy.String())
+	t.AddRow("PFC", fmt.Sprintf("%v", c.PFC))
+	return &Result{ID: "tab4", Title: "Common simulation parameters", Tables: []*stats.Table{t}}, nil
+}
+
+// historyConfig describes one Table V row.
+type historyConfig struct {
+	name   string
+	policy core.HistPolicy
+	alloc  core.BTBAlloc
+}
+
+// historyConfigs returns the Table V policy matrix: Ideal, THR and the
+// four GHR variants.
+func historyConfigs() []historyConfig {
+	return []historyConfig{
+		{"Ideal", core.HistIdeal, core.AllocTakenOnly},
+		{"THR", core.HistTHR, core.AllocTakenOnly},
+		{"GHR0", core.HistGHRNoFix, core.AllocTakenOnly},
+		{"GHR1", core.HistGHRNoFix, core.AllocAll},
+		{"GHR2", core.HistGHRFix, core.AllocTakenOnly},
+		{"GHR3", core.HistGHRFix, core.AllocAll},
+	}
+}
+
+// Table5 reproduces Table V: the branch history management policy matrix.
+func Table5(Options) (*Result, error) {
+	t := stats.NewTable("Table V: branch history management policies",
+		"name", "history type", "GHR fixup", "BTB allocation")
+	for _, hc := range historyConfigs() {
+		histType := "direction"
+		fix := "no"
+		switch hc.policy {
+		case core.HistTHR:
+			histType = "taken-only target"
+			fix = "n/a"
+		case core.HistIdeal:
+			histType = "idealized direction"
+			fix = "n/a"
+		case core.HistGHRFix:
+			fix = "yes"
+		}
+		t.AddRow(hc.name, histType, fix, hc.alloc.String())
+	}
+	return &Result{ID: "tab5", Title: "Branch history management policies", Tables: []*stats.Table{t}}, nil
+}

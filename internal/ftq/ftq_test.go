@@ -1,0 +1,215 @@
+package ftq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockGeometry(t *testing.T) {
+	if BlockBase(0x1234) != 0x1220 {
+		t.Errorf("BlockBase = %#x", BlockBase(0x1234))
+	}
+	if Offset(0x1220) != 0 || Offset(0x1224) != 1 || Offset(0x123c) != 7 {
+		t.Error("Offset wrong")
+	}
+	e := &Entry{StartPC: 0x1228, EndOffset: 6}
+	if e.StartOffset() != 2 || e.BlockBase() != 0x1220 || e.NumInsts() != 5 {
+		t.Errorf("entry geometry: so=%d bb=%#x n=%d", e.StartOffset(), e.BlockBase(), e.NumInsts())
+	}
+	if e.PCAt(3) != 0x122c {
+		t.Errorf("PCAt = %#x", e.PCAt(3))
+	}
+}
+
+func TestHintAndDetected(t *testing.T) {
+	e := &Entry{Hints: 0b0101_0010, Detected: 0b0000_0010, DetectedTaken: 0}
+	if !e.HintAt(1) || e.HintAt(0) || !e.HintAt(4) {
+		t.Error("HintAt wrong")
+	}
+	if !e.DetectedAt(1) || e.DetectedAt(4) {
+		t.Error("DetectedAt wrong")
+	}
+}
+
+func TestPushPopFIFO(t *testing.T) {
+	q := New(4)
+	for i := 0; i < 3; i++ {
+		e := q.Push()
+		e.StartPC = uint64(0x1000 + i*32)
+	}
+	if q.Len() != 3 || q.Full() || q.Empty() {
+		t.Errorf("Len=%d Full=%v Empty=%v", q.Len(), q.Full(), q.Empty())
+	}
+	if q.Head().StartPC != 0x1000 {
+		t.Errorf("Head = %#x", q.Head().StartPC)
+	}
+	q.PopHead()
+	if q.Head().StartPC != 0x1020 {
+		t.Errorf("after pop Head = %#x", q.Head().StartPC)
+	}
+	if q.At(1).StartPC != 0x1040 {
+		t.Errorf("At(1) = %#x", q.At(1).StartPC)
+	}
+}
+
+func TestPushFullPanics(t *testing.T) {
+	q := New(2)
+	q.Push()
+	q.Push()
+	defer func() {
+		if recover() == nil {
+			t.Error("Push into full FTQ did not panic")
+		}
+	}()
+	q.Push()
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	q := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Pop from empty FTQ did not panic")
+		}
+	}()
+	q.PopHead()
+}
+
+func TestWraparound(t *testing.T) {
+	q := New(3)
+	seq := []uint64{}
+	push := func(pc uint64) {
+		e := q.Push()
+		e.StartPC = pc
+		seq = append(seq, pc)
+	}
+	push(1)
+	push(2)
+	q.PopHead()
+	push(3)
+	push(4) // wraps
+	want := []uint64{2, 3, 4}
+	for i, w := range want {
+		if q.At(i).StartPC != w {
+			t.Errorf("At(%d) = %d, want %d", i, q.At(i).StartPC, w)
+		}
+	}
+}
+
+func TestSeqMonotonic(t *testing.T) {
+	q := New(2)
+	a := q.Push().Seq
+	q.PopHead()
+	b := q.Push().Seq
+	q.PopHead()
+	c := q.Push().Seq
+	if !(a < b && b < c) {
+		t.Errorf("Seq not monotonic: %d %d %d", a, b, c)
+	}
+}
+
+func TestTruncateAfter(t *testing.T) {
+	q := New(8)
+	for i := 0; i < 5; i++ {
+		q.Push().StartPC = uint64(i)
+	}
+	q.TruncateAfter(1)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if q.At(0).StartPC != 0 || q.At(1).StartPC != 1 {
+		t.Error("wrong survivors")
+	}
+	// Pushing again reuses slots cleanly.
+	q.Push().StartPC = 99
+	if q.At(2).StartPC != 99 {
+		t.Error("push after truncate broken")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	q := New(4)
+	q.Push()
+	q.Push()
+	q.Flush()
+	if !q.Empty() {
+		t.Error("Flush left entries")
+	}
+	q.Push() // usable after flush
+	if q.Len() != 1 {
+		t.Error("push after flush broken")
+	}
+}
+
+func TestPushResetsFields(t *testing.T) {
+	q := New(1)
+	e := q.Push()
+	e.StartPC = 0xdead
+	e.State = StateFetchable
+	e.Hints = 0xff
+	e.PFCChecked = true
+	q.PopHead()
+	e2 := q.Push()
+	if e2.StartPC != 0 || e2.State != StateInvalid || e2.Hints != 0 || e2.PFCChecked {
+		t.Error("Push did not reset reused entry")
+	}
+}
+
+// Property: a random sequence of pushes and pops behaves like a reference
+// slice queue.
+func TestMatchesReferenceQueue(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := New(6)
+		var ref []uint64
+		next := uint64(1)
+		for _, op := range ops {
+			if op%2 == 0 && !q.Full() {
+				q.Push().StartPC = next
+				ref = append(ref, next)
+				next++
+			} else if op%2 == 1 && !q.Empty() {
+				if q.Head().StartPC != ref[0] {
+					return false
+				}
+				q.PopHead()
+				ref = ref[1:]
+			}
+		}
+		if q.Len() != len(ref) {
+			return false
+		}
+		for i, w := range ref {
+			if q.At(i).StartPC != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostMatchesTableIII(t *testing.T) {
+	c := Cost(24)
+	if c.PerEntryBits != 65 {
+		t.Errorf("per-entry bits = %d, want 65", c.PerEntryBits)
+	}
+	if c.TotalBytes != 195 {
+		t.Errorf("total = %d bytes, want the paper's 195", c.TotalBytes)
+	}
+	if c.PFCExtraBytes != 24 {
+		t.Errorf("PFC extra = %d bytes, want 24", c.PFCExtraBytes)
+	}
+	// Field widths straight from Table III.
+	if c.StartAddrBits != 48 || c.PredTakenBits != 1 || c.EndOffsetBits != 3 ||
+		c.WayBits != 3 || c.StateBits != 2 || c.HintBits != 8 {
+		t.Errorf("field widths: %+v", c)
+	}
+}
+
+func TestCostScalesLinearly(t *testing.T) {
+	c2, c24 := Cost(2), Cost(24)
+	if c24.TotalBits != 12*c2.TotalBits {
+		t.Errorf("cost not linear: %d vs %d", c24.TotalBits, c2.TotalBits)
+	}
+}

@@ -1,0 +1,151 @@
+package indirect
+
+import (
+	"testing"
+
+	"fdp/internal/bpred"
+	"fdp/internal/xrand"
+)
+
+func newUnderTest() (*ITTAGE, *bpred.History) {
+	it := New(DefaultConfig())
+	h := bpred.NewHistory(it.Specs())
+	it.Bind(0)
+	return it, h
+}
+
+func TestColdPredictIsUnknown(t *testing.T) {
+	it, h := newUnderTest()
+	if _, ok := it.Predict(0x1000, h); ok {
+		t.Error("cold predictor claimed a prediction")
+	}
+}
+
+func TestLearnsMonomorphicTarget(t *testing.T) {
+	it, h := newUnderTest()
+	pc, tgt := uint64(0x40_0000), uint64(0x41_0000)
+	for i := 0; i < 10; i++ {
+		it.Update(pc, h, tgt)
+		h.InsertTaken(pc, tgt)
+	}
+	got, ok := it.Predict(pc, h)
+	if !ok || got != tgt {
+		t.Errorf("Predict = %#x, %v", got, ok)
+	}
+}
+
+func TestLearnsHistoryCorrelatedTargets(t *testing.T) {
+	// Indirect branch alternates between two targets in lockstep with a
+	// preceding taken branch pattern; requires tagged tables.
+	it, h := newUnderTest()
+	pc := uint64(0x40_0000)
+	t1, t2 := uint64(0x50_0000), uint64(0x60_0000)
+	correct, measured := 0, 0
+	for i := 0; i < 6000; i++ {
+		// Precursor taken-branch with alternating target, feeding history.
+		pre := uint64(0x1000)
+		preTgt := uint64(0x2000)
+		if i%2 == 0 {
+			preTgt = 0x3000
+		}
+		h.InsertTaken(pre, preTgt)
+		want := t1
+		if i%2 == 0 {
+			want = t2
+		}
+		got, ok := it.Predict(pc, h)
+		if i > 3000 {
+			measured++
+			if ok && got == want {
+				correct++
+			}
+		}
+		it.Update(pc, h, want)
+		h.InsertTaken(pc, want)
+	}
+	acc := float64(correct) / float64(measured)
+	if acc < 0.95 {
+		t.Errorf("correlated target accuracy = %.3f", acc)
+	}
+}
+
+func TestBaseTableFallback(t *testing.T) {
+	// A noisy branch: base table still supplies the last target.
+	it, h := newUnderTest()
+	rng := xrand.New(3)
+	pc := uint64(0x7000)
+	targets := []uint64{0x100, 0x200, 0x300}
+	var last uint64
+	for i := 0; i < 200; i++ {
+		tgt := targets[rng.Intn(3)]
+		it.Update(pc, h, tgt)
+		last = tgt
+	}
+	got, ok := it.Predict(pc, h)
+	if !ok {
+		t.Fatal("no prediction after 200 updates")
+	}
+	// Prediction must be one of the observed targets; base table would
+	// give the last.
+	valid := got == targets[0] || got == targets[1] || got == targets[2]
+	if !valid {
+		t.Errorf("predicted unseen target %#x (last=%#x)", got, last)
+	}
+}
+
+func TestDistinctBranchesIndependent(t *testing.T) {
+	it, h := newUnderTest()
+	for i := 0; i < 20; i++ {
+		it.Update(0x1000, h, 0xAAAA)
+		it.Update(0x2000, h, 0xBBBB)
+	}
+	a, _ := it.Predict(0x1000, h)
+	b, _ := it.Predict(0x2000, h)
+	if a != 0xAAAA || b != 0xBBBB {
+		t.Errorf("cross-talk: %#x %#x", a, b)
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	it, _ := newUnderTest()
+	if it.StorageBits() <= 0 {
+		t.Error("non-positive storage")
+	}
+	// Default: 512*48 + 4*512*(tag+52) bits, order ~15KB.
+	kb := float64(it.StorageBits()) / 8 / 1024
+	if kb < 4 || kb > 64 {
+		t.Errorf("storage %.1fKB outside sane range", kb)
+	}
+	if it.Name() != "ittage" {
+		t.Errorf("Name = %s", it.Name())
+	}
+}
+
+func TestSpecsShape(t *testing.T) {
+	it := New(DefaultConfig())
+	specs := it.Specs()
+	if len(specs) != 2*len(DefaultConfig().Tables) {
+		t.Errorf("specs = %d", len(specs))
+	}
+	for _, s := range specs {
+		if s.Length <= 0 || s.Width <= 0 {
+			t.Errorf("bad spec %+v", s)
+		}
+	}
+}
+
+func TestRecoverFromTargetChange(t *testing.T) {
+	// Monomorphic branch migrates to a new target; predictor must follow.
+	it, h := newUnderTest()
+	pc := uint64(0x9000)
+	for i := 0; i < 50; i++ {
+		it.Update(pc, h, 0x111)
+	}
+	for i := 0; i < 50; i++ {
+		it.Update(pc, h, 0x222)
+	}
+	got, ok := it.Predict(pc, h)
+	if !ok || got != 0x222 {
+		t.Errorf("after migration: %#x, %v", got, ok)
+	}
+}

@@ -1,0 +1,128 @@
+package prefetch
+
+import "fdp/internal/program"
+
+// DJOLT approximates the IPC-1 "D-JOLT: distant jolt prefetcher": it
+// derives signatures from a FIFO of recent function-call sites (rather
+// than RDIP's stack) and maps each signature to the I-cache miss lines
+// that historically followed it, prefetching them far ahead on the next
+// occurrence. A long-range table keyed by a deep signature is backed by a
+// fuzzier short-range table keyed by a shallow one.
+type DJOLT struct {
+	fifo [4]uint64 // recent call/return sites, newest at [0]
+
+	long  *sigTable // 4-deep signature
+	short *sigTable // 2-deep signature
+
+	// Pending misses are attributed to the signature that was live when
+	// the region was entered.
+	curLongSig  uint32
+	curShortSig uint32
+}
+
+// sigTable maps a signature to up to vecLen future miss lines.
+type sigTable struct {
+	tags  []uint16
+	lines [][]uint64
+	mask  uint32
+	vec   int
+}
+
+func newSigTable(entries, vec int) *sigTable {
+	t := &sigTable{
+		tags:  make([]uint16, entries),
+		lines: make([][]uint64, entries),
+		mask:  uint32(entries - 1),
+		vec:   vec,
+	}
+	for i := range t.lines {
+		t.lines[i] = make([]uint64, 0, vec)
+	}
+	return t
+}
+
+func (t *sigTable) record(sig uint32, line uint64) {
+	i := sig & t.mask
+	tag := uint16(sig >> 12)
+	if t.tags[i] != tag {
+		t.tags[i] = tag
+		t.lines[i] = t.lines[i][:0]
+	}
+	for _, l := range t.lines[i] {
+		if l == line {
+			return
+		}
+	}
+	if len(t.lines[i]) == t.vec {
+		copy(t.lines[i], t.lines[i][1:])
+		t.lines[i] = t.lines[i][:t.vec-1]
+	}
+	t.lines[i] = append(t.lines[i], line)
+}
+
+func (t *sigTable) lookup(sig uint32, emit Emit) bool {
+	i := sig & t.mask
+	if t.tags[i] != uint16(sig>>12) || len(t.lines[i]) == 0 {
+		return false
+	}
+	for _, l := range t.lines[i] {
+		emit(l)
+	}
+	return true
+}
+
+func (t *sigTable) storageBits() int {
+	return len(t.tags) * (16 + t.vec*42)
+}
+
+// NewDJOLT builds the default-size D-JOLT (~52KB metadata).
+func NewDJOLT() *DJOLT {
+	return &DJOLT{
+		long:  newSigTable(4096, 4),
+		short: newSigTable(2048, 4),
+	}
+}
+
+// Name implements Prefetcher.
+func (d *DJOLT) Name() string { return "djolt" }
+
+// StorageBits implements Prefetcher.
+func (d *DJOLT) StorageBits() int { return d.long.storageBits() + d.short.storageBits() }
+
+func sigOf(fifo []uint64) uint32 {
+	var s uint64
+	for _, v := range fifo {
+		s = s*0x9e3779b97f4a7c15 + v
+	}
+	s ^= s >> 29
+	return uint32(s)
+}
+
+// OnBranch implements Prefetcher: calls and returns rotate the FIFO and
+// trigger lookahead prefetches for the new signature.
+func (d *DJOLT) OnBranch(pc uint64, t program.InstType, _ uint64, emit Emit) {
+	if !t.IsCall() && !t.IsReturn() {
+		return
+	}
+	copy(d.fifo[1:], d.fifo[:3])
+	d.fifo[0] = pc
+	d.curLongSig = sigOf(d.fifo[:4])
+	d.curShortSig = sigOf(d.fifo[:2])
+	// Long-range first; fall back to the fuzzy short-range table.
+	if !d.long.lookup(d.curLongSig, emit) {
+		d.short.lookup(d.curShortSig, emit)
+	}
+}
+
+// OnAccess implements Prefetcher: misses are attributed to the live
+// signatures so the next occurrence prefetches them ahead of need.
+func (d *DJOLT) OnAccess(line uint64, hit, _ bool, emit Emit) {
+	if hit {
+		return
+	}
+	d.long.record(d.curLongSig, line)
+	d.short.record(d.curShortSig, line)
+}
+
+// OnFill implements Prefetcher.
+func (d *DJOLT) OnFill(uint64, Emit) {}

@@ -1,0 +1,130 @@
+package prefetch
+
+import "fdp/internal/program"
+
+// FNLMMA approximates Seznec's IPC-1 winner "FNL+MMA": an aggressive but
+// filtered next-line prefetcher (Footprint Next Line) combined with a
+// temporal Multiple-Miss-Ahead predictor that chains from one miss to the
+// misses that historically followed it.
+type FNLMMA struct {
+	// FNL: per-line "worth prefetching next lines" confidence, a small
+	// tagged table of 2-bit counters.
+	fnlTags []uint16
+	fnlCtr  []uint8
+	fnlMask uint64
+
+	// MMA: miss -> next-miss chain, tagged.
+	mmaTags []uint16
+	mmaNext []uint64
+	mmaMask uint64
+
+	lastAccess uint64
+	lastMiss   uint64
+	haveMiss   bool
+
+	// Degree knobs.
+	fnlDepth int // next lines prefetched when confident
+	mmaAhead int // chain steps followed per miss
+}
+
+// NewFNLMMA builds the default-size FNL+MMA (~44KB metadata).
+func NewFNLMMA() *FNLMMA {
+	const fnlEntries = 8192
+	const mmaEntries = 4096
+	f := &FNLMMA{
+		fnlTags:  make([]uint16, fnlEntries),
+		fnlCtr:   make([]uint8, fnlEntries),
+		fnlMask:  fnlEntries - 1,
+		mmaTags:  make([]uint16, mmaEntries),
+		mmaNext:  make([]uint64, mmaEntries),
+		mmaMask:  mmaEntries - 1,
+		fnlDepth: 3,
+		mmaAhead: 3,
+	}
+	return f
+}
+
+// Name implements Prefetcher.
+func (f *FNLMMA) Name() string { return "fnl+mma" }
+
+// StorageBits implements Prefetcher.
+func (f *FNLMMA) StorageBits() int {
+	return len(f.fnlTags)*(16+2) + len(f.mmaTags)*(16+42)
+}
+
+func fnlIdx(line, mask uint64) (uint64, uint16) {
+	return line & mask, uint16(line >> 16)
+}
+
+// OnAccess implements Prefetcher.
+func (f *FNLMMA) OnAccess(line uint64, hit, prefHit bool, emit Emit) {
+	// Train FNL: a sequential advance means the previous line's footprint
+	// includes its successor.
+	if line == f.lastAccess+1 {
+		i, tag := fnlIdx(f.lastAccess, f.fnlMask)
+		if f.fnlTags[i] == tag {
+			if f.fnlCtr[i] < 3 {
+				f.fnlCtr[i]++
+			}
+		} else {
+			f.fnlTags[i] = tag
+			f.fnlCtr[i] = 1
+		}
+	} else if line != f.lastAccess {
+		// A discontinuous departure right after lastAccess weakens its
+		// next-line footprint.
+		i, tag := fnlIdx(f.lastAccess, f.fnlMask)
+		if f.fnlTags[i] == tag && f.fnlCtr[i] > 0 {
+			f.fnlCtr[i]--
+		}
+	}
+	f.lastAccess = line
+
+	// Issue FNL prefetches for this line's footprint.
+	depth := 1 // always at least next line on a miss (aggressive NL)
+	i, tag := fnlIdx(line, f.fnlMask)
+	if f.fnlTags[i] == tag && f.fnlCtr[i] >= 2 {
+		depth = f.fnlDepth
+	} else if hit && !prefHit {
+		depth = 0
+	}
+	for d := 1; d <= depth; d++ {
+		emit(line + uint64(d))
+	}
+
+	if !hit {
+		f.onMiss(line, emit)
+	}
+}
+
+func (f *FNLMMA) onMiss(line uint64, emit Emit) {
+	// Train the miss chain.
+	if f.haveMiss && f.lastMiss != line {
+		i := f.lastMiss & f.mmaMask
+		f.mmaTags[i] = uint16(f.lastMiss >> 14)
+		f.mmaNext[i] = line
+	}
+	f.lastMiss = line
+	f.haveMiss = true
+
+	// Follow the chain several misses ahead.
+	cur := line
+	for step := 0; step < f.mmaAhead; step++ {
+		i := cur & f.mmaMask
+		if f.mmaTags[i] != uint16(cur>>14) {
+			break
+		}
+		nxt := f.mmaNext[i]
+		if nxt == cur {
+			break
+		}
+		emit(nxt)
+		cur = nxt
+	}
+}
+
+// OnFill implements Prefetcher.
+func (f *FNLMMA) OnFill(uint64, Emit) {}
+
+// OnBranch implements Prefetcher.
+func (f *FNLMMA) OnBranch(uint64, program.InstType, uint64, Emit) {}

@@ -1,0 +1,99 @@
+// Package prefetch implements the dedicated instruction prefetchers the
+// paper compares FDP against: next-line (NL1), the IPC-1 top-3 —
+// FNL+MMA (Seznec), D-JOLT (Nakamura et al.) and EIP (Ros/Jimborean, in
+// 128KB and 27KB variants) — and the Divide-and-Conquer frontend
+// (SN4L + Dis + BTB prefetching, Ansari et al.).
+//
+// Prefetchers observe the demand L1I access/fill stream through the
+// ChampSim-style hooks OnAccess/OnFill/OnBranch and emit candidate line
+// addresses; the core filters them against the tag array (charging tag
+// probes, Fig. 9) and issues fills through the shared MSHR path.
+package prefetch
+
+import "fdp/internal/program"
+
+import "fmt"
+
+// Emit receives prefetch candidate line addresses.
+type Emit func(line uint64)
+
+// Build constructs a prefetcher by name. The empty name returns None.
+func Build(name string) (Prefetcher, error) {
+	switch name {
+	case "", "none":
+		return None{}, nil
+	case "nl1":
+		return NL1{}, nil
+	case "fnl+mma":
+		return NewFNLMMA(), nil
+	case "djolt":
+		return NewDJOLT(), nil
+	case "eip-128kb":
+		return NewEIP(EIP128KB()), nil
+	case "eip-27kb":
+		return NewEIP(EIP27KB()), nil
+	case "sn4l+dis":
+		return NewSN4LDis(), nil
+	case "rdip":
+		return NewRDIP(), nil
+	}
+	return nil, fmt.Errorf("prefetch: unknown prefetcher %q", name)
+}
+
+// Prefetcher is the ChampSim-IPC-1-shaped prefetcher interface.
+type Prefetcher interface {
+	// Name identifies the prefetcher for reports.
+	Name() string
+	// OnAccess observes every demand L1I lookup (line address, whether it
+	// hit, and whether it hit on a not-yet-used prefetched line) and may
+	// emit prefetch candidates.
+	OnAccess(line uint64, hit, prefHit bool, emit Emit)
+	// OnFill observes lines arriving in the L1I (demand or prefetch).
+	OnFill(line uint64, emit Emit)
+	// OnBranch observes retired branches (ip, type, actual target), the
+	// IPC-1 prefetcher_branch_operate hook.
+	OnBranch(pc uint64, t program.InstType, target uint64, emit Emit)
+	// StorageBits returns the metadata budget in bits.
+	StorageBits() int
+}
+
+// None is the null prefetcher.
+type None struct{}
+
+// Name implements Prefetcher.
+func (None) Name() string { return "none" }
+
+// OnAccess implements Prefetcher.
+func (None) OnAccess(uint64, bool, bool, Emit) {}
+
+// OnFill implements Prefetcher.
+func (None) OnFill(uint64, Emit) {}
+
+// OnBranch implements Prefetcher.
+func (None) OnBranch(uint64, program.InstType, uint64, Emit) {}
+
+// StorageBits implements Prefetcher.
+func (None) StorageBits() int { return 0 }
+
+// NL1 is the next-line prefetcher: on a demand miss, prefetch the next
+// sequential line (§V "Next line (NL1)").
+type NL1 struct{}
+
+// Name implements Prefetcher.
+func (NL1) Name() string { return "nl1" }
+
+// OnAccess implements Prefetcher.
+func (NL1) OnAccess(line uint64, hit, _ bool, emit Emit) {
+	if !hit {
+		emit(line + 1)
+	}
+}
+
+// OnFill implements Prefetcher.
+func (NL1) OnFill(uint64, Emit) {}
+
+// OnBranch implements Prefetcher.
+func (NL1) OnBranch(uint64, program.InstType, uint64, Emit) {}
+
+// StorageBits implements Prefetcher.
+func (NL1) StorageBits() int { return 0 }

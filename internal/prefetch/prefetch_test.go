@@ -1,0 +1,376 @@
+package prefetch
+
+import (
+	"testing"
+
+	"fdp/internal/program"
+)
+
+// collector gathers emitted prefetch candidates.
+type collector struct{ lines []uint64 }
+
+func (c *collector) emit(line uint64) { c.lines = append(c.lines, line) }
+
+func (c *collector) has(line uint64) bool {
+	for _, l := range c.lines {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *collector) reset() { c.lines = c.lines[:0] }
+
+func TestBuild(t *testing.T) {
+	for _, name := range []string{"", "none", "nl1", "fnl+mma", "djolt", "eip-128kb", "eip-27kb", "sn4l+dis", "rdip"} {
+		p, err := Build(name)
+		if err != nil {
+			t.Errorf("Build(%q): %v", name, err)
+			continue
+		}
+		if p == nil {
+			t.Errorf("Build(%q) = nil", name)
+		}
+		if name != "" && name != "none" && p.Name() != name {
+			t.Errorf("Build(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := Build("bogus"); err == nil {
+		t.Error("Build(bogus) succeeded")
+	}
+}
+
+func TestNoneIsInert(t *testing.T) {
+	var c collector
+	p := None{}
+	p.OnAccess(1, false, false, c.emit)
+	p.OnFill(1, c.emit)
+	p.OnBranch(4, program.Call, 8, c.emit)
+	if len(c.lines) != 0 {
+		t.Errorf("None emitted %v", c.lines)
+	}
+	if p.StorageBits() != 0 {
+		t.Error("None claims storage")
+	}
+}
+
+func TestNL1(t *testing.T) {
+	var c collector
+	p := NL1{}
+	p.OnAccess(100, true, false, c.emit)
+	if len(c.lines) != 0 {
+		t.Error("NL1 prefetched on a hit")
+	}
+	p.OnAccess(100, false, false, c.emit)
+	if !c.has(101) {
+		t.Errorf("NL1 did not prefetch next line: %v", c.lines)
+	}
+	if p.StorageBits() != 0 {
+		t.Error("NL1 claims storage")
+	}
+}
+
+func TestFNLMMALearnsSequentialFootprint(t *testing.T) {
+	p := NewFNLMMA()
+	var c collector
+	// Train: repeated sequential walk 200,201,202,...
+	for rep := 0; rep < 8; rep++ {
+		for l := uint64(200); l < 210; l++ {
+			p.OnAccess(l, true, false, c.emit)
+		}
+	}
+	c.reset()
+	p.OnAccess(200, true, false, c.emit)
+	if !c.has(201) {
+		t.Errorf("trained FNL did not emit next lines: %v", c.lines)
+	}
+}
+
+func TestFNLMMAMissChain(t *testing.T) {
+	p := NewFNLMMA()
+	var c collector
+	// Teach a recurring miss sequence A -> B -> C (discontiguous).
+	seq := []uint64{1000, 5000, 9000}
+	for rep := 0; rep < 4; rep++ {
+		for _, l := range seq {
+			p.OnAccess(l, false, false, c.emit)
+		}
+	}
+	c.reset()
+	p.OnAccess(1000, false, false, c.emit)
+	if !c.has(5000) || !c.has(9000) {
+		t.Errorf("MMA chain not followed: %v", c.lines)
+	}
+}
+
+func TestDJOLTLearnsSignatureToMisses(t *testing.T) {
+	p := NewDJOLT()
+	var c collector
+	// Call sequence establishing a signature, then misses under it.
+	calls := []uint64{0x100, 0x200, 0x300, 0x400}
+	for rep := 0; rep < 3; rep++ {
+		for _, pc := range calls {
+			p.OnBranch(pc, program.Call, pc+0x1000, c.emit)
+		}
+		p.OnAccess(7777, false, false, c.emit)
+		p.OnAccess(8888, false, false, c.emit)
+		// Different signature region in between.
+		p.OnBranch(0x999, program.Call, 0x1999, c.emit)
+	}
+	c.reset()
+	for _, pc := range calls {
+		p.OnBranch(pc, program.Call, pc+0x1000, c.emit)
+	}
+	if !c.has(7777) || !c.has(8888) {
+		t.Errorf("D-JOLT did not prefetch learned misses: %v", c.lines)
+	}
+}
+
+func TestDJOLTIgnoresNonCallBranches(t *testing.T) {
+	p := NewDJOLT()
+	var c collector
+	p.OnBranch(0x10, program.CondDirect, 0x20, c.emit)
+	p.OnBranch(0x10, program.Jump, 0x20, c.emit)
+	if len(c.lines) != 0 {
+		t.Errorf("emitted on non-call branches: %v", c.lines)
+	}
+}
+
+func TestEIPEntangles(t *testing.T) {
+	p := NewEIP(EIP27KB())
+	var c collector
+	// Access source S many times, each followed (after some filler hits)
+	// by a miss to D: D becomes entangled with a line near S in time.
+	for rep := 0; rep < 6; rep++ {
+		p.OnAccess(100, true, false, c.emit)
+		for i := uint64(1); i <= 3; i++ {
+			p.OnAccess(200+i, true, false, c.emit)
+		}
+		p.OnAccess(999, false, false, c.emit) // the miss to entangle
+	}
+	c.reset()
+	// Re-access the candidate sources; one of them must now prefetch 999.
+	p.OnAccess(100, true, false, c.emit)
+	for i := uint64(1); i <= 3; i++ {
+		p.OnAccess(200+i, true, false, c.emit)
+	}
+	if !c.has(999) {
+		t.Errorf("EIP did not prefetch entangled destination: %v", c.lines)
+	}
+}
+
+func TestEIPBudgets(t *testing.T) {
+	big := NewEIP(EIP128KB())
+	small := NewEIP(EIP27KB())
+	if big.StorageBits() <= small.StorageBits() {
+		t.Errorf("128KB (%d bits) not larger than 27KB (%d bits)",
+			big.StorageBits(), small.StorageBits())
+	}
+	// Rough budget sanity: within 2x of the nominal labels.
+	bigKB := float64(big.StorageBits()) / 8 / 1024
+	smallKB := float64(small.StorageBits()) / 8 / 1024
+	if bigKB < 96 || bigKB > 192 {
+		t.Errorf("eip-128kb budget = %.0fKB, want ~128KB", bigKB)
+	}
+	if smallKB < 18 || smallKB > 54 {
+		t.Errorf("eip-27kb budget = %.0fKB, want ~27KB", smallKB)
+	}
+}
+
+func TestSN4LUsefulnessFilter(t *testing.T) {
+	p := NewSN4LDis()
+	var c collector
+	// Train: after line 50, lines 51 and 53 are used (52, 54 are not).
+	for rep := 0; rep < 4; rep++ {
+		p.OnAccess(50, true, false, c.emit)
+		p.OnAccess(51, true, false, c.emit)
+		p.OnAccess(53, true, false, c.emit)
+		p.OnAccess(90, true, false, c.emit) // break the window
+		p.OnAccess(91, true, false, c.emit)
+		p.OnAccess(92, true, false, c.emit)
+		p.OnAccess(93, true, false, c.emit)
+		p.OnAccess(94, true, false, c.emit)
+	}
+	c.reset()
+	p.OnAccess(50, false, false, c.emit)
+	if !c.has(51) || !c.has(53) {
+		t.Errorf("useful next lines not prefetched: %v", c.lines)
+	}
+	if c.has(54) {
+		t.Errorf("filter leaked unused line 54: %v", c.lines)
+	}
+}
+
+func TestDisRecordsDiscontinuity(t *testing.T) {
+	p := NewSN4LDis()
+	var c collector
+	// Miss at 100 then discontinuous miss at 500, repeatedly.
+	for rep := 0; rep < 3; rep++ {
+		p.OnAccess(100, false, false, c.emit)
+		p.OnAccess(500, false, false, c.emit)
+	}
+	c.reset()
+	p.OnAccess(100, false, false, c.emit)
+	if !c.has(500) {
+		t.Errorf("Dis did not follow discontinuity: %v", c.lines)
+	}
+}
+
+func TestDisIgnoresSequentialMisses(t *testing.T) {
+	p := NewSN4LDis()
+	var c collector
+	for rep := 0; rep < 3; rep++ {
+		p.OnAccess(100, false, false, c.emit)
+		p.OnAccess(102, false, false, c.emit) // within next-4: SN4L territory
+	}
+	c.reset()
+	p.OnAccess(100, false, false, c.emit)
+	// 102 may be emitted by SN4L, but the Dis table must not have recorded
+	// it; after clearing SN4L's contribution we can't distinguish here, so
+	// just assert no crash and bounded output.
+	if len(c.lines) > 5 {
+		t.Errorf("unbounded emission: %v", c.lines)
+	}
+}
+
+func TestAllPrefetchersHaveSaneStorage(t *testing.T) {
+	for _, name := range []string{"fnl+mma", "djolt", "eip-128kb", "eip-27kb", "sn4l+dis", "rdip"} {
+		p, err := Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := p.StorageBits()
+		if bits <= 0 || bits > 8*1024*1024*8 {
+			t.Errorf("%s storage = %d bits", name, bits)
+		}
+	}
+}
+
+func TestRDIPLearnsContextMisses(t *testing.T) {
+	p := NewRDIP()
+	var c collector
+	// Enter context (call chain), observe misses, leave, repeat.
+	enter := func() {
+		p.OnBranch(0x100, program.Call, 0x1000, c.emit)
+		p.OnBranch(0x1100, program.Call, 0x2000, c.emit)
+	}
+	leave := func() {
+		p.OnBranch(0x2100, program.Return, 0, c.emit)
+		p.OnBranch(0x1200, program.Return, 0, c.emit)
+	}
+	for rep := 0; rep < 3; rep++ {
+		enter()
+		p.OnAccess(4242, false, false, c.emit)
+		p.OnAccess(5353, false, false, c.emit)
+		leave()
+	}
+	c.reset()
+	enter()
+	if !c.has(4242) || !c.has(5353) {
+		t.Errorf("RDIP did not prefetch context misses: %v", c.lines)
+	}
+}
+
+func TestRDIPIgnoresNonCallReturn(t *testing.T) {
+	p := NewRDIP()
+	var c collector
+	p.OnBranch(0x10, program.CondDirect, 0x20, c.emit)
+	p.OnBranch(0x10, program.IndJump, 0x20, c.emit)
+	if len(c.lines) != 0 {
+		t.Errorf("emitted on non-call/return: %v", c.lines)
+	}
+}
+
+func TestRDIPShadowStackBounded(t *testing.T) {
+	p := NewRDIP()
+	var c collector
+	for i := 0; i < 1000; i++ {
+		p.OnBranch(uint64(i*8), program.Call, uint64(i*8+0x1000), c.emit)
+	}
+	if len(p.stack) > 64 {
+		t.Errorf("shadow stack grew to %d", len(p.stack))
+	}
+	// Underflow safe.
+	for i := 0; i < 2000; i++ {
+		p.OnBranch(0x4, program.Return, 0, c.emit)
+	}
+	if p.StorageBits() <= 0 {
+		t.Error("no storage accounted")
+	}
+	if p.Name() != "rdip" {
+		t.Errorf("Name = %s", p.Name())
+	}
+}
+
+func TestNoOpHooksAreSafe(t *testing.T) {
+	// Every prefetcher's unused hooks must be callable no-ops.
+	var c collector
+	for _, name := range []string{"nl1", "fnl+mma", "djolt", "eip-27kb", "sn4l+dis", "rdip"} {
+		p, err := Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.OnFill(1234, c.emit)
+		p.OnBranch(0x40, program.CondDirect, 0x80, c.emit)
+		p.OnAccess(1, true, true, c.emit) // prefetch-hit path
+	}
+	if p, _ := Build("none"); p.Name() != "none" {
+		t.Errorf("none Name = %s", p.Name())
+	}
+	if p, _ := Build(""); p.Name() != "none" {
+		t.Errorf("empty Name = %s", p.Name())
+	}
+}
+
+func TestDJOLTDuplicateMissNotReRecorded(t *testing.T) {
+	p := NewDJOLT()
+	var c collector
+	p.OnBranch(0x100, program.Call, 0x1000, c.emit)
+	p.OnAccess(42, false, false, c.emit)
+	p.OnAccess(42, false, false, c.emit) // duplicate under same signature
+	c.reset()
+	p.OnBranch(0x200, program.Return, 0, c.emit)
+	p.OnBranch(0x100, program.Call, 0x1000, c.emit)
+	count := 0
+	for _, l := range c.lines {
+		if l == 42 {
+			count++
+		}
+	}
+	if count > 1 {
+		t.Errorf("line 42 recorded %d times", count)
+	}
+}
+
+func TestSigTableVectorEviction(t *testing.T) {
+	tbl := newSigTable(16, 2) // 2-line vectors
+	for l := uint64(1); l <= 5; l++ {
+		tbl.record(7, l)
+	}
+	var c collector
+	if !tbl.lookup(7, c.emit) {
+		t.Fatal("lookup missed recorded signature")
+	}
+	if len(c.lines) != 2 {
+		t.Fatalf("vector kept %d lines, cap 2", len(c.lines))
+	}
+	// FIFO: the most recent lines survive.
+	if !c.has(4) || !c.has(5) {
+		t.Errorf("vector contents %v, want [4 5]", c.lines)
+	}
+}
+
+func TestEIPDoesNotEntangleSelf(t *testing.T) {
+	p := NewEIP(EIP27KB())
+	var c collector
+	// Only ever access one line, missing each time.
+	for i := 0; i < 10; i++ {
+		p.OnAccess(777, false, false, c.emit)
+	}
+	c.reset()
+	p.OnAccess(777, false, false, c.emit)
+	if c.has(777) {
+		t.Error("line entangled with itself")
+	}
+}

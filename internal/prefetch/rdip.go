@@ -1,0 +1,69 @@
+package prefetch
+
+import "fdp/internal/program"
+
+// RDIP is RAS-Directed Instruction Prefetching (Kolli/Saidi/Wenisch,
+// MICRO'13), the precursor to D-JOLT the paper cites: the program context
+// is captured as a hash of the return-address stack contents, and the
+// I-cache misses observed under each context are prefetched the next time
+// the same context is entered.
+type RDIP struct {
+	// Shadow RAS maintained from the retired call/return stream.
+	stack []uint64
+
+	table *sigTable
+	cur   uint32
+}
+
+// NewRDIP builds the default-size RDIP (~34KB metadata).
+func NewRDIP() *RDIP {
+	return &RDIP{table: newSigTable(4096, 4)}
+}
+
+// Name implements Prefetcher.
+func (r *RDIP) Name() string { return "rdip" }
+
+// StorageBits implements Prefetcher.
+func (r *RDIP) StorageBits() int { return r.table.storageBits() }
+
+// signature hashes the top four RAS entries (the paper's context).
+func (r *RDIP) signature() uint32 {
+	n := len(r.stack)
+	lo := n - 4
+	if lo < 0 {
+		lo = 0
+	}
+	return sigOf(r.stack[lo:n])
+}
+
+// OnBranch implements Prefetcher: calls push and returns pop the shadow
+// RAS; every context change triggers a lookup.
+func (r *RDIP) OnBranch(pc uint64, t program.InstType, target uint64, emit Emit) {
+	switch {
+	case t.IsCall():
+		r.stack = append(r.stack, pc+4)
+		if len(r.stack) > 64 {
+			r.stack = r.stack[1:]
+		}
+	case t.IsReturn():
+		if len(r.stack) > 0 {
+			r.stack = r.stack[:len(r.stack)-1]
+		}
+	default:
+		return
+	}
+	r.cur = r.signature()
+	r.table.lookup(r.cur, emit)
+}
+
+// OnAccess implements Prefetcher: misses are attributed to the current
+// RAS context.
+func (r *RDIP) OnAccess(line uint64, hit, _ bool, emit Emit) {
+	if hit {
+		return
+	}
+	r.table.record(r.cur, line)
+}
+
+// OnFill implements Prefetcher.
+func (r *RDIP) OnFill(uint64, Emit) {}

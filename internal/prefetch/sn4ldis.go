@@ -1,0 +1,115 @@
+package prefetch
+
+import "fdp/internal/program"
+
+// SN4LDis implements the prefetching half of Divide-and-Conquer (Ansari et
+// al., §VI-E): SN4L (selective next-four-line, gated by a per-line
+// usefulness footprint) plus Dis (a discontinuity table recording jumps
+// between I-cache miss lines). The companion BTB-prefetching half lives in
+// the core (it needs the BTB and the pre-decoder).
+type SN4LDis struct {
+	// SN4L usefulness: 4 bits per tracked line; bit i-1 set means line+i
+	// was demanded soon after line.
+	snTags []uint16
+	snVec  []uint8
+	snMask uint64
+
+	// Dis: missLine -> next discontinuous missLine.
+	disTags []uint16
+	disNext []uint64
+	disMask uint64
+
+	lastMiss  uint64
+	haveMiss  bool
+	recent    [8]uint64 // recent demand lines for footprint training
+	recentPos int
+}
+
+// NewSN4LDis builds the default-size SN4L+Dis (~30KB metadata).
+func NewSN4LDis() *SN4LDis {
+	const snEntries = 8192
+	const disEntries = 2048
+	return &SN4LDis{
+		snTags:  make([]uint16, snEntries),
+		snVec:   make([]uint8, snEntries),
+		snMask:  snEntries - 1,
+		disTags: make([]uint16, disEntries),
+		disNext: make([]uint64, disEntries),
+		disMask: disEntries - 1,
+	}
+}
+
+// Name implements Prefetcher.
+func (s *SN4LDis) Name() string { return "sn4l+dis" }
+
+// StorageBits implements Prefetcher.
+func (s *SN4LDis) StorageBits() int {
+	return len(s.snTags)*(16+4) + len(s.disTags)*(16+42)
+}
+
+// OnAccess implements Prefetcher.
+func (s *SN4LDis) OnAccess(line uint64, hit, _ bool, emit Emit) {
+	// Train SN4L: mark line as a useful follower of any of the previous
+	// four lines.
+	for _, prev := range s.recent {
+		if prev == 0 {
+			continue
+		}
+		d := line - prev
+		if d >= 1 && d <= 4 {
+			i := prev & s.snMask
+			tag := uint16(prev >> 16)
+			if s.snTags[i] != tag {
+				s.snTags[i] = tag
+				s.snVec[i] = 0
+			}
+			s.snVec[i] |= 1 << (d - 1)
+		}
+	}
+	s.recent[s.recentPos] = line
+	s.recentPos = (s.recentPos + 1) % len(s.recent)
+
+	// SN4L issue: previously-useful lines among the next four.
+	i := line & s.snMask
+	if s.snTags[i] == uint16(line>>16) {
+		vec := s.snVec[i]
+		for d := uint64(1); d <= 4; d++ {
+			if vec>>(d-1)&1 == 1 {
+				emit(line + d)
+			}
+		}
+	}
+
+	// Dis issue: follow the recorded discontinuity from this line.
+	di := line & s.disMask
+	if s.disTags[di] == uint16(line>>11) {
+		emit(s.disNext[di])
+	}
+
+	if !hit {
+		s.onMiss(line)
+	}
+}
+
+func (s *SN4LDis) onMiss(line uint64) {
+	// Record discontinuous miss-to-miss jumps.
+	if s.haveMiss {
+		d := line - s.lastMiss
+		if d == 0 {
+			return
+		}
+		if d > 4 || line < s.lastMiss {
+			i := s.lastMiss & s.disMask
+			s.disTags[i] = uint16(s.lastMiss >> 11)
+			s.disNext[i] = line
+		}
+	}
+	s.lastMiss = line
+	s.haveMiss = true
+}
+
+// OnFill implements Prefetcher.
+func (s *SN4LDis) OnFill(uint64, Emit) {}
+
+// OnBranch implements Prefetcher.
+func (s *SN4LDis) OnBranch(uint64, program.InstType, uint64, Emit) {}

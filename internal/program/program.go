@@ -1,0 +1,263 @@
+// Package program defines the static-program model that the whole simulator
+// is built on: fixed-length 32-bit instructions identified by their program
+// counter, classified into the control-flow types the frontend cares about,
+// and a program Image mapping addresses to static instructions.
+//
+// The image is the pre-decoder's ground truth: when the fetch pipeline reads
+// an I-cache line it consults the image to learn the real instruction types
+// in that line, exactly as hardware pre-decode inspects the fetched bytes.
+package program
+
+import "fmt"
+
+// InstBytes is the fixed instruction length in bytes. The paper assumes
+// fixed-length 32-bit instructions (§IV).
+const InstBytes = 4
+
+// InstType classifies a static instruction for frontend purposes.
+type InstType uint8
+
+const (
+	// NonBranch is any instruction with sequential control flow.
+	NonBranch InstType = iota
+	// CondDirect is a PC-relative conditional branch (target embedded in
+	// the instruction, direction decided at execute).
+	CondDirect
+	// Jump is a PC-relative unconditional branch.
+	Jump
+	// Call is a PC-relative unconditional call (pushes a return address).
+	Call
+	// IndJump is a register-indirect unconditional jump.
+	IndJump
+	// IndCall is a register-indirect call.
+	IndCall
+	// Return is a function return (target comes from the return address
+	// stack).
+	Return
+
+	numInstTypes
+)
+
+// NumInstTypes is the number of distinct instruction types.
+const NumInstTypes = int(numInstTypes)
+
+var instTypeNames = [...]string{
+	NonBranch:  "non-branch",
+	CondDirect: "cond",
+	Jump:       "jump",
+	Call:       "call",
+	IndJump:    "ind-jump",
+	IndCall:    "ind-call",
+	Return:     "return",
+}
+
+// String returns a short human-readable name for the type.
+func (t InstType) String() string {
+	if int(t) < len(instTypeNames) {
+		return instTypeNames[t]
+	}
+	return fmt.Sprintf("InstType(%d)", uint8(t))
+}
+
+// IsBranch reports whether the instruction can redirect control flow.
+func (t InstType) IsBranch() bool { return t != NonBranch }
+
+// IsConditional reports whether the branch outcome depends on a predicted
+// direction.
+func (t InstType) IsConditional() bool { return t == CondDirect }
+
+// IsUnconditional reports whether the branch is always taken when executed.
+func (t InstType) IsUnconditional() bool {
+	switch t {
+	case Jump, Call, IndJump, IndCall, Return:
+		return true
+	}
+	return false
+}
+
+// IsDirect reports whether the branch target is embedded in the instruction
+// (PC-relative), i.e. recoverable by the pre-decoder without any predictor.
+func (t InstType) IsDirect() bool {
+	switch t {
+	case CondDirect, Jump, Call:
+		return true
+	}
+	return false
+}
+
+// IsIndirect reports whether the branch target comes from a register.
+func (t InstType) IsIndirect() bool { return t == IndJump || t == IndCall }
+
+// IsCall reports whether the instruction pushes a return address.
+func (t InstType) IsCall() bool { return t == Call || t == IndCall }
+
+// IsReturn reports whether the target comes from the return address stack.
+func (t InstType) IsReturn() bool { return t == Return }
+
+// StaticInst is one instruction of the static program image.
+type StaticInst struct {
+	// PC is the virtual address of the instruction.
+	PC uint64
+	// Type classifies the instruction.
+	Type InstType
+	// Target is the PC-relative target for direct branches (CondDirect,
+	// Jump, Call). It is zero for non-branches, indirect branches and
+	// returns, whose targets are not recoverable from the encoding.
+	Target uint64
+}
+
+// IsBranch reports whether the instruction is any kind of branch.
+func (si StaticInst) IsBranch() bool { return si.Type.IsBranch() }
+
+// FallThrough returns the address of the next sequential instruction.
+func (si StaticInst) FallThrough() uint64 { return si.PC + InstBytes }
+
+// Image is a static program image: a dense array of instructions starting
+// at Base. Lookup by PC is O(1). Images are immutable after Freeze and safe
+// for concurrent readers.
+type Image struct {
+	base   uint64
+	insts  []StaticInst
+	frozen bool
+}
+
+// NewImage creates an empty image whose first instruction will live at
+// base. base must be InstBytes-aligned.
+func NewImage(base uint64) *Image {
+	if base%InstBytes != 0 {
+		panic(fmt.Sprintf("program: image base %#x not %d-byte aligned", base, InstBytes))
+	}
+	return &Image{base: base}
+}
+
+// Base returns the address of the first instruction.
+func (im *Image) Base() uint64 { return im.base }
+
+// Size returns the number of instructions in the image.
+func (im *Image) Size() int { return len(im.insts) }
+
+// Bytes returns the code footprint of the image in bytes.
+func (im *Image) Bytes() uint64 { return uint64(len(im.insts)) * InstBytes }
+
+// Limit returns the first address past the image.
+func (im *Image) Limit() uint64 { return im.base + im.Bytes() }
+
+// Append adds an instruction at the next sequential address and returns its
+// PC. The Target field of branches may be patched later with SetTarget (the
+// builder lays out code before all targets are known).
+func (im *Image) Append(t InstType) uint64 {
+	if im.frozen {
+		panic("program: Append on frozen image")
+	}
+	pc := im.base + uint64(len(im.insts))*InstBytes
+	im.insts = append(im.insts, StaticInst{PC: pc, Type: t})
+	return pc
+}
+
+// SetTarget patches the direct target of the branch at pc.
+func (im *Image) SetTarget(pc, target uint64) {
+	if im.frozen {
+		panic("program: SetTarget on frozen image")
+	}
+	idx, ok := im.index(pc)
+	if !ok {
+		panic(fmt.Sprintf("program: SetTarget on %#x outside image", pc))
+	}
+	if !im.insts[idx].Type.IsDirect() {
+		panic(fmt.Sprintf("program: SetTarget on non-direct %v at %#x", im.insts[idx].Type, pc))
+	}
+	im.insts[idx].Target = target
+}
+
+// Freeze validates the image (all direct branches have in-image targets)
+// and marks it immutable.
+func (im *Image) Freeze() error {
+	for i := range im.insts {
+		si := &im.insts[i]
+		if si.Type.IsDirect() {
+			if _, ok := im.index(si.Target); !ok {
+				return fmt.Errorf("program: direct %v at %#x targets %#x outside image [%#x,%#x)",
+					si.Type, si.PC, si.Target, im.base, im.Limit())
+			}
+		}
+	}
+	im.frozen = true
+	return nil
+}
+
+// Frozen reports whether Freeze has been called.
+func (im *Image) Frozen() bool { return im.frozen }
+
+func (im *Image) index(pc uint64) (int, bool) {
+	if pc < im.base || pc%InstBytes != 0 {
+		return 0, false
+	}
+	idx := int((pc - im.base) / InstBytes)
+	if idx >= len(im.insts) {
+		return 0, false
+	}
+	return idx, true
+}
+
+// At returns the static instruction at pc. ok is false if pc is outside the
+// image or misaligned; the caller (e.g. a frontend running down a wrong
+// path off the end of the image) must treat that as a non-branch.
+func (im *Image) At(pc uint64) (StaticInst, bool) {
+	idx, ok := im.index(pc)
+	if !ok {
+		return StaticInst{PC: pc, Type: NonBranch}, false
+	}
+	return im.insts[idx], true
+}
+
+// AtOrSequential returns the instruction at pc, or a synthetic non-branch
+// when pc falls outside the image. Wrong-path fetches may run off the image
+// edge; hardware would fetch whatever bytes are there, which we model as
+// straight-line code.
+func (im *Image) AtOrSequential(pc uint64) StaticInst {
+	si, _ := im.At(pc)
+	return si
+}
+
+// Contains reports whether pc addresses an instruction in the image.
+func (im *Image) Contains(pc uint64) bool {
+	_, ok := im.index(pc)
+	return ok
+}
+
+// EachInst calls fn for every instruction in address order.
+func (im *Image) EachInst(fn func(StaticInst)) {
+	for i := range im.insts {
+		fn(im.insts[i])
+	}
+}
+
+// CountByType returns a histogram of instruction types.
+func (im *Image) CountByType() [NumInstTypes]int {
+	var h [NumInstTypes]int
+	for i := range im.insts {
+		h[im.insts[i].Type]++
+	}
+	return h
+}
+
+// DynInst is one executed (dynamic) instruction from the oracle stream: the
+// static instruction plus its architectural outcome.
+type DynInst struct {
+	SI StaticInst
+	// Taken is the architectural direction (always true for executed
+	// unconditional branches, false for non-branches).
+	Taken bool
+	// NextPC is the architectural next program counter.
+	NextPC uint64
+}
+
+// Stream produces the architecturally-correct dynamic instruction sequence
+// of a workload. Implementations must be deterministic for a given seed.
+type Stream interface {
+	// Next returns the next executed instruction. Streams are infinite:
+	// workloads loop forever so any warmup/measure length is valid.
+	Next() DynInst
+	// Image returns the static image the stream executes from.
+	Image() *Image
+}

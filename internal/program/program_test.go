@@ -1,0 +1,243 @@
+package program
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInstTypeString(t *testing.T) {
+	cases := map[InstType]string{
+		NonBranch:  "non-branch",
+		CondDirect: "cond",
+		Jump:       "jump",
+		Call:       "call",
+		IndJump:    "ind-jump",
+		IndCall:    "ind-call",
+		Return:     "return",
+	}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+	if got := InstType(99).String(); got != "InstType(99)" {
+		t.Errorf("unknown type String() = %q", got)
+	}
+}
+
+func TestInstTypePredicates(t *testing.T) {
+	type pred struct {
+		branch, cond, uncond, direct, indirect, call, ret bool
+	}
+	want := map[InstType]pred{
+		NonBranch:  {},
+		CondDirect: {branch: true, cond: true, direct: true},
+		Jump:       {branch: true, uncond: true, direct: true},
+		Call:       {branch: true, uncond: true, direct: true, call: true},
+		IndJump:    {branch: true, uncond: true, indirect: true},
+		IndCall:    {branch: true, uncond: true, indirect: true, call: true},
+		Return:     {branch: true, uncond: true, ret: true},
+	}
+	for ty, w := range want {
+		if ty.IsBranch() != w.branch {
+			t.Errorf("%v.IsBranch() = %v", ty, ty.IsBranch())
+		}
+		if ty.IsConditional() != w.cond {
+			t.Errorf("%v.IsConditional() = %v", ty, ty.IsConditional())
+		}
+		if ty.IsUnconditional() != w.uncond {
+			t.Errorf("%v.IsUnconditional() = %v", ty, ty.IsUnconditional())
+		}
+		if ty.IsDirect() != w.direct {
+			t.Errorf("%v.IsDirect() = %v", ty, ty.IsDirect())
+		}
+		if ty.IsIndirect() != w.indirect {
+			t.Errorf("%v.IsIndirect() = %v", ty, ty.IsIndirect())
+		}
+		if ty.IsCall() != w.call {
+			t.Errorf("%v.IsCall() = %v", ty, ty.IsCall())
+		}
+		if ty.IsReturn() != w.ret {
+			t.Errorf("%v.IsReturn() = %v", ty, ty.IsReturn())
+		}
+	}
+}
+
+func TestEveryBranchTypeIsExactlyOneKind(t *testing.T) {
+	for ty := InstType(0); int(ty) < NumInstTypes; ty++ {
+		if !ty.IsBranch() {
+			continue
+		}
+		if ty.IsConditional() == ty.IsUnconditional() {
+			t.Errorf("%v: conditional=%v unconditional=%v, want exactly one",
+				ty, ty.IsConditional(), ty.IsUnconditional())
+		}
+	}
+}
+
+func TestImageAppendAt(t *testing.T) {
+	im := NewImage(0x1000)
+	pc0 := im.Append(NonBranch)
+	pc1 := im.Append(CondDirect)
+	pc2 := im.Append(Jump)
+	if pc0 != 0x1000 || pc1 != 0x1004 || pc2 != 0x1008 {
+		t.Fatalf("pcs = %#x %#x %#x", pc0, pc1, pc2)
+	}
+	im.SetTarget(pc1, pc0)
+	im.SetTarget(pc2, pc1)
+	if err := im.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	si, ok := im.At(pc1)
+	if !ok || si.Type != CondDirect || si.Target != pc0 {
+		t.Errorf("At(%#x) = %+v, %v", pc1, si, ok)
+	}
+	if im.Size() != 3 || im.Bytes() != 12 || im.Limit() != 0x100c {
+		t.Errorf("Size=%d Bytes=%d Limit=%#x", im.Size(), im.Bytes(), im.Limit())
+	}
+}
+
+func TestImageAtOutside(t *testing.T) {
+	im := NewImage(0x1000)
+	im.Append(NonBranch)
+	if _, ok := im.At(0x0ffc); ok {
+		t.Error("At below base should fail")
+	}
+	if _, ok := im.At(0x1004); ok {
+		t.Error("At past limit should fail")
+	}
+	if _, ok := im.At(0x1002); ok {
+		t.Error("misaligned At should fail")
+	}
+	si := im.AtOrSequential(0x9000)
+	if si.Type != NonBranch || si.PC != 0x9000 {
+		t.Errorf("AtOrSequential outside = %+v", si)
+	}
+	if im.Contains(0x9000) {
+		t.Error("Contains outside = true")
+	}
+	if !im.Contains(0x1000) {
+		t.Error("Contains(base) = false")
+	}
+}
+
+func TestImageFreezeRejectsDanglingTarget(t *testing.T) {
+	im := NewImage(0)
+	pc := im.Append(Jump)
+	im.SetTarget(pc, 0x4000) // outside
+	if err := im.Freeze(); err == nil {
+		t.Fatal("Freeze accepted dangling target")
+	}
+}
+
+func TestImageFreezeAllowsIndirectWithoutTarget(t *testing.T) {
+	im := NewImage(0)
+	im.Append(IndJump)
+	im.Append(Return)
+	im.Append(NonBranch)
+	if err := im.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	if !im.Frozen() {
+		t.Error("Frozen() = false after Freeze")
+	}
+}
+
+func TestImagePanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("unaligned base", func() { NewImage(2) })
+	im := NewImage(0)
+	pc := im.Append(Jump)
+	im.SetTarget(pc, 0)
+	mustPanic("SetTarget outside", func() { im.SetTarget(0x4000, 0) })
+	im2 := NewImage(0)
+	npc := im2.Append(NonBranch)
+	mustPanic("SetTarget on non-branch", func() { im2.SetTarget(npc, 0) })
+	if err := im.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	mustPanic("Append frozen", func() { im.Append(NonBranch) })
+	mustPanic("SetTarget frozen", func() { im.SetTarget(pc, 0) })
+}
+
+func TestImageEachInstAndHistogram(t *testing.T) {
+	im := NewImage(0x4000)
+	types := []InstType{NonBranch, NonBranch, CondDirect, Call, Return, NonBranch}
+	for _, ty := range types {
+		pc := im.Append(ty)
+		if ty.IsDirect() {
+			im.SetTarget(pc, 0x4000)
+		}
+	}
+	var seen []StaticInst
+	im.EachInst(func(si StaticInst) { seen = append(seen, si) })
+	if len(seen) != len(types) {
+		t.Fatalf("EachInst visited %d, want %d", len(seen), len(types))
+	}
+	for i, si := range seen {
+		if si.Type != types[i] {
+			t.Errorf("inst %d type = %v, want %v", i, si.Type, types[i])
+		}
+		if si.PC != 0x4000+uint64(i)*InstBytes {
+			t.Errorf("inst %d pc = %#x", i, si.PC)
+		}
+	}
+	h := im.CountByType()
+	if h[NonBranch] != 3 || h[CondDirect] != 1 || h[Call] != 1 || h[Return] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestStaticInstFallThrough(t *testing.T) {
+	si := StaticInst{PC: 0x100, Type: CondDirect, Target: 0x80}
+	if si.FallThrough() != 0x104 {
+		t.Errorf("FallThrough = %#x", si.FallThrough())
+	}
+	if !si.IsBranch() {
+		t.Error("IsBranch = false")
+	}
+}
+
+// Property: At is the inverse of Append for any in-range index.
+func TestImageAtRoundTrip(t *testing.T) {
+	im := NewImage(0x10000)
+	const n = 1024
+	for i := 0; i < n; i++ {
+		im.Append(InstType(i % NumInstTypes))
+	}
+	f := func(raw uint16) bool {
+		idx := int(raw) % n
+		pc := im.Base() + uint64(idx)*InstBytes
+		si, ok := im.At(pc)
+		return ok && si.PC == pc && si.Type == InstType(idx%NumInstTypes)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any misaligned PC misses the image.
+func TestImageMisalignedNeverHits(t *testing.T) {
+	im := NewImage(0)
+	for i := 0; i < 64; i++ {
+		im.Append(NonBranch)
+	}
+	f := func(pc uint64) bool {
+		if pc%InstBytes == 0 {
+			pc++ // force misalignment
+		}
+		_, ok := im.At(pc)
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

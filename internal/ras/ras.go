@@ -1,0 +1,107 @@
+// Package ras implements the Return Address Stack: a fixed-depth circular
+// stack of return addresses with cheap whole-state snapshots, used both
+// speculatively by the prediction pipeline and architecturally by the
+// backend (the backend copy is the recovery point on pipeline flushes).
+package ras
+
+// DefaultDepth is the standard RAS depth (Table IV).
+const DefaultDepth = 32
+
+// RAS is a circular return address stack. Pushing beyond the depth
+// overwrites the oldest entry; popping an empty stack returns 0 and keeps
+// the stack empty (a misprediction the core will discover at resolution).
+type RAS struct {
+	entries []uint64
+	top     int // index of the most recent entry (valid when size > 0)
+	size    int // logical occupancy, 0..depth
+
+	// Pushes, Pops and Underflows are statistics counters.
+	Pushes     uint64
+	Pops       uint64
+	Underflows uint64
+}
+
+// New creates a RAS with the given depth.
+func New(depth int) *RAS {
+	if depth <= 0 {
+		panic("ras: non-positive depth")
+	}
+	return &RAS{entries: make([]uint64, depth)}
+}
+
+// Depth returns the stack capacity.
+func (r *RAS) Depth() int { return len(r.entries) }
+
+// Size returns the current logical occupancy.
+func (r *RAS) Size() int { return r.size }
+
+// Push records a return address (on a call).
+func (r *RAS) Push(addr uint64) {
+	r.Pushes++
+	r.top = (r.top + 1) % len(r.entries)
+	r.entries[r.top] = addr
+	if r.size < len(r.entries) {
+		r.size++
+	}
+}
+
+// Pop removes and returns the most recent return address. An empty stack
+// returns 0.
+func (r *RAS) Pop() uint64 {
+	r.Pops++
+	if r.size == 0 {
+		r.Underflows++
+		return 0
+	}
+	addr := r.entries[r.top]
+	r.top = (r.top - 1 + len(r.entries)) % len(r.entries)
+	r.size--
+	return addr
+}
+
+// Top returns the most recent return address without popping (0 if empty).
+func (r *RAS) Top() uint64 {
+	if r.size == 0 {
+		return 0
+	}
+	return r.entries[r.top]
+}
+
+// Snapshot is a saved RAS state; the entries slice is reused across saves.
+type Snapshot struct {
+	entries []uint64
+	top     int
+	size    int
+}
+
+// Save copies the stack state into s.
+func (r *RAS) Save(s *Snapshot) {
+	if cap(s.entries) < len(r.entries) {
+		s.entries = make([]uint64, len(r.entries))
+	}
+	s.entries = s.entries[:len(r.entries)]
+	copy(s.entries, r.entries)
+	s.top = r.top
+	s.size = r.size
+}
+
+// Restore sets the stack back to a previously saved state (same depth
+// required).
+func (r *RAS) Restore(s *Snapshot) {
+	copy(r.entries, s.entries)
+	r.top = s.top
+	r.size = s.size
+}
+
+// CopyFrom makes r identical to src (same depth required).
+func (r *RAS) CopyFrom(src *RAS) {
+	copy(r.entries, src.entries)
+	r.top = src.top
+	r.size = src.size
+}
+
+// Reset empties the stack and clears statistics.
+func (r *RAS) Reset() {
+	r.top, r.size = 0, 0
+	r.Pushes, r.Pops, r.Underflows = 0, 0, 0
+}

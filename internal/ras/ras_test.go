@@ -1,0 +1,160 @@
+package ras
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadDepth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestPushPopLIFO(t *testing.T) {
+	r := New(8)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3)
+	if r.Top() != 3 || r.Size() != 3 {
+		t.Errorf("Top=%d Size=%d", r.Top(), r.Size())
+	}
+	for want := uint64(3); want >= 1; want-- {
+		if got := r.Pop(); got != want {
+			t.Fatalf("Pop = %d, want %d", got, want)
+		}
+	}
+	if r.Size() != 0 {
+		t.Errorf("Size after drain = %d", r.Size())
+	}
+}
+
+func TestUnderflow(t *testing.T) {
+	r := New(4)
+	if got := r.Pop(); got != 0 {
+		t.Errorf("empty Pop = %d", got)
+	}
+	if r.Underflows != 1 {
+		t.Errorf("Underflows = %d", r.Underflows)
+	}
+	if r.Top() != 0 {
+		t.Errorf("empty Top = %d", r.Top())
+	}
+	// Still usable after underflow.
+	r.Push(9)
+	if r.Pop() != 9 {
+		t.Error("push/pop after underflow broken")
+	}
+}
+
+func TestOverflowWrapsOldest(t *testing.T) {
+	r := New(4)
+	for i := uint64(1); i <= 6; i++ {
+		r.Push(i)
+	}
+	if r.Size() != 4 {
+		t.Errorf("Size = %d, want 4", r.Size())
+	}
+	// Newest 4 survive: 6,5,4,3. Entry 2 and 1 were overwritten.
+	for want := uint64(6); want >= 3; want-- {
+		if got := r.Pop(); got != want {
+			t.Fatalf("Pop = %d, want %d", got, want)
+		}
+	}
+	if got := r.Pop(); got != 0 {
+		t.Errorf("Pop past wrapped entries = %d, want 0 (lost)", got)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	r := New(8)
+	r.Push(10)
+	r.Push(20)
+	var s Snapshot
+	r.Save(&s)
+	r.Pop()
+	r.Push(99)
+	r.Push(98)
+	r.Restore(&s)
+	if r.Size() != 2 || r.Top() != 20 {
+		t.Errorf("after restore: Size=%d Top=%d", r.Size(), r.Top())
+	}
+	if r.Pop() != 20 || r.Pop() != 10 {
+		t.Error("restored contents wrong")
+	}
+}
+
+func TestSnapshotBufferReuse(t *testing.T) {
+	r := New(8)
+	r.Push(1)
+	var s Snapshot
+	r.Save(&s)
+	buf := &s.entries[0]
+	r.Push(2)
+	r.Save(&s)
+	if &s.entries[0] != buf {
+		t.Error("Save reallocated buffer")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := New(8)
+	a.Push(5)
+	a.Push(6)
+	b := New(8)
+	b.Push(100)
+	b.CopyFrom(a)
+	if b.Size() != 2 || b.Pop() != 6 || b.Pop() != 5 {
+		t.Error("CopyFrom incomplete")
+	}
+	// a unaffected.
+	if a.Size() != 2 || a.Top() != 6 {
+		t.Error("CopyFrom mutated source")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New(4)
+	r.Push(1)
+	r.Pop()
+	r.Pop()
+	r.Reset()
+	if r.Size() != 0 || r.Pushes != 0 || r.Pops != 0 || r.Underflows != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+// Property: any push/pop sequence within depth bounds behaves like a plain
+// slice-backed stack.
+func TestMatchesReferenceStack(t *testing.T) {
+	f := func(ops []uint8) bool {
+		r := New(16)
+		var ref []uint64
+		for i, op := range ops {
+			if op%3 != 0 { // push twice as often as pop
+				v := uint64(i + 1)
+				r.Push(v)
+				ref = append(ref, v)
+				if len(ref) > 16 {
+					ref = ref[1:] // model wraparound loss
+				}
+			} else {
+				var want uint64
+				if len(ref) > 0 {
+					want = ref[len(ref)-1]
+					ref = ref[:len(ref)-1]
+				}
+				if got := r.Pop(); got != want {
+					return false
+				}
+			}
+		}
+		return r.Size() == len(ref)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

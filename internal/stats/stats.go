@@ -1,0 +1,409 @@
+// Package stats collects and aggregates simulation statistics: the raw
+// per-run counters the core increments, derived metrics (IPC, MPKI,
+// starvation cycles per kilo-instruction), and the cross-workload
+// aggregation rules the paper uses (geometric-mean speedup for IPC,
+// arithmetic mean for MPKI).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Run holds the raw counters of one simulation run. The core and frontend
+// increment these directly; all derived metrics live on methods so there is
+// a single source of truth for definitions.
+type Run struct {
+	// Workload and configuration identification for reports.
+	Workload string
+	// Class is the workload family ("server", "client", "spec").
+	Class  string
+	Config string
+
+	// Cycles is the number of simulated cycles in the measurement phase.
+	Cycles uint64
+	// Instructions is the number of retired (correct-path) instructions.
+	Instructions uint64
+
+	// Branches counts retired branch instructions of any kind.
+	Branches uint64
+	// CondBranches counts retired conditional branches.
+	CondBranches uint64
+	// TakenBranches counts retired taken branches.
+	TakenBranches uint64
+	// Mispredictions counts pipeline flushes caused by branch resolution
+	// (wrong direction or wrong target detected at execute).
+	Mispredictions uint64
+	// DirMispredictions counts conditional branches whose direction was
+	// wrong (a subset of Mispredictions for detected branches).
+	DirMispredictions uint64
+	// Misprediction breakdown by cause: wrong conditional flow, wrong
+	// indirect target, wrong return target, undetected taken branch that
+	// reached resolution (BTB miss not repaired by PFC).
+	MispredCond     uint64
+	MispredIndirect uint64
+	MispredReturn   uint64
+	MispredBTBMiss  uint64
+
+	// BTBLookups and BTBHits count prediction-pipeline BTB accesses.
+	BTBLookups uint64
+	BTBHits    uint64
+	// BTBMissTaken counts retired taken branches that missed in the BTB
+	// at prediction time.
+	BTBMissTaken uint64
+
+	// L1IAccesses / L1IMisses count demand I-cache accesses (fetch-path
+	// lookups from FTQ entries).
+	L1IAccesses uint64
+	L1IMisses   uint64
+	// L1ITagProbes counts every tag-array access, including prefetch
+	// probes (the dynamic-power proxy of Fig. 9).
+	L1ITagProbes uint64
+	// PrefetchIssued / PrefetchUseful / PrefetchRedundant count prefetch
+	// requests from a dedicated prefetcher.
+	PrefetchIssued    uint64
+	PrefetchUseful    uint64
+	PrefetchRedundant uint64
+
+	// PFCResteers counts post-fetch-correction redirects; PFCWrong counts
+	// those later undone by a pipeline flush (harmful corrections).
+	PFCResteers uint64
+	PFCWrong    uint64
+	// HistFixupFlushes counts frontend flushes for GHR fixup on BTB-miss
+	// not-taken branches (GHR2/GHR3 policies).
+	HistFixupFlushes uint64
+
+	// WrongPathFills counts demand fills whose FTQ entry was flushed
+	// before any of its instructions dispatched — speculative fetch work
+	// on a wrong path (it may still warm the caches).
+	WrongPathFills uint64
+
+	// StarvationCycles is the number of cycles in which the decode queue
+	// held fewer than decode-width instructions (§VI-D).
+	StarvationCycles uint64
+
+	// Exposed-miss classification (§VI-G): a covered miss is filled
+	// before any starvation is observed for it; fully exposed means the
+	// fill was initiated only when its FTQ entry reached the head.
+	MissFullyExposed     uint64
+	MissPartiallyExposed uint64
+	MissCovered          uint64
+
+	// FTQOccupancySum accumulates FTQ occupancy each cycle (for mean).
+	FTQOccupancySum uint64
+
+	// WindowIPC samples IPC per fixed instruction window (phase
+	// behaviour; see Sparkline).
+	WindowIPC []float64
+}
+
+// IPC returns retired instructions per cycle.
+func (r *Run) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// BranchMPKI returns branch mispredictions per kilo-instruction.
+func (r *Run) BranchMPKI() float64 { return r.perKI(r.Mispredictions) }
+
+// L1IMPKI returns demand I-cache misses per kilo-instruction.
+func (r *Run) L1IMPKI() float64 { return r.perKI(r.L1IMisses) }
+
+// StarvationPKI returns starvation cycles per kilo-instruction.
+func (r *Run) StarvationPKI() float64 { return r.perKI(r.StarvationCycles) }
+
+// TagProbesPKI returns I-cache tag accesses per kilo-instruction.
+func (r *Run) TagProbesPKI() float64 { return r.perKI(r.L1ITagProbes) }
+
+// BTBHitRate returns the prediction-pipeline BTB hit rate.
+func (r *Run) BTBHitRate() float64 {
+	if r.BTBLookups == 0 {
+		return 0
+	}
+	return float64(r.BTBHits) / float64(r.BTBLookups)
+}
+
+// MeanFTQOccupancy returns the average FTQ occupancy over the run.
+func (r *Run) MeanFTQOccupancy() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.FTQOccupancySum) / float64(r.Cycles)
+}
+
+func (r *Run) perKI(c uint64) float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(c) / float64(r.Instructions)
+}
+
+// Speedup returns r's IPC relative to base's IPC (1.0 = equal).
+func (r *Run) Speedup(base *Run) float64 {
+	b := base.IPC()
+	if b == 0 {
+		return 0
+	}
+	return r.IPC() / b
+}
+
+// Set is a collection of runs of the same configuration over multiple
+// workloads, aggregated the way the paper reports: geometric mean for
+// IPC-derived speedups, arithmetic mean for MPKI-like rates.
+type Set struct {
+	Config string
+	Runs   []*Run
+}
+
+// Add appends a run.
+func (s *Set) Add(r *Run) { s.Runs = append(s.Runs, r) }
+
+// ByWorkload returns the run for the named workload, or nil.
+func (s *Set) ByWorkload(name string) *Run {
+	for _, r := range s.Runs {
+		if r.Workload == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// GeoMeanSpeedup returns the geometric-mean speedup of s over base,
+// pairing runs by workload name. Workloads missing from either set are
+// skipped.
+func (s *Set) GeoMeanSpeedup(base *Set) float64 {
+	return s.GeoMeanSpeedupWhere(base, nil)
+}
+
+// GeoMeanSpeedupWhere is GeoMeanSpeedup restricted to runs accepted by
+// filter (nil accepts all).
+func (s *Set) GeoMeanSpeedupWhere(base *Set, filter func(*Run) bool) float64 {
+	var logSum float64
+	n := 0
+	for _, r := range s.Runs {
+		if filter != nil && !filter(r) {
+			continue
+		}
+		b := base.ByWorkload(r.Workload)
+		if b == nil {
+			continue
+		}
+		sp := r.Speedup(b)
+		if sp <= 0 {
+			continue
+		}
+		logSum += math.Log(sp)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// ClassSpeedup returns the geometric-mean speedup over base for runs of
+// the given workload class.
+func (s *Set) ClassSpeedup(base *Set, class string) float64 {
+	return s.GeoMeanSpeedupWhere(base, func(r *Run) bool { return r.Class == class })
+}
+
+// MeanBranchMPKI returns the arithmetic mean branch MPKI across runs.
+func (s *Set) MeanBranchMPKI() float64 {
+	return s.mean(func(r *Run) float64 { return r.BranchMPKI() })
+}
+
+// MeanL1IMPKI returns the arithmetic mean L1I MPKI across runs.
+func (s *Set) MeanL1IMPKI() float64 {
+	return s.mean(func(r *Run) float64 { return r.L1IMPKI() })
+}
+
+// MeanStarvationPKI returns the arithmetic mean starvation cycles per KI.
+func (s *Set) MeanStarvationPKI() float64 {
+	return s.mean(func(r *Run) float64 { return r.StarvationPKI() })
+}
+
+// MeanTagProbesPKI returns the arithmetic mean I-cache tag probes per KI.
+func (s *Set) MeanTagProbesPKI() float64 {
+	return s.mean(func(r *Run) float64 { return r.TagProbesPKI() })
+}
+
+func (s *Set) mean(f func(*Run) float64) float64 {
+	if len(s.Runs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range s.Runs {
+		sum += f(r)
+	}
+	return sum / float64(len(s.Runs))
+}
+
+// GeoMean returns the geometric mean of xs (must all be positive; zeros
+// and negatives are skipped).
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		logSum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs (empty slice yields 0).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sparkline renders values as a compact unicode bar chart (▁▂▃▄▅▆▇█),
+// scaled to the series maximum. Empty input yields an empty string.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	bars := []rune("▁▂▃▄▅▆▇█")
+	max := values[0]
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	out := make([]rune, len(values))
+	for i, v := range values {
+		idx := int(v / max * float64(len(bars)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(bars) {
+			idx = len(bars) - 1
+		}
+		out[i] = bars[idx]
+	}
+	return string(out)
+}
+
+// Table is a simple text table builder for experiment reports.
+type Table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// SortByColumn sorts rows by the numeric value of column i (ascending).
+func (t *Table) SortByColumn(i int) {
+	sort.SliceStable(t.rows, func(a, b int) bool {
+		var x, y float64
+		fmt.Sscanf(t.rows[a][i], "%f", &x)
+		fmt.Sscanf(t.rows[b][i], "%f", &y)
+		return x < y
+	})
+}
+
+// CSV renders the table as comma-separated values (header + rows). Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Title returns the table title.
+func (t *Table) Title() string { return t.title }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString("== " + t.title + " ==\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,259 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunDerivedMetrics(t *testing.T) {
+	r := &Run{
+		Cycles:           1000,
+		Instructions:     2000,
+		Mispredictions:   10,
+		L1IMisses:        40,
+		L1ITagProbes:     300,
+		StarvationCycles: 500,
+		BTBLookups:       100,
+		BTBHits:          90,
+		FTQOccupancySum:  12000,
+	}
+	if got := r.IPC(); got != 2.0 {
+		t.Errorf("IPC = %v", got)
+	}
+	if got := r.BranchMPKI(); got != 5.0 {
+		t.Errorf("BranchMPKI = %v", got)
+	}
+	if got := r.L1IMPKI(); got != 20.0 {
+		t.Errorf("L1IMPKI = %v", got)
+	}
+	if got := r.StarvationPKI(); got != 250.0 {
+		t.Errorf("StarvationPKI = %v", got)
+	}
+	if got := r.TagProbesPKI(); got != 150.0 {
+		t.Errorf("TagProbesPKI = %v", got)
+	}
+	if got := r.BTBHitRate(); got != 0.9 {
+		t.Errorf("BTBHitRate = %v", got)
+	}
+	if got := r.MeanFTQOccupancy(); got != 12.0 {
+		t.Errorf("MeanFTQOccupancy = %v", got)
+	}
+}
+
+func TestZeroRunIsSafe(t *testing.T) {
+	r := &Run{}
+	for name, f := range map[string]func() float64{
+		"IPC":     r.IPC,
+		"MPKI":    r.BranchMPKI,
+		"L1IMPKI": r.L1IMPKI,
+		"Starv":   r.StarvationPKI,
+		"Tag":     r.TagProbesPKI,
+		"BTB":     r.BTBHitRate,
+		"FTQ":     r.MeanFTQOccupancy,
+	} {
+		if got := f(); got != 0 {
+			t.Errorf("%s on zero run = %v", name, got)
+		}
+	}
+	if (&Run{Cycles: 1, Instructions: 1}).Speedup(r) != 0 {
+		t.Error("Speedup over zero-IPC base should be 0")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := &Run{Cycles: 100, Instructions: 100}
+	fast := &Run{Cycles: 100, Instructions: 141}
+	if got := fast.Speedup(base); math.Abs(got-1.41) > 1e-12 {
+		t.Errorf("Speedup = %v", got)
+	}
+}
+
+func TestSetGeoMeanSpeedup(t *testing.T) {
+	base := &Set{Config: "base"}
+	fdp := &Set{Config: "fdp"}
+	// Two workloads: speedups 2.0 and 0.5 -> geomean exactly 1.0.
+	base.Add(&Run{Workload: "a", Cycles: 100, Instructions: 100})
+	base.Add(&Run{Workload: "b", Cycles: 100, Instructions: 100})
+	fdp.Add(&Run{Workload: "a", Cycles: 100, Instructions: 200})
+	fdp.Add(&Run{Workload: "b", Cycles: 100, Instructions: 50})
+	if got := fdp.GeoMeanSpeedup(base); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("GeoMeanSpeedup = %v", got)
+	}
+}
+
+func TestSetGeoMeanSkipsUnpaired(t *testing.T) {
+	base := &Set{}
+	s := &Set{}
+	base.Add(&Run{Workload: "a", Cycles: 100, Instructions: 100})
+	s.Add(&Run{Workload: "a", Cycles: 100, Instructions: 150})
+	s.Add(&Run{Workload: "orphan", Cycles: 100, Instructions: 900})
+	if got := s.GeoMeanSpeedup(base); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("GeoMeanSpeedup with orphan = %v", got)
+	}
+	if got := (&Set{}).GeoMeanSpeedup(base); got != 0 {
+		t.Errorf("empty set speedup = %v", got)
+	}
+}
+
+func TestSetMeans(t *testing.T) {
+	s := &Set{}
+	s.Add(&Run{Workload: "a", Instructions: 1000, Mispredictions: 10, L1IMisses: 20, StarvationCycles: 100, L1ITagProbes: 50})
+	s.Add(&Run{Workload: "b", Instructions: 1000, Mispredictions: 30, L1IMisses: 40, StarvationCycles: 300, L1ITagProbes: 150})
+	if got := s.MeanBranchMPKI(); got != 20 {
+		t.Errorf("MeanBranchMPKI = %v", got)
+	}
+	if got := s.MeanL1IMPKI(); got != 30 {
+		t.Errorf("MeanL1IMPKI = %v", got)
+	}
+	if got := s.MeanStarvationPKI(); got != 200 {
+		t.Errorf("MeanStarvationPKI = %v", got)
+	}
+	if got := s.MeanTagProbesPKI(); got != 100 {
+		t.Errorf("MeanTagProbesPKI = %v", got)
+	}
+	if got := (&Set{}).MeanBranchMPKI(); got != 0 {
+		t.Errorf("empty mean = %v", got)
+	}
+}
+
+func TestSetByWorkload(t *testing.T) {
+	s := &Set{}
+	r := &Run{Workload: "x"}
+	s.Add(r)
+	if s.ByWorkload("x") != r {
+		t.Error("ByWorkload did not find run")
+	}
+	if s.ByWorkload("y") != nil {
+		t.Error("ByWorkload found phantom run")
+	}
+}
+
+func TestGeoMeanAndMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean = %v", got)
+	}
+	if got := GeoMean([]float64{1, 0, -3}); got != 1 {
+		t.Errorf("GeoMean skipping nonpositive = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+// Property: geomean of pairwise speedups is scale-invariant in cycles.
+func TestGeoMeanScaleInvariance(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		a, b := uint64(aRaw)+1, uint64(bRaw)+1
+		base := &Set{}
+		s := &Set{}
+		base.Add(&Run{Workload: "w", Cycles: a * 7, Instructions: 1000})
+		s.Add(&Run{Workload: "w", Cycles: b * 7, Instructions: 1000})
+		g1 := s.GeoMeanSpeedup(base)
+		base2 := &Set{}
+		s2 := &Set{}
+		base2.Add(&Run{Workload: "w", Cycles: a * 13, Instructions: 1000})
+		s2.Add(&Run{Workload: "w", Cycles: b * 13, Instructions: 1000})
+		g2 := s2.GeoMeanSpeedup(base2)
+		return math.Abs(g1-g2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "speedup")
+	tb.AddRow("base", 1.0)
+	tb.AddRow("fdp", 1.41)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "1.410") {
+		t.Errorf("missing value row: %s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableSortByColumn(t *testing.T) {
+	tb := NewTable("", "w", "mpki")
+	tb.AddRow("hi", 30.0)
+	tb.AddRow("lo", 1.5)
+	tb.AddRow("mid", 10.0)
+	tb.SortByColumn(1)
+	out := tb.String()
+	iLo := strings.Index(out, "lo")
+	iMid := strings.Index(out, "mid")
+	iHi := strings.Index(out, "hi")
+	if !(iLo < iMid && iMid < iHi) {
+		t.Errorf("sort order wrong:\n%s", out)
+	}
+}
+
+func TestClassSpeedup(t *testing.T) {
+	base := &Set{}
+	s := &Set{}
+	base.Add(&Run{Workload: "srv", Class: "server", Cycles: 100, Instructions: 100})
+	base.Add(&Run{Workload: "sp", Class: "spec", Cycles: 100, Instructions: 100})
+	s.Add(&Run{Workload: "srv", Class: "server", Cycles: 100, Instructions: 200})
+	s.Add(&Run{Workload: "sp", Class: "spec", Cycles: 100, Instructions: 110})
+	if got := s.ClassSpeedup(base, "server"); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("server class speedup = %v", got)
+	}
+	if got := s.ClassSpeedup(base, "spec"); math.Abs(got-1.1) > 1e-12 {
+		t.Errorf("spec class speedup = %v", got)
+	}
+	if got := s.ClassSpeedup(base, "client"); got != 0 {
+		t.Errorf("absent class speedup = %v", got)
+	}
+	// Unfiltered equals plain geomean.
+	if s.GeoMeanSpeedupWhere(base, nil) != s.GeoMeanSpeedup(base) {
+		t.Error("nil filter differs from GeoMeanSpeedup")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "name", "v")
+	tb.AddRow("plain", 1.0)
+	tb.AddRow(`has,comma "q"`, 2.0)
+	out := tb.CSV()
+	want := "name,v\nplain,1.000\n\"has,comma \"\"q\"\"\",2.000\n"
+	if out != want {
+		t.Errorf("CSV:\n%q\nwant\n%q", out, want)
+	}
+	if tb.Title() != "t" {
+		t.Errorf("Title = %q", tb.Title())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("Sparkline(nil) = %q", got)
+	}
+	out := Sparkline([]float64{0, 0.5, 1.0})
+	runes := []rune(out)
+	if len(runes) != 3 {
+		t.Fatalf("len = %d", len(runes))
+	}
+	if runes[0] != '▁' || runes[2] != '█' {
+		t.Errorf("scaling wrong: %q", out)
+	}
+	// All-zero series must not divide by zero.
+	if got := []rune(Sparkline([]float64{0, 0})); len(got) != 2 || got[0] != '▁' {
+		t.Errorf("zero series = %q", string(got))
+	}
+}

@@ -1,0 +1,133 @@
+package synth
+
+import (
+	"testing"
+
+	"fdp/internal/program"
+)
+
+// The generator must honour its parameter distributions, within sampling
+// tolerance: terminator-kind fractions, block sizes and loop trip counts.
+
+func TestTerminatorFractions(t *testing.T) {
+	p := testParams()
+	p.Funcs = 400
+	p.CallFrac = 0.25
+	p.JumpFrac = 0.10
+	w := MustGenerate(p, "spec", 0xD157)
+	h := w.Image().CountByType()
+	terms := h[program.CondDirect] + h[program.Jump] + h[program.Call] +
+		h[program.IndJump] + h[program.IndCall]
+	callFrac := float64(h[program.Call]) / float64(terms)
+	jumpFrac := float64(h[program.Jump]) / float64(terms)
+	// Calls degrade to conds at the deepest level and the dispatcher is
+	// all-indirect-calls, so allow generous bands.
+	if callFrac < 0.12 || callFrac > 0.40 {
+		t.Errorf("call fraction = %.3f, configured 0.25", callFrac)
+	}
+	if jumpFrac < 0.04 || jumpFrac > 0.20 {
+		t.Errorf("jump fraction = %.3f, configured 0.10", jumpFrac)
+	}
+	if h[program.Return] == 0 {
+		t.Error("no returns (every function must end in one)")
+	}
+}
+
+func TestBlockLengthMean(t *testing.T) {
+	p := testParams()
+	p.BlockLenMean = 6
+	w := MustGenerate(p, "spec", 0xD158)
+	// Mean instructions per terminator ~ BlockLenMean (geometric), so the
+	// branch density should be near 1/BlockLenMean.
+	h := w.Image().CountByType()
+	branches := 0
+	for ty := 0; ty < program.NumInstTypes; ty++ {
+		if program.InstType(ty).IsBranch() {
+			branches += h[ty]
+		}
+	}
+	meanBlock := float64(w.Image().Size()) / float64(branches)
+	if meanBlock < 4 || meanBlock > 9 {
+		t.Errorf("mean block length = %.2f, configured %d", meanBlock, p.BlockLenMean)
+	}
+}
+
+func TestLoopTripsNearMean(t *testing.T) {
+	p := testParams()
+	p.LoopFrac = 0.5
+	p.TripMean = 6
+	w := MustGenerate(p, "spec", 0xD159)
+	s := w.NewStream()
+	// Observe per-site consecutive-taken runs of backward conditionals.
+	runs := map[uint64]int{}
+	var lens []int
+	for i := 0; i < 400_000; i++ {
+		d := s.Next()
+		if d.SI.Type == program.CondDirect && d.SI.Target <= d.SI.PC {
+			if d.Taken {
+				runs[d.SI.PC]++
+			} else {
+				lens = append(lens, runs[d.SI.PC]+1)
+				runs[d.SI.PC] = 0
+			}
+		}
+	}
+	if len(lens) < 100 {
+		t.Fatalf("only %d loop activations observed", len(lens))
+	}
+	var sum float64
+	for _, l := range lens {
+		sum += float64(l)
+	}
+	mean := sum / float64(len(lens))
+	if mean < 3 || mean > 12 {
+		t.Errorf("mean loop trip = %.2f, configured %d", mean, p.TripMean)
+	}
+}
+
+func TestDispatcherRotatesThroughHandlers(t *testing.T) {
+	w := MustGenerate(testParams(), "spec", 0xD15A)
+	s := w.NewStream()
+	// Collect the targets of the first indirect-call site encountered.
+	targets := map[uint64]map[uint64]bool{}
+	for i := 0; i < 300_000; i++ {
+		pc := s.PC()
+		si := w.Image().AtOrSequential(pc)
+		d := s.Next()
+		if si.Type == program.IndCall {
+			if targets[pc] == nil {
+				targets[pc] = map[uint64]bool{}
+			}
+			targets[pc][d.NextPC] = true
+		}
+	}
+	multi := 0
+	for _, set := range targets {
+		if len(set) >= 2 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no polymorphic indirect-call sites observed")
+	}
+}
+
+func TestClassesAreOrderedByFootprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("standard workloads in -short")
+	}
+	var server, client, spec uint64
+	for _, w := range StandardWorkloads() {
+		switch w.Class {
+		case "server":
+			server += w.FootprintBytes()
+		case "client":
+			client += w.FootprintBytes()
+		case "spec":
+			spec += w.FootprintBytes()
+		}
+	}
+	if !(server > client && client > spec) {
+		t.Errorf("class footprints not ordered: server=%d client=%d spec=%d", server, client, spec)
+	}
+}

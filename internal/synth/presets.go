@@ -1,0 +1,145 @@
+package synth
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ServerParams returns the parameter set for the "server" workload class:
+// multi-hundred-KB code footprints, deep call graphs, heavy discontinuity.
+// variant (0..3) perturbs sizes so the four server workloads differ.
+func ServerParams(variant int) Params {
+	return Params{
+		Name:              fmt.Sprintf("server_%c", 'a'+variant),
+		Funcs:             2800 + 350*variant,
+		Levels:            8,
+		BlocksPerFuncMean: 12 + variant,
+		BlockLenMean:      6,
+		JumpFrac:          0.08,
+		CallFrac:          0.24,
+		IndJumpFrac:       0.02,
+		IndCallFrac:       0.04,
+		LoopFrac:          0.08,
+		PatternFrac:       0.16,
+		StrongBiasFrac:    0.93,
+		TripMean:          4,
+		IndTargetsMax:     10,
+		MarkovStay:        0.78,
+		HotFraction:       0.45,
+	}
+}
+
+// ClientParams returns the "client" class: mid footprint, moderate call
+// depth, a mix of loops and branchy code.
+func ClientParams(variant int) Params {
+	return Params{
+		Name:              fmt.Sprintf("client_%c", 'a'+variant),
+		Funcs:             1350 + 180*variant,
+		Levels:            7,
+		BlocksPerFuncMean: 11 + variant,
+		BlockLenMean:      6,
+		JumpFrac:          0.08,
+		CallFrac:          0.20,
+		IndJumpFrac:       0.03,
+		IndCallFrac:       0.03,
+		LoopFrac:          0.14,
+		PatternFrac:       0.18,
+		StrongBiasFrac:    0.92,
+		TripMean:          6,
+		IndTargetsMax:     8,
+		MarkovStay:        0.82,
+		HotFraction:       0.45,
+	}
+}
+
+// SpecParams returns the "spec" class: smaller, loopier codes in the style
+// of SPEC CPU workloads that still exceed the 32KB L1I when warm.
+func SpecParams(variant int) Params {
+	return Params{
+		Name:              fmt.Sprintf("spec_%c", 'a'+variant),
+		Funcs:             700 + 90*variant,
+		Levels:            6,
+		BlocksPerFuncMean: 14 + 2*variant,
+		BlockLenMean:      7,
+		JumpFrac:          0.07,
+		CallFrac:          0.15,
+		IndJumpFrac:       0.02,
+		IndCallFrac:       0.02,
+		LoopFrac:          0.17,
+		PatternFrac:       0.20,
+		StrongBiasFrac:    0.88,
+		TripMean:          8,
+		IndTargetsMax:     6,
+		MarkovStay:        0.88,
+		HotFraction:       0.60,
+	}
+}
+
+// classSeeds gives every workload an independent master seed.
+const (
+	serverSeedBase = 0x5eed_0001
+	clientSeedBase = 0x5eed_1001
+	specSeedBase   = 0x5eed_2001
+)
+
+var (
+	stdOnce sync.Once
+	stdSet  []*Workload
+)
+
+// StandardWorkloads returns the 12 standard workloads (4 per class) used
+// by all paper experiments. The set is generated once and cached; workloads
+// are immutable and safe to share across goroutines (each run creates its
+// own Stream).
+func StandardWorkloads() []*Workload {
+	stdOnce.Do(func() {
+		for v := 0; v < 4; v++ {
+			stdSet = append(stdSet, MustGenerate(ServerParams(v), "server", serverSeedBase+uint64(v)))
+		}
+		for v := 0; v < 4; v++ {
+			stdSet = append(stdSet, MustGenerate(ClientParams(v), "client", clientSeedBase+uint64(v)))
+		}
+		for v := 0; v < 4; v++ {
+			stdSet = append(stdSet, MustGenerate(SpecParams(v), "spec", specSeedBase+uint64(v)))
+		}
+	})
+	return stdSet
+}
+
+// WorkloadsWithSeedOffset generates the full 12-workload suite with every
+// master seed shifted by offset (offset 0 equals StandardWorkloads but is
+// regenerated, not cached). Use for seed-sensitivity studies: the same
+// program classes, different random programs and behaviours.
+func WorkloadsWithSeedOffset(offset uint64) []*Workload {
+	var ws []*Workload
+	for v := 0; v < 4; v++ {
+		ws = append(ws, MustGenerate(ServerParams(v), "server", serverSeedBase+uint64(v)+offset))
+	}
+	for v := 0; v < 4; v++ {
+		ws = append(ws, MustGenerate(ClientParams(v), "client", clientSeedBase+uint64(v)+offset))
+	}
+	for v := 0; v < 4; v++ {
+		ws = append(ws, MustGenerate(SpecParams(v), "spec", specSeedBase+uint64(v)+offset))
+	}
+	return ws
+}
+
+// ByName returns the standard workload with the given name, or nil.
+func ByName(name string) *Workload {
+	for _, w := range StandardWorkloads() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}
+
+// Names returns the names of the standard workloads in order.
+func Names() []string {
+	ws := StandardWorkloads()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
+	}
+	return out
+}

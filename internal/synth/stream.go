@@ -1,0 +1,231 @@
+package synth
+
+import (
+	"fdp/internal/program"
+	"fdp/internal/xrand"
+)
+
+// branchState is the mutable per-site runtime state of a behaviour model.
+type branchState struct {
+	rng     xrand.SplitMix64 // biased draws and markov switches
+	pos     int32            // loop iteration / pattern position
+	curTrip int32            // loop: trip count for the current activation
+	cur     int32            // indirect: index of the current target
+}
+
+// Stream executes a workload's behaviour models, producing the
+// architecturally-correct dynamic instruction sequence. It implements
+// program.Stream. Streams are infinite: when the entry function returns
+// with an empty call stack the program restarts at the entry point.
+//
+// Oracle side-channels (PeekDirection, PeekTarget) expose the *next*
+// outcome of a site without advancing it; they exist solely to implement
+// the paper's idealized predictors ("perfect direction", "Perfect All").
+type Stream struct {
+	w     *Workload
+	pc    uint64
+	state []branchState
+	stack []uint64
+
+	// Executed counts dynamic instructions delivered by Next.
+	Executed uint64
+}
+
+// NewStream creates a fresh deterministic execution of the workload.
+// Streams created from the same workload are identical.
+func (w *Workload) NewStream() *Stream {
+	s := &Stream{
+		w:     w,
+		pc:    w.entry,
+		state: make([]branchState, len(w.info)),
+		stack: make([]uint64, 0, 64),
+	}
+	for i := range w.info {
+		bi := &w.info[i]
+		if bi.kind == behNone {
+			continue
+		}
+		s.state[i].rng.Seed(xrand.Mix(w.Seed ^ uint64(i)*0x9e37_79b9))
+		if bi.kind == behLoop {
+			s.state[i].curTrip = s.drawTrip(bi, &s.state[i])
+		}
+	}
+	return s
+}
+
+// Image returns the static image the stream executes from.
+func (s *Stream) Image() *program.Image { return s.w.Image() }
+
+// PC returns the address of the next instruction Next will return.
+func (s *Stream) PC() uint64 { return s.pc }
+
+// Depth returns the current call-stack depth.
+func (s *Stream) Depth() int { return len(s.stack) }
+
+func (s *Stream) idx(pc uint64) int {
+	return int((pc - imageBase) / program.InstBytes)
+}
+
+func (s *Stream) drawTrip(bi *branchInfo, st *branchState) int32 {
+	t := bi.trip
+	if bi.tripVar > 0 {
+		t += int32(st.rng.Intn(int(2*bi.tripVar+1))) - bi.tripVar
+	}
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+// Next returns the next executed instruction and advances the stream.
+func (s *Stream) Next() program.DynInst {
+	si, ok := s.w.img.At(s.pc)
+	if !ok {
+		panic("synth: stream PC escaped image") // generator invariant
+	}
+	d := program.DynInst{SI: si}
+	switch si.Type {
+	case program.NonBranch:
+		d.NextPC = si.FallThrough()
+	case program.CondDirect:
+		taken := s.stepCond(s.idx(s.pc))
+		d.Taken = taken
+		if taken {
+			d.NextPC = si.Target
+		} else {
+			d.NextPC = si.FallThrough()
+		}
+	case program.Jump:
+		d.Taken = true
+		d.NextPC = si.Target
+	case program.Call:
+		d.Taken = true
+		d.NextPC = si.Target
+		s.stack = append(s.stack, si.FallThrough())
+	case program.IndJump:
+		d.Taken = true
+		d.NextPC = s.stepIndirect(s.idx(s.pc))
+	case program.IndCall:
+		d.Taken = true
+		d.NextPC = s.stepIndirect(s.idx(s.pc))
+		s.stack = append(s.stack, si.FallThrough())
+	case program.Return:
+		d.Taken = true
+		if n := len(s.stack); n > 0 {
+			d.NextPC = s.stack[n-1]
+			s.stack = s.stack[:n-1]
+		} else {
+			d.NextPC = s.w.entry // program outer loop
+		}
+	}
+	s.pc = d.NextPC
+	s.Executed++
+	return d
+}
+
+// stepCond advances the conditional behaviour at image index i and returns
+// the direction.
+func (s *Stream) stepCond(i int) bool {
+	bi := &s.w.info[i]
+	st := &s.state[i]
+	switch bi.kind {
+	case behBiased:
+		return st.rng.Bool(bi.p)
+	case behLoop:
+		st.pos++
+		if st.pos < st.curTrip {
+			return true
+		}
+		st.pos = 0
+		st.curTrip = s.drawTrip(bi, st)
+		return false
+	case behPattern:
+		taken := bi.pattern>>uint(st.pos)&1 == 1
+		st.pos++
+		if st.pos >= int32(bi.patLen) {
+			st.pos = 0
+		}
+		return taken
+	default:
+		// Degenerate site (e.g. generated with kind behNone); treat as
+		// never taken so execution still progresses.
+		return false
+	}
+}
+
+// stepIndirect advances the indirect behaviour at image index i and
+// returns the chosen target.
+func (s *Stream) stepIndirect(i int) uint64 {
+	bi := &s.w.info[i]
+	st := &s.state[i]
+	if len(bi.targets) == 1 {
+		return bi.targets[0]
+	}
+	if bi.kind == behRotate {
+		st.cur = (st.cur + 1) % int32(len(bi.targets))
+		return bi.targets[st.cur]
+	}
+	if !st.rng.Bool(bi.stay) {
+		st.cur = int32(st.rng.Intn(len(bi.targets)))
+	}
+	return bi.targets[st.cur]
+}
+
+// PeekDirection returns the direction the conditional branch at pc would
+// take on its next execution, without advancing its state. It reports
+// false for unknown sites. This is the oracle used by the "perfect
+// direction predictor" configuration.
+func (s *Stream) PeekDirection(pc uint64) bool {
+	if !s.w.img.Contains(pc) {
+		return false
+	}
+	i := s.idx(pc)
+	bi := &s.w.info[i]
+	st := &s.state[i]
+	switch bi.kind {
+	case behBiased:
+		clone := st.rng // value copy
+		return clone.Bool(bi.p)
+	case behLoop:
+		return st.pos+1 < st.curTrip
+	case behPattern:
+		return bi.pattern>>uint(st.pos)&1 == 1
+	}
+	return false
+}
+
+// PeekTarget returns the target the indirect branch at pc would choose on
+// its next execution, without advancing its state. ok is false for
+// non-indirect sites. This is the oracle used by "Perfect All".
+func (s *Stream) PeekTarget(pc uint64) (uint64, bool) {
+	if !s.w.img.Contains(pc) {
+		return 0, false
+	}
+	i := s.idx(pc)
+	bi := &s.w.info[i]
+	if (bi.kind != behIndirect && bi.kind != behRotate) || len(bi.targets) == 0 {
+		return 0, false
+	}
+	st := &s.state[i]
+	if len(bi.targets) == 1 {
+		return bi.targets[0], true
+	}
+	if bi.kind == behRotate {
+		return bi.targets[(st.cur+1)%int32(len(bi.targets))], true
+	}
+	clone := st.rng
+	cur := st.cur
+	if !clone.Bool(bi.stay) {
+		cur = int32(clone.Intn(len(bi.targets)))
+	}
+	return bi.targets[cur], true
+}
+
+// PeekReturnTarget returns the address the next executed Return will jump
+// to (top of the architectural call stack, or the entry on underflow).
+func (s *Stream) PeekReturnTarget() uint64 {
+	if n := len(s.stack); n > 0 {
+		return s.stack[n-1]
+	}
+	return s.w.entry
+}

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hardens the trace reader against corrupted and adversarial
+// inputs: it must return an error or a well-formed trace, never panic or
+// hang.
+func FuzzRead(f *testing.F) {
+	// Seed with a real trace plus truncations and bit flips.
+	w := testWorkload()
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf, Header{Name: w.Name, Class: w.Class, Seed: w.Seed, Entry: w.Entry()}, w.Image())
+	if err != nil {
+		f.Fatal(err)
+	}
+	s := w.NewStream()
+	for i := 0; i < 500; i++ {
+		tw.Record(s.Next())
+	}
+	tw.Close()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("FDPTRACE1\n"))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0xff
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed trace must be internally consistent.
+		if tr.Len() == 0 {
+			t.Fatal("parsed trace with zero records")
+		}
+		if tr.Image().Size() == 0 {
+			t.Fatal("parsed trace with empty image")
+		}
+		// Replaying a handful of records must not panic.
+		st := tr.NewStream()
+		for i := 0; i < 32; i++ {
+			st.Next()
+		}
+	})
+}

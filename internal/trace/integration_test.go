@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"fdp/internal/core"
+)
+
+// Trace-driven and in-memory simulation must agree: a trace long enough to
+// cover the whole run replays the identical instruction stream, so the
+// measured statistics are identical.
+func TestTraceDrivenSimulationMatchesSynth(t *testing.T) {
+	w := testWorkload()
+	const warmup, measure = 20_000, 80_000
+	// Record comfortably more than the run needs so the wrap never happens.
+	data := writeTrace(t, w, (warmup+measure)*2)
+	tr, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	fromSynth, err := core.Simulate(cfg, w.NewStream(), w.Name, warmup, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTrace, err := core.Simulate(cfg, tr.NewStream(), w.Name, warmup, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fromSynth.Cycles != fromTrace.Cycles {
+		t.Errorf("cycles differ: synth %d vs trace %d", fromSynth.Cycles, fromTrace.Cycles)
+	}
+	if fromSynth.Mispredictions != fromTrace.Mispredictions {
+		t.Errorf("mispredictions differ: %d vs %d", fromSynth.Mispredictions, fromTrace.Mispredictions)
+	}
+	if fromSynth.L1IMisses != fromTrace.L1IMisses {
+		t.Errorf("L1I misses differ: %d vs %d", fromSynth.L1IMisses, fromTrace.L1IMisses)
+	}
+	if fromSynth.PFCResteers != fromTrace.PFCResteers {
+		t.Errorf("PFC resteers differ: %d vs %d", fromSynth.PFCResteers, fromTrace.PFCResteers)
+	}
+}
+
+// A wrapping trace still simulates (each wrap costs one artificial
+// misprediction, nothing more).
+func TestWrappingTraceSimulates(t *testing.T) {
+	w := testWorkload()
+	data := writeTrace(t, w, 30_000)
+	tr, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Simulate(core.DefaultConfig(), tr.NewStream(), w.Name, 20_000, 80_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC() <= 0 {
+		t.Errorf("IPC = %v", r.IPC())
+	}
+}

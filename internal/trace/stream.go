@@ -1,0 +1,67 @@
+package trace
+
+import "fdp/internal/program"
+
+// Stream replays a loaded trace as an infinite instruction stream (the
+// trace loops when it ends, as the paper's warmup+measure methodology
+// assumes more instructions than any single pass). It implements the
+// core's Oracle interface, including bounded-lookahead Peek side-channels
+// for the idealized-predictor configurations.
+type Stream struct {
+	t   *Trace
+	pos int
+	// peekWindow bounds the forward scan of PeekDirection/PeekTarget.
+	peekWindow int
+}
+
+// NewStream starts a replay from the beginning of the trace.
+func (t *Trace) NewStream() *Stream {
+	return &Stream{t: t, peekWindow: 4096}
+}
+
+// Image implements program.Stream.
+func (s *Stream) Image() *program.Image { return s.t.img }
+
+// PC returns the address of the next instruction.
+func (s *Stream) PC() uint64 { return s.t.recs[s.pos].pc }
+
+// Next implements program.Stream. When the trace ends it wraps to the
+// first record; the wrap is one artificial control transfer per pass,
+// which the core simply treats as a misprediction.
+func (s *Stream) Next() program.DynInst {
+	rec := s.t.recs[s.pos]
+	s.pos++
+	if s.pos == len(s.t.recs) {
+		s.pos = 0
+	}
+	return program.DynInst{
+		SI:     s.t.img.AtOrSequential(rec.pc),
+		Taken:  rec.taken,
+		NextPC: s.t.recs[s.pos].pc,
+	}
+}
+
+// PeekDirection scans ahead (bounded) for the next execution of the
+// conditional branch at pc and returns its direction; false when not
+// found within the window.
+func (s *Stream) PeekDirection(pc uint64) bool {
+	for i := 0; i < s.peekWindow; i++ {
+		rec := &s.t.recs[(s.pos+i)%len(s.t.recs)]
+		if rec.pc == pc {
+			return rec.taken
+		}
+	}
+	return false
+}
+
+// PeekTarget scans ahead (bounded) for the next execution of the indirect
+// branch at pc and returns its target.
+func (s *Stream) PeekTarget(pc uint64) (uint64, bool) {
+	for i := 0; i < s.peekWindow; i++ {
+		idx := (s.pos + i) % len(s.t.recs)
+		if s.t.recs[idx].pc == pc {
+			return s.t.recs[idx].nextPC, true
+		}
+	}
+	return 0, false
+}

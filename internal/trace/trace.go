@@ -1,0 +1,251 @@
+// Package trace defines the on-disk workload format: a gzip-compressed
+// file holding the static program image (the pre-decoder's ground truth)
+// followed by the dynamic instruction records, in the spirit of the
+// ChampSim traces the paper's methodology uses. Traces written from a
+// synthetic workload replay exactly, and a loaded trace implements the
+// same Oracle interface the core consumes, so file-driven and in-memory
+// simulation are interchangeable.
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"fdp/internal/program"
+)
+
+// magic identifies the format.
+const magic = "FDPTRACE1\n"
+
+// Header describes the traced workload.
+type Header struct {
+	Name         string
+	Class        string
+	Seed         uint64
+	Entry        uint64
+	Instructions uint64 // dynamic record count
+}
+
+// Writer serializes a header, image and dynamic records.
+type Writer struct {
+	zw    *gzip.Writer
+	bw    *bufio.Writer
+	count uint64
+	buf   [binary.MaxVarintLen64]byte
+}
+
+// NewWriter starts a trace on w. The header's Instructions field is
+// ignored here; the count is written by Close as a trailer record.
+func NewWriter(w io.Writer, h Header, img *program.Image) (*Writer, error) {
+	zw := gzip.NewWriter(w)
+	bw := bufio.NewWriter(zw)
+	tw := &Writer{zw: zw, bw: bw}
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	tw.writeString(h.Name)
+	tw.writeString(h.Class)
+	tw.writeUvarint(h.Seed)
+	tw.writeUvarint(h.Entry)
+	// Image: base, instruction count, then per-instruction type and (for
+	// direct branches) target.
+	tw.writeUvarint(img.Base())
+	tw.writeUvarint(uint64(img.Size()))
+	img.EachInst(func(si program.StaticInst) {
+		tw.bw.WriteByte(byte(si.Type))
+		if si.Type.IsDirect() {
+			tw.writeUvarint(si.Target)
+		}
+	})
+	return tw, nil
+}
+
+func (w *Writer) writeUvarint(v uint64) {
+	n := binary.PutUvarint(w.buf[:], v)
+	w.bw.Write(w.buf[:n])
+}
+
+func (w *Writer) writeString(s string) {
+	w.writeUvarint(uint64(len(s)))
+	w.bw.WriteString(s)
+}
+
+// Record flags.
+const (
+	flagTaken    = 1 << 0
+	flagSeqNext  = 1 << 1 // NextPC == PC+4
+	flagStatic   = 1 << 2 // NextPC == static target (direct taken)
+	flagExplicit = 1 << 3 // explicit varint NextPC follows
+)
+
+// Record appends one executed instruction.
+func (w *Writer) Record(d program.DynInst) {
+	w.count++
+	switch {
+	case d.NextPC == d.SI.FallThrough():
+		flags := byte(flagSeqNext)
+		if d.Taken {
+			flags |= flagTaken
+		}
+		w.bw.WriteByte(flags)
+	case d.Taken && d.SI.Type.IsDirect() && d.NextPC == d.SI.Target:
+		w.bw.WriteByte(flagTaken | flagStatic)
+	default:
+		flags := byte(flagExplicit)
+		if d.Taken {
+			flags |= flagTaken
+		}
+		w.bw.WriteByte(flags)
+		w.writeUvarint(d.NextPC)
+	}
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Close flushes the trace. The underlying writer is not closed.
+func (w *Writer) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.zw.Close()
+}
+
+// record is one decoded dynamic instruction.
+type record struct {
+	pc     uint64
+	nextPC uint64
+	taken  bool
+}
+
+// Trace is a fully-loaded trace: the image plus all dynamic records.
+type Trace struct {
+	Header Header
+	img    *program.Image
+	recs   []record
+}
+
+// Read loads a whole trace into memory.
+func Read(r io.Reader) (*Trace, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer zr.Close()
+	br := bufio.NewReader(zr)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(got) != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	t := &Trace{}
+	if t.Header.Name, err = readString(br); err != nil {
+		return nil, err
+	}
+	if t.Header.Class, err = readString(br); err != nil {
+		return nil, err
+	}
+	if t.Header.Seed, err = binary.ReadUvarint(br); err != nil {
+		return nil, err
+	}
+	if t.Header.Entry, err = binary.ReadUvarint(br); err != nil {
+		return nil, err
+	}
+	base, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if base%program.InstBytes != 0 {
+		return nil, fmt.Errorf("trace: image base %#x not %d-byte aligned", base, program.InstBytes)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	const maxImageInsts = 1 << 26 // 256MB of code: far beyond any workload
+	if n == 0 || n > maxImageInsts {
+		return nil, fmt.Errorf("trace: implausible image size %d", n)
+	}
+	img := program.NewImage(base)
+	for i := uint64(0); i < n; i++ {
+		tb, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: image truncated: %w", err)
+		}
+		ty := program.InstType(tb)
+		if int(ty) >= program.NumInstTypes {
+			return nil, fmt.Errorf("trace: bad instruction type %d", tb)
+		}
+		pc := img.Append(ty)
+		if ty.IsDirect() {
+			tgt, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			img.SetTarget(pc, tgt)
+		}
+	}
+	if err := img.Freeze(); err != nil {
+		return nil, err
+	}
+	t.img = img
+
+	pc := t.Header.Entry
+	for {
+		flags, err := br.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		rec := record{pc: pc, taken: flags&flagTaken != 0}
+		si := img.AtOrSequential(pc)
+		switch {
+		case flags&flagSeqNext != 0:
+			rec.nextPC = si.FallThrough()
+		case flags&flagStatic != 0:
+			rec.nextPC = si.Target
+		case flags&flagExplicit != 0:
+			if rec.nextPC, err = binary.ReadUvarint(br); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("trace: bad record flags %#x", flags)
+		}
+		t.recs = append(t.recs, rec)
+		pc = rec.nextPC
+	}
+	t.Header.Instructions = uint64(len(t.recs))
+	if len(t.recs) == 0 {
+		return nil, errors.New("trace: no dynamic records")
+	}
+	return t, nil
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", errors.New("trace: oversized string")
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Image returns the static program image.
+func (t *Trace) Image() *program.Image { return t.img }
+
+// Len returns the number of dynamic records.
+func (t *Trace) Len() int { return len(t.recs) }

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"fdp/internal/program"
+	"fdp/internal/synth"
+)
+
+func testWorkload() *synth.Workload {
+	p := synth.SpecParams(0)
+	p.Name = "trace-test"
+	p.Funcs = 60
+	return synth.MustGenerate(p, "spec", 0x7ACE)
+}
+
+// writeTrace records n instructions of the workload into a buffer.
+func writeTrace(t *testing.T, w *synth.Workload, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf, Header{
+		Name: w.Name, Class: w.Class, Seed: w.Seed, Entry: w.Entry(),
+	}, w.Image())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.NewStream()
+	for i := 0; i < n; i++ {
+		tw.Record(s.Next())
+	}
+	if tw.Count() != uint64(n) {
+		t.Fatalf("Count = %d, want %d", tw.Count(), n)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	w := testWorkload()
+	const n = 20000
+	data := writeTrace(t, w, n)
+	tr, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.Name != w.Name || tr.Header.Class != w.Class || tr.Header.Seed != w.Seed {
+		t.Errorf("header = %+v", tr.Header)
+	}
+	if tr.Len() != n || tr.Header.Instructions != n {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if tr.Image().Size() != w.Image().Size() || tr.Image().Base() != w.Image().Base() {
+		t.Error("image geometry mismatch")
+	}
+	// Replay must match the original stream exactly.
+	orig := w.NewStream()
+	replay := tr.NewStream()
+	for i := 0; i < n-1; i++ { // last record's NextPC wraps
+		a := orig.Next()
+		b := replay.Next()
+		if a.SI != b.SI || a.Taken != b.Taken || a.NextPC != b.NextPC {
+			t.Fatalf("record %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestImageRoundTripTypes(t *testing.T) {
+	w := testWorkload()
+	data := writeTrace(t, w, 100)
+	tr, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatch := 0
+	w.Image().EachInst(func(si program.StaticInst) {
+		got, _ := tr.Image().At(si.PC)
+		if got != si {
+			mismatch++
+		}
+	})
+	if mismatch != 0 {
+		t.Errorf("%d static instructions differ", mismatch)
+	}
+}
+
+func TestStreamLoops(t *testing.T) {
+	w := testWorkload()
+	data := writeTrace(t, w, 500)
+	tr, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.NewStream()
+	// Consume 3 full passes; must not run out and PCs must chain.
+	prev := s.Next()
+	for i := 0; i < 1500; i++ {
+		d := s.Next()
+		if d.SI.PC != prev.NextPC {
+			t.Fatalf("chain broken at %d: pc %#x, want %#x", i, d.SI.PC, prev.NextPC)
+		}
+		prev = d
+	}
+}
+
+func TestPeeks(t *testing.T) {
+	w := testWorkload()
+	data := writeTrace(t, w, 5000)
+	tr, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.NewStream()
+	checkedDir, checkedTgt := 0, 0
+	for i := 0; i < 4000; i++ {
+		pc := s.PC()
+		si := tr.Image().AtOrSequential(pc)
+		var wantDir, haveDir bool
+		var wantTgt uint64
+		var haveTgt bool
+		if si.Type.IsConditional() {
+			wantDir = s.PeekDirection(pc)
+			haveDir = true
+		}
+		if si.Type.IsIndirect() {
+			wantTgt, haveTgt = s.PeekTarget(pc)
+		}
+		d := s.Next()
+		if haveDir {
+			checkedDir++
+			if d.Taken != wantDir {
+				t.Fatalf("PeekDirection wrong at %d", i)
+			}
+		}
+		if haveTgt {
+			checkedTgt++
+			if d.NextPC != wantTgt {
+				t.Fatalf("PeekTarget wrong at %d", i)
+			}
+		}
+	}
+	if checkedDir < 100 {
+		t.Errorf("only %d direction peeks", checkedDir)
+	}
+	if checkedTgt < 5 {
+		t.Errorf("only %d target peeks", checkedTgt)
+	}
+}
+
+func TestPeekMissesOutsideWindow(t *testing.T) {
+	w := testWorkload()
+	data := writeTrace(t, w, 100)
+	tr, _ := Read(bytes.NewReader(data))
+	s := tr.NewStream()
+	if s.PeekDirection(0xdead_0000) {
+		t.Error("peek found phantom branch")
+	}
+	if _, ok := s.PeekTarget(0xdead_0000); ok {
+		t.Error("peek found phantom target")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Error("Read accepted garbage")
+	}
+	// Valid gzip, wrong magic.
+	var buf bytes.Buffer
+	data := writeTrace(t, testWorkload(), 10)
+	copy(data, data) // no-op; build a corrupted copy below
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	if _, err := Read(bytes.NewReader(corrupt)); err == nil {
+		t.Error("Read accepted corrupted trace")
+	}
+	_ = buf
+}
+
+func TestEmptyTraceRejected(t *testing.T) {
+	w := testWorkload()
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf, Header{Name: "empty", Entry: w.Entry()}, w.Image())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw.Close()
+	if _, err := Read(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("Read accepted empty trace")
+	}
+}
+
+func TestCompression(t *testing.T) {
+	w := testWorkload()
+	data := writeTrace(t, w, 100_000)
+	// 100K records must compress well below 2 bytes per instruction.
+	if perInst := float64(len(data)) / 100_000; perInst > 2 {
+		t.Errorf("trace size %.2f bytes/inst", perInst)
+	}
+}

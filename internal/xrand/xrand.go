@@ -1,0 +1,75 @@
+// Package xrand provides the small deterministic PRNG used by every
+// stochastic component of the simulator (workload generation, behaviour
+// models, backend stall model). All simulation randomness flows through
+// this package so that runs are exactly reproducible from a seed.
+package xrand
+
+// SplitMix64 is a tiny, fast, high-quality 64-bit PRNG (Steele et al.,
+// "Fast splittable pseudorandom number generators"). The zero value is a
+// valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Seed resets the generator state.
+func (r *SplitMix64) Seed(seed uint64) { r.state = seed }
+
+// Uint64 returns the next 64 random bits.
+func (r *SplitMix64) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *SplitMix64) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *SplitMix64) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Geometric returns a sample from a geometric-ish distribution with mean
+// approximately mean (minimum 1). Used for run lengths such as loop trip
+// counts and basic-block sizes.
+func (r *SplitMix64) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	n := 1
+	for !r.Bool(p) && n < int(mean*16) {
+		n++
+	}
+	return n
+}
+
+// Mix hashes a 64-bit value with the splitmix64 finalizer; useful for
+// deriving independent sub-seeds from a master seed.
+func Mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,151 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	r := New(7)
+	first := r.Uint64()
+	r.Uint64()
+	r.Seed(7)
+	if got := r.Uint64(); got != first {
+		t.Errorf("after reseed first draw = %d, want %d", got, first)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 draws collided across seeds", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 7, 100} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(0).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := New(1)
+	if r.Bool(0) {
+		t.Error("Bool(0) = true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) = false")
+	}
+	if r.Bool(-0.5) {
+		t.Error("Bool(-0.5) = true")
+	}
+	if !r.Bool(1.5) {
+		t.Error("Bool(1.5) = false")
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	r := New(11)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.28 || frac > 0.32 {
+		t.Errorf("Bool(0.3) frequency = %v", frac)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(5)
+	const n = 50000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(8)
+	}
+	mean := float64(sum) / n
+	if mean < 7 || mean > 9 {
+		t.Errorf("Geometric(8) mean = %v", mean)
+	}
+}
+
+func TestGeometricMinimum(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		if g := r.Geometric(0.1); g != 1 {
+			t.Fatalf("Geometric(0.1) = %d, want 1", g)
+		}
+	}
+}
+
+func TestMixIsInjectiveish(t *testing.T) {
+	// Property: Mix is deterministic and different inputs map to
+	// different outputs (true for a bijective finalizer).
+	f := func(x, y uint64) bool {
+		if x == y {
+			return Mix(x) == Mix(y)
+		}
+		return Mix(x) != Mix(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64Distribution(t *testing.T) {
+	// Crude bucket uniformity check.
+	r := New(123)
+	var buckets [16]int
+	const n = 160000
+	for i := 0; i < n; i++ {
+		buckets[r.Uint64()>>60]++
+	}
+	for i, c := range buckets {
+		if c < n/16-n/64 || c > n/16+n/64 {
+			t.Errorf("bucket %d count %d far from %d", i, c, n/16)
+		}
+	}
+}
