@@ -1,0 +1,39 @@
+# Tier-1 gate for this repo (see ROADMAP.md). `make ci` is what must stay
+# green; the other targets are its pieces plus developer conveniences.
+
+GO ?= go
+FUZZTIME ?= 5s
+
+.PHONY: ci build vet test race fuzz bench golden-update clean
+
+ci: vet build race fuzz
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Each fuzz target needs its own invocation (go test allows one -fuzz
+# pattern matching a single target per package).
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzHistogram -fuzztime=$(FUZZTIME) ./internal/obs
+	$(GO) test -run=^$$ -fuzz=FuzzEventJSONL -fuzztime=$(FUZZTIME) ./internal/obs
+	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/trace
+
+bench:
+	$(GO) test -bench BenchmarkSimulatorThroughput -benchtime 2x -run=^$$ .
+
+# Regenerate the golden-run manifests after an intentional simulator
+# change; review the diff before committing.
+golden-update:
+	$(GO) test -run TestGoldenManifests -update .
+
+clean:
+	$(GO) clean ./...

@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"fdp/internal/experiments"
+	"fdp/internal/obs"
 )
 
 func main() {
@@ -27,8 +29,26 @@ func main() {
 		full  = flag.Bool("full", false, "heavyweight run")
 		list  = flag.Bool("list", false, "list experiments and exit")
 		csv   = flag.String("csv", "", "also write each experiment's tables as CSV files into this directory")
+
+		metricsOut = flag.String("metrics", "", "write every run's observability manifest as JSONL to this file")
+		traceOut   = flag.String("trace", "", "write pipeline event traces as JSONL to this file")
+		traceCap   = flag.Int("trace-cap", 1<<14, "event-trace ring capacity (last N events per run)")
+		pprofOut   = flag.String("pprof", "", "write a CPU profile of the experiment run to this file")
 	)
 	flag.Parse()
+
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *list {
 		for _, e := range experiments.AllWithExtensions() {
@@ -49,6 +69,28 @@ func main() {
 	}
 	fmt.Printf("scale=%s workloads=%d warmup=%d measure=%d\n\n",
 		scale, len(opts.Workloads), opts.Warmup, opts.Measure)
+
+	var manifests *obs.ManifestLog
+	if *metricsOut != "" {
+		manifests = obs.NewManifestLog()
+		opts.Manifests = manifests
+	}
+	var traceW *os.File
+	if *traceOut != "" {
+		if *traceCap <= 0 {
+			fmt.Fprintf(os.Stderr, "experiments: -trace-cap must be positive (got %d)\n", *traceCap)
+			os.Exit(1)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		traceW = f
+		defer traceW.Close()
+		opts.TraceCap = *traceCap
+		opts.TraceSink = traceW
+	}
 
 	var todo []experiments.Experiment
 	if *run == "all" {
@@ -91,5 +133,24 @@ func main() {
 				}
 			}
 		}
+	}
+
+	if manifests != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		gitRev := obs.GitDescribe()
+		for _, m := range manifests.All() {
+			m.Tool = "experiments"
+			m.Git = gitRev
+			if err := m.WriteJSONL(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("wrote %d run manifests to %s\n", len(manifests.All()), *metricsOut)
 	}
 }

@@ -6,15 +6,19 @@
 //	fdpsim [flags]
 //	fdpsim -workload server_a -ftq 24 -pfc
 //	fdpsim -workload all -baseline
-//	fdpsim -trace trace.fdpt.gz
+//	fdpsim -replay trace.fdpt.gz
+//	fdpsim -workload server_a -metrics manifest.json -trace events.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"strings"
 
 	"fdp/internal/core"
+	"fdp/internal/obs"
 	"fdp/internal/stats"
 	"fdp/internal/synth"
 	"fdp/internal/trace"
@@ -23,7 +27,7 @@ import (
 func main() {
 	var (
 		workload   = flag.String("workload", "server_a", "standard workload name, or 'all'")
-		traceFile  = flag.String("trace", "", "simulate a trace file instead of a synthetic workload")
+		replayFile = flag.String("replay", "", "simulate a trace file instead of a synthetic workload")
 		baseline   = flag.Bool("baseline", false, "use the no-FDP/no-prefetch baseline configuration")
 		ftqEntries = flag.Int("ftq", 0, "override FTQ entries (0 = config default)")
 		btbEntries = flag.Int("btb", 0, "override BTB entries")
@@ -36,6 +40,11 @@ func main() {
 		timeline   = flag.Bool("timeline", false, "print a per-workload IPC sparkline (10K-instruction windows)")
 		warmup     = flag.Uint64("warmup", 200_000, "warmup instructions")
 		measure    = flag.Uint64("measure", 800_000, "measured instructions")
+
+		metricsOut = flag.String("metrics", "", "write per-run observability manifests (JSONL; '-' for stdout)")
+		traceOut   = flag.String("trace", "", "write the pipeline event trace as JSONL to this file")
+		traceCap   = flag.Int("trace-cap", 1<<16, "event-trace ring capacity (last N events per run)")
+		pprofOut   = flag.String("pprof", "", "write a CPU profile of the simulation to this file")
 	)
 	flag.Parse()
 
@@ -77,6 +86,40 @@ func main() {
 		cfg.Name = "baseline"
 	}
 
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("%v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var metricsW, traceW *os.File
+	if *metricsOut != "" {
+		metricsW = createOut(*metricsOut)
+		defer metricsW.Close()
+	}
+	if *traceOut != "" {
+		// -trace used to be the trace-replay input flag; refuse to clobber a
+		// trace file handed to it by muscle memory.
+		if strings.HasSuffix(*traceOut, ".fdpt") || strings.HasSuffix(*traceOut, ".fdpt.gz") {
+			fatal("-trace now writes a pipeline event trace (JSONL); to simulate from %s use -replay", *traceOut)
+		}
+		if *traceCap <= 0 {
+			fatal("-trace-cap must be positive (got %d)", *traceCap)
+		}
+		traceW = createOut(*traceOut)
+		defer traceW.Close()
+	}
+	observed := metricsW != nil || traceW != nil
+	gitRev := ""
+	if metricsW != nil {
+		gitRev = obs.GitDescribe()
+	}
+
 	t := stats.NewTable("fdpsim results",
 		"workload", "IPC", "branch MPKI", "L1I MPKI", "starv/KI", "tag/KI", "PFC resteers", "BTB hit%")
 	var timelines []string
@@ -88,8 +131,39 @@ func main() {
 		}
 	}
 
-	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
+	// simulate runs one workload oracle, records the run, and drains the
+	// observability outputs.
+	simulate := func(oracle core.Oracle, name, class string, seed uint64) {
+		var p *obs.Probes
+		if observed {
+			p = obs.NewProbes()
+			if traceW != nil {
+				p.EnableTrace(*traceCap)
+			}
+		}
+		r, err := core.SimulateObserved(cfg, oracle, name, *warmup, *measure, p)
+		if err != nil {
+			fatal("%s: %v", name, err)
+		}
+		r.Class = class
+		report(name, r)
+		if metricsW != nil {
+			m := core.Manifest(cfg, r, p, seed, *warmup, *measure)
+			m.Tool = "fdpsim"
+			m.Git = gitRev
+			if err := m.WriteJSONL(metricsW); err != nil {
+				fatal("writing manifest: %v", err)
+			}
+		}
+		if traceW != nil {
+			if err := obs.WriteRunTrace(traceW, cfg.Name+"/"+name, p.Tracer); err != nil {
+				fatal("writing trace: %v", err)
+			}
+		}
+	}
+
+	if *replayFile != "" {
+		f, err := os.Open(*replayFile)
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -99,13 +173,9 @@ func main() {
 			fatal("%v", err)
 		}
 		fmt.Printf("trace %s: %s/%s, %d instructions, image %dKB\n",
-			*traceFile, tr.Header.Name, tr.Header.Class, tr.Header.Instructions,
+			*replayFile, tr.Header.Name, tr.Header.Class, tr.Header.Instructions,
 			tr.Image().Bytes()/1024)
-		r, err := core.Simulate(cfg, tr.NewStream(), tr.Header.Name, *warmup, *measure)
-		if err != nil {
-			fatal("%v", err)
-		}
-		report(tr.Header.Name, r)
+		simulate(tr.NewStream(), tr.Header.Name, tr.Header.Class, tr.Header.Seed)
 		fmt.Print(t)
 		return
 	}
@@ -121,16 +191,24 @@ func main() {
 		workloads = []*synth.Workload{w}
 	}
 	for _, w := range workloads {
-		r, err := core.Simulate(cfg, w.NewStream(), w.Name, *warmup, *measure)
-		if err != nil {
-			fatal("%s: %v", w.Name, err)
-		}
-		report(w.Name, r)
+		simulate(w.NewStream(), w.Name, w.Class, w.Seed)
 	}
 	fmt.Print(t)
 	for _, tl := range timelines {
 		fmt.Println(tl)
 	}
+}
+
+// createOut opens path for writing ("-" means stdout).
+func createOut(path string) *os.File {
+	if path == "-" {
+		return os.Stdout
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	return f
 }
 
 func fatal(format string, args ...interface{}) {

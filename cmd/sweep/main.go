@@ -15,10 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"fdp/internal/core"
+	"fdp/internal/obs"
 	"fdp/internal/stats"
 	"fdp/internal/synth"
 )
@@ -49,8 +51,51 @@ func main() {
 		pfc       = flag.Bool("pfc", true, "post-fetch correction")
 		warmup    = flag.Uint64("warmup", 100_000, "warmup instructions")
 		measure   = flag.Uint64("measure", 400_000, "measured instructions")
+
+		metricsOut = flag.String("metrics", "", "write per-run observability manifests as JSONL to this file")
+		traceOut   = flag.String("trace", "", "write pipeline event traces as JSONL to this file")
+		traceCap   = flag.Int("trace-cap", 1<<14, "event-trace ring capacity (last N events per run)")
+		pprofOut   = flag.String("pprof", "", "write a CPU profile of the sweep to this file")
 	)
 	flag.Parse()
+
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	var metricsW, traceW *os.File
+	openOut := func(path string) *os.File {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return f
+	}
+	if *metricsOut != "" {
+		metricsW = openOut(*metricsOut)
+		defer metricsW.Close()
+	}
+	if *traceOut != "" {
+		if *traceCap <= 0 {
+			fmt.Fprintf(os.Stderr, "sweep: -trace-cap must be positive (got %d)\n", *traceCap)
+			os.Exit(1)
+		}
+		traceW = openOut(*traceOut)
+		defer traceW.Close()
+	}
+	gitRev := ""
+	if metricsW != nil {
+		gitRev = obs.GitDescribe()
+	}
 
 	mutate, ok := params[*param]
 	if !ok {
@@ -88,10 +133,33 @@ func main() {
 			cfg.PFC = *pfc
 			mutate(&cfg, v)
 			cfg.Name = fmt.Sprintf("%s=%d", *param, v)
-			r, err := core.Simulate(cfg, w.NewStream(), w.Name, *warmup, *measure)
+			var p *obs.Probes
+			if metricsW != nil || traceW != nil {
+				p = obs.NewProbes()
+				if traceW != nil {
+					p.EnableTrace(*traceCap)
+				}
+			}
+			r, err := core.SimulateObserved(cfg, w.NewStream(), w.Name, *warmup, *measure, p)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "sweep: %s %s: %v\n", cfg.Name, w.Name, err)
 				os.Exit(1)
+			}
+			r.Class = w.Class
+			if metricsW != nil {
+				m := core.Manifest(cfg, r, p, w.Seed, *warmup, *measure)
+				m.Tool = "sweep"
+				m.Git = gitRev
+				if err := m.WriteJSONL(metricsW); err != nil {
+					fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			if traceW != nil {
+				if err := obs.WriteRunTrace(traceW, cfg.Name+"/"+w.Name, p.Tracer); err != nil {
+					fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+					os.Exit(1)
+				}
 			}
 			ipcs = append(ipcs, r.IPC())
 			fmt.Printf("%s,%d,%s,%.4f,%.3f,%.3f,%.2f,%.2f,%d\n",

@@ -24,6 +24,7 @@ import (
 	"fdp/internal/core"
 	"fdp/internal/experiments"
 	"fdp/internal/ftq"
+	"fdp/internal/obs"
 	"fdp/internal/stats"
 	"fdp/internal/synth"
 )
@@ -112,6 +113,38 @@ func Simulate(cfg Config, w *Workload, warmup, measure uint64) (*Run, error) {
 // FTQCost returns the Table III hardware cost for an n-entry FTQ (195
 // bytes for the paper's 24 entries).
 func FTQCost(n int) ftq.HardwareCost { return ftq.Cost(n) }
+
+// Probes is an observability probe set: named counters, power-of-two
+// bucket histograms (FTQ/MSHR occupancy, prefetch-to-use distance, PFC
+// re-steer depth, L1I miss latency, ...) and an optional ring-buffered
+// pipeline event tracer. See docs/OBSERVABILITY.md.
+type Probes = obs.Probes
+
+// Manifest is the single-document record of one observed run (config,
+// seed, all counters and histograms); the golden-run regression harness
+// diffs these byte-for-byte.
+type Manifest = obs.Manifest
+
+// NewProbes creates a probe set with the canonical histograms registered.
+func NewProbes() *Probes { return obs.NewProbes() }
+
+// SimulateObserved is Simulate with an observability probe set attached
+// (nil probes behave exactly like Simulate).
+func SimulateObserved(cfg Config, w *Workload, warmup, measure uint64, p *Probes) (*Run, error) {
+	if w == nil {
+		return nil, fmt.Errorf("fdp: nil workload")
+	}
+	r, err := core.SimulateObserved(cfg, w.NewStream(), w.Name, warmup, measure, p)
+	if r != nil {
+		r.Class = w.Class
+	}
+	return r, err
+}
+
+// RunManifest packages an observed run into its manifest document.
+func RunManifest(cfg Config, w *Workload, r *Run, p *Probes, warmup, measure uint64) *Manifest {
+	return core.Manifest(cfg, r, p, w.Seed, warmup, measure)
+}
 
 // Experiment is one reproducible table or figure from the paper.
 type Experiment = experiments.Experiment

@@ -1,0 +1,147 @@
+package fdp
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden regenerates the checked-in golden manifests:
+//
+//	go test -run TestGoldenManifests -update .
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden manifests")
+
+// goldenCase is one (config, workload) pair pinned by the golden-run
+// regression harness. Runs are deliberately small so the whole harness
+// stays in tier-1 test time.
+type goldenCase struct {
+	name     string
+	cfg      Config
+	workload string
+	warmup   uint64
+	measure  uint64
+}
+
+func goldenCases() []goldenCase {
+	fdpCfg := DefaultConfig()
+
+	eip := DefaultConfig()
+	eip.Name = "fdp+eip"
+	eip.Prefetcher = "eip-27kb"
+
+	ghr := DefaultConfig()
+	ghr.Name = "ghr-fix"
+	ghr.HistPolicy = HistGHRFix
+	ghr.BTBAllocPolicy = AllocAll
+
+	return []goldenCase{
+		{"fdp_server_a", fdpCfg, "server_a", 20_000, 60_000},
+		{"baseline_client_a", BaselineConfig(), "client_a", 20_000, 60_000},
+		{"eip_server_b", eip, "server_b", 20_000, 60_000},
+		{"ghrfix_spec_a", ghr, "spec_a", 20_000, 60_000},
+	}
+}
+
+// goldenManifest simulates one case with probes attached and returns the
+// canonical manifest encoding. Git/Tool are left empty so the document
+// depends only on the simulation.
+func goldenManifest(t *testing.T, c goldenCase) []byte {
+	t.Helper()
+	w := WorkloadByName(c.workload)
+	if w == nil {
+		t.Fatalf("unknown workload %q", c.workload)
+	}
+	p := NewProbes()
+	p.EnableTrace(4096)
+	r, err := SimulateObserved(c.cfg, w, c.warmup, c.measure, p)
+	if err != nil {
+		t.Fatalf("%s: %v", c.name, err)
+	}
+	m := RunManifest(c.cfg, w, r, p, c.warmup, c.measure)
+	b, err := m.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+// TestGoldenManifests re-simulates the four pinned (config, workload)
+// pairs and diffs every counter and histogram byte-for-byte against the
+// checked-in manifests. Any intentional change to simulator behaviour
+// must regenerate them with -update and review the diff.
+func TestGoldenManifests(t *testing.T) {
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			got := goldenManifest(t, c)
+			path := filepath.Join("testdata", "golden", c.name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("manifest for %s diverged from %s.\nRe-run with -update and review the diff if the change is intentional.\ngot %d bytes, want %d bytes; first divergence at byte %d",
+					c.name, path, len(got), len(want), firstDiff(got, want))
+			}
+		})
+	}
+}
+
+// firstDiff returns the index of the first differing byte.
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestGoldenManifestShape asserts the structural acceptance criteria:
+// a manifest from an observed run carries at least the five canonical
+// histograms, with the occupancy and latency ones actually populated.
+func TestGoldenManifestShape(t *testing.T) {
+	c := goldenCases()[0]
+	w := WorkloadByName(c.workload)
+	p := NewProbes()
+	r, err := SimulateObserved(c.cfg, w, c.warmup, c.measure, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := RunManifest(c.cfg, w, r, p, c.warmup, c.measure)
+	for _, name := range []string{
+		"ftq.occupancy", "mshr.occupancy", "prefetch.to_use_cycles",
+		"pfc.resteer_depth", "l1i.miss_latency",
+	} {
+		if _, ok := m.Histograms[name]; !ok {
+			t.Errorf("manifest missing histogram %q", name)
+		}
+	}
+	if m.Histograms["ftq.occupancy"].Count != r.Cycles {
+		t.Errorf("ftq.occupancy has %d samples, want one per cycle (%d)",
+			m.Histograms["ftq.occupancy"].Count, r.Cycles)
+	}
+	if m.Histograms["l1i.miss_latency"].Count == 0 {
+		t.Error("l1i.miss_latency is empty on a default run")
+	}
+	if m.Counters["run.cycles"] != r.Cycles {
+		t.Errorf("run.cycles = %d, want %d", m.Counters["run.cycles"], r.Cycles)
+	}
+}

@@ -6,7 +6,11 @@
 // report tag-probe overheads (Fig. 9) and prefetch usefulness.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"fdp/internal/obs"
+)
 
 // LineShift is log2 of the cache line size; all caches use 64-byte lines.
 const LineShift = 6
@@ -22,6 +26,7 @@ type way struct {
 	valid      bool
 	prefetched bool // filled by a prefetch and not yet demanded
 	lru        uint64
+	fillAt     uint64 // clock value when the line was filled (probes only)
 }
 
 // Cache is a set-associative tag array with true-LRU replacement. It tracks
@@ -34,6 +39,12 @@ type Cache struct {
 	setMask  uint64
 	ways     []way // sets*waysPer, row-major
 	lruClock uint64
+
+	// obs and clock drive the prefetch-to-use probe: the owning Hierarchy
+	// advances clock each cycle (L1I only) and a demand hit on a
+	// prefetched line observes clock - fillAt.
+	obs   *obs.Probes
+	clock uint64
 
 	// Stats.
 	Probes     uint64 // tag-array accesses of any kind
@@ -93,6 +104,9 @@ func (c *Cache) Probe(line uint64) (hit bool, wayIdx int) {
 			if set[i].prefetched {
 				c.PrefHits++
 				set[i].prefetched = false
+				if c.obs != nil {
+					c.obs.PrefToUse.Observe(c.clock - set[i].fillAt)
+				}
 			}
 			c.lruClock++
 			set[i].lru = c.lruClock
@@ -152,7 +166,7 @@ func (c *Cache) Fill(line uint64, prefetch bool) (wayIdx int) {
 		c.PrefFilled++
 	}
 	c.lruClock++
-	set[victim] = way{tag: line, valid: true, prefetched: prefetch, lru: c.lruClock}
+	set[victim] = way{tag: line, valid: true, prefetched: prefetch, lru: c.lruClock, fillAt: c.clock}
 	return victim
 }
 

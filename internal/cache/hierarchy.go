@@ -1,5 +1,7 @@
 package cache
 
+import "fdp/internal/obs"
+
 // Latencies are the fixed access latencies (in cycles) of each level of the
 // instruction-side hierarchy, charged on top of the L1I pipeline itself.
 type Latencies struct {
@@ -36,6 +38,7 @@ type Hierarchy struct {
 
 	mshrs    int
 	inflight []Fill
+	obs      *obs.Probes // nil unless a probe set is attached
 
 	// Stats.
 	DemandFills   uint64
@@ -64,6 +67,16 @@ func DefaultHierarchy() *Hierarchy {
 
 // InFlight returns the number of outstanding fills.
 func (h *Hierarchy) InFlight() int { return len(h.inflight) }
+
+// Observe attaches (or detaches, with nil) an observability probe set:
+// MSHR occupancy is sampled each Advance, demand-miss fill latencies feed
+// the L1I miss-latency histogram, prefetch-to-use distances are measured
+// on demand hits of prefetched lines, and fill / prefetch-issue events go
+// to the probe set's tracer when one is enabled.
+func (h *Hierarchy) Observe(p *obs.Probes) {
+	h.obs = p
+	h.L1I.obs = p
+}
 
 // Pending reports whether a fill for the line is outstanding and, if so,
 // its completion cycle.
@@ -103,6 +116,11 @@ func (h *Hierarchy) RequestFill(line uint64, prefetch bool, now uint64) (done ui
 			if !prefetch && f.Prefetch {
 				f.Prefetch = false
 				f.Demanded = now
+				if h.obs != nil {
+					// A demand merging into a prefetch still waits for the
+					// remaining latency: a late (partially timely) prefetch.
+					h.obs.MissLat.Observe(f.Done - now)
+				}
 			}
 			return f.Done, true
 		}
@@ -120,6 +138,13 @@ func (h *Hierarchy) RequestFill(line uint64, prefetch bool, now uint64) (done ui
 		h.DemandFills++
 		f.Demanded = now
 	}
+	if h.obs != nil {
+		if prefetch {
+			h.obs.Tracer.Emit(obs.EvPrefetchIssue, line, lat)
+		} else {
+			h.obs.MissLat.Observe(lat)
+		}
+	}
 	h.inflight = append(h.inflight, f)
 	return done, true
 }
@@ -128,10 +153,22 @@ func (h *Hierarchy) RequestFill(line uint64, prefetch bool, now uint64) (done ui
 // L1I and returning them (completed fills are appended to out to avoid
 // per-cycle allocation).
 func (h *Hierarchy) Advance(now uint64, out []Fill) []Fill {
+	if h.obs != nil {
+		// One sample per cycle: Advance is the hierarchy's clock tick.
+		h.obs.MSHROcc.Observe(uint64(len(h.inflight)))
+		h.L1I.clock = now
+	}
 	kept := h.inflight[:0]
 	for _, f := range h.inflight {
 		if f.Done <= now {
 			f.Way = h.L1I.Fill(f.Line, f.Prefetch)
+			if h.obs != nil {
+				var pf uint64
+				if f.Prefetch {
+					pf = 1
+				}
+				h.obs.Tracer.Emit(obs.EvFill, f.Line, pf)
+			}
 			out = append(out, f)
 		} else {
 			kept = append(kept, f)

@@ -1,6 +1,9 @@
 package core
 
-import "fdp/internal/program"
+import (
+	"fdp/internal/obs"
+	"fdp/internal/program"
+)
 
 // dispatchStage consumes decoded instructions in order, matching them
 // against the oracle stream. Correct-path instructions retire and train
@@ -167,6 +170,11 @@ func (c *Core) applyFlush() {
 		if e.FillInitiated && e.FetchedUpTo == e.StartOffset() {
 			c.run.WrongPathFills++
 		}
+	}
+	if c.obs != nil {
+		depth := uint64(c.q.Len())
+		c.obs.FlushDepth.Observe(depth)
+		c.obs.Tracer.Emit(obs.EvFlush, c.flushTo, depth)
 	}
 	c.q.Flush()
 	c.dqHead, c.dqLen = 0, 0

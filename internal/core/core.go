@@ -8,6 +8,7 @@ import (
 	"fdp/internal/cache"
 	"fdp/internal/ftq"
 	"fdp/internal/indirect"
+	"fdp/internal/obs"
 	"fdp/internal/prefetch"
 	"fdp/internal/program"
 	"fdp/internal/ras"
@@ -101,6 +102,7 @@ type Core struct {
 	// Clock and stats.
 	now        uint64
 	run        *stats.Run
+	obs        *obs.Probes // nil unless Observe attached a probe set
 	fillBuf    []cache.Fill
 	winStart   uint64 // cycle at the start of the current IPC window
 	winRetired uint64 // retired count at the start of the window
@@ -202,12 +204,33 @@ func (c *Core) Stats() *stats.Run { return c.run }
 // Prefetcher returns the attached prefetcher, or nil.
 func (c *Core) Prefetcher() prefetch.Prefetcher { return c.pf }
 
+// Observe attaches an observability probe set to the machine: per-cycle
+// FTQ/MSHR occupancy, PFC re-steer depth, L1I miss latency and
+// prefetch-to-use histograms, plus pipeline events when the probe set has
+// a tracer. Attach before Run; a nil probe set detaches everything and
+// the hot path degenerates to one nil check per probe site.
+func (c *Core) Observe(p *obs.Probes) {
+	c.obs = p
+	c.hier.Observe(p)
+	if p == nil {
+		c.q.SetTrace(nil)
+		return
+	}
+	c.q.SetTrace(p.Tracer)
+	if c.pf != nil {
+		c.pf = prefetch.Instrument(c.pf, p.Reg)
+	}
+}
+
 // ipcWindow is the sampling interval for the IPC timeline.
 const ipcWindow = 10_000
 
 // cycle advances the machine one clock.
 func (c *Core) cycle() {
 	c.now++
+	if c.obs != nil {
+		c.obs.Tracer.SetCycle(c.now)
+	}
 	c.completeFills()
 	c.fetchStage()
 	c.fillStage()
@@ -218,6 +241,11 @@ func (c *Core) cycle() {
 		c.run.StarvationCycles++
 	}
 	c.run.FTQOccupancySum += uint64(c.q.Len())
+	if c.obs != nil {
+		// Same sampling point as FTQOccupancySum, so the histogram mean
+		// matches MeanFTQOccupancy.
+		c.obs.FTQOcc.Observe(uint64(c.q.Len()))
+	}
 
 	if c.retired-c.winRetired >= ipcWindow {
 		if dc := c.now - c.winStart; dc > 0 {
@@ -284,6 +312,7 @@ func (c *Core) resetStats() {
 	c.wrongPathDisp = 0
 	c.winStart = c.now
 	c.winRetired = c.retired
+	c.obs.Reset()
 }
 
 // finalize folds cache-level counters into the run record.
@@ -331,10 +360,34 @@ func SimulateDebug(cfg Config, oracle Oracle, workload string, warmup, measure u
 // Simulate is the package-level convenience: build a core, run it, and
 // return the measurement record.
 func Simulate(cfg Config, oracle Oracle, workload string, warmup, measure uint64) (*stats.Run, error) {
+	return SimulateObserved(cfg, oracle, workload, warmup, measure, nil)
+}
+
+// SimulateObserved is Simulate with an observability probe set attached
+// (nil behaves exactly like Simulate). Warmup activity is cleared from
+// the probes when measurement starts.
+func SimulateObserved(cfg Config, oracle Oracle, workload string, warmup, measure uint64, p *obs.Probes) (*stats.Run, error) {
 	c, err := New(cfg, oracle)
 	if err != nil {
 		return nil, err
 	}
 	c.SetWorkloadName(workload)
+	if p != nil {
+		c.Observe(p)
+	}
 	return c.Run(warmup, measure)
+}
+
+// Manifest packages a finished observed run into a single JSON-ready
+// document: configuration, workload identity, all stats counters and
+// derived rates, and every registry metric from the probe set.
+func Manifest(cfg Config, r *stats.Run, p *obs.Probes, seed, warmup, measure uint64) *obs.Manifest {
+	return obs.NewManifest(obs.RunInfo{
+		Workload: r.Workload,
+		Class:    r.Class,
+		Seed:     seed,
+		Warmup:   warmup,
+		Measure:  measure,
+		Config:   cfg,
+	}, p, r.Counters(), r.Derived())
 }

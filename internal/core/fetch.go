@@ -3,6 +3,7 @@ package core
 import (
 	"fdp/internal/cache"
 	"fdp/internal/ftq"
+	"fdp/internal/obs"
 	"fdp/internal/program"
 )
 
@@ -297,6 +298,13 @@ func (c *Core) doPFC(e *ftq.Entry, o int, si program.StaticInst) {
 	e.NextPC = target
 	e.PFCApplied = true
 
+	if c.obs != nil {
+		// Re-steer depth: run-ahead state discarded by this correction,
+		// in younger FTQ entries.
+		depth := uint64(c.q.Len() - 1)
+		c.obs.ResteerDepth.Observe(depth)
+		c.obs.Tracer.Emit(obs.EvResteer, target, depth)
+	}
 	c.q.TruncateAfter(0) // e is the head
 	c.resteer(target)
 }
@@ -354,6 +362,11 @@ func (c *Core) doHistFixup(e *ftq.Entry) {
 				c.rasSpec.Push(pc + program.InstBytes)
 			}
 		}
+	}
+	if c.obs != nil {
+		depth := uint64(c.q.Len() - 1)
+		c.obs.FlushDepth.Observe(depth)
+		c.obs.Tracer.Emit(obs.EvFlush, e.NextPC, depth)
 	}
 	c.q.TruncateAfter(0)
 	c.resteer(e.NextPC)

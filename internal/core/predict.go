@@ -113,6 +113,9 @@ func (c *Core) predictBlock(budget int) (used int, takenEnd bool) {
 		e.NextPC = base + uint64(end+1)*program.InstBytes
 		used = end - so + 1
 	}
+	if c.obs != nil {
+		c.obs.PredBlockLen.Observe(uint64(used))
+	}
 	c.specPC = e.NextPC
 	return used, taken
 }

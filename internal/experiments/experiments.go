@@ -8,11 +8,13 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
 
 	"fdp/internal/core"
+	"fdp/internal/obs"
 	"fdp/internal/stats"
 	"fdp/internal/synth"
 )
@@ -27,6 +29,27 @@ type Options struct {
 	Workloads []*synth.Workload
 	// Parallel bounds concurrent simulations (defaults to GOMAXPROCS).
 	Parallel int
+
+	// Metrics attaches a fresh observability probe set to every run and
+	// records a per-run manifest on the resulting stats.Set (parallel to
+	// Set.Runs) and, when Manifests is non-nil, into that log as well.
+	Metrics bool
+	// Manifests optionally collects every run manifest across experiments
+	// (concurrency-safe); implies per-run probes like Metrics.
+	Manifests *obs.ManifestLog
+	// TraceCap, when > 0 together with Metrics, gives each run a
+	// ring-buffered pipeline event tracer holding the last TraceCap
+	// events; the manifests then also report trace.events/trace.dropped.
+	TraceCap int
+	// TraceSink, when non-nil, receives each traced run's events as JSONL
+	// (one {"run": "config/workload"} header line per run, in completion
+	// order; writes are serialized).
+	TraceSink io.Writer
+}
+
+// observed reports whether runs should carry probe sets.
+func (o *Options) observed() bool {
+	return o.Metrics || o.Manifests != nil || (o.TraceCap > 0 && o.TraceSink != nil)
 }
 
 // DefaultOptions returns the standard scaled-down evaluation: all 12
@@ -132,9 +155,10 @@ type job struct {
 // order.
 func runGrid(opts Options, configs []core.Config) (map[string]*stats.Set, error) {
 	type outcome struct {
-		cfgName string
-		run     *stats.Run
-		err     error
+		cfgName  string
+		run      *stats.Run
+		manifest *obs.Manifest
+		err      error
 	}
 	var jobs []job
 	for _, cfg := range configs {
@@ -142,8 +166,10 @@ func runGrid(opts Options, configs []core.Config) (map[string]*stats.Set, error)
 			jobs = append(jobs, job{cfg, wl})
 		}
 	}
+	observed := opts.observed()
 	results := make([]outcome, len(jobs))
 	var wg sync.WaitGroup
+	var traceMu sync.Mutex
 	sem := make(chan struct{}, opts.parallel())
 	for i := range jobs {
 		wg.Add(1)
@@ -152,11 +178,28 @@ func runGrid(opts Options, configs []core.Config) (map[string]*stats.Set, error)
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			j := jobs[i]
-			run, err := core.Simulate(j.cfg, j.wl.NewStream(), j.wl.Name, opts.Warmup, opts.Measure)
+			var p *obs.Probes
+			if observed {
+				p = obs.NewProbes()
+				if opts.TraceCap > 0 {
+					p.EnableTrace(opts.TraceCap)
+				}
+			}
+			run, err := core.SimulateObserved(j.cfg, j.wl.NewStream(), j.wl.Name, opts.Warmup, opts.Measure, p)
 			if run != nil {
 				run.Class = j.wl.Class
 			}
-			results[i] = outcome{j.cfg.Name, run, err}
+			var m *obs.Manifest
+			if p != nil && err == nil {
+				m = core.Manifest(j.cfg, run, p, j.wl.Seed, opts.Warmup, opts.Measure)
+				opts.Manifests.Add(m)
+				if opts.TraceSink != nil && p.Tracer != nil {
+					traceMu.Lock()
+					obs.WriteRunTrace(opts.TraceSink, j.cfg.Name+"/"+j.wl.Name, p.Tracer)
+					traceMu.Unlock()
+				}
+			}
+			results[i] = outcome{j.cfg.Name, run, m, err}
 		}(i)
 	}
 	wg.Wait()
@@ -170,6 +213,9 @@ func runGrid(opts Options, configs []core.Config) (map[string]*stats.Set, error)
 			return nil, r.err
 		}
 		sets[r.cfgName].Add(r.run)
+		if r.manifest != nil {
+			sets[r.cfgName].Manifests = append(sets[r.cfgName].Manifests, r.manifest)
+		}
 	}
 	return sets, nil
 }

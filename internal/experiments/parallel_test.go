@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"fdp/internal/core"
+	"fdp/internal/stats"
+)
+
+// TestRunGridParallelDeterminism runs the quick evaluation at
+// Parallel = 1, 4 and GOMAXPROCS and asserts the resulting stats.Sets —
+// every counter, the WindowIPC series, and every attached manifest — are
+// bit-identical regardless of scheduling. Under -race this doubles as the
+// stress test for the parallel runner and per-run probe isolation.
+func TestRunGridParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-grid simulation in -short mode")
+	}
+	cfgs := []core.Config{core.DefaultConfig(), core.BaselineConfig()}
+	levels := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	run := func(parallel int) map[string]*stats.Set {
+		opts := QuickOptions()
+		opts.Parallel = parallel
+		opts.Metrics = true
+		opts.TraceCap = 1024
+		sets, err := runGrid(opts, cfgs)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return sets
+	}
+
+	ref := run(levels[0])
+	for name, s := range ref {
+		if len(s.Runs) != len(QuickOptions().Workloads) {
+			t.Fatalf("set %s has %d runs", name, len(s.Runs))
+		}
+		if len(s.Manifests) != len(s.Runs) {
+			t.Fatalf("set %s has %d manifests for %d runs", name, len(s.Manifests), len(s.Runs))
+		}
+	}
+	for _, lvl := range levels[1:] {
+		got := run(lvl)
+		if !reflect.DeepEqual(ref, got) {
+			rb, _ := json.Marshal(ref)
+			gb, _ := json.Marshal(got)
+			t.Fatalf("results differ between Parallel=%d and Parallel=%d:\n%s\nvs\n%s",
+				levels[0], lvl, rb, gb)
+		}
+	}
+}

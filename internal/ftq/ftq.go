@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"fdp/internal/bpred"
+	"fdp/internal/obs"
 	"fdp/internal/program"
 	"fdp/internal/ras"
 )
@@ -134,7 +135,12 @@ type FTQ struct {
 	head    int
 	size    int
 	nextSeq uint64
+	tr      *obs.Tracer // nil unless event tracing is attached
 }
+
+// SetTrace attaches (or detaches, with nil) an event tracer; Push and
+// PopHead then emit enqueue/dequeue events with occupancy.
+func (q *FTQ) SetTrace(tr *obs.Tracer) { q.tr = tr }
 
 // New creates an FTQ with the given entry capacity.
 func New(capacity int) *FTQ {
@@ -170,6 +176,9 @@ func (q *FTQ) Push() *Entry {
 	rs := e.RAS
 	*e = Entry{Hist: hist, RAS: rs, Seq: q.nextSeq}
 	q.nextSeq++
+	if q.tr != nil {
+		q.tr.Emit(obs.EvFTQEnqueue, e.Seq, uint64(q.size))
+	}
 	return e
 }
 
@@ -199,6 +208,9 @@ func (q *FTQ) PopHead() {
 		panic("ftq: pop from empty queue")
 	}
 	q.entries[q.head].State = StateInvalid
+	if q.tr != nil {
+		q.tr.Emit(obs.EvFTQDequeue, q.entries[q.head].Seq, uint64(q.size-1))
+	}
 	q.head = (q.head + 1) % len(q.entries)
 	q.size--
 }

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os/exec"
+	"strings"
+	"sync"
+)
+
+// ManifestSchema is the current manifest format version.
+const ManifestSchema = 1
+
+// Manifest is the single-document record of one simulation run: identity
+// (tool, git state, workload, seed), the full machine configuration, and
+// every metric — the end-of-run counters, derived rates, and histogram
+// snapshots. Maps marshal with sorted keys, so the encoding is canonical
+// and byte-diffable (the golden-run harness relies on this).
+type Manifest struct {
+	Schema   int    `json:"schema"`
+	Tool     string `json:"tool,omitempty"`
+	Git      string `json:"git,omitempty"`
+	Workload string `json:"workload"`
+	Class    string `json:"class,omitempty"`
+	Seed     uint64 `json:"seed"`
+	Warmup   uint64 `json:"warmup"`
+	Measure  uint64 `json:"measure"`
+
+	// Config is the full simulator configuration (core.Config); typed as
+	// any so this package stays a leaf dependency.
+	Config any `json:"config"`
+
+	Counters   map[string]uint64            `json:"counters"`
+	Derived    map[string]float64           `json:"derived,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// RunInfo carries the identity fields of a manifest.
+type RunInfo struct {
+	Tool     string
+	Git      string
+	Workload string
+	Class    string
+	Seed     uint64
+	Warmup   uint64
+	Measure  uint64
+	Config   any
+}
+
+// NewManifest assembles a manifest from the probe set's registry plus
+// externally supplied counters and derived metrics (typically the
+// stats.Run record). Registry counters and run counters share one
+// namespace; run counters win on collision.
+func NewManifest(info RunInfo, p *Probes, counters map[string]uint64, derived map[string]float64) *Manifest {
+	m := &Manifest{
+		Schema:     ManifestSchema,
+		Tool:       info.Tool,
+		Git:        info.Git,
+		Workload:   info.Workload,
+		Class:      info.Class,
+		Seed:       info.Seed,
+		Warmup:     info.Warmup,
+		Measure:    info.Measure,
+		Config:     info.Config,
+		Counters:   make(map[string]uint64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if p != nil {
+		for k, v := range p.Reg.CounterValues() {
+			m.Counters[k] = v
+		}
+		m.Histograms = p.Reg.HistogramSnapshots()
+		if p.Tracer != nil {
+			m.Counters["trace.events"] = p.Tracer.n
+			m.Counters["trace.dropped"] = p.Tracer.Dropped()
+		}
+	}
+	for k, v := range counters {
+		m.Counters[k] = v
+	}
+	if len(derived) > 0 {
+		m.Derived = make(map[string]float64, len(derived))
+		for k, v := range derived {
+			m.Derived[k] = v
+		}
+	}
+	return m
+}
+
+// MarshalIndent returns the canonical indented JSON encoding.
+func (m *Manifest) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(m, "", "  ")
+}
+
+// WriteJSONL writes the manifest as a single JSON line to w.
+func (m *Manifest) WriteJSONL(w io.Writer) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// ManifestLog is a concurrency-safe collector of manifests, used by the
+// parallel experiment runner to hand per-run manifests back to callers.
+type ManifestLog struct {
+	mu sync.Mutex
+	ms []*Manifest
+}
+
+// NewManifestLog creates an empty log.
+func NewManifestLog() *ManifestLog { return &ManifestLog{} }
+
+// Add appends a manifest. Safe on a nil receiver (no-op) and for
+// concurrent use.
+func (l *ManifestLog) Add(m *Manifest) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.ms = append(l.ms, m)
+	l.mu.Unlock()
+}
+
+// All returns the collected manifests.
+func (l *ManifestLog) All() []*Manifest {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Manifest(nil), l.ms...)
+}
+
+// GitDescribe returns `git describe --always --dirty` for the current
+// working tree, or "" when unavailable. Intended for command-line tools;
+// tests and golden manifests leave Git empty.
+func GitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,253 @@
+// Package obs is the observability layer of the simulator: a named
+// counter/histogram registry, a ring-buffered pipeline event tracer
+// drainable to JSONL, and a run-manifest emitter that packages one run's
+// configuration, seed and every metric into a single JSON document.
+//
+// The package is designed so that an *unattached* probe set costs the hot
+// path nothing but a nil check: Counter.Add, Histogram.Observe and
+// Tracer.Emit are all safe on nil receivers, and none of them allocates.
+// All types are single-run, single-goroutine state; parallel experiment
+// runners attach one probe set per run.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Counter is a monotonically increasing named counter.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds one. Safe on a nil receiver (no-op).
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds d. Safe on a nil receiver (no-op).
+func (c *Counter) Add(d uint64) {
+	if c != nil {
+		c.v += d
+	}
+}
+
+// Value returns the current count (0 for a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// NumBuckets is the number of power-of-two histogram buckets: bucket 0
+// holds the value 0 and bucket i (i >= 1) holds values in
+// [2^(i-1), 2^i - 1], so 65 buckets cover the full uint64 range.
+const NumBuckets = 65
+
+// BucketIndex returns the bucket a value falls into.
+func BucketIndex(v uint64) int { return bits.Len64(v) }
+
+// BucketBounds returns the inclusive [lo, hi] range of bucket i.
+func BucketBounds(i int) (lo, hi uint64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	lo = uint64(1) << uint(i-1)
+	if i >= 64 {
+		return lo, math.MaxUint64
+	}
+	return lo, uint64(1)<<uint(i) - 1
+}
+
+// Histogram is a fixed-size power-of-two-bucket histogram of uint64
+// samples. Observation is allocation-free.
+type Histogram struct {
+	name    string
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+	buckets [NumBuckets]uint64
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one sample. Safe on a nil receiver (no-op).
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[BucketIndex(v)]++
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the arithmetic mean of all samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Bucket returns the raw count of bucket i (0 when out of range).
+func (h *Histogram) Bucket(i int) uint64 {
+	if h == nil || i < 0 || i >= NumBuckets {
+		return 0
+	}
+	return h.buckets[i]
+}
+
+// reset zeroes the histogram in place.
+func (h *Histogram) reset() {
+	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
+	h.buckets = [NumBuckets]uint64{}
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot.
+type Bucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is the serializable state of a histogram; only
+// non-empty buckets are included.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Min     uint64   `json:"min"`
+	Max     uint64   `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		lo, hi := BucketBounds(i)
+		s.Buckets = append(s.Buckets, Bucket{Lo: lo, Hi: hi, Count: n})
+	}
+	return s
+}
+
+// Registry holds named counters and histograms. Names are created on
+// first use and stable for the registry's lifetime. Not goroutine-safe:
+// a registry belongs to exactly one simulation run.
+type Registry struct {
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	if _, ok := r.hists[name]; ok {
+		panic(fmt.Sprintf("obs: %q already registered as a histogram", name))
+	}
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	if _, ok := r.counters[name]; ok {
+		panic(fmt.Sprintf("obs: %q already registered as a counter", name))
+	}
+	h := &Histogram{name: name}
+	r.hists[name] = h
+	return h
+}
+
+// Reset zeroes every counter and histogram, keeping registrations.
+func (r *Registry) Reset() {
+	for _, c := range r.counters {
+		c.v = 0
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+}
+
+// CounterValues returns a copy of all counter values keyed by name.
+func (r *Registry) CounterValues() map[string]uint64 {
+	out := make(map[string]uint64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.v
+	}
+	return out
+}
+
+// HistogramSnapshots returns a snapshot of every histogram keyed by name.
+func (r *Registry) HistogramSnapshots() map[string]HistogramSnapshot {
+	out := make(map[string]HistogramSnapshot, len(r.hists))
+	for name, h := range r.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// Names returns all registered metric names, sorted.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.counters)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

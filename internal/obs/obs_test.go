@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestBucketBounds(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+		lo, hi uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 1, 1},
+		{2, 2, 2, 3},
+		{3, 2, 2, 3},
+		{4, 3, 4, 7},
+		{255, 8, 128, 255},
+		{256, 9, 256, 511},
+		{math.MaxUint64, 64, 1 << 63, math.MaxUint64},
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.v); got != c.bucket {
+			t.Errorf("BucketIndex(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		lo, hi := BucketBounds(c.bucket)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("BucketBounds(%d) = [%d,%d], want [%d,%d]", c.bucket, lo, hi, c.lo, c.hi)
+		}
+		if c.v < lo || c.v > hi {
+			t.Errorf("value %d outside its own bucket [%d,%d]", c.v, lo, hi)
+		}
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 1, 7, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 109 {
+		t.Fatalf("count/sum = %d/%d, want 5/109", h.Count(), h.Sum())
+	}
+	s := h.Snapshot()
+	if s.Min != 0 || s.Max != 100 {
+		t.Fatalf("min/max = %d/%d, want 0/100", s.Min, s.Max)
+	}
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != 5 {
+		t.Fatalf("bucket counts sum to %d, want 5", total)
+	}
+	if got := h.Bucket(BucketIndex(1)); got != 2 {
+		t.Fatalf("bucket for value 1 holds %d, want 2", got)
+	}
+}
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var h *Histogram
+	var c *Counter
+	var tr *Tracer
+	h.Observe(3)
+	c.Inc()
+	c.Add(5)
+	tr.Emit(EvFill, 1, 2)
+	tr.SetCycle(9)
+	tr.Reset()
+	if h.Count() != 0 || c.Value() != 0 || tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil receivers must observe nothing")
+	}
+	var p *Probes
+	p.Reset() // must not panic
+	if err := tr.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	if r.Counter("a.count") != c {
+		t.Fatal("counter not interned")
+	}
+	c.Add(3)
+	h := r.Histogram("a.hist")
+	h.Observe(10)
+	if got := r.CounterValues()["a.count"]; got != 3 {
+		t.Fatalf("counter value %d, want 3", got)
+	}
+	if got := r.HistogramSnapshots()["a.hist"].Count; got != 1 {
+		t.Fatalf("histogram count %d, want 1", got)
+	}
+	if names := r.Names(); !reflect.DeepEqual(names, []string{"a.count", "a.hist"}) {
+		t.Fatalf("names = %v", names)
+	}
+	r.Reset()
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Fatal("reset did not zero metrics")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-type name reuse must panic")
+		}
+	}()
+	r.Histogram("a.count")
+}
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.SetCycle(uint64(i))
+		tr.Emit(EvFTQEnqueue, uint64(i), 0)
+	}
+	if tr.Len() != 4 || tr.Dropped() != 2 {
+		t.Fatalf("len/dropped = %d/%d, want 4/2", tr.Len(), tr.Dropped())
+	}
+	evs := tr.Events(nil)
+	if len(evs) != 4 || evs[0].Cycle != 2 || evs[3].Cycle != 5 {
+		t.Fatalf("ring kept %v, want cycles 2..5", evs)
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("reset did not clear ring")
+	}
+}
+
+func TestEventJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetCycle(7)
+	tr.Emit(EvResteer, 0x4000, 3)
+	tr.Emit(EvFlush, 0x8000, 12)
+	var buf bytes.Buffer
+	if err := WriteRunTrace(&buf, "cfg/workload", tr); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Events(nil)
+	if !reflect.DeepEqual(evs, want) {
+		t.Fatalf("round trip = %v, want %v", evs, want)
+	}
+}
+
+func TestManifestCanonical(t *testing.T) {
+	p := NewProbes()
+	p.FTQOcc.Observe(3)
+	p.Reg.Counter("x.count").Add(2)
+	info := RunInfo{Workload: "w", Class: "server", Seed: 42, Warmup: 10, Measure: 20}
+	m1 := NewManifest(info, p, map[string]uint64{"run.cycles": 100}, map[string]float64{"ipc": 1.5})
+	m2 := NewManifest(info, p, map[string]uint64{"run.cycles": 100}, map[string]float64{"ipc": 1.5})
+	b1, err := m1.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := m2.MarshalIndent()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("manifest encoding is not canonical")
+	}
+	var back Manifest
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["run.cycles"] != 100 || back.Counters["x.count"] != 2 {
+		t.Fatalf("counters = %v", back.Counters)
+	}
+	if back.Histograms[MetricFTQOccupancy].Count != 1 {
+		t.Fatal("histogram snapshot missing from manifest")
+	}
+}

@@ -1,0 +1,62 @@
+package obs
+
+// Canonical metric names. Probe sites use the typed fields on Probes; the
+// names appear in manifests and docs/OBSERVABILITY.md.
+const (
+	MetricFTQOccupancy  = "ftq.occupancy"          // per-cycle FTQ entries
+	MetricMSHROccupancy = "mshr.occupancy"         // per-cycle in-flight fills
+	MetricPrefToUse     = "prefetch.to_use_cycles" // prefetch fill -> first demand hit
+	MetricResteerDepth  = "pfc.resteer_depth"      // FTQ entries flushed per PFC re-steer
+	MetricL1IMissLat    = "l1i.miss_latency"       // demand-miss fill latency in cycles
+	MetricPredBlockLen  = "predict.block_len"      // instructions per predicted block
+	MetricFlushDepth    = "flush.ftq_depth"        // FTQ entries squashed per flush
+)
+
+// Probes is the probe set a simulation run records into: a registry of
+// named metrics, direct pointers to the hot-path histograms (so probe
+// sites skip the map lookup), and an optional event tracer. A nil *Probes
+// disables everything; the core guards each probe site with one nil check.
+type Probes struct {
+	Reg    *Registry
+	Tracer *Tracer // nil unless EnableTrace was called
+
+	FTQOcc       *Histogram
+	MSHROcc      *Histogram
+	PrefToUse    *Histogram
+	ResteerDepth *Histogram
+	MissLat      *Histogram
+	PredBlockLen *Histogram
+	FlushDepth   *Histogram
+}
+
+// NewProbes creates a probe set with the canonical histograms registered
+// and tracing disabled.
+func NewProbes() *Probes {
+	reg := NewRegistry()
+	return &Probes{
+		Reg:          reg,
+		FTQOcc:       reg.Histogram(MetricFTQOccupancy),
+		MSHROcc:      reg.Histogram(MetricMSHROccupancy),
+		PrefToUse:    reg.Histogram(MetricPrefToUse),
+		ResteerDepth: reg.Histogram(MetricResteerDepth),
+		MissLat:      reg.Histogram(MetricL1IMissLat),
+		PredBlockLen: reg.Histogram(MetricPredBlockLen),
+		FlushDepth:   reg.Histogram(MetricFlushDepth),
+	}
+}
+
+// EnableTrace attaches a ring-buffered event tracer holding the last
+// capacity events and returns it.
+func (p *Probes) EnableTrace(capacity int) *Tracer {
+	p.Tracer = NewTracer(capacity)
+	return p.Tracer
+}
+
+// Reset zeroes all metrics and discards buffered events (end of warmup).
+func (p *Probes) Reset() {
+	if p == nil {
+		return
+	}
+	p.Reg.Reset()
+	p.Tracer.Reset()
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Kind classifies a pipeline event.
+type Kind uint8
+
+// Pipeline event kinds. A and B are kind-specific arguments.
+const (
+	// EvFTQEnqueue: a block entered the FTQ. A = entry sequence number,
+	// B = FTQ occupancy after the push.
+	EvFTQEnqueue Kind = iota
+	// EvFTQDequeue: the FTQ head was fully fetched and released.
+	// A = entry sequence number, B = occupancy after the pop.
+	EvFTQDequeue
+	// EvPrefetchIssue: a prefetch fill was accepted by the MSHRs.
+	// A = line address, B = predicted fill latency in cycles.
+	EvPrefetchIssue
+	// EvFill: a line arrived in the L1I. A = line address,
+	// B = 1 for a prefetch fill, 0 for a demand fill.
+	EvFill
+	// EvResteer: post-fetch correction redirected the frontend.
+	// A = recovered target PC, B = younger FTQ entries flushed.
+	EvResteer
+	// EvFlush: a pipeline or history-fixup flush squashed the frontend.
+	// A = redirect PC, B = FTQ entries flushed.
+	EvFlush
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	EvFTQEnqueue:    "enq",
+	EvFTQDequeue:    "deq",
+	EvPrefetchIssue: "pf",
+	EvFill:          "fill",
+	EvResteer:       "resteer",
+	EvFlush:         "flush",
+}
+
+// String returns the JSONL wire name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// KindFromString maps a wire name back to its Kind.
+func KindFromString(s string) (Kind, bool) {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one cycle-stamped pipeline event.
+type Event struct {
+	Cycle uint64
+	Kind  Kind
+	A     uint64
+	B     uint64
+}
+
+// Tracer is a fixed-capacity ring buffer of events. When full, the oldest
+// events are overwritten; Dropped reports how many were lost. All methods
+// are safe on a nil receiver so probe sites need no tracing-enabled check.
+type Tracer struct {
+	cycle uint64
+	buf   []Event
+	n     uint64 // total events emitted since the last reset
+}
+
+// NewTracer creates a tracer holding the last capacity events.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		panic("obs: non-positive tracer capacity")
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// SetCycle stamps subsequent events with the given cycle. Called once per
+// simulated cycle by the core. Safe on a nil receiver.
+func (t *Tracer) SetCycle(now uint64) {
+	if t != nil {
+		t.cycle = now
+	}
+}
+
+// Emit records an event at the current cycle. Safe on a nil receiver.
+func (t *Tracer) Emit(k Kind, a, b uint64) {
+	if t == nil {
+		return
+	}
+	t.buf[t.n%uint64(len(t.buf))] = Event{Cycle: t.cycle, Kind: k, A: a, B: b}
+	t.n++
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	if t.n < uint64(len(t.buf)) {
+		return int(t.n)
+	}
+	return len(t.buf)
+}
+
+// Dropped returns how many events were overwritten since the last reset.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil || t.n <= uint64(len(t.buf)) {
+		return 0
+	}
+	return t.n - uint64(len(t.buf))
+}
+
+// Events appends the buffered events, oldest first, to out and returns it.
+func (t *Tracer) Events(out []Event) []Event {
+	if t == nil {
+		return out
+	}
+	n := uint64(t.Len())
+	start := t.n - n
+	for i := uint64(0); i < n; i++ {
+		out = append(out, t.buf[(start+i)%uint64(len(t.buf))])
+	}
+	return out
+}
+
+// Reset discards all buffered events (the cycle stamp is kept).
+func (t *Tracer) Reset() {
+	if t != nil {
+		t.n = 0
+	}
+}
+
+// AppendJSONL appends the single-line JSON encoding of ev (without a
+// trailing newline) to dst and returns it.
+func AppendJSONL(dst []byte, ev Event) []byte {
+	dst = append(dst, `{"c":`...)
+	dst = strconv.AppendUint(dst, ev.Cycle, 10)
+	dst = append(dst, `,"k":"`...)
+	dst = append(dst, ev.Kind.String()...)
+	dst = append(dst, `","a":`...)
+	dst = strconv.AppendUint(dst, ev.A, 10)
+	dst = append(dst, `,"b":`...)
+	dst = strconv.AppendUint(dst, ev.B, 10)
+	dst = append(dst, '}')
+	return dst
+}
+
+// wireEvent is the JSONL representation of an Event.
+type wireEvent struct {
+	C uint64 `json:"c"`
+	K string `json:"k"`
+	A uint64 `json:"a"`
+	B uint64 `json:"b"`
+}
+
+// ParseEvent decodes one JSONL event line.
+func ParseEvent(line []byte) (Event, error) {
+	var w wireEvent
+	if err := json.Unmarshal(line, &w); err != nil {
+		return Event{}, fmt.Errorf("obs: bad event line: %w", err)
+	}
+	k, ok := KindFromString(w.K)
+	if !ok {
+		return Event{}, fmt.Errorf("obs: unknown event kind %q", w.K)
+	}
+	return Event{Cycle: w.C, Kind: k, A: w.A, B: w.B}, nil
+}
+
+// WriteJSONL drains the buffered events to w, one JSON object per line,
+// oldest first.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	var line []byte
+	n := uint64(t.Len())
+	start := t.n - n
+	for i := uint64(0); i < n; i++ {
+		ev := t.buf[(start+i)%uint64(len(t.buf))]
+		line = AppendJSONL(line[:0], ev)
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// runHeader is the non-event marker line separating runs in a shared
+// trace file.
+type runHeader struct {
+	Run string `json:"run"`
+}
+
+// WriteRunTrace writes a {"run": label} header line followed by the
+// tracer's events as JSONL. Multiple runs can share one file.
+func WriteRunTrace(w io.Writer, label string, t *Tracer) error {
+	hdr, err := json.Marshal(runHeader{Run: label})
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(append(hdr, '\n')); err != nil {
+		return err
+	}
+	return t.WriteJSONL(w)
+}
+
+// ReadJSONL parses an event stream produced by WriteJSONL or
+// WriteRunTrace, skipping run-header lines and blank lines.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var events []Event
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var hdr runHeader
+		if err := json.Unmarshal(line, &hdr); err == nil && hdr.Run != "" {
+			continue
+		}
+		ev, err := ParseEvent(line)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}

@@ -12,7 +12,11 @@ package prefetch
 
 import "fdp/internal/program"
 
-import "fmt"
+import (
+	"fmt"
+
+	"fdp/internal/obs"
+)
 
 // Emit receives prefetch candidate line addresses.
 type Emit func(line uint64)
@@ -56,6 +60,71 @@ type Prefetcher interface {
 	// StorageBits returns the metadata budget in bits.
 	StorageBits() int
 }
+
+// Instrumented wraps a Prefetcher and counts hook invocations and emitted
+// candidates into registry counters ("prefetch.hook.*" and
+// "prefetch.candidates"). The wrapper reuses one emit closure so the hot
+// path stays allocation-free; it is single-goroutine like the core.
+type Instrumented struct {
+	inner                            Prefetcher
+	hookAccess, hookFill, hookBranch *obs.Counter
+	candidates                       *obs.Counter
+	cur                              Emit // downstream emit for the current hook call
+	wrap                             Emit // stable counting wrapper handed to inner
+}
+
+// Instrument wraps p with hook/candidate counters registered in reg. The
+// null prefetcher is returned unwrapped.
+func Instrument(p Prefetcher, reg *obs.Registry) Prefetcher {
+	if _, isNone := p.(None); isNone || p == nil {
+		return p
+	}
+	i := &Instrumented{
+		inner:      p,
+		hookAccess: reg.Counter("prefetch.hook.on_access"),
+		hookFill:   reg.Counter("prefetch.hook.on_fill"),
+		hookBranch: reg.Counter("prefetch.hook.on_branch"),
+		candidates: reg.Counter("prefetch.candidates"),
+	}
+	i.wrap = func(line uint64) {
+		i.candidates.Inc()
+		i.cur(line)
+	}
+	return i
+}
+
+// Unwrap returns the wrapped prefetcher.
+func (i *Instrumented) Unwrap() Prefetcher { return i.inner }
+
+// Name implements Prefetcher.
+func (i *Instrumented) Name() string { return i.inner.Name() }
+
+// OnAccess implements Prefetcher.
+func (i *Instrumented) OnAccess(line uint64, hit, prefHit bool, emit Emit) {
+	i.hookAccess.Inc()
+	i.cur = emit
+	i.inner.OnAccess(line, hit, prefHit, i.wrap)
+	i.cur = nil
+}
+
+// OnFill implements Prefetcher.
+func (i *Instrumented) OnFill(line uint64, emit Emit) {
+	i.hookFill.Inc()
+	i.cur = emit
+	i.inner.OnFill(line, i.wrap)
+	i.cur = nil
+}
+
+// OnBranch implements Prefetcher.
+func (i *Instrumented) OnBranch(pc uint64, t program.InstType, target uint64, emit Emit) {
+	i.hookBranch.Inc()
+	i.cur = emit
+	i.inner.OnBranch(pc, t, target, i.wrap)
+	i.cur = nil
+}
+
+// StorageBits implements Prefetcher.
+func (i *Instrumented) StorageBits() int { return i.inner.StorageBits() }
 
 // None is the null prefetcher.
 type None struct{}

@@ -10,6 +10,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"fdp/internal/obs"
 )
 
 // Run holds the raw counters of one simulation run. The core and frontend
@@ -142,13 +144,66 @@ func (r *Run) perKI(c uint64) float64 {
 	return 1000 * float64(c) / float64(r.Instructions)
 }
 
-// Speedup returns r's IPC relative to base's IPC (1.0 = equal).
+// Speedup returns r's IPC relative to base's IPC (1.0 = equal). A nil or
+// zero-IPC base yields 0 rather than NaN/Inf.
 func (r *Run) Speedup(base *Run) float64 {
+	if base == nil {
+		return 0
+	}
 	b := base.IPC()
 	if b == 0 {
 		return 0
 	}
 	return r.IPC() / b
+}
+
+// Counters returns every raw counter of the run keyed by a stable
+// "run."-prefixed name, for run manifests and golden-run diffing.
+func (r *Run) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"run.cycles":                 r.Cycles,
+		"run.instructions":           r.Instructions,
+		"run.branches":               r.Branches,
+		"run.cond_branches":          r.CondBranches,
+		"run.taken_branches":         r.TakenBranches,
+		"run.mispredictions":         r.Mispredictions,
+		"run.dir_mispredictions":     r.DirMispredictions,
+		"run.mispred_cond":           r.MispredCond,
+		"run.mispred_indirect":       r.MispredIndirect,
+		"run.mispred_return":         r.MispredReturn,
+		"run.mispred_btb_miss":       r.MispredBTBMiss,
+		"run.btb_lookups":            r.BTBLookups,
+		"run.btb_hits":               r.BTBHits,
+		"run.btb_miss_taken":         r.BTBMissTaken,
+		"run.l1i_accesses":           r.L1IAccesses,
+		"run.l1i_misses":             r.L1IMisses,
+		"run.l1i_tag_probes":         r.L1ITagProbes,
+		"run.prefetch_issued":        r.PrefetchIssued,
+		"run.prefetch_useful":        r.PrefetchUseful,
+		"run.prefetch_redundant":     r.PrefetchRedundant,
+		"run.pfc_resteers":           r.PFCResteers,
+		"run.pfc_wrong":              r.PFCWrong,
+		"run.hist_fixup_flushes":     r.HistFixupFlushes,
+		"run.wrong_path_fills":       r.WrongPathFills,
+		"run.starvation_cycles":      r.StarvationCycles,
+		"run.miss_fully_exposed":     r.MissFullyExposed,
+		"run.miss_partially_exposed": r.MissPartiallyExposed,
+		"run.miss_covered":           r.MissCovered,
+		"run.ftq_occupancy_sum":      r.FTQOccupancySum,
+	}
+}
+
+// Derived returns the run's derived rates keyed by name, for manifests.
+func (r *Run) Derived() map[string]float64 {
+	return map[string]float64{
+		"ipc":                r.IPC(),
+		"branch_mpki":        r.BranchMPKI(),
+		"l1i_mpki":           r.L1IMPKI(),
+		"starvation_pki":     r.StarvationPKI(),
+		"tag_probes_pki":     r.TagProbesPKI(),
+		"btb_hit_rate":       r.BTBHitRate(),
+		"mean_ftq_occupancy": r.MeanFTQOccupancy(),
+	}
 }
 
 // Set is a collection of runs of the same configuration over multiple
@@ -157,6 +212,10 @@ func (r *Run) Speedup(base *Run) float64 {
 type Set struct {
 	Config string
 	Runs   []*Run
+	// Manifests holds the per-run observability manifests when the
+	// experiment runner was asked to record them (Options.Metrics); it is
+	// parallel to Runs.
+	Manifests []*obs.Manifest
 }
 
 // Add appends a run.
@@ -180,8 +239,11 @@ func (s *Set) GeoMeanSpeedup(base *Set) float64 {
 }
 
 // GeoMeanSpeedupWhere is GeoMeanSpeedup restricted to runs accepted by
-// filter (nil accepts all).
+// filter (nil accepts all). A nil or empty base yields 0.
 func (s *Set) GeoMeanSpeedupWhere(base *Set, filter func(*Run) bool) float64 {
+	if base == nil {
+		return 0
+	}
 	var logSum float64
 	n := 0
 	for _, r := range s.Runs {

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -255,5 +256,71 @@ func TestSparkline(t *testing.T) {
 	// All-zero series must not divide by zero.
 	if got := []rune(Sparkline([]float64{0, 0})); len(got) != 2 || got[0] != '▁' {
 		t.Errorf("zero series = %q", string(got))
+	}
+}
+
+// TestDivisionEdgeCases pins the zero-denominator behaviour of every
+// derived metric: zero-instruction runs, empty sets and nil bases must
+// all yield 0, never NaN or Inf.
+func TestDivisionEdgeCases(t *testing.T) {
+	empty := &Run{Workload: "w"}
+	full := &Run{Workload: "w", Cycles: 100, Instructions: 200, BTBLookups: 10, BTBHits: 5}
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"perKI zero instructions", empty.BranchMPKI(), 0},
+		{"L1IMPKI zero instructions", empty.L1IMPKI(), 0},
+		{"StarvationPKI zero instructions", empty.StarvationPKI(), 0},
+		{"TagProbesPKI zero instructions", empty.TagProbesPKI(), 0},
+		{"BTBHitRate zero lookups", empty.BTBHitRate(), 0},
+		{"IPC zero cycles", empty.IPC(), 0},
+		{"MeanFTQOccupancy zero cycles", empty.MeanFTQOccupancy(), 0},
+		{"Speedup nil base", full.Speedup(nil), 0},
+		{"Speedup zero-IPC base", full.Speedup(empty), 0},
+		{"Speedup of zero-IPC run", empty.Speedup(full), 0},
+		{"GeoMeanSpeedup empty sets", (&Set{}).GeoMeanSpeedup(&Set{}), 0},
+		{"GeoMeanSpeedup nil base", (&Set{Runs: []*Run{full}}).GeoMeanSpeedup(nil), 0},
+		{"GeoMeanSpeedup zero-IPC base", (&Set{Runs: []*Run{full}}).GeoMeanSpeedup(&Set{Runs: []*Run{empty}}), 0},
+		{"ClassSpeedup no matching class", (&Set{Runs: []*Run{full}}).ClassSpeedup(&Set{Runs: []*Run{full}}, "nope"), 0},
+		{"mean over empty set", (&Set{}).MeanBranchMPKI(), 0},
+		{"GeoMean all non-positive", GeoMean([]float64{0, -1}), 0},
+		{"GeoMean empty", GeoMean(nil), 0},
+		{"Mean empty", Mean(nil), 0},
+	}
+	for _, c := range cases {
+		if math.IsNaN(c.got) || math.IsInf(c.got, 0) {
+			t.Errorf("%s: got non-finite %v", c.name, c.got)
+			continue
+		}
+		if c.got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestRunCountersComplete checks the manifest counter map stays in sync
+// with the Run struct: every uint64 counter field must be present.
+func TestRunCountersComplete(t *testing.T) {
+	r := &Run{Cycles: 1, Instructions: 2, StarvationCycles: 3}
+	c := r.Counters()
+	if c["run.cycles"] != 1 || c["run.instructions"] != 2 || c["run.starvation_cycles"] != 3 {
+		t.Fatalf("counter values wrong: %v", c)
+	}
+	want := 0
+	rt := reflect.TypeOf(*r)
+	for i := 0; i < rt.NumField(); i++ {
+		if rt.Field(i).Type.Kind() == reflect.Uint64 {
+			want++
+		}
+	}
+	if len(c) != want {
+		t.Fatalf("Counters() has %d entries but Run has %d uint64 fields — update Counters()", len(c), want)
+	}
+	for name, d := range r.Derived() {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Errorf("derived %s non-finite: %v", name, d)
+		}
 	}
 }
