@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci build vet test race fuzz bench golden-update clean
+.PHONY: ci build vet test race fuzz bench bench-check golden-update clean
 
 ci: vet build race fuzz
 
@@ -26,9 +26,34 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzHistogram -fuzztime=$(FUZZTIME) ./internal/obs
 	$(GO) test -run=^$$ -fuzz=FuzzEventJSONL -fuzztime=$(FUZZTIME) ./internal/obs
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run=^$$ -fuzz=FuzzBatchedDecode -fuzztime=$(FUZZTIME) ./internal/trace
 
+# Benchmark knobs: BENCHTIME bounds the go-test benchmarks (1x keeps the
+# 17-benchmark sweep fast; raise for stable numbers), BENCHREPS is the
+# repetition count of the benchkit kernel suite, and BENCHTOL the
+# fractional regression tolerance of bench-check (generous by default so
+# it gates on structural regressions — allocation leaks, >2x slowdowns
+# — rather than machine-to-machine timing noise; loaded shared runners
+# routinely measure 50-80% above a quiet machine's timings. Allocation
+# metrics have (near-)zero baselines, so they stay effectively exact at
+# any timing tolerance).
+BENCHTIME ?= 1x
+BENCHREPS ?= 5
+BENCHTOL ?= 1.0
+
+# The full benchmark set: every go-test benchmark (experiments, whole-sim
+# throughput, steady-state cycle loop), then the benchkit kernel suite
+# with its per-golden-config metrics.
 bench:
-	$(GO) test -bench BenchmarkSimulatorThroughput -benchtime 2x -run=^$$ .
+	$(GO) test -bench . -benchtime $(BENCHTIME) -run=^$$ .
+	$(GO) run ./cmd/bench -reps $(BENCHREPS)
+
+# Regression gate: re-measure the kernel suite and fail if any metric is
+# worse than the committed BENCH_kernel.json beyond BENCHTOL. Allocation
+# metrics with a zero baseline are effectively exact (the tolerance acts
+# as an absolute allowance); see docs/PERFORMANCE.md.
+bench-check:
+	$(GO) run ./cmd/bench -check BENCH_kernel.json -tol $(BENCHTOL) -reps $(BENCHREPS)
 
 # Regenerate the golden-run manifests after an intentional simulator
 # change; review the diff before committing.

@@ -3,6 +3,7 @@ package fdp
 import (
 	"testing"
 
+	"fdp/internal/core"
 	"fdp/internal/experiments"
 	"fdp/internal/synth"
 )
@@ -85,4 +86,31 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)*55_000/b.Elapsed().Seconds(), "inst/s")
+}
+
+// BenchmarkCycleLoop measures the bare steady-state cycle loop: the
+// machine is built and warmed outside the timed region, so allocs/op is
+// the per-cycle allocation count of the kernel itself and must stay ~0
+// (one op = 1000 cycles). Construction cost is BenchmarkSimulatorThroughput's
+// business.
+func BenchmarkCycleLoop(b *testing.B) {
+	w := benchOpts.Workloads[0]
+	c, err := core.New(core.DefaultConfig(), w.NewStream())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Step(30_000) // warm caches, predictors and internal buffers
+	// Pre-grow the IPC timeline so its amortized append stays out of the
+	// steady-state allocation count.
+	c.Stats().WindowIPC = make([]float64, 0, 1<<20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step(1000)
+	}
+	b.StopTimer()
+	if c.Retired() == 0 {
+		b.Fatal("no instructions retired")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*1000), "ns/cycle")
 }

@@ -1,0 +1,286 @@
+// Command bench runs the kernel benchmark suite through benchkit and
+// manages the committed BENCH_kernel.json document.
+//
+// The suite measures the simulation kernel on each golden (config,
+// workload) pair — steady-state retired instructions per second,
+// nanoseconds per simulated cycle, and heap allocations during the
+// measurement phase (which must stay at zero: the cycle loop is
+// allocation-free once the machine is warm) — plus one end-to-end
+// throughput case matching BenchmarkSimulatorThroughput (construction
+// included, so its allocation count is the machine-build cost).
+//
+// Usage:
+//
+//	bench                         run the suite, print the report JSON
+//	bench -out BENCH_kernel.json  run and update the document's current report
+//	bench -out F -as-baseline     run and pin the report as the document's baseline
+//	bench -check BENCH_kernel.json [-tol 0.3]
+//	                              run and exit 1 on regression vs the committed results
+//	bench -diff OLD NEW [-tol 0.1]
+//	                              compare two documents without running anything
+//
+// See docs/PERFORMANCE.md for how the tolerance and the committed
+// document are meant to be used.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"fdp"
+	"fdp/internal/benchkit"
+	"fdp/internal/core"
+	"fdp/internal/synth"
+)
+
+// Metric names shared by every suite entry.
+const (
+	metInstPerSec = "inst_per_sec"
+	metNsPerCycle = "ns_per_cycle"
+	metAllocs     = "allocs_per_op"
+)
+
+func steadyMetrics() []benchkit.Metric {
+	return []benchkit.Metric{
+		{Name: metInstPerSec, Unit: "inst/s", Better: benchkit.Higher},
+		{Name: metNsPerCycle, Unit: "ns", Better: benchkit.Lower},
+		{Name: metAllocs, Unit: "allocs", Better: benchkit.Lower},
+	}
+}
+
+// benchCase is one suite entry: a machine configuration driven over a
+// workload for warmup + measure retired instructions.
+type benchCase struct {
+	name     string
+	cfg      fdp.Config
+	workload *fdp.Workload
+	warmup   uint64
+	measure  uint64
+	// endToEnd includes machine construction inside the timed region
+	// (the whole-simulation view); steady-state cases construct and warm
+	// up first and time only the cycle loop.
+	endToEnd bool
+}
+
+// suite mirrors the golden-run matrix of golden_test.go plus the
+// throughput benchmark of bench_test.go, so regressions here point at
+// the same code paths the correctness harness pins.
+func suite() []benchCase {
+	eip := fdp.DefaultConfig()
+	eip.Name = "fdp+eip"
+	eip.Prefetcher = "eip-27kb"
+
+	ghr := fdp.DefaultConfig()
+	ghr.Name = "ghr-fix"
+	ghr.HistPolicy = fdp.HistGHRFix
+	ghr.BTBAllocPolicy = fdp.AllocAll
+
+	srv := synth.ServerParams(0)
+	srv.Name = "bench-server"
+	srv.Funcs = 700
+
+	return []benchCase{
+		{name: "fdp_server_a", cfg: fdp.DefaultConfig(), workload: mustWorkload("server_a"), warmup: 20_000, measure: 60_000},
+		{name: "baseline_client_a", cfg: fdp.BaselineConfig(), workload: mustWorkload("client_a"), warmup: 20_000, measure: 60_000},
+		{name: "eip_server_b", cfg: eip, workload: mustWorkload("server_b"), warmup: 20_000, measure: 60_000},
+		{name: "ghrfix_spec_a", cfg: ghr, workload: mustWorkload("spec_a"), warmup: 20_000, measure: 60_000},
+		{name: "simulator_throughput", cfg: fdp.DefaultConfig(),
+			workload: synth.MustGenerate(srv, "server", 0xBE11),
+			warmup:   5_000, measure: 50_000, endToEnd: true},
+	}
+}
+
+func mustWorkload(name string) *fdp.Workload {
+	w := fdp.WorkloadByName(name)
+	if w == nil {
+		die(fmt.Errorf("unknown workload %q", name))
+	}
+	return w
+}
+
+// measureSteady builds the machine, warms it up, then times the bare
+// cycle loop: exact cycle and instruction counts from the core, exact
+// allocation counts from the runtime. The IPC timeline is pre-grown so
+// its amortized append cannot show up as a steady-state allocation.
+func measureSteady(c benchCase) map[string]float64 {
+	m, err := core.New(c.cfg, c.workload.NewStream())
+	if err != nil {
+		die(err)
+	}
+	for m.Retired() < c.warmup {
+		m.Step(512)
+	}
+	m.Stats().WindowIPC = make([]float64, 0, 1<<16)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	startCycles, startInsts := m.Now(), m.Retired()
+	target := startInsts + c.measure
+	t0 := time.Now()
+	for m.Retired() < target {
+		m.Step(512)
+	}
+	dt := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+	cycles := float64(m.Now() - startCycles)
+	insts := float64(m.Retired() - startInsts)
+	return map[string]float64{
+		metInstPerSec: insts / dt.Seconds(),
+		metNsPerCycle: float64(dt.Nanoseconds()) / cycles,
+		metAllocs:     float64(ms1.Mallocs - ms0.Mallocs),
+	}
+}
+
+// measureEndToEnd times a whole fdp.Simulate call, construction
+// included, exactly like BenchmarkSimulatorThroughput.
+func measureEndToEnd(c benchCase) map[string]float64 {
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	t0 := time.Now()
+	r, err := fdp.Simulate(c.cfg, c.workload, c.warmup, c.measure)
+	dt := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+	if err != nil {
+		die(err)
+	}
+	if r.IPC() <= 0 {
+		die(fmt.Errorf("%s: bad run", c.name))
+	}
+	// The end-to-end cycle count is dominated by the measurement phase;
+	// scale the measured cycles by the simulated-instruction ratio for a
+	// whole-run estimate.
+	cycles := float64(r.Cycles) * float64(c.warmup+c.measure) / float64(c.measure)
+	return map[string]float64{
+		metInstPerSec: float64(c.warmup+c.measure) / dt.Seconds(),
+		metNsPerCycle: float64(dt.Nanoseconds()) / cycles,
+		metAllocs:     float64(ms1.Mallocs - ms0.Mallocs),
+	}
+}
+
+// runSuite measures every case and assembles the report.
+func runSuite(label string, warmupReps, reps int) *benchkit.Report {
+	rep := &benchkit.Report{
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		Benchmarks: make(map[string]benchkit.Benchmark),
+	}
+	for _, c := range suite() {
+		c := c
+		fn := func() map[string]float64 { return measureSteady(c) }
+		if c.endToEnd {
+			fn = func() map[string]float64 { return measureEndToEnd(c) }
+		}
+		b, err := benchkit.Measure(warmupReps, reps, steadyMetrics(), fn)
+		if err != nil {
+			die(err)
+		}
+		rep.Benchmarks[c.name] = b
+		m := b.Metrics
+		fmt.Fprintf(os.Stderr, "%-22s %12.0f inst/s  %6.1f ns/cycle  %6.0f allocs/op  (n=%d)\n",
+			c.name, m[metInstPerSec].Median, m[metNsPerCycle].Median, m[metAllocs].Median, reps)
+	}
+	return rep
+}
+
+// reportRegressions prints a diff verdict and returns the exit code.
+func reportRegressions(regs []benchkit.Regression, tol float64) int {
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "OK: no regressions beyond %.0f%% tolerance\n", 100*tol)
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "FAIL: %d regression(s) beyond %.0f%% tolerance:\n", len(regs), 100*tol)
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "  %s\n", r)
+	}
+	return 1
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(2)
+}
+
+func main() {
+	var (
+		reps       = flag.Int("reps", 5, "measured repetitions per benchmark")
+		warmupReps = flag.Int("warmup-reps", 1, "discarded warmup repetitions per benchmark")
+		label      = flag.String("label", "", "label recorded in the report")
+		out        = flag.String("out", "", "write or update the benchmark document at this path")
+		asBaseline = flag.Bool("as-baseline", false, "with -out, pin the report as the document's baseline")
+		check      = flag.String("check", "", "run the suite and fail on regressions vs this document's current report")
+		diffMode   = flag.Bool("diff", false, "compare two documents (bench -diff OLD NEW) without running")
+		tol        = flag.Float64("tol", 0.30, "fractional regression tolerance")
+	)
+	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			die(errors.New("-diff needs exactly two document paths"))
+		}
+		oldF, err := benchkit.Load(flag.Arg(0))
+		if err != nil {
+			die(err)
+		}
+		newF, err := benchkit.Load(flag.Arg(1))
+		if err != nil {
+			die(err)
+		}
+		regs, err := benchkit.Diff(oldF.Current, newF.Current, *tol)
+		if err != nil {
+			die(err)
+		}
+		os.Exit(reportRegressions(regs, *tol))
+	}
+
+	rep := runSuite(*label, *warmupReps, *reps)
+
+	if *check != "" {
+		f, err := benchkit.Load(*check)
+		if err != nil {
+			die(err)
+		}
+		regs, err := benchkit.Diff(f.Current, rep, *tol)
+		if err != nil {
+			die(err)
+		}
+		os.Exit(reportRegressions(regs, *tol))
+	}
+
+	if *out != "" {
+		f := &benchkit.File{Schema: benchkit.FileSchema}
+		if prev, err := benchkit.Load(*out); err == nil {
+			f = prev
+		} else if !errors.Is(err, os.ErrNotExist) {
+			die(err)
+		}
+		if *asBaseline {
+			f.Baseline = rep
+		} else {
+			f.Current = rep
+		}
+		if f.Current == nil {
+			// A document must always carry a current report; a fresh file
+			// pinned with -as-baseline starts with current = baseline.
+			f.Current = rep
+		}
+		b, err := f.Encode()
+		if err != nil {
+			die(err)
+		}
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			die(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+		return
+	}
+
+	// Default: the report JSON on stdout, wrapped as a document.
+	b, err := (&benchkit.File{Schema: benchkit.FileSchema, Current: rep}).Encode()
+	if err != nil {
+		die(err)
+	}
+	os.Stdout.Write(b)
+}

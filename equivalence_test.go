@@ -1,0 +1,27 @@
+package fdp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestKernelEquivalence simulates each golden (config, workload) pair
+// twice in one process with fresh machine instances and asserts the two
+// manifests are byte-identical. TestGoldenManifests pins behaviour
+// against the committed past; this pins determinism within a single
+// binary: no package-level state, map-iteration order, or pointer-keyed
+// decision may leak into simulation results between runs.
+func TestKernelEquivalence(t *testing.T) {
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			first := goldenManifest(t, c)
+			second := goldenManifest(t, c)
+			if !bytes.Equal(first, second) {
+				t.Fatalf("two in-process runs of %s diverged: %d vs %d bytes, first difference at byte %d",
+					c.name, len(first), len(second), firstDiff(first, second))
+			}
+		})
+	}
+}

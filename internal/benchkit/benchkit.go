@@ -1,0 +1,275 @@
+// Package benchkit is the measurement and regression-checking machinery
+// behind cmd/bench and the committed BENCH_kernel.json document: warmup
+// and repetition control, robust summary statistics (median, 95%
+// confidence interval), a JSON report format, and a tolerance-based diff
+// that turns two reports into a pass/fail regression verdict.
+//
+// The design splits cleanly into measurement (Measure, Summarize) and
+// comparison (Diff): cmd/bench measures a fresh Report and Diff compares
+// it — or two committed files — against a pinned baseline. Medians are
+// compared rather than means so one noisy repetition cannot flip a
+// verdict.
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// Metric directions: whether a larger or a smaller value is better.
+const (
+	Higher = "higher"
+	Lower  = "lower"
+)
+
+// Metric declares one measured quantity: its name in the report, its
+// unit, and which direction is an improvement.
+type Metric struct {
+	Name   string
+	Unit   string
+	Better string // Higher or Lower
+}
+
+// Summary is the repetition statistics of one metric.
+type Summary struct {
+	Unit   string  `json:"unit,omitempty"`
+	Better string  `json:"better"`
+	Median float64 `json:"median"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	// CI95Lo/CI95Hi bound the mean with a normal-approximation 95%
+	// confidence interval (mean ± 1.96·s/√n); equal to the mean when n=1.
+	CI95Lo float64 `json:"ci95_lo"`
+	CI95Hi float64 `json:"ci95_hi"`
+	N      int     `json:"n"`
+}
+
+// Summarize computes the repetition statistics of one metric's samples.
+// It panics on an empty slice: a benchmark with zero measured reps is a
+// harness bug, not a data condition.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		panic("benchkit: Summarize on zero samples")
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	n := len(s)
+	med := s[n/2]
+	if n%2 == 0 {
+		med = (s[n/2-1] + s[n/2]) / 2
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	mean := sum / float64(n)
+	var sq float64
+	for _, v := range s {
+		d := v - mean
+		sq += d * d
+	}
+	half := 0.0
+	if n > 1 {
+		sd := math.Sqrt(sq / float64(n-1))
+		half = 1.96 * sd / math.Sqrt(float64(n))
+	}
+	return Summary{
+		Median: med, Mean: mean, Min: s[0], Max: s[n-1],
+		CI95Lo: mean - half, CI95Hi: mean + half, N: n,
+	}
+}
+
+// Benchmark is one named benchmark's summarized metrics.
+type Benchmark struct {
+	Metrics map[string]Summary `json:"metrics"`
+}
+
+// Measure runs fn warmup+reps times, discards the warmup runs, and
+// summarizes each declared metric across the measured repetitions. Every
+// run must report every declared metric.
+func Measure(warmup, reps int, decls []Metric, fn func() map[string]float64) (Benchmark, error) {
+	if reps < 1 {
+		return Benchmark{}, fmt.Errorf("benchkit: reps = %d, need >= 1", reps)
+	}
+	for i := 0; i < warmup; i++ {
+		fn()
+	}
+	samples := make(map[string][]float64, len(decls))
+	for i := 0; i < reps; i++ {
+		got := fn()
+		for _, d := range decls {
+			v, ok := got[d.Name]
+			if !ok {
+				return Benchmark{}, fmt.Errorf("benchkit: run %d missing metric %q", i, d.Name)
+			}
+			samples[d.Name] = append(samples[d.Name], v)
+		}
+	}
+	b := Benchmark{Metrics: make(map[string]Summary, len(decls))}
+	for _, d := range decls {
+		s := Summarize(samples[d.Name])
+		s.Unit, s.Better = d.Unit, d.Better
+		b.Metrics[d.Name] = s
+	}
+	return b, nil
+}
+
+// Report is the result of one full suite run.
+type Report struct {
+	Label      string               `json:"label,omitempty"`
+	GoVersion  string               `json:"go_version,omitempty"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+}
+
+// File is the committed benchmark document (BENCH_kernel.json): the
+// pinned baseline measured before an optimization pass, and the current
+// results of the same suite after it.
+type File struct {
+	Schema   int     `json:"schema"`
+	Baseline *Report `json:"baseline,omitempty"`
+	Current  *Report `json:"current"`
+}
+
+// FileSchema is the current File document version.
+const FileSchema = 1
+
+// Encode renders the document as canonical indented JSON with a trailing
+// newline (maps marshal with sorted keys, so encoding is deterministic).
+func (f *File) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Load reads and validates a committed benchmark document.
+func Load(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("benchkit: %s: %w", path, err)
+	}
+	if f.Schema != FileSchema {
+		return nil, fmt.Errorf("benchkit: %s: schema %d, want %d", path, f.Schema, FileSchema)
+	}
+	if f.Current == nil {
+		return nil, fmt.Errorf("benchkit: %s: no current report", path)
+	}
+	return &f, nil
+}
+
+// Regression reasons.
+const (
+	ReasonWorse            = "worse"             // beyond tolerance in the bad direction
+	ReasonMissingBenchmark = "missing-benchmark" // baseline benchmark absent from current
+	ReasonMissingMetric    = "missing-metric"    // baseline metric absent from current
+	ReasonNotFinite        = "not-finite"        // NaN or Inf median on either side
+)
+
+// Regression is one way the current report fails to match its baseline.
+type Regression struct {
+	Benchmark string  `json:"benchmark"`
+	Metric    string  `json:"metric,omitempty"`
+	Reason    string  `json:"reason"`
+	Baseline  float64 `json:"baseline,omitempty"`
+	Current   float64 `json:"current,omitempty"`
+	// Delta is the fractional change in the worsening direction (positive
+	// means worse); for a zero baseline it is the absolute current value.
+	Delta float64 `json:"delta,omitempty"`
+}
+
+func (r Regression) String() string {
+	switch r.Reason {
+	case ReasonWorse:
+		return fmt.Sprintf("%s/%s: %g -> %g (%.1f%% worse)", r.Benchmark, r.Metric, r.Baseline, r.Current, 100*r.Delta)
+	case ReasonMissingMetric:
+		return fmt.Sprintf("%s/%s: metric missing from current report", r.Benchmark, r.Metric)
+	case ReasonMissingBenchmark:
+		return fmt.Sprintf("%s: benchmark missing from current report", r.Benchmark)
+	default:
+		return fmt.Sprintf("%s/%s: %s (baseline %g, current %g)", r.Benchmark, r.Metric, r.Reason, r.Baseline, r.Current)
+	}
+}
+
+// Diff compares the medians of every baseline metric against the current
+// report under a fractional tolerance and returns the regressions, sorted
+// by benchmark then metric. A metric regresses when it moves beyond
+// tolerance in its declared bad direction; improvements of any size and
+// benchmarks only present in the current report are ignored. When the
+// baseline median is zero the tolerance acts as an absolute allowance
+// (for Lower-better metrics such as allocation counts, any current value
+// above tol fails). Exactly-at-tolerance passes. Non-finite medians are
+// reported as regressions: a NaN must never certify a run as clean.
+func Diff(baseline, current *Report, tol float64) ([]Regression, error) {
+	if baseline == nil || current == nil {
+		return nil, fmt.Errorf("benchkit: Diff on nil report")
+	}
+	if math.IsNaN(tol) || tol < 0 {
+		return nil, fmt.Errorf("benchkit: bad tolerance %v", tol)
+	}
+	var regs []Regression
+	names := sortedKeys(baseline.Benchmarks)
+	for _, bn := range names {
+		bb := baseline.Benchmarks[bn]
+		cb, ok := current.Benchmarks[bn]
+		if !ok {
+			regs = append(regs, Regression{Benchmark: bn, Reason: ReasonMissingBenchmark})
+			continue
+		}
+		for _, mn := range sortedKeys(bb.Metrics) {
+			bm := bb.Metrics[mn]
+			cm, ok := cb.Metrics[mn]
+			if !ok {
+				regs = append(regs, Regression{Benchmark: bn, Metric: mn, Reason: ReasonMissingMetric})
+				continue
+			}
+			base, cur := bm.Median, cm.Median
+			if !isFinite(base) || !isFinite(cur) {
+				regs = append(regs, Regression{Benchmark: bn, Metric: mn, Reason: ReasonNotFinite, Baseline: base, Current: cur})
+				continue
+			}
+			delta, worse := worseBy(bm.Better, base, cur, tol)
+			if worse {
+				regs = append(regs, Regression{Benchmark: bn, Metric: mn, Reason: ReasonWorse, Baseline: base, Current: cur, Delta: delta})
+			}
+		}
+	}
+	return regs, nil
+}
+
+// worseBy returns the fractional worsening of cur relative to base in the
+// metric's bad direction, and whether it exceeds the tolerance.
+func worseBy(better string, base, cur, tol float64) (delta float64, worse bool) {
+	switch better {
+	case Higher:
+		if base == 0 {
+			return 0, false // any non-negative value meets a zero floor
+		}
+		delta = (base - cur) / base
+	default: // Lower, and the safe fallback for an undeclared direction
+		if base == 0 {
+			return cur, cur > tol
+		}
+		delta = (cur - base) / base
+	}
+	return delta, delta > tol
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func sortedKeys[M map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

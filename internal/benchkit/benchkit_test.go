@@ -1,0 +1,206 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.Median != 2 || s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.N != 3 {
+		t.Errorf("odd-n summary = %+v", s)
+	}
+	s = Summarize([]float64{1, 2, 3, 4})
+	if s.Median != 2.5 {
+		t.Errorf("even-n median = %g, want 2.5", s.Median)
+	}
+	if s.CI95Lo >= s.Mean || s.CI95Hi <= s.Mean {
+		t.Errorf("CI [%g, %g] does not bracket mean %g", s.CI95Lo, s.CI95Hi, s.Mean)
+	}
+	s = Summarize([]float64{7})
+	if s.Median != 7 || s.CI95Lo != 7 || s.CI95Hi != 7 || s.N != 1 {
+		t.Errorf("n=1 summary = %+v", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Summarize(nil) did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestMeasure(t *testing.T) {
+	decls := []Metric{{Name: "v", Unit: "x", Better: Higher}}
+	calls := 0
+	b, err := Measure(2, 3, decls, func() map[string]float64 {
+		calls++
+		return map[string]float64{"v": float64(calls)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 {
+		t.Errorf("fn called %d times, want 5 (2 warmup + 3 reps)", calls)
+	}
+	// Warmup runs (values 1, 2) must be discarded: samples are 3, 4, 5.
+	m := b.Metrics["v"]
+	if m.Median != 4 || m.Min != 3 || m.Max != 5 || m.N != 3 {
+		t.Errorf("metrics = %+v, want median 4 over {3,4,5}", m)
+	}
+	if m.Unit != "x" || m.Better != Higher {
+		t.Errorf("decl not carried into summary: %+v", m)
+	}
+
+	if _, err := Measure(0, 0, decls, nil); err == nil {
+		t.Error("Measure with 0 reps did not error")
+	}
+	if _, err := Measure(0, 1, decls, func() map[string]float64 {
+		return nil // declared metric missing
+	}); err == nil {
+		t.Error("Measure with missing metric did not error")
+	}
+}
+
+// report builds a single-benchmark single-metric report for Diff tests.
+func report(better string, median float64) *Report {
+	return &Report{Benchmarks: map[string]Benchmark{
+		"kernel": {Metrics: map[string]Summary{
+			"speed": {Better: better, Median: median},
+		}},
+	}}
+}
+
+func mustDiff(t *testing.T, base, cur *Report, tol float64) []Regression {
+	t.Helper()
+	regs, err := Diff(base, cur, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return regs
+}
+
+func TestDiffToleranceEdges(t *testing.T) {
+	base := report(Higher, 100)
+	// Exactly at tolerance passes; epsilon beyond fails.
+	if regs := mustDiff(t, base, report(Higher, 90), 0.10); len(regs) != 0 {
+		t.Errorf("exactly-at-tolerance flagged: %v", regs)
+	}
+	if regs := mustDiff(t, base, report(Higher, 89.9), 0.10); len(regs) != 1 {
+		t.Errorf("beyond-tolerance not flagged: %v", regs)
+	} else if regs[0].Reason != ReasonWorse || math.Abs(regs[0].Delta-0.101) > 1e-9 {
+		t.Errorf("regression = %+v", regs[0])
+	}
+	// Improvements of any size pass.
+	if regs := mustDiff(t, base, report(Higher, 500), 0); len(regs) != 0 {
+		t.Errorf("improvement flagged: %v", regs)
+	}
+
+	// Lower-is-better mirrors the direction.
+	lbase := report(Lower, 100)
+	if regs := mustDiff(t, lbase, report(Lower, 110), 0.10); len(regs) != 0 {
+		t.Errorf("lower: exactly-at-tolerance flagged: %v", regs)
+	}
+	if regs := mustDiff(t, lbase, report(Lower, 110.1), 0.10); len(regs) != 1 {
+		t.Errorf("lower: beyond-tolerance not flagged: %v", regs)
+	}
+
+	// Zero baseline, lower-better: tolerance is an absolute allowance.
+	zbase := report(Lower, 0)
+	if regs := mustDiff(t, zbase, report(Lower, 0.05), 0.10); len(regs) != 0 {
+		t.Errorf("zero-baseline within allowance flagged: %v", regs)
+	}
+	if regs := mustDiff(t, zbase, report(Lower, 0.2), 0.10); len(regs) != 1 {
+		t.Errorf("zero-baseline above allowance not flagged: %v", regs)
+	}
+	// Zero baseline, higher-better: nothing non-negative can be worse.
+	if regs := mustDiff(t, report(Higher, 0), report(Higher, 0), 0); len(regs) != 0 {
+		t.Errorf("zero-floor flagged: %v", regs)
+	}
+}
+
+func TestDiffMissing(t *testing.T) {
+	base := report(Higher, 100)
+	empty := &Report{Benchmarks: map[string]Benchmark{}}
+	regs := mustDiff(t, base, empty, 0.1)
+	if len(regs) != 1 || regs[0].Reason != ReasonMissingBenchmark {
+		t.Errorf("missing benchmark: %v", regs)
+	}
+	noMetric := &Report{Benchmarks: map[string]Benchmark{"kernel": {Metrics: map[string]Summary{}}}}
+	regs = mustDiff(t, base, noMetric, 0.1)
+	if len(regs) != 1 || regs[0].Reason != ReasonMissingMetric {
+		t.Errorf("missing metric: %v", regs)
+	}
+	// Extra benchmarks in current are not regressions.
+	cur := report(Higher, 100)
+	cur.Benchmarks["new"] = Benchmark{Metrics: map[string]Summary{"m": {Median: 1}}}
+	if regs := mustDiff(t, base, cur, 0.1); len(regs) != 0 {
+		t.Errorf("extra benchmark flagged: %v", regs)
+	}
+}
+
+func TestDiffNaNGuards(t *testing.T) {
+	nan := math.NaN()
+	for _, tc := range []struct{ base, cur float64 }{
+		{nan, 100}, {100, nan}, {math.Inf(1), 100}, {100, math.Inf(-1)},
+	} {
+		regs := mustDiff(t, report(Higher, tc.base), report(Higher, tc.cur), 0.1)
+		if len(regs) != 1 || regs[0].Reason != ReasonNotFinite {
+			t.Errorf("base=%v cur=%v: %v", tc.base, tc.cur, regs)
+		}
+	}
+	// A NaN tolerance (or a negative one) is a caller bug, not a pass.
+	if _, err := Diff(report(Higher, 1), report(Higher, 1), nan); err == nil {
+		t.Error("NaN tolerance accepted")
+	}
+	if _, err := Diff(report(Higher, 1), report(Higher, 1), -0.1); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+	if _, err := Diff(nil, report(Higher, 1), 0.1); err == nil {
+		t.Error("nil baseline accepted")
+	}
+}
+
+func TestFileEncodeLoadRoundTrip(t *testing.T) {
+	f := &File{
+		Schema:   FileSchema,
+		Baseline: report(Higher, 1.0e6),
+		Current:  report(Higher, 1.8e6),
+	}
+	b, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[len(b)-1] != '\n' {
+		t.Error("encoded file lacks trailing newline")
+	}
+	path := t.TempDir() + "/bench.json"
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Current.Benchmarks["kernel"].Metrics["speed"].Median != 1.8e6 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+
+	// Wrong schema and missing current report are rejected.
+	bad := &File{Schema: 99, Current: report(Higher, 1)}
+	bb, _ := json.Marshal(bad)
+	if err := os.WriteFile(path, bb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("Load accepted wrong schema")
+	}
+	bb, _ = json.Marshal(&File{Schema: FileSchema})
+	if err := os.WriteFile(path, bb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("Load accepted file without current report")
+	}
+}

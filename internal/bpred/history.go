@@ -16,8 +16,28 @@ const histWords = HistoryBits / 64
 // bits folded (by XOR of Width-bit chunks, with rotation) into Width bits.
 // Predictor tables register the FoldSpecs they need at construction time.
 type FoldSpec struct {
-	Length int // history bits consumed (0 < Length < HistoryBits)
-	Width  int // folded register width in bits (1..31)
+	Length int // history bits consumed (0 < Length < HistoryBits-1)
+	Width  int // folded register width in bits (2..31)
+}
+
+// fold packs every constant InsertBit needs for one FoldSpec into one
+// struct so the insert loop reads a single contiguous array. The mutable
+// folded values live in a separate dense uint32 slice (History.vals): the
+// insert loop streams both arrays, and snapshots of all ~38 folded
+// registers collapse to one memcopy. A TAGE-18KB + ITTAGE frontend inserts
+// history bits on every predicted taken branch and snapshots on every
+// predicted block, so both layouts matter.
+type fold struct {
+	mask uint32 // (1 << Width) - 1
+	// Outgoing-bit positions, precomputed as word/shift pairs into the raw
+	// bits array: position Length (out0, read after a 1-bit shift and by
+	// the second step of a 2-bit insert) and Length+1 (out1, read by the
+	// first step of a 2-bit insert, where the departing bit has already
+	// been shifted one position further).
+	outW0, outS0 uint8
+	outW1, outS1 uint8
+	width, rem   uint8 // Width and Length % Width
+	rem1         uint8 // (rem+1) % Width: landing bit of the older insert of a pair
 }
 
 // History is the speculative (or architectural) global history: raw bits
@@ -30,52 +50,65 @@ type FoldSpec struct {
 // folded to two bits per event so the register remains a pure shift
 // register, preserving O(1) folded updates).
 type History struct {
-	bits   [histWords]uint64
-	specs  []FoldSpec
-	folded []uint32
-	// Precomputed per-spec constants for InsertBit.
-	outWord  []int    // word index of the outgoing bit (raw position Length)
-	outShift []uint   // bit offset of the outgoing bit within its word
-	remShift []uint   // Length % Width: where the outgoing bit sits in the fold
-	mask     []uint32 // (1 << Width) - 1
-	width    []uint   // Width
+	bits  [histWords]uint64
+	specs []FoldSpec
+	folds []fold
+	vals  []uint32 // current folded register values, parallel to folds
 }
 
 // NewHistory creates a History maintaining the given folded views.
 func NewHistory(specs []FoldSpec) *History {
 	for _, s := range specs {
-		if s.Length <= 0 || s.Length >= HistoryBits {
+		// Length+1 must also be a valid raw-bit position (the fused 2-bit
+		// insert reads it), hence the HistoryBits-1 bound.
+		if s.Length <= 0 || s.Length >= HistoryBits-1 {
 			panic("bpred: FoldSpec.Length out of range")
 		}
-		if s.Width <= 0 || s.Width > 31 {
+		// Width 1 is excluded: the fused two-bit insert folds both overflow
+		// bits with a single XOR, which needs the register to hold them at
+		// distinct positions.
+		if s.Width <= 1 || s.Width > 31 {
 			panic("bpred: FoldSpec.Width out of range")
 		}
 	}
-	h := &History{specs: specs, folded: make([]uint32, len(specs))}
-	h.outWord = make([]int, len(specs))
-	h.outShift = make([]uint, len(specs))
-	h.remShift = make([]uint, len(specs))
-	h.mask = make([]uint32, len(specs))
-	h.width = make([]uint, len(specs))
+	h := &History{specs: specs, folds: make([]fold, len(specs)), vals: make([]uint32, len(specs))}
 	for i, s := range specs {
-		h.outWord[i] = s.Length >> 6
-		h.outShift[i] = uint(s.Length) & 63
-		h.remShift[i] = uint(s.Length) % uint(s.Width)
-		h.mask[i] = 1<<uint(s.Width) - 1
-		h.width[i] = uint(s.Width)
+		h.folds[i] = fold{
+			mask:  1<<uint(s.Width) - 1,
+			outW0: uint8(s.Length >> 6),
+			outS0: uint8(s.Length & 63),
+			outW1: uint8((s.Length + 1) >> 6),
+			outS1: uint8((s.Length + 1) & 63),
+			width: uint8(s.Width),
+			rem:   uint8(s.Length % s.Width),
+			rem1:  uint8((s.Length%s.Width + 1) % s.Width),
+		}
 	}
 	return h
 }
 
 // NumFolds returns the number of folded registers.
-func (h *History) NumFolds() int { return len(h.folded) }
+func (h *History) NumFolds() int { return len(h.folds) }
 
 // Folded returns the current value of folded register i.
-func (h *History) Folded(i int) uint32 { return h.folded[i] }
+func (h *History) Folded(i int) uint32 { return h.vals[i] }
 
 // Bit returns raw history bit p (0 = newest).
 func (h *History) Bit(p int) uint32 {
 	return uint32(h.bits[p>>6]>>(uint(p)&63)) & 1
+}
+
+// foldStep advances one folded register value by one inserted bit b,
+// removing the outgoing raw bit found at word outW / shift outS.
+func foldStep(f *fold, bits *[histWords]uint64, val, b uint32, outW, outS uint8) uint32 {
+	comp := val
+	comp = comp<<1 | b
+	comp ^= comp >> f.width // wrap the overflow bit to position 0
+	comp &= f.mask
+	// Remove the bit that left the Length-bit window.
+	out := uint32(bits[outW]>>outS) & 1
+	comp ^= out << f.rem
+	return comp
 }
 
 // InsertBit shifts one bit into the history and updates all folded views.
@@ -85,16 +118,45 @@ func (h *History) InsertBit(b uint32) {
 	}
 	h.bits[0] = h.bits[0]<<1 | uint64(b&1)
 	b &= 1
-	for i := range h.folded {
-		comp := h.folded[i]
-		comp = comp<<1 | b
-		comp ^= comp >> h.width[i] // wrap the overflow bit to position 0
-		comp &= h.mask[i]
-		// Remove the bit that just left the Length-bit window; after the
-		// shift it sits at raw position Length.
-		out := uint32(h.bits[h.outWord[i]]>>h.outShift[i]) & 1
-		comp ^= out << h.remShift[i]
-		h.folded[i] = comp
+	folds := h.folds
+	vals := h.vals
+	for i := range folds {
+		f := &folds[i]
+		vals[i] = foldStep(f, &h.bits, vals[i], b, f.outW0, f.outS0)
+	}
+}
+
+// insertBits2 shifts two bits into the history (b1 older, b0 newest) and
+// updates all folded views, equivalent to InsertBit(b1); InsertBit(b0) but
+// with a single raw-register shift and one fused fold step per register.
+//
+// The fusion relies on the fold being GF(2)-linear: shifting the register
+// by two leaves the two overflow bits at positions Width and Width+1, and
+// one XOR with the register shifted right by Width wraps both to positions
+// 0 and 1 at once (this is why Width >= 2). The two outgoing raw bits sat
+// at positions Length-1 and Length-2 before the combined shift, i.e.
+// Length+1 and Length after it; the older one is removed at the rotated
+// position (rem+1) mod Width because the second shift moved its slot.
+func (h *History) insertBits2(b1, b0 uint32) {
+	for i := histWords - 1; i > 0; i-- {
+		h.bits[i] = h.bits[i]<<2 | h.bits[i-1]>>62
+	}
+	h.bits[0] = h.bits[0]<<2 | uint64(b1&1)<<1 | uint64(b0&1)
+	ins := (b1&1)<<1 | b0&1
+	folds := h.folds
+	vals := h.vals
+	bits := &h.bits
+	for i := range folds {
+		f := &folds[i]
+		out1 := uint32(bits[f.outW1]>>f.outS1) & 1
+		out0 := uint32(bits[f.outW0]>>f.outS0) & 1
+		v := vals[i]
+		v = v<<2 | ins
+		v ^= v >> f.width // wrap both overflow bits in one XOR
+		v &= f.mask
+		v ^= out1 << f.rem1
+		v ^= out0 << f.rem
+		vals[i] = v
 	}
 }
 
@@ -123,8 +185,7 @@ func TargetHash(pc, target uint64) uint32 {
 // history bits derived from the pc/target hash.
 func (h *History) InsertTaken(pc, target uint64) {
 	hash := TargetHash(pc, target)
-	h.InsertBit(hash >> 1)
-	h.InsertBit(hash & 1)
+	h.insertBits2(hash>>1, hash&1)
 }
 
 // Snapshot is a saved History state. The folded slice is owned by the
@@ -137,31 +198,31 @@ type Snapshot struct {
 // Save copies the current state into s (allocating s.folded on first use).
 func (h *History) Save(s *Snapshot) {
 	s.bits = h.bits
-	if cap(s.folded) < len(h.folded) {
-		s.folded = make([]uint32, len(h.folded))
+	if cap(s.folded) < len(h.vals) {
+		s.folded = make([]uint32, len(h.vals))
 	}
-	s.folded = s.folded[:len(h.folded)]
-	copy(s.folded, h.folded)
+	s.folded = s.folded[:len(h.vals)]
+	copy(s.folded, h.vals)
 }
 
 // Restore sets the history back to a previously saved state. The snapshot
 // must come from a History with the same FoldSpecs.
 func (h *History) Restore(s *Snapshot) {
 	h.bits = s.bits
-	copy(h.folded, s.folded)
+	copy(h.vals, s.folded)
 }
 
 // CopyFrom makes h identical to src (same FoldSpecs required).
 func (h *History) CopyFrom(src *History) {
 	h.bits = src.bits
-	copy(h.folded, src.folded)
+	copy(h.vals, src.vals)
 }
 
 // Reset clears all history.
 func (h *History) Reset() {
 	h.bits = [histWords]uint64{}
-	for i := range h.folded {
-		h.folded[i] = 0
+	for i := range h.vals {
+		h.vals[i] = 0
 	}
 }
 

@@ -84,13 +84,25 @@ type tageEntry struct {
 	u   uint8 // 2-bit usefulness
 }
 
+// tageTable is one tagged component with its index/tag constants
+// precomputed, so the per-table probe of lookup — run for every predicted
+// branch — reads one contiguous record instead of chasing the config and a
+// slice-of-slices.
+type tageTable struct {
+	entries  []tageEntry
+	idxMask  uint32
+	tagMask  uint32
+	idxShift uint8  // 2 + IdxBits, the pc shift mixed into the index
+	salt     uint32 // per-table index perturbation (i * 0x9e37)
+}
+
 // TAGE is a TAgged GEometric-history-length direction predictor (Seznec),
 // the paper's primary predictor. It registers three folded views per table
 // (index, tag, tag') in the shared History.
 type TAGE struct {
 	cfg      TAGEConfig
 	bimodal  []uint8 // 2-bit counters
-	tables   [][]tageEntry
+	tables   []tageTable
 	foldBase int
 	useAlt   int8 // use-alt-on-newly-allocated counter
 	tick     int
@@ -107,8 +119,14 @@ func NewTAGE(cfg TAGEConfig) *TAGE {
 	for i := range t.bimodal {
 		t.bimodal[i] = 2 // weakly taken
 	}
-	for _, tc := range cfg.Tables {
-		t.tables = append(t.tables, make([]tageEntry, 1<<tc.IdxBits))
+	for i, tc := range cfg.Tables {
+		t.tables = append(t.tables, tageTable{
+			entries:  make([]tageEntry, 1<<tc.IdxBits),
+			idxMask:  1<<uint(tc.IdxBits) - 1,
+			tagMask:  1<<uint(tc.TagBits) - 1,
+			idxShift: uint8(2 + tc.IdxBits),
+			salt:     uint32(i) * 0x9e37,
+		})
 	}
 	return t
 }
@@ -136,23 +154,23 @@ func (t *TAGE) Bind(base int) { t.foldBase = base }
 func (t *TAGE) StorageBits() int {
 	bits := len(t.bimodal) * 2
 	for i, tc := range t.cfg.Tables {
-		bits += len(t.tables[i]) * (tc.TagBits + 3 + 2)
+		bits += len(t.tables[i].entries) * (tc.TagBits + 3 + 2)
 	}
 	return bits
 }
 
 func (t *TAGE) index(i int, pc uint64, h *History) uint32 {
-	tc := t.cfg.Tables[i]
+	tb := &t.tables[i]
 	f := h.Folded(t.foldBase + 3*i)
-	idx := uint32(pc>>2) ^ uint32(pc>>(2+uint(tc.IdxBits))) ^ f ^ uint32(i)*0x9e37
-	return idx & (1<<uint(tc.IdxBits) - 1)
+	idx := uint32(pc>>2) ^ uint32(pc>>uint(tb.idxShift)) ^ f ^ tb.salt
+	return idx & tb.idxMask
 }
 
 func (t *TAGE) tag(i int, pc uint64, h *History) uint16 {
-	tc := t.cfg.Tables[i]
+	tb := &t.tables[i]
 	f1 := h.Folded(t.foldBase + 3*i + 1)
 	f2 := h.Folded(t.foldBase + 3*i + 2)
-	return uint16((uint32(pc>>2) ^ f1 ^ f2<<1) & (1<<uint(tc.TagBits) - 1))
+	return uint16((uint32(pc>>2) ^ f1 ^ f2<<1) & tb.tagMask)
 }
 
 func (t *TAGE) bimodalIdx(pc uint64) uint32 {
@@ -165,7 +183,7 @@ func (t *TAGE) lookup(pc uint64, h *History) (provider, alt int, provIdx, altIdx
 	provider, alt = -1, -1
 	for i := len(t.tables) - 1; i >= 0; i-- {
 		idx := t.index(i, pc, h)
-		if t.tables[i][idx].tag == t.tag(i, pc, h) {
+		if t.tables[i].entries[idx].tag == t.tag(i, pc, h) {
 			if provider < 0 {
 				provider, provIdx = i, idx
 			} else {
@@ -185,12 +203,12 @@ func (t *TAGE) Predict(pc uint64, h *History) bool {
 	if provider < 0 {
 		return t.bimodalPred(pc)
 	}
-	e := &t.tables[provider][provIdx]
+	e := &t.tables[provider].entries[provIdx]
 	// Newly-allocated weak entries may be worse than the alternate
 	// prediction; a global counter arbitrates (USE_ALT_ON_NA).
 	if (e.ctr == 0 || e.ctr == -1) && e.u == 0 && t.useAlt >= 0 {
 		if alt >= 0 {
-			return t.tables[alt][altIdx].ctr >= 0
+			return t.tables[alt].entries[altIdx].ctr >= 0
 		}
 		return t.bimodalPred(pc)
 	}
@@ -203,14 +221,14 @@ func (t *TAGE) Update(pc uint64, h *History, taken bool) {
 	provider, alt, provIdx, altIdx := t.lookup(pc, h)
 	var provPred, altPred bool
 	if alt >= 0 {
-		altPred = t.tables[alt][altIdx].ctr >= 0
+		altPred = t.tables[alt].entries[altIdx].ctr >= 0
 	} else {
 		altPred = t.bimodalPred(pc)
 	}
 	pred := altPred
 	weakProvider := false
 	if provider >= 0 {
-		e := &t.tables[provider][provIdx]
+		e := &t.tables[provider].entries[provIdx]
 		provPred = e.ctr >= 0
 		weakProvider = (e.ctr == 0 || e.ctr == -1) && e.u == 0
 		if weakProvider && t.useAlt >= 0 {
@@ -222,7 +240,7 @@ func (t *TAGE) Update(pc uint64, h *History, taken bool) {
 	mispred := pred != taken
 
 	if provider >= 0 {
-		e := &t.tables[provider][provIdx]
+		e := &t.tables[provider].entries[provIdx]
 		// Track whether alt would have done better for weak entries.
 		if weakProvider && provPred != altPred {
 			if provPred == taken && t.useAlt > -8 {
@@ -262,8 +280,9 @@ func (t *TAGE) Update(pc uint64, h *History, taken bool) {
 	if t.tick >= 1<<18 {
 		t.tick = 0
 		for i := range t.tables {
-			for j := range t.tables[i] {
-				t.tables[i][j].u >>= 1
+			ents := t.tables[i].entries
+			for j := range ents {
+				ents[j].u >>= 1
 			}
 		}
 	}
@@ -277,7 +296,7 @@ func (t *TAGE) allocate(pc uint64, h *History, provider int, taken bool) {
 	}
 	for i := start; i < len(t.tables); i++ {
 		idx := t.index(i, pc, h)
-		e := &t.tables[i][idx]
+		e := &t.tables[i].entries[idx]
 		if e.u == 0 {
 			e.tag = t.tag(i, pc, h)
 			if taken {
@@ -291,7 +310,7 @@ func (t *TAGE) allocate(pc uint64, h *History, provider int, taken bool) {
 	// No free entry: age the candidates.
 	for i := start; i < len(t.tables); i++ {
 		idx := t.index(i, pc, h)
-		if e := &t.tables[i][idx]; e.u > 0 {
+		if e := &t.tables[i].entries[idx]; e.u > 0 {
 			e.u--
 		}
 	}

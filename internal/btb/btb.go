@@ -29,20 +29,25 @@ type TargetBuffer interface {
 // same 16-byte block map to the same set.
 const blockShift = 4
 
-type entry struct {
-	valid  bool
-	typ    program.InstType
-	tag    uint64 // pc >> 2 (distinguishes branches within a block)
+// meta is the payload of one BTB slot. The tag itself lives in a separate
+// packed array so that the way-search — run for every address the
+// prediction pipe scans — touches only a handful of contiguous words; the
+// payload line is loaded only on the (far rarer) hit.
+type meta struct {
 	target uint64
 	lru    uint64
+	typ    program.InstType
 }
 
 // BTB is a set-associative branch target buffer with true-LRU replacement.
 type BTB struct {
-	sets     int
-	ways     int
-	setMask  uint64
-	entries  []entry
+	sets    int
+	ways    int
+	setMask uint64
+	// tags holds (pc>>2)<<1 | 1 for valid slots and 0 for invalid ones, so
+	// presence and tag match collapse into one comparison.
+	tags     []uint64
+	meta     []meta
 	lruClock uint64
 
 	lookups uint64
@@ -67,7 +72,8 @@ func New(entries, ways int) *BTB {
 		sets:    sets,
 		ways:    ways,
 		setMask: uint64(sets - 1),
-		entries: make([]entry, entries),
+		tags:    make([]uint64, entries),
+		meta:    make([]meta, entries),
 	}
 }
 
@@ -77,22 +83,27 @@ func (b *BTB) Entries() int { return b.sets * b.ways }
 // Name implements TargetBuffer.
 func (b *BTB) Name() string { return "btb" }
 
-func (b *BTB) set(pc uint64) []entry {
-	s := int((pc >> blockShift) & b.setMask)
-	return b.entries[s*b.ways : (s+1)*b.ways]
+// key packs a pc into its valid-slot tag encoding.
+func key(pc uint64) uint64 { return pc>>2<<1 | 1 }
+
+// setBase returns the first slot index of pc's set.
+func (b *BTB) setBase(pc uint64) int {
+	return int((pc>>blockShift)&b.setMask) * b.ways
 }
 
 // Lookup implements TargetBuffer.
 func (b *BTB) Lookup(pc uint64) (program.InstType, uint64, bool) {
 	b.lookups++
-	tag := pc >> 2
-	set := b.set(pc)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	k := key(pc)
+	base := b.setBase(pc)
+	tags := b.tags[base : base+b.ways]
+	for i := range tags {
+		if tags[i] == k {
 			b.hits++
 			b.lruClock++
-			set[i].lru = b.lruClock
-			return set[i].typ, set[i].target, true
+			m := &b.meta[base+i]
+			m.lru = b.lruClock
+			return m.typ, m.target, true
 		}
 	}
 	return program.NonBranch, 0, false
@@ -100,10 +111,11 @@ func (b *BTB) Lookup(pc uint64) (program.InstType, uint64, bool) {
 
 // Peek reports whether pc is present without touching LRU or stats.
 func (b *BTB) Peek(pc uint64) bool {
-	tag := pc >> 2
-	set := b.set(pc)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	k := key(pc)
+	base := b.setBase(pc)
+	tags := b.tags[base : base+b.ways]
+	for i := range tags {
+		if tags[i] == k {
 			return true
 		}
 	}
@@ -114,29 +126,32 @@ func (b *BTB) Peek(pc uint64) bool {
 // conflict, or refreshes the existing entry (updating the target, which is
 // how indirect-branch targets stay current).
 func (b *BTB) Insert(pc uint64, t program.InstType, target uint64) {
-	tag := pc >> 2
-	set := b.set(pc)
+	k := key(pc)
+	base := b.setBase(pc)
+	tags := b.tags[base : base+b.ways]
 	victim := 0
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].typ = t
-			set[i].target = target
+	for i := range tags {
+		if tags[i] == k {
+			m := &b.meta[base+i]
+			m.typ = t
+			m.target = target
 			b.lruClock++
-			set[i].lru = b.lruClock
+			m.lru = b.lruClock
 			return
 		}
-		if !set[i].valid {
+		if tags[i] == 0 {
 			victim = i
-		} else if set[victim].valid && set[i].lru < set[victim].lru {
+		} else if tags[victim] != 0 && b.meta[base+i].lru < b.meta[base+victim].lru {
 			victim = i
 		}
 	}
 	b.Inserts++
-	if set[victim].valid {
+	if tags[victim] != 0 {
 		b.Replacements++
 	}
 	b.lruClock++
-	set[victim] = entry{valid: true, typ: t, tag: tag, target: target, lru: b.lruClock}
+	tags[victim] = k
+	b.meta[base+victim] = meta{typ: t, target: target, lru: b.lruClock}
 }
 
 // InsertCold installs a *prefetched* branch at the LRU position of its
@@ -144,32 +159,36 @@ func (b *BTB) Insert(pc uint64, t program.InstType, target uint64) {
 // pollution that blind pre-decode installs cause (§VI-E). An existing
 // entry just gets its target refreshed.
 func (b *BTB) InsertCold(pc uint64, t program.InstType, target uint64) {
-	tag := pc >> 2
-	set := b.set(pc)
+	k := key(pc)
+	base := b.setBase(pc)
+	tags := b.tags[base : base+b.ways]
 	victim := 0
 	var minLRU uint64
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].typ = t
-			set[i].target = target
+	for i := range tags {
+		if tags[i] == k {
+			m := &b.meta[base+i]
+			m.typ = t
+			m.target = target
 			return
 		}
-		if !set[i].valid {
+		if tags[i] == 0 {
 			// Free slot: use it, still marked old.
-			set[i] = entry{valid: true, typ: t, tag: tag, target: target}
+			tags[i] = k
+			b.meta[base+i] = meta{typ: t, target: target}
 			b.Inserts++
 			return
 		}
-		if i == 0 || set[i].lru < minLRU {
+		if i == 0 || b.meta[base+i].lru < minLRU {
 			victim = i
-			minLRU = set[i].lru
+			minLRU = b.meta[base+i].lru
 		}
 	}
 	b.Inserts++
 	b.Replacements++
 	// Replace the LRU entry but keep the slot's age, so the prefetched
 	// entry is itself the next victim unless a lookup promotes it.
-	set[victim] = entry{valid: true, typ: t, tag: tag, target: target, lru: minLRU}
+	tags[victim] = k
+	b.meta[base+victim] = meta{typ: t, target: target, lru: minLRU}
 }
 
 // Lookups implements TargetBuffer.
@@ -183,11 +202,92 @@ func (b *BTB) ResetStats() { b.lookups, b.hits, b.Inserts, b.Replacements = 0, 0
 
 // Reset clears contents and statistics.
 func (b *BTB) Reset() {
-	for i := range b.entries {
-		b.entries[i] = entry{}
+	for i := range b.tags {
+		b.tags[i] = 0
+		b.meta[i] = meta{}
 	}
 	b.lruClock = 0
 	b.ResetStats()
+}
+
+// pcTable is a small open-addressed hash table from pc to target. Programs
+// have few indirect sites, so a linear-probed power-of-two table beats a
+// Go map on the per-prediction lookup path: no hashing interface, no
+// bucket indirection, and a fixed two-array layout.
+type pcTable struct {
+	keys  []uint64 // pc+1 (0 = empty slot; pc==MaxUint64 cannot occur: pcs are 4-aligned)
+	vals  []uint64
+	used  int
+	shift uint // 64 - log2(len(keys)), for fibonacci hashing
+}
+
+func newPCTable() *pcTable {
+	const initSlots = 64
+	t := &pcTable{keys: make([]uint64, initSlots), vals: make([]uint64, initSlots)}
+	t.shift = tableShift(initSlots)
+	return t
+}
+
+func tableShift(slots int) uint {
+	s := uint(64)
+	for slots > 1 {
+		slots >>= 1
+		s--
+	}
+	return s
+}
+
+// slot mixes the pc into a table index (fibonacci hashing on the word-
+// aligned pc, keeping the high product bits).
+func (t *pcTable) slot(pc uint64) int {
+	return int((pc >> 2) * 0x9E3779B97F4A7C15 >> t.shift)
+}
+
+// get returns the stored target for pc, or 0 when absent (matching the
+// zero-value semantics of the map it replaces).
+func (t *pcTable) get(pc uint64) uint64 {
+	k := pc + 1
+	for i := t.slot(pc); ; i = (i + 1) & (len(t.keys) - 1) {
+		switch t.keys[i] {
+		case k:
+			return t.vals[i]
+		case 0:
+			return 0
+		}
+	}
+}
+
+// put stores or refreshes the target for pc, growing at 3/4 load.
+func (t *pcTable) put(pc, target uint64) {
+	k := pc + 1
+	for i := t.slot(pc); ; i = (i + 1) & (len(t.keys) - 1) {
+		switch t.keys[i] {
+		case k:
+			t.vals[i] = target
+			return
+		case 0:
+			t.keys[i] = k
+			t.vals[i] = target
+			t.used++
+			if t.used*4 > len(t.keys)*3 {
+				t.grow()
+			}
+			return
+		}
+	}
+}
+
+func (t *pcTable) grow() {
+	oldKeys, oldVals := t.keys, t.vals
+	t.keys = make([]uint64, len(oldKeys)*2)
+	t.vals = make([]uint64, len(oldVals)*2)
+	t.shift = tableShift(len(t.keys))
+	t.used = 0
+	for i, k := range oldKeys {
+		if k != 0 {
+			t.put(k-1, oldVals[i])
+		}
+	}
 }
 
 // Perfect is the perfect-BTB oracle (§VI-A): every branch in the program
@@ -197,14 +297,14 @@ func (b *BTB) Reset() {
 // returns are detected and resolved through the RAS, as in hardware.
 type Perfect struct {
 	img      *program.Image
-	indirect map[uint64]uint64 // pc -> last taken target (indirect sites)
+	indirect *pcTable // pc -> last taken target (indirect sites)
 	lookups  uint64
 	hits     uint64
 }
 
 // NewPerfect wraps a program image as a perfect BTB.
 func NewPerfect(img *program.Image) *Perfect {
-	return &Perfect{img: img, indirect: make(map[uint64]uint64)}
+	return &Perfect{img: img, indirect: newPCTable()}
 }
 
 // Name implements TargetBuffer.
@@ -220,7 +320,7 @@ func (p *Perfect) Lookup(pc uint64) (program.InstType, uint64, bool) {
 	p.hits++
 	target := si.Target
 	if si.Type.IsIndirect() {
-		target = p.indirect[pc]
+		target = p.indirect.get(pc)
 	}
 	return si.Type, target, true
 }
@@ -230,7 +330,7 @@ func (p *Perfect) Lookup(pc uint64) (program.InstType, uint64, bool) {
 // would.
 func (p *Perfect) Insert(pc uint64, t program.InstType, target uint64) {
 	if t.IsIndirect() {
-		p.indirect[pc] = target
+		p.indirect.put(pc, target)
 	}
 }
 

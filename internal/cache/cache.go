@@ -21,23 +21,28 @@ const LineBytes = 1 << LineShift
 // LineAddr converts a byte address into a line address (address >> LineShift).
 func LineAddr(addr uint64) uint64 { return addr >> LineShift }
 
-type way struct {
-	tag        uint64
-	valid      bool
-	prefetched bool // filled by a prefetch and not yet demanded
+// wayMeta is the payload of one cache way; the tag lives in a separate
+// packed array (see Cache.tags) so the way-search loop touches only
+// contiguous tag words.
+type wayMeta struct {
 	lru        uint64
 	fillAt     uint64 // clock value when the line was filled (probes only)
+	prefetched bool   // filled by a prefetch and not yet demanded
 }
 
 // Cache is a set-associative tag array with true-LRU replacement. It tracks
 // tags only (this is an instruction-side timing model; data values are the
 // program image). All addresses passed in are *line* addresses.
 type Cache struct {
-	name     string
-	sets     int
-	waysPer  int
-	setMask  uint64
-	ways     []way // sets*waysPer, row-major
+	name    string
+	sets    int
+	waysPer int
+	setMask uint64
+	// tags holds line<<1 | 1 for valid ways and 0 for invalid ones
+	// (sets*waysPer, row-major), collapsing the valid check and tag compare
+	// into one word comparison.
+	tags     []uint64
+	meta     []wayMeta
 	lruClock uint64
 
 	// obs and clock drive the prefetch-to-use probe: the owning Hierarchy
@@ -71,7 +76,8 @@ func New(name string, sizeBytes, waysPer int) *Cache {
 		sets:    sets,
 		waysPer: waysPer,
 		setMask: uint64(sets - 1),
-		ways:    make([]way, sets*waysPer),
+		tags:    make([]uint64, sets*waysPer),
+		meta:    make([]wayMeta, sets*waysPer),
 	}
 }
 
@@ -87,9 +93,12 @@ func (c *Cache) Ways() int { return c.waysPer }
 // SizeBytes returns the capacity in bytes.
 func (c *Cache) SizeBytes() int { return c.sets * c.waysPer * LineBytes }
 
-func (c *Cache) set(line uint64) []way {
-	s := int(line & c.setMask)
-	return c.ways[s*c.waysPer : (s+1)*c.waysPer]
+// wayKey packs a line address into its valid-way tag encoding.
+func wayKey(line uint64) uint64 { return line<<1 | 1 }
+
+// setBase returns the first way index of line's set.
+func (c *Cache) setBase(line uint64) int {
+	return int(line&c.setMask) * c.waysPer
 }
 
 // Probe looks up a line address, counting a tag access. On a hit it updates
@@ -97,19 +106,22 @@ func (c *Cache) set(line uint64) []way {
 // set), and returns the hit way index.
 func (c *Cache) Probe(line uint64) (hit bool, wayIdx int) {
 	c.Probes++
-	set := c.set(line)
-	for i := range set {
-		if set[i].valid && set[i].tag == line {
+	k := wayKey(line)
+	base := c.setBase(line)
+	tags := c.tags[base : base+c.waysPer]
+	for i := range tags {
+		if tags[i] == k {
 			c.Hits++
-			if set[i].prefetched {
+			m := &c.meta[base+i]
+			if m.prefetched {
 				c.PrefHits++
-				set[i].prefetched = false
+				m.prefetched = false
 				if c.obs != nil {
-					c.obs.PrefToUse.Observe(c.clock - set[i].fillAt)
+					c.obs.PrefToUse.Observe(c.clock - m.fillAt)
 				}
 			}
 			c.lruClock++
-			set[i].lru = c.lruClock
+			m.lru = c.lruClock
 			return true, i
 		}
 	}
@@ -120,9 +132,11 @@ func (c *Cache) Probe(line uint64) (hit bool, wayIdx int) {
 // Peek reports whether the line is present without disturbing LRU,
 // prefetch bits or statistics.
 func (c *Cache) Peek(line uint64) bool {
-	set := c.set(line)
-	for i := range set {
-		if set[i].valid && set[i].tag == line {
+	k := wayKey(line)
+	base := c.setBase(line)
+	tags := c.tags[base : base+c.waysPer]
+	for i := range tags {
+		if tags[i] == k {
 			return true
 		}
 	}
@@ -141,39 +155,44 @@ func (c *Cache) ProbeQuiet(line uint64) bool {
 // marks the line as prefetched-not-yet-used. Filling a line that is already
 // present refreshes it in place.
 func (c *Cache) Fill(line uint64, prefetch bool) (wayIdx int) {
-	set := c.set(line)
+	k := wayKey(line)
+	base := c.setBase(line)
+	tags := c.tags[base : base+c.waysPer]
 	victim := 0
-	for i := range set {
-		if set[i].valid && set[i].tag == line {
+	for i := range tags {
+		if tags[i] == k {
+			m := &c.meta[base+i]
 			// Already present: a demand fill clears the prefetched bit.
 			if !prefetch {
-				set[i].prefetched = false
+				m.prefetched = false
 			}
 			c.lruClock++
-			set[i].lru = c.lruClock
+			m.lru = c.lruClock
 			return i
 		}
-		if !set[i].valid {
+		if tags[i] == 0 {
 			victim = i
-		} else if set[victim].valid && set[i].lru < set[victim].lru {
+		} else if tags[victim] != 0 && c.meta[base+i].lru < c.meta[base+victim].lru {
 			victim = i
 		}
 	}
-	if set[victim].valid {
+	if tags[victim] != 0 {
 		c.Evictions++
 	}
 	if prefetch {
 		c.PrefFilled++
 	}
 	c.lruClock++
-	set[victim] = way{tag: line, valid: true, prefetched: prefetch, lru: c.lruClock, fillAt: c.clock}
+	tags[victim] = k
+	c.meta[base+victim] = wayMeta{prefetched: prefetch, lru: c.lruClock, fillAt: c.clock}
 	return victim
 }
 
 // Reset invalidates all lines and clears statistics.
 func (c *Cache) Reset() {
-	for i := range c.ways {
-		c.ways[i] = way{}
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.meta[i] = wayMeta{}
 	}
 	c.lruClock = 0
 	c.Probes, c.Hits, c.Misses = 0, 0, 0

@@ -38,6 +38,10 @@ type Hierarchy struct {
 
 	mshrs    int
 	inflight []Fill
+	// nextDone is the earliest completion cycle among in-flight fills
+	// (meaningful only when inflight is non-empty), letting Advance skip
+	// the scan on cycles where nothing can complete.
+	nextDone uint64
 	obs      *obs.Probes // nil unless a probe set is attached
 
 	// Stats.
@@ -145,6 +149,9 @@ func (h *Hierarchy) RequestFill(line uint64, prefetch bool, now uint64) (done ui
 			h.obs.MissLat.Observe(lat)
 		}
 	}
+	if len(h.inflight) == 0 || done < h.nextDone {
+		h.nextDone = done
+	}
 	h.inflight = append(h.inflight, f)
 	return done, true
 }
@@ -158,7 +165,13 @@ func (h *Hierarchy) Advance(now uint64, out []Fill) []Fill {
 		h.obs.MSHROcc.Observe(uint64(len(h.inflight)))
 		h.L1I.clock = now
 	}
+	if len(h.inflight) == 0 || now < h.nextDone {
+		// Nothing in flight, or the earliest fill is still in the future:
+		// no fill can complete this cycle (the common steady-state case).
+		return out
+	}
 	kept := h.inflight[:0]
+	next := ^uint64(0)
 	for _, f := range h.inflight {
 		if f.Done <= now {
 			f.Way = h.L1I.Fill(f.Line, f.Prefetch)
@@ -171,10 +184,14 @@ func (h *Hierarchy) Advance(now uint64, out []Fill) []Fill {
 			}
 			out = append(out, f)
 		} else {
+			if f.Done < next {
+				next = f.Done
+			}
 			kept = append(kept, f)
 		}
 	}
 	h.inflight = kept
+	h.nextDone = next
 	return out
 }
 

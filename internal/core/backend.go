@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fdp/internal/ftq"
 	"fdp/internal/obs"
 	"fdp/internal/program"
 )
@@ -21,7 +22,10 @@ func (c *Core) dispatchStage() {
 	budget := c.cfg.DecodeWidth
 	for budget > 0 && c.dqLen > 0 {
 		u := c.dq[c.dqHead]
-		c.dqHead = (c.dqHead + 1) % len(c.dq)
+		c.dqHead++
+		if c.dqHead == len(c.dq) {
+			c.dqHead = 0
+		}
 		c.dqLen--
 		budget--
 
@@ -90,7 +94,11 @@ func (c *Core) trainBranch(u uop, dyn program.DynInst) {
 		if u.hint != dyn.Taken {
 			c.run.DirMispredictions++
 		}
-		c.dir.Update(u.pc, c.histArch, dyn.Taken)
+		if c.tage != nil {
+			c.tage.Update(u.pc, c.histArch, dyn.Taken)
+		} else {
+			c.dir.Update(u.pc, c.histArch, dyn.Taken)
+		}
 	}
 	if dyn.Taken {
 		c.run.TakenBranches++
@@ -155,7 +163,7 @@ func (c *Core) trainBranch(u uop, dyn program.DynInst) {
 	}
 
 	if c.pf != nil {
-		c.pf.OnBranch(u.pc, si.Type, dyn.NextPC, c.emitPF)
+		c.pf.OnBranch(u.pc, si.Type, dyn.NextPC, c.emit)
 	}
 }
 
@@ -165,20 +173,29 @@ func (c *Core) applyFlush() {
 	c.diverged = false
 	// Account speculative fetch work thrown away: entries that initiated
 	// fills but never delivered an instruction.
-	for i := 0; i < c.q.Len(); i++ {
-		e := c.q.At(i)
-		if e.FillInitiated && e.FetchedUpTo == e.StartOffset() {
-			c.run.WrongPathFills++
-		}
-	}
+	a, b := c.q.Views()
+	c.countWrongPathFills(a)
+	c.countWrongPathFills(b)
 	if c.obs != nil {
 		depth := uint64(c.q.Len())
 		c.obs.FlushDepth.Observe(depth)
 		c.obs.Tracer.Emit(obs.EvFlush, c.flushTo, depth)
 	}
 	c.q.Flush()
+	c.readyQ = c.readyQ[:0]
 	c.dqHead, c.dqLen = 0, 0
 	c.histSpec.CopyFrom(c.histArch)
 	c.rasSpec.CopyFrom(c.rasArch)
 	c.resteer(c.flushTo)
+}
+
+// countWrongPathFills tallies squashed entries of one contiguous FTQ view
+// whose fills never delivered an instruction.
+func (c *Core) countWrongPathFills(part []ftq.Entry) {
+	for i := range part {
+		e := &part[i]
+		if e.FillInitiated && e.FetchedUpTo == e.StartOffset() {
+			c.run.WrongPathFills++
+		}
+	}
 }

@@ -53,6 +53,7 @@ type Core struct {
 
 	// Predictors.
 	dir      bpred.DirPredictor
+	tage     *bpred.TAGE // non-nil when dir is a plain TAGE (devirtualized hot path)
 	tb       btb.TargetBuffer
 	realBTB  *btb.BTB        // nil under PerfectBTB, TwoLevel and BasicBlock
 	twoLevel *btb.TwoLevel   // nil unless the two-level extension is on
@@ -79,6 +80,14 @@ type Core struct {
 	q              *ftq.FTQ
 	specPC         uint64
 	predStallUntil uint64
+	// readyQ lists the FTQ entries still in StateReady, oldest first, so
+	// the fill stage scans only them instead of striding over the whole
+	// (wide) entry ring. Entries never re-enter StateReady: the queue grows
+	// on push, shrinks when the fill stage transitions an entry, and is
+	// cleared by queue truncation (PFC, history fixup, flush). Pointers
+	// stay valid because the FTQ ring never reallocates and ready entries
+	// are never popped or reused while listed.
+	readyQ []*ftq.Entry
 
 	// Decode queue (ring).
 	dq     []uop
@@ -88,6 +97,9 @@ type Core struct {
 	// Prefetch.
 	pf      prefetch.Prefetcher
 	pfQueue []uint64
+	// emit is the bound emitPF method value, created once: passing
+	// c.emitPF at a call site would allocate a fresh closure every call.
+	emit prefetch.Emit
 
 	// Backend.
 	data          *dataSide // nil unless Config.DataModel
@@ -122,6 +134,7 @@ func New(cfg Config, oracle Oracle) (*Core, error) {
 		img:      oracle.Image(),
 		itlb:     cache.NewTLB(cfg.ITLBEntries, cfg.ITLBWays),
 		q:        ftq.New(cfg.FTQEntries),
+		readyQ:   make([]*ftq.Entry, 0, cfg.FTQEntries),
 		dq:       make([]uop, cfg.DecodeQueueCap),
 		rasSpec:  ras.New(cfg.RASDepth),
 		rasArch:  ras.New(cfg.RASDepth),
@@ -134,11 +147,14 @@ func New(cfg Config, oracle Oracle) (*Core, error) {
 
 	switch cfg.Dir {
 	case DirTAGE9:
-		c.dir = bpred.NewTAGE(bpred.TAGE9KB())
+		c.tage = bpred.NewTAGE(bpred.TAGE9KB())
+		c.dir = c.tage
 	case DirTAGE18, "":
-		c.dir = bpred.NewTAGE(bpred.TAGE18KB())
+		c.tage = bpred.NewTAGE(bpred.TAGE18KB())
+		c.dir = c.tage
 	case DirTAGE36:
-		c.dir = bpred.NewTAGE(bpred.TAGE36KB())
+		c.tage = bpred.NewTAGE(bpred.TAGE36KB())
+		c.dir = c.tage
 	case DirGshare:
 		c.dir = bpred.Gshare8KB()
 	case DirPerceptron:
@@ -188,6 +204,7 @@ func New(cfg Config, oracle Oracle) (*Core, error) {
 	if _, isNone := pf.(prefetch.None); !isNone {
 		c.pf = pf
 		c.pfQueue = make([]uint64, 0, cfg.PrefetchQueueCap)
+		c.emit = c.emitPF
 	}
 	return c, nil
 }
@@ -270,6 +287,9 @@ func (c *Core) Run(warmup, measure uint64) (*stats.Run, error) {
 		return nil, err
 	}
 	c.resetStats()
+	// The IPC timeline length is known up front; reserving it keeps the
+	// measurement loop free of append-driven reallocation.
+	c.run.WindowIPC = make([]float64, 0, measure/ipcWindow+1)
 	startCycles := c.now
 	startRetired := c.retired
 	if err := c.runUntil(startRetired + measure); err != nil {

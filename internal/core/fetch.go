@@ -15,20 +15,28 @@ func (c *Core) completeFills() {
 	for i := range c.fillBuf {
 		f := &c.fillBuf[i]
 		if c.pf != nil {
-			c.pf.OnFill(f.Line, c.emitPF)
+			c.pf.OnFill(f.Line, c.emit)
 		}
 		if c.cfg.BTBPrefetch {
 			c.btbPredecodeLine(f.Line)
 		}
-		for j := 0; j < c.q.Len(); j++ {
-			e := c.q.At(j)
-			if e.State == ftq.StateWaitFill && cache.LineAddr(e.BlockBase()) == f.Line {
-				e.State = ftq.StateFetchable
-				e.Way = int8(f.Way)
-				if e.Missed {
-					c.classifyMiss(e)
-					e.Missed = false
-				}
+		a, b := c.q.Views()
+		c.wakeEntries(a, f)
+		c.wakeEntries(b, f)
+	}
+}
+
+// wakeEntries transitions the waiting entries of one contiguous FTQ view
+// whose block was just filled.
+func (c *Core) wakeEntries(part []ftq.Entry, f *cache.Fill) {
+	for j := range part {
+		e := &part[j]
+		if e.State == ftq.StateWaitFill && cache.LineAddr(e.BlockBase()) == f.Line {
+			e.State = ftq.StateFetchable
+			e.Way = int8(f.Way)
+			if e.Missed {
+				c.classifyMiss(e)
+				e.Missed = false
 			}
 		}
 	}
@@ -79,10 +87,26 @@ func (c *Core) btbPredecodeLine(line uint64) {
 // entries and launches fills for misses, decoupled from the fetch stage
 // (§IV-C: fills start without waiting for the entry to reach the head).
 func (c *Core) fillStage() {
+	if len(c.readyQ) > 0 {
+		c.fillScan()
+	}
+	c.issuePrefetches()
+}
+
+// fillScan runs the fill-stage probe loop over the ready-entry queue
+// (oldest first, matching FTQ order). Entries that stay ready — retry
+// backoff, probe budget exhausted, MSHRs full — are compacted in place;
+// entries that transition are dropped from the queue.
+func (c *Core) fillScan() {
+	rq := c.readyQ
 	probes := c.cfg.TagProbesPerCycle
-	for i := 0; i < c.q.Len() && probes > 0; i++ {
-		e := c.q.At(i)
-		if e.State != ftq.StateReady || c.now < e.RetryAt {
+	head := c.q.Head()
+	w, i := 0, 0
+	for ; i < len(rq) && probes > 0; i++ {
+		e := rq[i]
+		if c.now < e.RetryAt {
+			rq[w] = e
+			w++
 			continue
 		}
 		probes--
@@ -93,6 +117,8 @@ func (c *Core) fillStage() {
 				c.itlb.Fill(e.StartPC)
 				e.Translated = true
 				e.RetryAt = c.now + uint64(c.cfg.ITLBMissPenalty)
+				rq[w] = e
+				w++
 				continue
 			}
 			e.Translated = true
@@ -103,7 +129,7 @@ func (c *Core) fillStage() {
 		hit, way := c.hier.L1I.Probe(line)
 		prefHit := c.hier.L1I.PrefHits > prefBefore
 		if c.pf != nil {
-			c.pf.OnAccess(line, hit, prefHit, c.emitPF)
+			c.pf.OnAccess(line, hit, prefHit, c.emit)
 		}
 		if hit {
 			e.State = ftq.StateFetchable
@@ -122,16 +148,21 @@ func (c *Core) fillStage() {
 		}
 		done, ok := c.hier.RequestFill(line, false, c.now)
 		if !ok {
-			continue // MSHR full; retry next cycle
+			// MSHR full; retry next cycle.
+			rq[w] = e
+			w++
+			continue
 		}
 		e.State = ftq.StateWaitFill
 		e.Missed = true
 		e.FillInitiated = true
-		e.FillAtHead = i == 0
+		e.FillAtHead = e == head
 		e.FillDone = done
 		e.StarvAtReq = c.run.StarvationCycles
 	}
-	c.issuePrefetches()
+	// Keep the unvisited tail (probe budget exhausted).
+	w += copy(rq[w:], rq[i:])
+	c.readyQ = rq[:w]
 }
 
 // emitPF enqueues a prefetch candidate from a prefetcher hook.
@@ -208,7 +239,11 @@ func (c *Core) fetchStage() {
 }
 
 func (c *Core) pushUop(u uop) {
-	c.dq[(c.dqHead+c.dqLen)%len(c.dq)] = u
+	idx := c.dqHead + c.dqLen
+	if idx >= len(c.dq) {
+		idx -= len(c.dq)
+	}
+	c.dq[idx] = u
 	c.dqLen++
 }
 
@@ -305,7 +340,8 @@ func (c *Core) doPFC(e *ftq.Entry, o int, si program.StaticInst) {
 		c.obs.ResteerDepth.Observe(depth)
 		c.obs.Tracer.Emit(obs.EvResteer, target, depth)
 	}
-	c.q.TruncateAfter(0) // e is the head
+	c.q.TruncateAfter(0) // e is the head (fetchable), so no ready entries remain
+	c.readyQ = c.readyQ[:0]
 	c.resteer(target)
 }
 
@@ -368,7 +404,8 @@ func (c *Core) doHistFixup(e *ftq.Entry) {
 		c.obs.FlushDepth.Observe(depth)
 		c.obs.Tracer.Emit(obs.EvFlush, e.NextPC, depth)
 	}
-	c.q.TruncateAfter(0)
+	c.q.TruncateAfter(0) // e is the head (fetchable), so no ready entries remain
+	c.readyQ = c.readyQ[:0]
 	c.resteer(e.NextPC)
 }
 

@@ -33,6 +33,7 @@ func (c *Core) predictStage() {
 // returns the instructions consumed and whether it ended predicted-taken.
 func (c *Core) predictBlock(budget int) (used int, takenEnd bool) {
 	e := c.q.Push()
+	c.readyQ = append(c.readyQ, e)
 	c.histSpec.Save(&e.Hist)
 	c.rasSpec.Save(&e.RAS)
 	e.StartPC = c.specPC
@@ -46,12 +47,26 @@ func (c *Core) predictBlock(budget int) (used int, takenEnd bool) {
 		end = ftq.BlockInsts - 1
 	}
 
+	// Per-offset bit masks accumulate in locals and are stored to the entry
+	// once after the loop, keeping the loop body register-resident.
+	var hints, detected, detectedTaken uint8
+	ideal := c.cfg.HistPolicy == HistIdeal
+	realBTB := c.realBTB
+
 	taken := false
 	var nextPC uint64
 	o := so
 	for ; o <= end; o++ {
 		pc := base + uint64(o)*program.InstBytes
-		ty, tgt, hit := c.detect(pc)
+		var ty program.InstType
+		var tgt uint64
+		var hit bool
+		if realBTB != nil {
+			// Devirtualized fast path for the standard set-associative BTB.
+			ty, tgt, hit = realBTB.Lookup(pc)
+		} else {
+			ty, tgt, hit = c.detect(pc)
+		}
 		// Hardware predicts the direction of every instruction
 		// (EV8-style) to populate the FTQ hint bits. Simulating a
 		// prediction is only observable when the hint can ever be read:
@@ -59,14 +74,18 @@ func (c *Core) predictBlock(budget int) (used int, takenEnd bool) {
 		// for BTB hits (aliased hits on non-branches steer the flow), so
 		// the simulator skips the dead lookups.
 		hint := false
-		if hit || c.img.AtOrSequential(pc).IsBranch() {
-			hint = c.dir.Predict(pc, c.histSpec)
+		if hit || c.img.BranchAt(pc) {
+			if c.tage != nil {
+				hint = c.tage.Predict(pc, c.histSpec)
+			} else {
+				hint = c.dir.Predict(pc, c.histSpec)
+			}
 		}
 		if hint {
-			e.Hints |= 1 << uint(o)
+			hints |= 1 << uint(o)
 		}
 		if hit {
-			e.Detected |= 1 << uint(o)
+			detected |= 1 << uint(o)
 			t := true
 			if ty.IsConditional() {
 				t = hint
@@ -77,18 +96,23 @@ func (c *Core) predictBlock(budget int) (used int, takenEnd bool) {
 					c.rasSpec.Push(pc + program.InstBytes)
 				}
 				c.specInsertTaken(pc, target, ty)
-				e.DetectedTaken |= 1 << uint(o)
+				detectedTaken |= 1 << uint(o)
 				taken = true
 				nextPC = target
 			} else {
 				c.specInsertNotTaken()
 			}
 		}
-		c.specInsertIdeal(pc, hint)
+		if ideal {
+			c.specInsertIdeal(pc, hint)
+		}
 		if taken {
 			break
 		}
 	}
+	e.Hints = hints
+	e.Detected = detected
+	e.DetectedTaken = detectedTaken
 
 	if taken {
 		e.EndOffset = o

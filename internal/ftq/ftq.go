@@ -169,12 +169,26 @@ func (q *FTQ) Push() *Entry {
 	if q.Full() {
 		panic("ftq: push into full queue")
 	}
-	idx := (q.head + q.size) % len(q.entries)
+	idx := q.head + q.size
+	if idx >= len(q.entries) {
+		idx -= len(q.entries)
+	}
 	q.size++
 	e := &q.entries[idx]
-	hist := e.Hist
-	rs := e.RAS
-	*e = Entry{Hist: hist, RAS: rs, Seq: q.nextSeq}
+	// Reset field by field rather than assigning a fresh Entry literal:
+	// the struct write would copy the Hist/RAS checkpoint buffers out and
+	// back (a ~200-byte duffcopy on every predicted block) just to keep
+	// them. Every field except the two checkpoints must be zeroed here.
+	e.StartPC, e.NextPC = 0, 0
+	e.EndOffset, e.FetchedUpTo = 0, 0
+	e.PredictedTaken = false
+	e.Hints, e.Detected, e.DetectedTaken = 0, 0, 0
+	e.Way = 0
+	e.State = StateInvalid
+	e.FillInitiated, e.FillAtHead, e.Missed = false, false, false
+	e.FillDone, e.RetryAt, e.StarvAtReq = 0, 0, 0
+	e.PFCChecked, e.PFCApplied, e.Translated, e.WrongPath = false, false, false, false
+	e.Seq = q.nextSeq
 	q.nextSeq++
 	if q.tr != nil {
 		q.tr.Emit(obs.EvFTQEnqueue, e.Seq, uint64(q.size))
@@ -182,16 +196,31 @@ func (q *FTQ) Push() *Entry {
 	return e
 }
 
-// At returns the i-th oldest entry (0 = head).
+// At returns the i-th oldest entry (0 = head). The panic message is a
+// constant so the function stays within the inlining budget of the hot
+// per-cycle scans.
 func (q *FTQ) At(i int) *Entry {
-	if i < 0 || i >= q.size {
-		panic(fmt.Sprintf("ftq: At(%d) with size %d", i, q.size))
+	if uint(i) >= uint(q.size) {
+		panic("ftq: At index out of range")
 	}
 	j := q.head + i
 	if j >= len(q.entries) {
 		j -= len(q.entries)
 	}
 	return &q.entries[j]
+}
+
+// Views returns the occupied entries, oldest first, as up to two
+// contiguous slices of the backing ring (the second is non-empty only when
+// the occupancy wraps). Per-cycle scans iterate these directly instead of
+// paying an index computation per At call. Entries may be mutated through
+// the returned slices; the views are invalidated by any Push/Pop/flush.
+func (q *FTQ) Views() (a, b []Entry) {
+	n := q.head + q.size
+	if n <= len(q.entries) {
+		return q.entries[q.head:n], nil
+	}
+	return q.entries[q.head:], q.entries[:n-len(q.entries)]
 }
 
 // Head returns the oldest entry, or nil when empty.
@@ -211,7 +240,10 @@ func (q *FTQ) PopHead() {
 	if q.tr != nil {
 		q.tr.Emit(obs.EvFTQDequeue, q.entries[q.head].Seq, uint64(q.size-1))
 	}
-	q.head = (q.head + 1) % len(q.entries)
+	q.head++
+	if q.head == len(q.entries) {
+		q.head = 0
+	}
 	q.size--
 }
 
@@ -221,7 +253,11 @@ func (q *FTQ) TruncateAfter(i int) {
 		panic(fmt.Sprintf("ftq: TruncateAfter(%d) with size %d", i, q.size))
 	}
 	for j := i + 1; j < q.size; j++ {
-		q.entries[(q.head+j)%len(q.entries)].State = StateInvalid
+		k := q.head + j
+		if k >= len(q.entries) {
+			k -= len(q.entries)
+		}
+		q.entries[k].State = StateInvalid
 	}
 	q.size = i + 1
 }
@@ -229,7 +265,11 @@ func (q *FTQ) TruncateAfter(i int) {
 // Flush drops all entries.
 func (q *FTQ) Flush() {
 	for j := 0; j < q.size; j++ {
-		q.entries[(q.head+j)%len(q.entries)].State = StateInvalid
+		k := q.head + j
+		if k >= len(q.entries) {
+			k -= len(q.entries)
+		}
+		q.entries[k].State = StateInvalid
 	}
 	q.size = 0
 }

@@ -116,8 +116,12 @@ func (si StaticInst) FallThrough() uint64 { return si.PC + InstBytes }
 // at Base. Lookup by PC is O(1). Images are immutable after Freeze and safe
 // for concurrent readers.
 type Image struct {
-	base   uint64
-	insts  []StaticInst
+	base  uint64
+	insts []StaticInst
+	// types mirrors insts[i].Type in a dense byte array: the prediction
+	// pipeline queries the type of every scanned instruction, and the
+	// packed array keeps that scan 24x denser than the StaticInst records.
+	types  []InstType
 	frozen bool
 }
 
@@ -151,6 +155,7 @@ func (im *Image) Append(t InstType) uint64 {
 	}
 	pc := im.base + uint64(len(im.insts))*InstBytes
 	im.insts = append(im.insts, StaticInst{PC: pc, Type: t})
+	im.types = append(im.types, t)
 	return pc
 }
 
@@ -217,6 +222,25 @@ func (im *Image) At(pc uint64) (StaticInst, bool) {
 func (im *Image) AtOrSequential(pc uint64) StaticInst {
 	si, _ := im.At(pc)
 	return si
+}
+
+// TypeAt returns the instruction type at pc, or NonBranch when pc falls
+// outside the image (matching AtOrSequential). It reads the packed type
+// array, avoiding the full StaticInst load on type-only queries.
+func (im *Image) TypeAt(pc uint64) InstType {
+	idx, ok := im.index(pc)
+	if !ok {
+		return NonBranch
+	}
+	return im.types[idx]
+}
+
+// BranchAt reports whether pc addresses a branch instruction, via the
+// packed type array. The prediction pipeline calls this for every scanned
+// instruction.
+func (im *Image) BranchAt(pc uint64) bool {
+	idx, ok := im.index(pc)
+	return ok && im.types[idx] != NonBranch
 }
 
 // Contains reports whether pc addresses an instruction in the image.

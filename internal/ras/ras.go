@@ -68,10 +68,30 @@ func (r *RAS) Top() uint64 {
 }
 
 // Snapshot is a saved RAS state; the entries slice is reused across saves.
+//
+// Only the logically live region of the ring (size entries ending at top)
+// is copied: dead slots are never read by Pop/Top before a Push overwrites
+// them, so omitting them is observationally identical and keeps Save —
+// which runs once per predicted block — proportional to the call depth
+// instead of the full stack capacity.
 type Snapshot struct {
 	entries []uint64
 	top     int
 	size    int
+}
+
+// copyLive copies the live region of the ring src (size entries ending at
+// index top, capacity depth) into dst at the same ring positions.
+func copyLive(dst, src []uint64, top, size int) {
+	start := top - size + 1
+	if start >= 0 {
+		copy(dst[start:top+1], src[start:top+1])
+		return
+	}
+	// Live region wraps: [depth+start .. depth) and [0 .. top].
+	depth := len(src)
+	copy(dst[depth+start:], src[depth+start:])
+	copy(dst[:top+1], src[:top+1])
 }
 
 // Save copies the stack state into s.
@@ -80,7 +100,7 @@ func (r *RAS) Save(s *Snapshot) {
 		s.entries = make([]uint64, len(r.entries))
 	}
 	s.entries = s.entries[:len(r.entries)]
-	copy(s.entries, r.entries)
+	copyLive(s.entries, r.entries, r.top, r.size)
 	s.top = r.top
 	s.size = r.size
 }
@@ -88,14 +108,14 @@ func (r *RAS) Save(s *Snapshot) {
 // Restore sets the stack back to a previously saved state (same depth
 // required).
 func (r *RAS) Restore(s *Snapshot) {
-	copy(r.entries, s.entries)
+	copyLive(r.entries, s.entries, s.top, s.size)
 	r.top = s.top
 	r.size = s.size
 }
 
 // CopyFrom makes r identical to src (same depth required).
 func (r *RAS) CopyFrom(src *RAS) {
-	copy(r.entries, src.entries)
+	copyLive(r.entries, src.entries, src.top, src.size)
 	r.top = src.top
 	r.size = src.size
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -46,6 +47,69 @@ func FuzzRead(f *testing.F) {
 		st := tr.NewStream()
 		for i := 0; i < 32; i++ {
 			st.Next()
+		}
+	})
+}
+
+// FuzzBatchedDecode differentially tests the batched record decoder
+// against the original one-record-at-a-time reference on arbitrary
+// record-section bytes: both must agree on accept/reject and, when they
+// accept, produce identical records.
+func FuzzBatchedDecode(f *testing.F) {
+	w := testWorkload()
+	img := w.Image()
+	entry := w.Entry()
+
+	// Seed with a real record section (flags bytes + explicit varints).
+	var enc bytes.Buffer
+	s := w.NewStream()
+	var varint [binary.MaxVarintLen64]byte
+	for i := 0; i < 500; i++ {
+		d := s.Next()
+		switch {
+		case d.NextPC == d.SI.FallThrough():
+			flags := byte(flagSeqNext)
+			if d.Taken {
+				flags |= flagTaken
+			}
+			enc.WriteByte(flags)
+		case d.Taken && d.SI.Type.IsDirect() && d.NextPC == d.SI.Target:
+			enc.WriteByte(flagTaken | flagStatic)
+		default:
+			flags := byte(flagExplicit)
+			if d.Taken {
+				flags |= flagTaken
+			}
+			enc.WriteByte(flags)
+			n := binary.PutUvarint(varint[:], d.NextPC)
+			enc.Write(varint[:n])
+		}
+	}
+	valid := enc.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte{flagSeqNext, flagSeqNext | flagTaken, flagTaken | flagStatic})
+	f.Add([]byte{flagExplicit, 0x80})                                                       // truncated varint
+	f.Add([]byte{flagExplicit, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // overflow
+	f.Add([]byte{0x00})                                                                     // bad flags
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, gotErr := decodeRecords(data, img, entry)
+		want, wantErr := decodeRecordsReference(bytes.NewReader(data), img, entry)
+		if (gotErr != nil) != (wantErr != nil) {
+			t.Fatalf("decoder disagreement: batched err=%v, reference err=%v", gotErr, wantErr)
+		}
+		if gotErr != nil {
+			return
+		}
+		if len(got) != len(want) {
+			t.Fatalf("record count: batched %d, reference %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("record %d: batched %+v, reference %+v", i, got[i], want[i])
+			}
 		}
 	})
 }

@@ -196,7 +196,68 @@ func Read(r io.Reader) (*Trace, error) {
 	}
 	t.img = img
 
-	pc := t.Header.Entry
+	// The dynamic-record section is the remainder of the stream; slurp it
+	// and decode from the byte slice in one batched pass, which avoids the
+	// per-byte bufio interface calls of the original reader.
+	data, err := io.ReadAll(br)
+	if err != nil {
+		return nil, err
+	}
+	if t.recs, err = decodeRecords(data, img, t.Header.Entry); err != nil {
+		return nil, err
+	}
+	t.Header.Instructions = uint64(len(t.recs))
+	if len(t.recs) == 0 {
+		return nil, errors.New("trace: no dynamic records")
+	}
+	return t, nil
+}
+
+// decodeRecords decodes the whole dynamic-record section from a byte
+// slice. Each record is a flags byte, optionally followed by an explicit
+// varint NextPC; the section ends at the end of the slice. A truncated or
+// overlong varint is an error (the section boundary is exact).
+func decodeRecords(data []byte, img *program.Image, entry uint64) ([]record, error) {
+	// Most records are a single flags byte, so len(data) is a tight upper
+	// bound on the record count; reserving it up front avoids regrowth.
+	recs := make([]record, 0, len(data))
+	pc := entry
+	for i := 0; i < len(data); {
+		flags := data[i]
+		i++
+		rec := record{pc: pc, taken: flags&flagTaken != 0}
+		si := img.AtOrSequential(pc)
+		switch {
+		case flags&flagSeqNext != 0:
+			rec.nextPC = si.FallThrough()
+		case flags&flagStatic != 0:
+			rec.nextPC = si.Target
+		case flags&flagExplicit != 0:
+			v, n := binary.Uvarint(data[i:])
+			if n <= 0 {
+				if n == 0 {
+					return nil, fmt.Errorf("trace: record %d: truncated varint", len(recs))
+				}
+				return nil, fmt.Errorf("trace: record %d: varint overflows 64 bits", len(recs))
+			}
+			rec.nextPC = v
+			i += n
+		default:
+			return nil, fmt.Errorf("trace: bad record flags %#x", flags)
+		}
+		recs = append(recs, rec)
+		pc = rec.nextPC
+	}
+	return recs, nil
+}
+
+// decodeRecordsReference is the original one-record-at-a-time decoder,
+// kept as the differential oracle for FuzzBatchedDecode: decodeRecords
+// must accept exactly the inputs this accepts and produce identical
+// records.
+func decodeRecordsReference(br io.ByteReader, img *program.Image, entry uint64) ([]record, error) {
+	var recs []record
+	pc := entry
 	for {
 		flags, err := br.ReadByte()
 		if err == io.EOF {
@@ -219,14 +280,10 @@ func Read(r io.Reader) (*Trace, error) {
 		default:
 			return nil, fmt.Errorf("trace: bad record flags %#x", flags)
 		}
-		t.recs = append(t.recs, rec)
+		recs = append(recs, rec)
 		pc = rec.nextPC
 	}
-	t.Header.Instructions = uint64(len(t.recs))
-	if len(t.recs) == 0 {
-		return nil, errors.New("trace: no dynamic records")
-	}
-	return t, nil
+	return recs, nil
 }
 
 func readString(br *bufio.Reader) (string, error) {
