@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci build vet test race fuzz bench bench-check golden-update clean
+.PHONY: ci build vet test race fuzz bench bench-check golden-update clean experiments-smoke
 
-ci: vet build race fuzz
+ci: vet build race fuzz experiments-smoke
 
 build:
 	$(GO) build ./...
@@ -55,8 +55,24 @@ bench:
 bench-check:
 	$(GO) run ./cmd/bench -check BENCH_kernel.json -tol $(BENCHTOL) -reps $(BENCHREPS)
 
+# End-to-end smoke of the run-execution subsystem: the same quick
+# experiment twice against one throwaway cache directory. The second run
+# must be satisfied from the cache (nonzero runner cache_hits), proving
+# the spec hash, disk store, and scheduler wiring end to end.
+experiments-smoke:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) run ./cmd/experiments -quick -run tab2 -cache "$$dir/cache" > "$$dir/first.out" && \
+	grep '^runner:' "$$dir/first.out" && \
+	$(GO) run ./cmd/experiments -quick -run tab2 -cache "$$dir/cache" > "$$dir/second.out" && \
+	grep '^runner:' "$$dir/second.out" && \
+	grep -q 'cache_hits=[1-9]' "$$dir/second.out" || \
+	{ echo "experiments-smoke: second run had no cache hits" >&2; exit 1; }
+
 # Regenerate the golden-run manifests after an intentional simulator
-# change; review the diff before committing.
+# change; review the diff before committing. Cached runner results are
+# keyed by runner.Epoch (internal/runner/spec.go): whenever a golden
+# manifest legitimately changes, bump Epoch in the same commit so stale
+# on-disk caches (-cache/-resume) cannot replay pre-change results.
 golden-update:
 	$(GO) test -run TestGoldenManifests -update .
 

@@ -7,12 +7,19 @@
 //	experiments -quick         # fast smoke run (6 workloads, short)
 //	experiments -full          # heavyweight run (2M+8M instructions)
 //	experiments -list          # list experiment IDs
+//	experiments -resume        # reuse ./fdp-cache across invocations
+//	experiments -cache DIR     # same, explicit cache directory
+//
+// Interrupting a run (Ctrl-C) cancels in-flight simulations promptly; with
+// a cache directory, a re-run resumes from the results already stored.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime/pprof"
 	"strings"
@@ -20,7 +27,11 @@ import (
 
 	"fdp/internal/experiments"
 	"fdp/internal/obs"
+	"fdp/internal/runner"
 )
+
+// defaultCacheDir is where -resume keeps results between invocations.
+const defaultCacheDir = "fdp-cache"
 
 func main() {
 	var (
@@ -29,6 +40,9 @@ func main() {
 		full  = flag.Bool("full", false, "heavyweight run")
 		list  = flag.Bool("list", false, "list experiments and exit")
 		csv   = flag.String("csv", "", "also write each experiment's tables as CSV files into this directory")
+
+		cacheDir = flag.String("cache", "", "store and reuse simulation results in this directory")
+		resume   = flag.Bool("resume", false, "shorthand for -cache ./"+defaultCacheDir)
 
 		metricsOut = flag.String("metrics", "", "write every run's observability manifest as JSONL to this file")
 		traceOut   = flag.String("trace", "", "write pipeline event traces as JSONL to this file")
@@ -69,6 +83,28 @@ func main() {
 	}
 	fmt.Printf("scale=%s workloads=%d warmup=%d measure=%d\n\n",
 		scale, len(opts.Workloads), opts.Warmup, opts.Measure)
+
+	// Ctrl-C cancels in-flight simulations cooperatively instead of
+	// killing the process mid-write; a second interrupt kills outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opts.Ctx = ctx
+
+	// Experiments share one result cache: every table and figure re-runs
+	// the same baseline config, so even a pure in-memory cache removes
+	// duplicate simulations within a single invocation. A directory makes
+	// it survive across invocations (-resume / -cache).
+	if *resume && *cacheDir == "" {
+		*cacheDir = defaultCacheDir
+	}
+	cache, err := runner.NewCache(runner.DefaultCacheCapacity, *cacheDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	opts.Cache = cache
+	runnerReg := obs.NewRegistry()
+	opts.RunnerReg = runnerReg
 
 	var manifests *obs.ManifestLog
 	if *metricsOut != "" {
@@ -135,6 +171,11 @@ func main() {
 		}
 	}
 
+	jobs := runnerReg.Counter(runner.MetricJobs).Value()
+	hits := runnerReg.Counter(runner.MetricCacheHits).Value()
+	misses := runnerReg.Counter(runner.MetricCacheMisses).Value()
+	fmt.Printf("runner: jobs=%d cache_hits=%d cache_misses=%d\n", jobs, hits, misses)
+
 	if manifests != nil {
 		f, err := os.Create(*metricsOut)
 		if err != nil {
@@ -151,6 +192,16 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("wrote %d run manifests to %s\n", len(manifests.All()), *metricsOut)
+		// One trailing summary manifest records the execution-layer
+		// metrics (runner_jobs, runner_cache_hits, queue depth, ...) so
+		// cache effectiveness is auditable from the manifest log alone.
+		summary := obs.NewManifest(
+			obs.RunInfo{Tool: "experiments", Git: gitRev, Workload: "__runner__"},
+			&obs.Probes{Reg: runnerReg}, nil, nil)
+		if err := summary.WriteJSONL(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d run manifests to %s\n", len(manifests.All())+1, *metricsOut)
 	}
 }

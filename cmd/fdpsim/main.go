@@ -5,12 +5,13 @@
 //
 //	fdpsim [flags]
 //	fdpsim -workload server_a -ftq 24 -pfc
-//	fdpsim -workload all -baseline
+//	fdpsim -workload all -baseline -parallel 4 -cache ./fdp-cache
 //	fdpsim -replay trace.fdpt.gz
 //	fdpsim -workload server_a -metrics manifest.json -trace events.jsonl
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 
 	"fdp/internal/core"
 	"fdp/internal/obs"
+	"fdp/internal/runner"
 	"fdp/internal/stats"
 	"fdp/internal/synth"
 	"fdp/internal/trace"
@@ -40,6 +42,8 @@ func main() {
 		timeline   = flag.Bool("timeline", false, "print a per-workload IPC sparkline (10K-instruction windows)")
 		warmup     = flag.Uint64("warmup", 200_000, "warmup instructions")
 		measure    = flag.Uint64("measure", 800_000, "measured instructions")
+		parallel   = flag.Int("parallel", 0, "concurrent simulations with -workload all (0 = GOMAXPROCS)")
+		cacheDir   = flag.String("cache", "", "reuse results from this on-disk cache directory (synthetic workloads only)")
 
 		metricsOut = flag.String("metrics", "", "write per-run observability manifests (JSONL; '-' for stdout)")
 		traceOut   = flag.String("trace", "", "write the pipeline event trace as JSONL to this file")
@@ -180,18 +184,40 @@ func main() {
 		return
 	}
 
-	var workloads []*synth.Workload
-	if *workload == "all" {
-		workloads = synth.StandardWorkloads()
-	} else {
-		w := synth.ByName(*workload)
-		if w == nil {
-			fatal("unknown workload %q (have: %v)", *workload, synth.Names())
-		}
-		workloads = []*synth.Workload{w}
+	workloads, err := synth.ParseList(*workload)
+	if err != nil {
+		fatal("%v", err)
 	}
+	var cache *runner.Cache
+	if *cacheDir != "" {
+		cache, err = runner.NewCache(runner.DefaultCacheCapacity, *cacheDir)
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+	ropts := runner.Options{Parallel: *parallel, Cache: cache, Observe: observed}
+	if traceW != nil {
+		ropts.TraceCap = *traceCap
+		ropts.TraceSink = traceW
+	}
+	specs := make([]runner.Spec, 0, len(workloads))
 	for _, w := range workloads {
-		simulate(w.NewStream(), w.Name, w.Class, w.Seed)
+		specs = append(specs, runner.WorkloadSpec(cfg, w, *warmup, *measure))
+	}
+	results, err := runner.Execute(context.Background(), specs, ropts)
+	if err != nil {
+		fatal("%v", err)
+	}
+	for i, res := range results {
+		report(workloads[i].Name, res.Run)
+		if metricsW != nil && res.Manifest != nil {
+			m := res.Manifest
+			m.Tool = "fdpsim"
+			m.Git = gitRev
+			if err := m.WriteJSONL(metricsW); err != nil {
+				fatal("writing manifest: %v", err)
+			}
+		}
 	}
 	fmt.Print(t)
 	for _, tl := range timelines {

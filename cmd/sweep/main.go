@@ -6,14 +6,17 @@
 //	sweep -param ftq -values 2,4,8,16,24,32
 //	sweep -param btb -values 1024,4096,16384 -workloads server_a,server_b
 //	sweep -param resolve -values 8,14,20,30 -pfc=false
+//	sweep -param ftq -values 2,32 -parallel 8 -cache ./fdp-cache
 //
 // Output: one CSV row per (value, workload) plus a geomean summary row per
-// value, on stdout.
+// value, on stdout. Rows appear in sweep order regardless of -parallel.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/pprof"
 	"strconv"
@@ -21,6 +24,7 @@ import (
 
 	"fdp/internal/core"
 	"fdp/internal/obs"
+	"fdp/internal/runner"
 	"fdp/internal/stats"
 	"fdp/internal/synth"
 )
@@ -44,52 +48,63 @@ var params = map[string]func(*core.Config, int){
 }
 
 func main() {
-	var (
-		param     = flag.String("param", "ftq", "parameter to sweep: "+paramNames())
-		valuesStr = flag.String("values", "2,4,8,16,24,32", "comma-separated values")
-		wlStr     = flag.String("workloads", "server_a,client_a,spec_a", "comma-separated workloads, or 'all'")
-		pfc       = flag.Bool("pfc", true, "post-fetch correction")
-		warmup    = flag.Uint64("warmup", 100_000, "warmup instructions")
-		measure   = flag.Uint64("measure", 400_000, "measured instructions")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+}
 
-		metricsOut = flag.String("metrics", "", "write per-run observability manifests as JSONL to this file")
-		traceOut   = flag.String("trace", "", "write pipeline event traces as JSONL to this file")
-		traceCap   = flag.Int("trace-cap", 1<<14, "event-trace ring capacity (last N events per run)")
-		pprofOut   = flag.String("pprof", "", "write a CPU profile of the sweep to this file")
+// run executes the whole sweep: it exists (separately from main) so tests
+// can drive the real flag parsing and CSV rendering in-process.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		param     = fs.String("param", "ftq", "parameter to sweep: "+paramNames())
+		valuesStr = fs.String("values", "2,4,8,16,24,32", "comma-separated values")
+		wlStr     = fs.String("workloads", "server_a,client_a,spec_a", "comma-separated workloads, or 'all'")
+		pfc       = fs.Bool("pfc", true, "post-fetch correction")
+		warmup    = fs.Uint64("warmup", 100_000, "warmup instructions")
+		measure   = fs.Uint64("measure", 400_000, "measured instructions")
+		parallel  = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir  = fs.String("cache", "", "reuse results from this on-disk cache directory")
+
+		metricsOut = fs.String("metrics", "", "write per-run observability manifests as JSONL to this file")
+		traceOut   = fs.String("trace", "", "write pipeline event traces as JSONL to this file")
+		traceCap   = fs.Int("trace-cap", 1<<14, "event-trace ring capacity (last N events per run)")
+		pprofOut   = fs.String("pprof", "", "write a CPU profile of the sweep to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *pprofOut != "" {
 		f, err := os.Create(*pprofOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer pprof.StopCPUProfile()
 	}
 	var metricsW, traceW *os.File
-	openOut := func(path string) *os.File {
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-			os.Exit(1)
-		}
-		return f
-	}
 	if *metricsOut != "" {
-		metricsW = openOut(*metricsOut)
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		metricsW = f
 		defer metricsW.Close()
 	}
 	if *traceOut != "" {
 		if *traceCap <= 0 {
-			fmt.Fprintf(os.Stderr, "sweep: -trace-cap must be positive (got %d)\n", *traceCap)
-			os.Exit(1)
+			return fmt.Errorf("-trace-cap must be positive (got %d)", *traceCap)
 		}
-		traceW = openOut(*traceOut)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		traceW = f
 		defer traceW.Close()
 	}
 	gitRev := ""
@@ -99,75 +114,75 @@ func main() {
 
 	mutate, ok := params[*param]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "sweep: unknown parameter %q (have %s)\n", *param, paramNames())
-		os.Exit(1)
+		return fmt.Errorf("unknown parameter %q (have %s)", *param, paramNames())
 	}
 	var values []int
 	for _, v := range strings.Split(*valuesStr, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(v))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: bad value %q\n", v)
-			os.Exit(1)
+			return fmt.Errorf("bad value %q", v)
 		}
 		values = append(values, n)
 	}
-	var workloads []*synth.Workload
-	if *wlStr == "all" {
-		workloads = synth.StandardWorkloads()
-	} else {
-		for _, name := range strings.Split(*wlStr, ",") {
-			w := synth.ByName(strings.TrimSpace(name))
-			if w == nil {
-				fmt.Fprintf(os.Stderr, "sweep: unknown workload %q\n", name)
-				os.Exit(1)
-			}
-			workloads = append(workloads, w)
+	workloads, err := synth.ParseList(*wlStr)
+	if err != nil {
+		return err
+	}
+
+	var cache *runner.Cache
+	if *cacheDir != "" {
+		cache, err = runner.NewCache(runner.DefaultCacheCapacity, *cacheDir)
+		if err != nil {
+			return err
 		}
 	}
 
-	fmt.Printf("param,value,workload,ipc,branch_mpki,l1i_mpki,starv_pki,tag_pki,pfc_resteers\n")
+	observed := metricsW != nil || traceW != nil
+	ropts := runner.Options{Parallel: *parallel, Cache: cache, Observe: observed}
+	if traceW != nil {
+		ropts.TraceCap = *traceCap
+		ropts.TraceSink = traceW
+	}
+
+	specs := make([]runner.Spec, 0, len(values)*len(workloads))
 	for _, v := range values {
-		var ipcs []float64
 		for _, w := range workloads {
 			cfg := core.DefaultConfig()
 			cfg.PFC = *pfc
 			mutate(&cfg, v)
 			cfg.Name = fmt.Sprintf("%s=%d", *param, v)
-			var p *obs.Probes
-			if metricsW != nil || traceW != nil {
-				p = obs.NewProbes()
-				if traceW != nil {
-					p.EnableTrace(*traceCap)
-				}
-			}
-			r, err := core.SimulateObserved(cfg, w.NewStream(), w.Name, *warmup, *measure, p)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "sweep: %s %s: %v\n", cfg.Name, w.Name, err)
-				os.Exit(1)
-			}
-			r.Class = w.Class
-			if metricsW != nil {
-				m := core.Manifest(cfg, r, p, w.Seed, *warmup, *measure)
+			specs = append(specs, runner.WorkloadSpec(cfg, w, *warmup, *measure))
+		}
+	}
+	results, err := runner.Execute(context.Background(), specs, ropts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "param,value,workload,ipc,branch_mpki,l1i_mpki,starv_pki,tag_pki,pfc_resteers\n")
+	i := 0
+	for _, v := range values {
+		runs := make([]*stats.Run, 0, len(workloads))
+		for _, w := range workloads {
+			res := results[i]
+			i++
+			r := res.Run
+			if metricsW != nil && res.Manifest != nil {
+				m := res.Manifest
 				m.Tool = "sweep"
 				m.Git = gitRev
 				if err := m.WriteJSONL(metricsW); err != nil {
-					fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-					os.Exit(1)
+					return err
 				}
 			}
-			if traceW != nil {
-				if err := obs.WriteRunTrace(traceW, cfg.Name+"/"+w.Name, p.Tracer); err != nil {
-					fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-					os.Exit(1)
-				}
-			}
-			ipcs = append(ipcs, r.IPC())
-			fmt.Printf("%s,%d,%s,%.4f,%.3f,%.3f,%.2f,%.2f,%d\n",
+			runs = append(runs, r)
+			fmt.Fprintf(stdout, "%s,%d,%s,%.4f,%.3f,%.3f,%.2f,%.2f,%d\n",
 				*param, v, w.Name, r.IPC(), r.BranchMPKI(), r.L1IMPKI(),
 				r.StarvationPKI(), r.TagProbesPKI(), r.PFCResteers)
 		}
-		fmt.Printf("%s,%d,GEOMEAN,%.4f,,,,,\n", *param, v, stats.GeoMean(ipcs))
+		fmt.Fprintf(stdout, "%s,%d,GEOMEAN,%.4f,,,,,\n", *param, v, stats.GeoMeanIPC(runs))
 	}
+	return nil
 }
 
 func paramNames() string {

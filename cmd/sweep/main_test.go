@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const csvHeader = "param,value,workload,ipc,branch_mpki,l1i_mpki,starv_pki,tag_pki,pfc_resteers"
+
+// sweepArgs is a tiny but real sweep: 2 values x 2 workloads, short runs.
+func sweepArgs(extra ...string) []string {
+	args := []string{
+		"-param", "ftq", "-values", "4,16",
+		"-workloads", "server_a,spec_a",
+		"-warmup", "20000", "-measure", "50000",
+	}
+	return append(args, extra...)
+}
+
+// TestSweepCSVShape checks the output contract: header, one row per
+// (value, workload), and a GEOMEAN summary row per value, in sweep order.
+func TestSweepCSVShape(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(sweepArgs(), &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if lines[0] != csvHeader {
+		t.Fatalf("header = %q", lines[0])
+	}
+	want := []string{
+		"ftq,4,server_a,", "ftq,4,spec_a,", "ftq,4,GEOMEAN,",
+		"ftq,16,server_a,", "ftq,16,spec_a,", "ftq,16,GEOMEAN,",
+	}
+	if len(lines) != 1+len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), 1+len(want), out.String())
+	}
+	for i, prefix := range want {
+		if !strings.HasPrefix(lines[i+1], prefix) {
+			t.Fatalf("line %d = %q, want prefix %q", i+1, lines[i+1], prefix)
+		}
+		if n := strings.Count(lines[i+1], ","); n != strings.Count(csvHeader, ",") {
+			t.Fatalf("line %d has %d commas: %q", i+1, n, lines[i+1])
+		}
+	}
+}
+
+// TestSweepCacheDeterminism runs the same sweep uncached, cold-cached, and
+// warm-cached: all three must emit byte-identical CSV.
+func TestSweepCacheDeterminism(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+
+	var uncached, cold, warm bytes.Buffer
+	if err := run(sweepArgs(), &uncached); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(sweepArgs("-cache", dir, "-parallel", "2"), &cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(sweepArgs("-cache", dir), &warm); err != nil {
+		t.Fatal(err)
+	}
+	if cold.String() != uncached.String() {
+		t.Errorf("cold cached output differs from uncached:\n%s\nvs\n%s", cold.String(), uncached.String())
+	}
+	if warm.String() != uncached.String() {
+		t.Errorf("warm cached output differs from uncached:\n%s\nvs\n%s", warm.String(), uncached.String())
+	}
+}
+
+// TestSweepBadInput covers the error paths users actually hit.
+func TestSweepBadInput(t *testing.T) {
+	for _, args := range [][]string{
+		{"-param", "nope"},
+		{"-values", "1,x"},
+		{"-workloads", "bogus"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"fdp/internal/synth"
+)
+
+// TestSimulateContextCancel verifies that a canceled context stops a
+// simulation that would otherwise run for a very long time, and that the
+// run's error is the context error.
+func TestSimulateContextCancel(t *testing.T) {
+	w := synth.ByName("server_a")
+	ctx, cancel := context.WithCancel(context.Background())
+
+	type outcome struct {
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		// 500M instructions: minutes of work if cancellation is broken.
+		_, err := SimulateContext(ctx, DefaultConfig(), w.NewStream(), w.Name, 0, 500_000_000, nil)
+		ch <- outcome{err}
+	}()
+	// Let the simulation get past a few poll intervals, then cancel.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case o := <-ch:
+		if !errors.Is(o.err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", o.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("simulation did not stop after cancellation")
+	}
+}
+
+// TestSimulateContextBackground asserts the uncancellable path still
+// completes normally and matches the plain Simulate result.
+func TestSimulateContextBackground(t *testing.T) {
+	w := synth.ByName("client_a")
+	want, err := Simulate(DefaultConfig(), w.NewStream(), w.Name, 5_000, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SimulateContext(context.Background(), DefaultConfig(), w.NewStream(), w.Name, 5_000, 20_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != want.Cycles || got.Instructions != want.Instructions ||
+		got.Mispredictions != want.Mispredictions {
+		t.Fatalf("SimulateContext diverged from Simulate: %+v vs %+v", got, want)
+	}
+}

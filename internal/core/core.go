@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"fdp/internal/bpred"
@@ -283,7 +284,21 @@ func (c *Core) Step(n int) {
 // Run simulates warmup retired instructions, resets statistics, then
 // simulates measure more and returns the measurement record.
 func (c *Core) Run(warmup, measure uint64) (*stats.Run, error) {
-	if err := c.runUntil(c.retired + warmup); err != nil {
+	return c.RunContext(context.Background(), warmup, measure)
+}
+
+// ctxCheckInterval is how often (in cycles) RunContext polls the context.
+// A power of two keeps the check a single mask in the cycle loop; 16K
+// cycles is microseconds of wall time, so cancellation is prompt without
+// the poll ever showing up in profiles.
+const ctxCheckInterval = 1 << 14
+
+// RunContext is Run with cooperative cancellation: the cycle loop polls
+// ctx every ctxCheckInterval cycles and returns ctx.Err() once it is
+// done. The poll is allocation-free, so the steady-state cycle loop stays
+// at zero allocs/op.
+func (c *Core) RunContext(ctx context.Context, warmup, measure uint64) (*stats.Run, error) {
+	if err := c.runUntil(ctx, c.retired+warmup); err != nil {
 		return nil, err
 	}
 	c.resetStats()
@@ -292,7 +307,7 @@ func (c *Core) Run(warmup, measure uint64) (*stats.Run, error) {
 	c.run.WindowIPC = make([]float64, 0, measure/ipcWindow+1)
 	startCycles := c.now
 	startRetired := c.retired
-	if err := c.runUntil(startRetired + measure); err != nil {
+	if err := c.runUntil(ctx, startRetired+measure); err != nil {
 		return nil, err
 	}
 	c.run.Cycles = c.now - startCycles
@@ -301,11 +316,21 @@ func (c *Core) Run(warmup, measure uint64) (*stats.Run, error) {
 	return c.run, nil
 }
 
-func (c *Core) runUntil(target uint64) error {
+func (c *Core) runUntil(ctx context.Context, target uint64) error {
+	// Background and TODO contexts have a nil Done channel; hoisting it
+	// makes the uncancellable path a single nil check per poll.
+	done := ctx.Done()
 	lastRetired := c.retired
 	idle := 0
 	for c.retired < target {
 		c.cycle()
+		if done != nil && c.now&(ctxCheckInterval-1) == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		if c.retired == lastRetired {
 			idle++
 			if idle > 1_000_000 {
@@ -387,6 +412,15 @@ func Simulate(cfg Config, oracle Oracle, workload string, warmup, measure uint64
 // (nil behaves exactly like Simulate). Warmup activity is cleared from
 // the probes when measurement starts.
 func SimulateObserved(cfg Config, oracle Oracle, workload string, warmup, measure uint64, p *obs.Probes) (*stats.Run, error) {
+	return SimulateContext(context.Background(), cfg, oracle, workload, warmup, measure, p)
+}
+
+// SimulateContext is SimulateObserved with cooperative cancellation: once
+// ctx is done the cycle loop stops at the next poll (every
+// ctxCheckInterval cycles) and the run's ctx.Err() is returned. This is
+// what lets a parallel scheduler abandon in-flight simulations on first
+// error instead of letting them run to completion.
+func SimulateContext(ctx context.Context, cfg Config, oracle Oracle, workload string, warmup, measure uint64, p *obs.Probes) (*stats.Run, error) {
 	c, err := New(cfg, oracle)
 	if err != nil {
 		return nil, err
@@ -395,7 +429,7 @@ func SimulateObserved(cfg Config, oracle Oracle, workload string, warmup, measur
 	if p != nil {
 		c.Observe(p)
 	}
-	return c.Run(warmup, measure)
+	return c.RunContext(ctx, warmup, measure)
 }
 
 // Manifest packages a finished observed run into a single JSON-ready

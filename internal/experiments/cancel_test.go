@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+
+	"fdp/internal/core"
+	"fdp/internal/obs"
+	"fdp/internal/runner"
+	"fdp/internal/synth"
+)
+
+// TestRunGridFirstErrorCancels injects a config that fails validation ahead
+// of a fleet of very long runs and checks that the grid reports the error
+// promptly instead of simulating the rest: first-error cancellation must
+// propagate from the runner through runGrid.
+func TestRunGridFirstErrorCancels(t *testing.T) {
+	bad := core.BaselineConfig()
+	bad.Name = "bad"
+	bad.FTQEntries = -1 // rejected by config validation before the cycle loop
+
+	// Each of these would take minutes if actually simulated to completion.
+	configs := []core.Config{bad}
+	for i := 0; i < 6; i++ {
+		cfg := core.BaselineConfig()
+		cfg.Name = "slow-" + string(rune('a'+i))
+		configs = append(configs, cfg)
+	}
+
+	reg := obs.NewRegistry()
+	opts := Options{
+		Warmup:    0,
+		Measure:   500_000_000,
+		Workloads: synth.StandardWorkloads()[:1],
+		Parallel:  2,
+		RunnerReg: reg,
+	}
+	sets, err := runGrid(opts, configs)
+	if err == nil {
+		t.Fatalf("runGrid with invalid config succeeded: %v", sets)
+	}
+	// With 2 workers, at most the bad job plus the jobs already claimed
+	// when it failed can have started; the rest must be canceled.
+	started := reg.Counter(runner.MetricJobs).Value()
+	if started > 3 {
+		t.Fatalf("first error did not cancel remaining jobs: %d of %d started", started, len(configs))
+	}
+	if canceled := reg.Counter(runner.MetricCanceled).Value(); canceled < uint64(len(configs))-3 {
+		t.Fatalf("canceled count too low: %d", canceled)
+	}
+}

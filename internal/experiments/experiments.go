@@ -7,14 +7,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
-	"sync"
 
 	"fdp/internal/core"
 	"fdp/internal/obs"
+	"fdp/internal/runner"
 	"fdp/internal/stats"
 	"fdp/internal/synth"
 )
@@ -45,6 +46,18 @@ type Options struct {
 	// (one {"run": "config/workload"} header line per run, in completion
 	// order; writes are serialized).
 	TraceSink io.Writer
+
+	// Ctx, when non-nil, cancels pending and in-flight simulations once
+	// it is done (simulations poll it; see core.SimulateContext).
+	Ctx context.Context
+	// Cache, when non-nil, satisfies repeated (config, workload, budget)
+	// specs from stored results instead of re-simulating — notably the
+	// shared baseline every table and figure re-runs. Bypassed while
+	// tracing (see runner.Options.Cache).
+	Cache *runner.Cache
+	// RunnerReg, when non-nil, receives the scheduler's execution metrics
+	// (runner_jobs, runner_cache_hits, runner_queue_depth, ...).
+	RunnerReg *obs.Registry
 }
 
 // observed reports whether runs should carry probe sets.
@@ -61,9 +74,9 @@ func DefaultOptions() Options {
 // QuickOptions returns a fast smoke-level evaluation: 6 workloads, 50K
 // warmup + 200K measured.
 func QuickOptions() Options {
-	var ws []*synth.Workload
-	for _, name := range []string{"server_a", "server_b", "client_a", "client_b", "spec_a", "spec_b"} {
-		ws = append(ws, synth.ByName(name))
+	ws, err := synth.Resolve("server_a", "server_b", "client_a", "client_b", "spec_a", "spec_b")
+	if err != nil {
+		panic(err) // the quick set names standard workloads only
 	}
 	return Options{Warmup: 50_000, Measure: 200_000, Workloads: ws}
 }
@@ -79,6 +92,13 @@ func (o *Options) parallel() int {
 		return o.Parallel
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (o *Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // Result is the rendered output of one experiment.
@@ -144,77 +164,39 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// job is one (config, workload) simulation.
-type job struct {
-	cfg core.Config
-	wl  *synth.Workload
-}
-
-// runGrid simulates every config over every workload in parallel and
-// returns one Set per config, keyed by config name, with runs in workload
-// order.
+// runGrid simulates every config over every workload through the shared
+// run-execution subsystem (internal/runner) and returns one Set per
+// config, keyed by config name, with runs in workload order. The first
+// failing job cancels the remaining and in-flight ones.
 func runGrid(opts Options, configs []core.Config) (map[string]*stats.Set, error) {
-	type outcome struct {
-		cfgName  string
-		run      *stats.Run
-		manifest *obs.Manifest
-		err      error
-	}
-	var jobs []job
+	specs := make([]runner.Spec, 0, len(configs)*len(opts.Workloads))
 	for _, cfg := range configs {
 		for _, wl := range opts.Workloads {
-			jobs = append(jobs, job{cfg, wl})
+			specs = append(specs, runner.WorkloadSpec(cfg, wl, opts.Warmup, opts.Measure))
 		}
 	}
-	observed := opts.observed()
-	results := make([]outcome, len(jobs))
-	var wg sync.WaitGroup
-	var traceMu sync.Mutex
-	sem := make(chan struct{}, opts.parallel())
-	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			j := jobs[i]
-			var p *obs.Probes
-			if observed {
-				p = obs.NewProbes()
-				if opts.TraceCap > 0 {
-					p.EnableTrace(opts.TraceCap)
-				}
-			}
-			run, err := core.SimulateObserved(j.cfg, j.wl.NewStream(), j.wl.Name, opts.Warmup, opts.Measure, p)
-			if run != nil {
-				run.Class = j.wl.Class
-			}
-			var m *obs.Manifest
-			if p != nil && err == nil {
-				m = core.Manifest(j.cfg, run, p, j.wl.Seed, opts.Warmup, opts.Measure)
-				opts.Manifests.Add(m)
-				if opts.TraceSink != nil && p.Tracer != nil {
-					traceMu.Lock()
-					obs.WriteRunTrace(opts.TraceSink, j.cfg.Name+"/"+j.wl.Name, p.Tracer)
-					traceMu.Unlock()
-				}
-			}
-			results[i] = outcome{j.cfg.Name, run, m, err}
-		}(i)
+	results, err := runner.Execute(opts.ctx(), specs, runner.Options{
+		Parallel:  opts.parallel(),
+		Cache:     opts.Cache,
+		Observe:   opts.observed(),
+		TraceCap:  opts.TraceCap,
+		TraceSink: opts.TraceSink,
+		Reg:       opts.RunnerReg,
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 
 	sets := make(map[string]*stats.Set)
 	for _, cfg := range configs {
 		sets[cfg.Name] = &stats.Set{Config: cfg.Name}
 	}
-	for _, r := range results {
-		if r.err != nil {
-			return nil, r.err
-		}
-		sets[r.cfgName].Add(r.run)
-		if r.manifest != nil {
-			sets[r.cfgName].Manifests = append(sets[r.cfgName].Manifests, r.manifest)
+	for i, res := range results {
+		set := sets[specs[i].Config.Name]
+		set.Add(res.Run)
+		if res.Manifest != nil {
+			opts.Manifests.Add(res.Manifest)
+			set.Manifests = append(set.Manifests, res.Manifest)
 		}
 	}
 	return sets, nil

@@ -1,0 +1,230 @@
+package runner
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"fdp/internal/obs"
+	"fdp/internal/stats"
+)
+
+// DefaultCacheCapacity bounds the in-memory LRU when NewCache is given a
+// non-positive capacity. A full `experiments -full` invocation issues a
+// few thousand (config, workload) jobs, so the default keeps every result
+// of one invocation resident.
+const DefaultCacheCapacity = 8192
+
+// Cache is a content-addressed store of finished simulation results,
+// keyed by Spec.Key(): an in-memory LRU always, plus an optional on-disk
+// JSON store (one file per key) that survives the process — that is what
+// makes an interrupted `experiments -full` run resumable. All methods are
+// safe for concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	dir   string // "" = memory only
+
+	hits, misses, diskErrs uint64
+}
+
+// cacheEntry is one cached result. Runs and manifests are copied on Put
+// and Get, so callers can never mutate the cached state.
+type cacheEntry struct {
+	key      string
+	run      *stats.Run
+	manifest *obs.Manifest
+}
+
+// diskEntry is the on-disk JSON layout. Epoch pins the simulator
+// semantics the result was produced under; entries from another epoch are
+// misses (see Epoch).
+type diskEntry struct {
+	Schema   int           `json:"schema"`
+	Epoch    int           `json:"epoch"`
+	Key      string        `json:"key"`
+	Run      *stats.Run    `json:"run"`
+	Manifest *obs.Manifest `json:"manifest,omitempty"`
+}
+
+// NewCache creates a cache holding up to capacity results in memory
+// (non-positive = DefaultCacheCapacity). A non-empty dir additionally
+// persists every entry as dir/<key>.json; the directory is created if
+// missing.
+func NewCache(capacity int, dir string) (*Cache, error) {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("runner: cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+		dir:   dir,
+	}, nil
+}
+
+// Get returns the cached run (and manifest) for key. A memory miss falls
+// through to the disk store when one is configured. needManifest guards
+// observed consumers: an entry recorded without probes cannot satisfy a
+// run that must report a manifest, so it is a miss for that caller.
+// Corrupt or wrong-epoch disk entries are silently misses, never errors.
+func (c *Cache) Get(key string, needManifest bool) (*stats.Run, *obs.Manifest, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		if !needManifest || ent.manifest != nil {
+			c.ll.MoveToFront(el)
+			c.hits++
+			return copyRun(ent.run), copyManifest(ent.manifest), true
+		}
+	}
+	if ent := c.loadDisk(key); ent != nil && (!needManifest || ent.manifest != nil) {
+		c.install(ent)
+		c.hits++
+		return copyRun(ent.run), copyManifest(ent.manifest), true
+	}
+	c.misses++
+	return nil, nil, false
+}
+
+// Put stores a finished result under key, evicting the least recently
+// used in-memory entry beyond capacity and (when a directory is
+// configured) persisting the entry to disk. Disk write failures degrade
+// the cache, never the run; they are counted in Stats.
+func (c *Cache) Put(key string, run *stats.Run, m *obs.Manifest) {
+	if run == nil {
+		return
+	}
+	ent := &cacheEntry{key: key, run: copyRun(run), manifest: copyManifest(m)}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.install(ent)
+	if c.dir != "" {
+		if err := c.writeDisk(ent); err != nil {
+			c.diskErrs++
+		}
+	}
+}
+
+// install adds or replaces the in-memory entry for ent.key (caller holds
+// the lock).
+func (c *Cache) install(ent *cacheEntry) {
+	if el, ok := c.items[ent.key]; ok {
+		el.Value = ent
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[ent.key] = c.ll.PushFront(ent)
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit/miss counts and the number of failed disk
+// writes.
+func (c *Cache) Stats() (hits, misses, diskErrs uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.diskErrs
+}
+
+// path returns the disk file for key.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// loadDisk reads and validates the disk entry for key, returning nil on
+// any problem: a missing file, unparsable JSON, a schema or epoch
+// mismatch, or a key that does not match the filename (a corrupt or
+// hand-edited entry must never be served).
+func (c *Cache) loadDisk(key string) *cacheEntry {
+	if c.dir == "" {
+		return nil
+	}
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil
+	}
+	var d diskEntry
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil
+	}
+	if d.Schema != cacheSchema || d.Epoch != Epoch || d.Key != key || d.Run == nil {
+		return nil
+	}
+	return &cacheEntry{key: key, run: d.Run, manifest: d.Manifest}
+}
+
+// writeDisk persists ent atomically (temp file + rename), so a crash
+// mid-write leaves either the old entry or none — never a torn file.
+func (c *Cache) writeDisk(ent *cacheEntry) error {
+	b, err := json.Marshal(diskEntry{
+		Schema:   cacheSchema,
+		Epoch:    Epoch,
+		Key:      ent.key,
+		Run:      ent.run,
+		Manifest: ent.manifest,
+	})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "."+ent.key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(ent.key))
+}
+
+// copyRun deep-copies a run record so cached state cannot alias caller
+// state (WindowIPC is the only reference field).
+func copyRun(r *stats.Run) *stats.Run {
+	if r == nil {
+		return nil
+	}
+	cp := *r
+	if r.WindowIPC != nil {
+		cp.WindowIPC = append([]float64(nil), r.WindowIPC...)
+	}
+	return &cp
+}
+
+// copyManifest shallow-copies the manifest document. The maps inside are
+// shared — consumers treat them as read-only — while the copied struct
+// lets each consumer stamp its own Tool/Git fields without touching the
+// cached original.
+func copyManifest(m *obs.Manifest) *obs.Manifest {
+	if m == nil {
+		return nil
+	}
+	cp := *m
+	return &cp
+}

@@ -1,0 +1,167 @@
+package runner
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fdp/internal/obs"
+	"fdp/internal/stats"
+)
+
+func testRun(workload string, cycles uint64) *stats.Run {
+	return &stats.Run{
+		Config:       "test",
+		Workload:     workload,
+		Cycles:       cycles,
+		Instructions: 2 * cycles,
+		WindowIPC:    []float64{1.5, 2.0},
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c, err := NewCache(4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get("k1", false); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k1", testRun("a", 100), nil)
+	run, m, ok := c.Get("k1", false)
+	if !ok || run == nil || m != nil {
+		t.Fatalf("Get = (%v, %v, %v), want run hit without manifest", run, m, ok)
+	}
+	if run.Cycles != 100 || run.Workload != "a" {
+		t.Fatalf("wrong cached run: %+v", run)
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+}
+
+// TestCacheIsolation asserts mutating a returned run cannot corrupt the
+// cached copy (and vice versa for the stored run).
+func TestCacheIsolation(t *testing.T) {
+	c, _ := NewCache(4, "")
+	orig := testRun("a", 100)
+	c.Put("k", orig, nil)
+	orig.Cycles = 999
+	orig.WindowIPC[0] = -1
+
+	got, _, _ := c.Get("k", false)
+	if got.Cycles != 100 || got.WindowIPC[0] != 1.5 {
+		t.Fatalf("cache aliased caller state: %+v", got)
+	}
+	got.WindowIPC[1] = -2
+	again, _, _ := c.Get("k", false)
+	if again.WindowIPC[1] != 2.0 {
+		t.Fatal("cache aliased returned state")
+	}
+}
+
+// TestCacheNeedManifest: an entry stored without a manifest cannot serve
+// an observed consumer.
+func TestCacheNeedManifest(t *testing.T) {
+	c, _ := NewCache(4, "")
+	c.Put("k", testRun("a", 1), nil)
+	if _, _, ok := c.Get("k", true); ok {
+		t.Fatal("manifest-less entry served an observed consumer")
+	}
+	m := &obs.Manifest{Schema: obs.ManifestSchema, Workload: "a"}
+	c.Put("k", testRun("a", 1), m)
+	if _, got, ok := c.Get("k", true); !ok || got == nil || got.Workload != "a" {
+		t.Fatalf("manifest entry not served: ok=%v m=%+v", ok, got)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c, _ := NewCache(2, "")
+	c.Put("k1", testRun("a", 1), nil)
+	c.Put("k2", testRun("b", 2), nil)
+	if _, _, ok := c.Get("k1", false); !ok { // k1 now most recent
+		t.Fatal("k1 missing before eviction")
+	}
+	c.Put("k3", testRun("c", 3), nil) // evicts k2 (least recently used)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, _, ok := c.Get("k2", false); ok {
+		t.Fatal("k2 survived eviction")
+	}
+	for _, k := range []string{"k1", "k3"} {
+		if _, _, ok := c.Get(k, false); !ok {
+			t.Fatalf("%s was evicted, want k2", k)
+		}
+	}
+}
+
+// TestCacheDiskRoundTrip: a second cache over the same directory serves
+// results simulated by the first — the resume path.
+func TestCacheDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &obs.Manifest{Schema: obs.ManifestSchema, Workload: "a", Counters: map[string]uint64{"run.cycles": 100}}
+	c1.Put("k", testRun("a", 100), m)
+
+	c2, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, gotM, ok := c2.Get("k", true)
+	if !ok {
+		t.Fatal("disk entry not found by fresh cache")
+	}
+	if run.Cycles != 100 || run.WindowIPC[1] != 2.0 {
+		t.Fatalf("disk run corrupted: %+v", run)
+	}
+	if gotM == nil || gotM.Counters["run.cycles"] != 100 {
+		t.Fatalf("disk manifest corrupted: %+v", gotM)
+	}
+}
+
+// TestCacheCorruptDiskEntry: garbage on disk is a miss, never a failure,
+// and a subsequent Put repairs it.
+func TestCacheCorruptDiskEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := NewCache(4, dir)
+	if err := os.WriteFile(filepath.Join(dir, "k.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get("k", false); ok {
+		t.Fatal("corrupt entry served")
+	}
+	c.Put("k", testRun("a", 7), nil)
+	c2, _ := NewCache(4, dir)
+	if run, _, ok := c2.Get("k", false); !ok || run.Cycles != 7 {
+		t.Fatal("Put did not repair the corrupt entry")
+	}
+}
+
+// TestCacheEpochMismatch: entries written under another simulator epoch
+// are misses.
+func TestCacheEpochMismatch(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := NewCache(4, dir)
+	b, err := json.Marshal(diskEntry{Schema: cacheSchema, Epoch: Epoch + 1, Key: "k", Run: testRun("a", 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "k.json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get("k", false); ok {
+		t.Fatal("entry from a different epoch served")
+	}
+	// Same epoch but mismatched embedded key (hand-copied file): miss.
+	b, _ = json.Marshal(diskEntry{Schema: cacheSchema, Epoch: Epoch, Key: "other", Run: testRun("a", 5)})
+	os.WriteFile(filepath.Join(dir, "k.json"), b, 0o644)
+	if _, _, ok := c.Get("k", false); ok {
+		t.Fatal("entry with mismatched key served")
+	}
+}

@@ -1,0 +1,114 @@
+package runner
+
+import (
+	"context"
+	"io"
+	"sync"
+
+	"fdp/internal/core"
+	"fdp/internal/obs"
+	"fdp/internal/stats"
+)
+
+// Options control one Execute call.
+type Options struct {
+	// Parallel bounds concurrent simulations (non-positive = GOMAXPROCS).
+	Parallel int
+	// Cache, when non-nil, satisfies repeated specs from stored results
+	// and records fresh ones. It is bypassed whenever TraceCap > 0:
+	// enabling the event-trace ring changes the observable manifest
+	// (trace.* counters) and trace output cannot be replayed from a
+	// cached result.
+	Cache *Cache
+	// Observe attaches a fresh probe set to every simulated run and
+	// returns a per-run manifest on its Result.
+	Observe bool
+	// TraceCap, when > 0 together with Observe, gives each run a
+	// ring-buffered pipeline event tracer holding the last TraceCap
+	// events.
+	TraceCap int
+	// TraceSink, when non-nil, receives each traced run's events as JSONL
+	// (one {"run": "config/workload"} header per run, in completion
+	// order; writes are serialized).
+	TraceSink io.Writer
+	// Reg, when non-nil, receives the runner metrics (runner_jobs,
+	// runner_cache_hits, runner_queue_depth, ...). Unlike a per-run
+	// registry it is shared across the pool; the scheduler serializes its
+	// updates.
+	Reg *obs.Registry
+}
+
+// Result is the outcome of one spec.
+type Result struct {
+	// Run is the measurement record (nil when the job failed or was
+	// cancelled before completing).
+	Run *stats.Run
+	// Manifest is the per-run observability document (Observe only).
+	Manifest *obs.Manifest
+	// CacheHit reports the result was replayed from the cache.
+	CacheHit bool
+	// Err is this job's own failure, if any. Execute's returned error is
+	// the first failure across all jobs.
+	Err error
+}
+
+// Execute runs every spec and returns one Result per spec, in spec order
+// regardless of scheduling. The first job error cancels the remaining and
+// in-flight jobs (simulations poll their context) and is returned;
+// already-finished results are still present in the slice.
+func Execute(ctx context.Context, specs []Spec, opts Options) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sched := NewScheduler(opts.Parallel, opts.Reg)
+	results := make([]Result, len(specs))
+	useCache := opts.Cache != nil && opts.TraceCap <= 0
+	var traceMu sync.Mutex
+
+	err := sched.Run(ctx, len(specs), func(ctx context.Context, i int) error {
+		sp := &specs[i]
+		if useCache {
+			if run, m, ok := opts.Cache.Get(sp.Key(), opts.Observe); ok {
+				sched.metrics.count(sched.metrics.cacheHits)
+				results[i] = Result{Run: run, Manifest: m, CacheHit: true}
+				return nil
+			}
+			sched.metrics.count(sched.metrics.cacheMisses)
+		}
+
+		var p *obs.Probes
+		if opts.Observe {
+			p = obs.NewProbes()
+			if opts.TraceCap > 0 {
+				p.EnableTrace(opts.TraceCap)
+			}
+		}
+		run, err := core.SimulateContext(ctx, sp.Config, sp.NewOracle(), sp.Workload, sp.Warmup, sp.Measure, p)
+		if run != nil {
+			run.Class = sp.Class
+		}
+		if err != nil {
+			results[i] = Result{Err: err}
+			return err
+		}
+		var m *obs.Manifest
+		if p != nil {
+			m = core.Manifest(sp.Config, run, p, sp.Seed, sp.Warmup, sp.Measure)
+			if opts.TraceSink != nil && p.Tracer != nil {
+				traceMu.Lock()
+				werr := obs.WriteRunTrace(opts.TraceSink, sp.Config.Name+"/"+sp.Workload, p.Tracer)
+				traceMu.Unlock()
+				if werr != nil {
+					results[i] = Result{Err: werr}
+					return werr
+				}
+			}
+		}
+		results[i] = Result{Run: run, Manifest: m}
+		if useCache {
+			opts.Cache.Put(sp.Key(), run, m)
+		}
+		return nil
+	})
+	return results, err
+}

@@ -1,0 +1,180 @@
+package runner
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"fdp/internal/core"
+	"fdp/internal/obs"
+	"fdp/internal/synth"
+)
+
+// smallSpecs builds a tiny config x workload grid.
+func smallSpecs(t *testing.T) []Spec {
+	t.Helper()
+	var specs []Spec
+	for _, cfgName := range []string{"fdp", "baseline"} {
+		cfg := core.DefaultConfig()
+		if cfgName == "baseline" {
+			cfg = core.BaselineConfig()
+		}
+		for _, wl := range []string{"server_a", "client_a"} {
+			w := synth.ByName(wl)
+			if w == nil {
+				t.Fatalf("unknown workload %s", wl)
+			}
+			specs = append(specs, WorkloadSpec(cfg, w, 5_000, 20_000))
+		}
+	}
+	return specs
+}
+
+// TestExecuteMatchesDirectSimulation: the runner is an execution layer,
+// not a semantics layer — its results must equal a direct core.Simulate.
+func TestExecuteMatchesDirectSimulation(t *testing.T) {
+	specs := smallSpecs(t)
+	results, err := Execute(context.Background(), specs, Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(specs) {
+		t.Fatalf("%d results for %d specs", len(results), len(specs))
+	}
+	for i, sp := range specs {
+		want, err := core.Simulate(sp.Config, sp.NewOracle(), sp.Workload, sp.Warmup, sp.Measure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Class = sp.Class
+		if !reflect.DeepEqual(results[i].Run, want) {
+			t.Fatalf("spec %d (%s/%s) diverged from direct simulation", i, sp.Config.Name, sp.Workload)
+		}
+	}
+}
+
+// TestExecuteCacheWarmRun: a second Execute over the same specs performs
+// zero simulations — every job is a cache hit — and returns identical
+// results.
+func TestExecuteCacheWarmRun(t *testing.T) {
+	specs := smallSpecs(t)
+	cache, err := NewCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	opts := Options{Parallel: 2, Cache: cache, Observe: true, Reg: reg}
+
+	cold, err := Execute(context.Background(), specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := reg.Counter(MetricCacheHits).Value(); hits != 0 {
+		t.Fatalf("cold run had %d cache hits", hits)
+	}
+	warm, err := Execute(context.Background(), specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := reg.Counter(MetricCacheHits).Value(); hits != uint64(len(specs)) {
+		t.Fatalf("%s = %d after warm run, want %d", MetricCacheHits, hits, len(specs))
+	}
+	if misses := reg.Counter(MetricCacheMisses).Value(); misses != uint64(len(specs)) {
+		t.Fatalf("%s = %d, want %d (cold run only)", MetricCacheMisses, misses, len(specs))
+	}
+	for i := range specs {
+		if !warm[i].CacheHit {
+			t.Fatalf("spec %d not served from cache", i)
+		}
+		if !reflect.DeepEqual(cold[i].Run, warm[i].Run) {
+			t.Fatalf("spec %d cached run differs", i)
+		}
+		if cold[i].Manifest == nil || warm[i].Manifest == nil {
+			t.Fatalf("spec %d missing manifest (observed run)", i)
+		}
+		if !reflect.DeepEqual(cold[i].Manifest.Counters, warm[i].Manifest.Counters) {
+			t.Fatalf("spec %d cached manifest counters differ", i)
+		}
+	}
+}
+
+// TestExecuteDiskResume: a fresh process (modelled by a fresh Cache over
+// the same directory) resumes from completed results.
+func TestExecuteDiskResume(t *testing.T) {
+	specs := smallSpecs(t)[:2]
+	dir := t.TempDir()
+
+	c1, err := NewCache(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Execute(context.Background(), specs, Options{Parallel: 2, Cache: c1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := NewCache(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	second, err := Execute(context.Background(), specs, Options{Parallel: 2, Cache: c2, Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := reg.Counter(MetricCacheHits).Value(); hits != uint64(len(specs)) {
+		t.Fatalf("resume run had %d hits, want %d", hits, len(specs))
+	}
+	for i := range specs {
+		if !reflect.DeepEqual(first[i].Run, second[i].Run) {
+			t.Fatalf("spec %d run changed across disk round-trip", i)
+		}
+	}
+}
+
+// TestExecuteFirstErrorCancels: an invalid config fails fast and cancels
+// the very long remaining jobs; the whole call returns promptly.
+func TestExecuteFirstErrorCancels(t *testing.T) {
+	bad := core.DefaultConfig()
+	bad.Name = "bad"
+	bad.FTQEntries = -1 // fails Validate immediately
+
+	w := synth.ByName("server_a")
+	specs := []Spec{WorkloadSpec(bad, w, 0, 1000)}
+	for i := 0; i < 6; i++ {
+		// 500M instructions each: minutes of work if not cancelled.
+		specs = append(specs, WorkloadSpec(core.DefaultConfig(), w, 0, 500_000_000))
+	}
+	reg := obs.NewRegistry()
+	results, err := Execute(context.Background(), specs, Options{Parallel: 2, Reg: reg})
+	if err == nil {
+		t.Fatal("invalid config did not fail the grid")
+	}
+	if results[0].Err == nil {
+		t.Fatal("failing job's own result carries no error")
+	}
+	if started := reg.Counter(MetricJobs).Value(); started > 3 {
+		t.Fatalf("%d jobs started after first error, want <= 3", started)
+	}
+}
+
+// TestExecuteTraceBypassesCache: tracing runs never read or write the
+// cache (the manifest would otherwise lose its trace counters).
+func TestExecuteTraceBypassesCache(t *testing.T) {
+	specs := smallSpecs(t)[:1]
+	cache, _ := NewCache(0, "")
+	reg := obs.NewRegistry()
+	opts := Options{Parallel: 1, Cache: cache, Observe: true, TraceCap: 256, Reg: reg}
+	if _, err := Execute(context.Background(), specs, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(context.Background(), specs, opts); err != nil {
+		t.Fatal(err)
+	}
+	if hits := reg.Counter(MetricCacheHits).Value(); hits != 0 {
+		t.Fatalf("traced run hit the cache %d times", hits)
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("traced run populated the cache (%d entries)", cache.Len())
+	}
+}

@@ -1,0 +1,182 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fdp/internal/obs"
+)
+
+// Runner metric names. The obs registry handed to the scheduler is shared
+// across workers, so all updates go through one mutex — job granularity
+// is milliseconds, so the lock never contends measurably.
+const (
+	// MetricJobs counts jobs the scheduler started executing (cache hits
+	// included).
+	MetricJobs = "runner_jobs"
+	// MetricCacheHits counts jobs satisfied from the result cache without
+	// simulating; MetricCacheMisses counts jobs that had to simulate.
+	MetricCacheHits   = "runner_cache_hits"
+	MetricCacheMisses = "runner_cache_misses"
+	// MetricCanceled counts jobs abandoned by first-error or caller
+	// cancellation (in-flight or never started).
+	MetricCanceled = "runner_jobs_canceled"
+	// MetricPanics counts jobs that panicked (each fails only itself).
+	MetricPanics = "runner_job_panics"
+	// MetricQueueDepth samples, at every job start, how many jobs were
+	// still waiting — the backlog profile of the pool.
+	MetricQueueDepth = "runner_queue_depth"
+)
+
+// schedMetrics is the mutex-guarded view of the runner metrics. All
+// methods are safe on a zero registry (every obs op is nil-safe).
+type schedMetrics struct {
+	mu          sync.Mutex
+	jobs        *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	canceled    *obs.Counter
+	panics      *obs.Counter
+	depth       *obs.Histogram
+}
+
+func newSchedMetrics(reg *obs.Registry) *schedMetrics {
+	m := &schedMetrics{}
+	if reg != nil {
+		m.jobs = reg.Counter(MetricJobs)
+		m.cacheHits = reg.Counter(MetricCacheHits)
+		m.cacheMisses = reg.Counter(MetricCacheMisses)
+		m.canceled = reg.Counter(MetricCanceled)
+		m.panics = reg.Counter(MetricPanics)
+		m.depth = reg.Histogram(MetricQueueDepth)
+	}
+	return m
+}
+
+func (m *schedMetrics) jobStart(queued int) {
+	m.mu.Lock()
+	m.jobs.Inc()
+	m.depth.Observe(uint64(queued))
+	m.mu.Unlock()
+}
+
+func (m *schedMetrics) count(c *obs.Counter) {
+	m.mu.Lock()
+	c.Inc()
+	m.mu.Unlock()
+}
+
+func (m *schedMetrics) add(c *obs.Counter, d uint64) {
+	m.mu.Lock()
+	c.Add(d)
+	m.mu.Unlock()
+}
+
+// Scheduler is a bounded worker pool for simulation jobs. The first job
+// error cancels the pool's context, which both stops new jobs from being
+// claimed and — because simulations poll their context — aborts in-flight
+// ones promptly. A panicking job is recovered into an error that fails
+// that job alone; the process and the other jobs' results survive.
+type Scheduler struct {
+	parallel int
+	metrics  *schedMetrics
+}
+
+// NewScheduler creates a pool of the given width (non-positive =
+// GOMAXPROCS). A non-nil registry receives the runner metrics.
+func NewScheduler(parallel int, reg *obs.Registry) *Scheduler {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{parallel: parallel, metrics: newSchedMetrics(reg)}
+}
+
+// Run executes jobs 0..n-1 by calling f from up to parallel workers. It
+// returns the first job error (in completion order; later errors are
+// dropped), or ctx.Err() when the caller's context ended the run with no
+// job at fault. Job indices are claimed in order, so with a pool of one
+// the execution order is exactly 0..n-1.
+func (s *Scheduler) Run(ctx context.Context, n int, f func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		errMu.Unlock()
+	}
+
+	var next, completed int64
+	next = -1
+	workers := s.parallel
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if runCtx.Err() != nil {
+					return
+				}
+				s.metrics.jobStart(n - 1 - i)
+				err := s.runOne(runCtx, i, f)
+				switch {
+				case err == nil:
+					atomic.AddInt64(&completed, 1)
+				case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+					// The job was a casualty of cancellation, not its
+					// cause; it counts as canceled, not completed.
+					return
+				default:
+					atomic.AddInt64(&completed, 1)
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if c := n - int(atomic.LoadInt64(&completed)); c > 0 {
+		s.metrics.add(s.metrics.canceled, uint64(c))
+	}
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// runOne runs one job with panic isolation.
+func (s *Scheduler) runOne(ctx context.Context, i int, f func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.count(s.metrics.panics)
+			err = fmt.Errorf("runner: job %d panicked: %v", i, r)
+		}
+	}()
+	return f(ctx, i)
+}

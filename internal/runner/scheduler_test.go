@@ -1,0 +1,147 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fdp/internal/obs"
+)
+
+func TestSchedulerRunsAllJobs(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewScheduler(4, reg)
+	var done [16]int32
+	err := s.Run(context.Background(), len(done), func(ctx context.Context, i int) error {
+		atomic.AddInt32(&done[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range done {
+		if d != 1 {
+			t.Fatalf("job %d ran %d times", i, d)
+		}
+	}
+	if got := reg.Counter(MetricJobs).Value(); got != 16 {
+		t.Fatalf("%s = %d, want 16", MetricJobs, got)
+	}
+	if got := reg.Histogram(MetricQueueDepth).Count(); got != 16 {
+		t.Fatalf("%s has %d samples, want 16", MetricQueueDepth, got)
+	}
+}
+
+// TestSchedulerOrderSerial: with one worker, jobs run strictly in index
+// order.
+func TestSchedulerOrderSerial(t *testing.T) {
+	s := NewScheduler(1, nil)
+	var order []int
+	s.Run(context.Background(), 8, func(ctx context.Context, i int) error {
+		order = append(order, i)
+		return nil
+	})
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+// TestSchedulerFirstErrorCancels: the first failing job stops the pool
+// from issuing the remaining jobs and aborts in-flight ones.
+func TestSchedulerFirstErrorCancels(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewScheduler(2, reg)
+	boom := errors.New("boom")
+	const n = 16
+	var started int32
+	err := s.Run(context.Background(), n, func(ctx context.Context, i int) error {
+		atomic.AddInt32(&started, 1)
+		if i == 0 {
+			return boom
+		}
+		// Long job that honours cancellation, as simulations do.
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(30 * time.Second):
+			return fmt.Errorf("job %d was not cancelled", i)
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Worker count bounds how many jobs can have been claimed before the
+	// failure propagated: the failing worker stops claiming, the other
+	// worker is aborted in-flight, and nothing else starts.
+	if got := atomic.LoadInt32(&started); got > 3 {
+		t.Fatalf("%d jobs started after first error, want <= 3", got)
+	}
+	if got := reg.Counter(MetricCanceled).Value(); got < n-3 {
+		t.Fatalf("%s = %d, want >= %d", MetricCanceled, got, n-3)
+	}
+}
+
+// TestSchedulerPanicIsolation: a panicking job fails only its own result;
+// the process and the other jobs survive.
+func TestSchedulerPanicIsolation(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewScheduler(1, reg)
+	var mu sync.Mutex
+	completed := map[int]bool{}
+	err := s.Run(context.Background(), 4, func(ctx context.Context, i int) error {
+		if i == 1 {
+			panic("injected")
+		}
+		mu.Lock()
+		completed[i] = true
+		mu.Unlock()
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want panic error", err)
+	}
+	if !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("panic value lost: %v", err)
+	}
+	// Serial pool: job 0 finished before the panic and its result stands.
+	if !completed[0] {
+		t.Fatal("pre-panic result lost")
+	}
+	if got := reg.Counter(MetricPanics).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricPanics, got)
+	}
+}
+
+// TestSchedulerCallerCancel: cancelling the caller's context ends the run
+// with ctx.Err() when no job is at fault.
+func TestSchedulerCallerCancel(t *testing.T) {
+	s := NewScheduler(2, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	err := s.Run(ctx, 64, func(ctx context.Context, i int) error {
+		once.Do(cancel)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(30 * time.Second):
+			return fmt.Errorf("not cancelled")
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSchedulerEmpty(t *testing.T) {
+	s := NewScheduler(0, nil)
+	if err := s.Run(context.Background(), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}

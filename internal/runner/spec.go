@@ -1,0 +1,91 @@
+// Package runner is the unified run-execution subsystem: every frontend
+// (the experiment grid, cmd/sweep, cmd/fdpsim) describes its simulations
+// as declarative Specs and hands them to Execute, which schedules them on
+// a bounded worker pool with first-error cancellation and per-job panic
+// isolation, and satisfies repeated specs from a content-addressed result
+// cache instead of re-simulating. See docs/ARCHITECTURE.md.
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"fdp/internal/core"
+	"fdp/internal/synth"
+)
+
+// Epoch is the simulator-semantics version of cached results. Any change
+// that alters simulation output — which by definition regenerates the
+// golden manifests (`make golden-update`) — MUST bump this constant so
+// stale on-disk cache entries are treated as misses instead of silently
+// replaying results from the old simulator. Representation-only changes
+// that keep the golden manifests byte-identical must NOT bump it, so
+// caches stay warm across them.
+const Epoch = 1
+
+// cacheSchema versions the on-disk cache entry layout itself (as opposed
+// to the simulator semantics, which Epoch tracks).
+const cacheSchema = 1
+
+// Spec declares one simulation: the full machine configuration, the
+// workload identity, and the warmup/measure instruction budget. Two specs
+// with equal Keys denote the same simulation and — the simulator being
+// deterministic — the same result; that is what makes results
+// content-addressable.
+type Spec struct {
+	// Config is the full machine configuration (part of the identity).
+	Config core.Config
+	// Workload, Class and Seed identify the deterministic instruction
+	// stream. For synthetic workloads the (name, seed) pair pins the
+	// generated program and all branch behaviour.
+	Workload string
+	Class    string
+	Seed     uint64
+	// Warmup and Measure are the instruction budgets.
+	Warmup  uint64
+	Measure uint64
+
+	// NewOracle produces a fresh oracle for the stream. It is the
+	// execution handle only — never part of the identity hash — and must
+	// yield the same instruction sequence every call (synth streams and
+	// trace replays both do).
+	NewOracle func() core.Oracle
+}
+
+// WorkloadSpec builds the Spec for one (config, synthetic workload,
+// budget) simulation.
+func WorkloadSpec(cfg core.Config, w *synth.Workload, warmup, measure uint64) Spec {
+	return Spec{
+		Config:   cfg,
+		Workload: w.Name,
+		Class:    w.Class,
+		Seed:     w.Seed,
+		Warmup:   warmup,
+		Measure:  measure,
+		NewOracle: func() core.Oracle {
+			return w.NewStream()
+		},
+	}
+}
+
+// Key returns the spec's stable content hash: sha256 over a versioned
+// preamble, the workload identity and budget, and the canonical JSON
+// encoding of the configuration. Adding a Config field changes the hash —
+// deliberately, since a new knob may change semantics. The simulator
+// Epoch is NOT part of the key; it is stored alongside cached entries and
+// checked on read, so an epoch bump invalidates entries without orphaning
+// the files. TestSpecKeyGolden pins the scheme against silent drift.
+func (s Spec) Key() string {
+	cfg, err := json.Marshal(s.Config)
+	if err != nil {
+		// core.Config is a plain data struct; its encoding cannot fail.
+		panic(fmt.Sprintf("runner: marshaling config: %v", err))
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "fdp-spec-v1|workload=%s|class=%s|seed=%d|warmup=%d|measure=%d|config=",
+		s.Workload, s.Class, s.Seed, s.Warmup, s.Measure)
+	h.Write(cfg)
+	return hex.EncodeToString(h.Sum(nil))
+}

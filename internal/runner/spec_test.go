@@ -1,0 +1,84 @@
+package runner
+
+import (
+	"testing"
+
+	"fdp/internal/core"
+	"fdp/internal/synth"
+)
+
+// goldenSpec is a fixed spec literal for the hash-stability test. The
+// config is deliberately mostly zero-valued: the test pins the hashing
+// scheme (preamble, field set, encoding), not any live default.
+func goldenSpec() Spec {
+	return Spec{
+		Config:   core.Config{Name: "golden-spec", FTQEntries: 4, BTBEntries: 1024},
+		Workload: "server_x",
+		Class:    "server",
+		Seed:     0xABCD,
+		Warmup:   1000,
+		Measure:  4000,
+	}
+}
+
+// goldenSpecKey pins the content-hash scheme. If this test fails, the
+// spec identity changed — a renamed/added core.Config field, a different
+// preamble, or a new encoding. That invalidates every existing cache
+// entry, which is correct, but it must be a *deliberate* choice: update
+// the constant only after confirming the change is intentional, and bump
+// Epoch if simulator semantics moved too.
+const goldenSpecKey = "549205536bc846daf06502830ab5d483692efbe03bab529ea93b988f1f53086c"
+
+func TestSpecKeyGolden(t *testing.T) {
+	s := goldenSpec()
+	if got := s.Key(); got != goldenSpecKey {
+		t.Fatalf("spec key drifted:\n got  %s\n want %s\n(see the comment on goldenSpecKey before updating)", got, goldenSpecKey)
+	}
+}
+
+// TestSpecKeySensitivity asserts every identity field changes the key and
+// the execution handle does not.
+func TestSpecKeySensitivity(t *testing.T) {
+	base := goldenSpec()
+	baseKey := base.Key()
+
+	mutations := map[string]func(*Spec){
+		"config":   func(s *Spec) { s.Config.FTQEntries = 24 },
+		"workload": func(s *Spec) { s.Workload = "server_y" },
+		"class":    func(s *Spec) { s.Class = "client" },
+		"seed":     func(s *Spec) { s.Seed++ },
+		"warmup":   func(s *Spec) { s.Warmup++ },
+		"measure":  func(s *Spec) { s.Measure++ },
+	}
+	for name, mutate := range mutations {
+		s := goldenSpec()
+		mutate(&s)
+		if s.Key() == baseKey {
+			t.Errorf("mutating %s did not change the key", name)
+		}
+	}
+
+	s := goldenSpec()
+	s.NewOracle = func() core.Oracle { return synth.ByName("server_a").NewStream() }
+	if s.Key() != baseKey {
+		t.Error("NewOracle leaked into the key")
+	}
+}
+
+// TestWorkloadSpec asserts the synth adapter carries the workload
+// identity and a working oracle.
+func TestWorkloadSpec(t *testing.T) {
+	w := synth.ByName("client_b")
+	cfg := core.DefaultConfig()
+	s := WorkloadSpec(cfg, w, 100, 200)
+	if s.Workload != w.Name || s.Class != w.Class || s.Seed != w.Seed {
+		t.Fatalf("identity mismatch: %+v vs workload %s/%s/%d", s, w.Name, w.Class, w.Seed)
+	}
+	if s.NewOracle == nil || s.NewOracle() == nil {
+		t.Fatal("no oracle")
+	}
+	// Same workload, same budget, same config => same key.
+	if s.Key() != WorkloadSpec(cfg, w, 100, 200).Key() {
+		t.Fatal("identical specs hash differently")
+	}
+}

@@ -322,6 +322,20 @@ func GeoMean(xs []float64) float64 {
 	return math.Exp(logSum / float64(n))
 }
 
+// GeoMeanIPC returns the geometric-mean IPC across runs — the paper's
+// cross-workload aggregation rule for absolute IPC, and the summary row
+// every sweep frontend prints. Nil runs are skipped.
+func GeoMeanIPC(runs []*Run) float64 {
+	ipcs := make([]float64, 0, len(runs))
+	for _, r := range runs {
+		if r == nil {
+			continue
+		}
+		ipcs = append(ipcs, r.IPC())
+	}
+	return GeoMean(ipcs)
+}
+
 // Mean returns the arithmetic mean of xs (empty slice yields 0).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

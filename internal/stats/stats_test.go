@@ -149,6 +149,20 @@ func TestGeoMeanAndMean(t *testing.T) {
 	}
 }
 
+func TestGeoMeanIPC(t *testing.T) {
+	runs := []*Run{
+		{Cycles: 1000, Instructions: 2000}, // IPC 2
+		nil,                                // skipped
+		{Cycles: 1000, Instructions: 8000}, // IPC 8
+	}
+	if got := GeoMeanIPC(runs); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMeanIPC = %v, want 4", got)
+	}
+	if got := GeoMeanIPC(nil); got != 0 {
+		t.Errorf("GeoMeanIPC(nil) = %v", got)
+	}
+}
+
 // Property: geomean of pairwise speedups is scale-invariant in cycles.
 func TestGeoMeanScaleInvariance(t *testing.T) {
 	f := func(aRaw, bRaw uint8) bool {

@@ -2,6 +2,7 @@ package synth
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 )
 
@@ -132,6 +133,37 @@ func ByName(name string) *Workload {
 		}
 	}
 	return nil
+}
+
+// Resolve returns the named standard workloads in the given order,
+// failing on the first unknown name.
+func Resolve(names ...string) ([]*Workload, error) {
+	ws := make([]*Workload, 0, len(names))
+	for _, name := range names {
+		w := ByName(name)
+		if w == nil {
+			return nil, fmt.Errorf("synth: unknown workload %q (have: %v)", name, Names())
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+// ParseList resolves a comma-separated workload list as the command-line
+// tools accept it: "all" (or "") yields the full standard set, otherwise
+// each name must be a standard workload. Whitespace around names is
+// ignored. This is the one shared parser for every frontend's -workload
+// flag.
+func ParseList(s string) ([]*Workload, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "all" {
+		return StandardWorkloads(), nil
+	}
+	names := strings.Split(s, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	return Resolve(names...)
 }
 
 // Names returns the names of the standard workloads in order.

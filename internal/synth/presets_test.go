@@ -1,0 +1,41 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	ws, err := Resolve("server_a", "spec_b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 || ws[0].Name != "server_a" || ws[1].Name != "spec_b" {
+		t.Fatalf("Resolve order/content wrong: %v", ws)
+	}
+	if _, err := Resolve("server_a", "nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("unknown name not reported: %v", err)
+	}
+}
+
+func TestParseList(t *testing.T) {
+	for _, all := range []string{"all", "", "  all  "} {
+		ws, err := ParseList(all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ws) != len(StandardWorkloads()) {
+			t.Fatalf("ParseList(%q) = %d workloads", all, len(ws))
+		}
+	}
+	ws, err := ParseList(" server_a , client_b ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 || ws[0].Name != "server_a" || ws[1].Name != "client_b" {
+		t.Fatalf("ParseList did not trim/resolve: %v", ws)
+	}
+	if _, err := ParseList("server_a,bogus"); err == nil {
+		t.Fatal("bogus name accepted")
+	}
+}
