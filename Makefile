@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci build vet test race fuzz bench bench-check golden-update clean experiments-smoke
+.PHONY: ci build vet test race fuzz bench bench-check golden-update clean experiments-smoke accounting-check
 
-ci: vet build race fuzz experiments-smoke
+ci: vet build race fuzz experiments-smoke accounting-check
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,7 @@ race:
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzHistogram -fuzztime=$(FUZZTIME) ./internal/obs
 	$(GO) test -run=^$$ -fuzz=FuzzEventJSONL -fuzztime=$(FUZZTIME) ./internal/obs
+	$(GO) test -run=^$$ -fuzz=FuzzIntervalJSONL -fuzztime=$(FUZZTIME) ./internal/obs
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run=^$$ -fuzz=FuzzBatchedDecode -fuzztime=$(FUZZTIME) ./internal/trace
 
@@ -67,6 +68,14 @@ experiments-smoke:
 	grep '^runner:' "$$dir/second.out" && \
 	grep -q 'cache_hits=[1-9]' "$$dir/second.out" || \
 	{ echo "experiments-smoke: second run had no cache hits" >&2; exit 1; }
+
+# Cycle-accounting conservation smoke: simulate a golden workload with
+# manifests on stdout and pipe them through acctcheck, which asserts the
+# top-down accounting buckets sum exactly to run.cycles. The unit tests
+# (TestAccountingConservation) cover all golden cases; this proves the
+# same invariant end to end through the CLI plumbing.
+accounting-check:
+	$(GO) run ./cmd/fdpsim -workload server_a,client_a -warmup 50000 -measure 150000 -metrics - | $(GO) run ./cmd/acctcheck
 
 # Regenerate the golden-run manifests after an intentional simulator
 # change; review the diff before committing. Cached runner results are

@@ -1,0 +1,177 @@
+package fdp
+
+import (
+	"bytes"
+	"testing"
+
+	"fdp/internal/obs"
+)
+
+// TestAccountingConservation asserts the top-down cycle-accounting
+// invariants on every golden workload: the bucket sum equals the measured
+// cycle count exactly (every cycle is attributed to exactly one bucket),
+// the non-delivering buckets decompose StarvationCycles, and delivering
+// is its complement.
+func TestAccountingConservation(t *testing.T) {
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			w := WorkloadByName(c.workload)
+			r, err := Simulate(c.cfg, w, c.warmup, c.measure)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum uint64
+			for _, n := range r.Acct {
+				sum += n
+			}
+			if sum != r.Cycles {
+				t.Errorf("bucket sum %d != measured cycles %d", sum, r.Cycles)
+			}
+			if stalled := sum - r.Acct[obs.AcctDelivering]; stalled != r.StarvationCycles {
+				t.Errorf("non-delivering buckets sum to %d, want StarvationCycles %d",
+					stalled, r.StarvationCycles)
+			}
+			if r.Acct[obs.AcctDelivering] != r.Cycles-r.StarvationCycles {
+				t.Errorf("delivering = %d, want cycles - starvation = %d",
+					r.Acct[obs.AcctDelivering], r.Cycles-r.StarvationCycles)
+			}
+			// The manifest counter family must round-trip the vector.
+			counters := r.Counters()
+			v, ok := obs.AcctVector(counters)
+			if !ok {
+				t.Fatal("Counters() does not carry the full acct.* family")
+			}
+			if v != r.Acct {
+				t.Errorf("AcctVector(Counters()) = %v, want %v", v, r.Acct)
+			}
+		})
+	}
+}
+
+// TestAccountingNonTrivial guards against a degenerate classifier: on the
+// default FDP config over a frontend-bound workload, both delivering and
+// L1I-miss-starved cycles must appear, and a misprediction-prone run must
+// charge flush recovery.
+func TestAccountingNonTrivial(t *testing.T) {
+	c := goldenCases()[0]
+	w := WorkloadByName(c.workload)
+	r, err := Simulate(c.cfg, w, c.warmup, c.measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int{obs.AcctDelivering, obs.AcctL1IMissStarved, obs.AcctFlushRecovery} {
+		if r.Acct[b] == 0 {
+			t.Errorf("bucket %s is zero on %s — classifier degenerate?",
+				obs.AcctBucketNames[b], c.workload)
+		}
+	}
+	if r.AcctTotal() != r.Cycles {
+		t.Errorf("AcctTotal() = %d, want %d", r.AcctTotal(), r.Cycles)
+	}
+	var shares float64
+	for b := range r.Acct {
+		shares += r.AcctShare(b)
+	}
+	if shares < 0.999 || shares > 1.001 {
+		t.Errorf("bucket shares sum to %v, want 1", shares)
+	}
+}
+
+// TestIntervalsPartitionRun asserts the interval time-series is an exact
+// partition of the measured region: per-record window lengths equal the
+// accounting vector sum, and summing every record's deltas reproduces the
+// end-of-run totals (instructions, L1I misses, accounting vector).
+func TestIntervalsPartitionRun(t *testing.T) {
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			const every = 5000
+			w := WorkloadByName(c.workload)
+			p := NewProbes()
+			p.EnableIntervals(every)
+			r, err := SimulateObserved(c.cfg, w, c.warmup, c.measure, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs := p.Intervals.Records()
+			if len(recs) == 0 {
+				t.Fatal("no interval records")
+			}
+			var insts, misses uint64
+			var acct [obs.NumAcctBuckets]uint64
+			prevCycle := uint64(0)
+			for i, rec := range recs {
+				if i > 0 && rec.Cycle-prevCycle != rec.Cycles() && i != len(recs)-1 {
+					t.Errorf("record %d: cycle delta %d != window length %d",
+						i, rec.Cycle-prevCycle, rec.Cycles())
+				}
+				prevCycle = rec.Cycle
+				insts += rec.Instructions
+				misses += rec.L1IMisses
+				for b := range rec.Acct {
+					acct[b] += rec.Acct[b]
+				}
+			}
+			if insts != r.Instructions {
+				t.Errorf("interval instructions sum %d != run instructions %d", insts, r.Instructions)
+			}
+			if misses != r.L1IMisses {
+				t.Errorf("interval L1I misses sum %d != run misses %d", misses, r.L1IMisses)
+			}
+			if acct != r.Acct {
+				t.Errorf("interval accounting sum %v != run accounting %v", acct, r.Acct)
+			}
+
+			// The windows must cover the measurement exactly: sum of window
+			// lengths == measured cycles.
+			var cov uint64
+			for _, rec := range recs {
+				cov += rec.Cycles()
+			}
+			if cov != r.Cycles {
+				t.Errorf("interval windows cover %d cycles, run measured %d", cov, r.Cycles)
+			}
+
+			// And the JSONL codec round-trips the whole series.
+			var buf bytes.Buffer
+			if err := obs.WriteRunIntervals(&buf, c.name, every, recs); err != nil {
+				t.Fatal(err)
+			}
+			back, err := obs.ReadIntervalJSONL(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(back) != len(recs) {
+				t.Fatalf("round trip lost records: %d != %d", len(back), len(recs))
+			}
+			for i := range recs {
+				if back[i] != recs[i] {
+					t.Errorf("record %d changed in round trip", i)
+				}
+			}
+		})
+	}
+}
+
+// TestIntervalManifestCounters checks that an interval-enabled run's
+// manifest reports the interval.every / interval.records counters.
+func TestIntervalManifestCounters(t *testing.T) {
+	c := goldenCases()[0]
+	w := WorkloadByName(c.workload)
+	p := NewProbes()
+	p.EnableIntervals(10_000)
+	r, err := SimulateObserved(c.cfg, w, c.warmup, c.measure, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := RunManifest(c.cfg, w, r, p, c.warmup, c.measure)
+	if m.Counters["interval.every"] != 10_000 {
+		t.Errorf("interval.every = %d", m.Counters["interval.every"])
+	}
+	if got := m.Counters["interval.records"]; got != uint64(len(p.Intervals.Records())) || got == 0 {
+		t.Errorf("interval.records = %d, recorder has %d", got, len(p.Intervals.Records()))
+	}
+}

@@ -1,0 +1,111 @@
+// Command acctcheck verifies the cycle-accounting conservation invariant
+// on a manifests JSONL stream: for every manifest carrying the acct.*
+// counter family, the bucket sum must equal run.cycles exactly. It reads
+// stdin (or the files given as arguments), skips non-JSON lines — so
+// `fdpsim -metrics - | acctcheck` works even though the results table
+// shares stdout — and exits non-zero on any violation or if no manifest
+// could be checked at all.
+//
+// Usage:
+//
+//	fdpsim -workload server_a -metrics - | acctcheck
+//	acctcheck manifests.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"fdp/internal/obs"
+)
+
+func main() {
+	checked, failed := 0, 0
+	verify := func(r io.Reader, name string) {
+		c, f := verifyStream(r, name)
+		checked += c
+		failed += f
+	}
+	if flagArgs := os.Args[1:]; len(flagArgs) > 0 {
+		for _, path := range flagArgs {
+			f, err := os.Open(path)
+			if err != nil {
+				fatal("%v", err)
+			}
+			verify(f, path)
+			f.Close()
+		}
+	} else {
+		verify(os.Stdin, "stdin")
+	}
+	if checked == 0 {
+		fatal("no manifests with an acct.* counter family found")
+	}
+	if failed > 0 {
+		fatal("%d of %d manifests violate cycle-accounting conservation", failed, checked)
+	}
+	fmt.Printf("acctcheck: %d manifests conserve cycles (bucket sum == run.cycles)\n", checked)
+}
+
+// verifyStream checks every acct-carrying manifest line in r and returns
+// (checked, failed) counts. Lines that are not JSON objects (the results
+// table on a shared stdout) or manifests without the acct family (the
+// __runner__ summary) are skipped.
+func verifyStream(r io.Reader, name string) (checked, failed int) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 || line[0] != '{' {
+			continue
+		}
+		var m obs.Manifest
+		if err := json.Unmarshal(line, &m); err != nil {
+			continue
+		}
+		v, ok := obs.AcctVector(m.Counters)
+		if !ok {
+			continue
+		}
+		checked++
+		var sum uint64
+		for _, n := range v {
+			sum += n
+		}
+		if cycles := m.Counters["run.cycles"]; sum != cycles {
+			failed++
+			fmt.Fprintf(os.Stderr, "acctcheck: %s:%d: %s/%s: bucket sum %d != run.cycles %d\n",
+				name, lineNo, monitorConfigName(m.Config), m.Workload, sum, cycles)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal("reading %s: %v", name, err)
+	}
+	return checked, failed
+}
+
+// monitorConfigName mirrors monitor.ConfigName without pulling the HTTP
+// monitor into this tiny checker.
+func monitorConfigName(cfg any) string {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return ""
+	}
+	var v struct {
+		Name string `json:"Name"`
+	}
+	if json.Unmarshal(b, &v) != nil {
+		return ""
+	}
+	return v.Name
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "acctcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"fdp/internal/experiments"
+	"fdp/internal/monitor"
 	"fdp/internal/obs"
 	"fdp/internal/runner"
 )
@@ -44,9 +45,10 @@ func main() {
 		cacheDir = flag.String("cache", "", "store and reuse simulation results in this directory")
 		resume   = flag.Bool("resume", false, "shorthand for -cache ./"+defaultCacheDir)
 
-		metricsOut = flag.String("metrics", "", "write every run's observability manifest as JSONL to this file")
-		traceOut   = flag.String("trace", "", "write pipeline event traces as JSONL to this file")
+		metricsOut = flag.String("metrics", "", "write every run's observability manifest as JSONL to this file ('-' for stdout)")
+		traceOut   = flag.String("trace", "", "write pipeline event traces as JSONL to this file ('-' for stdout)")
 		traceCap   = flag.Int("trace-cap", 1<<14, "event-trace ring capacity (last N events per run)")
+		httpAddr   = flag.String("http", "", "serve live telemetry on this address (/metrics, /progress, /debug/pprof)")
 		pprofOut   = flag.String("pprof", "", "write a CPU profile of the experiment run to this file")
 	)
 	flag.Parse()
@@ -111,21 +113,35 @@ func main() {
 		manifests = obs.NewManifestLog()
 		opts.Manifests = manifests
 	}
-	var traceW *os.File
 	if *traceOut != "" {
 		if *traceCap <= 0 {
 			fmt.Fprintf(os.Stderr, "experiments: -trace-cap must be positive (got %d)\n", *traceCap)
 			os.Exit(1)
 		}
-		f, err := os.Create(*traceOut)
+		traceW, err := obs.OpenSink(*traceOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
-		traceW = f
 		defer traceW.Close()
 		opts.TraceCap = *traceCap
 		opts.TraceSink = traceW
+		// The result cache cannot replay trace output, so every run
+		// re-simulates while tracing — say so instead of silently ignoring
+		// the cache (which this command always creates).
+		fmt.Fprintln(os.Stderr, "experiments: warning: the result cache is bypassed while -trace is active (traces cannot be replayed from cached results)")
+	}
+
+	if *httpAddr != "" {
+		opts.Status = &runner.Status{}
+		opts.Live = obs.NewManifestLog()
+		srv, err := monitor.Start(*httpAddr, monitor.Source{Status: opts.Status, Manifests: opts.Live})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: live telemetry on http://%s (/metrics, /progress, /debug/pprof)\n", srv.Addr())
 	}
 
 	var todo []experiments.Experiment
@@ -177,7 +193,7 @@ func main() {
 	fmt.Printf("runner: jobs=%d cache_hits=%d cache_misses=%d\n", jobs, hits, misses)
 
 	if manifests != nil {
-		f, err := os.Create(*metricsOut)
+		f, err := obs.OpenSink(*metricsOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)

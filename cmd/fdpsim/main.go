@@ -14,6 +14,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/pprof"
 	"strings"
@@ -45,10 +46,12 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "concurrent simulations with -workload all (0 = GOMAXPROCS)")
 		cacheDir   = flag.String("cache", "", "reuse results from this on-disk cache directory (synthetic workloads only)")
 
-		metricsOut = flag.String("metrics", "", "write per-run observability manifests (JSONL; '-' for stdout)")
-		traceOut   = flag.String("trace", "", "write the pipeline event trace as JSONL to this file")
-		traceCap   = flag.Int("trace-cap", 1<<16, "event-trace ring capacity (last N events per run)")
-		pprofOut   = flag.String("pprof", "", "write a CPU profile of the simulation to this file")
+		metricsOut   = flag.String("metrics", "", "write per-run observability manifests (JSONL; '-' for stdout)")
+		traceOut     = flag.String("trace", "", "write the pipeline event trace as JSONL to this file ('-' for stdout)")
+		traceCap     = flag.Int("trace-cap", 1<<16, "event-trace ring capacity (last N events per run)")
+		intervals    = flag.Uint64("intervals", 0, "snapshot the cycle-accounting time-series every N cycles (0 = off)")
+		intervalsOut = flag.String("intervals-out", "", "write interval records as JSONL to this file ('-' for stdout)")
+		pprofOut     = flag.String("pprof", "", "write a CPU profile of the simulation to this file")
 	)
 	flag.Parse()
 
@@ -101,7 +104,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	var metricsW, traceW *os.File
+	var metricsW, traceW, intervalsW io.WriteCloser
 	if *metricsOut != "" {
 		metricsW = createOut(*metricsOut)
 		defer metricsW.Close()
@@ -118,7 +121,20 @@ func main() {
 		traceW = createOut(*traceOut)
 		defer traceW.Close()
 	}
-	observed := metricsW != nil || traceW != nil
+	if *intervals > 0 && *intervalsOut == "" {
+		fatal("-intervals requires -intervals-out")
+	}
+	if *intervalsOut != "" {
+		if *intervals == 0 {
+			fatal("-intervals-out requires -intervals N")
+		}
+		intervalsW = createOut(*intervalsOut)
+		defer intervalsW.Close()
+	}
+	if *cacheDir != "" && (traceW != nil || intervalsW != nil) {
+		fmt.Fprintln(os.Stderr, "fdpsim: warning: -cache is bypassed while -trace or -intervals is active (non-replayable side outputs)")
+	}
+	observed := metricsW != nil || traceW != nil || intervalsW != nil
 	gitRev := ""
 	if metricsW != nil {
 		gitRev = obs.GitDescribe()
@@ -144,6 +160,9 @@ func main() {
 			if traceW != nil {
 				p.EnableTrace(*traceCap)
 			}
+			if intervalsW != nil {
+				p.EnableIntervals(*intervals)
+			}
 		}
 		r, err := core.SimulateObserved(cfg, oracle, name, *warmup, *measure, p)
 		if err != nil {
@@ -162,6 +181,12 @@ func main() {
 		if traceW != nil {
 			if err := obs.WriteRunTrace(traceW, cfg.Name+"/"+name, p.Tracer); err != nil {
 				fatal("writing trace: %v", err)
+			}
+		}
+		if intervalsW != nil {
+			if err := obs.WriteRunIntervals(intervalsW, cfg.Name+"/"+name,
+				p.Intervals.Every(), p.Intervals.Records()); err != nil {
+				fatal("writing intervals: %v", err)
 			}
 		}
 	}
@@ -200,6 +225,10 @@ func main() {
 		ropts.TraceCap = *traceCap
 		ropts.TraceSink = traceW
 	}
+	if intervalsW != nil {
+		ropts.IntervalEvery = *intervals
+		ropts.IntervalSink = intervalsW
+	}
 	specs := make([]runner.Spec, 0, len(workloads))
 	for _, w := range workloads {
 		specs = append(specs, runner.WorkloadSpec(cfg, w, *warmup, *measure))
@@ -226,15 +255,12 @@ func main() {
 }
 
 // createOut opens path for writing ("-" means stdout).
-func createOut(path string) *os.File {
-	if path == "-" {
-		return os.Stdout
-	}
-	f, err := os.Create(path)
+func createOut(path string) io.WriteCloser {
+	w, err := obs.OpenSink(path)
 	if err != nil {
 		fatal("%v", err)
 	}
-	return f
+	return w
 }
 
 func fatal(format string, args ...interface{}) {

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"fdp/internal/monitor"
+	"fdp/internal/obs"
+	"fdp/internal/stats"
+)
+
+// readManifests parses a manifests JSONL stream (as written by fdpsim,
+// sweep or experiments -metrics), skipping blank lines.
+func readManifests(r io.Reader) ([]*obs.Manifest, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var out []*obs.Manifest
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var m obs.Manifest
+		if err := json.Unmarshal(line, &m); err != nil {
+			return nil, fmt.Errorf("manifest line %d: %w", len(out)+1, err)
+		}
+		out = append(out, &m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// accountingTable renders the top-down frontend cycle-accounting section:
+// one row per (config, workload) run with an acct.* counter family,
+// showing IPC and each bucket's share of measured cycles. Duplicate
+// (config, workload) pairs — the shared baseline appears in many
+// experiments — keep their first occurrence only.
+func accountingTable(ms []*obs.Manifest) *stats.Table {
+	header := []string{"config", "workload", "IPC"}
+	for _, name := range obs.AcctBucketNames {
+		header = append(header, name+"%")
+	}
+	t := stats.NewTable("Frontend cycle accounting (share of measured cycles)", header...)
+
+	type row struct {
+		config, workload string
+		ipc              float64
+		shares           [obs.NumAcctBuckets]float64
+	}
+	seen := make(map[string]bool)
+	var rows []row
+	for _, m := range ms {
+		v, ok := obs.AcctVector(m.Counters)
+		if !ok {
+			continue // pre-accounting manifest or the __runner__ summary
+		}
+		cfg := monitor.ConfigName(m.Config)
+		key := cfg + "\x00" + m.Workload
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		var total uint64
+		for _, n := range v {
+			total += n
+		}
+		r := row{config: cfg, workload: m.Workload, ipc: m.Derived["ipc"]}
+		if total > 0 {
+			for b, n := range v {
+				r.shares[b] = 100 * float64(n) / float64(total)
+			}
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].config != rows[j].config {
+			return rows[i].config < rows[j].config
+		}
+		return rows[i].workload < rows[j].workload
+	})
+	for _, r := range rows {
+		cells := []interface{}{r.config, r.workload, r.ipc}
+		for _, s := range r.shares {
+			cells = append(cells, fmt.Sprintf("%.1f", s))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fdp/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite the accounting golden file")
+
+// TestAccountingGolden pins the accounting section's rendering over a
+// fixed manifests JSONL fixture: read → table → byte-compare. The fixture
+// includes a duplicate (config, workload) line and an acct-less summary
+// manifest, so dedupe and skip behaviour are covered by the same bytes.
+func TestAccountingGolden(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "manifests.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ms, err := readManifests(f)
+	if err != nil {
+		t.Fatalf("readManifests: %v", err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("fixture has %d manifests, want 4", len(ms))
+	}
+
+	got := accountingTable(ms).String()
+	golden := filepath.Join("testdata", "accounting.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/report -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("accounting table drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestAccountingTableContent checks the semantic properties the golden
+// bytes cannot explain: dedupe, bucket-share normalization, and the
+// acct-less manifest being excluded.
+func TestAccountingTableContent(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "manifests.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ms, err := readManifests(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := accountingTable(ms).String()
+	if strings.Contains(out, "__runner__") {
+		t.Errorf("acct-less summary manifest leaked into the table:\n%s", out)
+	}
+	if n := strings.Count(out, "server_a"); n != 1 {
+		t.Errorf("duplicate (config, workload) not deduped: server_a appears %d times\n%s", n, out)
+	}
+	for _, m := range ms {
+		v, ok := obs.AcctVector(m.Counters)
+		if !ok {
+			continue
+		}
+		var sum uint64
+		for _, n := range v {
+			sum += n
+		}
+		if sum != m.Counters["run.cycles"] {
+			t.Errorf("%s: acct sum %d != run.cycles %d", m.Workload, sum, m.Counters["run.cycles"])
+		}
+	}
+}
+
+// TestReadManifestsErrors covers the failure paths.
+func TestReadManifestsErrors(t *testing.T) {
+	if _, err := readManifests(strings.NewReader("not json\n")); err == nil {
+		t.Error("malformed line should error")
+	}
+	ms, err := readManifests(strings.NewReader("\n\n"))
+	if err != nil || len(ms) != 0 {
+		t.Errorf("blank lines: got %d manifests, err %v", len(ms), err)
+	}
+}

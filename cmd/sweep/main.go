@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"fdp/internal/core"
+	"fdp/internal/monitor"
 	"fdp/internal/obs"
 	"fdp/internal/runner"
 	"fdp/internal/stats"
@@ -68,10 +69,13 @@ func run(args []string, stdout io.Writer) error {
 		parallel  = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cacheDir  = fs.String("cache", "", "reuse results from this on-disk cache directory")
 
-		metricsOut = fs.String("metrics", "", "write per-run observability manifests as JSONL to this file")
-		traceOut   = fs.String("trace", "", "write pipeline event traces as JSONL to this file")
-		traceCap   = fs.Int("trace-cap", 1<<14, "event-trace ring capacity (last N events per run)")
-		pprofOut   = fs.String("pprof", "", "write a CPU profile of the sweep to this file")
+		metricsOut   = fs.String("metrics", "", "write per-run observability manifests as JSONL to this file ('-' for stdout)")
+		traceOut     = fs.String("trace", "", "write pipeline event traces as JSONL to this file ('-' for stdout)")
+		traceCap     = fs.Int("trace-cap", 1<<14, "event-trace ring capacity (last N events per run)")
+		intervals    = fs.Uint64("intervals", 0, "snapshot each run's cycle-accounting time-series every N cycles (0 = off)")
+		intervalsOut = fs.String("intervals-out", "", "write interval records as JSONL to this file ('-' for stdout)")
+		httpAddr     = fs.String("http", "", "serve live telemetry on this address (/metrics, /progress, /debug/pprof)")
+		pprofOut     = fs.String("pprof", "", "write a CPU profile of the sweep to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,25 +91,42 @@ func run(args []string, stdout io.Writer) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	var metricsW, traceW *os.File
+	var metricsW, traceW, intervalsW io.WriteCloser
 	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
+		w, err := obs.OpenSink(*metricsOut)
 		if err != nil {
 			return err
 		}
-		metricsW = f
+		metricsW = w
 		defer metricsW.Close()
 	}
 	if *traceOut != "" {
 		if *traceCap <= 0 {
 			return fmt.Errorf("-trace-cap must be positive (got %d)", *traceCap)
 		}
-		f, err := os.Create(*traceOut)
+		w, err := obs.OpenSink(*traceOut)
 		if err != nil {
 			return err
 		}
-		traceW = f
+		traceW = w
 		defer traceW.Close()
+	}
+	if *intervals > 0 && *intervalsOut == "" {
+		return fmt.Errorf("-intervals requires -intervals-out")
+	}
+	if *intervalsOut != "" {
+		if *intervals == 0 {
+			return fmt.Errorf("-intervals-out requires -intervals N")
+		}
+		w, err := obs.OpenSink(*intervalsOut)
+		if err != nil {
+			return err
+		}
+		intervalsW = w
+		defer intervalsW.Close()
+	}
+	if *cacheDir != "" && (traceW != nil || intervalsW != nil) {
+		fmt.Fprintln(os.Stderr, "sweep: warning: -cache is bypassed while -trace or -intervals is active (non-replayable side outputs)")
 	}
 	gitRev := ""
 	if metricsW != nil {
@@ -137,11 +158,25 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	observed := metricsW != nil || traceW != nil
+	observed := metricsW != nil || traceW != nil || intervalsW != nil || *httpAddr != ""
 	ropts := runner.Options{Parallel: *parallel, Cache: cache, Observe: observed}
 	if traceW != nil {
 		ropts.TraceCap = *traceCap
 		ropts.TraceSink = traceW
+	}
+	if intervalsW != nil {
+		ropts.IntervalEvery = *intervals
+		ropts.IntervalSink = intervalsW
+	}
+	if *httpAddr != "" {
+		ropts.Status = &runner.Status{}
+		ropts.Manifests = obs.NewManifestLog()
+		srv, err := monitor.Start(*httpAddr, monitor.Source{Status: ropts.Status, Manifests: ropts.Manifests})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sweep: live telemetry on http://%s (/metrics, /progress, /debug/pprof)\n", srv.Addr())
 	}
 
 	specs := make([]runner.Spec, 0, len(values)*len(workloads))

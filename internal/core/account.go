@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fdp/internal/ftq"
+	"fdp/internal/obs"
+)
+
+// resteerCause records why the prediction pipeline was last restarted,
+// so recovery-bubble cycles (c.now < c.predStallUntil) can be attributed
+// to the redirect that caused them.
+type resteerCause uint8
+
+const (
+	// resteerNone: no redirect charged the current stall (e.g. the
+	// two-level BTB's L2 bubble, or the initial state).
+	resteerNone resteerCause = iota
+	// resteerPFC: a post-fetch-correction re-steer.
+	resteerPFC
+	// resteerFlush: a resolve-time misprediction flush.
+	resteerFlush
+	// resteerFixup: a GHR-fixup frontend flush.
+	resteerFixup
+)
+
+// accountCycle attributes the cycle that just executed to exactly one
+// bucket of the top-down taxonomy (obs.AcctBucketNames). It runs
+// unconditionally — the accounting vector lives on stats.Run, costs one
+// array increment per cycle, and never allocates — so the conservation
+// invariant (bucket sum == measured cycles) holds by construction.
+func (c *Core) accountCycle() {
+	c.run.Acct[c.classifyCycle()]++
+}
+
+// classifyCycle implements the taxonomy's priority rules, evaluated at
+// the same end-of-cycle sample point as StarvationCycles:
+//
+//  1. delivering        — the decode queue holds a full decode-width
+//                         group; the frontend kept the backend fed.
+//  2. flush_recovery    — a misprediction flush is pending at resolve,
+//                         or the prediction pipeline is restarting after
+//                         a resolve or GHR-fixup flush.
+//  3. resteer_recovery  — the prediction pipeline is restarting after a
+//                         PFC redirect.
+//  4. ftq_empty         — no FTQ entries to fetch from (including pure
+//                         prediction bubbles such as the two-level BTB's
+//                         L2 penalty): the prediction pipeline is the
+//                         bottleneck.
+//  5. l1i_miss_starved  — the FTQ head is waiting on an I-cache fill.
+//  6. mshr_backpressure — a demand fill could not launch this cycle
+//                         because the MSHRs were full.
+//  7. fetch_partial     — fetchable work exists but delivery stayed
+//                         under decode width (partial blocks,
+//                         taken-branch fragmentation, tag-probe
+//                         bandwidth, fill-pipeline skew).
+//
+// Recovery windows (rules 2-3) take priority over the FTQ head's state:
+// once a redirect restarts the pipeline, the whole bubble is charged to
+// the redirect, matching how the paper reasons about PFC/flush cost.
+func (c *Core) classifyCycle() int {
+	if c.dqLen >= c.cfg.DecodeWidth {
+		return obs.AcctDelivering
+	}
+	if c.diverged {
+		return obs.AcctFlushRecovery
+	}
+	if c.now < c.predStallUntil {
+		switch c.lastResteer {
+		case resteerPFC:
+			return obs.AcctResteerRecovery
+		case resteerFlush, resteerFixup:
+			return obs.AcctFlushRecovery
+		default:
+			return obs.AcctFTQEmpty
+		}
+	}
+	head := c.q.Head()
+	if head == nil {
+		return obs.AcctFTQEmpty
+	}
+	switch {
+	case head.State == ftq.StateWaitFill:
+		return obs.AcctL1IMissStarved
+	case c.acctMSHRFull:
+		return obs.AcctMSHRBackpressure
+	default:
+		return obs.AcctFetchPartial
+	}
+}
+
+// snapshotInterval records one interval time-series sample: the
+// accounting deltas since the previous snapshot, the retired-instruction
+// and demand-L1I-miss deltas, and the instantaneous FTQ occupancy. The
+// rebase fields make consecutive records exact partitions of the run, so
+// summing a run's records reproduces its end-of-run accounting vector.
+func (c *Core) snapshotInterval(iv *obs.IntervalRecorder) {
+	rec := obs.IntervalRecord{
+		Cycle:        c.now,
+		Instructions: c.retired - c.ivRetired,
+		L1IMisses:    c.run.L1IMisses - c.ivMisses,
+		FTQOcc:       uint64(c.q.Len()),
+	}
+	for b := range rec.Acct {
+		rec.Acct[b] = c.run.Acct[b] - c.ivAcct[b]
+	}
+	c.ivAcct = c.run.Acct
+	c.ivCycle, c.ivRetired, c.ivMisses = c.now, c.retired, c.run.L1IMisses
+	iv.Record(rec)
+}
+
+// rebaseIntervals re-anchors the interval delta baselines to the current
+// machine state (measurement start, after the stats reset).
+func (c *Core) rebaseIntervals() {
+	c.ivAcct = c.run.Acct
+	c.ivCycle, c.ivRetired, c.ivMisses = c.now, c.retired, c.run.L1IMisses
+}

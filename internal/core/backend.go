@@ -186,7 +186,7 @@ func (c *Core) applyFlush() {
 	c.dqHead, c.dqLen = 0, 0
 	c.histSpec.CopyFrom(c.histArch)
 	c.rasSpec.CopyFrom(c.rasArch)
-	c.resteer(c.flushTo)
+	c.resteer(c.flushTo, resteerFlush)
 }
 
 // countWrongPathFills tallies squashed entries of one contiguous FTQ view

@@ -120,6 +120,17 @@ type Core struct {
 	winStart   uint64 // cycle at the start of the current IPC window
 	winRetired uint64 // retired count at the start of the window
 
+	// Cycle-accounting state (see account.go). acctMSHRFull marks that a
+	// demand fill was refused by full MSHRs this cycle; lastResteer records
+	// which redirect kind charged the current predStallUntil window; the
+	// iv* fields are the delta baselines of the interval time-series.
+	acctMSHRFull bool
+	lastResteer  resteerCause
+	ivCycle      uint64
+	ivRetired    uint64
+	ivMisses     uint64
+	ivAcct       [obs.NumAcctBuckets]uint64
+
 	// debugMispred, when set, observes every misprediction (tests only).
 	debugMispred func(u uop, dyn program.DynInst)
 }
@@ -246,6 +257,7 @@ const ipcWindow = 10_000
 // cycle advances the machine one clock.
 func (c *Core) cycle() {
 	c.now++
+	c.acctMSHRFull = false
 	if c.obs != nil {
 		c.obs.Tracer.SetCycle(c.now)
 	}
@@ -258,11 +270,15 @@ func (c *Core) cycle() {
 	if c.dqLen < c.cfg.DecodeWidth {
 		c.run.StarvationCycles++
 	}
+	c.accountCycle()
 	c.run.FTQOccupancySum += uint64(c.q.Len())
 	if c.obs != nil {
 		// Same sampling point as FTQOccupancySum, so the histogram mean
 		// matches MeanFTQOccupancy.
 		c.obs.FTQOcc.Observe(uint64(c.q.Len()))
+		if iv := c.obs.Intervals; iv != nil && c.now-c.ivCycle >= iv.Every() {
+			c.snapshotInterval(iv)
+		}
 	}
 
 	if c.retired-c.winRetired >= ipcWindow {
@@ -358,10 +374,18 @@ func (c *Core) resetStats() {
 	c.winStart = c.now
 	c.winRetired = c.retired
 	c.obs.Reset()
+	c.rebaseIntervals()
 }
 
 // finalize folds cache-level counters into the run record.
 func (c *Core) finalize() {
+	if c.obs != nil {
+		// Flush the trailing partial interval so the time-series records
+		// partition the run exactly (their sums match the run totals).
+		if iv := c.obs.Intervals; iv != nil && c.now > c.ivCycle {
+			c.snapshotInterval(iv)
+		}
+	}
 	c.run.L1ITagProbes = c.hier.L1I.Probes
 	c.run.PrefetchUseful = c.hier.L1I.PrefHits
 	if c.bb != nil {

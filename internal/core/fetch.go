@@ -148,7 +148,9 @@ func (c *Core) fillScan() {
 		}
 		done, ok := c.hier.RequestFill(line, false, c.now)
 		if !ok {
-			// MSHR full; retry next cycle.
+			// MSHR full; retry next cycle. Flag the refusal so the cycle
+			// classifier can attribute starvation to MSHR backpressure.
+			c.acctMSHRFull = true
 			rq[w] = e
 			w++
 			continue
@@ -342,7 +344,7 @@ func (c *Core) doPFC(e *ftq.Entry, o int, si program.StaticInst) {
 	}
 	c.q.TruncateAfter(0) // e is the head (fetchable), so no ready entries remain
 	c.readyQ = c.readyQ[:0]
-	c.resteer(target)
+	c.resteer(target, resteerPFC)
 }
 
 // replayHistory re-applies the per-instruction history effects of entry e
@@ -406,13 +408,15 @@ func (c *Core) doHistFixup(e *ftq.Entry) {
 	}
 	c.q.TruncateAfter(0) // e is the head (fetchable), so no ready entries remain
 	c.readyQ = c.readyQ[:0]
-	c.resteer(e.NextPC)
+	c.resteer(e.NextPC, resteerFixup)
 }
 
-// resteer restarts the prediction pipeline at pc after a frontend-local
-// redirect (PFC or history fixup), charging the pipeline restart latency.
-func (c *Core) resteer(pc uint64) {
+// resteer restarts the prediction pipeline at pc after a redirect (PFC,
+// history fixup or resolve-time flush), charging the pipeline restart
+// latency. The cause tags the recovery bubble for cycle accounting.
+func (c *Core) resteer(pc uint64, cause resteerCause) {
 	c.specPC = pc
+	c.lastResteer = cause
 	c.predStallUntil = c.now + uint64(c.cfg.BTBLatency)
 	if c.bb != nil {
 		// Redirect targets are block starts: re-synchronize the walk.

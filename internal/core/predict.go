@@ -123,6 +123,9 @@ func (c *Core) predictBlock(budget int) (used int, takenEnd bool) {
 		// level pays the slower array's bubble.
 		if c.twoLevel != nil && c.twoLevel.LastFromL2 {
 			c.predStallUntil = c.now + uint64(c.cfg.L2BTBPenalty)
+			// Not a redirect: the bubble is a prediction-supply stall, so
+			// the classifier should see it as ftq_empty, not recovery.
+			c.lastResteer = resteerNone
 		}
 		// Basic-block mode: the taken target starts a new block.
 		if c.bb != nil {

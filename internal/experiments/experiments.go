@@ -58,11 +58,20 @@ type Options struct {
 	// RunnerReg, when non-nil, receives the scheduler's execution metrics
 	// (runner_jobs, runner_cache_hits, runner_queue_depth, ...).
 	RunnerReg *obs.Registry
+	// Status, when non-nil, receives live job progress updates readable
+	// from any goroutine while experiments run (the HTTP monitor's
+	// /progress source).
+	Status *runner.Status
+	// Live, when non-nil, receives each run's manifest as it completes
+	// (completion order, so NOT deterministic — the HTTP monitor's
+	// /metrics source; implies per-run probes like Metrics). Manifests,
+	// by contrast, is filled post-hoc in spec order.
+	Live *obs.ManifestLog
 }
 
 // observed reports whether runs should carry probe sets.
 func (o *Options) observed() bool {
-	return o.Metrics || o.Manifests != nil || (o.TraceCap > 0 && o.TraceSink != nil)
+	return o.Metrics || o.Manifests != nil || o.Live != nil || (o.TraceCap > 0 && o.TraceSink != nil)
 }
 
 // DefaultOptions returns the standard scaled-down evaluation: all 12
@@ -182,6 +191,8 @@ func runGrid(opts Options, configs []core.Config) (map[string]*stats.Set, error)
 		TraceCap:  opts.TraceCap,
 		TraceSink: opts.TraceSink,
 		Reg:       opts.RunnerReg,
+		Status:    opts.Status,
+		Manifests: opts.Live,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,178 @@
+// Package monitor serves live telemetry for long sweep and experiment
+// runs over HTTP: Prometheus-style text metrics (/metrics), JSON job
+// progress (/progress) and the standard pprof profiling endpoints
+// (/debug/pprof/). The sources are chosen for lock-freedom under
+// concurrent simulation: runner.Status is plain atomics and
+// obs.ManifestLog is mutex-guarded append-only, so scraping never
+// contends with the cycle loops.
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+
+	"fdp/internal/obs"
+	"fdp/internal/runner"
+)
+
+// Source is what the monitor exposes: live scheduler progress and the
+// manifests of completed runs. Either field may be nil.
+type Source struct {
+	Status    *runner.Status
+	Manifests *obs.ManifestLog
+}
+
+// Handler builds the monitor's HTTP mux.
+func Handler(src Source) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, src)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(src.Status.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// writeMetrics renders the Prometheus text exposition: the runner_*
+// family from the live Status, then per-run families from every
+// completed run's manifest.
+func writeMetrics(w io.Writer, src Source) {
+	s := src.Status.Snapshot()
+	writeFamily(w, "runner_jobs", "counter", "Jobs the scheduler started executing (cache hits included).")
+	fmt.Fprintf(w, "runner_jobs %d\n", s.Started)
+	writeFamily(w, "runner_cache_hits", "counter", "Jobs satisfied from the result cache.")
+	fmt.Fprintf(w, "runner_cache_hits %d\n", s.CacheHits)
+	writeFamily(w, "runner_cache_misses", "counter", "Jobs that had to simulate.")
+	fmt.Fprintf(w, "runner_cache_misses %d\n", s.CacheMisses)
+	writeFamily(w, "runner_jobs_canceled", "counter", "Jobs abandoned by cancellation.")
+	fmt.Fprintf(w, "runner_jobs_canceled %d\n", s.Canceled)
+	writeFamily(w, "runner_job_panics", "counter", "Jobs that panicked.")
+	fmt.Fprintf(w, "runner_job_panics %d\n", s.Panics)
+	writeFamily(w, "runner_jobs_running", "gauge", "In-flight jobs right now.")
+	fmt.Fprintf(w, "runner_jobs_running %d\n", s.Running)
+	writeFamily(w, "runner_jobs_queued", "gauge", "Jobs not yet started.")
+	fmt.Fprintf(w, "runner_jobs_queued %d\n", s.Queued)
+	writeFamily(w, "runner_jobs_done", "gauge", "Jobs finished (successfully or not).")
+	fmt.Fprintf(w, "runner_jobs_done %d\n", s.Done)
+
+	ms := src.Manifests.All()
+	if len(ms) == 0 {
+		return
+	}
+	writeFamily(w, "fdp_run_counter", "gauge", "End-of-run counter value of one completed run.")
+	forEachRun(ms, func(labels string, m *obs.Manifest) {
+		for _, name := range sortedKeys(m.Counters) {
+			fmt.Fprintf(w, "fdp_run_counter{%s,name=%q} %d\n", labels, name, m.Counters[name])
+		}
+	})
+	writeFamily(w, "fdp_run_derived", "gauge", "Derived rate of one completed run.")
+	forEachRun(ms, func(labels string, m *obs.Manifest) {
+		for _, name := range sortedKeys(m.Derived) {
+			fmt.Fprintf(w, "fdp_run_derived{%s,name=%q} %g\n", labels, name, m.Derived[name])
+		}
+	})
+	writeFamily(w, "fdp_run_histogram_sum", "gauge", "Histogram sample sum of one completed run.")
+	forEachRun(ms, func(labels string, m *obs.Manifest) {
+		for _, name := range sortedKeys(m.Histograms) {
+			fmt.Fprintf(w, "fdp_run_histogram_sum{%s,name=%q} %d\n", labels, name, m.Histograms[name].Sum)
+		}
+	})
+	writeFamily(w, "fdp_run_histogram_count", "gauge", "Histogram sample count of one completed run.")
+	forEachRun(ms, func(labels string, m *obs.Manifest) {
+		for _, name := range sortedKeys(m.Histograms) {
+			fmt.Fprintf(w, "fdp_run_histogram_count{%s,name=%q} %d\n", labels, name, m.Histograms[name].Count)
+		}
+	})
+}
+
+func writeFamily(w io.Writer, name, kind, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+}
+
+// forEachRun visits the manifests in a stable (config, workload) order
+// with their rendered label pair.
+func forEachRun(ms []*obs.Manifest, f func(labels string, m *obs.Manifest)) {
+	sorted := append([]*obs.Manifest(nil), ms...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		ci, cj := ConfigName(sorted[i].Config), ConfigName(sorted[j].Config)
+		if ci != cj {
+			return ci < cj
+		}
+		return sorted[i].Workload < sorted[j].Workload
+	})
+	for _, m := range sorted {
+		// %q escapes backslash, quote and newline — exactly the Prometheus
+		// label-value escape set.
+		labels := fmt.Sprintf("config=%q,workload=%q", ConfigName(m.Config), m.Workload)
+		f(labels, m)
+	}
+}
+
+// ConfigName extracts the configuration name from a manifest's Config
+// field, which may be a live core.Config or (after a JSONL round trip) a
+// map. A marshal/unmarshal round trip handles both without this package
+// importing core.
+func ConfigName(cfg any) string {
+	if cfg == nil {
+		return ""
+	}
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return ""
+	}
+	var v struct {
+		Name string `json:"Name"`
+	}
+	if json.Unmarshal(b, &v) != nil {
+		return ""
+	}
+	return v.Name
+}
+
+// Server is a running monitor.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (e.g. "localhost:8080" or ":0") and serves the
+// monitor in a background goroutine.
+func Start(addr string, src Source) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(src)}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,151 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fdp/internal/obs"
+	"fdp/internal/runner"
+)
+
+func testSource() Source {
+	st := &runner.Status{}
+	st.Specs.Store(4)
+	st.Started.Store(3)
+	st.Done.Store(2)
+	st.Running.Store(1)
+	st.CacheHits.Store(1)
+	st.CacheMisses.Store(2)
+
+	ml := obs.NewManifestLog()
+	ml.Add(&obs.Manifest{
+		Schema:   obs.ManifestSchema,
+		Workload: "server_a",
+		Config:   map[string]any{"Name": "fdp"},
+		Counters: map[string]uint64{"run.cycles": 1000, "acct.delivering": 700},
+		Derived:  map[string]float64{"run.ipc": 2.5},
+		Histograms: map[string]obs.HistogramSnapshot{
+			"ftq.occupancy": {Count: 1000, Sum: 12000, Min: 0, Max: 24},
+		},
+	})
+	return Source{Status: st, Manifests: ml}
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (string, *http.Response) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d, body %q", path, resp.StatusCode, body)
+	}
+	return string(body), resp
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler(testSource()))
+	defer srv.Close()
+
+	body, resp := get(t, srv, "/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q, want text/plain", ct)
+	}
+	for _, want := range []string{
+		"runner_jobs 3\n",
+		"runner_cache_hits 1\n",
+		"runner_cache_misses 2\n",
+		"runner_jobs_running 1\n",
+		"runner_jobs_queued 1\n",
+		"# TYPE runner_jobs counter\n",
+		`fdp_run_counter{config="fdp",workload="server_a",name="acct.delivering"} 700` + "\n",
+		`fdp_run_counter{config="fdp",workload="server_a",name="run.cycles"} 1000` + "\n",
+		`fdp_run_derived{config="fdp",workload="server_a",name="run.ipc"} 2.5` + "\n",
+		`fdp_run_histogram_sum{config="fdp",workload="server_a",name="ftq.occupancy"} 12000` + "\n",
+		`fdp_run_histogram_count{config="fdp",workload="server_a",name="ftq.occupancy"} 1000` + "\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\ngot:\n%s", want, body)
+		}
+	}
+	// Every non-comment line must be `name value` or `name{labels} value`:
+	// a cheap validity check of the exposition format.
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestProgressEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler(testSource()))
+	defer srv.Close()
+
+	body, resp := get(t, srv, "/progress")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q, want application/json", ct)
+	}
+	var snap runner.StatusSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("progress body not JSON: %v\n%s", err, body)
+	}
+	want := runner.StatusSnapshot{Specs: 4, Started: 3, Done: 2, Running: 1, Queued: 1, CacheHits: 1, CacheMisses: 2}
+	if snap != want {
+		t.Errorf("progress snapshot = %+v, want %+v", snap, want)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	srv := httptest.NewServer(Handler(testSource()))
+	defer srv.Close()
+
+	body, _ := get(t, srv, "/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index does not list profiles:\n%.200s", body)
+	}
+}
+
+func TestNilSources(t *testing.T) {
+	srv := httptest.NewServer(Handler(Source{}))
+	defer srv.Close()
+
+	body, _ := get(t, srv, "/metrics")
+	if !strings.Contains(body, "runner_jobs 0\n") {
+		t.Errorf("nil-source /metrics missing zero runner_jobs:\n%s", body)
+	}
+	if strings.Contains(body, "fdp_run_counter{") {
+		t.Errorf("nil-source /metrics should have no per-run series:\n%s", body)
+	}
+	get(t, srv, "/progress")
+}
+
+func TestStartAndClose(t *testing.T) {
+	srv, err := Start("localhost:0", testSource())
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/progress")
+	if err != nil {
+		t.Fatalf("GET live server: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live /progress status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+// Top-down frontend cycle-accounting taxonomy. Every measured cycle is
+// attributed by the core to exactly one bucket, so the bucket vector is a
+// partition of the run's cycles (the conservation invariant: bucket sum
+// == measured cycles, asserted by the root-level accounting tests and by
+// `make accounting-check`). The taxonomy names live here — next to the
+// other canonical metric names — because the interval codec, the
+// manifests and the report renderer all share them; the classification
+// rules themselves are the core's business (internal/core/account.go,
+// documented in docs/OBSERVABILITY.md).
+const (
+	// AcctDelivering: the decode queue held a full decode-width group —
+	// the frontend kept the backend fed this cycle.
+	AcctDelivering = iota
+	// AcctL1IMissStarved: starved with the FTQ head waiting on an
+	// instruction-cache fill (the fetch-starvation the paper's
+	// prefetching attacks).
+	AcctL1IMissStarved
+	// AcctFTQEmpty: starved with no FTQ entries to fetch from — the
+	// prediction pipeline itself is the bottleneck.
+	AcctFTQEmpty
+	// AcctResteerRecovery: starved while the prediction pipeline restarts
+	// after a post-fetch-correction redirect.
+	AcctResteerRecovery
+	// AcctFlushRecovery: starved while a resolve-time misprediction flush
+	// is pending or the pipeline restarts after a resolve/GHR-fixup
+	// flush.
+	AcctFlushRecovery
+	// AcctMSHRBackpressure: starved with the FTQ head's demand fill
+	// blocked because the MSHRs were full this cycle.
+	AcctMSHRBackpressure
+	// AcctFetchPartial: starved with fetchable work available — partial
+	// blocks, taken-branch fragmentation, tag-probe bandwidth or
+	// fill-pipeline skew kept delivery under decode width.
+	AcctFetchPartial
+
+	// NumAcctBuckets is the taxonomy size.
+	NumAcctBuckets
+)
+
+// AcctBucketNames are the wire names of the taxonomy, indexed by bucket.
+var AcctBucketNames = [NumAcctBuckets]string{
+	AcctDelivering:       "delivering",
+	AcctL1IMissStarved:   "l1i_miss_starved",
+	AcctFTQEmpty:         "ftq_empty",
+	AcctResteerRecovery:  "resteer_recovery",
+	AcctFlushRecovery:    "flush_recovery",
+	AcctMSHRBackpressure: "mshr_backpressure",
+	AcctFetchPartial:     "fetch_partial",
+}
+
+// AcctCounterPrefix prefixes the taxonomy names in manifest counters
+// ("acct.delivering", "acct.l1i_miss_starved", ...).
+const AcctCounterPrefix = "acct."
+
+// AcctCounterName returns the manifest counter name of bucket b.
+func AcctCounterName(b int) string { return AcctCounterPrefix + AcctBucketNames[b] }
+
+// AcctVector extracts the accounting counter family from a manifest
+// counter map. ok is false when any bucket is absent — pre-accounting
+// manifests, or non-run documents like the `__runner__` summary.
+func AcctVector(counters map[string]uint64) (v [NumAcctBuckets]uint64, ok bool) {
+	for b := range v {
+		c, present := counters[AcctCounterName(b)]
+		if !present {
+			return [NumAcctBuckets]uint64{}, false
+		}
+		v[b] = c
+	}
+	return v, true
+}

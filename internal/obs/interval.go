@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// IntervalRecord is one interval time-series sample: the cycle-accounting
+// vector plus key deltas over one fixed-length cycle window. All fields
+// except Cycle and FTQOcc are deltas since the previous snapshot, so the
+// records of a run sum to the run's end-of-run counters; the window
+// length is the sum of the accounting vector (the buckets partition the
+// window's cycles).
+type IntervalRecord struct {
+	// Cycle is the absolute core cycle at which the snapshot was taken.
+	Cycle uint64
+	// Instructions is the number of instructions retired in the window.
+	Instructions uint64
+	// Acct is the per-bucket cycle count of the window (see
+	// AcctBucketNames); its sum is the window length in cycles.
+	Acct [NumAcctBuckets]uint64
+	// L1IMisses is the number of demand L1I misses in the window.
+	L1IMisses uint64
+	// FTQOcc is the instantaneous FTQ occupancy at the snapshot.
+	FTQOcc uint64
+}
+
+// Cycles returns the window length (the accounting vector is a partition
+// of the window's cycles).
+func (r *IntervalRecord) Cycles() uint64 {
+	var n uint64
+	for _, v := range r.Acct {
+		n += v
+	}
+	return n
+}
+
+// IPC returns the window's instructions per cycle (0 for an empty
+// window).
+func (r *IntervalRecord) IPC() float64 {
+	c := r.Cycles()
+	if c == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(c)
+}
+
+// L1IMPKI returns the window's demand L1I misses per kilo-instruction
+// (0 when no instructions retired).
+func (r *IntervalRecord) L1IMPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(r.L1IMisses) / float64(r.Instructions)
+}
+
+// IntervalRecorder collects interval snapshots for one run. Like the
+// tracer it belongs to a single run and goroutine; Record appends (the
+// backing slice grows amortized, nothing else allocates).
+type IntervalRecorder struct {
+	every uint64
+	recs  []IntervalRecord
+}
+
+// NewIntervalRecorder creates a recorder snapshotting every `every`
+// cycles.
+func NewIntervalRecorder(every uint64) *IntervalRecorder {
+	if every == 0 {
+		panic("obs: zero interval length")
+	}
+	return &IntervalRecorder{every: every}
+}
+
+// Every returns the snapshot interval in cycles (0 for a nil receiver,
+// which disables snapshotting at the probe site).
+func (r *IntervalRecorder) Every() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.every
+}
+
+// Record appends one snapshot. Safe on a nil receiver (no-op).
+func (r *IntervalRecorder) Record(rec IntervalRecord) {
+	if r != nil {
+		r.recs = append(r.recs, rec)
+	}
+}
+
+// Records returns the collected snapshots, oldest first.
+func (r *IntervalRecorder) Records() []IntervalRecord {
+	if r == nil {
+		return nil
+	}
+	return r.recs
+}
+
+// Reset discards all collected snapshots (end of warmup).
+func (r *IntervalRecorder) Reset() {
+	if r != nil {
+		r.recs = r.recs[:0]
+	}
+}
+
+// AppendIntervalJSONL appends the single-line JSON encoding of rec
+// (without a trailing newline) to dst and returns it. The keys are
+// compact: c = cycle, i = instructions, a = accounting vector,
+// m = L1I misses, o = FTQ occupancy.
+func AppendIntervalJSONL(dst []byte, rec IntervalRecord) []byte {
+	dst = append(dst, `{"c":`...)
+	dst = strconv.AppendUint(dst, rec.Cycle, 10)
+	dst = append(dst, `,"i":`...)
+	dst = strconv.AppendUint(dst, rec.Instructions, 10)
+	dst = append(dst, `,"a":[`...)
+	for b, v := range rec.Acct {
+		if b > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendUint(dst, v, 10)
+	}
+	dst = append(dst, `],"m":`...)
+	dst = strconv.AppendUint(dst, rec.L1IMisses, 10)
+	dst = append(dst, `,"o":`...)
+	dst = strconv.AppendUint(dst, rec.FTQOcc, 10)
+	dst = append(dst, '}')
+	return dst
+}
+
+// wireInterval is the JSONL representation of an IntervalRecord.
+type wireInterval struct {
+	C uint64   `json:"c"`
+	I uint64   `json:"i"`
+	A []uint64 `json:"a"`
+	M uint64   `json:"m"`
+	O uint64   `json:"o"`
+}
+
+// ParseIntervalRecord decodes one JSONL interval line. The accounting
+// vector must have exactly NumAcctBuckets elements.
+func ParseIntervalRecord(line []byte) (IntervalRecord, error) {
+	var w wireInterval
+	if err := json.Unmarshal(line, &w); err != nil {
+		return IntervalRecord{}, fmt.Errorf("obs: bad interval line: %w", err)
+	}
+	if len(w.A) != NumAcctBuckets {
+		return IntervalRecord{}, fmt.Errorf("obs: interval accounting vector has %d buckets, want %d", len(w.A), NumAcctBuckets)
+	}
+	rec := IntervalRecord{Cycle: w.C, Instructions: w.I, L1IMisses: w.M, FTQOcc: w.O}
+	copy(rec.Acct[:], w.A)
+	return rec, nil
+}
+
+// intervalHeader is the non-record marker line separating runs in a
+// shared interval file.
+type intervalHeader struct {
+	Run   string `json:"run"`
+	Every uint64 `json:"every,omitempty"`
+}
+
+// WriteRunIntervals writes a {"run": label, "every": N} header line
+// followed by the records as JSONL. Multiple runs can share one file.
+func WriteRunIntervals(w io.Writer, label string, every uint64, recs []IntervalRecord) error {
+	hdr, err := json.Marshal(intervalHeader{Run: label, Every: every})
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(append(hdr, '\n')); err != nil {
+		return err
+	}
+	var line []byte
+	for _, rec := range recs {
+		line = AppendIntervalJSONL(line[:0], rec)
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadIntervalJSONL parses an interval stream produced by
+// WriteRunIntervals, skipping run-header lines and blank lines.
+func ReadIntervalJSONL(r io.Reader) ([]IntervalRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var recs []IntervalRecord
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var hdr intervalHeader
+		if err := json.Unmarshal(line, &hdr); err == nil && hdr.Run != "" {
+			continue
+		}
+		rec, err := ParseIntervalRecord(line)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

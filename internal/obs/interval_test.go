@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testRecord(base uint64) IntervalRecord {
+	rec := IntervalRecord{
+		Cycle:        base * 1000,
+		Instructions: base * 700,
+		L1IMisses:    base * 3,
+		FTQOcc:       base % 24,
+	}
+	for b := range rec.Acct {
+		rec.Acct[b] = base * uint64(b+1)
+	}
+	return rec
+}
+
+func TestIntervalRecordDerived(t *testing.T) {
+	rec := testRecord(1)
+	var want uint64
+	for b := 0; b < NumAcctBuckets; b++ {
+		want += uint64(b + 1)
+	}
+	if rec.Cycles() != want {
+		t.Errorf("Cycles() = %d, want %d", rec.Cycles(), want)
+	}
+	if got := rec.IPC(); got != float64(rec.Instructions)/float64(want) {
+		t.Errorf("IPC() = %v", got)
+	}
+	if got := rec.L1IMPKI(); got != 1000*float64(rec.L1IMisses)/float64(rec.Instructions) {
+		t.Errorf("L1IMPKI() = %v", got)
+	}
+	empty := IntervalRecord{}
+	if empty.IPC() != 0 || empty.L1IMPKI() != 0 {
+		t.Error("empty record derived rates must be 0")
+	}
+}
+
+func TestIntervalRecorder(t *testing.T) {
+	var nilRec *IntervalRecorder
+	if nilRec.Every() != 0 {
+		t.Error("nil recorder Every() != 0")
+	}
+	nilRec.Record(IntervalRecord{}) // must not panic
+	nilRec.Reset()
+	if nilRec.Records() != nil {
+		t.Error("nil recorder has records")
+	}
+
+	r := NewIntervalRecorder(5000)
+	if r.Every() != 5000 {
+		t.Errorf("Every() = %d", r.Every())
+	}
+	r.Record(testRecord(1))
+	r.Record(testRecord(2))
+	if len(r.Records()) != 2 {
+		t.Fatalf("got %d records", len(r.Records()))
+	}
+	r.Reset()
+	if len(r.Records()) != 0 {
+		t.Error("Reset did not discard records")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("NewIntervalRecorder(0) did not panic")
+		}
+	}()
+	NewIntervalRecorder(0)
+}
+
+func TestIntervalJSONLRoundTrip(t *testing.T) {
+	recs := []IntervalRecord{testRecord(1), testRecord(2), testRecord(7)}
+	var buf bytes.Buffer
+	if err := WriteRunIntervals(&buf, "fdp/server_a", 5000, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), `{"run":"fdp/server_a","every":5000}`+"\n") {
+		t.Errorf("missing run header: %q", buf.String())
+	}
+	back, err := ReadIntervalJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Errorf("record %d: %+v != %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestParseIntervalRecordErrors(t *testing.T) {
+	if _, err := ParseIntervalRecord([]byte(`not json`)); err == nil {
+		t.Error("non-JSON line must error")
+	}
+	if _, err := ParseIntervalRecord([]byte(`{"c":1,"i":2,"a":[1,2,3],"m":0,"o":0}`)); err == nil {
+		t.Error("short accounting vector must error")
+	}
+}
+
+func TestAcctVector(t *testing.T) {
+	counters := map[string]uint64{"run.cycles": 100}
+	if _, ok := AcctVector(counters); ok {
+		t.Error("AcctVector on counters without the family must report !ok")
+	}
+	for b := 0; b < NumAcctBuckets; b++ {
+		counters[AcctCounterName(b)] = uint64(b) * 10
+	}
+	v, ok := AcctVector(counters)
+	if !ok {
+		t.Fatal("AcctVector !ok with full family")
+	}
+	for b := 0; b < NumAcctBuckets; b++ {
+		if v[b] != uint64(b)*10 {
+			t.Errorf("bucket %d = %d, want %d", b, v[b], uint64(b)*10)
+		}
+	}
+	// A partial family (one bucket missing) is not a family.
+	delete(counters, AcctCounterName(NumAcctBuckets-1))
+	if _, ok := AcctVector(counters); ok {
+		t.Error("partial family must report !ok")
+	}
+}
+
+// FuzzIntervalJSONL hardens the interval codec the same way as
+// FuzzEventJSONL: arbitrary input never panics, and any line that parses
+// must survive a re-encode/re-parse round trip, including through the
+// stream reader.
+func FuzzIntervalJSONL(f *testing.F) {
+	f.Add(AppendIntervalJSONL(nil, testRecord(1)))
+	f.Add(AppendIntervalJSONL(nil, IntervalRecord{}))
+	f.Add([]byte(`{"c":1,"i":2,"a":[0,1,2,3,4,5,6],"m":1,"o":8}`))
+	f.Add([]byte(`{"c":1,"i":2,"a":[0,1],"m":1,"o":8}`))
+	f.Add([]byte(`{"run":"header","every":5000}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		rec, err := ParseIntervalRecord(line)
+		if err != nil {
+			return
+		}
+		enc := AppendIntervalJSONL(nil, rec)
+		back, err := ParseIntervalRecord(enc)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", enc, err)
+		}
+		if back != rec {
+			t.Fatalf("round trip %+v -> %q -> %+v", rec, enc, back)
+		}
+		recs, err := ReadIntervalJSONL(bytes.NewReader(append(enc, '\n')))
+		if err != nil || len(recs) != 1 || recs[0] != rec {
+			t.Fatalf("ReadIntervalJSONL(%q) = %v, %v", enc, recs, err)
+		}
+	})
+}

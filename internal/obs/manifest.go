@@ -74,6 +74,10 @@ func NewManifest(info RunInfo, p *Probes, counters map[string]uint64, derived ma
 			m.Counters["trace.events"] = p.Tracer.n
 			m.Counters["trace.dropped"] = p.Tracer.Dropped()
 		}
+		if p.Intervals != nil {
+			m.Counters["interval.every"] = p.Intervals.Every()
+			m.Counters["interval.records"] = uint64(len(p.Intervals.Records()))
+		}
 	}
 	for k, v := range counters {
 		m.Counters[k] = v

@@ -1,0 +1,85 @@
+package obs
+
+import "testing"
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for _, v := range []uint64{1, 5, 100} {
+		a.Observe(v)
+	}
+	for _, v := range []uint64{0, 7, 1 << 20} {
+		b.Observe(v)
+	}
+	a.Merge(&b)
+
+	var want Histogram
+	for _, v := range []uint64{1, 5, 100, 0, 7, 1 << 20} {
+		want.Observe(v)
+	}
+	if a.Count() != want.Count() || a.Sum() != want.Sum() {
+		t.Errorf("merged count/sum = %d/%d, want %d/%d", a.Count(), a.Sum(), want.Count(), want.Sum())
+	}
+	as, ws := a.Snapshot(), want.Snapshot()
+	if as.Min != ws.Min || as.Max != ws.Max {
+		t.Errorf("merged min/max = %d/%d, want %d/%d", as.Min, as.Max, ws.Min, ws.Max)
+	}
+	for i := 0; i < NumBuckets; i++ {
+		if a.Bucket(i) != want.Bucket(i) {
+			t.Errorf("bucket %d = %d, want %d", i, a.Bucket(i), want.Bucket(i))
+		}
+	}
+}
+
+func TestHistogramMergeEdges(t *testing.T) {
+	// Merging an empty (or nil) histogram must not disturb min/max.
+	var h, empty Histogram
+	h.Observe(5)
+	h.Merge(&empty)
+	h.Merge(nil)
+	if s := h.Snapshot(); s.Count != 1 || s.Min != 5 || s.Max != 5 {
+		t.Errorf("merge of empty changed state: %+v", s)
+	}
+
+	// Merging into an empty histogram must adopt the source's min, even
+	// when it is larger than the zero-value min field.
+	var dst Histogram
+	var src Histogram
+	src.Observe(42)
+	dst.Merge(&src)
+	if s := dst.Snapshot(); s.Count != 1 || s.Min != 42 || s.Max != 42 {
+		t.Errorf("merge into empty: %+v", s)
+	}
+
+	// Nil receiver is a no-op.
+	var nilH *Histogram
+	nilH.Merge(&src)
+}
+
+func TestRegistryMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("shared").Add(3)
+	a.Histogram("hist").Observe(10)
+	b.Counter("shared").Add(4)
+	b.Counter("only_b").Add(9)
+	b.Histogram("hist").Observe(20)
+	b.Histogram("hist_b").Observe(1)
+
+	a.Merge(b)
+	if got := a.Counter("shared").Value(); got != 7 {
+		t.Errorf("shared = %d, want 7", got)
+	}
+	if got := a.Counter("only_b").Value(); got != 9 {
+		t.Errorf("only_b = %d, want 9 (missing names must be created)", got)
+	}
+	if h := a.Histogram("hist"); h.Count() != 2 || h.Sum() != 30 {
+		t.Errorf("hist count/sum = %d/%d, want 2/30", h.Count(), h.Sum())
+	}
+	if h := a.Histogram("hist_b"); h.Count() != 1 {
+		t.Errorf("hist_b not merged in")
+	}
+
+	a.Merge(nil) // no-op
+	if got := a.Counter("shared").Value(); got != 7 {
+		t.Errorf("nil merge changed state: shared = %d", got)
+	}
+}

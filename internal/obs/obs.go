@@ -130,6 +130,28 @@ func (h *Histogram) Bucket(i int) uint64 {
 	return h.buckets[i]
 }
 
+// Merge folds o's samples into h, as if every sample observed by o had
+// been observed by h: counts, sums and buckets add, min/max extend. An
+// empty (or nil) o leaves h unchanged; a nil h is a no-op. This is what
+// aggregates per-run registries and interval snapshots into sweep-level
+// summaries.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
 // reset zeroes the histogram in place.
 func (h *Histogram) reset() {
 	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
@@ -218,6 +240,21 @@ func (r *Registry) Reset() {
 	}
 	for _, h := range r.hists {
 		h.reset()
+	}
+}
+
+// Merge folds every metric of o into r: counters add, histograms merge
+// (see Histogram.Merge). Names missing from r are created; a nil o is a
+// no-op. The kind-collision panics of Counter/Histogram apply.
+func (r *Registry) Merge(o *Registry) {
+	if o == nil {
+		return
+	}
+	for name, c := range o.counters {
+		r.Counter(name).Add(c.v)
+	}
+	for name, h := range o.hists {
+		r.Histogram(name).Merge(h)
 	}
 }
 

@@ -17,8 +17,9 @@ const (
 // sites skip the map lookup), and an optional event tracer. A nil *Probes
 // disables everything; the core guards each probe site with one nil check.
 type Probes struct {
-	Reg    *Registry
-	Tracer *Tracer // nil unless EnableTrace was called
+	Reg       *Registry
+	Tracer    *Tracer           // nil unless EnableTrace was called
+	Intervals *IntervalRecorder // nil unless EnableIntervals was called
 
 	FTQOcc       *Histogram
 	MSHROcc      *Histogram
@@ -52,11 +53,21 @@ func (p *Probes) EnableTrace(capacity int) *Tracer {
 	return p.Tracer
 }
 
-// Reset zeroes all metrics and discards buffered events (end of warmup).
+// EnableIntervals attaches an interval time-series recorder snapshotting
+// the cycle-accounting vector and key deltas every `every` cycles, and
+// returns it.
+func (p *Probes) EnableIntervals(every uint64) *IntervalRecorder {
+	p.Intervals = NewIntervalRecorder(every)
+	return p.Intervals
+}
+
+// Reset zeroes all metrics and discards buffered events and interval
+// snapshots (end of warmup).
 func (p *Probes) Reset() {
 	if p == nil {
 		return
 	}
 	p.Reg.Reset()
 	p.Tracer.Reset()
+	p.Intervals.Reset()
 }

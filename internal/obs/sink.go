@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"io"
+	"os"
+)
+
+// stdoutSink wraps os.Stdout with a no-op Close so "-" sinks can be
+// closed like any file without closing the process's stdout.
+type stdoutSink struct{ io.Writer }
+
+func (stdoutSink) Close() error { return nil }
+
+// OpenSink opens path for writing observability output: "-" means stdout
+// (whose Close is a no-op), anything else is created as a regular file.
+// Every CLI output flag that takes a JSONL stream (-metrics, -trace,
+// -intervals-out) resolves its path through this helper so stdout
+// streaming works uniformly across fdpsim, sweep and experiments.
+func OpenSink(path string) (io.WriteCloser, error) {
+	if path == "-" {
+		return stdoutSink{os.Stdout}, nil
+	}
+	return os.Create(path)
+}

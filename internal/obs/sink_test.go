@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenSink(t *testing.T) {
+	w, err := OpenSink("-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.(stdoutSink); !ok {
+		t.Errorf("OpenSink(\"-\") = %T, want stdoutSink", w)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("stdout sink Close: %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	f, err := OpenSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "x\n" {
+		t.Errorf("file sink content %q, err %v", b, err)
+	}
+
+	if _, err := OpenSink(filepath.Join(t.TempDir(), "no", "such", "dir", "f")); err == nil {
+		t.Error("OpenSink into missing directory must error")
+	}
+}

@@ -15,10 +15,10 @@ type Options struct {
 	// Parallel bounds concurrent simulations (non-positive = GOMAXPROCS).
 	Parallel int
 	// Cache, when non-nil, satisfies repeated specs from stored results
-	// and records fresh ones. It is bypassed whenever TraceCap > 0:
-	// enabling the event-trace ring changes the observable manifest
-	// (trace.* counters) and trace output cannot be replayed from a
-	// cached result.
+	// and records fresh ones. It is bypassed whenever CacheBypassed()
+	// reports true: tracing and interval recording change the observable
+	// manifest (trace.* / interval.* counters) and their side-channel
+	// output cannot be replayed from a cached result.
 	Cache *Cache
 	// Observe attaches a fresh probe set to every simulated run and
 	// returns a per-run manifest on its Result.
@@ -31,11 +31,34 @@ type Options struct {
 	// (one {"run": "config/workload"} header per run, in completion
 	// order; writes are serialized).
 	TraceSink io.Writer
+	// IntervalEvery, when > 0 together with Observe, gives each run an
+	// interval time-series recorder snapshotting the cycle-accounting
+	// vector every IntervalEvery cycles.
+	IntervalEvery uint64
+	// IntervalSink, when non-nil, receives each run's interval records as
+	// JSONL (one {"run": ..., "every": ...} header per run, in completion
+	// order; writes are serialized).
+	IntervalSink io.Writer
 	// Reg, when non-nil, receives the runner metrics (runner_jobs,
 	// runner_cache_hits, runner_queue_depth, ...). Unlike a per-run
 	// registry it is shared across the pool; the scheduler serializes its
 	// updates.
 	Reg *obs.Registry
+	// Status, when non-nil, receives lock-free live progress updates
+	// readable from any goroutine while Execute runs (the HTTP monitor's
+	// /progress source).
+	Status *Status
+	// Manifests, when non-nil together with Observe, receives every
+	// per-run manifest as it completes (cache hits included), in
+	// completion order. Unlike the Result slice this is visible mid-run,
+	// which is what the HTTP monitor's /metrics endpoint serves.
+	Manifests *obs.ManifestLog
+}
+
+// CacheBypassed reports whether the options force cache bypass: tracing
+// or interval recording make runs non-replayable from cached results.
+func (o Options) CacheBypassed() bool {
+	return o.TraceCap > 0 || o.IntervalEvery > 0
 }
 
 // Result is the outcome of one spec.
@@ -61,19 +84,26 @@ func Execute(ctx context.Context, specs []Spec, opts Options) ([]Result, error) 
 		ctx = context.Background()
 	}
 	sched := NewScheduler(opts.Parallel, opts.Reg)
+	sched.status = opts.Status
+	opts.Status.addSpecs(int64(len(specs)))
 	results := make([]Result, len(specs))
-	useCache := opts.Cache != nil && opts.TraceCap <= 0
-	var traceMu sync.Mutex
+	useCache := opts.Cache != nil && !opts.CacheBypassed()
+	var sinkMu sync.Mutex
 
 	err := sched.Run(ctx, len(specs), func(ctx context.Context, i int) error {
 		sp := &specs[i]
 		if useCache {
 			if run, m, ok := opts.Cache.Get(sp.Key(), opts.Observe); ok {
 				sched.metrics.count(sched.metrics.cacheHits)
+				opts.Status.cacheHit()
+				if m != nil {
+					opts.Manifests.Add(m)
+				}
 				results[i] = Result{Run: run, Manifest: m, CacheHit: true}
 				return nil
 			}
 			sched.metrics.count(sched.metrics.cacheMisses)
+			opts.Status.cacheMiss()
 		}
 
 		var p *obs.Probes
@@ -81,6 +111,9 @@ func Execute(ctx context.Context, specs []Spec, opts Options) ([]Result, error) 
 			p = obs.NewProbes()
 			if opts.TraceCap > 0 {
 				p.EnableTrace(opts.TraceCap)
+			}
+			if opts.IntervalEvery > 0 {
+				p.EnableIntervals(opts.IntervalEvery)
 			}
 		}
 		run, err := core.SimulateContext(ctx, sp.Config, sp.NewOracle(), sp.Workload, sp.Warmup, sp.Measure, p)
@@ -95,14 +128,25 @@ func Execute(ctx context.Context, specs []Spec, opts Options) ([]Result, error) 
 		if p != nil {
 			m = core.Manifest(sp.Config, run, p, sp.Seed, sp.Warmup, sp.Measure)
 			if opts.TraceSink != nil && p.Tracer != nil {
-				traceMu.Lock()
+				sinkMu.Lock()
 				werr := obs.WriteRunTrace(opts.TraceSink, sp.Config.Name+"/"+sp.Workload, p.Tracer)
-				traceMu.Unlock()
+				sinkMu.Unlock()
 				if werr != nil {
 					results[i] = Result{Err: werr}
 					return werr
 				}
 			}
+			if opts.IntervalSink != nil && p.Intervals != nil {
+				sinkMu.Lock()
+				werr := obs.WriteRunIntervals(opts.IntervalSink, sp.Config.Name+"/"+sp.Workload,
+					p.Intervals.Every(), p.Intervals.Records())
+				sinkMu.Unlock()
+				if werr != nil {
+					results[i] = Result{Err: werr}
+					return werr
+				}
+			}
+			opts.Manifests.Add(m)
 		}
 		results[i] = Result{Run: run, Manifest: m}
 		if useCache {

@@ -84,6 +84,9 @@ func (m *schedMetrics) add(c *obs.Counter, d uint64) {
 type Scheduler struct {
 	parallel int
 	metrics  *schedMetrics
+	// status, when non-nil, receives lock-free live progress updates for
+	// concurrent readers (Execute sets it from Options.Status).
+	status *Status
 }
 
 // NewScheduler creates a pool of the given width (non-positive =
@@ -140,7 +143,9 @@ func (s *Scheduler) Run(ctx context.Context, n int, f func(ctx context.Context, 
 					return
 				}
 				s.metrics.jobStart(n - 1 - i)
+				s.status.jobStarted()
 				err := s.runOne(runCtx, i, f)
+				s.status.jobDone()
 				switch {
 				case err == nil:
 					atomic.AddInt64(&completed, 1)
@@ -160,6 +165,7 @@ func (s *Scheduler) Run(ctx context.Context, n int, f func(ctx context.Context, 
 
 	if c := n - int(atomic.LoadInt64(&completed)); c > 0 {
 		s.metrics.add(s.metrics.canceled, uint64(c))
+		s.status.addCanceled(int64(c))
 	}
 	errMu.Lock()
 	err := firstErr
@@ -175,6 +181,7 @@ func (s *Scheduler) runOne(ctx context.Context, i int, f func(ctx context.Contex
 	defer func() {
 		if r := recover(); r != nil {
 			s.metrics.count(s.metrics.panics)
+			s.status.panicked()
 			err = fmt.Errorf("runner: job %d panicked: %v", i, r)
 		}
 	}()

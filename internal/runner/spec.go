@@ -23,7 +23,7 @@ import (
 // replaying results from the old simulator. Representation-only changes
 // that keep the golden manifests byte-identical must NOT bump it, so
 // caches stay warm across them.
-const Epoch = 1
+const Epoch = 2
 
 // cacheSchema versions the on-disk cache entry layout itself (as opposed
 // to the simulator semantics, which Epoch tracks).

@@ -1,0 +1,108 @@
+package runner
+
+import "sync/atomic"
+
+// Status is the lock-free live progress view of an Execute call, built
+// for concurrent readers (the HTTP monitor) while workers update it. The
+// obs registry is deliberately NOT used here: it is single-goroutine by
+// contract, whereas Status fields are plain atomics that any goroutine
+// may read mid-run. A nil *Status disables all updates.
+type Status struct {
+	// Specs is the total number of specs handed to Execute.
+	Specs atomic.Int64
+	// Started counts jobs a worker has begun (cache hits included);
+	// Done counts jobs that finished, successfully or not.
+	Started atomic.Int64
+	Done    atomic.Int64
+	// Running is the instantaneous number of in-flight jobs.
+	Running atomic.Int64
+	// CacheHits / CacheMisses mirror the runner_cache_* counters.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	// Canceled counts jobs abandoned by first-error or caller
+	// cancellation; Panics counts recovered job panics.
+	Canceled atomic.Int64
+	Panics   atomic.Int64
+}
+
+// StatusSnapshot is the JSON shape served on the monitor's /progress
+// endpoint: one consistent-enough point-in-time read of every field.
+type StatusSnapshot struct {
+	Specs       int64 `json:"specs"`
+	Started     int64 `json:"started"`
+	Done        int64 `json:"done"`
+	Running     int64 `json:"running"`
+	Queued      int64 `json:"queued"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Canceled    int64 `json:"canceled"`
+	Panics      int64 `json:"panics"`
+}
+
+// Snapshot reads the current values. Fields are read independently, so a
+// snapshot taken mid-update may be off by a job — fine for monitoring.
+func (s *Status) Snapshot() StatusSnapshot {
+	if s == nil {
+		return StatusSnapshot{}
+	}
+	snap := StatusSnapshot{
+		Specs:       s.Specs.Load(),
+		Started:     s.Started.Load(),
+		Done:        s.Done.Load(),
+		Running:     s.Running.Load(),
+		CacheHits:   s.CacheHits.Load(),
+		CacheMisses: s.CacheMisses.Load(),
+		Canceled:    s.Canceled.Load(),
+		Panics:      s.Panics.Load(),
+	}
+	if q := snap.Specs - snap.Started; q > 0 {
+		snap.Queued = q
+	}
+	return snap
+}
+
+// nil-safe increment helpers used from the scheduler hot path.
+
+func (s *Status) addSpecs(n int64) {
+	if s != nil {
+		s.Specs.Add(n)
+	}
+}
+
+func (s *Status) jobStarted() {
+	if s != nil {
+		s.Started.Add(1)
+		s.Running.Add(1)
+	}
+}
+
+func (s *Status) jobDone() {
+	if s != nil {
+		s.Done.Add(1)
+		s.Running.Add(-1)
+	}
+}
+
+func (s *Status) cacheHit() {
+	if s != nil {
+		s.CacheHits.Add(1)
+	}
+}
+
+func (s *Status) cacheMiss() {
+	if s != nil {
+		s.CacheMisses.Add(1)
+	}
+}
+
+func (s *Status) addCanceled(n int64) {
+	if s != nil && n > 0 {
+		s.Canceled.Add(n)
+	}
+}
+
+func (s *Status) panicked() {
+	if s != nil {
+		s.Panics.Add(1)
+	}
+}

@@ -86,6 +86,14 @@ type Run struct {
 	// held fewer than decode-width instructions (§VI-D).
 	StarvationCycles uint64
 
+	// Acct is the top-down frontend cycle-accounting vector: every
+	// measured cycle is attributed to exactly one bucket of the fixed
+	// taxonomy (obs.AcctBucketNames; classification rules in
+	// internal/core/account.go and docs/OBSERVABILITY.md). Conservation
+	// invariant: the buckets sum to Cycles, and the non-delivering
+	// buckets sum to StarvationCycles.
+	Acct [obs.NumAcctBuckets]uint64
+
 	// Exposed-miss classification (§VI-G): a covered miss is filled
 	// before any starvation is observed for it; fully exposed means the
 	// fill was initiated only when its FTQ entry reached the head.
@@ -160,7 +168,7 @@ func (r *Run) Speedup(base *Run) float64 {
 // Counters returns every raw counter of the run keyed by a stable
 // "run."-prefixed name, for run manifests and golden-run diffing.
 func (r *Run) Counters() map[string]uint64 {
-	return map[string]uint64{
+	m := map[string]uint64{
 		"run.cycles":                 r.Cycles,
 		"run.instructions":           r.Instructions,
 		"run.branches":               r.Branches,
@@ -191,6 +199,30 @@ func (r *Run) Counters() map[string]uint64 {
 		"run.miss_covered":           r.MissCovered,
 		"run.ftq_occupancy_sum":      r.FTQOccupancySum,
 	}
+	for b, n := range r.Acct {
+		m[obs.AcctCounterName(b)] = n
+	}
+	return m
+}
+
+// AcctTotal returns the sum of the cycle-accounting buckets; the
+// conservation invariant requires it to equal Cycles exactly.
+func (r *Run) AcctTotal() uint64 {
+	var n uint64
+	for _, v := range r.Acct {
+		n += v
+	}
+	return n
+}
+
+// AcctShare returns bucket b's fraction of all accounted cycles (0 when
+// nothing was accounted).
+func (r *Run) AcctShare(b int) float64 {
+	total := r.AcctTotal()
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Acct[b]) / float64(total)
 }
 
 // Derived returns the run's derived rates keyed by name, for manifests.
