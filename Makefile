@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci build vet test race fuzz bench bench-check golden-update clean experiments-smoke accounting-check
+.PHONY: ci build vet test race fuzz bench bench-check golden-update clean experiments-smoke accounting-check chaos-check
 
-ci: vet build race fuzz experiments-smoke accounting-check
+ci: vet build race fuzz experiments-smoke accounting-check chaos-check
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzIntervalJSONL -fuzztime=$(FUZZTIME) ./internal/obs
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run=^$$ -fuzz=FuzzBatchedDecode -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run=^$$ -fuzz=FuzzJournal -fuzztime=$(FUZZTIME) ./internal/runner
 
 # Benchmark knobs: BENCHTIME bounds the go-test benchmarks (1x keeps the
 # 17-benchmark sweep fast; raise for stable numbers), BENCHREPS is the
@@ -76,6 +77,13 @@ experiments-smoke:
 # same invariant end to end through the CLI plumbing.
 accounting-check:
 	$(GO) run ./cmd/fdpsim -workload server_a,client_a -warmup 50000 -measure 150000 -metrics - | $(GO) run ./cmd/acctcheck
+
+# Seeded fault-injection gate: inject a panic, a hang, a corrupt cache
+# entry, and a kill -9 mid-campaign, and assert the runner survives each
+# the advertised way (retry, watchdog, quarantine, journal resume). See
+# docs/ROBUSTNESS.md and cmd/chaos.
+chaos-check:
+	$(GO) run ./cmd/chaos
 
 # Regenerate the golden-run manifests after an intentional simulator
 # change; review the diff before committing. Cached runner results are

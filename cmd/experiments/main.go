@@ -45,6 +45,11 @@ func main() {
 		cacheDir = flag.String("cache", "", "store and reuse simulation results in this directory")
 		resume   = flag.Bool("resume", false, "shorthand for -cache ./"+defaultCacheDir)
 
+		check     = flag.Bool("check", false, "enable per-cycle invariant checking in every simulated core")
+		watchdog  = flag.Duration("watchdog", 0, "cancel any simulation making no forward progress for this long (0 = off)")
+		retries   = flag.Int("retries", 0, "retries for transiently failed jobs (panics), with exponential backoff")
+		keepGoing = flag.Bool("keep-going", false, "quarantine failing jobs and keep running the rest of the grid")
+
 		metricsOut = flag.String("metrics", "", "write every run's observability manifest as JSONL to this file ('-' for stdout)")
 		traceOut   = flag.String("trace", "", "write pipeline event traces as JSONL to this file ('-' for stdout)")
 		traceCap   = flag.Int("trace-cap", 1<<14, "event-trace ring capacity (last N events per run)")
@@ -107,6 +112,25 @@ func main() {
 	opts.Cache = cache
 	runnerReg := obs.NewRegistry()
 	opts.RunnerReg = runnerReg
+
+	opts.Check = *check
+	opts.WatchdogTimeout = *watchdog
+	opts.KeepGoing = *keepGoing
+	if *retries > 0 {
+		opts.Retry = runner.RetryPolicy{Attempts: *retries + 1}
+	}
+	// With a persistent cache directory, completion is journaled so a crash
+	// (even kill -9) mid-run never lets a half-written result be trusted on
+	// resume: only journaled specs may be served from the cache.
+	if *cacheDir != "" {
+		journal, err := runner.OpenJournal(filepath.Join(*cacheDir, "journal.wal"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer journal.Close()
+		opts.Journal = journal
+	}
 
 	var manifests *obs.ManifestLog
 	if *metricsOut != "" {
@@ -190,7 +214,12 @@ func main() {
 	jobs := runnerReg.Counter(runner.MetricJobs).Value()
 	hits := runnerReg.Counter(runner.MetricCacheHits).Value()
 	misses := runnerReg.Counter(runner.MetricCacheMisses).Value()
-	fmt.Printf("runner: jobs=%d cache_hits=%d cache_misses=%d\n", jobs, hits, misses)
+	fmt.Printf("runner: jobs=%d cache_hits=%d cache_misses=%d retries=%d watchdog=%d quarantined=%d cache_quarantined=%d\n",
+		jobs, hits, misses,
+		runnerReg.Counter(runner.MetricRetries).Value(),
+		runnerReg.Counter(runner.MetricWatchdogFired).Value(),
+		runnerReg.Counter(runner.MetricQuarantined).Value(),
+		runnerReg.Counter(runner.MetricCacheQuarantined).Value())
 
 	if manifests != nil {
 		f, err := obs.OpenSink(*metricsOut)

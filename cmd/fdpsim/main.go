@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +46,11 @@ func main() {
 		measure    = flag.Uint64("measure", 800_000, "measured instructions")
 		parallel   = flag.Int("parallel", 0, "concurrent simulations with -workload all (0 = GOMAXPROCS)")
 		cacheDir   = flag.String("cache", "", "reuse results from this on-disk cache directory (synthetic workloads only)")
+
+		check     = flag.Bool("check", false, "enable per-cycle invariant checking")
+		watchdog  = flag.Duration("watchdog", 0, "cancel any simulation making no forward progress for this long (0 = off)")
+		retries   = flag.Int("retries", 0, "retries for transiently failed jobs (panics), with exponential backoff")
+		keepGoing = flag.Bool("keep-going", false, "report failed workloads and keep running the rest")
 
 		metricsOut   = flag.String("metrics", "", "write per-run observability manifests (JSONL; '-' for stdout)")
 		traceOut     = flag.String("trace", "", "write the pipeline event trace as JSONL to this file ('-' for stdout)")
@@ -164,7 +170,8 @@ func main() {
 				p.EnableIntervals(*intervals)
 			}
 		}
-		r, err := core.SimulateObserved(cfg, oracle, name, *warmup, *measure, p)
+		r, err := core.SimulateOptions(context.Background(), cfg, oracle, name, *warmup, *measure,
+			core.SimOptions{Probes: p, Check: *check})
 		if err != nil {
 			fatal("%s: %v", name, err)
 		}
@@ -220,7 +227,17 @@ func main() {
 			fatal("%v", err)
 		}
 	}
-	ropts := runner.Options{Parallel: *parallel, Cache: cache, Observe: observed}
+	ropts := runner.Options{
+		Parallel:        *parallel,
+		Cache:           cache,
+		Observe:         observed,
+		Check:           *check,
+		WatchdogTimeout: *watchdog,
+		KeepGoing:       *keepGoing,
+	}
+	if *retries > 0 {
+		ropts.Retry = runner.RetryPolicy{Attempts: *retries + 1}
+	}
 	if traceW != nil {
 		ropts.TraceCap = *traceCap
 		ropts.TraceSink = traceW
@@ -235,9 +252,19 @@ func main() {
 	}
 	results, err := runner.Execute(context.Background(), specs, ropts)
 	if err != nil {
-		fatal("%v", err)
+		// Under -keep-going a classified job error means "some workloads
+		// were quarantined, the rest completed" — report what finished.
+		var jerr *runner.Error
+		if !(*keepGoing && errors.As(err, &jerr)) {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "fdpsim: warning: %v\n", err)
 	}
 	for i, res := range results {
+		if res.Run == nil {
+			fmt.Fprintf(os.Stderr, "fdpsim: %s: quarantined: %v\n", workloads[i].Name, res.Err)
+			continue
+		}
 		report(workloads[i].Name, res.Run)
 		if metricsW != nil && res.Manifest != nil {
 			m := res.Manifest

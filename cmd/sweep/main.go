@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -68,6 +69,11 @@ func run(args []string, stdout io.Writer) error {
 		measure   = fs.Uint64("measure", 400_000, "measured instructions")
 		parallel  = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cacheDir  = fs.String("cache", "", "reuse results from this on-disk cache directory")
+
+		check     = fs.Bool("check", false, "enable per-cycle invariant checking")
+		watchdog  = fs.Duration("watchdog", 0, "cancel any simulation making no forward progress for this long (0 = off)")
+		retries   = fs.Int("retries", 0, "retries for transiently failed jobs (panics), with exponential backoff")
+		keepGoing = fs.Bool("keep-going", false, "skip failed points (missing CSV rows) and keep sweeping")
 
 		metricsOut   = fs.String("metrics", "", "write per-run observability manifests as JSONL to this file ('-' for stdout)")
 		traceOut     = fs.String("trace", "", "write pipeline event traces as JSONL to this file ('-' for stdout)")
@@ -159,7 +165,17 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	observed := metricsW != nil || traceW != nil || intervalsW != nil || *httpAddr != ""
-	ropts := runner.Options{Parallel: *parallel, Cache: cache, Observe: observed}
+	ropts := runner.Options{
+		Parallel:        *parallel,
+		Cache:           cache,
+		Observe:         observed,
+		Check:           *check,
+		WatchdogTimeout: *watchdog,
+		KeepGoing:       *keepGoing,
+	}
+	if *retries > 0 {
+		ropts.Retry = runner.RetryPolicy{Attempts: *retries + 1}
+	}
 	if traceW != nil {
 		ropts.TraceCap = *traceCap
 		ropts.TraceSink = traceW
@@ -191,7 +207,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 	results, err := runner.Execute(context.Background(), specs, ropts)
 	if err != nil {
-		return err
+		// Under -keep-going a classified job error means "some points were
+		// quarantined, the rest completed" — emit the rows that finished.
+		var jerr *runner.Error
+		if !(*keepGoing && errors.As(err, &jerr)) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sweep: warning: %v\n", err)
 	}
 
 	fmt.Fprintf(stdout, "param,value,workload,ipc,branch_mpki,l1i_mpki,starv_pki,tag_pki,pfc_resteers\n")
@@ -202,6 +224,10 @@ func run(args []string, stdout io.Writer) error {
 			res := results[i]
 			i++
 			r := res.Run
+			if r == nil {
+				fmt.Fprintf(os.Stderr, "sweep: %s=%d/%s: quarantined: %v\n", *param, v, w.Name, res.Err)
+				continue
+			}
 			if metricsW != nil && res.Manifest != nil {
 				m := res.Manifest
 				m.Tool = "sweep"

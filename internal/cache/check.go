@@ -1,0 +1,22 @@
+package cache
+
+import "fmt"
+
+// CheckInvariants validates the MSHR file's structural invariants at the
+// end of a cycle: the number of in-flight fills never exceeds the MSHR
+// count, and no fill whose completion cycle has passed is still in
+// flight (Advance must have released it — a stale fill is an
+// allocate-without-release leak, typically a nextDone bookkeeping bug).
+// It only reads state; the core's -check mode calls it once per cycle.
+func (h *Hierarchy) CheckInvariants(now uint64) error {
+	if len(h.inflight) > h.mshrs {
+		return fmt.Errorf("cache: %d fills in flight exceed %d MSHRs", len(h.inflight), h.mshrs)
+	}
+	for i := range h.inflight {
+		if h.inflight[i].Done < now {
+			return fmt.Errorf("cache: leaked MSHR: fill of line %#x due at cycle %d still in flight at cycle %d",
+				h.inflight[i].Line, h.inflight[i].Done, now)
+		}
+	}
+	return nil
+}

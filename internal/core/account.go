@@ -35,23 +35,23 @@ func (c *Core) accountCycle() {
 // the same end-of-cycle sample point as StarvationCycles:
 //
 //  1. delivering        — the decode queue holds a full decode-width
-//                         group; the frontend kept the backend fed.
+//     group; the frontend kept the backend fed.
 //  2. flush_recovery    — a misprediction flush is pending at resolve,
-//                         or the prediction pipeline is restarting after
-//                         a resolve or GHR-fixup flush.
+//     or the prediction pipeline is restarting after
+//     a resolve or GHR-fixup flush.
 //  3. resteer_recovery  — the prediction pipeline is restarting after a
-//                         PFC redirect.
+//     PFC redirect.
 //  4. ftq_empty         — no FTQ entries to fetch from (including pure
-//                         prediction bubbles such as the two-level BTB's
-//                         L2 penalty): the prediction pipeline is the
-//                         bottleneck.
+//     prediction bubbles such as the two-level BTB's
+//     L2 penalty): the prediction pipeline is the
+//     bottleneck.
 //  5. l1i_miss_starved  — the FTQ head is waiting on an I-cache fill.
 //  6. mshr_backpressure — a demand fill could not launch this cycle
-//                         because the MSHRs were full.
+//     because the MSHRs were full.
 //  7. fetch_partial     — fetchable work exists but delivery stayed
-//                         under decode width (partial blocks,
-//                         taken-branch fragmentation, tag-probe
-//                         bandwidth, fill-pipeline skew).
+//     under decode width (partial blocks,
+//     taken-branch fragmentation, tag-probe
+//     bandwidth, fill-pipeline skew).
 //
 // Recovery windows (rules 2-3) take priority over the FTQ head's state:
 // once a redirect restarts the pipeline, the whole bubble is charged to

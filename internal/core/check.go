@@ -1,0 +1,104 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"fdp/internal/obs"
+)
+
+// ErrInvariant marks a failed online invariant check: the machine state
+// violated a structural property that must hold on every cycle, which is
+// by definition a simulator bug, never a property of the workload.
+// Callers classify it with errors.Is.
+var ErrInvariant = errors.New("core: invariant violation")
+
+// checker is the online invariant checker state (-check mode). It is
+// deliberately read-only with respect to the machine: enabling it cannot
+// change any simulation result, only detect when one is untrustworthy.
+// When disabled (the default) the only cost is one nil check per cycle,
+// keeping the steady-state cycle loop at zero allocs/op and the golden
+// manifests byte-identical.
+type checker struct {
+	// err is the first violation observed; the run stops at the next
+	// cycle boundary once it is set.
+	err error
+	// baseCycle is the cycle count at the last stats reset, the baseline
+	// of the incremental accounting-conservation check.
+	baseCycle uint64
+}
+
+// EnableChecks turns on per-cycle invariant checking: FTQ occupancy
+// within capacity, decode-queue occupancy within capacity, RAS depth
+// bounds on both the speculative and architectural stacks, MSHR
+// allocate/release leak detection, and incremental cycle-accounting
+// conservation. Violations stop the run with an error wrapping
+// ErrInvariant.
+func (c *Core) EnableChecks() {
+	c.check = &checker{baseCycle: c.now}
+}
+
+// CheckErr returns the first invariant violation observed so far (nil
+// when checking is disabled or no violation occurred). RunContext returns
+// the same error; this accessor serves Step-driven tests and tools.
+func (c *Core) CheckErr() error {
+	if c.check == nil {
+		return nil
+	}
+	return c.check.err
+}
+
+// violate records the first violation (later ones are dropped: once the
+// state is corrupt, follow-on noise only buries the root cause).
+func (c *Core) violate(format string, args ...any) {
+	if c.check.err == nil {
+		c.check.err = fmt.Errorf("%w at cycle %d: %s", ErrInvariant, c.now, fmt.Sprintf(format, args...))
+	}
+}
+
+// checkCycle runs every online invariant at the end of one cycle. It
+// only reads machine state, so the checked and unchecked simulations are
+// cycle-for-cycle identical.
+func (c *Core) checkCycle() {
+	// FTQ occupancy must stay within the configured capacity.
+	if n, capa := c.q.Len(), c.q.Cap(); n < 0 || n > capa {
+		c.violate("ftq occupancy %d outside [0, %d]", n, capa)
+	}
+	// Decode-queue occupancy must stay within its ring.
+	if c.dqLen < 0 || c.dqLen > len(c.dq) {
+		c.violate("decode queue occupancy %d outside [0, %d]", c.dqLen, len(c.dq))
+	}
+	// RAS depth bounds on both copies of the stack.
+	if n, d := c.rasSpec.Size(), c.rasSpec.Depth(); n < 0 || n > d {
+		c.violate("speculative RAS size %d outside [0, %d]", n, d)
+	}
+	if n, d := c.rasArch.Size(), c.rasArch.Depth(); n < 0 || n > d {
+		c.violate("architectural RAS size %d outside [0, %d]", n, d)
+	}
+	// MSHR file: never over-allocated, and no fill past its completion
+	// cycle may still be in flight (a missed release is a leak).
+	if err := c.hier.CheckInvariants(c.now); err != nil {
+		c.violate("%v", err)
+	}
+	// Accounting conservation, incrementally: every elapsed cycle since
+	// the last stats reset is attributed to exactly one bucket.
+	var sum uint64
+	for _, v := range c.run.Acct {
+		sum += v
+	}
+	if elapsed := c.now - c.check.baseCycle; sum != elapsed {
+		c.violate("accounting sum %d != %d elapsed cycles (%s)", sum, elapsed, acctDump(c.run.Acct))
+	}
+}
+
+// acctDump renders the accounting vector for violation messages.
+func acctDump(v [obs.NumAcctBuckets]uint64) string {
+	s := ""
+	for b, n := range v {
+		if b > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", obs.AcctBucketNames[b], n)
+	}
+	return s
+}

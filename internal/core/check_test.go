@@ -1,0 +1,103 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestChecksCleanRun: the invariant checker is pure observation — a
+// checked run must produce byte-identical results to an unchecked one
+// and report no violation on a healthy machine.
+func TestChecksCleanRun(t *testing.T) {
+	for _, cfg := range []Config{DefaultConfig(), BaselineConfig()} {
+		plain, err := Simulate(cfg, sharedWL.NewStream(), sharedWL.Name, 10_000, 50_000)
+		if err != nil {
+			t.Fatalf("Simulate(%s): %v", cfg.Name, err)
+		}
+		checked, err := SimulateOptions(context.Background(), cfg, sharedWL.NewStream(), sharedWL.Name,
+			10_000, 50_000, SimOptions{Check: true})
+		if err != nil {
+			t.Fatalf("checked Simulate(%s): %v", cfg.Name, err)
+		}
+		if !reflect.DeepEqual(plain, checked) {
+			t.Errorf("%s: checked run diverged from unchecked run", cfg.Name)
+		}
+	}
+}
+
+// TestChecksDetectAccountingLeak: corrupting the cycle-accounting vector
+// mid-run trips the conservation invariant on the next checked cycle.
+func TestChecksDetectAccountingLeak(t *testing.T) {
+	c, err := New(DefaultConfig(), sharedWL.NewStream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EnableChecks()
+	c.Step(100)
+	if err := c.CheckErr(); err != nil {
+		t.Fatalf("healthy core reported violation: %v", err)
+	}
+	c.run.Acct[0] += 5 // a cycle charged twice: conservation now fails
+	c.Step(1)
+	err = c.CheckErr()
+	if err == nil {
+		t.Fatal("accounting corruption not detected")
+	}
+	if !errors.Is(err, ErrInvariant) {
+		t.Fatalf("violation %v does not wrap ErrInvariant", err)
+	}
+}
+
+// TestChecksViolationStopsRun: a violation stops the cycle loop with the
+// wrapped error, not just a latent CheckErr (runUntil is the loop under
+// RunContext; corruption there must not simulate 50k more cycles).
+func TestChecksViolationStopsRun(t *testing.T) {
+	c, err := New(DefaultConfig(), sharedWL.NewStream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EnableChecks()
+	c.Step(10)
+	c.run.Acct[0] += 3
+	start := c.Now()
+	if err := c.runUntil(context.Background(), start+50_000); !errors.Is(err, ErrInvariant) {
+		t.Fatalf("runUntil returned %v, want ErrInvariant", err)
+	}
+	if c.Now() > start+2 {
+		t.Errorf("run continued %d cycles past the violation", c.Now()-start)
+	}
+}
+
+// TestHeartbeatStamped: a supervised run beats its heartbeat with
+// advancing cycle counts.
+func TestHeartbeatStamped(t *testing.T) {
+	hb := &Heartbeat{}
+	if !hb.LastBeat().IsZero() {
+		t.Fatal("fresh heartbeat has a non-zero beat time")
+	}
+	before := time.Now()
+	_, err := SimulateOptions(context.Background(), DefaultConfig(), sharedWL.NewStream(), sharedWL.Name,
+		0, 100_000, SimOptions{Heartbeat: hb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.Cycles() == 0 {
+		t.Error("heartbeat never advanced past cycle 0")
+	}
+	if hb.LastBeat().Before(before) {
+		t.Errorf("last beat %v predates the run", hb.LastBeat())
+	}
+}
+
+// TestHeartbeatNilSafe: the nil heartbeat is inert, so the cycle loop
+// needs no branches beyond the method call.
+func TestHeartbeatNilSafe(t *testing.T) {
+	var hb *Heartbeat
+	hb.Beat(42)
+	if hb.Cycles() != 0 || !hb.LastBeat().IsZero() {
+		t.Error("nil heartbeat reported state")
+	}
+}

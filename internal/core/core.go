@@ -116,6 +116,8 @@ type Core struct {
 	now        uint64
 	run        *stats.Run
 	obs        *obs.Probes // nil unless Observe attached a probe set
+	hb         *Heartbeat  // nil unless a watchdog heartbeat is attached
+	check      *checker    // nil unless -check invariant mode is on
 	fillBuf    []cache.Fill
 	winStart   uint64 // cycle at the start of the current IPC window
 	winRetired uint64 // retired count at the start of the window
@@ -288,6 +290,10 @@ func (c *Core) cycle() {
 		c.winStart = c.now
 		c.winRetired = c.retired
 	}
+
+	if c.check != nil {
+		c.checkCycle()
+	}
 }
 
 // Step runs n cycles (exposed for tests and interactive tools).
@@ -336,15 +342,22 @@ func (c *Core) runUntil(ctx context.Context, target uint64) error {
 	// Background and TODO contexts have a nil Done channel; hoisting it
 	// makes the uncancellable path a single nil check per poll.
 	done := ctx.Done()
+	c.hb.Beat(c.now) // stamp liveness before the first poll interval
 	lastRetired := c.retired
 	idle := 0
 	for c.retired < target {
 		c.cycle()
-		if done != nil && c.now&(ctxCheckInterval-1) == 0 {
-			select {
-			case <-done:
-				return ctx.Err()
-			default:
+		if c.check != nil && c.check.err != nil {
+			return c.check.err
+		}
+		if c.now&(ctxCheckInterval-1) == 0 {
+			c.hb.Beat(c.now)
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
 			}
 		}
 		if c.retired == lastRetired {
@@ -375,6 +388,11 @@ func (c *Core) resetStats() {
 	c.winRetired = c.retired
 	c.obs.Reset()
 	c.rebaseIntervals()
+	if c.check != nil {
+		// Re-anchor the accounting-conservation baseline: the reset just
+		// zeroed the accounting vector.
+		c.check.baseCycle = c.now
+	}
 }
 
 // finalize folds cache-level counters into the run record.
@@ -445,13 +463,42 @@ func SimulateObserved(cfg Config, oracle Oracle, workload string, warmup, measur
 // what lets a parallel scheduler abandon in-flight simulations on first
 // error instead of letting them run to completion.
 func SimulateContext(ctx context.Context, cfg Config, oracle Oracle, workload string, warmup, measure uint64, p *obs.Probes) (*stats.Run, error) {
+	return SimulateOptions(ctx, cfg, oracle, workload, warmup, measure, SimOptions{Probes: p})
+}
+
+// SimOptions bundles the optional attachments of one simulation: an
+// observability probe set, a watchdog heartbeat, and online invariant
+// checking. None of them change the simulated machine — results are
+// identical with every combination — which is what lets the runner cache
+// results regardless of how the run was supervised.
+type SimOptions struct {
+	// Probes, when non-nil, attaches an observability probe set (exactly
+	// like SimulateObserved's p).
+	Probes *obs.Probes
+	// Heartbeat, when non-nil, is stamped with the current cycle at every
+	// context-poll point so an external watchdog can detect a hung run.
+	Heartbeat *Heartbeat
+	// Check enables per-cycle online invariant checking (see
+	// Core.EnableChecks); violations stop the run with an error wrapping
+	// ErrInvariant.
+	Check bool
+}
+
+// SimulateOptions is the fully-optioned simulation entry point: build a
+// core, attach everything in o, run it under ctx, and return the
+// measurement record.
+func SimulateOptions(ctx context.Context, cfg Config, oracle Oracle, workload string, warmup, measure uint64, o SimOptions) (*stats.Run, error) {
 	c, err := New(cfg, oracle)
 	if err != nil {
 		return nil, err
 	}
 	c.SetWorkloadName(workload)
-	if p != nil {
-		c.Observe(p)
+	if o.Probes != nil {
+		c.Observe(o.Probes)
+	}
+	c.hb = o.Heartbeat
+	if o.Check {
+		c.EnableChecks()
 	}
 	return c.RunContext(ctx, warmup, measure)
 }

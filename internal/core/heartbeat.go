@@ -1,0 +1,48 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Heartbeat is the liveness side-channel of one running simulation: the
+// cycle loop stamps it at every context-poll point (every ctxCheckInterval
+// cycles, microseconds of wall time), and a concurrent watchdog reads it
+// to tell a slow job from a hung one. All methods are safe on a nil
+// receiver and from any goroutine; Beat never allocates, so attaching a
+// heartbeat keeps the steady-state cycle loop at zero allocs/op.
+type Heartbeat struct {
+	cycles atomic.Uint64
+	wall   atomic.Int64 // UnixNano of the last beat
+}
+
+// Beat records forward progress up to the given simulated cycle.
+func (h *Heartbeat) Beat(cycles uint64) {
+	if h == nil {
+		return
+	}
+	h.cycles.Store(cycles)
+	h.wall.Store(time.Now().UnixNano())
+}
+
+// Cycles returns the simulated cycle of the last beat (0 before the
+// first one, or on a nil receiver).
+func (h *Heartbeat) Cycles() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.cycles.Load()
+}
+
+// LastBeat returns the wall-clock time of the last beat (the zero time
+// before the first one, or on a nil receiver).
+func (h *Heartbeat) LastBeat() time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	ns := h.wall.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}

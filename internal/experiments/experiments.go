@@ -8,10 +8,12 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
+	"time"
 
 	"fdp/internal/core"
 	"fdp/internal/obs"
@@ -67,6 +69,20 @@ type Options struct {
 	// /metrics source; implies per-run probes like Metrics). Manifests,
 	// by contrast, is filled post-hoc in spec order.
 	Live *obs.ManifestLog
+
+	// WatchdogTimeout, when > 0, cancels any simulation making no forward
+	// progress for this long (see runner.Options.WatchdogTimeout).
+	WatchdogTimeout time.Duration
+	// Retry bounds re-execution of transiently failed jobs.
+	Retry runner.RetryPolicy
+	// KeepGoing quarantines failing jobs (their runs are simply missing
+	// from the resulting sets) instead of aborting the whole grid.
+	KeepGoing bool
+	// Journal, when non-nil, is the crash-safe completion WAL gating
+	// cache trust on resume (see runner.Options.Journal).
+	Journal *runner.Journal
+	// Check enables per-cycle invariant checking in every simulated core.
+	Check bool
 }
 
 // observed reports whether runs should carry probe sets.
@@ -185,17 +201,28 @@ func runGrid(opts Options, configs []core.Config) (map[string]*stats.Set, error)
 		}
 	}
 	results, err := runner.Execute(opts.ctx(), specs, runner.Options{
-		Parallel:  opts.parallel(),
-		Cache:     opts.Cache,
-		Observe:   opts.observed(),
-		TraceCap:  opts.TraceCap,
-		TraceSink: opts.TraceSink,
-		Reg:       opts.RunnerReg,
-		Status:    opts.Status,
-		Manifests: opts.Live,
+		Parallel:        opts.parallel(),
+		Cache:           opts.Cache,
+		Observe:         opts.observed(),
+		TraceCap:        opts.TraceCap,
+		TraceSink:       opts.TraceSink,
+		Reg:             opts.RunnerReg,
+		Status:          opts.Status,
+		Manifests:       opts.Live,
+		WatchdogTimeout: opts.WatchdogTimeout,
+		Retry:           opts.Retry,
+		KeepGoing:       opts.KeepGoing,
+		Journal:         opts.Journal,
+		Check:           opts.Check,
 	})
 	if err != nil {
-		return nil, err
+		// Under KeepGoing a classified job error means "some jobs were
+		// quarantined, the rest completed" — build the sets from what
+		// finished. Anything else still aborts the experiment.
+		var jerr *runner.Error
+		if !(opts.KeepGoing && errors.As(err, &jerr)) {
+			return nil, err
+		}
 	}
 
 	sets := make(map[string]*stats.Set)
@@ -203,6 +230,9 @@ func runGrid(opts Options, configs []core.Config) (map[string]*stats.Set, error)
 		sets[cfg.Name] = &stats.Set{Config: cfg.Name}
 	}
 	for i, res := range results {
+		if res.Run == nil {
+			continue // quarantined under KeepGoing
+		}
 		set := sets[specs[i].Config.Name]
 		set.Add(res.Run)
 		if res.Manifest != nil {

@@ -1,0 +1,145 @@
+// Package faultkit is the seeded fault-injection harness behind `make
+// chaos-check`: it turns a deterministic plan of per-job faults (panics,
+// hangs, process kills) into a runner.Options.FaultHook, and corrupts
+// files (cache entries, journal tails) in seeded, reproducible ways. All
+// randomness flows through xrand, so a failing chaos run replays exactly
+// from its seed.
+package faultkit
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+
+	"fdp/internal/xrand"
+)
+
+// Kind enumerates the injectable faults.
+type Kind int
+
+const (
+	// None leaves the job alone.
+	None Kind = iota
+	// Panic panics at attempt start — the transient class, which a retry
+	// policy must absorb.
+	Panic
+	// Hang blocks on the attempt context until canceled — watchdog food;
+	// classified fatal once the watchdog fires.
+	Hang
+	// Exit kills the whole process with os.Exit — the kill -9 model for
+	// crash-recovery tests. Never absorbed; the test harness re-execs.
+	Exit
+)
+
+// String names the kind for logs.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Panic:
+		return "panic"
+	case Hang:
+		return "hang"
+	case Exit:
+		return "exit"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Fault is one job's planned misbehaviour.
+type Fault struct {
+	Kind Kind
+	// Attempts is how many attempts of the job misbehave (Panic/Hang) —
+	// later attempts run clean, so Attempts < the retry budget means the
+	// job eventually succeeds. For Exit it is the attempt that kills the
+	// process. Zero means 1.
+	Attempts int
+	// Code is the Exit status (zero means 9, echoing SIGKILL).
+	Code int
+}
+
+// Plan maps job indices to faults and counts what was actually injected.
+// Safe for the concurrent calls a worker pool makes.
+type Plan struct {
+	mu       sync.Mutex
+	faults   map[int]Fault
+	injected map[Kind]int
+}
+
+// NewPlan returns an empty plan (every job clean).
+func NewPlan() *Plan {
+	return &Plan{faults: make(map[int]Fault), injected: make(map[Kind]int)}
+}
+
+// Set plans a fault for job.
+func (p *Plan) Set(job int, f Fault) {
+	if f.Attempts <= 0 {
+		f.Attempts = 1
+	}
+	if f.Kind == Exit && f.Code == 0 {
+		f.Code = 9
+	}
+	p.faults[job] = f
+}
+
+// Seeded scatters faults over jobs deterministically: each job
+// independently panics (for one attempt) with probability panicFrac or
+// hangs with probability hangFrac. The same seed always yields the same
+// plan.
+func Seeded(seed uint64, jobs int, panicFrac, hangFrac float64) *Plan {
+	p := NewPlan()
+	r := xrand.New(seed)
+	for i := 0; i < jobs; i++ {
+		switch {
+		case r.Bool(panicFrac):
+			p.Set(i, Fault{Kind: Panic})
+		case r.Bool(hangFrac):
+			p.Set(i, Fault{Kind: Hang})
+		}
+	}
+	return p
+}
+
+// Injected reports how many faults of kind k actually fired.
+func (p *Plan) Injected(k Kind) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected[k]
+}
+
+// Planned reports how many jobs have a fault of kind k planned.
+func (p *Plan) Planned(k Kind) int {
+	n := 0
+	for _, f := range p.faults {
+		if f.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Hook adapts the plan to runner.Options.FaultHook. It must be attached
+// to the Execute call whose job indices the plan was built against.
+func (p *Plan) Hook() func(ctx context.Context, job, attempt int) error {
+	return func(ctx context.Context, job, attempt int) error {
+		f, ok := p.faults[job]
+		if !ok || attempt > f.Attempts {
+			return nil
+		}
+		p.mu.Lock()
+		p.injected[f.Kind]++
+		p.mu.Unlock()
+		switch f.Kind {
+		case Panic:
+			panic(fmt.Sprintf("faultkit: injected panic (job %d attempt %d)", job, attempt))
+		case Hang:
+			<-ctx.Done()
+			return ctx.Err()
+		case Exit:
+			os.Exit(f.Code)
+		}
+		return nil
+	}
+}

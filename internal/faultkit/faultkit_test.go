@@ -1,0 +1,123 @@
+package faultkit
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSeededDeterminism: the same seed always plans the same faults.
+func TestSeededDeterminism(t *testing.T) {
+	a := Seeded(0xC4A05, 64, 0.2, 0.1)
+	b := Seeded(0xC4A05, 64, 0.2, 0.1)
+	if !reflect.DeepEqual(a.faults, b.faults) {
+		t.Fatal("same seed planned different faults")
+	}
+	if a.Planned(Panic) == 0 || a.Planned(Hang) == 0 {
+		t.Fatalf("seeded plan injected nothing: %d panics, %d hangs", a.Planned(Panic), a.Planned(Hang))
+	}
+	c := Seeded(0xBEEF, 64, 0.2, 0.1)
+	if reflect.DeepEqual(a.faults, c.faults) {
+		t.Fatal("different seeds planned identical faults (suspicious)")
+	}
+}
+
+// TestHookPanicAndRecovery: a planned panic fires only on the planned
+// attempts, then the job runs clean — the retryable-transient shape.
+func TestHookPanicAndRecovery(t *testing.T) {
+	p := NewPlan()
+	p.Set(3, Fault{Kind: Panic, Attempts: 2})
+	hook := p.Hook()
+
+	if err := hook(context.Background(), 0, 1); err != nil {
+		t.Fatalf("clean job faulted: %v", err)
+	}
+	for attempt := 1; attempt <= 2; attempt++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("attempt %d did not panic", attempt)
+				}
+			}()
+			hook(context.Background(), 3, attempt)
+		}()
+	}
+	if err := hook(context.Background(), 3, 3); err != nil {
+		t.Fatalf("attempt past the fault budget still faulted: %v", err)
+	}
+	if got := p.Injected(Panic); got != 2 {
+		t.Fatalf("Injected(Panic) = %d, want 2", got)
+	}
+}
+
+// TestHookHangBlocksUntilCancel: the hang fault releases only on context
+// cancellation and surfaces the context error (watchdog contract).
+func TestHookHangBlocksUntilCancel(t *testing.T) {
+	p := NewPlan()
+	p.Set(0, Fault{Kind: Hang})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Hook()(ctx, 0, 1) }()
+	select {
+	case err := <-done:
+		t.Fatalf("hang returned before cancel: %v", err)
+	default:
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("hang returned %v, want context.Canceled", err)
+	}
+}
+
+// TestFlipBitDeterministic: one bit differs, and the same seed flips the
+// same bit.
+func TestFlipBitDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	orig := []byte("the quick brown fox jumps over the lazy dog")
+	for _, name := range []string{"a", "b"} {
+		if err := os.WriteFile(filepath.Join(dir, name), orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := FlipBit(filepath.Join(dir, name), 0x5EED); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, _ := os.ReadFile(filepath.Join(dir, "a"))
+	b, _ := os.ReadFile(filepath.Join(dir, "b"))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed flipped different bits")
+	}
+	diff := 0
+	for i := range orig {
+		for bit := 0; bit < 8; bit++ {
+			if (orig[i]^a[i])&(1<<bit) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits differ, want exactly 1", diff)
+	}
+}
+
+// TestTruncateAndGarbage: the torn-write helpers do what they say.
+func TestTruncateAndGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, make([]byte, 100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateFrac(path, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := os.Stat(path); st.Size() != 40 {
+		t.Fatalf("size %d after truncate, want 40", st.Size())
+	}
+	if err := AppendGarbage(path, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := os.Stat(path); st.Size() != 47 {
+		t.Fatalf("size %d after garbage, want 47", st.Size())
+	}
+}

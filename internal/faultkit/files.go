@@ -1,0 +1,58 @@
+package faultkit
+
+import (
+	"fmt"
+	"os"
+
+	"fdp/internal/xrand"
+)
+
+// FlipBit flips one seeded-deterministically chosen bit in the file —
+// the single-event-upset model used to prove the cache's CRC catches
+// damage that still parses.
+func FlipBit(path string, seed uint64) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(b) == 0 {
+		return fmt.Errorf("faultkit: %s is empty, nothing to flip", path)
+	}
+	r := xrand.New(seed)
+	i := r.Intn(len(b))
+	b[i] ^= 1 << uint(r.Intn(8))
+	return os.WriteFile(path, b, 0o644)
+}
+
+// TruncateFrac cuts the file to frac of its size (clamped to [0, 1]) —
+// the torn-write model.
+func TruncateFrac(path string, frac float64) error {
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return os.Truncate(path, int64(float64(st.Size())*frac))
+}
+
+// AppendGarbage appends n seeded pseudo-random bytes — the crash-mid-
+// append model for WAL tails.
+func AppendGarbage(path string, seed uint64, n int) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := xrand.New(seed)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.Uint64())
+	}
+	_, err = f.Write(b)
+	return err
+}

@@ -69,6 +69,20 @@ func writeMetrics(w io.Writer, src Source) {
 	fmt.Fprintf(w, "runner_jobs_queued %d\n", s.Queued)
 	writeFamily(w, "runner_jobs_done", "gauge", "Jobs finished (successfully or not).")
 	fmt.Fprintf(w, "runner_jobs_done %d\n", s.Done)
+	writeFamily(w, "runner_retries", "counter", "Transient-failure re-attempts after backoff.")
+	fmt.Fprintf(w, "runner_retries %d\n", s.Retries)
+	writeFamily(w, "runner_watchdog_fired", "counter", "Hung jobs canceled by the watchdog.")
+	fmt.Fprintf(w, "runner_watchdog_fired %d\n", s.Watchdog)
+	writeFamily(w, "runner_jobs_quarantined", "counter", "Terminal job failures contained under keep-going.")
+	fmt.Fprintf(w, "runner_jobs_quarantined %d\n", s.Quarantined)
+	writeFamily(w, "runner_cache_quarantined", "counter", "Corrupt disk cache entries set aside as *.corrupt.")
+	fmt.Fprintf(w, "runner_cache_quarantined %d\n", s.CacheQuarantined)
+	writeFamily(w, "runner_job_heartbeat_age_ms", "gauge", "Per in-flight job: age of its newest heartbeat.")
+	for _, j := range s.Jobs {
+		if j.LastBeatMS >= 0 {
+			fmt.Fprintf(w, "runner_job_heartbeat_age_ms{job=%q,attempt=\"%d\"} %d\n", j.Job, j.Attempt, j.LastBeatMS)
+		}
+	}
 
 	ms := src.Manifests.All()
 	if len(ms) == 0 {

@@ -5,9 +5,11 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 
+	"fdp/internal/core"
 	"fdp/internal/obs"
 	"fdp/internal/runner"
 )
@@ -20,6 +22,10 @@ func testSource() Source {
 	st.Running.Store(1)
 	st.CacheHits.Store(1)
 	st.CacheMisses.Store(2)
+	st.Retries.Store(5)
+	st.Watchdog.Store(1)
+	st.Quarantined.Store(2)
+	st.CacheQuarantined.Store(3)
 
 	ml := obs.NewManifestLog()
 	ml.Add(&obs.Manifest{
@@ -66,7 +72,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		"runner_cache_misses 2\n",
 		"runner_jobs_running 1\n",
 		"runner_jobs_queued 1\n",
+		"runner_retries 5\n",
+		"runner_watchdog_fired 1\n",
+		"runner_jobs_quarantined 2\n",
+		"runner_cache_quarantined 3\n",
 		"# TYPE runner_jobs counter\n",
+		"# TYPE runner_watchdog_fired counter\n",
 		`fdp_run_counter{config="fdp",workload="server_a",name="acct.delivering"} 700` + "\n",
 		`fdp_run_counter{config="fdp",workload="server_a",name="run.cycles"} 1000` + "\n",
 		`fdp_run_derived{config="fdp",workload="server_a",name="run.ipc"} 2.5` + "\n",
@@ -102,9 +113,46 @@ func TestProgressEndpoint(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &snap); err != nil {
 		t.Fatalf("progress body not JSON: %v\n%s", err, body)
 	}
-	want := runner.StatusSnapshot{Specs: 4, Started: 3, Done: 2, Running: 1, Queued: 1, CacheHits: 1, CacheMisses: 2}
-	if snap != want {
+	want := runner.StatusSnapshot{
+		Specs: 4, Started: 3, Done: 2, Running: 1, Queued: 1,
+		CacheHits: 1, CacheMisses: 2,
+		Retries: 5, Watchdog: 1, Quarantined: 2, CacheQuarantined: 3,
+	}
+	if !reflect.DeepEqual(snap, want) {
 		t.Errorf("progress snapshot = %+v, want %+v", snap, want)
+	}
+}
+
+// TestInFlightJobExposure: a tracked attempt shows up on /progress with
+// its heartbeat age and on /metrics as a runner_job_heartbeat_age_ms
+// sample.
+func TestInFlightJobExposure(t *testing.T) {
+	src := testSource()
+	hb := &core.Heartbeat{}
+	hb.Beat(4096)
+	src.Status.TrackJob(7, "fdp/server_a", 2, hb)
+	srv := httptest.NewServer(Handler(src))
+	defer srv.Close()
+
+	body, _ := get(t, srv, "/progress")
+	var snap runner.StatusSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("progress body not JSON: %v\n%s", err, body)
+	}
+	if len(snap.Jobs) != 1 {
+		t.Fatalf("progress jobs = %+v, want one entry", snap.Jobs)
+	}
+	j := snap.Jobs[0]
+	if j.Index != 7 || j.Job != "fdp/server_a" || j.Attempt != 2 || j.Cycles != 4096 {
+		t.Errorf("job snapshot = %+v", j)
+	}
+	if j.LastBeatMS < 0 {
+		t.Errorf("beaten job has last_beat_ms %d, want >= 0", j.LastBeatMS)
+	}
+
+	metrics, _ := get(t, srv, "/metrics")
+	if !strings.Contains(metrics, `runner_job_heartbeat_age_ms{job="fdp/server_a",attempt="2"} `) {
+		t.Errorf("/metrics missing per-job heartbeat age:\n%s", metrics)
 	}
 }
 

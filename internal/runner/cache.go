@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
@@ -30,7 +31,11 @@ type Cache struct {
 	items map[string]*list.Element
 	dir   string // "" = memory only
 
-	hits, misses, diskErrs uint64
+	hits, misses, diskErrs, quarantined uint64
+	// onQuarantine, when set, is called (under the cache lock) for every
+	// corrupt disk entry set aside — Execute uses it to surface the
+	// runner_cache_quarantined metric live.
+	onQuarantine func()
 }
 
 // cacheEntry is one cached result. Runs and manifests are copied on Put
@@ -41,13 +46,22 @@ type cacheEntry struct {
 	manifest *obs.Manifest
 }
 
-// diskEntry is the on-disk JSON layout. Epoch pins the simulator
-// semantics the result was produced under; entries from another epoch are
-// misses (see Epoch).
+// diskEntry is the on-disk JSON layout (cacheSchema 2). Epoch pins the
+// simulator semantics the result was produced under; entries from
+// another epoch are misses (see Epoch). The result itself is nested as a
+// raw payload covered by a CRC-32, so a bit flip anywhere in the result
+// — even one that still parses as JSON — is detected and the entry
+// quarantined instead of served.
 type diskEntry struct {
-	Schema   int           `json:"schema"`
-	Epoch    int           `json:"epoch"`
-	Key      string        `json:"key"`
+	Schema  int             `json:"schema"`
+	Epoch   int             `json:"epoch"`
+	Key     string          `json:"key"`
+	CRC     uint32          `json:"crc"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// diskPayload is the CRC-covered part of a disk entry.
+type diskPayload struct {
 	Run      *stats.Run    `json:"run"`
 	Manifest *obs.Manifest `json:"manifest,omitempty"`
 }
@@ -77,7 +91,9 @@ func NewCache(capacity int, dir string) (*Cache, error) {
 // through to the disk store when one is configured. needManifest guards
 // observed consumers: an entry recorded without probes cannot satisfy a
 // run that must report a manifest, so it is a miss for that caller.
-// Corrupt or wrong-epoch disk entries are silently misses, never errors.
+// Wrong-epoch disk entries are silent misses; corrupt ones are
+// quarantined (renamed to *.corrupt) and then treated as misses — Get
+// itself never errors.
 func (c *Cache) Get(key string, needManifest bool) (*stats.Run, *obs.Manifest, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -148,15 +164,35 @@ func (c *Cache) Stats() (hits, misses, diskErrs uint64) {
 	return c.hits, c.misses, c.diskErrs
 }
 
+// Quarantined returns how many corrupt disk entries were set aside as
+// *.corrupt files.
+func (c *Cache) Quarantined() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.quarantined
+}
+
+// SetQuarantineHook registers f to be called once per quarantined entry
+// (Execute wires this to the runner_cache_quarantined metric and live
+// status). One hook at a time; the last call wins.
+func (c *Cache) SetQuarantineHook(f func()) {
+	c.mu.Lock()
+	c.onQuarantine = f
+	c.mu.Unlock()
+}
+
 // path returns the disk file for key.
 func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
 // loadDisk reads and validates the disk entry for key, returning nil on
-// any problem: a missing file, unparsable JSON, a schema or epoch
-// mismatch, or a key that does not match the filename (a corrupt or
-// hand-edited entry must never be served).
+// any problem. The failure modes are deliberately split: a missing file
+// or a valid-but-foreign entry (older schema, different epoch) is a plain
+// miss, while a *corrupt* entry — unparsable JSON, a key that does not
+// match the filename, or a CRC mismatch over the payload — is
+// quarantined: renamed to <file>.corrupt so it is preserved for
+// inspection, counted, and never consulted again.
 func (c *Cache) loadDisk(key string) *cacheEntry {
 	if c.dir == "" {
 		return nil
@@ -167,23 +203,54 @@ func (c *Cache) loadDisk(key string) *cacheEntry {
 	}
 	var d diskEntry
 	if err := json.Unmarshal(b, &d); err != nil {
+		c.quarantine(key)
 		return nil
 	}
-	if d.Schema != cacheSchema || d.Epoch != Epoch || d.Key != key || d.Run == nil {
+	if d.Schema != cacheSchema || d.Epoch != Epoch {
+		// A well-formed entry from another simulator version: a miss, not
+		// corruption (it will be overwritten by this run's Put).
 		return nil
 	}
-	return &cacheEntry{key: key, run: d.Run, manifest: d.Manifest}
+	if d.Key != key || crc32.ChecksumIEEE(d.Payload) != d.CRC {
+		c.quarantine(key)
+		return nil
+	}
+	var p diskPayload
+	if err := json.Unmarshal(d.Payload, &p); err != nil || p.Run == nil {
+		c.quarantine(key)
+		return nil
+	}
+	return &cacheEntry{key: key, run: p.Run, manifest: p.Manifest}
 }
 
-// writeDisk persists ent atomically (temp file + rename), so a crash
-// mid-write leaves either the old entry or none — never a torn file.
+// quarantine sets aside the corrupt disk entry for key (caller holds the
+// lock). The rename is best-effort: if it fails the file simply stays in
+// place and will be quarantined again on the next Get.
+func (c *Cache) quarantine(key string) {
+	if err := os.Rename(c.path(key), c.path(key)+".corrupt"); err != nil {
+		c.diskErrs++
+		return
+	}
+	c.quarantined++
+	if c.onQuarantine != nil {
+		c.onQuarantine()
+	}
+}
+
+// writeDisk persists ent atomically (temp file + fsync + rename), so a
+// crash mid-write leaves either the old entry or none — never a torn
+// file — and the rename never publishes data the kernel hasn't flushed.
 func (c *Cache) writeDisk(ent *cacheEntry) error {
+	payload, err := json.Marshal(diskPayload{Run: ent.run, Manifest: ent.manifest})
+	if err != nil {
+		return err
+	}
 	b, err := json.Marshal(diskEntry{
-		Schema:   cacheSchema,
-		Epoch:    Epoch,
-		Key:      ent.key,
-		Run:      ent.run,
-		Manifest: ent.manifest,
+		Schema:  cacheSchema,
+		Epoch:   Epoch,
+		Key:     ent.key,
+		CRC:     crc32.ChecksumIEEE(payload),
+		Payload: payload,
 	})
 	if err != nil {
 		return err
@@ -193,6 +260,11 @@ func (c *Cache) writeDisk(ent *cacheEntry) error {
 		return err
 	}
 	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err

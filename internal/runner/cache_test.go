@@ -1,7 +1,9 @@
 package runner
 
 import (
+	"bytes"
 	"encoding/json"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -125,16 +127,54 @@ func TestCacheDiskRoundTrip(t *testing.T) {
 	}
 }
 
-// TestCacheCorruptDiskEntry: garbage on disk is a miss, never a failure,
-// and a subsequent Put repairs it.
+// writeRawEntry builds a well-formed v2 disk entry for key under the
+// given schema/epoch/embedded key and writes it to dir.
+func writeRawEntry(t *testing.T, dir, file, embeddedKey string, schema, epoch int, run *stats.Run) {
+	t.Helper()
+	payload, err := json.Marshal(diskPayload{Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(diskEntry{
+		Schema:  schema,
+		Epoch:   epoch,
+		Key:     embeddedKey,
+		CRC:     crc32.ChecksumIEEE(payload),
+		Payload: payload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, file+".json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheCorruptDiskEntry: garbage on disk is quarantined (renamed to
+// *.corrupt, counted, hook fired) and treated as a miss, never a
+// failure; a subsequent Put repairs it.
 func TestCacheCorruptDiskEntry(t *testing.T) {
 	dir := t.TempDir()
 	c, _ := NewCache(4, dir)
+	var hooked int
+	c.SetQuarantineHook(func() { hooked++ })
 	if err := os.WriteFile(filepath.Join(dir, "k.json"), []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, ok := c.Get("k", false); ok {
 		t.Fatal("corrupt entry served")
+	}
+	if got := c.Quarantined(); got != 1 {
+		t.Fatalf("Quarantined = %d, want 1", got)
+	}
+	if hooked != 1 {
+		t.Fatalf("quarantine hook fired %d times, want 1", hooked)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "k.json.corrupt")); err != nil {
+		t.Fatalf("corrupt entry not set aside: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "k.json")); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still in place: %v", err)
 	}
 	c.Put("k", testRun("a", 7), nil)
 	c2, _ := NewCache(4, dir)
@@ -143,25 +183,86 @@ func TestCacheCorruptDiskEntry(t *testing.T) {
 	}
 }
 
-// TestCacheEpochMismatch: entries written under another simulator epoch
-// are misses.
-func TestCacheEpochMismatch(t *testing.T) {
+// TestCacheTruncatedDiskEntry: an entry cut short mid-write (as by a
+// crash on a filesystem without atomic rename) is quarantined.
+func TestCacheTruncatedDiskEntry(t *testing.T) {
 	dir := t.TempDir()
 	c, _ := NewCache(4, dir)
-	b, err := json.Marshal(diskEntry{Schema: cacheSchema, Epoch: Epoch + 1, Key: "k", Run: testRun("a", 5)})
+	c.Put("k", testRun("a", 9), nil)
+	p := filepath.Join(dir, "k.json")
+	b, err := os.ReadFile(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "k.json"), b, 0o644); err != nil {
+	if err := os.WriteFile(p, b[:len(b)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
+	c2, _ := NewCache(4, dir)
+	if _, _, ok := c2.Get("k", false); ok {
+		t.Fatal("truncated entry served")
+	}
+	if got := c2.Quarantined(); got != 1 {
+		t.Fatalf("Quarantined = %d, want 1", got)
+	}
+}
+
+// TestCacheBitFlippedDiskEntry: a single flipped bit inside the payload
+// — which can still parse as valid JSON — is caught by the CRC and
+// quarantined rather than served as a wrong result.
+func TestCacheBitFlippedDiskEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := NewCache(4, dir)
+	c.Put("k", testRun("a", 100), nil)
+	p := filepath.Join(dir, "k.json")
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit inside a digit of the payload: "cycles":100 becomes a
+	// different, still-valid number, so only the CRC can catch it.
+	i := bytes.LastIndexByte(b, '1')
+	if i < 0 {
+		t.Fatal("no digit to flip")
+	}
+	b[i] ^= 0x02 // '1' -> '3'
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := NewCache(4, dir)
+	if _, _, ok := c2.Get("k", false); ok {
+		t.Fatal("bit-flipped entry served")
+	}
+	if got := c2.Quarantined(); got != 1 {
+		t.Fatalf("Quarantined = %d, want 1", got)
+	}
+	if _, err := os.Stat(p + ".corrupt"); err != nil {
+		t.Fatalf("bit-flipped entry not set aside: %v", err)
+	}
+}
+
+// TestCacheEpochMismatch: well-formed entries written under another
+// simulator epoch or cache schema are plain misses — not corruption, so
+// nothing is quarantined. A mismatched embedded key (hand-copied file)
+// IS quarantined: the file can never serve its name.
+func TestCacheEpochMismatch(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := NewCache(4, dir)
+	writeRawEntry(t, dir, "k", "k", cacheSchema, Epoch+1, testRun("a", 5))
 	if _, _, ok := c.Get("k", false); ok {
 		t.Fatal("entry from a different epoch served")
 	}
-	// Same epoch but mismatched embedded key (hand-copied file): miss.
-	b, _ = json.Marshal(diskEntry{Schema: cacheSchema, Epoch: Epoch, Key: "other", Run: testRun("a", 5)})
-	os.WriteFile(filepath.Join(dir, "k.json"), b, 0o644)
+	writeRawEntry(t, dir, "k", "k", cacheSchema+1, Epoch, testRun("a", 5))
+	if _, _, ok := c.Get("k", false); ok {
+		t.Fatal("entry with a different schema served")
+	}
+	if got := c.Quarantined(); got != 0 {
+		t.Fatalf("foreign entries quarantined: %d", got)
+	}
+	writeRawEntry(t, dir, "k", "other", cacheSchema, Epoch, testRun("a", 5))
 	if _, _, ok := c.Get("k", false); ok {
 		t.Fatal("entry with mismatched key served")
+	}
+	if got := c.Quarantined(); got != 1 {
+		t.Fatalf("Quarantined = %d after key mismatch, want 1", got)
 	}
 }

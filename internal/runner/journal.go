@@ -1,0 +1,250 @@
+package runner
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Journal is the crash-safe run journal: an append-only, fsync'd WAL of
+// completed spec hashes. Unlike the result cache — whose files are
+// written atomically but whose *durability* is asynchronous — a journal
+// record is on disk before the job is reported complete, so a `kill -9`
+// mid-campaign loses at most the jobs that had not yet recorded. On
+// reopen, a corrupt tail (a record torn by the crash) is detected by its
+// per-record CRC and truncated away; every record before it is replayed.
+//
+// The journal is the source of completion truth when configured:
+// Execute trusts a cached result only for journaled keys, and records a
+// key only after its result is durably cached.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	done map[string]struct{}
+
+	recovered int   // valid records replayed at open
+	truncated int64 // corrupt tail bytes dropped at open
+	errs      uint64
+}
+
+// journalMagic identifies the file format.
+const journalMagic = "FDPJRNL1\n"
+
+// Record layout: 64 hex key chars, a space, 8 hex CRC-32(key) chars and a
+// newline — fixed-size, so the valid prefix is a whole number of records
+// and tail recovery is a byte-offset truncation.
+const (
+	journalKeyLen = 64
+	journalRecLen = journalKeyLen + 1 + 8 + 1
+)
+
+// OpenJournal opens (creating if missing) the journal at path, replays
+// every valid record, and truncates any corrupt tail. A file that does
+// not begin with the format magic is refused — except for a torn partial
+// header (shorter than the magic), which a crash during creation can
+// leave behind and which is reset to an empty journal.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: journal: %w", err)
+	}
+	j := &Journal{f: f, path: path, done: make(map[string]struct{})}
+	b, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: journal: %w", err)
+	}
+	switch {
+	case len(b) == 0:
+		if err := j.reset(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return j, nil
+	case !bytes.HasPrefix(b, []byte(journalMagic)):
+		if len(b) < len(journalMagic) && bytes.HasPrefix([]byte(journalMagic), b) {
+			// Torn header from a crash during creation: start over.
+			j.truncated = int64(len(b))
+			if err := j.reset(); err != nil {
+				f.Close()
+				return nil, err
+			}
+			return j, nil
+		}
+		f.Close()
+		return nil, fmt.Errorf("runner: journal %s: not a journal file (bad magic)", path)
+	}
+
+	off := len(journalMagic)
+	for off+journalRecLen <= len(b) {
+		key, ok := parseJournalRecord(b[off : off+journalRecLen])
+		if !ok {
+			break
+		}
+		j.done[key] = struct{}{}
+		j.recovered++
+		off += journalRecLen
+	}
+	if off < len(b) {
+		// Corrupt or torn tail: drop it so the next append starts on a
+		// clean record boundary.
+		j.truncated = int64(len(b) - off)
+		if err := f.Truncate(int64(off)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runner: journal: truncating corrupt tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: journal: %w", err)
+	}
+	return j, nil
+}
+
+// reset writes a fresh header (caller holds no lock yet; only used
+// during open).
+func (j *Journal) reset() error {
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("runner: journal: %w", err)
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("runner: journal: %w", err)
+	}
+	if _, err := j.f.WriteString(journalMagic); err != nil {
+		return fmt.Errorf("runner: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("runner: journal: %w", err)
+	}
+	return nil
+}
+
+// parseJournalRecord validates one fixed-size record and returns its key.
+func parseJournalRecord(rec []byte) (key string, ok bool) {
+	if len(rec) != journalRecLen || rec[journalKeyLen] != ' ' || rec[journalRecLen-1] != '\n' {
+		return "", false
+	}
+	for _, c := range rec[:journalKeyLen] {
+		if !isHex(c) {
+			return "", false
+		}
+	}
+	var crc uint32
+	for _, c := range rec[journalKeyLen+1 : journalRecLen-1] {
+		v, okc := hexVal(c)
+		if !okc {
+			return "", false
+		}
+		crc = crc<<4 | uint32(v)
+	}
+	k := string(rec[:journalKeyLen])
+	if crc32.ChecksumIEEE([]byte(k)) != crc {
+		return "", false
+	}
+	return k, true
+}
+
+func isHex(c byte) bool { _, ok := hexVal(c); return ok }
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	default:
+		return 0, false
+	}
+}
+
+// Done reports whether key was recorded (this run or a previous one).
+func (j *Journal) Done(key string) bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	_, ok := j.done[key]
+	j.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of recorded keys.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Recovered reports what the open-time replay found: how many valid
+// records were replayed and how many corrupt tail bytes were dropped.
+func (j *Journal) Recovered() (records int, truncatedBytes int64) {
+	if j == nil {
+		return 0, 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recovered, j.truncated
+}
+
+// Errs returns the number of failed appends (the journal degrades on
+// write errors — a lost record only means re-executing that spec on
+// resume, never wrong results).
+func (j *Journal) Errs() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.errs
+}
+
+// Record appends key and fsyncs. Re-recording a key is a no-op. The
+// in-memory set is updated even when the append fails, so in-process
+// dedup keeps working; the error is reported (and counted) for the
+// caller to surface.
+func (j *Journal) Record(key string) error {
+	if j == nil {
+		return nil
+	}
+	if len(key) != journalKeyLen {
+		return fmt.Errorf("runner: journal: key %q is not a %d-hex-digit spec hash", key, journalKeyLen)
+	}
+	for i := 0; i < len(key); i++ {
+		if !isHex(key[i]) {
+			return fmt.Errorf("runner: journal: key %q is not a %d-hex-digit spec hash", key, journalKeyLen)
+		}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.done[key]; ok {
+		return nil
+	}
+	j.done[key] = struct{}{}
+	rec := fmt.Sprintf("%s %08x\n", key, crc32.ChecksumIEEE([]byte(key)))
+	if _, err := j.f.WriteString(rec); err != nil {
+		j.errs++
+		return fmt.Errorf("runner: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		j.errs++
+		return fmt.Errorf("runner: journal: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,0 +1,253 @@
+package runner
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// jkey builds a deterministic valid 64-hex journal key.
+func jkey(i int) string {
+	return fmt.Sprintf("%064x", 0xfdb0+i)
+}
+
+func openTestJournal(t *testing.T, path string) *Journal {
+	t.Helper()
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	j := openTestJournal(t, path)
+	for i := 0; i < 5; i++ {
+		if err := j.Record(jkey(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Record(jkey(0)); err != nil { // dedup: no second record
+		t.Fatal(err)
+	}
+	if j.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", j.Len())
+	}
+	j.Close()
+
+	j2 := openTestJournal(t, path)
+	if rec, trunc := j2.Recovered(); rec != 5 || trunc != 0 {
+		t.Fatalf("Recovered = (%d, %d), want (5, 0)", rec, trunc)
+	}
+	for i := 0; i < 5; i++ {
+		if !j2.Done(jkey(i)) {
+			t.Fatalf("key %d lost across reopen", i)
+		}
+	}
+	if j2.Done(jkey(99)) {
+		t.Fatal("unrecorded key reported done")
+	}
+}
+
+// TestJournalTornTail: a record torn mid-write (the kill -9 case) is
+// truncated away on reopen; everything before it survives, and the
+// journal keeps accepting appends on the clean boundary.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	j := openTestJournal(t, path)
+	for i := 0; i < 3; i++ {
+		if err := j.Record(jkey(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Append half a record: the torn tail of an interrupted write.
+	full := fmt.Sprintf("%s %08x\n", jkey(3), crc32.ChecksumIEEE([]byte(jkey(3))))
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(full[:journalRecLen/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2 := openTestJournal(t, path)
+	rec, trunc := j2.Recovered()
+	if rec != 3 || trunc != int64(journalRecLen/2) {
+		t.Fatalf("Recovered = (%d, %d), want (3, %d)", rec, trunc, journalRecLen/2)
+	}
+	if j2.Done(jkey(3)) {
+		t.Fatal("torn record reported done")
+	}
+	if err := j2.Record(jkey(3)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	j3 := openTestJournal(t, path)
+	if rec, trunc := j3.Recovered(); rec != 4 || trunc != 0 {
+		t.Fatalf("after repair, Recovered = (%d, %d), want (4, 0)", rec, trunc)
+	}
+}
+
+// TestJournalCorruptMiddleRecord: a bit flip in the middle of the file
+// fails that record's CRC; recovery keeps the prefix and truncates from
+// the damage onward (suffix records are re-executed, never trusted).
+func TestJournalCorruptMiddleRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	j := openTestJournal(t, path)
+	for i := 0; i < 4; i++ {
+		if err := j.Record(jkey(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(journalMagic)+journalRecLen+5] ^= 0x01 // inside record 1's key
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openTestJournal(t, path)
+	rec, trunc := j2.Recovered()
+	if rec != 1 {
+		t.Fatalf("Recovered %d records, want 1 (prefix before damage)", rec)
+	}
+	if trunc != int64(3*journalRecLen) {
+		t.Fatalf("truncated %d bytes, want %d", trunc, 3*journalRecLen)
+	}
+	if !j2.Done(jkey(0)) || j2.Done(jkey(1)) || j2.Done(jkey(3)) {
+		t.Fatal("recovery kept the wrong records")
+	}
+}
+
+// TestJournalBadMagic: a file that is not a journal is refused, never
+// silently overwritten.
+func TestJournalBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notes.txt")
+	if err := os.WriteFile(path, []byte("my notes, do not destroy\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("OpenJournal on a foreign file: %v, want bad-magic error", err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(b) != "my notes, do not destroy\n" {
+		t.Fatal("foreign file was modified")
+	}
+}
+
+// TestJournalTornHeader: a crash during journal creation can leave a
+// partial magic; that is reset to an empty journal, not refused.
+func TestJournalTornHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	if err := os.WriteFile(path, []byte(journalMagic[:4]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j := openTestJournal(t, path)
+	if j.Len() != 0 {
+		t.Fatalf("Len = %d after torn-header reset", j.Len())
+	}
+	if err := j.Record(jkey(1)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2 := openTestJournal(t, path)
+	if !j2.Done(jkey(1)) {
+		t.Fatal("record lost after torn-header reset")
+	}
+}
+
+// TestJournalRejectsBadKey: only 64-hex spec hashes are recordable — a
+// malformed key must not be able to corrupt the fixed-size framing.
+func TestJournalRejectsBadKey(t *testing.T) {
+	j := openTestJournal(t, filepath.Join(t.TempDir(), "run.wal"))
+	for _, bad := range []string{"", "short", strings.Repeat("g", 64), strings.Repeat("a", 63) + "Z"} {
+		if err := j.Record(bad); err == nil {
+			t.Fatalf("key %q accepted", bad)
+		}
+	}
+	if j.Len() != 0 {
+		t.Fatalf("bad keys recorded: Len = %d", j.Len())
+	}
+}
+
+// TestJournalNilSafe: every method on a nil journal is inert, so callers
+// need no "-resume configured?" branches.
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	if j.Done("x") || j.Len() != 0 || j.Errs() != 0 {
+		t.Fatal("nil journal reported state")
+	}
+	if err := j.Record(jkey(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzJournal hardens recovery against arbitrary on-disk bytes: open
+// must never panic, and when it succeeds, a reopen after appending a
+// fresh record must preserve both the replayed and the new keys.
+func FuzzJournal(f *testing.F) {
+	rec := func(i int) string {
+		k := jkey(i)
+		return fmt.Sprintf("%s %08x\n", k, crc32.ChecksumIEEE([]byte(k)))
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte(journalMagic))
+	f.Add([]byte(journalMagic[:5]))
+	f.Add([]byte(journalMagic + rec(1) + rec(2)))
+	f.Add([]byte(journalMagic + rec(1) + rec(2)[:20]))
+	flipped := []byte(journalMagic + rec(1) + rec(2))
+	flipped[len(journalMagic)+7] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte("not a journal at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.wal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, err := OpenJournal(path)
+		if err != nil {
+			return
+		}
+		replayed, _ := j.Recovered()
+		if replayed != j.Len() {
+			t.Fatalf("replayed %d records but Len = %d", replayed, j.Len())
+		}
+		fresh := jkey(0xfff)
+		wasDone := j.Done(fresh)
+		if err := j.Record(fresh); err != nil {
+			t.Fatal(err)
+		}
+		wantLen := j.Len()
+		j.Close()
+
+		j2, err := OpenJournal(path)
+		if err != nil {
+			t.Fatalf("reopen after clean append: %v", err)
+		}
+		defer j2.Close()
+		if !j2.Done(fresh) {
+			t.Fatal("fresh record lost on reopen")
+		}
+		if j2.Len() != wantLen {
+			t.Fatalf("reopen Len = %d, want %d", j2.Len(), wantLen)
+		}
+		_ = wasDone
+	})
+}

@@ -2,8 +2,11 @@ package runner
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"fdp/internal/core"
 	"fdp/internal/obs"
@@ -53,6 +56,34 @@ type Options struct {
 	// completion order. Unlike the Result slice this is visible mid-run,
 	// which is what the HTTP monitor's /metrics endpoint serves.
 	Manifests *obs.ManifestLog
+
+	// WatchdogTimeout, when > 0, supervises every attempt with a
+	// heartbeat deadline: an attempt whose simulation makes no forward
+	// progress (and beats no heartbeat) for this long is canceled with
+	// ErrHung as the cause and fails as a fatal hung-job error.
+	WatchdogTimeout time.Duration
+	// Retry bounds re-execution of transiently failed attempts (panics,
+	// injected faults). The zero value means one attempt — no retries.
+	Retry RetryPolicy
+	// KeepGoing quarantines terminally failed jobs (their Result carries
+	// the classified error) and lets the rest of the pool finish, instead
+	// of the default first-error abort. Execute then returns the first
+	// quarantined error alongside all completed results.
+	KeepGoing bool
+	// Journal, when non-nil, is the crash-safe completion WAL: cached
+	// results are trusted only for journaled keys, and every fresh
+	// result is journaled (append + fsync) after it is cached. See
+	// OpenJournal.
+	Journal *Journal
+	// Check enables the online invariant checker inside every simulated
+	// core (FTQ occupancy, MSHR leaks, RAS depth, accounting
+	// conservation); a violation fails the job with core.ErrInvariant.
+	Check bool
+	// FaultHook, when non-nil, runs at the start of every attempt (after
+	// the cache check) — the fault-injection seam used by the chaos
+	// harness. A returned error fails the attempt; a panic is handled
+	// like a simulation panic.
+	FaultHook func(ctx context.Context, job, attempt int) error
 }
 
 // CacheBypassed reports whether the options force cache bypass: tracing
@@ -78,7 +109,10 @@ type Result struct {
 // Execute runs every spec and returns one Result per spec, in spec order
 // regardless of scheduling. The first job error cancels the remaining and
 // in-flight jobs (simulations poll their context) and is returned;
-// already-finished results are still present in the slice.
+// already-finished results are still present in the slice. With
+// Options.KeepGoing, terminal job failures are quarantined into their
+// Result instead, the pool runs to completion, and the first quarantined
+// error is returned alongside the full result set.
 func Execute(ctx context.Context, specs []Spec, opts Options) ([]Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -90,10 +124,37 @@ func Execute(ctx context.Context, specs []Spec, opts Options) ([]Result, error) 
 	useCache := opts.Cache != nil && !opts.CacheBypassed()
 	var sinkMu sync.Mutex
 
+	if useCache {
+		opts.Cache.SetQuarantineHook(func() {
+			sched.metrics.count(sched.metrics.cacheQuarantined)
+			opts.Status.cacheQuarantined()
+		})
+		defer opts.Cache.SetQuarantineHook(nil)
+	}
+
+	var wd *watchdog
+	if opts.WatchdogTimeout > 0 {
+		wd = newWatchdog(opts.WatchdogTimeout, sched.metrics, opts.Status)
+		defer wd.close()
+	}
+
+	var (
+		quarMu    sync.Mutex
+		firstQuar error
+	)
+
 	err := sched.Run(ctx, len(specs), func(ctx context.Context, i int) error {
 		sp := &specs[i]
-		if useCache {
-			if run, m, ok := opts.Cache.Get(sp.Key(), opts.Observe); ok {
+		label := sp.Config.Name + "/" + sp.Workload
+		key := ""
+		if useCache || opts.Journal != nil {
+			key = sp.Key()
+		}
+		// A cached result counts as done only if the journal (when
+		// configured) confirms it was durably recorded: the journal is the
+		// completion source of truth on resume.
+		if useCache && (opts.Journal == nil || opts.Journal.Done(key)) {
+			if run, m, ok := opts.Cache.Get(key, opts.Observe); ok {
 				sched.metrics.count(sched.metrics.cacheHits)
 				opts.Status.cacheHit()
 				if m != nil {
@@ -104,55 +165,146 @@ func Execute(ctx context.Context, specs []Spec, opts Options) ([]Result, error) 
 			}
 			sched.metrics.count(sched.metrics.cacheMisses)
 			opts.Status.cacheMiss()
+		} else if useCache {
+			sched.metrics.count(sched.metrics.cacheMisses)
+			opts.Status.cacheMiss()
 		}
 
-		var p *obs.Probes
-		if opts.Observe {
-			p = obs.NewProbes()
-			if opts.TraceCap > 0 {
-				p.EnableTrace(opts.TraceCap)
-			}
-			if opts.IntervalEvery > 0 {
-				p.EnableIntervals(opts.IntervalEvery)
-			}
-		}
-		run, err := core.SimulateContext(ctx, sp.Config, sp.NewOracle(), sp.Workload, sp.Warmup, sp.Measure, p)
-		if run != nil {
-			run.Class = sp.Class
-		}
-		if err != nil {
-			results[i] = Result{Err: err}
-			return err
-		}
-		var m *obs.Manifest
-		if p != nil {
-			m = core.Manifest(sp.Config, run, p, sp.Seed, sp.Warmup, sp.Measure)
-			if opts.TraceSink != nil && p.Tracer != nil {
-				sinkMu.Lock()
-				werr := obs.WriteRunTrace(opts.TraceSink, sp.Config.Name+"/"+sp.Workload, p.Tracer)
-				sinkMu.Unlock()
-				if werr != nil {
-					results[i] = Result{Err: werr}
-					return werr
+		policy := opts.Retry.normalized()
+		seed := backoffSeed(sp.Key())
+		var lastErr error
+		for attempt := 1; attempt <= policy.Attempts; attempt++ {
+			res, err := runAttempt(ctx, sp, i, attempt, label, opts, wd, &sinkMu)
+			if err == nil {
+				results[i] = res
+				if useCache {
+					opts.Cache.Put(key, res.Run, res.Manifest)
 				}
-			}
-			if opts.IntervalSink != nil && p.Intervals != nil {
-				sinkMu.Lock()
-				werr := obs.WriteRunIntervals(opts.IntervalSink, sp.Config.Name+"/"+sp.Workload,
-					p.Intervals.Every(), p.Intervals.Records())
-				sinkMu.Unlock()
-				if werr != nil {
-					results[i] = Result{Err: werr}
-					return werr
+				if opts.Journal != nil {
+					// Journal after the cache write: a journaled key
+					// promises a replayable (or at worst re-simulatable)
+					// result, never the reverse.
+					_ = opts.Journal.Record(key)
 				}
+				return nil
 			}
-			opts.Manifests.Add(m)
+			// A pure cancellation casualty (pool abort or caller cancel,
+			// not this job's own hang) passes through unclassified so the
+			// scheduler counts it as canceled, not failed.
+			if (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) &&
+				!errors.Is(err, ErrHung) {
+				return err
+			}
+			lastErr = &Error{Class: Classify(err), Job: label, Attempts: attempt, Err: err}
+			if Classify(err) == ClassTransient && attempt < policy.Attempts {
+				sched.metrics.count(sched.metrics.retries)
+				opts.Status.retried()
+				if serr := sleepCtx(ctx, policy.Backoff(attempt, seed)); serr != nil {
+					return serr
+				}
+				continue
+			}
+			break
 		}
-		results[i] = Result{Run: run, Manifest: m}
-		if useCache {
-			opts.Cache.Put(sp.Key(), run, m)
+		results[i] = Result{Err: lastErr}
+		if opts.KeepGoing {
+			sched.metrics.count(sched.metrics.quarantined)
+			opts.Status.quarantined()
+			quarMu.Lock()
+			if firstQuar == nil {
+				firstQuar = lastErr
+			}
+			quarMu.Unlock()
+			return nil
 		}
-		return nil
+		return lastErr
 	})
+	if err == nil {
+		quarMu.Lock()
+		err = firstQuar
+		quarMu.Unlock()
+	}
 	return results, err
+}
+
+// runAttempt executes one attempt of one spec: fault hook, simulation
+// (with heartbeat, watchdog supervision, and optional invariant checks),
+// sink writes, and manifest assembly. Panics are recovered into ErrPanic
+// so the retry loop can classify them as transient.
+func runAttempt(ctx context.Context, sp *Spec, i, attempt int, label string, opts Options, wd *watchdog, sinkMu *sync.Mutex) (res Result, err error) {
+	attemptCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	hb := &core.Heartbeat{}
+	if wd != nil {
+		wd.watch(i, label, hb, cancel)
+		defer wd.unwatch(i)
+	}
+	opts.Status.TrackJob(i, label, attempt, hb)
+	defer opts.Status.UntrackJob(i)
+	defer func() {
+		if r := recover(); r != nil {
+			opts.Status.panicked()
+			res, err = Result{}, fmt.Errorf("%w: job %q attempt %d: %v", ErrPanic, label, attempt, r)
+		}
+	}()
+
+	if opts.FaultHook != nil {
+		if ferr := opts.FaultHook(attemptCtx, i, attempt); ferr != nil {
+			return Result{}, hungOr(attemptCtx, ferr)
+		}
+	}
+
+	var p *obs.Probes
+	if opts.Observe {
+		p = obs.NewProbes()
+		if opts.TraceCap > 0 {
+			p.EnableTrace(opts.TraceCap)
+		}
+		if opts.IntervalEvery > 0 {
+			p.EnableIntervals(opts.IntervalEvery)
+		}
+	}
+	run, serr := core.SimulateOptions(attemptCtx, sp.Config, sp.NewOracle(), sp.Workload, sp.Warmup, sp.Measure,
+		core.SimOptions{Probes: p, Heartbeat: hb, Check: opts.Check})
+	if run != nil {
+		run.Class = sp.Class
+	}
+	if serr != nil {
+		return Result{}, hungOr(attemptCtx, serr)
+	}
+	var m *obs.Manifest
+	if p != nil {
+		m = core.Manifest(sp.Config, run, p, sp.Seed, sp.Warmup, sp.Measure)
+		if opts.TraceSink != nil && p.Tracer != nil {
+			sinkMu.Lock()
+			werr := obs.WriteRunTrace(opts.TraceSink, label, p.Tracer)
+			sinkMu.Unlock()
+			if werr != nil {
+				return Result{}, werr
+			}
+		}
+		if opts.IntervalSink != nil && p.Intervals != nil {
+			sinkMu.Lock()
+			werr := obs.WriteRunIntervals(opts.IntervalSink, label,
+				p.Intervals.Every(), p.Intervals.Records())
+			sinkMu.Unlock()
+			if werr != nil {
+				return Result{}, werr
+			}
+		}
+		opts.Manifests.Add(m)
+	}
+	return Result{Run: run, Manifest: m}, nil
+}
+
+// hungOr rewraps a cancellation error whose cause was the watchdog: the
+// job did not die as a casualty of someone else's failure, it *was* the
+// failure. ErrHung is wrapped with %w (so Classify sees it) while the
+// underlying context error is flattened with %v — a hung job must not
+// match the scheduler's errors.Is(err, context.Canceled) casualty check.
+func hungOr(ctx context.Context, err error) error {
+	if errors.Is(err, context.Canceled) && errors.Is(context.Cause(ctx), ErrHung) {
+		return fmt.Errorf("%w (no forward progress; canceled by watchdog): %v", ErrHung, err)
+	}
+	return err
 }

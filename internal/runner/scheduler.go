@@ -30,18 +30,34 @@ const (
 	// MetricQueueDepth samples, at every job start, how many jobs were
 	// still waiting — the backlog profile of the pool.
 	MetricQueueDepth = "runner_queue_depth"
+	// MetricRetries counts transient-failure retries (each re-attempt of
+	// a job after backoff adds one).
+	MetricRetries = "runner_retries"
+	// MetricWatchdogFired counts watchdog cancellations of jobs whose
+	// heartbeat showed no forward progress for the deadline.
+	MetricWatchdogFired = "runner_watchdog_fired"
+	// MetricQuarantined counts jobs whose terminal failure was
+	// quarantined under keep-going instead of aborting the pool.
+	MetricQuarantined = "runner_jobs_quarantined"
+	// MetricCacheQuarantined counts corrupt disk cache entries renamed to
+	// *.corrupt instead of being served or silently treated as misses.
+	MetricCacheQuarantined = "runner_cache_quarantined"
 )
 
 // schedMetrics is the mutex-guarded view of the runner metrics. All
 // methods are safe on a zero registry (every obs op is nil-safe).
 type schedMetrics struct {
-	mu          sync.Mutex
-	jobs        *obs.Counter
-	cacheHits   *obs.Counter
-	cacheMisses *obs.Counter
-	canceled    *obs.Counter
-	panics      *obs.Counter
-	depth       *obs.Histogram
+	mu               sync.Mutex
+	jobs             *obs.Counter
+	cacheHits        *obs.Counter
+	cacheMisses      *obs.Counter
+	canceled         *obs.Counter
+	panics           *obs.Counter
+	retries          *obs.Counter
+	watchdog         *obs.Counter
+	quarantined      *obs.Counter
+	cacheQuarantined *obs.Counter
+	depth            *obs.Histogram
 }
 
 func newSchedMetrics(reg *obs.Registry) *schedMetrics {
@@ -52,6 +68,10 @@ func newSchedMetrics(reg *obs.Registry) *schedMetrics {
 		m.cacheMisses = reg.Counter(MetricCacheMisses)
 		m.canceled = reg.Counter(MetricCanceled)
 		m.panics = reg.Counter(MetricPanics)
+		m.retries = reg.Counter(MetricRetries)
+		m.watchdog = reg.Counter(MetricWatchdogFired)
+		m.quarantined = reg.Counter(MetricQuarantined)
+		m.cacheQuarantined = reg.Counter(MetricCacheQuarantined)
 		m.depth = reg.Histogram(MetricQueueDepth)
 	}
 	return m

@@ -26,8 +26,9 @@ import (
 const Epoch = 2
 
 // cacheSchema versions the on-disk cache entry layout itself (as opposed
-// to the simulator semantics, which Epoch tracks).
-const cacheSchema = 1
+// to the simulator semantics, which Epoch tracks). v2 nests the result in
+// a CRC-32-covered payload so bit flips are detected and quarantined.
+const cacheSchema = 2
 
 // Spec declares one simulation: the full machine configuration, the
 // workload identity, and the warmup/measure instruction budget. Two specs

@@ -1,0 +1,117 @@
+package runner
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"fdp/internal/core"
+)
+
+// watchdog detects no-forward-progress jobs: every attempt registers its
+// heartbeat (stamped by the simulation's cycle loop at each context-poll
+// point) and a cancel function; a background sweeper cancels — with
+// ErrHung as the cause — any registered job whose heartbeat has not moved
+// for the deadline. Simulations poll their context, so a canceled hang
+// unwinds promptly; jobs that never reach the cycle loop (stuck I/O,
+// injected hangs) are covered too because registration itself stamps the
+// heartbeat once.
+type watchdog struct {
+	timeout time.Duration
+	metrics *schedMetrics
+	status  *Status
+
+	mu   sync.Mutex
+	jobs map[int]watchItem
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// watchItem is one supervised attempt.
+type watchItem struct {
+	label  string
+	hb     *core.Heartbeat
+	cancel context.CancelCauseFunc
+}
+
+// newWatchdog starts the sweeper goroutine; callers must close() it.
+func newWatchdog(timeout time.Duration, m *schedMetrics, st *Status) *watchdog {
+	w := &watchdog{
+		timeout: timeout,
+		metrics: m,
+		status:  st,
+		jobs:    make(map[int]watchItem),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+// watch registers job i's current attempt. The heartbeat is stamped here
+// so the deadline measures from registration even for attempts that hang
+// before their first cycle.
+func (w *watchdog) watch(i int, label string, hb *core.Heartbeat, cancel context.CancelCauseFunc) {
+	hb.Beat(hb.Cycles())
+	w.mu.Lock()
+	w.jobs[i] = watchItem{label: label, hb: hb, cancel: cancel}
+	w.mu.Unlock()
+}
+
+// unwatch removes job i (attempt finished, by any outcome).
+func (w *watchdog) unwatch(i int) {
+	w.mu.Lock()
+	delete(w.jobs, i)
+	w.mu.Unlock()
+}
+
+// loop sweeps at a quarter of the deadline (clamped to [1ms, 1s]) so a
+// hang is detected within ~1.25 deadlines in the worst case.
+func (w *watchdog) loop() {
+	defer close(w.done)
+	interval := w.timeout / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	if interval > time.Second {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.sweep(time.Now())
+		}
+	}
+}
+
+// sweep cancels every job whose heartbeat is older than the deadline.
+// Cancellation runs outside the lock; a fired job is removed first so it
+// is counted exactly once.
+func (w *watchdog) sweep(now time.Time) {
+	var fired []watchItem
+	w.mu.Lock()
+	for i, it := range w.jobs {
+		if now.Sub(it.hb.LastBeat()) > w.timeout {
+			delete(w.jobs, i)
+			fired = append(fired, it)
+		}
+	}
+	w.mu.Unlock()
+	for _, it := range fired {
+		it.cancel(ErrHung)
+		w.metrics.count(w.metrics.watchdog)
+		w.status.watchdogFired()
+	}
+}
+
+// close stops the sweeper and waits for it to exit.
+func (w *watchdog) close() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}

@@ -21,6 +21,18 @@ import (
 // magic identifies the format.
 const magic = "FDPTRACE1\n"
 
+// ErrCorrupt classifies every malformed-input failure out of Read: bad
+// or truncated framing, implausible sizes, invalid instruction types or
+// record flags, and gzip-level damage. Callers branch on it with
+// errors.Is to tell a damaged trace file (re-generate or quarantine it)
+// from an environmental I/O failure (retry it).
+var ErrCorrupt = errors.New("corrupt trace input")
+
+// corruptf builds a corrupt-input error carrying ErrCorrupt.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("trace: "+format+": %w", append(args, ErrCorrupt)...)
+}
+
 // Header describes the traced workload.
 type Header struct {
 	Name         string
@@ -133,16 +145,16 @@ type Trace struct {
 func Read(r io.Reader) (*Trace, error) {
 	zr, err := gzip.NewReader(r)
 	if err != nil {
-		return nil, fmt.Errorf("trace: %w", err)
+		return nil, corruptf("gzip header: %v", err)
 	}
 	defer zr.Close()
 	br := bufio.NewReader(zr)
 	got := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, got); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+		return nil, corruptf("reading magic: %v", err)
 	}
 	if string(got) != magic {
-		return nil, errors.New("trace: bad magic")
+		return nil, corruptf("bad magic %q", got)
 	}
 	t := &Trace{}
 	if t.Header.Name, err = readString(br); err != nil {
@@ -152,63 +164,64 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, err
 	}
 	if t.Header.Seed, err = binary.ReadUvarint(br); err != nil {
-		return nil, err
+		return nil, corruptf("header seed: %v", err)
 	}
 	if t.Header.Entry, err = binary.ReadUvarint(br); err != nil {
-		return nil, err
+		return nil, corruptf("header entry: %v", err)
 	}
 	base, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, corruptf("image base: %v", err)
 	}
 	if base%program.InstBytes != 0 {
-		return nil, fmt.Errorf("trace: image base %#x not %d-byte aligned", base, program.InstBytes)
+		return nil, corruptf("image base %#x not %d-byte aligned", base, program.InstBytes)
 	}
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, corruptf("image size: %v", err)
 	}
 	const maxImageInsts = 1 << 26 // 256MB of code: far beyond any workload
 	if n == 0 || n > maxImageInsts {
-		return nil, fmt.Errorf("trace: implausible image size %d", n)
+		return nil, corruptf("implausible image size %d", n)
 	}
 	img := program.NewImage(base)
 	for i := uint64(0); i < n; i++ {
 		tb, err := br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("trace: image truncated: %w", err)
+			return nil, corruptf("image truncated: %v", err)
 		}
 		ty := program.InstType(tb)
 		if int(ty) >= program.NumInstTypes {
-			return nil, fmt.Errorf("trace: bad instruction type %d", tb)
+			return nil, corruptf("bad instruction type %d", tb)
 		}
 		pc := img.Append(ty)
 		if ty.IsDirect() {
 			tgt, err := binary.ReadUvarint(br)
 			if err != nil {
-				return nil, err
+				return nil, corruptf("branch target: %v", err)
 			}
 			img.SetTarget(pc, tgt)
 		}
 	}
 	if err := img.Freeze(); err != nil {
-		return nil, err
+		return nil, corruptf("invalid image: %v", err)
 	}
 	t.img = img
 
 	// The dynamic-record section is the remainder of the stream; slurp it
 	// and decode from the byte slice in one batched pass, which avoids the
-	// per-byte bufio interface calls of the original reader.
+	// per-byte bufio interface calls of the original reader. A failure
+	// here is where gzip checksum damage surfaces.
 	data, err := io.ReadAll(br)
 	if err != nil {
-		return nil, err
+		return nil, corruptf("record section: %v", err)
 	}
 	if t.recs, err = decodeRecords(data, img, t.Header.Entry); err != nil {
 		return nil, err
 	}
 	t.Header.Instructions = uint64(len(t.recs))
 	if len(t.recs) == 0 {
-		return nil, errors.New("trace: no dynamic records")
+		return nil, corruptf("no dynamic records")
 	}
 	return t, nil
 }
@@ -236,14 +249,14 @@ func decodeRecords(data []byte, img *program.Image, entry uint64) ([]record, err
 			v, n := binary.Uvarint(data[i:])
 			if n <= 0 {
 				if n == 0 {
-					return nil, fmt.Errorf("trace: record %d: truncated varint", len(recs))
+					return nil, corruptf("record %d: truncated varint", len(recs))
 				}
-				return nil, fmt.Errorf("trace: record %d: varint overflows 64 bits", len(recs))
+				return nil, corruptf("record %d: varint overflows 64 bits", len(recs))
 			}
 			rec.nextPC = v
 			i += n
 		default:
-			return nil, fmt.Errorf("trace: bad record flags %#x", flags)
+			return nil, corruptf("bad record flags %#x", flags)
 		}
 		recs = append(recs, rec)
 		pc = rec.nextPC
@@ -289,14 +302,14 @@ func decodeRecordsReference(br io.ByteReader, img *program.Image, entry uint64) 
 func readString(br *bufio.Reader) (string, error) {
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
-		return "", err
+		return "", corruptf("string length: %v", err)
 	}
 	if n > 1<<20 {
-		return "", errors.New("trace: oversized string")
+		return "", corruptf("oversized string (%d bytes)", n)
 	}
 	b := make([]byte, n)
 	if _, err := io.ReadFull(br, b); err != nil {
-		return "", err
+		return "", corruptf("string truncated: %v", err)
 	}
 	return string(b), nil
 }
