@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci build vet test race fuzz bench bench-check golden-update clean experiments-smoke accounting-check chaos-check
+.PHONY: ci build vet test race fuzz bench bench-check golden-update clean experiments-smoke accounting-check chaos-check warmup-check
 
-ci: vet build race fuzz experiments-smoke accounting-check chaos-check
+ci: vet build race fuzz experiments-smoke accounting-check chaos-check warmup-check
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run=^$$ -fuzz=FuzzBatchedDecode -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run=^$$ -fuzz=FuzzJournal -fuzztime=$(FUZZTIME) ./internal/runner
+	$(GO) test -run=^$$ -fuzz=FuzzCheckpoint -fuzztime=$(FUZZTIME) ./internal/core
 
 # Benchmark knobs: BENCHTIME bounds the go-test benchmarks (1x keeps the
 # 17-benchmark sweep fast; raise for stable numbers), BENCHREPS is the
@@ -84,6 +85,14 @@ accounting-check:
 # docs/ROBUSTNESS.md and cmd/chaos.
 chaos-check:
 	$(GO) run ./cmd/chaos
+
+# Fast-forward warmup gate: for every golden (config, workload) pair,
+# a cold fast-forward run and a checkpoint-restored run must produce
+# byte-identical manifests over the measured region, and a warmup-heavy
+# 8-config sweep must run >= 2x faster with checkpoints on (the measured
+# speedup is logged). See cmd/warmupcheck and docs/ARCHITECTURE.md.
+warmup-check:
+	$(GO) run ./cmd/warmupcheck
 
 # Regenerate the golden-run manifests after an intentional simulator
 # change; review the diff before committing. Cached runner results are

@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -42,6 +43,9 @@ const (
 	metInstPerSec = "inst_per_sec"
 	metNsPerCycle = "ns_per_cycle"
 	metAllocs     = "allocs_per_op"
+	// metFFwdInstPerSec is reported only by the fast_forward case: the
+	// throughput of the functional fast-forward warmup loop itself.
+	metFFwdInstPerSec = "ffwd_inst_per_sec"
 )
 
 func steadyMetrics() []benchkit.Metric {
@@ -64,6 +68,9 @@ type benchCase struct {
 	// (the whole-simulation view); steady-state cases construct and warm
 	// up first and time only the cycle loop.
 	endToEnd bool
+	// ffwd warms up with functional fast-forward instead of the cycle
+	// loop and additionally reports the fast-forward throughput.
+	ffwd bool
 }
 
 // suite mirrors the golden-run matrix of golden_test.go plus the
@@ -91,6 +98,8 @@ func suite() []benchCase {
 		{name: "simulator_throughput", cfg: fdp.DefaultConfig(),
 			workload: synth.MustGenerate(srv, "server", 0xBE11),
 			warmup:   5_000, measure: 50_000, endToEnd: true},
+		{name: "fast_forward", cfg: fdp.DefaultConfig(), workload: mustWorkload("server_a"),
+			warmup: 300_000, measure: 60_000, ffwd: true},
 	}
 }
 
@@ -134,6 +143,52 @@ func measureSteady(c benchCase) map[string]float64 {
 	}
 }
 
+// measureFastForward times the functional fast-forward warmup loop, then
+// the steady-state cycle loop it hands off to. The cycle-loop metrics
+// must look exactly like a cycle-accurately warmed machine's — in
+// particular allocations must stay at zero: fast-forward leaves no
+// deferred construction behind.
+func measureFastForward(c benchCase) map[string]float64 {
+	m, err := core.New(c.cfg, c.workload.NewStream())
+	if err != nil {
+		die(err)
+	}
+	t0 := time.Now()
+	if err := m.FastForward(context.Background(), c.warmup); err != nil {
+		die(err)
+	}
+	ffwdDT := time.Since(t0)
+	// Fast-forward never runs the pipeline, so the first few thousand
+	// cycles pay one-time lazy allocations (histogram buckets and the
+	// like) that cycle-accurate warmup absorbs. Settle past them: the
+	// timed region below asserts the *steady-state* loop after a
+	// fast-forwarded warmup is just as allocation-free as after a
+	// cycle-accurate one.
+	settle := m.Retired() + 5_000
+	for m.Retired() < settle {
+		m.Step(512)
+	}
+	m.Stats().WindowIPC = make([]float64, 0, 1<<16)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	startCycles, startInsts := m.Now(), m.Retired()
+	target := startInsts + c.measure
+	t1 := time.Now()
+	for m.Retired() < target {
+		m.Step(512)
+	}
+	dt := time.Since(t1)
+	runtime.ReadMemStats(&ms1)
+	cycles := float64(m.Now() - startCycles)
+	insts := float64(m.Retired() - startInsts)
+	return map[string]float64{
+		metInstPerSec:     insts / dt.Seconds(),
+		metNsPerCycle:     float64(dt.Nanoseconds()) / cycles,
+		metAllocs:         float64(ms1.Mallocs - ms0.Mallocs),
+		metFFwdInstPerSec: float64(c.warmup) / ffwdDT.Seconds(),
+	}
+}
+
 // measureEndToEnd times a whole fdp.Simulate call, construction
 // included, exactly like BenchmarkSimulatorThroughput.
 func measureEndToEnd(c benchCase) map[string]float64 {
@@ -170,10 +225,15 @@ func runSuite(label string, warmupReps, reps int) *benchkit.Report {
 	for _, c := range suite() {
 		c := c
 		fn := func() map[string]float64 { return measureSteady(c) }
+		metrics := steadyMetrics()
 		if c.endToEnd {
 			fn = func() map[string]float64 { return measureEndToEnd(c) }
 		}
-		b, err := benchkit.Measure(warmupReps, reps, steadyMetrics(), fn)
+		if c.ffwd {
+			fn = func() map[string]float64 { return measureFastForward(c) }
+			metrics = append(metrics, benchkit.Metric{Name: metFFwdInstPerSec, Unit: "inst/s", Better: benchkit.Higher})
+		}
+		b, err := benchkit.Measure(warmupReps, reps, metrics, fn)
 		if err != nil {
 			die(err)
 		}

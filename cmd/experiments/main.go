@@ -45,6 +45,9 @@ func main() {
 		cacheDir = flag.String("cache", "", "store and reuse simulation results in this directory")
 		resume   = flag.Bool("resume", false, "shorthand for -cache ./"+defaultCacheDir)
 
+		ffwd       = flag.Bool("ffwd", false, "functional fast-forward warmup: train predictors/caches architecturally without timing the pipeline (different warmup semantics, much faster)")
+		checkpoint = flag.Bool("checkpoint", false, "with -ffwd, pay each distinct warmup once per (workload, training config) and restore its checkpoint everywhere else")
+
 		check     = flag.Bool("check", false, "enable per-cycle invariant checking in every simulated core")
 		watchdog  = flag.Duration("watchdog", 0, "cancel any simulation making no forward progress for this long (0 = off)")
 		retries   = flag.Int("retries", 0, "retries for transiently failed jobs (panics), with exponential backoff")
@@ -112,6 +115,13 @@ func main() {
 	opts.Cache = cache
 	runnerReg := obs.NewRegistry()
 	opts.RunnerReg = runnerReg
+
+	if *checkpoint && !*ffwd {
+		fmt.Fprintln(os.Stderr, "experiments: -checkpoint requires -ffwd (checkpoints capture fast-forward warmup state)")
+		os.Exit(1)
+	}
+	opts.FastForward = *ffwd
+	opts.Checkpoint = *checkpoint
 
 	opts.Check = *check
 	opts.WatchdogTimeout = *watchdog
@@ -214,8 +224,14 @@ func main() {
 	jobs := runnerReg.Counter(runner.MetricJobs).Value()
 	hits := runnerReg.Counter(runner.MetricCacheHits).Value()
 	misses := runnerReg.Counter(runner.MetricCacheMisses).Value()
-	fmt.Printf("runner: jobs=%d cache_hits=%d cache_misses=%d retries=%d watchdog=%d quarantined=%d cache_quarantined=%d\n",
+	// checkpoint_* fields are distinct from the cache_* ones: a
+	// checkpoint-served job still simulated its measured region (only the
+	// warmup was restored), whereas a cache-served job simulated nothing.
+	fmt.Printf("runner: jobs=%d cache_hits=%d cache_misses=%d checkpoint_hits=%d checkpoint_misses=%d checkpoint_restores=%d retries=%d watchdog=%d quarantined=%d cache_quarantined=%d\n",
 		jobs, hits, misses,
+		runnerReg.Counter(runner.MetricCheckpointHits).Value(),
+		runnerReg.Counter(runner.MetricCheckpointMisses).Value(),
+		runnerReg.Counter(runner.MetricCheckpointRestores).Value(),
 		runnerReg.Counter(runner.MetricRetries).Value(),
 		runnerReg.Counter(runner.MetricWatchdogFired).Value(),
 		runnerReg.Counter(runner.MetricQuarantined).Value(),

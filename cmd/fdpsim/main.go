@@ -44,6 +44,8 @@ func main() {
 		timeline   = flag.Bool("timeline", false, "print a per-workload IPC sparkline (10K-instruction windows)")
 		warmup     = flag.Uint64("warmup", 200_000, "warmup instructions")
 		measure    = flag.Uint64("measure", 800_000, "measured instructions")
+		ffwd       = flag.Bool("ffwd", false, "functional fast-forward warmup: train predictors/caches architecturally without timing the pipeline (different warmup semantics, much faster)")
+		checkpoint = flag.Bool("checkpoint", false, "with -ffwd, reuse post-warmup state checkpoints across runs (persisted in the -cache directory when set)")
 		parallel   = flag.Int("parallel", 0, "concurrent simulations with -workload all (0 = GOMAXPROCS)")
 		cacheDir   = flag.String("cache", "", "reuse results from this on-disk cache directory (synthetic workloads only)")
 
@@ -97,6 +99,10 @@ func main() {
 	cfg.Name = "custom"
 	if *baseline {
 		cfg.Name = "baseline"
+	}
+
+	if *checkpoint && !*ffwd {
+		fatal("-checkpoint requires -ffwd (checkpoints capture fast-forward warmup state)")
 	}
 
 	if *pprofOut != "" {
@@ -171,7 +177,7 @@ func main() {
 			}
 		}
 		r, err := core.SimulateOptions(context.Background(), cfg, oracle, name, *warmup, *measure,
-			core.SimOptions{Probes: p, Check: *check})
+			core.SimOptions{Probes: p, Check: *check, FastForward: *ffwd})
 		if err != nil {
 			fatal("%s: %v", name, err)
 		}
@@ -181,6 +187,7 @@ func main() {
 			m := core.Manifest(cfg, r, p, seed, *warmup, *measure)
 			m.Tool = "fdpsim"
 			m.Git = gitRev
+			m.FFwd = *ffwd
 			if err := m.WriteJSONL(metricsW); err != nil {
 				fatal("writing manifest: %v", err)
 			}
@@ -227,6 +234,14 @@ func main() {
 			fatal("%v", err)
 		}
 	}
+	if *checkpoint && cache == nil {
+		// Memory-only store: warmup is still shared across this
+		// invocation's workloads, it just doesn't survive the process.
+		cache, err = runner.NewCache(runner.DefaultCacheCapacity, "")
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
 	ropts := runner.Options{
 		Parallel:        *parallel,
 		Cache:           cache,
@@ -234,6 +249,7 @@ func main() {
 		Check:           *check,
 		WatchdogTimeout: *watchdog,
 		KeepGoing:       *keepGoing,
+		Checkpoint:      *checkpoint,
 	}
 	if *retries > 0 {
 		ropts.Retry = runner.RetryPolicy{Attempts: *retries + 1}
@@ -248,7 +264,9 @@ func main() {
 	}
 	specs := make([]runner.Spec, 0, len(workloads))
 	for _, w := range workloads {
-		specs = append(specs, runner.WorkloadSpec(cfg, w, *warmup, *measure))
+		sp := runner.WorkloadSpec(cfg, w, *warmup, *measure)
+		sp.FFwd = *ffwd
+		specs = append(specs, sp)
 	}
 	results, err := runner.Execute(context.Background(), specs, ropts)
 	if err != nil {

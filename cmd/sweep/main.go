@@ -64,11 +64,13 @@ func run(args []string, stdout io.Writer) error {
 		param     = fs.String("param", "ftq", "parameter to sweep: "+paramNames())
 		valuesStr = fs.String("values", "2,4,8,16,24,32", "comma-separated values")
 		wlStr     = fs.String("workloads", "server_a,client_a,spec_a", "comma-separated workloads, or 'all'")
-		pfc       = fs.Bool("pfc", true, "post-fetch correction")
-		warmup    = fs.Uint64("warmup", 100_000, "warmup instructions")
-		measure   = fs.Uint64("measure", 400_000, "measured instructions")
-		parallel  = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		cacheDir  = fs.String("cache", "", "reuse results from this on-disk cache directory")
+		pfc        = fs.Bool("pfc", true, "post-fetch correction")
+		warmup     = fs.Uint64("warmup", 100_000, "warmup instructions")
+		measure    = fs.Uint64("measure", 400_000, "measured instructions")
+		ffwd       = fs.Bool("ffwd", false, "functional fast-forward warmup: train predictors/caches architecturally without timing the pipeline (different warmup semantics, much faster)")
+		checkpoint = fs.Bool("checkpoint", false, "with -ffwd, warm up once per (workload, training config) and restore the checkpoint for every other sweep point")
+		parallel   = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir   = fs.String("cache", "", "reuse results from this on-disk cache directory")
 
 		check     = fs.Bool("check", false, "enable per-cycle invariant checking")
 		watchdog  = fs.Duration("watchdog", 0, "cancel any simulation making no forward progress for this long (0 = off)")
@@ -85,6 +87,9 @@ func run(args []string, stdout io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *checkpoint && !*ffwd {
+		return fmt.Errorf("-checkpoint requires -ffwd (checkpoints capture fast-forward warmup state)")
 	}
 
 	if *pprofOut != "" {
@@ -163,6 +168,14 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	if *checkpoint && cache == nil {
+		// Memory-only store: the sweep still pays each warmup once, the
+		// checkpoints just don't survive the process.
+		cache, err = runner.NewCache(runner.DefaultCacheCapacity, "")
+		if err != nil {
+			return err
+		}
+	}
 
 	observed := metricsW != nil || traceW != nil || intervalsW != nil || *httpAddr != ""
 	ropts := runner.Options{
@@ -172,6 +185,7 @@ func run(args []string, stdout io.Writer) error {
 		Check:           *check,
 		WatchdogTimeout: *watchdog,
 		KeepGoing:       *keepGoing,
+		Checkpoint:      *checkpoint,
 	}
 	if *retries > 0 {
 		ropts.Retry = runner.RetryPolicy{Attempts: *retries + 1}
@@ -202,7 +216,9 @@ func run(args []string, stdout io.Writer) error {
 			cfg.PFC = *pfc
 			mutate(&cfg, v)
 			cfg.Name = fmt.Sprintf("%s=%d", *param, v)
-			specs = append(specs, runner.WorkloadSpec(cfg, w, *warmup, *measure))
+			sp := runner.WorkloadSpec(cfg, w, *warmup, *measure)
+			sp.FFwd = *ffwd
+			specs = append(specs, sp)
 		}
 	}
 	results, err := runner.Execute(context.Background(), specs, ropts)

@@ -1,0 +1,147 @@
+package btb
+
+import (
+	"fdp/internal/ckpt"
+	"fdp/internal/program"
+)
+
+func instTypeFromU8(v uint8) program.InstType { return program.InstType(v) }
+
+// Checkpoint serialization of every BTB organization. Contents and
+// replacement state are encoded; lookup statistics are not (the core
+// resets them when measurement starts), except the Inserts/Replacements
+// training counters, which warmup advances and reports survive.
+
+const (
+	tagBTB     = 0x42544231 // "BTB1"
+	tagTwoLvl  = 0x4254_4232 // "BTB2"
+	tagBB      = 0x4242_4231 // "BBB1"
+	tagPerfect = 0x50425442 // "PBTB"
+)
+
+// SaveState encodes the tag array, way metadata and replacement clock.
+func (b *BTB) SaveState(w *ckpt.Writer) {
+	w.Tag(tagBTB)
+	w.U64s(b.tags)
+	w.Int(len(b.meta))
+	for i := range b.meta {
+		w.U64(b.meta[i].target)
+		w.U64(b.meta[i].lru)
+		w.U8(uint8(b.meta[i].typ))
+	}
+	w.U64(b.lruClock)
+	w.U64(b.Inserts)
+	w.U64(b.Replacements)
+}
+
+// LoadState restores state written by SaveState.
+func (b *BTB) LoadState(r *ckpt.Reader) {
+	r.Tag(tagBTB)
+	r.U64s(b.tags)
+	if n := r.Int(); r.Err() == nil && n != len(b.meta) {
+		r.Failf("btb: way count mismatch: %d vs %d", n, len(b.meta))
+		return
+	}
+	for i := range b.meta {
+		b.meta[i].target = r.U64()
+		b.meta[i].lru = r.U64()
+		b.meta[i].typ = instTypeFromU8(r.U8())
+	}
+	b.lruClock = r.U64()
+	b.Inserts = r.U64()
+	b.Replacements = r.U64()
+}
+
+// SaveState encodes both levels plus the promotion counter.
+func (t *TwoLevel) SaveState(w *ckpt.Writer) {
+	w.Tag(tagTwoLvl)
+	t.l1.SaveState(w)
+	t.l2.SaveState(w)
+	w.Bool(t.LastFromL2)
+	w.U64(t.Promotions)
+}
+
+// LoadState restores state written by SaveState.
+func (t *TwoLevel) LoadState(r *ckpt.Reader) {
+	r.Tag(tagTwoLvl)
+	t.l1.LoadState(r)
+	t.l2.LoadState(r)
+	t.LastFromL2 = r.Bool()
+	t.Promotions = r.U64()
+}
+
+// SaveState encodes every basic-block entry and the replacement clock.
+func (b *BasicBlock) SaveState(w *ckpt.Writer) {
+	w.Tag(tagBB)
+	w.Int(len(b.entries))
+	for i := range b.entries {
+		e := &b.entries[i]
+		w.Bool(e.valid)
+		w.U64(e.tag)
+		w.U16(e.size)
+		w.U8(uint8(e.typ))
+		w.U64(e.target)
+		w.U64(e.lru)
+	}
+	w.U64(b.lruClock)
+	w.U64(b.Inserts)
+	w.U64(b.Replacements)
+}
+
+// LoadState restores state written by SaveState.
+func (b *BasicBlock) LoadState(r *ckpt.Reader) {
+	r.Tag(tagBB)
+	if n := r.Int(); r.Err() == nil && n != len(b.entries) {
+		r.Failf("bbbtb: entry count mismatch: %d vs %d", n, len(b.entries))
+		return
+	}
+	for i := range b.entries {
+		e := &b.entries[i]
+		e.valid = r.Bool()
+		e.tag = r.U64()
+		e.size = r.U16()
+		e.typ = instTypeFromU8(r.U8())
+		e.target = r.U64()
+		e.lru = r.U64()
+	}
+	b.lruClock = r.U64()
+	b.Inserts = r.U64()
+	b.Replacements = r.U64()
+}
+
+// SaveState encodes the perfect BTB's learned indirect-target table. The
+// raw open-addressed arrays are encoded verbatim (not as key/value pairs)
+// so a restored table has the identical probe layout and the identical
+// future growth behaviour.
+func (p *Perfect) SaveState(w *ckpt.Writer) {
+	w.Tag(tagPerfect)
+	w.U64s(p.indirect.keys)
+	w.U64s(p.indirect.vals)
+	w.Int(p.indirect.used)
+	w.Int(int(p.indirect.shift))
+}
+
+// LoadState restores state written by SaveState. The table arrays are
+// reallocated to the encoded size (the perfect BTB's table grows with the
+// workload's indirect-site count, so its size is state, not geometry).
+func (p *Perfect) LoadState(r *ckpt.Reader) {
+	r.Tag(tagPerfect)
+	// Peek the length via a fresh slice: pcTable growth means the live
+	// table size may differ from the checkpoint's.
+	n := r.PeekU32()
+	if r.Err() != nil {
+		return
+	}
+	if int(n) != len(p.indirect.keys) {
+		if n == 0 || n&(n-1) != 0 || n > 1<<22 {
+			r.Failf("perfect-btb: bad table size %d", n)
+			return
+		}
+		p.indirect.keys = make([]uint64, n)
+		p.indirect.vals = make([]uint64, n)
+	}
+	r.U64s(p.indirect.keys)
+	r.U64s(p.indirect.vals)
+	p.indirect.used = r.Int()
+	p.indirect.shift = uint(r.Int())
+}

@@ -1,0 +1,114 @@
+package cache
+
+import "fdp/internal/ckpt"
+
+const (
+	tagCache = 0x43414348 // "CACH"
+	tagHier  = 0x48494552 // "HIER"
+	tagTLB   = 0x544c4231 // "TLB1"
+)
+
+// SaveState encodes the tag array, way metadata, replacement clock and
+// statistics counters. Statistics are included because the ITLB's are
+// never reset at measurement start, so a restored run must carry the same
+// cumulative values a cold run would.
+func (c *Cache) SaveState(w *ckpt.Writer) {
+	w.Tag(tagCache)
+	w.U64s(c.tags)
+	w.Int(len(c.meta))
+	for i := range c.meta {
+		w.U64(c.meta[i].lru)
+		w.U64(c.meta[i].fillAt)
+		w.Bool(c.meta[i].prefetched)
+	}
+	w.U64(c.lruClock)
+	w.U64(c.clock)
+	w.U64(c.Probes)
+	w.U64(c.Hits)
+	w.U64(c.Misses)
+	w.U64(c.PrefHits)
+	w.U64(c.Evictions)
+	w.U64(c.PrefFilled)
+}
+
+// LoadState restores state written by SaveState into a cache of the same
+// geometry.
+func (c *Cache) LoadState(r *ckpt.Reader) {
+	r.Tag(tagCache)
+	r.U64s(c.tags)
+	if n := r.Int(); r.Err() == nil && n != len(c.meta) {
+		r.Failf("cache %s: way count mismatch: %d vs %d", c.name, n, len(c.meta))
+		return
+	}
+	for i := range c.meta {
+		c.meta[i].lru = r.U64()
+		c.meta[i].fillAt = r.U64()
+		c.meta[i].prefetched = r.Bool()
+	}
+	c.lruClock = r.U64()
+	c.clock = r.U64()
+	c.Probes = r.U64()
+	c.Hits = r.U64()
+	c.Misses = r.U64()
+	c.PrefHits = r.U64()
+	c.Evictions = r.U64()
+	c.PrefFilled = r.U64()
+}
+
+// SaveState encodes all three cache levels plus the hierarchy counters.
+// In-flight fills are deliberately NOT part of a checkpoint: functional
+// fast-forward never starts timed fills, so the MSHRs are empty at every
+// snapshot point; Save panics if that invariant is violated.
+func (h *Hierarchy) SaveState(w *ckpt.Writer) {
+	if len(h.inflight) != 0 {
+		panic("cache: checkpoint with in-flight fills")
+	}
+	w.Tag(tagHier)
+	h.L1I.SaveState(w)
+	h.L2.SaveState(w)
+	h.LLC.SaveState(w)
+	w.U64(h.DemandFills)
+	w.U64(h.PrefetchFills)
+	w.U64(h.MemAccesses)
+	w.U64(h.MSHRFull)
+}
+
+// LoadState restores state written by SaveState. The in-flight fill list
+// is cleared to match the encoder's empty-MSHR invariant.
+func (h *Hierarchy) LoadState(r *ckpt.Reader) {
+	r.Tag(tagHier)
+	h.L1I.LoadState(r)
+	h.L2.LoadState(r)
+	h.LLC.LoadState(r)
+	h.DemandFills = r.U64()
+	h.PrefetchFills = r.U64()
+	h.MemAccesses = r.U64()
+	h.MSHRFull = r.U64()
+	h.inflight = h.inflight[:0]
+}
+
+// Touch performs one functional access at line granularity: an L1I hit
+// refreshes LRU; a miss walks the lower levels exactly like a timed
+// demand fill would (L2 probe, LLC probe, memory) and installs the line
+// everywhere, but without MSHRs or latency. This is the cache-warming
+// primitive of fast-forward warmup.
+func (h *Hierarchy) Touch(line uint64) {
+	if hit, _ := h.L1I.Probe(line); hit {
+		return
+	}
+	h.lowerLatency(line)
+	h.DemandFills++
+	h.L1I.Fill(line, false)
+}
+
+// SaveState encodes the underlying translation cache.
+func (t *TLB) SaveState(w *ckpt.Writer) {
+	w.Tag(tagTLB)
+	t.c.SaveState(w)
+}
+
+// LoadState restores state written by SaveState.
+func (t *TLB) LoadState(r *ckpt.Reader) {
+	r.Tag(tagTLB)
+	t.c.LoadState(r)
+}

@@ -482,6 +482,12 @@ type SimOptions struct {
 	// Core.EnableChecks); violations stop the run with an error wrapping
 	// ErrInvariant.
 	Check bool
+	// FastForward replaces cycle-accurate warmup with functional
+	// fast-forward warmup (see Core.FastForward). Unlike the other options
+	// this DOES change the simulated result: training semantics differ
+	// from cycle-accurate warmup, so runs using it carry a distinct
+	// identity in the runner's result cache.
+	FastForward bool
 }
 
 // SimulateOptions is the fully-optioned simulation entry point: build a
@@ -499,6 +505,12 @@ func SimulateOptions(ctx context.Context, cfg Config, oracle Oracle, workload st
 	c.hb = o.Heartbeat
 	if o.Check {
 		c.EnableChecks()
+	}
+	if o.FastForward {
+		if err := c.FastForward(ctx, warmup); err != nil {
+			return nil, err
+		}
+		return c.RunContext(ctx, 0, measure)
 	}
 	return c.RunContext(ctx, warmup, measure)
 }

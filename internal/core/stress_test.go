@@ -6,6 +6,8 @@ package core
 // I-TLB misses) that the default configuration rarely hits.
 
 import (
+	"context"
+	"reflect"
 	"testing"
 
 	"fdp/internal/stats"
@@ -100,7 +102,9 @@ func TestVeryShortRun(t *testing.T) {
 	}
 }
 
-// Warmup-free runs must work (statistics start from a cold machine).
+// Warmup-free runs must work (statistics start from a cold machine), and
+// fast-forward mode with nothing to fast-forward over must degenerate to
+// exactly the plain run.
 func TestNoWarmup(t *testing.T) {
 	r, err := Simulate(DefaultConfig(), stressWL.NewStream(), stressWL.Name, 0, 50_000)
 	if err != nil {
@@ -108,6 +112,15 @@ func TestNoWarmup(t *testing.T) {
 	}
 	if r.IPC() <= 0 {
 		t.Errorf("IPC = %v", r.IPC())
+	}
+
+	ff, err := SimulateOptions(context.Background(), DefaultConfig(), stressWL.NewStream(), stressWL.Name,
+		0, 50_000, SimOptions{FastForward: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, ff) {
+		t.Errorf("zero-warmup fast-forward run differs from plain run:\nplain %+v\nffwd  %+v", r, ff)
 	}
 }
 

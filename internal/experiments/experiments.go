@@ -83,6 +83,17 @@ type Options struct {
 	Journal *runner.Journal
 	// Check enables per-cycle invariant checking in every simulated core.
 	Check bool
+	// FastForward warms every run up functionally (train predictors and
+	// caches architecturally, skip pipeline timing) instead of
+	// cycle-accurately. Different warmup semantics — results shift
+	// slightly and cache under a distinct identity — but warmup cost
+	// drops by roughly the simulated IPC.
+	FastForward bool
+	// Checkpoint, with FastForward and Cache, pays each distinct warmup
+	// once per (workload, training config) and restores the checkpointed
+	// post-warmup state for every other grid point (see
+	// runner.Options.Checkpoint).
+	Checkpoint bool
 }
 
 // observed reports whether runs should carry probe sets.
@@ -197,7 +208,9 @@ func runGrid(opts Options, configs []core.Config) (map[string]*stats.Set, error)
 	specs := make([]runner.Spec, 0, len(configs)*len(opts.Workloads))
 	for _, cfg := range configs {
 		for _, wl := range opts.Workloads {
-			specs = append(specs, runner.WorkloadSpec(cfg, wl, opts.Warmup, opts.Measure))
+			sp := runner.WorkloadSpec(cfg, wl, opts.Warmup, opts.Measure)
+			sp.FFwd = opts.FastForward
+			specs = append(specs, sp)
 		}
 	}
 	results, err := runner.Execute(opts.ctx(), specs, runner.Options{
@@ -214,6 +227,7 @@ func runGrid(opts Options, configs []core.Config) (map[string]*stats.Set, error)
 		KeepGoing:       opts.KeepGoing,
 		Journal:         opts.Journal,
 		Check:           opts.Check,
+		Checkpoint:      opts.Checkpoint,
 	})
 	if err != nil {
 		// Under KeepGoing a classified job error means "some jobs were

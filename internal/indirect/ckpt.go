@@ -1,0 +1,49 @@
+package indirect
+
+import "fdp/internal/ckpt"
+
+const tagITTAGE = 0x49545447 // "ITTG"
+
+// SaveState encodes the base last-target table, every tagged entry and
+// the usefulness tick for fast-forward warmup checkpoints.
+func (it *ITTAGE) SaveState(w *ckpt.Writer) {
+	w.Tag(tagITTAGE)
+	w.U64s(it.base)
+	w.Int(len(it.tables))
+	for i := range it.tables {
+		es := it.tables[i]
+		w.U32(uint32(len(es)))
+		for j := range es {
+			w.U16(es[j].tag)
+			w.U64(es[j].target)
+			w.I8(es[j].conf)
+			w.U8(es[j].u)
+		}
+	}
+	w.Int(it.tick)
+}
+
+// LoadState restores state written by SaveState into a predictor built
+// with the same Config.
+func (it *ITTAGE) LoadState(r *ckpt.Reader) {
+	r.Tag(tagITTAGE)
+	r.U64s(it.base)
+	if n := r.Int(); r.Err() == nil && n != len(it.tables) {
+		r.Failf("ittage: table count mismatch: %d vs %d", n, len(it.tables))
+		return
+	}
+	for i := range it.tables {
+		es := it.tables[i]
+		if n := r.U32(); r.Err() == nil && int(n) != len(es) {
+			r.Failf("ittage: table %d entry count mismatch: %d vs %d", i, n, len(es))
+			return
+		}
+		for j := range es {
+			es[j].tag = r.U16()
+			es[j].target = r.U64()
+			es[j].conf = r.I8()
+			es[j].u = r.U8()
+		}
+	}
+	it.tick = r.Int()
+}

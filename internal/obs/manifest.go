@@ -25,6 +25,12 @@ type Manifest struct {
 	Seed     uint64 `json:"seed"`
 	Warmup   uint64 `json:"warmup"`
 	Measure  uint64 `json:"measure"`
+	// FFwd marks runs whose warmup was functional fast-forward rather
+	// than cycle-accurate — a different warmup semantic, so consumers
+	// must not mix such manifests with cycle-accurate ones when
+	// comparing. Omitted (false) for cycle-accurate runs, which keeps
+	// every pre-existing golden manifest byte-identical.
+	FFwd bool `json:"ffwd,omitempty"`
 
 	// Config is the full simulator configuration (core.Config); typed as
 	// any so this package stays a leaf dependency.

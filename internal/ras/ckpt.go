@@ -1,0 +1,35 @@
+package ras
+
+import "fdp/internal/ckpt"
+
+const tagRAS = 0x52415331 // "RAS1"
+
+// SaveState encodes the full entry ring (dead slots included, so a
+// restored stack is bit-identical to the saved one), the top/size
+// cursors, and the statistics counters, which measurement reports read
+// cumulatively.
+func (r *RAS) SaveState(w *ckpt.Writer) {
+	w.Tag(tagRAS)
+	w.U64s(r.entries)
+	w.Int(r.top)
+	w.Int(r.size)
+	w.U64(r.Pushes)
+	w.U64(r.Pops)
+	w.U64(r.Underflows)
+}
+
+// LoadState restores state written by SaveState into a RAS of the same
+// depth.
+func (r *RAS) LoadState(rd *ckpt.Reader) {
+	rd.Tag(tagRAS)
+	rd.U64s(r.entries)
+	r.top = rd.Int()
+	r.size = rd.Int()
+	if rd.Err() == nil && (r.size < 0 || r.size > len(r.entries) || r.top < 0 || r.top >= len(r.entries)) {
+		rd.Failf("ras: cursors out of range: top=%d size=%d depth=%d", r.top, r.size, len(r.entries))
+		return
+	}
+	r.Pushes = rd.U64()
+	r.Pops = rd.U64()
+	r.Underflows = rd.U64()
+}

@@ -31,6 +31,11 @@ type Cache struct {
 	items map[string]*list.Element
 	dir   string // "" = memory only
 
+	// Checkpoint store (see ckpt.go): post-warmup snapshots in their own
+	// small LRU and <key>.ckpt files, lazily initialized on first use.
+	ckptLL    *list.List
+	ckptItems map[string]*list.Element
+
 	hits, misses, diskErrs, quarantined uint64
 	// onQuarantine, when set, is called (under the cache lock) for every
 	// corrupt disk entry set aside — Execute uses it to surface the
@@ -227,7 +232,13 @@ func (c *Cache) loadDisk(key string) *cacheEntry {
 // lock). The rename is best-effort: if it fails the file simply stays in
 // place and will be quarantined again on the next Get.
 func (c *Cache) quarantine(key string) {
-	if err := os.Rename(c.path(key), c.path(key)+".corrupt"); err != nil {
+	c.quarantineFile(c.path(key))
+}
+
+// quarantineFile renames path to path+".corrupt" (caller holds the lock) —
+// shared by result entries and checkpoint files.
+func (c *Cache) quarantineFile(path string) {
+	if err := os.Rename(path, path+".corrupt"); err != nil {
 		c.diskErrs++
 		return
 	}

@@ -144,11 +144,15 @@ func TestExecuteWatchdogCancelsHang(t *testing.T) {
 	specs := smallSpecs(t)[:2]
 	st := &Status{}
 	reg := obs.NewRegistry()
+	// The deadline must comfortably exceed one heartbeat interval (the
+	// cycle loop stamps every 2^14 cycles): under -race a single chunk
+	// can take tens of milliseconds, and a too-tight deadline makes the
+	// watchdog fire on the *healthy* job as well.
 	results, err := Execute(context.Background(), specs, Options{
 		Parallel:        2,
 		Reg:             reg,
 		Status:          st,
-		WatchdogTimeout: 50 * time.Millisecond,
+		WatchdogTimeout: 400 * time.Millisecond,
 		FaultHook: func(ctx context.Context, job, attempt int) error {
 			if job == 0 {
 				<-ctx.Done() // hang until someone kills us

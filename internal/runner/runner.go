@@ -75,6 +75,14 @@ type Options struct {
 	// result is journaled (append + fsync) after it is cached. See
 	// OpenJournal.
 	Journal *Journal
+	// Checkpoint enables post-warmup state reuse for fast-forward specs
+	// (Spec.FFwd with a non-zero warmup budget; requires Cache): the first
+	// job of a given CheckpointKey fast-forwards once and snapshots, every
+	// other job restores — a timing sweep of N configurations over one
+	// workload pays its warmup once instead of N times. Unlike the result
+	// cache this is NOT disabled by tracing/interval bypass: a checkpoint
+	// captures pre-measurement state, which observation does not affect.
+	Checkpoint bool
 	// Check enables the online invariant checker inside every simulated
 	// core (FTQ occupancy, MSHR leaks, RAS depth, accounting
 	// conservation); a violation fails the job with core.ErrInvariant.
@@ -138,6 +146,11 @@ func Execute(ctx context.Context, specs []Spec, opts Options) ([]Result, error) 
 		defer wd.close()
 	}
 
+	var ckpts *ckptGroup
+	if opts.Checkpoint && opts.Cache != nil {
+		ckpts = newCkptGroup()
+	}
+
 	var (
 		quarMu    sync.Mutex
 		firstQuar error
@@ -170,13 +183,54 @@ func Execute(ctx context.Context, specs []Spec, opts Options) ([]Result, error) 
 			opts.Status.cacheMiss()
 		}
 
+		// Checkpoint plan: resolve the post-warmup snapshot before the
+		// attempt loop. Either restore bytes are in hand (cache hit or a
+		// concurrent builder's snapshot) or this job is elected builder and
+		// must publish — finish on success, fail on every other exit so
+		// waiters are never stranded.
+		var (
+			ckptKey       string
+			ckptRestore   []byte
+			ckptBuild     bool
+			ckptPublished bool
+		)
+		if ckpts != nil && sp.FFwd && sp.Warmup > 0 {
+			ckptKey = sp.CheckpointKey()
+			var aerr error
+			ckptRestore, ckptBuild, aerr = ckpts.acquire(ctx, opts.Cache, ckptKey)
+			if aerr != nil {
+				return aerr
+			}
+			if ckptBuild {
+				sched.metrics.count(sched.metrics.ckptMisses)
+				opts.Status.checkpointMiss()
+				defer func() {
+					if !ckptPublished {
+						ckpts.fail(ckptKey)
+					}
+				}()
+			} else {
+				sched.metrics.count(sched.metrics.ckptHits)
+				opts.Status.checkpointHit()
+			}
+		}
+
 		policy := opts.Retry.normalized()
 		seed := backoffSeed(sp.Key())
 		var lastErr error
 		for attempt := 1; attempt <= policy.Attempts; attempt++ {
-			res, err := runAttempt(ctx, sp, i, attempt, label, opts, wd, &sinkMu)
+			res, snap, restored, err := runAttempt(ctx, sp, i, attempt, label, opts, wd, &sinkMu, ckptRestore, ckptBuild)
 			if err == nil {
 				results[i] = res
+				if ckptBuild {
+					opts.Cache.PutCheckpoint(ckptKey, snap)
+					ckpts.finish(ckptKey, snap)
+					ckptPublished = true
+				}
+				if restored {
+					sched.metrics.count(sched.metrics.ckptRestores)
+					opts.Status.checkpointRestored()
+				}
 				if useCache {
 					opts.Cache.Put(key, res.Run, res.Manifest)
 				}
@@ -231,7 +285,13 @@ func Execute(ctx context.Context, specs []Spec, opts Options) ([]Result, error) 
 // (with heartbeat, watchdog supervision, and optional invariant checks),
 // sink writes, and manifest assembly. Panics are recovered into ErrPanic
 // so the retry loop can classify them as transient.
-func runAttempt(ctx context.Context, sp *Spec, i, attempt int, label string, opts Options, wd *watchdog, sinkMu *sync.Mutex) (res Result, err error) {
+//
+// For fast-forward specs, restore (when non-nil) seeds the run from a
+// checkpoint and buildSnap asks the run to return one. The returned snap
+// is non-nil only when buildSnap was honoured; restored reports that the
+// run actually measured from the restore bytes (false after the
+// bad-snapshot cold fallback).
+func runAttempt(ctx context.Context, sp *Spec, i, attempt int, label string, opts Options, wd *watchdog, sinkMu *sync.Mutex, restore []byte, buildSnap bool) (res Result, snap []byte, restored bool, err error) {
 	attemptCtx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 	hb := &core.Heartbeat{}
@@ -244,13 +304,13 @@ func runAttempt(ctx context.Context, sp *Spec, i, attempt int, label string, opt
 	defer func() {
 		if r := recover(); r != nil {
 			opts.Status.panicked()
-			res, err = Result{}, fmt.Errorf("%w: job %q attempt %d: %v", ErrPanic, label, attempt, r)
+			res, snap, restored, err = Result{}, nil, false, fmt.Errorf("%w: job %q attempt %d: %v", ErrPanic, label, attempt, r)
 		}
 	}()
 
 	if opts.FaultHook != nil {
 		if ferr := opts.FaultHook(attemptCtx, i, attempt); ferr != nil {
-			return Result{}, hungOr(attemptCtx, ferr)
+			return Result{}, nil, false, hungOr(attemptCtx, ferr)
 		}
 	}
 
@@ -264,23 +324,44 @@ func runAttempt(ctx context.Context, sp *Spec, i, attempt int, label string, opt
 			p.EnableIntervals(opts.IntervalEvery)
 		}
 	}
-	run, serr := core.SimulateOptions(attemptCtx, sp.Config, sp.NewOracle(), sp.Workload, sp.Warmup, sp.Measure,
-		core.SimOptions{Probes: p, Heartbeat: hb, Check: opts.Check})
+	simOpts := core.SimOptions{Probes: p, Heartbeat: hb, Check: opts.Check, FastForward: sp.FFwd}
+	var run *stats.Run
+	var serr error
+	switch {
+	case sp.FFwd && restore != nil:
+		run, _, serr = core.SimulateCheckpointed(attemptCtx, sp.Config, sp.NewOracle(), sp.Workload,
+			sp.Warmup, sp.Measure, simOpts, restore)
+		restored = serr == nil
+		if serr != nil && errors.Is(serr, core.ErrBadSnapshot) && attemptCtx.Err() == nil {
+			// Damage the CRC did not catch (or a stale geometry). The run is
+			// still correct without the checkpoint: fall back to a cold
+			// fast-forward warmup.
+			run, serr = core.SimulateOptions(attemptCtx, sp.Config, sp.NewOracle(), sp.Workload,
+				sp.Warmup, sp.Measure, simOpts)
+		}
+	case sp.FFwd && buildSnap:
+		run, snap, serr = core.SimulateCheckpointed(attemptCtx, sp.Config, sp.NewOracle(), sp.Workload,
+			sp.Warmup, sp.Measure, simOpts, nil)
+	default:
+		run, serr = core.SimulateOptions(attemptCtx, sp.Config, sp.NewOracle(), sp.Workload,
+			sp.Warmup, sp.Measure, simOpts)
+	}
 	if run != nil {
 		run.Class = sp.Class
 	}
 	if serr != nil {
-		return Result{}, hungOr(attemptCtx, serr)
+		return Result{}, nil, false, hungOr(attemptCtx, serr)
 	}
 	var m *obs.Manifest
 	if p != nil {
 		m = core.Manifest(sp.Config, run, p, sp.Seed, sp.Warmup, sp.Measure)
+		m.FFwd = sp.FFwd
 		if opts.TraceSink != nil && p.Tracer != nil {
 			sinkMu.Lock()
 			werr := obs.WriteRunTrace(opts.TraceSink, label, p.Tracer)
 			sinkMu.Unlock()
 			if werr != nil {
-				return Result{}, werr
+				return Result{}, nil, false, werr
 			}
 		}
 		if opts.IntervalSink != nil && p.Intervals != nil {
@@ -289,12 +370,12 @@ func runAttempt(ctx context.Context, sp *Spec, i, attempt int, label string, opt
 				p.Intervals.Every(), p.Intervals.Records())
 			sinkMu.Unlock()
 			if werr != nil {
-				return Result{}, werr
+				return Result{}, nil, false, werr
 			}
 		}
 		opts.Manifests.Add(m)
 	}
-	return Result{Run: run, Manifest: m}, nil
+	return Result{Run: run, Manifest: m}, snap, restored, nil
 }
 
 // hungOr rewraps a cancellation error whose cause was the watchdog: the

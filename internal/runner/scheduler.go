@@ -42,6 +42,14 @@ const (
 	// MetricCacheQuarantined counts corrupt disk cache entries renamed to
 	// *.corrupt instead of being served or silently treated as misses.
 	MetricCacheQuarantined = "runner_cache_quarantined"
+	// MetricCheckpointHits counts jobs whose fast-forward warmup was
+	// satisfied from a stored (or just-built) checkpoint;
+	// MetricCheckpointMisses counts jobs that had to build one cold.
+	MetricCheckpointHits   = "runner_checkpoint_hits"
+	MetricCheckpointMisses = "runner_checkpoint_misses"
+	// MetricCheckpointRestores counts runs that actually measured from a
+	// restored snapshot (hits minus restore-time decode fallbacks).
+	MetricCheckpointRestores = "runner_checkpoint_restores"
 )
 
 // schedMetrics is the mutex-guarded view of the runner metrics. All
@@ -57,6 +65,9 @@ type schedMetrics struct {
 	watchdog         *obs.Counter
 	quarantined      *obs.Counter
 	cacheQuarantined *obs.Counter
+	ckptHits         *obs.Counter
+	ckptMisses       *obs.Counter
+	ckptRestores     *obs.Counter
 	depth            *obs.Histogram
 }
 
@@ -72,6 +83,9 @@ func newSchedMetrics(reg *obs.Registry) *schedMetrics {
 		m.watchdog = reg.Counter(MetricWatchdogFired)
 		m.quarantined = reg.Counter(MetricQuarantined)
 		m.cacheQuarantined = reg.Counter(MetricCacheQuarantined)
+		m.ckptHits = reg.Counter(MetricCheckpointHits)
+		m.ckptMisses = reg.Counter(MetricCheckpointMisses)
+		m.ckptRestores = reg.Counter(MetricCheckpointRestores)
 		m.depth = reg.Histogram(MetricQueueDepth)
 	}
 	return m

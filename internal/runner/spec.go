@@ -48,6 +48,12 @@ type Spec struct {
 	Warmup  uint64
 	Measure uint64
 
+	// FFwd selects functional fast-forward warmup instead of
+	// cycle-accurate warmup. It is part of the identity: fast-forward
+	// trains with different (functional) semantics, so its results must
+	// never be served for cycle-accurate specs or vice versa.
+	FFwd bool
+
 	// NewOracle produces a fresh oracle for the stream. It is the
 	// execution handle only — never part of the identity hash — and must
 	// yield the same instruction sequence every call (synth streams and
@@ -88,5 +94,77 @@ func (s Spec) Key() string {
 	fmt.Fprintf(h, "fdp-spec-v1|workload=%s|class=%s|seed=%d|warmup=%d|measure=%d|config=",
 		s.Workload, s.Class, s.Seed, s.Warmup, s.Measure)
 	h.Write(cfg)
+	if s.FFwd {
+		// Appended only when set so every pre-existing key is unchanged
+		// (TestSpecKeyGolden): fast-forward runs train differently and
+		// must hash to a different result identity.
+		fmt.Fprint(h, "|ffwd=1")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// trainKey is the training-relevant subset of core.Config: exactly the
+// knobs that change what functional fast-forward warmup trains (predictor
+// kind, BTB organization and geometry, history policy, allocation policy,
+// RAS depth, cache and ITLB geometry). Timing-only knobs — FTQ size,
+// widths, latencies, prefetcher, MSHRs, backend stall model — are
+// deliberately absent, which is the whole point: a sweep over timing
+// parameters shares one checkpoint across all its configurations.
+type trainKey struct {
+	Dir            core.DirKind
+	BTBEntries     int
+	BTBWays        int
+	PerfectBTB     bool
+	BasicBlockBTB  bool
+	L1BTBEntries   int
+	L1BTBWays      int
+	HistPolicy     core.HistPolicy
+	BTBAllocPolicy core.BTBAlloc
+	RASDepth       int
+	L1IBytes       int
+	L1IWays        int
+	L2Bytes        int
+	L2Ways         int
+	LLCBytes       int
+	LLCWays        int
+	ITLBEntries    int
+	ITLBWays       int
+}
+
+// CheckpointKey returns the content hash identifying the post-warmup
+// state this spec's fast-forward warmup produces: workload identity,
+// warmup budget, and the training-relevant configuration subset. The
+// measure budget and every timing-only knob are excluded, so N
+// configurations sweeping timing parameters over one workload map to one
+// checkpoint — warmup is paid once and restored N-1 times.
+func (s Spec) CheckpointKey() string {
+	tk := trainKey{
+		Dir:            s.Config.Dir,
+		BTBEntries:     s.Config.BTBEntries,
+		BTBWays:        s.Config.BTBWays,
+		PerfectBTB:     s.Config.PerfectBTB,
+		BasicBlockBTB:  s.Config.BasicBlockBTB,
+		L1BTBEntries:   s.Config.L1BTBEntries,
+		L1BTBWays:      s.Config.L1BTBWays,
+		HistPolicy:     s.Config.HistPolicy,
+		BTBAllocPolicy: s.Config.BTBAllocPolicy,
+		RASDepth:       s.Config.RASDepth,
+		L1IBytes:       s.Config.L1IBytes,
+		L1IWays:        s.Config.L1IWays,
+		L2Bytes:        s.Config.L2Bytes,
+		L2Ways:         s.Config.L2Ways,
+		LLCBytes:       s.Config.LLCBytes,
+		LLCWays:        s.Config.LLCWays,
+		ITLBEntries:    s.Config.ITLBEntries,
+		ITLBWays:       s.Config.ITLBWays,
+	}
+	b, err := json.Marshal(tk)
+	if err != nil {
+		panic(fmt.Sprintf("runner: marshaling train key: %v", err))
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "fdp-ckpt-v1|workload=%s|class=%s|seed=%d|warmup=%d|train=",
+		s.Workload, s.Class, s.Seed, s.Warmup)
+	h.Write(b)
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -40,6 +40,13 @@ type Status struct {
 	Watchdog         atomic.Int64
 	Quarantined      atomic.Int64
 	CacheQuarantined atomic.Int64
+	// CheckpointHits / CheckpointMisses / CheckpointRestores mirror the
+	// runner_checkpoint_* counters: warmups served from a checkpoint,
+	// checkpoints built cold, and runs that measured from a restored
+	// snapshot.
+	CheckpointHits     atomic.Int64
+	CheckpointMisses   atomic.Int64
+	CheckpointRestores atomic.Int64
 
 	mu   sync.Mutex
 	jobs map[int]*jobStatus
@@ -69,6 +76,12 @@ type StatusSnapshot struct {
 	Watchdog         int64 `json:"watchdog_fired"`
 	Quarantined      int64 `json:"quarantined"`
 	CacheQuarantined int64 `json:"cache_quarantined"`
+	// Checkpoint counters are present whenever checkpointing is enabled
+	// (zero otherwise): a sweep in good shape shows one miss (the build)
+	// and hits for every other job sharing the warmup.
+	CheckpointHits     int64 `json:"checkpoint_hits"`
+	CheckpointMisses   int64 `json:"checkpoint_misses"`
+	CheckpointRestores int64 `json:"checkpoint_restores"`
 	// Jobs lists the in-flight attempts with their last-heartbeat age —
 	// a stalling job shows up as a growing last_beat_ms before the
 	// watchdog fires.
@@ -109,6 +122,10 @@ func (s *Status) Snapshot() StatusSnapshot {
 		Watchdog:         s.Watchdog.Load(),
 		Quarantined:      s.Quarantined.Load(),
 		CacheQuarantined: s.CacheQuarantined.Load(),
+
+		CheckpointHits:     s.CheckpointHits.Load(),
+		CheckpointMisses:   s.CheckpointMisses.Load(),
+		CheckpointRestores: s.CheckpointRestores.Load(),
 	}
 	if q := snap.Specs - snap.Started; q > 0 {
 		snap.Queued = q
@@ -201,6 +218,24 @@ func (s *Status) quarantined() {
 func (s *Status) cacheQuarantined() {
 	if s != nil {
 		s.CacheQuarantined.Add(1)
+	}
+}
+
+func (s *Status) checkpointHit() {
+	if s != nil {
+		s.CheckpointHits.Add(1)
+	}
+}
+
+func (s *Status) checkpointMiss() {
+	if s != nil {
+		s.CheckpointMisses.Add(1)
+	}
+}
+
+func (s *Status) checkpointRestored() {
+	if s != nil {
+		s.CheckpointRestores.Add(1)
 	}
 }
 

@@ -123,6 +123,16 @@ func (s *Stream) Next() program.DynInst {
 	return d
 }
 
+// Advance executes n instructions without returning them — the restart
+// path of checkpointed warmup, which must replay the behaviour models
+// (every RNG draw, loop position and stack operation) to reach the same
+// stream state a full execution would, but needs none of the DynInsts.
+func (s *Stream) Advance(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.Next()
+	}
+}
+
 // stepCond advances the conditional behaviour at image index i and returns
 // the direction.
 func (s *Stream) stepCond(i int) bool {

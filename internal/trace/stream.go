@@ -41,6 +41,14 @@ func (s *Stream) Next() program.DynInst {
 	}
 }
 
+// Advance skips n instructions in O(1): trace replays carry no hidden
+// state beyond the position, so a skip modulo the trace length lands on
+// exactly the record a full replay would. This is what makes
+// checkpoint-restore of trace-driven runs nearly free.
+func (s *Stream) Advance(n uint64) {
+	s.pos = int((uint64(s.pos) + n) % uint64(len(s.t.recs)))
+}
+
 // PeekDirection scans ahead (bounded) for the next execution of the
 // conditional branch at pc and returns its direction; false when not
 // found within the window.

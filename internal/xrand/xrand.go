@@ -17,6 +17,12 @@ func New(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
 // Seed resets the generator state.
 func (r *SplitMix64) Seed(seed uint64) { r.state = seed }
 
+// State returns the raw generator state, for checkpointing.
+func (r *SplitMix64) State() uint64 { return r.state }
+
+// SetState restores a state previously read with State.
+func (r *SplitMix64) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next 64 random bits.
 func (r *SplitMix64) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
