@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci build vet test race fuzz bench bench-check golden-update clean experiments-smoke accounting-check chaos-check warmup-check
+.PHONY: ci build vet test race fuzz bench bench-check golden-update clean experiments-smoke accounting-check chaos-check warmup-check repro-check cover
 
-ci: vet build race fuzz experiments-smoke accounting-check chaos-check warmup-check
+ci: vet build race fuzz experiments-smoke accounting-check chaos-check warmup-check repro-check
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzBatchedDecode -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run=^$$ -fuzz=FuzzJournal -fuzztime=$(FUZZTIME) ./internal/runner
 	$(GO) test -run=^$$ -fuzz=FuzzCheckpoint -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run=^$$ -fuzz=FuzzScorecardJSON -fuzztime=$(FUZZTIME) ./internal/repro
 
 # Benchmark knobs: BENCHTIME bounds the go-test benchmarks (1x keeps the
 # 17-benchmark sweep fast; raise for stable numbers), BENCHREPS is the
@@ -85,6 +86,30 @@ accounting-check:
 # docs/ROBUSTNESS.md and cmd/chaos.
 chaos-check:
 	$(GO) run ./cmd/chaos
+
+# Reproduction gate: run the quick-scale scoring campaign through the
+# runner's result cache and evaluate every contract in the
+# internal/repro registry (the same thresholds TestHeadlineShapes
+# asserts — see docs/CALIBRATION.md). Exits nonzero on any
+# hard-severity expectation miss, so CI fails the moment a change bends
+# a paper claim out of shape.
+repro-check:
+	$(GO) run ./cmd/reprocheck -scale quick
+
+# Coverage gate: per-package `go test -short -cover` (the per-package
+# lines are the useful CI log), then the aggregate statement coverage
+# checked against COVERFLOOR. The aggregate measured 71.4% when the
+# gate was introduced (2026-08); the floor sits a few points below so
+# it trips on real coverage regressions, not refactoring noise.
+COVERFLOOR ?= 68.0
+COVERPROFILE ?= cover.out
+
+cover:
+	$(GO) test -short -cover -coverprofile=$(COVERPROFILE) ./...
+	@total=$$($(GO) tool cover -func=$(COVERPROFILE) | awk '/^total:/ { gsub(/%/,"",$$3); print $$3 }'); \
+	awk -v t="$$total" -v floor="$(COVERFLOOR)" 'BEGIN { \
+		if (t+0 < floor+0) { printf "cover: total %s%% is below the floor %s%%\n", t, floor; exit 1 } \
+		printf "cover: total %s%% >= floor %s%%\n", t, floor }'
 
 # Fast-forward warmup gate: for every golden (config, workload) pair,
 # a cold fast-forward run and a checkpoint-restored run must produce

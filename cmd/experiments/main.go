@@ -48,6 +48,8 @@ func main() {
 		ffwd       = flag.Bool("ffwd", false, "functional fast-forward warmup: train predictors/caches architecturally without timing the pipeline (different warmup semantics, much faster)")
 		checkpoint = flag.Bool("checkpoint", false, "with -ffwd, pay each distinct warmup once per (workload, training config) and restore its checkpoint everywhere else")
 
+		score = flag.Bool("score", false, "after the experiments, evaluate the reproduction contracts (internal/repro) and print the scorecard summary line; the run's result cache makes the scoring campaign cheap")
+
 		check     = flag.Bool("check", false, "enable per-cycle invariant checking in every simulated core")
 		watchdog  = flag.Duration("watchdog", 0, "cancel any simulation making no forward progress for this long (0 = off)")
 		retries   = flag.Int("retries", 0, "retries for transiently failed jobs (panics), with exponential backoff")
@@ -218,6 +220,20 @@ func main() {
 					os.Exit(1)
 				}
 			}
+		}
+	}
+
+	// The scorecard summary joins the runner: line below, so campaign
+	// health and reproduction health are read off the same screen.
+	if *score {
+		card, err := experiments.Score(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: score: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(card.Summary())
+		for _, f := range card.HardFailures() {
+			fmt.Fprintf(os.Stderr, "experiments: score: hard expectation failed: %s (run `go run ./cmd/reprocheck` for the full scorecard)\n", f)
 		}
 	}
 

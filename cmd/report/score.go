@@ -1,0 +1,40 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fdp/internal/experiments"
+)
+
+// runScore is the -score mode: evaluate the reproduction contracts at
+// the selected scale, print the per-artifact scorecard (and optionally
+// the machine-readable JSON document), and exit 1 on any hard
+// expectation miss — the same verdict `make repro-check` gates CI on.
+func runScore(opts experiments.Options, jsonOut string) {
+	card, err := experiments.Score(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "report: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(card.String())
+
+	if jsonOut != "" {
+		b, err := card.Encode()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			os.Exit(2)
+		}
+		if jsonOut == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(jsonOut, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if fails := card.HardFailures(); len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "report: %d hard expectation(s) failed: %v\n", len(fails), fails)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fdp/internal/repro"
+)
+
+// loadScorecardFixture decodes the checked-in scorecard document; the
+// fixture mixes pass/warn/fail outcomes and a non-finite measurement so
+// the rendering and round-trip tests below exercise every row shape.
+func loadScorecardFixture(t *testing.T) (*repro.Scorecard, []byte) {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", "scorecard.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	card, err := repro.DecodeScorecard(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return card, raw
+}
+
+// TestScorecardGolden pins the `-score` text rendering byte-for-byte
+// over a fixed scorecard document (the TestAccountingGolden pattern:
+// decode fixture → render → compare; `go test ./cmd/report -update`
+// rewrites the golden).
+func TestScorecardGolden(t *testing.T) {
+	card, _ := loadScorecardFixture(t)
+	got := card.String()
+	golden := filepath.Join("testdata", "scorecard.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/report -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("scorecard rendering drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestScorecardJSONRoundTrip: the machine-readable document written by
+// `-score-json` must decode and re-encode to identical canonical bytes,
+// and preserve verdict-bearing content from the fixture.
+func TestScorecardJSONRoundTrip(t *testing.T) {
+	card, _ := loadScorecardFixture(t)
+	b1, err := card.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := repro.DecodeScorecard(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := again.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("canonical encoding not stable:\n%s\nvs\n%s", b1, b2)
+	}
+
+	pass, warn, fail := again.Counts()
+	if pass != 1 || warn != 1 || fail != 1 {
+		t.Errorf("Counts() = %d/%d/%d, want 1/1/1", pass, warn, fail)
+	}
+	fails := again.HardFailures()
+	if len(fails) != 1 || fails[0] != "tab2/ghr2-pays-fixups" {
+		t.Errorf("HardFailures() = %v", fails)
+	}
+	if v := again.Artifacts[1].Outcomes[0].Values[0]; v.Finite || v.Value != 0 {
+		t.Errorf("non-finite measurement not preserved: %+v", v)
+	}
+}

@@ -1,0 +1,87 @@
+// Command reprocheck is the closed-loop reproduction gate (`make
+// repro-check`): it runs the quick-scale scoring campaign through the
+// shared result cache and evaluates every contract of the
+// internal/repro registry (defined in internal/experiments, next to the
+// figures they score). Any hard expectation miss exits nonzero, so a
+// simulator change that drifts a paper claim out of shape fails CI with
+// the measured-vs-expected values in the log.
+//
+// Usage:
+//
+//	reprocheck                  # quick-scale gate, in-memory cache
+//	reprocheck -scale default   # heavier campaign
+//	reprocheck -cache DIR       # persist results across invocations
+//	reprocheck -json FILE       # also write the machine-readable scorecard
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"fdp/internal/experiments"
+	"fdp/internal/runner"
+)
+
+func main() {
+	var (
+		scale    = flag.String("scale", "quick", "campaign scale: quick, default or full")
+		cacheDir = flag.String("cache", "", "store and reuse simulation results in this directory")
+		jsonOut  = flag.String("json", "", "write the machine-readable scorecard JSON to this file ('-' for stdout)")
+	)
+	flag.Parse()
+
+	var opts experiments.Options
+	switch *scale {
+	case "quick":
+		opts = experiments.QuickOptions()
+	case "default":
+		opts = experiments.DefaultOptions()
+	case "full":
+		opts = experiments.FullOptions()
+	default:
+		fmt.Fprintf(os.Stderr, "reprocheck: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opts.Ctx = ctx
+
+	// One cache per campaign: the contracts share the baseline and FDP
+	// configs, so even the default in-memory cache keeps the gate at one
+	// simulation per distinct (config, workload) pair.
+	cache, err := runner.NewCache(runner.DefaultCacheCapacity, *cacheDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprocheck: %v\n", err)
+		os.Exit(2)
+	}
+	opts.Cache = cache
+
+	card, err := experiments.Score(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprocheck: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(card.String())
+
+	if *jsonOut != "" {
+		b, err := card.Encode()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reprocheck: %v\n", err)
+			os.Exit(2)
+		}
+		if *jsonOut == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(*jsonOut, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "reprocheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if fails := card.HardFailures(); len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "reprocheck: %d hard expectation(s) failed: %v\n", len(fails), fails)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fdp/internal/repro"
+	"fdp/internal/runner"
+)
+
+// Contracts returns the declarative reproduction contracts: one per
+// scored artifact, each defined next to the figure it scores
+// (contractFig7 next to Fig7, ...). This registry is the single source
+// of truth for every shape threshold — TestHeadlineShapes, `report
+// -score` and the `make repro-check` CI gate all evaluate exactly these
+// expectations. See docs/CALIBRATION.md before adding or loosening one.
+func Contracts() []repro.Contract {
+	return []repro.Contract{
+		contractFig6a(),
+		contractFig7(),
+		contractFig8(),
+		contractTab2(),
+		contractFig12(),
+		contractFig14(),
+	}
+}
+
+// Score runs every contract's grid at the given scale and evaluates the
+// expectations, returning the scorecard. Contract grids share the
+// baseline and FDP configs, so Score installs an in-memory result cache
+// when the caller did not provide one — the shared specs then simulate
+// once per campaign instead of once per contract.
+func Score(opts Options) (*repro.Scorecard, error) {
+	if opts.Cache == nil {
+		cache, err := runner.NewCache(runner.DefaultCacheCapacity, "")
+		if err != nil {
+			return nil, err
+		}
+		opts.Cache = cache
+	}
+	card := &repro.Scorecard{
+		Schema: repro.ScorecardSchema,
+		Scale: fmt.Sprintf("%d workloads, %d warmup + %d measured insts",
+			len(opts.Workloads), opts.Warmup, opts.Measure),
+	}
+	for _, c := range Contracts() {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		sets, err := runGrid(opts, c.Configs)
+		if err != nil {
+			return nil, fmt.Errorf("score %s: %w", c.Artifact, err)
+		}
+		card.Artifacts = append(card.Artifacts, c.Eval(sets))
+	}
+	return card, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"fdp/internal/repro"
+)
+
+// TestContractsWellFormed: every registered contract must validate, its
+// artifact must be a real experiment ID (the contract scores a figure
+// that exists), and artifacts must be unique across the registry.
+func TestContractsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Contracts() {
+		c := c
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Artifact, err)
+			continue
+		}
+		if seen[c.Artifact] {
+			t.Errorf("duplicate contract for artifact %s", c.Artifact)
+		}
+		seen[c.Artifact] = true
+		if _, ok := ByID(c.Artifact); !ok {
+			t.Errorf("%s: contract scores an unknown experiment ID", c.Artifact)
+		}
+		if len(c.Expectations) == 0 {
+			t.Errorf("%s: contract with no expectations", c.Artifact)
+		}
+		for _, e := range c.Expectations {
+			if e.Claim == "" {
+				t.Errorf("%s/%s: expectation with no claim text", c.Artifact, e.ID)
+			}
+		}
+	}
+	if len(seen) < 6 {
+		t.Errorf("only %d contracts registered, want >= 6", len(seen))
+	}
+}
+
+// TestScorePlumbing runs the full scoring campaign at mini scale and
+// checks document structure only — mini-scale runs are too small for
+// the calibrated shape thresholds to hold (that is TestHeadlineShapes'
+// job at quick scale), but every expectation must still evaluate to a
+// concrete outcome with a measured-vs-expected detail line.
+func TestScorePlumbing(t *testing.T) {
+	card, err := Score(miniOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card.Schema != repro.ScorecardSchema {
+		t.Errorf("schema = %d", card.Schema)
+	}
+	if !strings.Contains(card.Scale, "1 workloads") {
+		t.Errorf("scale = %q", card.Scale)
+	}
+	if len(card.Artifacts) != len(Contracts()) {
+		t.Fatalf("artifacts = %d, want %d", len(card.Artifacts), len(Contracts()))
+	}
+	for i, c := range Contracts() {
+		a := card.Artifacts[i]
+		if a.Artifact != c.Artifact {
+			t.Errorf("artifact[%d] = %s, want %s", i, a.Artifact, c.Artifact)
+		}
+		if len(a.Outcomes) != len(c.Expectations) {
+			t.Errorf("%s: %d outcomes, want %d", a.Artifact, len(a.Outcomes), len(c.Expectations))
+			continue
+		}
+		for j, o := range a.Outcomes {
+			if o.ID != c.Expectations[j].ID {
+				t.Errorf("%s: outcome[%d] = %s, want %s", a.Artifact, j, o.ID, c.Expectations[j].ID)
+			}
+			if o.Detail == "" {
+				t.Errorf("%s/%s: outcome with no detail", a.Artifact, o.ID)
+			}
+			for _, m := range o.Values {
+				if !m.Finite {
+					t.Errorf("%s/%s: non-finite measurement for %s at mini scale", a.Artifact, o.ID, m.Config)
+				}
+			}
+		}
+	}
+	// The scorecard must render and round-trip regardless of pass/fail.
+	if card.String() == "" {
+		t.Error("empty text scorecard")
+	}
+	b, err := card.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.DecodeScorecard(b); err != nil {
+		t.Fatal(err)
+	}
+}

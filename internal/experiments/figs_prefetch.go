@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fdp/internal/core"
+	"fdp/internal/repro"
 	"fdp/internal/stats"
 )
 
@@ -129,6 +130,43 @@ func Fig6a(opts Options) (*Result, error) {
 			"FDP+perfect +5.4% more; both perfect +46.9% total",
 		},
 	}, nil
+}
+
+// contractFig6a is Fig6a's reproduction contract: the paper's central
+// claims as machine-checkable expectations over a four-config slice of
+// the figure's grid (see docs/CALIBRATION.md for threshold semantics).
+func contractFig6a() repro.Contract {
+	eip := core.BaselineConfig()
+	eip.Name = "eip-128kb"
+	eip.Prefetcher = "eip-128kb"
+	fdpEip := core.DefaultConfig()
+	fdpEip.Name = "fdp+eip-128kb"
+	fdpEip.Prefetcher = "eip-128kb"
+	return repro.Contract{
+		Artifact: "fig6a", Title: "IPC improvement by instruction prefetching",
+		Baseline: "baseline",
+		Configs:  []core.Config{core.BaselineConfig(), core.DefaultConfig(), eip, fdpEip},
+		Expectations: []repro.Expectation{
+			{
+				ID:       "fdp-speedup-floor",
+				Claim:    "FDP gives a large speedup over the no-FDP baseline (paper: +41.0%)",
+				Severity: repro.Hard, Kind: repro.KindRange, Metric: repro.MetricSpeedup,
+				Configs: []string{"fdp"}, Lo: 1.15,
+			},
+			{
+				ID:       "fdp-matches-eip",
+				Claim:    "FDP alone at least matches EIP-128KB without FDP (the central claim, fig1/fig6a)",
+				Severity: repro.Hard, Kind: repro.KindOrdering, Metric: repro.MetricSpeedup,
+				Configs: []string{"fdp", "eip-128kb"},
+			},
+			{
+				ID:       "prefetcher-adds-little",
+				Claim:    "a dedicated prefetcher adds only a little on top of FDP (paper: +4.3pp)",
+				Severity: repro.Warn, Kind: repro.KindOrdering, Metric: repro.MetricSpeedup,
+				Configs: []string{"fdp", "fdp+eip-128kb"}, MinGap: -0.10,
+			},
+		},
+	}
 }
 
 // Fig6b reproduces Fig. 6b: per-workload speedup of EIP-128KB with FDP on

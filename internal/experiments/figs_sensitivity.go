@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fdp/internal/core"
+	"fdp/internal/repro"
 	"fdp/internal/stats"
 )
 
@@ -48,6 +49,48 @@ func Fig7(opts Options) (*Result, error) {
 	}, nil
 }
 
+// contractBTBPair derives the (PFC off, PFC on) config pair contracts
+// score at one BTB capacity.
+func contractBTBPair(entries int) (off, on core.Config) {
+	off = core.DefaultConfig()
+	off.BTBEntries = entries
+	off.PFC = false
+	off.Name = fmt.Sprintf("btb%dk-pfc-off", entries/1024)
+	on = off
+	on.PFC = true
+	on.Name = fmt.Sprintf("btb%dk-pfc-on", entries/1024)
+	return off, on
+}
+
+// contractFig7 is Fig7's reproduction contract: PFC pays off exactly
+// where BTB capacity runs out.
+func contractFig7() repro.Contract {
+	off1k, on1k := contractBTBPair(1024)
+	off8k, on8k := contractBTBPair(8192)
+	off32k, on32k := contractBTBPair(32768)
+	return repro.Contract{
+		Artifact: "fig7", Title: "PFC benefit vs BTB capacity",
+		Baseline: "baseline",
+		Configs:  []core.Config{core.BaselineConfig(), off1k, on1k, off8k, on8k, off32k, on32k},
+		Expectations: []repro.Expectation{
+			{
+				ID:       "pfc-rescues-small-btb",
+				Claim:    "PFC rescues a 1K-entry BTB (paper: +9.3% at 1K)",
+				Severity: repro.Hard, Kind: repro.KindOrdering, Metric: repro.MetricSpeedup,
+				Configs: []string{"btb1k-pfc-on", "btb1k-pfc-off"}, MinGap: 0.01,
+			},
+			{
+				ID:       "pfc-gain-dies-out",
+				Claim:    "the PFC gain is large at 1K entries and ~gone at 32K (paper: +9.3% -> +0.1%)",
+				Severity: repro.Hard, Kind: repro.KindCrossover, Metric: repro.MetricSpeedup,
+				Configs:  []string{"btb1k-pfc-on", "btb8k-pfc-on", "btb32k-pfc-on"},
+				ConfigsB: []string{"btb1k-pfc-off", "btb8k-pfc-off", "btb32k-pfc-off"},
+				StartMin: 0.02, EndMax: 0.01,
+			},
+		},
+	}
+}
+
 // Fig8 reproduces Fig. 8: the Table V history-management policies, each
 // with PFC on and off.
 func Fig8(opts Options) (*Result, error) {
@@ -88,6 +131,38 @@ func Fig8(opts Options) (*Result, error) {
 			"23.7% performance; GHR0 (no fix) raises mispredictions ~19.5%",
 		},
 	}, nil
+}
+
+// contractFig8 is Fig8's reproduction contract: taken-only target
+// history beats the fixup policy and tracks the idealized history.
+func contractFig8() repro.Contract {
+	ghr2 := core.DefaultConfig()
+	ghr2.Name = "ghr2"
+	ghr2.HistPolicy = core.HistGHRFix
+	ghr2.BTBAllocPolicy = core.AllocTakenOnly
+	ideal := core.DefaultConfig()
+	ideal.Name = "ideal-hist"
+	ideal.HistPolicy = core.HistIdeal
+	ideal.BTBAllocPolicy = core.AllocTakenOnly
+	return repro.Contract{
+		Artifact: "fig8", Title: "Branch history management",
+		Baseline: "baseline",
+		Configs:  []core.Config{core.BaselineConfig(), core.DefaultConfig(), ghr2, ideal},
+		Expectations: []repro.Expectation{
+			{
+				ID:       "thr-beats-ghr2",
+				Claim:    "THR beats the fixup policy GHR2 (paper: GHR2's flushes cost 23.7%)",
+				Severity: repro.Hard, Kind: repro.KindOrdering, Metric: repro.MetricSpeedup,
+				Configs: []string{"fdp", "ghr2"}, MinGap: 0.001,
+			},
+			{
+				ID:       "thr-tracks-ideal",
+				Claim:    "THR tracks the idealized history within a few points (paper: THR ~= Ideal)",
+				Severity: repro.Warn, Kind: repro.KindOrdering, Metric: repro.MetricSpeedup,
+				Configs: []string{"fdp", "ideal-hist"}, MinGap: -0.05,
+			},
+		},
+	}
 }
 
 // Fig11 reproduces Fig. 11: BTB capacity sensitivity with and without FDP.
@@ -173,6 +248,40 @@ func Fig12(opts Options) (*Result, error) {
 			"perfect direction makes PFC more effective; Perfect All +49.4%",
 		},
 	}, nil
+}
+
+// contractFig12 is Fig12's reproduction contract: the "conventional
+// wisdom has changed" result — PFC helps a strong direction predictor
+// and hurts a weak one.
+func contractFig12() repro.Contract {
+	fdpOff := core.DefaultConfig()
+	fdpOff.Name = "fdp-pfc-off"
+	fdpOff.PFC = false
+	gshareOn := core.DefaultConfig()
+	gshareOn.Name = "gshare-pfc-on"
+	gshareOn.Dir = core.DirGshare
+	gshareOff := gshareOn
+	gshareOff.Name = "gshare-pfc-off"
+	gshareOff.PFC = false
+	return repro.Contract{
+		Artifact: "fig12", Title: "Branch direction predictor sensitivity",
+		Baseline: "baseline",
+		Configs:  []core.Config{core.BaselineConfig(), core.DefaultConfig(), fdpOff, gshareOn, gshareOff},
+		Expectations: []repro.Expectation{
+			{
+				ID:       "pfc-hurts-gshare",
+				Claim:    "PFC clearly hurts a weak gshare direction predictor (paper: -6.0%)",
+				Severity: repro.Hard, Kind: repro.KindOrdering, Metric: repro.MetricSpeedup,
+				Configs: []string{"gshare-pfc-off", "gshare-pfc-on"}, MinGap: 0.02,
+			},
+			{
+				ID:       "pfc-safe-with-tage",
+				Claim:    "with TAGE the gshare-scale PFC loss disappears — at worst ~neutral here (paper: +2.4pp gain; see EXPERIMENTS.md known deviations)",
+				Severity: repro.Hard, Kind: repro.KindOrdering, Metric: repro.MetricSpeedup,
+				Configs: []string{"fdp", "fdp-pfc-off"}, MinGap: -0.05,
+			},
+		},
+	}
 }
 
 // Fig13 reproduces Fig. 13: prediction bandwidth (B6/B12/B18/B18m) and
@@ -269,4 +378,35 @@ func Fig14(opts Options) (*Result, error) {
 			"exposed at 2 entries; a 24-entry FTQ removes 90.6% of exposed misses",
 		},
 	}, nil
+}
+
+// contractFig14 is Fig14's reproduction contract: the FDP mechanism —
+// run-ahead depth hides misses, so starvation drops and the benefit
+// grows with FTQ depth.
+func contractFig14() repro.Contract {
+	ftq4 := core.DefaultConfig()
+	ftq4.Name = "ftq4"
+	ftq4.FTQEntries = 4
+	ftq12 := core.DefaultConfig()
+	ftq12.Name = "ftq12"
+	ftq12.FTQEntries = 12
+	return repro.Contract{
+		Artifact: "fig14", Title: "FTQ size sensitivity and exposed misses",
+		Baseline: "baseline",
+		Configs:  []core.Config{core.BaselineConfig(), core.DefaultConfig(), ftq4, ftq12},
+		Expectations: []repro.Expectation{
+			{
+				ID:       "fdp-cuts-starvation",
+				Claim:    "FDP reduces fetch starvation vs the 2-entry FTQ baseline (the mechanism)",
+				Severity: repro.Hard, Kind: repro.KindOrdering, Metric: repro.MetricStarvationPKI,
+				Configs: []string{"baseline", "fdp"}, MinGap: 1,
+			},
+			{
+				ID:       "ftq-depth-monotonic",
+				Claim:    "the speedup grows with FTQ depth 4 -> 12 -> 24 (paper: +23.7% / +39.5% / marginal beyond)",
+				Severity: repro.Warn, Kind: repro.KindMonotonic, Metric: repro.MetricSpeedup,
+				Configs: []string{"ftq4", "ftq12", "fdp"}, Dir: 1, Slack: 0.01,
+			},
+		},
+	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"fdp/internal/core"
 	"fdp/internal/ftq"
+	"fdp/internal/repro"
 	"fdp/internal/stats"
 )
 
@@ -67,6 +68,29 @@ func Table2(opts Options) (*Result, error) {
 			"Direction(fix) trades mispredictions for frontend fixup flushes",
 		},
 	}, nil
+}
+
+// contractTab2 is Table II's reproduction contract: the fixup policy
+// must actually pay its frontend flushes — if GHR2 stops flushing, the
+// history-management comparison (tab2, fig8) is no longer measuring the
+// paper's trade-off.
+func contractTab2() repro.Contract {
+	ghr2 := core.DefaultConfig()
+	ghr2.Name = "ghr2"
+	ghr2.HistPolicy = core.HistGHRFix
+	ghr2.BTBAllocPolicy = core.AllocTakenOnly
+	return repro.Contract{
+		Artifact: "tab2", Title: "Handling BTB-miss not-taken branches",
+		Configs: []core.Config{ghr2},
+		Expectations: []repro.Expectation{
+			{
+				ID:       "ghr2-pays-fixups",
+				Claim:    "the GHR fixup policy pays real frontend fixup flushes",
+				Severity: repro.Hard, Kind: repro.KindPositive, Metric: repro.MetricFixupFlushPKI,
+				Configs: []string{"ghr2"},
+			},
+		},
+	}
 }
 
 // Table3 reproduces Table III: the FTQ hardware overhead, including the

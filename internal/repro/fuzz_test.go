@@ -1,0 +1,47 @@
+package repro
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzScorecardJSON feeds arbitrary bytes to the scorecard decoder: it
+// must never panic, and any document it accepts must re-encode and
+// decode to the same bytes (the stability `reprocheck -json` consumers
+// rely on).
+func FuzzScorecardJSON(f *testing.F) {
+	if seed, err := sampleScorecard().Encode(); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"schema": 1, "artifacts": []}`))
+	f.Add([]byte(`{"schema": 2}`))
+	f.Add([]byte(`{"schema": 1, "artifacts": [{"artifact": "fig7", "outcomes": [{"id": "x", "status": "pass", "values": [{"config": "fdp", "value": 1.5, "finite": true}]}]}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		card, err := DecodeScorecard(data)
+		if err != nil {
+			return
+		}
+		b1, err := card.Encode()
+		if err != nil {
+			t.Fatalf("accepted scorecard failed to encode: %v", err)
+		}
+		again, err := DecodeScorecard(b1)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		b2, err := again.Encode()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("canonical encoding not stable:\n%s\nvs\n%s", b1, b2)
+		}
+		// Rendering and tallying must also be total on any accepted doc.
+		_ = card.String()
+		_ = card.Summary()
+		_ = card.HardFailures()
+	})
+}

@@ -1,0 +1,409 @@
+// Package repro turns the reproduction's figure and table claims into
+// machine-checkable contracts. Each scored artifact (fig6a, fig7, ...)
+// declares a Contract: the minimal configuration grid it needs plus a
+// list of typed Expectations — orderings, ranges, crossovers, monotonic
+// trends and strictly-positive counters — with per-expectation
+// tolerances and severities. Evaluating a contract against the
+// stats.Set output the experiments machinery already produces yields an
+// ArtifactScore; the scores of all contracts form a Scorecard, which
+// cmd/report renders (-score) and cmd/reprocheck gates CI on.
+//
+// The registry of actual contracts lives in internal/experiments
+// (Contracts()), next to the figure definitions they score, so a figure
+// and its contract evolve together. Threshold semantics and the
+// process for adding or loosening an expectation are documented in
+// docs/CALIBRATION.md.
+package repro
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"fdp/internal/core"
+	"fdp/internal/stats"
+)
+
+// Severity says what a violated expectation does to the CI gate.
+type Severity string
+
+const (
+	// Hard expectations fail the gate (cmd/reprocheck exits nonzero and
+	// TestHeadlineShapes errors).
+	Hard Severity = "hard"
+	// Warn expectations only warn: the claim is expected to hold at
+	// paper scale but is known to be noise-sensitive at gate scale.
+	Warn Severity = "warn"
+)
+
+// Status is the evaluated outcome of one expectation.
+type Status string
+
+const (
+	StatusPass Status = "pass"
+	StatusWarn Status = "warn"
+	StatusFail Status = "fail"
+)
+
+// Kind selects the shape an expectation checks.
+type Kind string
+
+const (
+	// KindOrdering checks Metric(Configs[0]) - Metric(Configs[1]) >=
+	// MinGap. MinGap = 0 is "at least as good"; a positive MinGap
+	// demands a real gap; a negative MinGap bounds how far Configs[1]
+	// may rise above Configs[0] ("adds only a little on top").
+	KindOrdering Kind = "ordering"
+	// KindRange checks Lo <= Metric(Configs[0]) <= Hi. Hi = 0 means
+	// unbounded above (no scored metric has a meaningful cap at zero).
+	KindRange Kind = "range"
+	// KindCrossover checks that the benefit series Metric(Configs[i]) -
+	// Metric(ConfigsB[i]) starts at or above StartMin and ends at or
+	// below EndMax — the benefit dies out across the sweep (fig7's "PFC
+	// pays off exactly where BTB capacity runs out").
+	KindCrossover Kind = "crossover"
+	// KindMonotonic checks the series Metric(Configs[i]) moves in
+	// direction Dir (+1 non-decreasing, -1 non-increasing), allowing
+	// each step to backslide by at most Slack.
+	KindMonotonic Kind = "monotonic"
+	// KindPositive checks Metric(Configs[0]) > 0 strictly (e.g. GHR2
+	// must actually pay fixup flushes, tab2).
+	KindPositive Kind = "positive"
+)
+
+// MetricKind selects the measured quantity an expectation constrains.
+type MetricKind string
+
+const (
+	// MetricSpeedup is the geometric-mean speedup over the contract's
+	// Baseline config (stats.Set.GeoMeanSpeedup).
+	MetricSpeedup MetricKind = "speedup"
+	// MetricBranchMPKI is the arithmetic-mean branch MPKI.
+	MetricBranchMPKI MetricKind = "branch_mpki"
+	// MetricStarvationPKI is the arithmetic-mean starvation cycles/KI.
+	MetricStarvationPKI MetricKind = "starvation_pki"
+	// MetricTagProbesPKI is the arithmetic-mean I-cache tag probes/KI.
+	MetricTagProbesPKI MetricKind = "tag_probes_pki"
+	// MetricFixupFlushPKI is GHR-fixup frontend flushes per
+	// kilo-instruction, aggregated over the whole set.
+	MetricFixupFlushPKI MetricKind = "fixup_flushes_pki"
+)
+
+// Env is what expectations are evaluated against: the per-config result
+// sets of one contract's grid plus the designated speedup baseline.
+type Env struct {
+	Sets     map[string]*stats.Set
+	Baseline string
+}
+
+// metricEval maps each metric kind to its evaluator. A package-level
+// var so tests can temporarily register pathological metrics (NaN/Inf
+// producers) without threading hooks through the public API.
+var metricEval = map[MetricKind]func(env Env, config string) (float64, error){
+	MetricSpeedup: func(env Env, config string) (float64, error) {
+		s, err := envSet(env, config)
+		if err != nil {
+			return 0, err
+		}
+		base, err := envSet(env, env.Baseline)
+		if err != nil {
+			return 0, fmt.Errorf("baseline %w", err)
+		}
+		return s.GeoMeanSpeedup(base), nil
+	},
+	MetricBranchMPKI:    meanMetric((*stats.Set).MeanBranchMPKI),
+	MetricStarvationPKI: meanMetric((*stats.Set).MeanStarvationPKI),
+	MetricTagProbesPKI:  meanMetric((*stats.Set).MeanTagProbesPKI),
+	MetricFixupFlushPKI: func(env Env, config string) (float64, error) {
+		s, err := envSet(env, config)
+		if err != nil {
+			return 0, err
+		}
+		var flushes, insts uint64
+		for _, r := range s.Runs {
+			flushes += r.HistFixupFlushes
+			insts += r.Instructions
+		}
+		if insts == 0 {
+			return 0, nil
+		}
+		return 1000 * float64(flushes) / float64(insts), nil
+	},
+}
+
+func meanMetric(f func(*stats.Set) float64) func(Env, string) (float64, error) {
+	return func(env Env, config string) (float64, error) {
+		s, err := envSet(env, config)
+		if err != nil {
+			return 0, err
+		}
+		return f(s), nil
+	}
+}
+
+// envSet resolves a config name to a non-empty set or explains why not:
+// a missing workload or quarantined grid must score as a failed check,
+// never as a silently-passing zero.
+func envSet(env Env, config string) (*stats.Set, error) {
+	if config == "" {
+		return nil, fmt.Errorf("config name is empty")
+	}
+	s, ok := env.Sets[config]
+	if !ok || s == nil {
+		return nil, fmt.Errorf("config %q missing from results", config)
+	}
+	if len(s.Runs) == 0 {
+		return nil, fmt.Errorf("config %q has no runs", config)
+	}
+	return s, nil
+}
+
+// Expectation is one machine-checkable claim about a contract's grid.
+// The field subset that matters depends on Kind; see the Kind constants
+// for exact semantics. All comparisons are inclusive: a value exactly
+// at its limit passes (mirroring internal/benchkit's tolerance rule).
+type Expectation struct {
+	// ID is stable within the artifact (used in gate output and docs).
+	ID string `json:"id"`
+	// Claim is the human-readable statement being checked, usually a
+	// paraphrase of the paper claim with the figure reference.
+	Claim    string     `json:"claim"`
+	Severity Severity   `json:"severity"`
+	Kind     Kind       `json:"kind"`
+	Metric   MetricKind `json:"metric"`
+
+	// Configs are the config names involved: [A, B] for ordering, [X]
+	// for range/positive, the swept series for monotonic and crossover.
+	Configs []string `json:"configs"`
+	// ConfigsB is the crossover's second series, parallel to Configs.
+	ConfigsB []string `json:"configs_b,omitempty"`
+
+	MinGap   float64 `json:"min_gap,omitempty"`   // ordering
+	Lo       float64 `json:"lo,omitempty"`        // range
+	Hi       float64 `json:"hi,omitempty"`        // range (0 = unbounded)
+	StartMin float64 `json:"start_min,omitempty"` // crossover
+	EndMax   float64 `json:"end_max,omitempty"`   // crossover
+	Dir      int     `json:"dir,omitempty"`       // monotonic: +1 / -1
+	Slack    float64 `json:"slack,omitempty"`     // monotonic
+}
+
+// Measurement is one measured value backing an outcome. Non-finite
+// values are recorded with Finite=false and a zero Value so scorecards
+// always marshal to valid JSON.
+type Measurement struct {
+	Config string  `json:"config"`
+	Value  float64 `json:"value"`
+	Finite bool    `json:"finite"`
+}
+
+func measurement(config string, v float64) Measurement {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return Measurement{Config: config, Finite: false}
+	}
+	return Measurement{Config: config, Value: v, Finite: true}
+}
+
+// Contract binds an artifact to the minimal grid and the expectations
+// that score it.
+type Contract struct {
+	// Artifact is the experiment ID this contract scores (fig7, tab2...).
+	Artifact string
+	Title    string
+	// Baseline is the config name speedups are measured against; it may
+	// be empty when no expectation uses MetricSpeedup.
+	Baseline string
+	// Configs is the grid to simulate — only what the expectations
+	// reference, so the gate stays one cheap campaign.
+	Configs      []core.Config
+	Expectations []Expectation
+}
+
+// Validate reports the first structural problem: an expectation
+// referencing a config the grid does not simulate would otherwise
+// surface only as a confusing runtime failure.
+func (c *Contract) Validate() error {
+	if c.Artifact == "" {
+		return fmt.Errorf("repro: contract with empty artifact")
+	}
+	have := make(map[string]bool, len(c.Configs))
+	for _, cfg := range c.Configs {
+		if cfg.Name == "" {
+			return fmt.Errorf("repro: %s: config with empty name", c.Artifact)
+		}
+		if have[cfg.Name] {
+			return fmt.Errorf("repro: %s: duplicate config %q", c.Artifact, cfg.Name)
+		}
+		have[cfg.Name] = true
+	}
+	ids := make(map[string]bool, len(c.Expectations))
+	for _, e := range c.Expectations {
+		if e.ID == "" {
+			return fmt.Errorf("repro: %s: expectation with empty id", c.Artifact)
+		}
+		if ids[e.ID] {
+			return fmt.Errorf("repro: %s: duplicate expectation id %q", c.Artifact, e.ID)
+		}
+		ids[e.ID] = true
+		if e.Severity != Hard && e.Severity != Warn {
+			return fmt.Errorf("repro: %s/%s: unknown severity %q", c.Artifact, e.ID, e.Severity)
+		}
+		if _, ok := metricEval[e.Metric]; !ok {
+			return fmt.Errorf("repro: %s/%s: unknown metric %q", c.Artifact, e.ID, e.Metric)
+		}
+		if e.Metric == MetricSpeedup && !have[c.Baseline] {
+			return fmt.Errorf("repro: %s/%s: speedup baseline %q not in grid", c.Artifact, e.ID, c.Baseline)
+		}
+		refs := append([]string(nil), e.Configs...)
+		refs = append(refs, e.ConfigsB...)
+		for _, name := range refs {
+			if !have[name] {
+				return fmt.Errorf("repro: %s/%s: references config %q not in grid", c.Artifact, e.ID, name)
+			}
+		}
+		if err := validateShape(e); err != nil {
+			return fmt.Errorf("repro: %s/%s: %w", c.Artifact, e.ID, err)
+		}
+	}
+	return nil
+}
+
+func validateShape(e Expectation) error {
+	switch e.Kind {
+	case KindOrdering:
+		if len(e.Configs) != 2 {
+			return fmt.Errorf("ordering needs exactly 2 configs, got %d", len(e.Configs))
+		}
+	case KindRange, KindPositive:
+		if len(e.Configs) != 1 {
+			return fmt.Errorf("%s needs exactly 1 config, got %d", e.Kind, len(e.Configs))
+		}
+		if e.Kind == KindRange && e.Hi != 0 && e.Hi < e.Lo {
+			return fmt.Errorf("range [%v, %v] is empty", e.Lo, e.Hi)
+		}
+	case KindCrossover:
+		if len(e.Configs) < 2 || len(e.Configs) != len(e.ConfigsB) {
+			return fmt.Errorf("crossover needs two parallel series of >= 2 configs")
+		}
+	case KindMonotonic:
+		if len(e.Configs) < 2 {
+			return fmt.Errorf("monotonic needs >= 2 configs")
+		}
+		if e.Dir != 1 && e.Dir != -1 {
+			return fmt.Errorf("monotonic dir must be +1 or -1, got %d", e.Dir)
+		}
+		if e.Slack < 0 {
+			return fmt.Errorf("negative slack %v", e.Slack)
+		}
+	default:
+		return fmt.Errorf("unknown kind %q", e.Kind)
+	}
+	return nil
+}
+
+// Eval scores the contract against measured sets. Evaluation never
+// aborts: every problem (missing config, empty set, non-finite metric)
+// becomes a failed or warned outcome routed by the expectation's
+// severity, so one broken artifact cannot hide the others.
+func (c *Contract) Eval(sets map[string]*stats.Set) ArtifactScore {
+	env := Env{Sets: sets, Baseline: c.Baseline}
+	score := ArtifactScore{Artifact: c.Artifact, Title: c.Title}
+	for _, e := range c.Expectations {
+		score.Outcomes = append(score.Outcomes, evalExpectation(env, e))
+	}
+	return score
+}
+
+// violated converts a violation (or evaluation problem) into the status
+// the expectation's severity dictates.
+func (e Expectation) violated() Status {
+	if e.Severity == Warn {
+		return StatusWarn
+	}
+	return StatusFail
+}
+
+func evalExpectation(env Env, e Expectation) Outcome {
+	out := Outcome{ID: e.ID, Claim: e.Claim, Severity: e.Severity, Status: StatusPass}
+	eval, ok := metricEval[e.Metric]
+	if !ok {
+		out.Status, out.Detail = e.violated(), fmt.Sprintf("unknown metric %q", e.Metric)
+		return out
+	}
+
+	// Resolve every referenced value first; any unresolvable or
+	// non-finite value fails the expectation with a concrete reason (a
+	// NaN must never certify a claim, cf. benchkit.Diff).
+	names := append([]string(nil), e.Configs...)
+	names = append(names, e.ConfigsB...)
+	values := make(map[string]float64, len(names))
+	for _, name := range names {
+		v, err := eval(env, name)
+		if err != nil {
+			out.Status, out.Detail = e.violated(), err.Error()
+			return out
+		}
+		out.Values = append(out.Values, measurement(name, v))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			out.Status, out.Detail = e.violated(), fmt.Sprintf("%s(%s) is not finite", e.Metric, name)
+			return out
+		}
+		values[name] = v
+	}
+	v := func(name string) float64 { return values[name] }
+
+	switch e.Kind {
+	case KindOrdering:
+		a, b := e.Configs[0], e.Configs[1]
+		gap := v(a) - v(b)
+		out.Detail = fmt.Sprintf("%s(%s)=%.4f vs %s(%s)=%.4f: gap %+.4f, want >= %+.4f",
+			e.Metric, a, v(a), e.Metric, b, v(b), gap, e.MinGap)
+		if gap < e.MinGap {
+			out.Status = e.violated()
+		}
+	case KindRange:
+		x := e.Configs[0]
+		hi := "inf"
+		if e.Hi != 0 {
+			hi = fmt.Sprintf("%.4f", e.Hi)
+		}
+		out.Detail = fmt.Sprintf("%s(%s)=%.4f, want in [%.4f, %s]", e.Metric, x, v(x), e.Lo, hi)
+		if v(x) < e.Lo || (e.Hi != 0 && v(x) > e.Hi) {
+			out.Status = e.violated()
+		}
+	case KindCrossover:
+		last := len(e.Configs) - 1
+		start := v(e.Configs[0]) - v(e.ConfigsB[0])
+		end := v(e.Configs[last]) - v(e.ConfigsB[last])
+		out.Detail = fmt.Sprintf("%s gap: start %+.4f (want >= %+.4f), end %+.4f (want <= %+.4f)",
+			e.Metric, start, e.StartMin, end, e.EndMax)
+		if start < e.StartMin || end > e.EndMax {
+			out.Status = e.violated()
+		}
+	case KindMonotonic:
+		dir := "increase"
+		if e.Dir < 0 {
+			dir = "decrease"
+		}
+		var steps []string
+		for _, name := range e.Configs {
+			steps = append(steps, fmt.Sprintf("%.4f", v(name)))
+		}
+		out.Detail = fmt.Sprintf("%s series [%s], want to %s (slack %.4f)",
+			e.Metric, strings.Join(steps, " -> "), dir, e.Slack)
+		for i := 0; i+1 < len(e.Configs); i++ {
+			if float64(e.Dir)*(v(e.Configs[i+1])-v(e.Configs[i])) < -e.Slack {
+				out.Status = e.violated()
+				break
+			}
+		}
+	case KindPositive:
+		x := e.Configs[0]
+		out.Detail = fmt.Sprintf("%s(%s)=%.4f, want > 0", e.Metric, x, v(x))
+		if v(x) <= 0 {
+			out.Status = e.violated()
+		}
+	default:
+		out.Status, out.Detail = e.violated(), fmt.Sprintf("unknown kind %q", e.Kind)
+	}
+	return out
+}

@@ -1,0 +1,294 @@
+package repro
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fdp/internal/core"
+	"fdp/internal/stats"
+)
+
+// ipcSet builds a one-workload set whose speedup over a 1.0-IPC baseline
+// is ipcMilli/1000 (up to geomean rounding — tests against these use
+// margins, not exact boundaries).
+func ipcSet(config string, ipcMilli uint64) *stats.Set {
+	return &stats.Set{Config: config, Runs: []*stats.Run{
+		{Workload: "w", Cycles: 1000, Instructions: ipcMilli},
+	}}
+}
+
+// mpkiSet builds a one-workload set whose branch MPKI is exactly the
+// integer mispred — perKI math is exact here, so these sets back the
+// exactly-at-the-limit boundary cases.
+func mpkiSet(config string, mispred uint64) *stats.Set {
+	return &stats.Set{Config: config, Runs: []*stats.Run{
+		{Workload: "w", Cycles: 1000, Instructions: 1000, Mispredictions: mispred},
+	}}
+}
+
+// testEnv: baseline at IPC 1.0; a/b/c at speedups ~1.5/~1.2/~1.1;
+// ma/mb/mc at branch MPKI exactly 10/4/3.
+func testEnv() Env {
+	return Env{Baseline: "base", Sets: map[string]*stats.Set{
+		"base": ipcSet("base", 1000),
+		"a":    ipcSet("a", 1500),
+		"b":    ipcSet("b", 1200),
+		"c":    ipcSet("c", 1100),
+		"ma":   mpkiSet("ma", 10),
+		"mb":   mpkiSet("mb", 4),
+		"mc":   mpkiSet("mc", 3),
+	}}
+}
+
+// TestEvalExpectation is the scorer edge-case table: tolerance
+// boundaries exactly at the limit, missing configs, empty sets, and
+// warn-vs-fail severity routing.
+func TestEvalExpectation(t *testing.T) {
+	std := testEnv()
+
+	ordering := func(sev Severity, minGap float64, configs ...string) Expectation {
+		if len(configs) == 0 {
+			configs = []string{"a", "b"}
+		}
+		return Expectation{ID: "x", Severity: sev, Kind: KindOrdering,
+			Metric: MetricSpeedup, Configs: configs, MinGap: minGap}
+	}
+	mpkiRange := func(lo, hi float64) Expectation {
+		return Expectation{ID: "x", Severity: Hard, Kind: KindRange,
+			Metric: MetricBranchMPKI, Configs: []string{"ma"}, Lo: lo, Hi: hi}
+	}
+	crossover := func(startMin, endMax float64) Expectation {
+		// Benefit series: ma-mb = +6 at the start, mc-mb = -1 at the end.
+		return Expectation{ID: "x", Severity: Hard, Kind: KindCrossover,
+			Metric: MetricBranchMPKI, Configs: []string{"ma", "mc"},
+			ConfigsB: []string{"mb", "mb"}, StartMin: startMin, EndMax: endMax}
+	}
+	monotonic := func(slack float64, configs ...string) Expectation {
+		return Expectation{ID: "x", Severity: Hard, Kind: KindMonotonic,
+			Metric: MetricBranchMPKI, Configs: configs, Dir: 1, Slack: slack}
+	}
+
+	tests := []struct {
+		name   string
+		e      Expectation
+		want   Status
+		detail string // substring the detail must contain ("" = any)
+	}{
+		{"ordering-pass", ordering(Hard, 0.1), StatusPass, "gap"},
+		{"ordering-fail", ordering(Hard, 0.31), StatusFail, "want >= +0.3100"},
+		{"ordering-warn-routing", ordering(Warn, 0.31), StatusWarn, ""},
+		{"ordering-negative-gap-bounds-above", ordering(Hard, -0.1, "b", "a"), StatusFail, ""},
+		{"ordering-exactly-at-gap-passes",
+			Expectation{ID: "x", Severity: Hard, Kind: KindOrdering, Metric: MetricBranchMPKI,
+				Configs: []string{"ma", "mb"}, MinGap: 6}, StatusPass, ""},
+		{"ordering-just-past-gap-fails",
+			Expectation{ID: "x", Severity: Hard, Kind: KindOrdering, Metric: MetricBranchMPKI,
+				Configs: []string{"ma", "mb"}, MinGap: 6.0001}, StatusFail, ""},
+		{"ordering-missing-config", ordering(Hard, 0, "a", "nope"), StatusFail, `config "nope" missing`},
+		{"ordering-missing-config-warn-routing", ordering(Warn, 0, "a", "nope"), StatusWarn, "missing"},
+
+		{"range-pass", mpkiRange(5, 15), StatusPass, ""},
+		{"range-exactly-at-lo-passes", mpkiRange(10, 0), StatusPass, ""},
+		{"range-exactly-at-hi-passes", mpkiRange(0, 10), StatusPass, ""},
+		{"range-below-lo-fails", mpkiRange(10.0001, 0), StatusFail, "want in [10.0001, inf]"},
+		{"range-above-hi-fails", mpkiRange(0, 9.9999), StatusFail, ""},
+		{"range-hi-zero-is-unbounded", mpkiRange(1, 0), StatusPass, ""},
+
+		{"crossover-pass", crossover(6, -1), StatusPass, ""},
+		{"crossover-weak-start-fails", crossover(6.0001, -1), StatusFail, ""},
+		{"crossover-persistent-end-fails", crossover(6, -1.0001), StatusFail, ""},
+
+		{"monotonic-pass", monotonic(0, "mc", "mb", "ma"), StatusPass, ""},
+		{"monotonic-backslide-exactly-at-slack-passes", monotonic(1, "mb", "mc", "ma"), StatusPass, ""},
+		{"monotonic-backslide-beyond-slack-fails", monotonic(0.9999, "mb", "mc", "ma"), StatusFail, "increase"},
+		{"monotonic-decreasing",
+			Expectation{ID: "x", Severity: Hard, Kind: KindMonotonic, Metric: MetricBranchMPKI,
+				Configs: []string{"ma", "mb", "mc"}, Dir: -1}, StatusPass, "decrease"},
+
+		{"positive-zero-fails",
+			Expectation{ID: "x", Severity: Hard, Kind: KindPositive, Metric: MetricFixupFlushPKI,
+				Configs: []string{"a"}}, StatusFail, "want > 0"},
+		{"positive-missing-config",
+			Expectation{ID: "x", Severity: Hard, Kind: KindPositive, Metric: MetricBranchMPKI,
+				Configs: []string{"nope"}}, StatusFail, `config "nope" missing`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			out := evalExpectation(std, tt.e)
+			if out.Status != tt.want {
+				t.Fatalf("status = %s, want %s (detail: %s)", out.Status, tt.want, out.Detail)
+			}
+			if tt.detail != "" && !strings.Contains(out.Detail, tt.detail) {
+				t.Errorf("detail %q does not contain %q", out.Detail, tt.detail)
+			}
+		})
+	}
+}
+
+// TestEvalPositiveCounter covers the happy positive path with a real
+// fixup-flush counter (the table above only covers its zero case).
+func TestEvalPositiveCounter(t *testing.T) {
+	env := testEnv()
+	env.Sets["ghr2"] = &stats.Set{Config: "ghr2", Runs: []*stats.Run{
+		{Workload: "w", Cycles: 1000, Instructions: 1000, HistFixupFlushes: 42},
+	}}
+	out := evalExpectation(env, Expectation{ID: "x", Severity: Hard, Kind: KindPositive,
+		Metric: MetricFixupFlushPKI, Configs: []string{"ghr2"}})
+	if out.Status != StatusPass {
+		t.Fatalf("status = %s (%s)", out.Status, out.Detail)
+	}
+}
+
+// TestEvalEmptySet: a config present but with zero runs (everything
+// quarantined) must fail, not silently pass on a zero metric.
+func TestEvalEmptySet(t *testing.T) {
+	env := testEnv()
+	env.Sets["empty"] = &stats.Set{Config: "empty"}
+	out := evalExpectation(env, Expectation{ID: "x", Severity: Hard, Kind: KindRange,
+		Metric: MetricBranchMPKI, Configs: []string{"empty"}, Lo: 0})
+	if out.Status != StatusFail || !strings.Contains(out.Detail, "no runs") {
+		t.Fatalf("got %s (%s), want fail on empty set", out.Status, out.Detail)
+	}
+}
+
+// TestEvalMissingBaseline: speedup without the baseline in the sets must
+// fail with a baseline-specific message even when the measured config
+// itself resolved fine.
+func TestEvalMissingBaseline(t *testing.T) {
+	env := testEnv()
+	env.Baseline = "gone"
+	out := evalExpectation(env, Expectation{ID: "x", Severity: Hard, Kind: KindRange,
+		Metric: MetricSpeedup, Configs: []string{"a"}, Lo: 1})
+	if out.Status != StatusFail || !strings.Contains(out.Detail, "baseline") {
+		t.Fatalf("got %s (%s), want baseline failure", out.Status, out.Detail)
+	}
+}
+
+// TestEvalNonFinite: a NaN or Inf metric must never certify a claim —
+// it fails with a non-finite detail, and its measurement is recorded
+// with Finite=false so the scorecard still marshals to valid JSON.
+func TestEvalNonFinite(t *testing.T) {
+	const bad MetricKind = "test-non-finite"
+	defer delete(metricEval, bad)
+	for name, v := range map[string]float64{"nan": math.NaN(), "inf": math.Inf(1)} {
+		v := v
+		metricEval[bad] = func(Env, string) (float64, error) { return v, nil }
+		t.Run(name, func(t *testing.T) {
+			out := evalExpectation(testEnv(), Expectation{ID: "x", Severity: Hard,
+				Kind: KindRange, Metric: bad, Configs: []string{"base"}, Lo: 0})
+			if out.Status != StatusFail || !strings.Contains(out.Detail, "not finite") {
+				t.Fatalf("got %s (%s), want non-finite failure", out.Status, out.Detail)
+			}
+			if len(out.Values) != 1 || out.Values[0].Finite || out.Values[0].Value != 0 {
+				t.Errorf("non-finite measurement not sanitized: %+v", out.Values)
+			}
+			card := Scorecard{Schema: ScorecardSchema,
+				Artifacts: []ArtifactScore{{Artifact: "t", Outcomes: []Outcome{out}}}}
+			if _, err := card.Encode(); err != nil {
+				t.Errorf("scorecard with sanitized non-finite value failed to marshal: %v", err)
+			}
+		})
+	}
+}
+
+// TestFlippedOrderingFails proves the gate trips on a deliberately
+// broken expectation: a contract whose ordering passes on measured sets
+// must hard-fail the scorecard once the ordering is flipped.
+func TestFlippedOrderingFails(t *testing.T) {
+	cfgA, cfgB, cfgBase := core.DefaultConfig(), core.DefaultConfig(), core.DefaultConfig()
+	cfgA.Name, cfgB.Name, cfgBase.Name = "a", "b", "base"
+	contract := Contract{
+		Artifact: "t", Baseline: "base",
+		Configs: []core.Config{cfgBase, cfgA, cfgB},
+		Expectations: []Expectation{{
+			ID: "order", Claim: "a beats b", Severity: Hard,
+			Kind: KindOrdering, Metric: MetricSpeedup, Configs: []string{"a", "b"},
+		}},
+	}
+	if err := contract.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sets := testEnv().Sets
+
+	card := Scorecard{Schema: ScorecardSchema, Artifacts: []ArtifactScore{contract.Eval(sets)}}
+	if fails := card.HardFailures(); len(fails) != 0 {
+		t.Fatalf("healthy contract failed: %v", fails)
+	}
+
+	flipped := contract
+	flipped.Expectations = append([]Expectation(nil), contract.Expectations...)
+	flipped.Expectations[0].Configs = []string{"b", "a"} // the deliberate break
+	card = Scorecard{Schema: ScorecardSchema, Artifacts: []ArtifactScore{flipped.Eval(sets)}}
+	fails := card.HardFailures()
+	if len(fails) != 1 || fails[0] != "t/order" {
+		t.Fatalf("flipped ordering did not hard-fail the scorecard: %v", fails)
+	}
+}
+
+// TestContractValidate covers the structural guards.
+func TestContractValidate(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Name = "a"
+	base := core.DefaultConfig()
+	base.Name = "base"
+	ok := Contract{Artifact: "t", Baseline: "base", Configs: []core.Config{base, cfg},
+		Expectations: []Expectation{{ID: "e", Severity: Hard, Kind: KindRange,
+			Metric: MetricSpeedup, Configs: []string{"a"}, Lo: 1}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid contract rejected: %v", err)
+	}
+
+	tests := []struct {
+		name string
+		mut  func(*Contract)
+		want string
+	}{
+		{"empty-artifact", func(c *Contract) { c.Artifact = "" }, "empty artifact"},
+		{"duplicate-config", func(c *Contract) { c.Configs = append(c.Configs, cfg) }, "duplicate config"},
+		{"unnamed-config", func(c *Contract) { c.Configs[1].Name = "" }, "empty name"},
+		{"empty-expectation-id", func(c *Contract) { c.Expectations[0].ID = "" }, "empty id"},
+		{"duplicate-expectation-id", func(c *Contract) {
+			c.Expectations = append(c.Expectations, c.Expectations[0])
+		}, "duplicate expectation"},
+		{"bad-severity", func(c *Contract) { c.Expectations[0].Severity = "soft" }, "unknown severity"},
+		{"bad-metric", func(c *Contract) { c.Expectations[0].Metric = "vibes" }, "unknown metric"},
+		{"bad-kind", func(c *Contract) { c.Expectations[0].Kind = "spiral" }, "unknown kind"},
+		{"missing-baseline", func(c *Contract) { c.Baseline = "gone" }, "baseline"},
+		{"unknown-config-ref", func(c *Contract) { c.Expectations[0].Configs = []string{"nope"} }, "not in grid"},
+		{"ordering-arity", func(c *Contract) {
+			c.Expectations[0].Kind = KindOrdering
+			c.Expectations[0].Configs = []string{"a"}
+		}, "exactly 2"},
+		{"range-arity", func(c *Contract) { c.Expectations[0].Configs = []string{"a", "base"} }, "exactly 1"},
+		{"empty-range", func(c *Contract) { c.Expectations[0].Lo, c.Expectations[0].Hi = 2, 1 }, "empty"},
+		{"crossover-mismatched-series", func(c *Contract) {
+			c.Expectations[0].Kind = KindCrossover
+			c.Expectations[0].Configs = []string{"a", "base"}
+			c.Expectations[0].ConfigsB = []string{"a"}
+		}, "parallel series"},
+		{"monotonic-bad-dir", func(c *Contract) {
+			c.Expectations[0].Kind = KindMonotonic
+			c.Expectations[0].Configs = []string{"a", "base"}
+			c.Expectations[0].Dir = 0
+		}, "dir"},
+		{"monotonic-negative-slack", func(c *Contract) {
+			c.Expectations[0].Kind = KindMonotonic
+			c.Expectations[0].Configs = []string{"a", "base"}
+			c.Expectations[0].Dir = 1
+			c.Expectations[0].Slack = -0.1
+		}, "slack"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := ok
+			c.Configs = append([]core.Config(nil), ok.Configs...)
+			c.Expectations = append([]Expectation(nil), ok.Expectations...)
+			tt.mut(&c)
+			err := c.Validate()
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tt.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,148 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"fdp/internal/stats"
+)
+
+// Outcome is the evaluated result of one expectation: its status plus a
+// measured-vs-expected detail line and the raw values behind it.
+type Outcome struct {
+	ID       string        `json:"id"`
+	Claim    string        `json:"claim"`
+	Severity Severity      `json:"severity"`
+	Status   Status        `json:"status"`
+	Detail   string        `json:"detail,omitempty"`
+	Values   []Measurement `json:"values,omitempty"`
+}
+
+// ArtifactScore is one artifact's evaluated contract.
+type ArtifactScore struct {
+	Artifact string    `json:"artifact"`
+	Title    string    `json:"title,omitempty"`
+	Outcomes []Outcome `json:"outcomes"`
+}
+
+// Counts tallies the artifact's outcomes by status.
+func (a *ArtifactScore) Counts() (pass, warn, fail int) {
+	for _, o := range a.Outcomes {
+		switch o.Status {
+		case StatusPass:
+			pass++
+		case StatusWarn:
+			warn++
+		default:
+			fail++
+		}
+	}
+	return pass, warn, fail
+}
+
+// ScorecardSchema is the current scorecard document version.
+const ScorecardSchema = 1
+
+// Scorecard is the machine-readable reproduction score across every
+// contracted artifact: the JSON document behind `report -score` and
+// `reprocheck -json`, and the source of the text scorecard.
+type Scorecard struct {
+	Schema int `json:"schema"`
+	// Scale describes the campaign the scores were measured at (e.g.
+	// "quick: 6 workloads, 50000+200000 insts").
+	Scale     string          `json:"scale,omitempty"`
+	Artifacts []ArtifactScore `json:"artifacts"`
+}
+
+// Counts tallies all outcomes by status.
+func (s *Scorecard) Counts() (pass, warn, fail int) {
+	for i := range s.Artifacts {
+		p, w, f := s.Artifacts[i].Counts()
+		pass, warn, fail = pass+p, warn+w, fail+f
+	}
+	return pass, warn, fail
+}
+
+// HardFailures returns "artifact/id" for every failed outcome; a
+// non-empty result is what trips the CI gate.
+func (s *Scorecard) HardFailures() []string {
+	var out []string
+	for _, a := range s.Artifacts {
+		for _, o := range a.Outcomes {
+			if o.Status == StatusFail {
+				out = append(out, a.Artifact+"/"+o.ID)
+			}
+		}
+	}
+	return out
+}
+
+// Summary renders the one-line score that joins the `runner:` line in
+// experiments output.
+func (s *Scorecard) Summary() string {
+	pass, warn, fail := s.Counts()
+	return fmt.Sprintf("repro: artifacts=%d checks=%d pass=%d warn=%d fail=%d",
+		len(s.Artifacts), pass+warn+fail, pass, warn, fail)
+}
+
+// String renders the full per-artifact text scorecard: one table per
+// artifact with status, severity and the measured-vs-expected detail,
+// then the summary line.
+func (s *Scorecard) String() string {
+	var b strings.Builder
+	if s.Scale != "" {
+		fmt.Fprintf(&b, "scale: %s\n\n", s.Scale)
+	}
+	for _, a := range s.Artifacts {
+		title := a.Artifact
+		if a.Title != "" {
+			title += ": " + a.Title
+		}
+		pass, warn, fail := a.Counts()
+		t := stats.NewTable(fmt.Sprintf("%s — pass %d / warn %d / fail %d", title, pass, warn, fail),
+			"status", "severity", "check", "measured vs expected")
+		for _, o := range a.Outcomes {
+			t.AddRow(strings.ToUpper(string(o.Status)), string(o.Severity), o.ID, o.Detail)
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	b.WriteString(s.Summary())
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Encode renders the scorecard as canonical indented JSON with a
+// trailing newline (deterministic: struct fields marshal in order).
+func (s *Scorecard) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeScorecard parses and validates a scorecard document.
+func DecodeScorecard(b []byte) (*Scorecard, error) {
+	var s Scorecard
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("repro: scorecard: %w", err)
+	}
+	if s.Schema != ScorecardSchema {
+		return nil, fmt.Errorf("repro: scorecard schema %d, want %d", s.Schema, ScorecardSchema)
+	}
+	for _, a := range s.Artifacts {
+		if a.Artifact == "" {
+			return nil, fmt.Errorf("repro: scorecard artifact with empty id")
+		}
+		for _, o := range a.Outcomes {
+			switch o.Status {
+			case StatusPass, StatusWarn, StatusFail:
+			default:
+				return nil, fmt.Errorf("repro: scorecard %s/%s: unknown status %q", a.Artifact, o.ID, o.Status)
+			}
+		}
+	}
+	return &s, nil
+}

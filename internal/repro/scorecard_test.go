@@ -1,0 +1,105 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleScorecard() *Scorecard {
+	return &Scorecard{
+		Schema: ScorecardSchema,
+		Scale:  "6 workloads, 50000 warmup + 200000 measured insts",
+		Artifacts: []ArtifactScore{
+			{Artifact: "fig6a", Title: "FDP vs prefetchers", Outcomes: []Outcome{
+				{ID: "fdp-speedup-floor", Claim: "FDP speeds up frontend-bound workloads",
+					Severity: Hard, Status: StatusPass,
+					Detail: "speedup(fdp)=1.4924, want in [1.1500, inf]",
+					Values: []Measurement{{Config: "fdp", Value: 1.4924, Finite: true}}},
+				{ID: "prefetcher-adds-little", Claim: "EIP adds only a little on top of FDP",
+					Severity: Warn, Status: StatusWarn,
+					Detail: "gap -0.1200, want >= -0.1000"},
+			}},
+			{Artifact: "tab2", Outcomes: []Outcome{
+				{ID: "ghr2-pays-fixups", Severity: Hard, Status: StatusFail,
+					Detail: "fixup_flushes_pki(ghr2)=0.0000, want > 0"},
+			}},
+		},
+	}
+}
+
+// TestScorecardRoundTrip: encode -> decode -> encode must be
+// byte-identical, and the decoded document must preserve counts.
+func TestScorecardRoundTrip(t *testing.T) {
+	card := sampleScorecard()
+	b1, err := card.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(b1, []byte("\n")) {
+		t.Error("Encode output missing trailing newline")
+	}
+	got, err := DecodeScorecard(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("round-trip not byte-identical:\n%s\nvs\n%s", b1, b2)
+	}
+
+	pass, warn, fail := got.Counts()
+	if pass != 1 || warn != 1 || fail != 1 {
+		t.Errorf("Counts() = %d/%d/%d, want 1/1/1", pass, warn, fail)
+	}
+	if want := "repro: artifacts=2 checks=3 pass=1 warn=1 fail=1"; got.Summary() != want {
+		t.Errorf("Summary() = %q, want %q", got.Summary(), want)
+	}
+	fails := got.HardFailures()
+	if len(fails) != 1 || fails[0] != "tab2/ghr2-pays-fixups" {
+		t.Errorf("HardFailures() = %v", fails)
+	}
+}
+
+// TestScorecardString spot-checks the text rendering the golden test in
+// cmd/report locks down byte-for-byte.
+func TestScorecardString(t *testing.T) {
+	s := sampleScorecard().String()
+	for _, want := range []string{
+		"scale: 6 workloads",
+		"fig6a: FDP vs prefetchers — pass 1 / warn 1 / fail 0",
+		"tab2 — pass 0 / warn 0 / fail 1",
+		"FAIL",
+		"measured vs expected",
+		"repro: artifacts=2 checks=3 pass=1 warn=1 fail=1",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDecodeScorecardErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"garbage", "{", "scorecard"},
+		{"wrong-schema", `{"schema": 99, "artifacts": []}`, "schema 99"},
+		{"missing-schema", `{"artifacts": []}`, "schema 0"},
+		{"empty-artifact-id", `{"schema": 1, "artifacts": [{"artifact": "", "outcomes": []}]}`, "empty id"},
+		{"unknown-status", `{"schema": 1, "artifacts": [{"artifact": "f", "outcomes": [{"id": "x", "status": "maybe"}]}]}`, "unknown status"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := DecodeScorecard([]byte(tt.in))
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("DecodeScorecard = %v, want error containing %q", err, tt.want)
+			}
+		})
+	}
+}
