@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci build vet test race fuzz bench bench-check golden-update clean experiments-smoke accounting-check chaos-check warmup-check repro-check cover
+.PHONY: ci build vet test race fuzz bench bench-check golden-update clean experiments-smoke accounting-check chaos-check warmup-check repro-check spec-check cover
 
-ci: vet build race fuzz experiments-smoke accounting-check chaos-check warmup-check repro-check
+ci: vet build race fuzz experiments-smoke accounting-check chaos-check warmup-check repro-check spec-check
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzJournal -fuzztime=$(FUZZTIME) ./internal/runner
 	$(GO) test -run=^$$ -fuzz=FuzzCheckpoint -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzScorecardJSON -fuzztime=$(FUZZTIME) ./internal/repro
+	$(GO) test -run=^$$ -fuzz=FuzzWorkloadSpec -fuzztime=$(FUZZTIME) ./internal/wspec
 
 # Benchmark knobs: BENCHTIME bounds the go-test benchmarks (1x keeps the
 # 17-benchmark sweep fast; raise for stable numbers), BENCHREPS is the
@@ -95,6 +96,12 @@ chaos-check:
 # a paper claim out of shape.
 repro-check:
 	$(GO) run ./cmd/reprocheck -scale quick
+
+# Workload-spec gate: parse, validate and compile every example spec, so
+# a schema or compiler change that orphans the shipped scenarios (or a
+# broken example) fails CI. See docs/WORKLOADS.md.
+spec-check:
+	$(GO) run ./cmd/wlstat -check examples/workloads
 
 # Coverage gate: per-package `go test -short -cover` (the per-package
 # lines are the useful CI log), then the aggregate statement coverage

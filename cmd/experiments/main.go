@@ -42,6 +42,9 @@ func main() {
 		list  = flag.Bool("list", false, "list experiments and exit")
 		csv   = flag.String("csv", "", "also write each experiment's tables as CSV files into this directory")
 
+		workloads    = flag.String("workloads", "", "override the workload suite: comma-separated standard names and/or @file.yaml spec references")
+		workloadSpec = flag.String("workload-spec", "", "workload spec file(s) to run the experiments on, comma-separated (combines with -workloads)")
+
 		cacheDir = flag.String("cache", "", "store and reuse simulation results in this directory")
 		resume   = flag.Bool("resume", false, "shorthand for -cache ./"+defaultCacheDir)
 
@@ -92,6 +95,14 @@ func main() {
 	if *full {
 		opts = experiments.FullOptions()
 		scale = "full"
+	}
+	if *workloads != "" || *workloadSpec != "" {
+		ws, err := experiments.ParseWorkloads(*workloads, *workloadSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Workloads = ws
 	}
 	fmt.Printf("scale=%s workloads=%d warmup=%d measure=%d\n\n",
 		scale, len(opts.Workloads), opts.Warmup, opts.Measure)

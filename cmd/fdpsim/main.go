@@ -30,8 +30,9 @@ import (
 
 func main() {
 	var (
-		workload   = flag.String("workload", "server_a", "standard workload name, or 'all'")
-		replayFile = flag.String("replay", "", "simulate a trace file instead of a synthetic workload")
+		workload     = flag.String("workload", "server_a", "comma-separated workload list: standard names, @file.yaml spec references, or 'all'")
+		workloadSpec = flag.String("workload-spec", "", "workload spec file(s) to simulate, comma-separated (shorthand for -workload @file; combines with an explicit -workload)")
+		replayFile   = flag.String("replay", "", "simulate a trace file instead of a synthetic workload")
 		baseline   = flag.Bool("baseline", false, "use the no-FDP/no-prefetch baseline configuration")
 		ftqEntries = flag.Int("ftq", 0, "override FTQ entries (0 = config default)")
 		btbEntries = flag.Int("btb", 0, "override BTB entries")
@@ -223,7 +224,13 @@ func main() {
 		return
 	}
 
-	workloads, err := synth.ParseList(*workload)
+	workloadExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workload" {
+			workloadExplicit = true
+		}
+	})
+	workloads, err := synth.ParseWorkloadFlags(*workload, *workloadSpec, workloadExplicit)
 	if err != nil {
 		fatal("%v", err)
 	}

@@ -63,7 +63,8 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		param     = fs.String("param", "ftq", "parameter to sweep: "+paramNames())
 		valuesStr = fs.String("values", "2,4,8,16,24,32", "comma-separated values")
-		wlStr     = fs.String("workloads", "server_a,client_a,spec_a", "comma-separated workloads, or 'all'")
+		wlStr     = fs.String("workloads", "server_a,client_a,spec_a", "comma-separated workloads: standard names, @file.yaml spec references, or 'all'")
+		wlSpec    = fs.String("workload-spec", "", "workload spec file(s) to sweep, comma-separated (shorthand for @file entries in -workloads)")
 		pfc        = fs.Bool("pfc", true, "post-fetch correction")
 		warmup     = fs.Uint64("warmup", 100_000, "warmup instructions")
 		measure    = fs.Uint64("measure", 400_000, "measured instructions")
@@ -156,7 +157,13 @@ func run(args []string, stdout io.Writer) error {
 		}
 		values = append(values, n)
 	}
-	workloads, err := synth.ParseList(*wlStr)
+	wlExplicit := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "workloads" {
+			wlExplicit = true
+		}
+	})
+	workloads, err := synth.ParseWorkloadFlags(*wlStr, *wlSpec, wlExplicit)
 	if err != nil {
 		return err
 	}

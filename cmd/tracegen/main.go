@@ -18,10 +18,11 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "server_a", "standard workload name")
-		n        = flag.Uint64("n", 1_000_000, "dynamic instructions to record")
-		out      = flag.String("o", "", "output file (default <workload>.fdpt.gz)")
-		inspect  = flag.String("inspect", "", "print a trace file's header and histogram")
+		workload     = flag.String("workload", "server_a", "standard workload name, or @file.yaml spec reference")
+		workloadSpec = flag.String("workload-spec", "", "workload spec file to record (overrides -workload)")
+		n            = flag.Uint64("n", 1_000_000, "dynamic instructions to record")
+		out          = flag.String("o", "", "output file (default <workload>.fdpt.gz)")
+		inspect      = flag.String("inspect", "", "print a trace file's header and histogram")
 	)
 	flag.Parse()
 
@@ -30,10 +31,15 @@ func main() {
 		return
 	}
 
-	w := synth.ByName(*workload)
-	if w == nil {
-		fatal("unknown workload %q (have: %v)", *workload, synth.Names())
+	token := *workload
+	if *workloadSpec != "" {
+		token = "@" + *workloadSpec
 	}
+	ws, err := synth.Resolve(token)
+	if err != nil {
+		fatal("%v", err)
+	}
+	w := ws[0]
 	path := *out
 	if path == "" {
 		path = w.Name + ".fdpt.gz"

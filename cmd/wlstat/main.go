@@ -1,34 +1,54 @@
-// Command wlstat characterizes the synthetic workloads: static footprint
-// and branch mix, dynamic working-set size, and (optionally) the baseline
-// frontend metrics that determine how frontend-bound each one is.
+// Command wlstat characterizes workloads: static footprint and branch
+// mix, dynamic working-set size, per-component scenario shape, and
+// (optionally) the baseline frontend metrics that determine how
+// frontend-bound each one is.
 //
 // Usage:
 //
-//	wlstat               # static + dynamic characterization
-//	wlstat -baseline     # also simulate the no-FDP baseline per workload
+//	wlstat                                # standard suite
+//	wlstat -workload server_a,@mix.yaml   # named workloads and spec refs
+//	wlstat -workload-spec deploy.yaml     # inspect an authored spec
+//	wlstat -baseline                      # also simulate the no-FDP baseline
+//	wlstat -check examples/workloads      # validate every spec in a dir
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
 
 	"fdp/internal/core"
 	"fdp/internal/program"
 	"fdp/internal/stats"
 	"fdp/internal/synth"
+	"fdp/internal/wspec"
 )
 
 func main() {
 	var (
-		baseline = flag.Bool("baseline", false, "simulate the baseline for MPKI / perfect-I$ uplift")
-		window   = flag.Int("window", 200_000, "working-set window in instructions")
-		n        = flag.Int("n", 1_000_000, "dynamic instructions to sample")
+		workload     = flag.String("workload", "", "comma-separated workloads: standard names, @file.yaml spec references, or 'all' (default: standard suite)")
+		workloadSpec = flag.String("workload-spec", "", "workload spec file(s) to characterize, comma-separated (shorthand for @file entries in -workload)")
+		baseline     = flag.Bool("baseline", false, "simulate the baseline for MPKI / perfect-I$ uplift")
+		window       = flag.Int("window", 200_000, "working-set window in instructions")
+		n            = flag.Int("n", 1_000_000, "dynamic instructions to sample")
+		checkDir     = flag.String("check", "", "validate every .yaml workload spec in this directory and exit")
 	)
 	flag.Parse()
 
+	if *checkDir != "" {
+		os.Exit(checkSpecs(*checkDir))
+	}
+
+	workloads, err := synth.ParseWorkloadFlags(*workload, *workloadSpec, *workload != "")
+	if err != nil {
+		fatal("%v", err)
+	}
+
 	t := stats.NewTable("workload characterization",
 		"workload", "class", "code KB", "static branches", "dyn branch%", "taken%", "WSS KB")
-	for _, w := range synth.StandardWorkloads() {
+	for _, w := range workloads {
 		s := w.NewStream()
 		var branches, taken uint64
 		win := map[uint64]bool{}
@@ -55,37 +75,98 @@ func main() {
 	}
 	fmt.Print(t)
 
-	if !*baseline {
-		return
-	}
-	fmt.Println()
-	bt := stats.NewTable("baseline frontend behaviour (no FDP, no prefetching)",
-		"workload", "IPC", "L1I MPKI", "branch MPKI", "starv/KI", "perfect-I$ uplift")
-	for _, w := range synth.StandardWorkloads() {
-		base, err := core.Simulate(core.BaselineConfig(), w.NewStream(), w.Name, 150_000, 500_000)
-		if err != nil {
-			panic(err)
+	// Scenario shape: one row per (phase, component) for every workload
+	// built from a spec with mixes or phases, so authored YAML is
+	// inspectable before committing to a campaign.
+	for _, w := range workloads {
+		if !w.Mixed() {
+			continue
 		}
-		pcfg := core.BaselineConfig()
-		pcfg.Name = "perfect-i$"
-		pcfg.PerfectPrefetch = true
-		perf, err := core.Simulate(pcfg, w.NewStream(), w.Name, 150_000, 500_000)
-		if err != nil {
-			panic(err)
+		fmt.Println()
+		ct := stats.NewTable(fmt.Sprintf("scenario shape: %s (%d phases, spec %.12s)", w.Name, w.Phases(), w.SpecHash),
+			"phase", "at inst", "component", "weight", "seed", "code KB", "static branches", "hot frac")
+		for _, c := range w.Components() {
+			ct.AddRow(c.Phase, c.PhaseStart, fmt.Sprintf("%d:%s", c.Index, c.Label),
+				c.Weight, fmt.Sprintf("%#x", c.Seed), c.Bytes/1024, c.StaticBranches, c.HotFraction)
 		}
-		bt.AddRow(w.Name, base.IPC(), base.L1IMPKI(), base.BranchMPKI(),
-			base.StarvationPKI(), fmt.Sprintf("%+.1f%%", 100*(perf.Speedup(base)-1)))
+		fmt.Print(ct)
 	}
-	fmt.Print(bt)
-	fmt.Println("\n(the paper's selection criterion: every workload shows >5% uplift with a perfect I-cache)")
+
+	if *baseline {
+		fmt.Println()
+		bt := stats.NewTable("baseline frontend behaviour (no FDP, no prefetching)",
+			"workload", "IPC", "L1I MPKI", "branch MPKI", "starv/KI", "perfect-I$ uplift")
+		for _, w := range workloads {
+			base, err := core.Simulate(core.BaselineConfig(), w.NewStream(), w.Name, 150_000, 500_000)
+			if err != nil {
+				panic(err)
+			}
+			pcfg := core.BaselineConfig()
+			pcfg.Name = "perfect-i$"
+			pcfg.PerfectPrefetch = true
+			perf, err := core.Simulate(pcfg, w.NewStream(), w.Name, 150_000, 500_000)
+			if err != nil {
+				panic(err)
+			}
+			bt.AddRow(w.Name, base.IPC(), base.L1IMPKI(), base.BranchMPKI(),
+				base.StarvationPKI(), fmt.Sprintf("%+.1f%%", 100*(perf.Speedup(base)-1)))
+		}
+		fmt.Print(bt)
+		fmt.Println("\n(the paper's selection criterion: every workload shows >5% uplift with a perfect I-cache)")
+	}
 
 	// Static instruction mix across the suite.
 	fmt.Println()
 	mt := stats.NewTable("static instruction mix", "workload", "non-branch", "cond", "jump", "call", "ind-jump", "ind-call", "return")
-	for _, w := range synth.StandardWorkloads() {
+	for _, w := range workloads {
 		h := w.Image().CountByType()
 		mt.AddRow(w.Name, h[program.NonBranch], h[program.CondDirect], h[program.Jump],
 			h[program.Call], h[program.IndJump], h[program.IndCall], h[program.Return])
 	}
 	fmt.Print(mt)
+}
+
+// checkSpecs parses, validates and compiles every .yaml file in dir,
+// printing one line per spec; it returns 1 if any spec fails (the
+// `make spec-check` gate).
+func checkSpecs(dir string) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wlstat: %v\n", err)
+		return 1
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && (filepath.Ext(e.Name()) == ".yaml" || filepath.Ext(e.Name()) == ".yml") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "wlstat: no .yaml specs in %s\n", dir)
+		return 1
+	}
+	bad := 0
+	for _, p := range paths {
+		sp, err := wspec.Load(p)
+		if err == nil {
+			_, err = synth.FromSpec(sp)
+		}
+		if err != nil {
+			fmt.Printf("FAIL %s: %v\n", p, err)
+			bad++
+			continue
+		}
+		fmt.Printf("ok   %s: %s (hash %.12s)\n", p, sp.Summary(), sp.Hash())
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "wlstat: %d of %d specs failed validation\n", bad, len(paths))
+		return 1
+	}
+	return 0
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "wlstat: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -97,6 +97,18 @@ func GenerateWorkload(p WorkloadParams, class string, seed uint64) (*Workload, e
 	return synth.Generate(p, class, seed)
 }
 
+// LoadWorkloadSpec reads, validates and compiles the declarative
+// workload spec (YAML) at path — mixes and phases included. The
+// compiled workload carries the spec's canonical content hash, which
+// the run cache folds into result and checkpoint keys. See
+// docs/WORKLOADS.md for the schema and cookbook.
+func LoadWorkloadSpec(path string) (*Workload, error) { return synth.LoadSpecFile(path) }
+
+// ParseWorkloadList resolves a comma-separated workload list: standard
+// names ("server_a"), @file.yaml spec references, or "all" / "" for the
+// standard suite.
+func ParseWorkloadList(s string) ([]*Workload, error) { return synth.ParseList(s) }
+
 // Simulate runs cfg on the workload for warmup + measure retired
 // instructions and returns the measurement statistics.
 func Simulate(cfg Config, w *Workload, warmup, measure uint64) (*Run, error) {

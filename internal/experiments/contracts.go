@@ -21,6 +21,7 @@ func Contracts() []repro.Contract {
 		contractTab2(),
 		contractFig12(),
 		contractFig14(),
+		contractShape(),
 	}
 }
 
@@ -46,7 +47,13 @@ func Score(opts Options) (*repro.Scorecard, error) {
 		if err := c.Validate(); err != nil {
 			return nil, err
 		}
-		sets, err := runGrid(opts, c.Configs)
+		copts := opts
+		if len(c.Workloads) > 0 {
+			// The contract brings its own suite (ext-shape's spec grid);
+			// scale-dependent budgets still come from the campaign opts.
+			copts.Workloads = c.Workloads
+		}
+		sets, err := runGrid(copts, c.Configs)
 		if err != nil {
 			return nil, fmt.Errorf("score %s: %w", c.Artifact, err)
 		}

@@ -123,6 +123,14 @@ func FullOptions() Options {
 	return Options{Warmup: 2_000_000, Measure: 8_000_000, Workloads: synth.StandardWorkloads()}
 }
 
+// ParseWorkloads resolves the -workloads / -workload-spec frontend
+// flags into a workload suite override: workloads is a comma-separated
+// list of standard names and @file.yaml references, specFiles a
+// comma-separated list of spec paths. Either may be empty.
+func ParseWorkloads(workloads, specFiles string) ([]*synth.Workload, error) {
+	return synth.ParseWorkloadFlags(workloads, specFiles, workloads != "")
+}
+
 func (o *Options) parallel() int {
 	if o.Parallel > 0 {
 		return o.Parallel

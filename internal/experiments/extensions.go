@@ -17,6 +17,7 @@ func Extensions() []Experiment {
 		{"ext-seeds", "Seed sensitivity of the headline result (extension)", ExtSeeds},
 		{"ext-bbbtb", "Instruction BTB vs basic-block BTB (extension)", ExtBBBTB},
 		{"ext-data", "Backend-model robustness (extension)", ExtDataModel},
+		{"ext-shape", "Workload-shape sweep over a spec grid (extension)", ExtShape},
 	}
 }
 

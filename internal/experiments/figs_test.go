@@ -156,11 +156,14 @@ func TestRunGridShape(t *testing.T) {
 
 func TestExtensionsRegistered(t *testing.T) {
 	exts := Extensions()
-	if len(exts) != 5 {
+	if len(exts) != 6 {
 		t.Fatalf("extensions = %d", len(exts))
 	}
 	if _, ok := ByID("ext-btb2l"); !ok {
 		t.Error("ByID(ext-btb2l) failed")
+	}
+	if _, ok := ByID("ext-shape"); !ok {
+		t.Error("ByID(ext-shape) failed")
 	}
 	all := AllWithExtensions()
 	if len(all) != len(All())+len(exts) {

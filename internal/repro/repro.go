@@ -22,6 +22,7 @@ import (
 
 	"fdp/internal/core"
 	"fdp/internal/stats"
+	"fdp/internal/synth"
 )
 
 // Severity says what a violated expectation does to the CI gate.
@@ -80,6 +81,8 @@ const (
 	MetricSpeedup MetricKind = "speedup"
 	// MetricBranchMPKI is the arithmetic-mean branch MPKI.
 	MetricBranchMPKI MetricKind = "branch_mpki"
+	// MetricL1IMPKI is the arithmetic-mean L1I miss MPKI.
+	MetricL1IMPKI MetricKind = "l1i_mpki"
 	// MetricStarvationPKI is the arithmetic-mean starvation cycles/KI.
 	MetricStarvationPKI MetricKind = "starvation_pki"
 	// MetricTagProbesPKI is the arithmetic-mean I-cache tag probes/KI.
@@ -96,26 +99,33 @@ type Env struct {
 	Baseline string
 }
 
-// metricEval maps each metric kind to its evaluator. A package-level
-// var so tests can temporarily register pathological metrics (NaN/Inf
-// producers) without threading hooks through the public API.
-var metricEval = map[MetricKind]func(env Env, config string) (float64, error){
-	MetricSpeedup: func(env Env, config string) (float64, error) {
-		s, err := envSet(env, config)
+// metricEval maps each metric kind to its evaluator. The workload
+// argument restricts the set to that single workload's run ("" = whole
+// set) — Expectation.Workloads claims hold per grid cell, not suite
+// mean. A package-level var so tests can temporarily register
+// pathological metrics (NaN/Inf producers) without threading hooks
+// through the public API.
+var metricEval = map[MetricKind]func(env Env, config, workload string) (float64, error){
+	MetricSpeedup: func(env Env, config, workload string) (float64, error) {
+		s, err := envSet(env, config, workload)
 		if err != nil {
 			return 0, err
 		}
-		base, err := envSet(env, env.Baseline)
+		// The baseline stays unfiltered: GeoMeanSpeedup pairs runs by
+		// workload name, so a filtered measured set yields the
+		// per-workload speedup against its own baseline run.
+		base, err := envSet(env, env.Baseline, "")
 		if err != nil {
 			return 0, fmt.Errorf("baseline %w", err)
 		}
 		return s.GeoMeanSpeedup(base), nil
 	},
 	MetricBranchMPKI:    meanMetric((*stats.Set).MeanBranchMPKI),
+	MetricL1IMPKI:       meanMetric((*stats.Set).MeanL1IMPKI),
 	MetricStarvationPKI: meanMetric((*stats.Set).MeanStarvationPKI),
 	MetricTagProbesPKI:  meanMetric((*stats.Set).MeanTagProbesPKI),
-	MetricFixupFlushPKI: func(env Env, config string) (float64, error) {
-		s, err := envSet(env, config)
+	MetricFixupFlushPKI: func(env Env, config, workload string) (float64, error) {
+		s, err := envSet(env, config, workload)
 		if err != nil {
 			return 0, err
 		}
@@ -131,9 +141,9 @@ var metricEval = map[MetricKind]func(env Env, config string) (float64, error){
 	},
 }
 
-func meanMetric(f func(*stats.Set) float64) func(Env, string) (float64, error) {
-	return func(env Env, config string) (float64, error) {
-		s, err := envSet(env, config)
+func meanMetric(f func(*stats.Set) float64) func(Env, string, string) (float64, error) {
+	return func(env Env, config, workload string) (float64, error) {
+		s, err := envSet(env, config, workload)
 		if err != nil {
 			return 0, err
 		}
@@ -141,10 +151,11 @@ func meanMetric(f func(*stats.Set) float64) func(Env, string) (float64, error) {
 	}
 }
 
-// envSet resolves a config name to a non-empty set or explains why not:
-// a missing workload or quarantined grid must score as a failed check,
-// never as a silently-passing zero.
-func envSet(env Env, config string) (*stats.Set, error) {
+// envSet resolves a config name to a non-empty set — restricted to a
+// single workload's run when workload is non-empty — or explains why
+// not: a missing workload or quarantined grid must score as a failed
+// check, never as a silently-passing zero.
+func envSet(env Env, config, workload string) (*stats.Set, error) {
 	if config == "" {
 		return nil, fmt.Errorf("config name is empty")
 	}
@@ -154,6 +165,13 @@ func envSet(env Env, config string) (*stats.Set, error) {
 	}
 	if len(s.Runs) == 0 {
 		return nil, fmt.Errorf("config %q has no runs", config)
+	}
+	if workload != "" {
+		r := s.ByWorkload(workload)
+		if r == nil {
+			return nil, fmt.Errorf("config %q has no run for workload %q", config, workload)
+		}
+		s = &stats.Set{Config: s.Config, Runs: []*stats.Run{r}}
 	}
 	return s, nil
 }
@@ -177,6 +195,12 @@ type Expectation struct {
 	Configs []string `json:"configs"`
 	// ConfigsB is the crossover's second series, parallel to Configs.
 	ConfigsB []string `json:"configs_b,omitempty"`
+	// Workloads, when non-empty, is parallel to Configs and restricts
+	// each referenced value to that single workload's run instead of
+	// the suite mean — the sweep axis can then be the workload itself
+	// (ext-shape sweeps footprint with a fixed config pair). Crossover
+	// applies the same workload positionally to both series.
+	Workloads []string `json:"workloads,omitempty"`
 
 	MinGap   float64 `json:"min_gap,omitempty"`   // ordering
 	Lo       float64 `json:"lo,omitempty"`        // range
@@ -216,6 +240,11 @@ type Contract struct {
 	// reference, so the gate stays one cheap campaign.
 	Configs      []core.Config
 	Expectations []Expectation
+	// Workloads, when non-empty, replaces the campaign's workload suite
+	// for this contract's grid (experiments.Score) — contracts whose
+	// claims sweep the workload axis (ext-shape) bring their own suite
+	// instead of inheriting the standard one.
+	Workloads []*synth.Workload
 }
 
 // Validate reports the first structural problem: an expectation
@@ -234,6 +263,16 @@ func (c *Contract) Validate() error {
 			return fmt.Errorf("repro: %s: duplicate config %q", c.Artifact, cfg.Name)
 		}
 		have[cfg.Name] = true
+	}
+	haveWL := make(map[string]bool, len(c.Workloads))
+	for _, w := range c.Workloads {
+		if w == nil || w.Name == "" {
+			return fmt.Errorf("repro: %s: nil or unnamed workload in contract suite", c.Artifact)
+		}
+		if haveWL[w.Name] {
+			return fmt.Errorf("repro: %s: duplicate workload %q", c.Artifact, w.Name)
+		}
+		haveWL[w.Name] = true
 	}
 	ids := make(map[string]bool, len(c.Expectations))
 	for _, e := range c.Expectations {
@@ -258,6 +297,20 @@ func (c *Contract) Validate() error {
 		for _, name := range refs {
 			if !have[name] {
 				return fmt.Errorf("repro: %s/%s: references config %q not in grid", c.Artifact, e.ID, name)
+			}
+		}
+		if len(e.Workloads) > 0 {
+			if len(e.Workloads) != len(e.Configs) {
+				return fmt.Errorf("repro: %s/%s: workloads must parallel configs (%d vs %d)",
+					c.Artifact, e.ID, len(e.Workloads), len(e.Configs))
+			}
+			for _, w := range e.Workloads {
+				if w == "" {
+					return fmt.Errorf("repro: %s/%s: empty workload name", c.Artifact, e.ID)
+				}
+				if len(c.Workloads) > 0 && !haveWL[w] {
+					return fmt.Errorf("repro: %s/%s: references workload %q not in contract suite", c.Artifact, e.ID, w)
+				}
 			}
 		}
 		if err := validateShape(e); err != nil {
@@ -330,50 +383,61 @@ func evalExpectation(env Env, e Expectation) Outcome {
 		return out
 	}
 
-	// Resolve every referenced value first; any unresolvable or
-	// non-finite value fails the expectation with a concrete reason (a
-	// NaN must never certify a claim, cf. benchkit.Diff).
+	// Resolve every referenced value first, positionally; any
+	// unresolvable or non-finite value fails the expectation with a
+	// concrete reason (a NaN must never certify a claim, cf.
+	// benchkit.Diff). Workloads (when set) parallel Configs and apply
+	// positionally to ConfigsB too, so a cell is (config, workload).
+	wl := func(i int) string {
+		if len(e.Workloads) > 0 {
+			return e.Workloads[i%len(e.Configs)]
+		}
+		return ""
+	}
 	names := append([]string(nil), e.Configs...)
 	names = append(names, e.ConfigsB...)
-	values := make(map[string]float64, len(names))
-	for _, name := range names {
-		v, err := eval(env, name)
+	disp := make([]string, len(names))
+	vals := make([]float64, len(names))
+	for i, name := range names {
+		w := wl(i)
+		disp[i] = name
+		if w != "" {
+			disp[i] = name + "@" + w
+		}
+		v, err := eval(env, name, w)
 		if err != nil {
 			out.Status, out.Detail = e.violated(), err.Error()
 			return out
 		}
-		out.Values = append(out.Values, measurement(name, v))
+		out.Values = append(out.Values, measurement(disp[i], v))
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			out.Status, out.Detail = e.violated(), fmt.Sprintf("%s(%s) is not finite", e.Metric, name)
+			out.Status, out.Detail = e.violated(), fmt.Sprintf("%s(%s) is not finite", e.Metric, disp[i])
 			return out
 		}
-		values[name] = v
+		vals[i] = v
 	}
-	v := func(name string) float64 { return values[name] }
 
 	switch e.Kind {
 	case KindOrdering:
-		a, b := e.Configs[0], e.Configs[1]
-		gap := v(a) - v(b)
+		gap := vals[0] - vals[1]
 		out.Detail = fmt.Sprintf("%s(%s)=%.4f vs %s(%s)=%.4f: gap %+.4f, want >= %+.4f",
-			e.Metric, a, v(a), e.Metric, b, v(b), gap, e.MinGap)
+			e.Metric, disp[0], vals[0], e.Metric, disp[1], vals[1], gap, e.MinGap)
 		if gap < e.MinGap {
 			out.Status = e.violated()
 		}
 	case KindRange:
-		x := e.Configs[0]
 		hi := "inf"
 		if e.Hi != 0 {
 			hi = fmt.Sprintf("%.4f", e.Hi)
 		}
-		out.Detail = fmt.Sprintf("%s(%s)=%.4f, want in [%.4f, %s]", e.Metric, x, v(x), e.Lo, hi)
-		if v(x) < e.Lo || (e.Hi != 0 && v(x) > e.Hi) {
+		out.Detail = fmt.Sprintf("%s(%s)=%.4f, want in [%.4f, %s]", e.Metric, disp[0], vals[0], e.Lo, hi)
+		if vals[0] < e.Lo || (e.Hi != 0 && vals[0] > e.Hi) {
 			out.Status = e.violated()
 		}
 	case KindCrossover:
-		last := len(e.Configs) - 1
-		start := v(e.Configs[0]) - v(e.ConfigsB[0])
-		end := v(e.Configs[last]) - v(e.ConfigsB[last])
+		n := len(e.Configs)
+		start := vals[0] - vals[n]
+		end := vals[n-1] - vals[2*n-1]
 		out.Detail = fmt.Sprintf("%s gap: start %+.4f (want >= %+.4f), end %+.4f (want <= %+.4f)",
 			e.Metric, start, e.StartMin, end, e.EndMax)
 		if start < e.StartMin || end > e.EndMax {
@@ -385,21 +449,20 @@ func evalExpectation(env Env, e Expectation) Outcome {
 			dir = "decrease"
 		}
 		var steps []string
-		for _, name := range e.Configs {
-			steps = append(steps, fmt.Sprintf("%.4f", v(name)))
+		for i := range e.Configs {
+			steps = append(steps, fmt.Sprintf("%.4f", vals[i]))
 		}
 		out.Detail = fmt.Sprintf("%s series [%s], want to %s (slack %.4f)",
 			e.Metric, strings.Join(steps, " -> "), dir, e.Slack)
 		for i := 0; i+1 < len(e.Configs); i++ {
-			if float64(e.Dir)*(v(e.Configs[i+1])-v(e.Configs[i])) < -e.Slack {
+			if float64(e.Dir)*(vals[i+1]-vals[i]) < -e.Slack {
 				out.Status = e.violated()
 				break
 			}
 		}
 	case KindPositive:
-		x := e.Configs[0]
-		out.Detail = fmt.Sprintf("%s(%s)=%.4f, want > 0", e.Metric, x, v(x))
-		if v(x) <= 0 {
+		out.Detail = fmt.Sprintf("%s(%s)=%.4f, want > 0", e.Metric, disp[0], vals[0])
+		if vals[0] <= 0 {
 			out.Status = e.violated()
 		}
 	default:

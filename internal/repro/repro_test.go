@@ -173,7 +173,7 @@ func TestEvalNonFinite(t *testing.T) {
 	defer delete(metricEval, bad)
 	for name, v := range map[string]float64{"nan": math.NaN(), "inf": math.Inf(1)} {
 		v := v
-		metricEval[bad] = func(Env, string) (float64, error) { return v, nil }
+		metricEval[bad] = func(Env, string, string) (float64, error) { return v, nil }
 		t.Run(name, func(t *testing.T) {
 			out := evalExpectation(testEnv(), Expectation{ID: "x", Severity: Hard,
 				Kind: KindRange, Metric: bad, Configs: []string{"base"}, Lo: 0})
@@ -189,6 +189,46 @@ func TestEvalNonFinite(t *testing.T) {
 				t.Errorf("scorecard with sanitized non-finite value failed to marshal: %v", err)
 			}
 		})
+	}
+}
+
+// TestEvalWorkloadScoped: Workloads parallel to Configs restricts each
+// cell to one workload's run, so the same config can appear several
+// times in a series with the workload as the sweep axis.
+func TestEvalWorkloadScoped(t *testing.T) {
+	env := Env{Baseline: "base", Sets: map[string]*stats.Set{
+		"base": {Config: "base", Runs: []*stats.Run{
+			{Workload: "small", Cycles: 1000, Instructions: 1000},
+			{Workload: "big", Cycles: 1000, Instructions: 1000},
+		}},
+		"fdp": {Config: "fdp", Runs: []*stats.Run{
+			{Workload: "small", Cycles: 1000, Instructions: 1000, Mispredictions: 2},
+			{Workload: "big", Cycles: 1000, Instructions: 1500, Mispredictions: 9},
+		}},
+	}}
+
+	mono := Expectation{ID: "x", Severity: Hard, Kind: KindMonotonic, Metric: MetricBranchMPKI,
+		Configs: []string{"fdp", "fdp"}, Workloads: []string{"small", "big"}, Dir: 1}
+	if out := evalExpectation(env, mono); out.Status != StatusPass {
+		t.Fatalf("workload-scoped monotonic: %s (%s)", out.Status, out.Detail)
+	}
+	if out := evalExpectation(env, mono); out.Values[1].Config != "fdp@big" {
+		t.Errorf("measurement not workload-labelled: %+v", out.Values)
+	}
+
+	// Per-workload speedup: fdp@big is 1.5x its own baseline run while
+	// fdp@small is 1.0x, so the ordering only holds cell-wise.
+	ord := Expectation{ID: "x", Severity: Hard, Kind: KindOrdering, Metric: MetricSpeedup,
+		Configs: []string{"fdp", "fdp"}, Workloads: []string{"big", "small"}, MinGap: 0.4}
+	if out := evalExpectation(env, ord); out.Status != StatusPass {
+		t.Fatalf("workload-scoped speedup ordering: %s (%s)", out.Status, out.Detail)
+	}
+
+	missing := Expectation{ID: "x", Severity: Hard, Kind: KindRange, Metric: MetricBranchMPKI,
+		Configs: []string{"fdp"}, Workloads: []string{"gone"}, Lo: 0}
+	if out := evalExpectation(env, missing); out.Status != StatusFail ||
+		!strings.Contains(out.Detail, `no run for workload "gone"`) {
+		t.Fatalf("missing workload cell: %s (%s)", out.Status, out.Detail)
 	}
 }
 

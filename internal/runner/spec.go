@@ -54,6 +54,14 @@ type Spec struct {
 	// never be served for cycle-accurate specs or vice versa.
 	FFwd bool
 
+	// SpecHash is the canonical content hash of the workload spec for
+	// spec-defined workloads (see internal/wspec), and "" for the
+	// built-in presets. It is part of the identity: two scenarios may
+	// share a display name while mixing different programs, so the hash —
+	// not the name — pins what actually executed. Built-ins keep "" so
+	// every pre-refactor cache key is unchanged.
+	SpecHash string
+
 	// NewOracle produces a fresh oracle for the stream. It is the
 	// execution handle only — never part of the identity hash — and must
 	// yield the same instruction sequence every call (synth streams and
@@ -71,6 +79,7 @@ func WorkloadSpec(cfg core.Config, w *synth.Workload, warmup, measure uint64) Sp
 		Seed:     w.Seed,
 		Warmup:   warmup,
 		Measure:  measure,
+		SpecHash: w.SpecHash,
 		NewOracle: func() core.Oracle {
 			return w.NewStream()
 		},
@@ -99,6 +108,12 @@ func (s Spec) Key() string {
 		// (TestSpecKeyGolden): fast-forward runs train differently and
 		// must hash to a different result identity.
 		fmt.Fprint(h, "|ffwd=1")
+	}
+	if s.SpecHash != "" {
+		// Same append-only rule: built-in workloads hash exactly as before
+		// the wspec refactor (TestSpecKeyStability), while spec-defined
+		// scenarios are identified by their content hash.
+		fmt.Fprintf(h, "|wspec=%s", s.SpecHash)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -166,5 +181,11 @@ func (s Spec) CheckpointKey() string {
 	fmt.Fprintf(h, "fdp-ckpt-v1|workload=%s|class=%s|seed=%d|warmup=%d|train=",
 		s.Workload, s.Class, s.Seed, s.Warmup)
 	h.Write(b)
+	if s.SpecHash != "" {
+		// Append-only, exactly as in Key: checkpoints of spec-defined
+		// scenarios are pinned to the spec content, built-ins keep their
+		// pre-refactor checkpoint identity.
+		fmt.Fprintf(h, "|wspec=%s", s.SpecHash)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -49,6 +49,7 @@ func TestSpecKeySensitivity(t *testing.T) {
 		"seed":     func(s *Spec) { s.Seed++ },
 		"warmup":   func(s *Spec) { s.Warmup++ },
 		"measure":  func(s *Spec) { s.Measure++ },
+		"spechash": func(s *Spec) { s.SpecHash = "deadbeef" },
 	}
 	for name, mutate := range mutations {
 		s := goldenSpec()
@@ -62,6 +63,48 @@ func TestSpecKeySensitivity(t *testing.T) {
 	s.NewOracle = func() core.Oracle { return synth.ByName("server_a").NewStream() }
 	if s.Key() != baseKey {
 		t.Error("NewOracle leaked into the key")
+	}
+}
+
+// TestSpecKeyStability pins the cache and checkpoint keys of a built-in
+// workload spec to their values from before the wspec refactor. Built-in
+// workloads carry an empty SpecHash, and both key functions append the
+// wspec term only when the hash is set — so every result cache,
+// checkpoint and journal written before the refactor must still be
+// addressed by identical keys. If this fails, warm caches were silently
+// orphaned; that must never happen for a representation-only change.
+func TestSpecKeyStability(t *testing.T) {
+	w := synth.ByName("server_a")
+	if w.SpecHash != "" {
+		t.Fatalf("built-in workload carries SpecHash %q, want empty (cache identity must be pre-refactor)", w.SpecHash)
+	}
+	s := WorkloadSpec(core.DefaultConfig(), w, 200_000, 800_000)
+	const (
+		wantKey  = "d499db0d3c5a459460f531d2f6512247b41867c5ec859a650d56fdbffab4e66a"
+		wantCkpt = "b456eec38d995040735101b01042470adea6a7de6ed0e803aa49c4d771ecf967"
+		wantFFwd = "9be49c453dfa929634d1a31da57b8600904c0745af6eba19f4d91942a1c0f7e4"
+	)
+	if got := s.Key(); got != wantKey {
+		t.Errorf("built-in Key drifted across the wspec refactor:\n got  %s\n want %s", got, wantKey)
+	}
+	if got := s.CheckpointKey(); got != wantCkpt {
+		t.Errorf("built-in CheckpointKey drifted across the wspec refactor:\n got  %s\n want %s", got, wantCkpt)
+	}
+	s.FFwd = true
+	if got := s.Key(); got != wantFFwd {
+		t.Errorf("built-in ffwd Key drifted across the wspec refactor:\n got  %s\n want %s", got, wantFFwd)
+	}
+
+	// Spec-defined workloads must key differently from a built-in with
+	// the same name/seed/budget, in both key spaces.
+	s2 := s
+	s2.FFwd = false
+	s2.SpecHash = "0123456789abcdef"
+	if s2.Key() == wantKey {
+		t.Error("SpecHash did not change Key")
+	}
+	if s2.CheckpointKey() == wantCkpt {
+		t.Error("SpecHash did not change CheckpointKey")
 	}
 }
 

@@ -1,6 +1,8 @@
 package synth
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -37,5 +39,66 @@ func TestParseList(t *testing.T) {
 	}
 	if _, err := ParseList("server_a,bogus"); err == nil {
 		t.Fatal("bogus name accepted")
+	}
+}
+
+// TestParseListErrors is table-driven over the error surface: every
+// failing list must name the offending token, and the unknown-name path
+// must teach the caller what is accepted (known workload names and the
+// @file.yaml spec syntax).
+func TestParseListErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want []string // substrings the error must carry
+	}{
+		{"unknown_name", "server_a,bogus", []string{`"bogus"`, "entry 2", "server_a", "@file.yaml"}},
+		{"unknown_first", "nope", []string{`"nope"`, "entry 1", "known workloads"}},
+		{"typo_case", "Server_a", []string{`"Server_a"`, "server_a"}},
+		{"empty_entry", "server_a,,client_b", []string{"empty entry", "position 2"}},
+		{"trailing_comma", "server_a,", []string{"empty entry", "position 2"}},
+		{"bare_at", "@", []string{"empty spec reference", "@path/to/spec.yaml"}},
+		{"missing_spec_file", "@no/such/spec.yaml", []string{"no/such/spec.yaml"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ws, err := ParseList(tc.in)
+			if err == nil {
+				t.Fatalf("ParseList(%q) accepted (%d workloads)", tc.in, len(ws))
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("ParseList(%q) error %q does not mention %q", tc.in, err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParseListSpecRef: a @file.yaml token resolves through the same
+// list parser as the built-in names.
+func TestParseListSpecRef(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.yaml")
+	doc := "version: 1\nname: fromfile\nmix:\n  - preset: client\n"
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := ParseList("server_a,@" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 || ws[0].Name != "server_a" || ws[1].Name != "fromfile" {
+		t.Fatalf("mixed list resolved wrong: %v", ws)
+	}
+	if ws[1].SpecHash == "" {
+		t.Fatal("spec-file workload missing SpecHash")
+	}
+	// A broken spec file must point at the file and the line.
+	bad := filepath.Join(t.TempDir(), "bad.yaml")
+	if err := os.WriteFile(bad, []byte("version: 1\nname: x\nmix:\n  - preset: mainframe\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseList("@" + bad); err == nil || !strings.Contains(err.Error(), "mainframe") {
+		t.Fatalf("bad spec error unhelpful: %v", err)
 	}
 }

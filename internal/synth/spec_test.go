@@ -1,0 +1,281 @@
+package synth
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fdp/internal/program"
+	"fdp/internal/wspec"
+)
+
+// TestPresetsCompile keeps wspec.Presets and presetParams in lock-step:
+// every advertised preset must resolve to valid parameters for the full
+// variant range the built-in families use.
+func TestPresetsCompile(t *testing.T) {
+	for _, name := range wspec.Presets {
+		for v := 0; v < 4; v++ {
+			p, err := presetParams(name, v)
+			if err != nil {
+				t.Fatalf("presetParams(%q, %d): %v", name, v, err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("preset %q variant %d invalid: %v", name, v, err)
+			}
+		}
+	}
+	if _, err := presetParams("mainframe", 0); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+// TestSingleComponentSpecEquivalence: a one-component, no-phase spec
+// compiles to a byte-identical image, identical behaviour tables and an
+// identical dynamic stream as the plain preset generated with the same
+// parameters and seed. This is the refactor's core compatibility
+// guarantee — it is why the built-ins can flow through FromSpec without
+// regenerating any golden manifest.
+func TestSingleComponentSpecEquivalence(t *testing.T) {
+	const seed = serverSeedBase + 2 // server_c's seed
+	sp := &wspec.Spec{
+		Version: wspec.Version, Name: "server_c", Class: "server", Seed: seed,
+		SwitchEvery: wspec.DefaultSwitchEvery,
+		Mix:         []wspec.Component{{Preset: "server", Variant: 2, Weight: 1}},
+	}
+	fromSpec, err := FromSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := MustGenerate(ServerParams(2), "server", seed)
+
+	if fromSpec.SpecHash == "" {
+		t.Error("spec-compiled workload missing SpecHash")
+	}
+	if fromSpec.Mixed() {
+		t.Error("single-component spec compiled to a mixed workload")
+	}
+	if fromSpec.Name != plain.Name || fromSpec.Class != plain.Class || fromSpec.Seed != plain.Seed {
+		t.Fatalf("identity mismatch: %s/%s/%d vs %s/%s/%d",
+			fromSpec.Name, fromSpec.Class, fromSpec.Seed, plain.Name, plain.Class, plain.Seed)
+	}
+	if fromSpec.Entry() != plain.Entry() {
+		t.Fatalf("entry mismatch: %#x vs %#x", fromSpec.Entry(), plain.Entry())
+	}
+
+	// Byte-identical static image.
+	a, b := fromSpec.Image(), plain.Image()
+	if a.Base() != b.Base() || a.Size() != b.Size() {
+		t.Fatalf("image shape mismatch: base %#x size %d vs base %#x size %d",
+			a.Base(), a.Size(), b.Base(), b.Size())
+	}
+	for pc := a.Base(); pc < a.Limit(); pc += program.InstBytes {
+		ia, _ := a.At(pc)
+		ib, _ := b.At(pc)
+		if ia != ib {
+			t.Fatalf("image differs at %#x: %+v vs %+v", pc, ia, ib)
+		}
+	}
+
+	// Identical dynamic stream (behaviour models and seeding included).
+	sa, sb := fromSpec.NewStream(), plain.NewStream()
+	for i := 0; i < 200_000; i++ {
+		da, db := sa.Next(), sb.Next()
+		if da != db {
+			t.Fatalf("stream diverges at instruction %d: %+v vs %+v", i, da, db)
+		}
+	}
+}
+
+// TestBuiltinsMatchLegacyGeneration: the registry's spec-compiled
+// built-ins equal direct MustGenerate output (the pre-refactor path)
+// across the whole suite.
+func TestBuiltinsMatchLegacyGeneration(t *testing.T) {
+	legacy := []*Workload{}
+	for v := 0; v < 4; v++ {
+		legacy = append(legacy, MustGenerate(ServerParams(v), "server", serverSeedBase+uint64(v)))
+	}
+	for v := 0; v < 4; v++ {
+		legacy = append(legacy, MustGenerate(ClientParams(v), "client", clientSeedBase+uint64(v)))
+	}
+	for v := 0; v < 4; v++ {
+		legacy = append(legacy, MustGenerate(SpecParams(v), "spec", specSeedBase+uint64(v)))
+	}
+	std := StandardWorkloads()
+	if len(std) != len(legacy) {
+		t.Fatalf("suite size %d, want %d", len(std), len(legacy))
+	}
+	for i, w := range std {
+		l := legacy[i]
+		if w.Name != l.Name || w.Class != l.Class || w.Seed != l.Seed || w.SpecHash != "" {
+			t.Fatalf("workload %d identity: %s/%s/%d hash=%q vs %s/%s/%d",
+				i, w.Name, w.Class, w.Seed, w.SpecHash, l.Name, l.Class, l.Seed)
+		}
+		if w.Image().Size() != l.Image().Size() || w.Entry() != l.Entry() {
+			t.Fatalf("%s: image size/entry differ from legacy generation", w.Name)
+		}
+		sa, sb := w.NewStream(), l.NewStream()
+		for k := 0; k < 20_000; k++ {
+			if da, db := sa.Next(), sb.Next(); da != db {
+				t.Fatalf("%s: stream diverges at %d", w.Name, k)
+			}
+		}
+	}
+}
+
+func mixedSpec() *wspec.Spec {
+	three := 3.0
+	return &wspec.Spec{
+		Version: wspec.Version, Name: "mix_test", Class: "custom", Seed: 99,
+		SwitchEvery: 5_000,
+		Mix: []wspec.Component{
+			{Preset: "spec", Variant: 0, Weight: three},
+			{Preset: "client", Variant: 0, Weight: 1, SeedOffset: 11},
+		},
+		Phases: []wspec.Phase{
+			{At: 120_000, Reseed: 1},
+			{At: 240_000, Mix: []wspec.Component{{Preset: "spec", Variant: 1, Weight: 1}}},
+		},
+	}
+}
+
+// TestMixedSpecDeterminism: two streams of a mixed+phased workload are
+// instruction-identical, the oracle contract (next executed PC equals
+// the previous NextPC) holds across component switches and phase
+// boundaries, and execution actually reaches every phase.
+func TestMixedSpecDeterminism(t *testing.T) {
+	w, err := FromSpec(mixedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Mixed() || w.Phases() != 3 {
+		t.Fatalf("Mixed=%v Phases=%d, want mixed with 3 phases", w.Mixed(), w.Phases())
+	}
+	sa, sb := w.NewStream(), w.NewStream()
+	const n = 300_000
+	prevNext := sa.PC()
+	for i := 0; i < n; i++ {
+		if pc := sa.PC(); pc != prevNext {
+			t.Fatalf("oracle contract broken at %d: PC %#x, previous NextPC %#x", i, pc, prevNext)
+		}
+		da, db := sa.Next(), sb.Next()
+		if da != db {
+			t.Fatalf("streams diverge at %d: %+v vs %+v", i, da, db)
+		}
+		prevNext = da.NextPC
+	}
+	if sa.phase != 2 {
+		t.Fatalf("after %d instructions stream is in phase %d, want 2", n, sa.phase)
+	}
+}
+
+// TestMixWeightShares: the deficit scheduler converges component
+// instruction shares to the mix weights.
+func TestMixWeightShares(t *testing.T) {
+	sp := mixedSpec()
+	sp.Phases = nil // keep one phase so shares are easy to read
+	w, err := FromSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.NewStream()
+	for i := 0; i < 400_000; i++ {
+		s.Next()
+	}
+	total := s.ctxs[0].ran + s.ctxs[1].ran
+	share := float64(s.ctxs[0].ran) / float64(total)
+	if share < 0.70 || share > 0.80 {
+		t.Fatalf("weight-3 component got %.3f of instructions, want ~0.75", share)
+	}
+}
+
+// TestPhaseChurnChangesCode: a reseed phase must execute different code
+// (fresh image region) than phase 0.
+func TestPhaseChurnChangesCode(t *testing.T) {
+	sp := mixedSpec()
+	w, err := FromSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.NewStream()
+	seenP0 := map[uint64]bool{}
+	for s.phase == 0 {
+		d := s.Next()
+		seenP0[d.SI.PC] = true
+		if s.Executed > 200_000 {
+			t.Fatal("phase 1 never entered")
+		}
+	}
+	// The boundary lands at the first scheduling point at or after At.
+	if s.Executed < 120_000 || s.Executed > 121_000 {
+		t.Fatalf("phase 1 entered at instruction %d, want shortly after 120000", s.Executed)
+	}
+	for i := 0; i < 50_000; i++ {
+		if d := s.Next(); seenP0[d.SI.PC] {
+			t.Fatalf("instruction %#x executed both before and after the churn boundary", d.SI.PC)
+		}
+	}
+}
+
+// TestMixedAdvanceEquivalence: Advance(n) (the checkpoint-restore path)
+// reaches the same stream state as executing n instructions, across
+// phase boundaries.
+func TestMixedAdvanceEquivalence(t *testing.T) {
+	w, err := FromSpec(mixedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 250_000 // past both phase boundaries
+	sa, sb := w.NewStream(), w.NewStream()
+	for i := 0; i < n; i++ {
+		sa.Next()
+	}
+	sb.Advance(n)
+	if sa.PC() != sb.PC() || sa.Executed != sb.Executed || sa.phase != sb.phase {
+		t.Fatalf("Advance state mismatch: pc %#x/%#x executed %d/%d phase %d/%d",
+			sa.PC(), sb.PC(), sa.Executed, sb.Executed, sa.phase, sb.phase)
+	}
+	for i := 0; i < 50_000; i++ {
+		if da, db := sa.Next(), sb.Next(); da != db {
+			t.Fatalf("post-Advance streams diverge at %d", i)
+		}
+	}
+}
+
+// TestFromSpecRejectsBadParams: overrides are validated through
+// Params.Validate with a component-locating error.
+func TestFromSpecRejectsBadParams(t *testing.T) {
+	bad := 1
+	sp := &wspec.Spec{
+		Version: wspec.Version, Name: "bad", Class: "custom", Seed: 1,
+		SwitchEvery: wspec.DefaultSwitchEvery,
+		Mix:         []wspec.Component{{Preset: "server", Weight: 1, Params: wspec.Overrides{Funcs: &bad}}},
+	}
+	_, err := FromSpec(sp)
+	if err == nil {
+		t.Fatal("FromSpec accepted Funcs=1")
+	}
+	if !strings.Contains(err.Error(), "component 0") || !strings.Contains(err.Error(), "Funcs") {
+		t.Fatalf("error %q does not locate the bad component/parameter", err)
+	}
+}
+
+// TestLoadSpecFile exercises the file path end to end.
+func TestLoadSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.yaml")
+	doc := "version: 1\nname: filetest\nseed: 7\nmix:\n  - preset: spec\n    variant: 1\n"
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := LoadSpecFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "filetest" || w.Seed != 7 || w.SpecHash == "" {
+		t.Fatalf("loaded workload: %s seed=%d hash=%q", w.Name, w.Seed, w.SpecHash)
+	}
+	if _, err := LoadSpecFile(filepath.Join(dir, "missing.yaml")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

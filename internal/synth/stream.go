@@ -21,14 +21,36 @@ type branchState struct {
 // Oracle side-channels (PeekDirection, PeekTarget) expose the *next*
 // outcome of a site without advancing it; they exist solely to implement
 // the paper's idealized predictors ("perfect direction", "Perfect All").
+//
+// Scenario-shaped workloads (see FromSpec) additionally interleave the
+// components of the current phase's mix: a deficit scheduler hands the
+// front end to one component for switchEvery instructions at a time,
+// each component keeping its own PC and call stack, and phase
+// boundaries swap in the next phase's fresh component contexts at an
+// absolute instruction count. All of it is a pure function of the
+// workload, so replaying Next (Advance) reconstructs the exact state.
 type Stream struct {
 	w     *Workload
 	pc    uint64
 	state []branchState
 	stack []uint64
+	entry uint64 // restart target of the active program (Return underflow)
+
+	// Mixed-execution state; unused for plain workloads.
+	phase   int      // index into w.phases
+	ctxs    []mixCtx // per-component suspended contexts for the phase
+	active  int      // index of the running component
+	quantum uint64   // instructions left before the scheduler may switch
 
 	// Executed counts dynamic instructions delivered by Next.
 	Executed uint64
+}
+
+// mixCtx is one mix component's suspended execution context.
+type mixCtx struct {
+	pc    uint64
+	stack []uint64
+	ran   uint64 // instructions this component has received in this phase
 }
 
 // NewStream creates a fresh deterministic execution of the workload.
@@ -37,20 +59,90 @@ func (w *Workload) NewStream() *Stream {
 	s := &Stream{
 		w:     w,
 		pc:    w.entry,
+		entry: w.entry,
 		state: make([]branchState, len(w.info)),
 		stack: make([]uint64, 0, 64),
 	}
-	for i := range w.info {
-		bi := &w.info[i]
-		if bi.kind == behNone {
-			continue
-		}
-		s.state[i].rng.Seed(xrand.Mix(w.Seed ^ uint64(i)*0x9e37_79b9))
-		if bi.kind == behLoop {
-			s.state[i].curTrip = s.drawTrip(bi, &s.state[i])
+	ranges := w.seedRanges
+	if ranges == nil {
+		ranges = []seedRange{{lo: 0, hi: len(w.info), seed: w.Seed}}
+	}
+	for _, r := range ranges {
+		for i := r.lo; i < r.hi; i++ {
+			bi := &w.info[i]
+			if bi.kind == behNone {
+				continue
+			}
+			s.state[i].rng.Seed(xrand.Mix(r.seed ^ uint64(i)*0x9e37_79b9))
+			if bi.kind == behLoop {
+				s.state[i].curTrip = s.drawTrip(bi, &s.state[i])
+			}
 		}
 	}
+	if len(w.phases) > 0 {
+		s.enterPhase(0)
+	}
 	return s
+}
+
+// enterPhase resets the mix state for phase pi: every component gets a
+// fresh context at its entry, and the scheduler starts from component 0
+// (the deficit rule's tie break on all-zero usage).
+func (s *Stream) enterPhase(pi int) {
+	ph := &s.w.phases[pi]
+	s.phase = pi
+	s.ctxs = make([]mixCtx, len(ph.comps))
+	for i := range ph.comps {
+		s.ctxs[i] = mixCtx{pc: ph.comps[i].entry, stack: make([]uint64, 0, 64)}
+	}
+	s.active = 0
+	s.pc = ph.comps[0].entry
+	s.stack = s.ctxs[0].stack
+	s.entry = ph.comps[0].entry
+	s.quantum = s.w.switchEvery
+}
+
+// mixSwitch runs the scenario scheduler after an instruction retires:
+// enter the next phase at its boundary, otherwise rotate the active
+// component when the quantum is spent. It returns the redirected next
+// PC when a switch happened. The caller folds that PC into the retiring
+// instruction's NextPC, so the oracle contract (next executed PC ==
+// previous DynInst.NextPC) holds across switches — architecturally a
+// switch is an asynchronous redirect, like an OS context switch, and
+// the front end charges one unavoidable misprediction for it.
+func (s *Stream) mixSwitch() (uint64, bool) {
+	if s.phase+1 < len(s.w.phases) && s.Executed >= s.w.phases[s.phase+1].at {
+		s.enterPhase(s.phase + 1)
+		return s.pc, true
+	}
+	if s.quantum > 0 {
+		return 0, false
+	}
+	comps := s.w.phases[s.phase].comps
+	s.quantum = s.w.switchEvery
+	if len(comps) < 2 {
+		return 0, false
+	}
+	// Deficit scheduling: resume the component with the lowest weighted
+	// usage (ties break to the lowest index), so long-run instruction
+	// shares converge to the mix weights while the schedule stays exactly
+	// reproducible.
+	s.ctxs[s.active].pc = s.pc
+	s.ctxs[s.active].stack = s.stack
+	best, bestScore := 0, float64(s.ctxs[0].ran)/comps[0].weight
+	for j := 1; j < len(comps); j++ {
+		if score := float64(s.ctxs[j].ran) / comps[j].weight; score < bestScore {
+			best, bestScore = j, score
+		}
+	}
+	if best == s.active {
+		return 0, false
+	}
+	s.active = best
+	s.pc = s.ctxs[best].pc
+	s.stack = s.ctxs[best].stack
+	s.entry = comps[best].entry
+	return s.pc, true
 }
 
 // Image returns the static image the stream executes from.
@@ -63,7 +155,7 @@ func (s *Stream) PC() uint64 { return s.pc }
 func (s *Stream) Depth() int { return len(s.stack) }
 
 func (s *Stream) idx(pc uint64) int {
-	return int((pc - imageBase) / program.InstBytes)
+	return int((pc - s.w.base) / program.InstBytes)
 }
 
 func (s *Stream) drawTrip(bi *branchInfo, st *branchState) int32 {
@@ -115,11 +207,27 @@ func (s *Stream) Next() program.DynInst {
 			d.NextPC = s.stack[n-1]
 			s.stack = s.stack[:n-1]
 		} else {
-			d.NextPC = s.w.entry // program outer loop
+			d.NextPC = s.entry // program outer loop (active component's entry)
 		}
 	}
 	s.pc = d.NextPC
 	s.Executed++
+	if len(s.w.phases) > 0 {
+		s.ctxs[s.active].ran++
+		if s.quantum > 0 {
+			s.quantum--
+		}
+		// Scheduling points are NonBranch retirements only: a switch after
+		// a branch would fold the redirect target into that branch's
+		// architectural NextPC and train the predictors with targets no
+		// real branch ever produces. After a plain instruction the
+		// redirect is an honest asynchronous transfer.
+		if si.Type == program.NonBranch {
+			if npc, switched := s.mixSwitch(); switched {
+				d.NextPC = npc
+			}
+		}
+	}
 	return d
 }
 
@@ -237,5 +345,5 @@ func (s *Stream) PeekReturnTarget() uint64 {
 	if n := len(s.stack); n > 0 {
 		return s.stack[n-1]
 	}
-	return s.w.entry
+	return s.entry
 }

@@ -125,17 +125,112 @@ type branchInfo struct {
 // Create execution streams with NewStream; each stream re-derives all
 // dynamic state from the workload seed, so two streams from the same
 // workload produce identical instruction sequences.
+//
+// A workload is either *plain* — one program image, one entry, the
+// pre-spec shape — or *scenario-shaped* (built by FromSpec from a
+// wspec.Spec with more than one component or phase): the image then
+// holds every component of every phase back to back, and phases/
+// seedRanges drive the mixed, phased execution in Stream.
 type Workload struct {
 	// Name is the workload identifier, e.g. "server_a".
 	Name string
-	// Class is the workload family: "server", "client" or "spec".
+	// Class is the workload family: "server", "client" or "spec" for the
+	// built-ins, or whatever class the spec declares.
 	Class string
 	// Seed is the master seed all randomness derives from.
 	Seed uint64
+	// SpecHash is the canonical wspec content hash for spec-defined
+	// workloads, and "" for the built-in presets. The runner folds it
+	// into cache and checkpoint keys, so it is the workload's cache
+	// identity; built-ins keep the empty hash so their keys are stable
+	// across the spec refactor.
+	SpecHash string
 
 	img   *program.Image
 	info  []branchInfo // parallel to image instructions
-	entry uint64       // entry PC (function 0)
+	entry uint64       // entry PC of the first component
+	base  uint64       // image base (imageBase; kept per-workload for idx math)
+
+	// Scenario shape; all nil/zero for plain workloads.
+	phases      []runPhase      // execution phases in order (phases[0].at == 0)
+	switchEvery uint64          // mix scheduling quantum, instructions
+	seedRanges  []seedRange     // per-component site-seed ranges
+	comps       []ComponentStat // static per-component metadata, phase order
+}
+
+// runPhase is one compiled execution phase: from instruction boundary
+// `at` onward, execution draws from comps.
+type runPhase struct {
+	at    uint64
+	comps []runComp
+}
+
+// runComp is one weighted component of a phase's mix.
+type runComp struct {
+	entry  uint64
+	weight float64
+}
+
+// seedRange says sites [lo,hi) derive their behaviour RNG streams from
+// seed. Plain workloads have none and fall back to Workload.Seed.
+type seedRange struct {
+	lo, hi int
+	seed   uint64
+}
+
+// ComponentStat summarizes the static image of one generated component
+// of a workload, for inspection tools (cmd/wlstat). Plain workloads have
+// exactly one; scenario workloads have one per (phase, mix component).
+type ComponentStat struct {
+	// Phase is the execution phase index this component belongs to.
+	Phase int
+	// PhaseStart is the instruction boundary at which the phase begins
+	// (0 for phase 0).
+	PhaseStart uint64
+	// Index is the component's position within the phase's mix.
+	Index int
+	// Label names the component's parameter family, e.g. "server_a".
+	Label string
+	// Weight is the component's share of the mix schedule.
+	Weight float64
+	// Seed is the fully-derived generation seed (master + offset + churn).
+	Seed uint64
+	// Entry is the component's entry PC in the combined image.
+	Entry uint64
+	// Insts and Bytes are the component's static footprint.
+	Insts int
+	Bytes uint64
+	// StaticBranches counts the component's static branch sites.
+	StaticBranches int
+	// HotFraction is the resolved generator hot-set parameter.
+	HotFraction float64
+}
+
+// Components returns per-component static metadata in phase order. Plain
+// workloads report a single component covering the whole image.
+func (w *Workload) Components() []ComponentStat {
+	if len(w.comps) > 0 {
+		out := make([]ComponentStat, len(w.comps))
+		copy(out, w.comps)
+		return out
+	}
+	return []ComponentStat{{
+		Label: w.Name, Weight: 1, Seed: w.Seed, Entry: w.entry,
+		Insts: w.img.Size(), Bytes: w.img.Bytes(),
+		StaticBranches: w.StaticBranches(),
+	}}
+}
+
+// Mixed reports whether the workload executes as a scenario (mixes or
+// phases) rather than a single plain program.
+func (w *Workload) Mixed() bool { return len(w.phases) > 0 }
+
+// Phases returns the number of execution phases (1 for plain workloads).
+func (w *Workload) Phases() int {
+	if len(w.phases) == 0 {
+		return 1
+	}
+	return len(w.phases)
 }
 
 // Image returns the static program image.
@@ -159,22 +254,58 @@ func (w *Workload) StaticBranches() int {
 	return n
 }
 
+// countBranches counts static branch sites among the image instructions
+// with global indices [lo,hi).
+func countBranches(img *program.Image, lo, hi int) int {
+	n := 0
+	for i := lo; i < hi; i++ {
+		if img.TypeAt(imageBase + uint64(i)*program.InstBytes).IsBranch() {
+			n++
+		}
+	}
+	return n
+}
+
 const imageBase = 0x0040_0000 // typical text-segment base
 
-// Generate builds a workload from params and a seed. The same (params,
-// seed) pair always yields an identical workload.
+// Generate builds a plain workload from params and a seed. The same
+// (params, seed) pair always yields an identical workload.
 func Generate(p Params, class string, seed uint64) (*Workload, error) {
-	if err := p.Validate(); err != nil {
+	img := program.NewImage(imageBase)
+	var info []branchInfo
+	entry, err := appendComponent(p, seed, img, &info)
+	if err != nil {
 		return nil, err
 	}
-	g := &generator{p: p, rng: xrand.New(xrand.Mix(seed))}
-	g.plan()
-	w := &Workload{Name: p.Name, Class: class, Seed: seed}
-	g.emit(w)
-	if err := w.img.Freeze(); err != nil {
+	if err := img.Freeze(); err != nil {
 		return nil, fmt.Errorf("synth: %s: %w", p.Name, err)
 	}
+	w := &Workload{
+		Name: p.Name, Class: class, Seed: seed,
+		img: img, info: info, entry: entry, base: imageBase,
+	}
+	w.comps = []ComponentStat{{
+		Label: p.Name, Weight: 1, Seed: seed, Entry: entry,
+		Insts: img.Size(), Bytes: img.Bytes(),
+		StaticBranches: w.StaticBranches(), HotFraction: p.HotFraction,
+	}}
 	return w, nil
+}
+
+// appendComponent generates one program from (params, seed) at the
+// image's current end, appending its behaviour table to info, and
+// returns the program's entry PC. Addresses and site-seed derivation
+// depend only on the append position, so the first component of a
+// combined image is byte-identical to the plain workload generated from
+// the same (params, seed).
+func appendComponent(p Params, seed uint64, img *program.Image, info *[]branchInfo) (uint64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	g := &generator{p: p, rng: xrand.New(xrand.Mix(seed)), base: img.Limit()}
+	g.plan()
+	g.emit(img, info)
+	return g.funcs[0].entry, nil
 }
 
 // MustGenerate is Generate that panics on error; for presets known valid.
@@ -226,6 +357,7 @@ type funcPlan struct {
 type generator struct {
 	p     Params
 	rng   *xrand.SplitMix64
+	base  uint64 // address of the first emitted instruction
 	funcs []funcPlan
 	// weighted callee sampling per level: calleesByLevel[L] lists
 	// function indices at level > L, hot functions repeated.
@@ -498,9 +630,11 @@ func (g *generator) pickForward(bi, n, k int) []int {
 	return out
 }
 
-// layout assigns addresses: functions in index order, blocks in order.
+// layout assigns addresses: functions in index order, blocks in order,
+// starting at the generator's base (the image end for later components
+// of a combined scenario image).
 func (g *generator) layout() {
-	addr := uint64(imageBase)
+	addr := g.base
 	for i := range g.funcs {
 		f := &g.funcs[i]
 		f.entry = addr
@@ -513,23 +647,17 @@ func (g *generator) layout() {
 	}
 }
 
-// emit writes the planned program into the workload image and records the
-// behaviour table.
-func (g *generator) emit(w *Workload) {
-	img := program.NewImage(imageBase)
-	total := 0
-	for i := range g.funcs {
-		for bi := range g.funcs[i].blocks {
-			total += g.funcs[i].blocks[bi].nBody + 1
-		}
-	}
-	info := make([]branchInfo, total)
+// emit appends the planned program to the image and its behaviour table
+// to info. Emission is strictly sequential in address order, so info
+// stays index-parallel to the image instructions.
+func (g *generator) emit(img *program.Image, info *[]branchInfo) {
 	for fi := range g.funcs {
 		f := &g.funcs[fi]
 		for bi := range f.blocks {
 			b := &f.blocks[bi]
 			for k := 0; k < b.nBody; k++ {
 				img.Append(program.NonBranch)
+				*info = append(*info, branchInfo{})
 			}
 			var pc uint64
 			switch b.kind {
@@ -555,13 +683,9 @@ func (g *generator) emit(w *Workload) {
 					b.beh.targets[i] = g.funcs[c].entry
 				}
 			case termReturn:
-				pc = img.Append(program.Return)
+				img.Append(program.Return)
 			}
-			idx := int((pc - imageBase) / program.InstBytes)
-			info[idx] = b.beh
+			*info = append(*info, b.beh)
 		}
 	}
-	w.img = img
-	w.info = info
-	w.entry = g.funcs[0].entry
 }

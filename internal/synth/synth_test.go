@@ -45,6 +45,63 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+// TestValidateBoundaries pins the exact edges of every validated range:
+// the last accepted value and the first rejected one. The spec compiler
+// funnels user-authored overrides through Validate, so these edges are
+// the public contract of the params schema.
+func TestValidateBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Params)
+		ok   bool
+	}{
+		{"funcs=2 min ok", func(p *Params) { p.Funcs = 2; p.Levels = 2 }, true},
+		{"funcs=1 under", func(p *Params) { p.Funcs = 1 }, false},
+		{"levels=2 min ok", func(p *Params) { p.Levels = 2 }, true},
+		{"levels=funcs max ok", func(p *Params) { p.Levels = p.Funcs }, true},
+		{"levels=funcs+1 over", func(p *Params) { p.Levels = p.Funcs + 1 }, false},
+		{"blocks=2 min ok", func(p *Params) { p.BlocksPerFuncMean = 2 }, true},
+		{"blocks=1 under", func(p *Params) { p.BlocksPerFuncMean = 1 }, false},
+		{"blocklen=1 min ok", func(p *Params) { p.BlockLenMean = 1 }, true},
+		{"blocklen=0 under", func(p *Params) { p.BlockLenMean = 0 }, false},
+		{"frac sum=0.95 max ok", func(p *Params) {
+			p.JumpFrac, p.CallFrac, p.IndJumpFrac, p.IndCallFrac = 0.95, 0, 0, 0
+		}, true},
+		{"frac sum>0.95 over", func(p *Params) {
+			p.JumpFrac, p.CallFrac, p.IndJumpFrac, p.IndCallFrac = 0.951, 0, 0, 0
+		}, false},
+		{"frac=0 min ok", func(p *Params) {
+			p.JumpFrac, p.CallFrac, p.IndJumpFrac, p.IndCallFrac = 0, 0, 0, 0
+		}, true},
+		{"loopfrac=0 ok", func(p *Params) { p.LoopFrac = 0 }, true},
+		{"loopfrac=1 ok", func(p *Params) { p.LoopFrac = 1 }, true},
+		{"loopfrac>1 over", func(p *Params) { p.LoopFrac = 1.0001 }, false},
+		{"trip=2 min ok", func(p *Params) { p.TripMean = 2 }, true},
+		{"trip=1 under", func(p *Params) { p.TripMean = 1 }, false},
+		{"indtargets=2 min ok", func(p *Params) { p.IndTargetsMax = 2 }, true},
+		{"indtargets=1 under", func(p *Params) { p.IndTargetsMax = 1 }, false},
+		{"markov=0 min ok", func(p *Params) { p.MarkovStay = 0 }, true},
+		{"markov=1 excluded", func(p *Params) { p.MarkovStay = 1 }, false},
+		{"markov just under 1 ok", func(p *Params) { p.MarkovStay = 0.999 }, true},
+		{"hot=1 max ok", func(p *Params) { p.HotFraction = 1 }, true},
+		{"hot=0 excluded", func(p *Params) { p.HotFraction = 0 }, false},
+		{"hot>1 over", func(p *Params) { p.HotFraction = 1.0001 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := testParams()
+			tc.mut(&p)
+			err := p.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("boundary value rejected: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("out-of-range value accepted")
+			}
+		})
+	}
+}
+
 func TestGenerateDeterministic(t *testing.T) {
 	a := MustGenerate(testParams(), "spec", 7)
 	b := MustGenerate(testParams(), "spec", 7)

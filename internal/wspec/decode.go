@@ -1,0 +1,254 @@
+// decode.go maps the generic parseYAML output onto the Spec structs
+// with strict unknown-key and type errors. Errors accumulate first-wins
+// so Parse reports the most useful violation, not a cascade.
+package wspec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+type decoder struct {
+	err error
+}
+
+func (d *decoder) errf(format string, args ...interface{}) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+// strictKeys rejects keys outside the allowed set, naming the closest
+// schema so typos fail loudly instead of silently defaulting.
+func (d *decoder) strictKeys(ctx string, m map[string]interface{}, allowed ...string) {
+	var unknown []string
+	for k := range m {
+		ok := false
+		for _, a := range allowed {
+			if k == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		d.errf("%s: unknown key %q (known keys: %s)", ctx, unknown[0], strings.Join(allowed, ", "))
+	}
+}
+
+func (d *decoder) strField(name string, m map[string]interface{}, def string) string {
+	v, ok := m[name]
+	if !ok || v == nil {
+		return def
+	}
+	s, ok := v.(string)
+	if !ok {
+		d.errf("%s: expected a string, got %T (%v)", name, v, v)
+		return def
+	}
+	return s
+}
+
+func (d *decoder) intField(name string, m map[string]interface{}, def int) int {
+	v, ok := m[name]
+	if !ok || v == nil {
+		return def
+	}
+	switch n := v.(type) {
+	case uint64:
+		if n > math.MaxInt64 {
+			d.errf("%s: %d overflows an integer", name, n)
+			return def
+		}
+		return int(n)
+	case int64:
+		return int(n)
+	default:
+		d.errf("%s: expected an integer, got %T (%v)", name, v, v)
+		return def
+	}
+}
+
+func (d *decoder) uintField(name string, m map[string]interface{}, def uint64) uint64 {
+	// Field name may be qualified ("phases[0].at"); the lookup key is the
+	// last path segment.
+	key := name
+	if i := strings.LastIndexAny(name, "]."); i >= 0 && i+1 < len(name) {
+		key = name[i+1:]
+	}
+	v, ok := m[key]
+	if !ok || v == nil {
+		return def
+	}
+	switch n := v.(type) {
+	case uint64:
+		return n
+	case int64:
+		if n < 0 {
+			d.errf("%s: %d must not be negative", name, n)
+			return def
+		}
+		return uint64(n)
+	default:
+		d.errf("%s: expected a non-negative integer, got %T (%v)", name, v, v)
+		return def
+	}
+}
+
+func (d *decoder) floatField(name string, m map[string]interface{}, def float64) float64 {
+	v, ok := m[name]
+	if !ok || v == nil {
+		return def
+	}
+	switch n := v.(type) {
+	case float64:
+		return n
+	case uint64:
+		return float64(n)
+	case int64:
+		return float64(n)
+	default:
+		d.errf("%s: expected a number, got %T (%v)", name, v, v)
+		return def
+	}
+}
+
+// mixField decodes a component list. The lookup key is the last path
+// segment of name, like uintField.
+func (d *decoder) mixField(name string, m map[string]interface{}) []Component {
+	key := name
+	if i := strings.LastIndexAny(name, "]."); i >= 0 && i+1 < len(name) {
+		key = name[i+1:]
+	}
+	v, ok := m[key]
+	if !ok || v == nil {
+		return nil
+	}
+	items, ok := v.([]interface{})
+	if !ok {
+		d.errf("%s: must be a list of components", name)
+		return nil
+	}
+	var mix []Component
+	for i, it := range items {
+		cm, ok := it.(map[string]interface{})
+		if !ok {
+			d.errf("%s[%d]: must be a mapping (preset, weight, ...)", name, i)
+			continue
+		}
+		ctx := fmt.Sprintf("%s[%d]", name, i)
+		d.strictKeys(ctx, cm, "preset", "variant", "weight", "seed_offset", "params")
+		c := Component{Weight: 1}
+		c.Preset = d.strField("preset", cm, "")
+		c.Variant = d.intField("variant", cm, 0)
+		c.Weight = d.floatField("weight", cm, c.Weight)
+		c.SeedOffset = d.uintField("seed_offset", cm, 0)
+		if raw, ok := cm["params"]; ok && raw != nil {
+			pmap, ok := raw.(map[string]interface{})
+			if !ok {
+				d.errf("%s.params: must be a mapping of parameter overrides", ctx)
+			} else {
+				d.decodeOverrides(ctx+".params", pmap, &c.Params)
+			}
+		}
+		mix = append(mix, c)
+	}
+	return mix
+}
+
+func (d *decoder) decodeOverrides(ctx string, m map[string]interface{}, o *Overrides) {
+	ints := o.intFields()
+	floats := o.floatFields()
+	var allowed []string
+	for _, f := range ints {
+		allowed = append(allowed, f.name)
+	}
+	for _, f := range floats {
+		allowed = append(allowed, f.name)
+	}
+	d.strictKeys(ctx, m, allowed...)
+	for _, f := range ints {
+		v, ok := m[f.name]
+		if !ok || v == nil {
+			continue
+		}
+		switch n := v.(type) {
+		case uint64:
+			if n > math.MaxInt64 {
+				d.errf("%s.%s: %d overflows an integer", ctx, f.name, n)
+				continue
+			}
+			*f.p = new(int)
+			**f.p = int(n)
+		case int64:
+			*f.p = new(int)
+			**f.p = int(n)
+		default:
+			d.errf("%s.%s: expected an integer, got %T (%v)", ctx, f.name, v, v)
+		}
+	}
+	for _, f := range floats {
+		v, ok := m[f.name]
+		if !ok || v == nil {
+			continue
+		}
+		switch n := v.(type) {
+		case float64:
+			*f.p = new(float64)
+			**f.p = n
+		case uint64:
+			*f.p = new(float64)
+			**f.p = float64(n)
+		case int64:
+			*f.p = new(float64)
+			**f.p = float64(n)
+		default:
+			d.errf("%s.%s: expected a number, got %T (%v)", ctx, f.name, v, v)
+		}
+	}
+}
+
+// intField / floatField descriptors expose the override fields by their
+// YAML key, keeping decode, encode and validation in one table.
+type intOverride struct {
+	name string
+	v    *int  // current value (nil if unset)
+	p    **int // slot to set on decode
+}
+
+type floatOverride struct {
+	name string
+	v    *float64
+	p    **float64
+}
+
+func (o *Overrides) intFields() []intOverride {
+	return []intOverride{
+		{"funcs", o.Funcs, &o.Funcs},
+		{"levels", o.Levels, &o.Levels},
+		{"blocks_per_func_mean", o.BlocksPerFuncMean, &o.BlocksPerFuncMean},
+		{"block_len_mean", o.BlockLenMean, &o.BlockLenMean},
+		{"trip_mean", o.TripMean, &o.TripMean},
+		{"ind_targets_max", o.IndTargetsMax, &o.IndTargetsMax},
+	}
+}
+
+func (o *Overrides) floatFields() []floatOverride {
+	return []floatOverride{
+		{"jump_frac", o.JumpFrac, &o.JumpFrac},
+		{"call_frac", o.CallFrac, &o.CallFrac},
+		{"ind_jump_frac", o.IndJumpFrac, &o.IndJumpFrac},
+		{"ind_call_frac", o.IndCallFrac, &o.IndCallFrac},
+		{"loop_frac", o.LoopFrac, &o.LoopFrac},
+		{"pattern_frac", o.PatternFrac, &o.PatternFrac},
+		{"strong_bias_frac", o.StrongBiasFrac, &o.StrongBiasFrac},
+		{"markov_stay", o.MarkovStay, &o.MarkovStay},
+		{"hot_fraction", o.HotFraction, &o.HotFraction},
+	}
+}

@@ -1,0 +1,371 @@
+// Package wspec defines the declarative workload-spec format: a
+// versioned YAML document describing a synthetic workload scenario as a
+// weighted *mix* of parameterized program images plus optional *phases*
+// (footprint churn or parameter shifts at instruction boundaries). The
+// package owns parsing, strict validation, the canonical re-encoding and
+// the content hash that gives every spec a stable identity in the
+// runner's result and checkpoint caches; internal/synth owns compiling a
+// validated spec into an executable workload. See docs/WORKLOADS.md for
+// the schema reference and scenario cookbook.
+package wspec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Version is the only spec schema version this tree understands.
+// Incompatible schema changes bump it; Parse rejects anything else so a
+// spec is never silently reinterpreted.
+const Version = 1
+
+// Presets are the built-in parameter templates a mix component may
+// start from. internal/synth maps each name to its Params family;
+// TestPresetsCompile over there keeps the two lists in lock-step.
+var Presets = []string{"server", "client", "spec"}
+
+// MaxVariant bounds the preset variant index (variants name workloads
+// "a".."z" style, so 26 of them).
+const MaxVariant = 25
+
+// DefaultSwitchEvery is the mix scheduling quantum when the spec does
+// not set switch_every: how many instructions run on one component
+// before the deficit scheduler may switch to another.
+const DefaultSwitchEvery = 20_000
+
+// Spec is a parsed, normalized workload spec.
+type Spec struct {
+	// Version is the schema version (must equal Version).
+	Version int
+	// Name identifies the scenario; it appears in manifests, cache keys
+	// and CSV output, so it is restricted to [A-Za-z0-9._-]+.
+	Name string
+	// Class is the workload-class label carried into stats.Run.Class
+	// (default "custom"); purely descriptive.
+	Class string
+	// Seed is the master seed every component seed derives from.
+	Seed uint64
+	// SwitchEvery is the mix scheduling quantum in instructions.
+	SwitchEvery uint64
+	// Mix is the initial (phase-0) component blend.
+	Mix []Component
+	// Phases are optional later execution phases, ordered by At.
+	Phases []Phase
+}
+
+// Component is one weighted program image of a mix.
+type Component struct {
+	// Preset names the parameter template (see Presets).
+	Preset string
+	// Variant perturbs the preset's sizing like the built-in workload
+	// families do (server_a..server_d are variants 0..3).
+	Variant int
+	// Weight is the share of executed instructions this component
+	// receives relative to the mix's total weight (> 0, default 1).
+	Weight float64
+	// SeedOffset shifts this component's generation seed off Spec.Seed,
+	// so two otherwise-identical components are different programs.
+	SeedOffset uint64
+	// Params overrides individual generator parameters of the preset.
+	Params Overrides
+}
+
+// Phase is one later execution phase entered at an absolute instruction
+// boundary. Exactly one of Reseed and Mix is set: Reseed regenerates
+// the previous phase's mix as fresh program images (footprint churn, a
+// code deploy), Mix replaces the blend outright (a parameter shift).
+type Phase struct {
+	// At is the 1-based dynamic instruction index the phase starts at.
+	At uint64
+	// Reseed, when > 0, regenerates the inherited mix with this churn
+	// offset folded into every component seed.
+	Reseed uint64
+	// Mix, when non-empty, replaces the blend.
+	Mix []Component
+}
+
+// Overrides are optional per-component generator parameter overrides.
+// Nil fields inherit the preset value; bounds are enforced by
+// synth.Params.Validate when the spec is compiled.
+type Overrides struct {
+	Funcs             *int
+	Levels            *int
+	BlocksPerFuncMean *int
+	BlockLenMean      *int
+	TripMean          *int
+	IndTargetsMax     *int
+	JumpFrac          *float64
+	CallFrac          *float64
+	IndJumpFrac       *float64
+	IndCallFrac       *float64
+	LoopFrac          *float64
+	PatternFrac       *float64
+	StrongBiasFrac    *float64
+	MarkovStay        *float64
+	HotFraction       *float64
+}
+
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9._-]+$`)
+
+// Parse parses and validates a workload-spec YAML document.
+func Parse(data []byte) (*Spec, error) {
+	root, err := parseYAML(data)
+	if err != nil {
+		return nil, fmt.Errorf("wspec: %w", err)
+	}
+	m, ok := root.(map[string]interface{})
+	if !ok {
+		return nil, fmt.Errorf("wspec: top level must be a mapping (version, name, mix, ...)")
+	}
+	sp := &Spec{Class: "custom", Seed: 1, SwitchEvery: DefaultSwitchEvery}
+	d := &decoder{}
+	d.strictKeys("spec", m, "version", "name", "class", "seed", "switch_every", "mix", "phases")
+	sp.Version = d.intField("version", m, 0)
+	sp.Name = d.strField("name", m, "")
+	sp.Class = d.strField("class", m, sp.Class)
+	sp.Seed = d.uintField("seed", m, sp.Seed)
+	sp.SwitchEvery = d.uintField("switch_every", m, sp.SwitchEvery)
+	sp.Mix = d.mixField("mix", m)
+	if raw, ok := m["phases"]; ok && raw != nil {
+		items, ok := raw.([]interface{})
+		if !ok {
+			d.errf("phases: must be a list")
+		} else {
+			for i, it := range items {
+				pm, ok := it.(map[string]interface{})
+				if !ok {
+					d.errf("phases[%d]: must be a mapping", i)
+					continue
+				}
+				ctx := fmt.Sprintf("phases[%d]", i)
+				d.strictKeys(ctx, pm, "at", "reseed", "mix")
+				ph := Phase{
+					At:     d.uintField(ctx+".at", pm2(pm, "at"), 0),
+					Reseed: d.uintField(ctx+".reseed", pm2(pm, "reseed"), 0),
+				}
+				if _, ok := pm["mix"]; ok {
+					ph.Mix = d.mixField(ctx+".mix", pm2m(pm, "mix"))
+				}
+				sp.Phases = append(sp.Phases, ph)
+			}
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("wspec: %w", d.err)
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// pm2 wraps a single field into a one-key map so the shared field
+// helpers apply (they look fields up by name).
+func pm2(m map[string]interface{}, key string) map[string]interface{} {
+	if v, ok := m[key]; ok {
+		return map[string]interface{}{key: v}
+	}
+	return map[string]interface{}{}
+}
+
+// pm2m is pm2 for the helpers that take the field name separately from
+// the lookup key ("phases[i].mix" vs "mix").
+func pm2m(m map[string]interface{}, key string) map[string]interface{} {
+	return pm2(m, key)
+}
+
+// Load reads and parses the spec file at path.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wspec: %w", err)
+	}
+	sp, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sp, nil
+}
+
+// Validate reports the first structural violation. Generator-parameter
+// bounds (Funcs >= 2, fraction sums, ...) are checked by
+// synth.Params.Validate at compile time, after overrides are applied.
+func (sp *Spec) Validate() error {
+	switch {
+	case sp.Version != Version:
+		return fmt.Errorf("wspec: version = %d, this build understands version %d", sp.Version, Version)
+	case sp.Name == "":
+		return fmt.Errorf("wspec: missing name")
+	case !nameRE.MatchString(sp.Name):
+		return fmt.Errorf("wspec: name %q must match %s", sp.Name, nameRE)
+	case sp.Class == "" || !nameRE.MatchString(sp.Class):
+		return fmt.Errorf("wspec: class %q must match %s", sp.Class, nameRE)
+	case sp.SwitchEvery < 1:
+		return fmt.Errorf("wspec: switch_every = %d, need >= 1", sp.SwitchEvery)
+	case len(sp.Mix) == 0:
+		return fmt.Errorf("wspec: empty mix (need at least one component)")
+	}
+	if err := validateMix("mix", sp.Mix); err != nil {
+		return err
+	}
+	prevAt := uint64(0)
+	for i, ph := range sp.Phases {
+		ctx := fmt.Sprintf("phases[%d]", i)
+		if ph.At <= prevAt {
+			return fmt.Errorf("wspec: %s.at = %d, must be > %d (boundaries are strictly increasing, starting above 0)", ctx, ph.At, prevAt)
+		}
+		prevAt = ph.At
+		hasReseed := ph.Reseed > 0
+		hasMix := len(ph.Mix) > 0
+		switch {
+		case hasReseed && hasMix:
+			return fmt.Errorf("wspec: %s: reseed and mix are mutually exclusive (a phase either churns the inherited images or replaces the blend)", ctx)
+		case !hasReseed && !hasMix:
+			return fmt.Errorf("wspec: %s: need reseed > 0 or a non-empty mix", ctx)
+		}
+		if hasMix {
+			if err := validateMix(ctx+".mix", ph.Mix); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func validateMix(ctx string, mix []Component) error {
+	for i, c := range mix {
+		cctx := fmt.Sprintf("%s[%d]", ctx, i)
+		known := false
+		for _, p := range Presets {
+			if c.Preset == p {
+				known = true
+			}
+		}
+		if !known {
+			return fmt.Errorf("wspec: %s: unknown preset %q (have %s)", cctx, c.Preset, strings.Join(Presets, ", "))
+		}
+		if c.Variant < 0 || c.Variant > MaxVariant {
+			return fmt.Errorf("wspec: %s: variant = %d, need 0..%d", cctx, c.Variant, MaxVariant)
+		}
+		if !(c.Weight > 0) || math.IsInf(c.Weight, 0) {
+			return fmt.Errorf("wspec: %s: weight = %v, need a positive finite number", cctx, c.Weight)
+		}
+		if err := c.Params.validate(cctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (o *Overrides) validate(ctx string) error {
+	for _, f := range o.floatFields() {
+		if f.v != nil && (math.IsNaN(*f.v) || math.IsInf(*f.v, 0)) {
+			return fmt.Errorf("wspec: %s.params.%s = %v, need a finite number", ctx, f.name, *f.v)
+		}
+	}
+	return nil
+}
+
+// Hash returns the spec's canonical content hash: sha256 over a
+// versioned preamble plus the canonical encoding, hex-encoded. Two
+// documents that differ only in formatting, comments, key order or
+// explicitly-spelled defaults hash identically; any semantic change
+// (weights, seeds, overrides, phase boundaries) changes the hash. The
+// runner folds this hash into Spec.Key, so it is the workload identity
+// of every spec-defined scenario.
+func (sp *Spec) Hash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "fdp-wspec-v%d\n", Version)
+	h.Write(sp.Encode())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Encode renders the spec as canonical YAML: normalized defaults, fixed
+// key order, minimal formatting. Parse(Encode()) round-trips to an
+// identical spec (FuzzWorkloadSpec holds the hash stable across the
+// round trip).
+func (sp *Spec) Encode() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "version: %d\n", sp.Version)
+	fmt.Fprintf(&b, "name: %s\n", sp.Name)
+	fmt.Fprintf(&b, "class: %s\n", sp.Class)
+	fmt.Fprintf(&b, "seed: %d\n", sp.Seed)
+	fmt.Fprintf(&b, "switch_every: %d\n", sp.SwitchEvery)
+	encodeMix(&b, "", sp.Mix)
+	if len(sp.Phases) > 0 {
+		b.WriteString("phases:\n")
+		for _, ph := range sp.Phases {
+			fmt.Fprintf(&b, "  - at: %d\n", ph.At)
+			if ph.Reseed > 0 {
+				fmt.Fprintf(&b, "    reseed: %d\n", ph.Reseed)
+			}
+			if len(ph.Mix) > 0 {
+				encodeMix(&b, "    ", ph.Mix)
+			}
+		}
+	}
+	return []byte(b.String())
+}
+
+func encodeMix(b *strings.Builder, indent string, mix []Component) {
+	fmt.Fprintf(b, "%smix:\n", indent)
+	for _, c := range mix {
+		fmt.Fprintf(b, "%s  - preset: %s\n", indent, c.Preset)
+		fmt.Fprintf(b, "%s    variant: %d\n", indent, c.Variant)
+		fmt.Fprintf(b, "%s    weight: %s\n", indent, formatFloat(c.Weight))
+		fmt.Fprintf(b, "%s    seed_offset: %d\n", indent, c.SeedOffset)
+		ints := c.Params.intFields()
+		floats := c.Params.floatFields()
+		any := false
+		for _, f := range ints {
+			any = any || f.v != nil
+		}
+		for _, f := range floats {
+			any = any || f.v != nil
+		}
+		if !any {
+			continue
+		}
+		fmt.Fprintf(b, "%s    params:\n", indent)
+		// Canonical parameter order: sorted by key.
+		type kv struct{ k, v string }
+		var kvs []kv
+		for _, f := range ints {
+			if f.v != nil {
+				kvs = append(kvs, kv{f.name, fmt.Sprintf("%d", *f.v)})
+			}
+		}
+		for _, f := range floats {
+			if f.v != nil {
+				kvs = append(kvs, kv{f.name, formatFloat(*f.v)})
+			}
+		}
+		sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+		for _, e := range kvs {
+			fmt.Fprintf(b, "%s      %s: %s\n", indent, e.k, e.v)
+		}
+	}
+}
+
+// formatFloat renders a float so that Parse reads back the identical
+// value ('g' is shortest-roundtrip in Go) and integers keep a decimal
+// point, so the scalar parser cannot reclassify them.
+func formatFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// Summary returns a short one-line description for listings.
+func (sp *Spec) Summary() string {
+	return fmt.Sprintf("%s: class=%s seed=%d components=%d phases=%d",
+		sp.Name, sp.Class, sp.Seed, len(sp.Mix), len(sp.Phases)+1)
+}

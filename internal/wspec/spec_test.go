@@ -1,0 +1,242 @@
+package wspec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleSpec = `
+# A blended fleet with one churn phase.
+version: 1
+name: blended.v1
+class: fleet
+seed: 42
+switch_every: 10000
+mix:
+  - preset: server
+    variant: 1
+    weight: 3.0
+    params:
+      funcs: 900
+      markov_stay: 0.9
+  - preset: client
+    weight: 1.0
+    seed_offset: 7
+phases:
+  - at: 500000
+    reseed: 1
+  - at: 900000
+    mix:
+      - preset: spec
+        variant: 2
+`
+
+func TestParseSample(t *testing.T) {
+	sp, err := Parse([]byte(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name != "blended.v1" || sp.Class != "fleet" || sp.Seed != 42 || sp.SwitchEvery != 10_000 {
+		t.Fatalf("header mismatch: %+v", sp)
+	}
+	if len(sp.Mix) != 2 {
+		t.Fatalf("mix = %d components, want 2", len(sp.Mix))
+	}
+	c0 := sp.Mix[0]
+	if c0.Preset != "server" || c0.Variant != 1 || c0.Weight != 3.0 {
+		t.Fatalf("mix[0] = %+v", c0)
+	}
+	if c0.Params.Funcs == nil || *c0.Params.Funcs != 900 {
+		t.Fatalf("mix[0].params.funcs = %v, want 900", c0.Params.Funcs)
+	}
+	if c0.Params.MarkovStay == nil || *c0.Params.MarkovStay != 0.9 {
+		t.Fatalf("mix[0].params.markov_stay = %v, want 0.9", c0.Params.MarkovStay)
+	}
+	if c0.Params.Levels != nil {
+		t.Fatalf("mix[0].params.levels should be unset, got %v", *c0.Params.Levels)
+	}
+	if sp.Mix[1].Weight != 1.0 || sp.Mix[1].SeedOffset != 7 {
+		t.Fatalf("mix[1] = %+v", sp.Mix[1])
+	}
+	if len(sp.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(sp.Phases))
+	}
+	if sp.Phases[0].At != 500_000 || sp.Phases[0].Reseed != 1 || sp.Phases[0].Mix != nil {
+		t.Fatalf("phases[0] = %+v", sp.Phases[0])
+	}
+	if sp.Phases[1].At != 900_000 || len(sp.Phases[1].Mix) != 1 || sp.Phases[1].Mix[0].Preset != "spec" {
+		t.Fatalf("phases[1] = %+v", sp.Phases[1])
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	sp, err := Parse([]byte("version: 1\nname: tiny\nmix:\n  - preset: server\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Class != "custom" || sp.Seed != 1 || sp.SwitchEvery != DefaultSwitchEvery {
+		t.Fatalf("defaults not applied: %+v", sp)
+	}
+	if sp.Mix[0].Weight != 1 || sp.Mix[0].Variant != 0 {
+		t.Fatalf("component defaults not applied: %+v", sp.Mix[0])
+	}
+}
+
+// TestParseErrors is table-driven over the validation surface: every
+// case must fail, and the error must mention the fragment so spec
+// authors can find the problem.
+func TestParseErrors(t *testing.T) {
+	const okMix = "mix:\n  - preset: server\n"
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{"empty", "", "mapping"},
+		{"scalar_top", "42\n", "key: value"},
+		{"bad_version", "version: 9\nname: x\n" + okMix, "version"},
+		{"missing_version", "name: x\n" + okMix, "version"},
+		{"missing_name", "version: 1\n" + okMix, "missing name"},
+		{"bad_name", "version: 1\nname: 'a b'\n" + okMix, "must match"},
+		{"bad_class", "version: 1\nname: x\nclass: 'a b'\n" + okMix, "class"},
+		{"unknown_key", "version: 1\nname: x\nbogus: 1\n" + okMix, `unknown key "bogus"`},
+		{"empty_mix", "version: 1\nname: x\n", "empty mix"},
+		{"mix_scalar", "version: 1\nname: x\nmix: 3\n", "list"},
+		{"unknown_preset", "version: 1\nname: x\nmix:\n  - preset: mainframe\n", `unknown preset "mainframe"`},
+		{"bad_variant", "version: 1\nname: x\nmix:\n  - preset: server\n    variant: 99\n", "variant"},
+		{"zero_weight", "version: 1\nname: x\nmix:\n  - preset: server\n    weight: 0.0\n", "weight"},
+		{"negative_weight", "version: 1\nname: x\nmix:\n  - preset: server\n    weight: -1.0\n", "weight"},
+		{"unknown_param", "version: 1\nname: x\nmix:\n  - preset: server\n    params:\n      bogus_knob: 1\n", `unknown key "bogus_knob"`},
+		{"param_type", "version: 1\nname: x\nmix:\n  - preset: server\n    params:\n      funcs: many\n", "integer"},
+		{"switch_zero", "version: 1\nname: x\nswitch_every: 0\n" + okMix, "switch_every"},
+		{"negative_seed", "version: 1\nname: x\nseed: -4\n" + okMix, "negative"},
+		{"phase_at_zero", "version: 1\nname: x\n" + okMix + "phases:\n  - at: 0\n    reseed: 1\n", "at"},
+		{"phase_not_increasing", "version: 1\nname: x\n" + okMix +
+			"phases:\n  - at: 100\n    reseed: 1\n  - at: 100\n    reseed: 2\n", "strictly increasing"},
+		{"phase_both", "version: 1\nname: x\n" + okMix +
+			"phases:\n  - at: 100\n    reseed: 1\n    mix:\n      - preset: client\n", "mutually exclusive"},
+		{"phase_neither", "version: 1\nname: x\n" + okMix + "phases:\n  - at: 100\n", "reseed > 0 or a non-empty mix"},
+		{"tab_indent", "version: 1\n\tname: x\n", "tab"},
+		{"dup_key", "version: 1\nversion: 1\nname: x\n" + okMix, "duplicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestHashStability pins the canonical hash of the sample spec: the
+// hash is a cache identity, so any change here silently invalidates
+// user caches and must be deliberate.
+func TestHashStability(t *testing.T) {
+	sp, err := Parse([]byte(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "816d44d1ce50178428e4eb9ba63afd0e6461baeeafc13f096fe3fe2fd92070f4"
+	if got := sp.Hash(); got != want {
+		t.Fatalf("Hash() = %s, want %s (canonical encoding changed — bump the wspec preamble if intentional)", got, want)
+	}
+}
+
+// TestHashIgnoresFormatting: comments, key order and explicit defaults
+// must not change the hash; semantic edits must.
+func TestHashIgnoresFormatting(t *testing.T) {
+	base, err := Parse([]byte("version: 1\nname: x\nmix:\n  - preset: server\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := Parse([]byte("# comment\nname: x\nversion: 1\nseed: 1\nclass: custom\nmix:\n  - weight: 1.0\n    preset: server\n    variant: 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Hash() != same.Hash() {
+		t.Fatalf("formatting changed the hash:\n%s\nvs\n%s", base.Encode(), same.Encode())
+	}
+	diff, err := Parse([]byte("version: 1\nname: x\nmix:\n  - preset: server\n    seed_offset: 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Hash() == diff.Hash() {
+		t.Fatal("semantic change (seed_offset) did not change the hash")
+	}
+}
+
+// TestEncodeRoundTrip: the canonical encoding re-parses to an
+// equivalent spec with an identical hash and encoding (fixpoint).
+func TestEncodeRoundTrip(t *testing.T) {
+	sp, err := Parse([]byte(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := sp.Encode()
+	sp2, err := Parse(enc)
+	if err != nil {
+		t.Fatalf("canonical encoding does not re-parse: %v\n%s", err, enc)
+	}
+	if !bytes.Equal(enc, sp2.Encode()) {
+		t.Fatalf("encoding is not a fixpoint:\n%s\nvs\n%s", enc, sp2.Encode())
+	}
+	if sp.Hash() != sp2.Hash() {
+		t.Fatal("hash unstable across encode round trip")
+	}
+}
+
+func TestScalarParsing(t *testing.T) {
+	cases := []struct {
+		in   string
+		want interface{}
+	}{
+		{"null", nil}, {"~", nil}, {"", nil},
+		{"true", true}, {"false", false},
+		{"42", uint64(42)}, {"0x10", uint64(16)}, {"1_000", uint64(1000)},
+		{"-3", int64(-3)},
+		{"2.5", 2.5}, {"1e3", 1000.0},
+		{`"a b"`, "a b"}, {`'it''s'`, "it's"},
+		{"plain", "plain"},
+		{"3 # trailing", uint64(3)},
+	}
+	for _, tc := range cases {
+		got, err := parseScalar(tc.in, 1)
+		if err != nil {
+			t.Fatalf("parseScalar(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("parseScalar(%q) = %v (%T), want %v (%T)", tc.in, got, got, tc.want, tc.want)
+		}
+	}
+}
+
+// FuzzWorkloadSpec: parsing arbitrary bytes never panics, and any input
+// that parses must survive the canonical encode→parse round trip with a
+// stable hash.
+func FuzzWorkloadSpec(f *testing.F) {
+	f.Add([]byte(sampleSpec))
+	f.Add([]byte("version: 1\nname: tiny\nmix:\n  - preset: server\n"))
+	f.Add([]byte("version: 1\nname: x\nmix:\n  - preset: spec\n    params:\n      hot_fraction: 0.25\n"))
+	f.Add([]byte("a: [flow, style]\n"))
+	f.Add([]byte("- just\n- a\n- list\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := Parse(data)
+		if err != nil {
+			return
+		}
+		h := sp.Hash()
+		enc := sp.Encode()
+		sp2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding does not re-parse: %v\n%s", err, enc)
+		}
+		if sp2.Hash() != h {
+			t.Fatalf("hash unstable across round trip:\n%s", enc)
+		}
+	})
+}

@@ -1,0 +1,279 @@
+// yaml.go implements the small YAML subset workload specs are written
+// in: block mappings, block sequences, scalars (null, bool, int, float,
+// string with single or double quotes), nesting by space indentation and
+// '#' comments. Flow style ({...}, [...]), anchors, tags, multi-document
+// streams and multi-line scalars are deliberately out of scope — specs
+// that need them are specs that have grown too clever. The subset is
+// documented in docs/WORKLOADS.md; parse errors carry line numbers.
+package wspec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser limits. Specs are hand-written files of at most a few hundred
+// lines; the caps exist so fuzzed inputs cannot run the parser away.
+const (
+	maxYAMLBytes = 1 << 20
+	maxYAMLLines = 10_000
+	maxYAMLDepth = 32
+)
+
+// yamlError is a parse error at a 1-based line number.
+type yamlError struct {
+	line int
+	msg  string
+}
+
+func (e *yamlError) Error() string { return fmt.Sprintf("line %d: %s", e.line, e.msg) }
+
+func yerrf(line int, format string, args ...interface{}) error {
+	return &yamlError{line: line, msg: fmt.Sprintf(format, args...)}
+}
+
+// yline is one pre-processed input line with content.
+type yline struct {
+	num    int // 1-based source line
+	indent int // leading spaces
+	text   string
+}
+
+// parseYAML parses the document into nested map[string]any / []any /
+// scalar values. The empty document parses to nil.
+func parseYAML(data []byte) (interface{}, error) {
+	if len(data) > maxYAMLBytes {
+		return nil, fmt.Errorf("document larger than %d bytes", maxYAMLBytes)
+	}
+	raw := strings.Split(string(data), "\n")
+	if len(raw) > maxYAMLLines {
+		return nil, fmt.Errorf("document longer than %d lines", maxYAMLLines)
+	}
+	var lines []yline
+	for i, l := range raw {
+		l = strings.TrimRight(l, "\r")
+		trimmed := strings.TrimLeft(l, " ")
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue // blank and comment-only lines may contain anything
+		}
+		if strings.ContainsRune(l, '\t') {
+			return nil, yerrf(i+1, "tab character in indentation or content (use spaces)")
+		}
+		lines = append(lines, yline{num: i + 1, indent: len(l) - len(trimmed), text: trimmed})
+	}
+	if len(lines) == 0 {
+		return nil, nil
+	}
+	p := &yparser{lines: lines}
+	v, err := p.parseBlock(lines[0].indent, 0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, yerrf(p.lines[p.pos].num, "unexpected de-indented content")
+	}
+	return v, nil
+}
+
+type yparser struct {
+	lines []yline
+	pos   int
+}
+
+// parseBlock parses the run of lines at exactly this indentation level
+// as either a mapping or a sequence (decided by the first line).
+func (p *yparser) parseBlock(indent, depth int) (interface{}, error) {
+	if depth > maxYAMLDepth {
+		return nil, yerrf(p.lines[p.pos].num, "nesting deeper than %d levels", maxYAMLDepth)
+	}
+	if isSeqItem(p.lines[p.pos].text) {
+		return p.parseSequence(indent, depth)
+	}
+	return p.parseMapping(indent, depth)
+}
+
+func isSeqItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+func (p *yparser) parseMapping(indent, depth int) (interface{}, error) {
+	m := map[string]interface{}{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, yerrf(l.num, "unexpected indentation (expected %d spaces)", indent)
+		}
+		if isSeqItem(l.text) {
+			return nil, yerrf(l.num, "sequence item in a mapping")
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, yerrf(l.num, "duplicate key %q", key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := parseScalar(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		// No inline value: either a nested block, or an empty (null) value.
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.parseBlock(p.lines[p.pos].indent, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		m[key] = nil
+	}
+	return m, nil
+}
+
+func (p *yparser) parseSequence(indent, depth int) (interface{}, error) {
+	var seq []interface{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, yerrf(l.num, "unexpected indentation (expected %d spaces)", indent)
+		}
+		if !isSeqItem(l.text) {
+			return nil, yerrf(l.num, "expected a '- ' sequence item")
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(l.text, "-"), " ")
+		if rest == "" {
+			// "-" alone: the item is the nested block below.
+			p.pos++
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				v, err := p.parseBlock(p.lines[p.pos].indent, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				seq = append(seq, v)
+			} else {
+				seq = append(seq, nil)
+			}
+			continue
+		}
+		// "- key: value" starts an inline mapping whose remaining keys sit
+		// below, indented past the dash; "- scalar" is a scalar item.
+		if inlineMapStart(rest) {
+			itemIndent := l.indent + (len(l.text) - len(rest))
+			p.lines[p.pos] = yline{num: l.num, indent: itemIndent, text: rest}
+			item, err := p.parseMapping(itemIndent, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, item)
+			continue
+		}
+		p.pos++
+		v, err := parseScalar(rest, l.num)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, v)
+	}
+	return seq, nil
+}
+
+// inlineMapStart reports whether a sequence item body starts a mapping
+// ("key: value" or "key:"), as opposed to being a plain scalar.
+func inlineMapStart(rest string) bool {
+	if strings.HasPrefix(rest, "\"") || strings.HasPrefix(rest, "'") {
+		return false
+	}
+	i := strings.Index(rest, ":")
+	if i <= 0 {
+		return false
+	}
+	if i+1 < len(rest) && rest[i+1] != ' ' {
+		return false // "a:b" is a scalar, "a: b" a mapping
+	}
+	return true
+}
+
+// splitKey splits "key: value" / "key:"; keys are plain identifiers.
+func splitKey(l yline) (key, rest string, err error) {
+	i := strings.Index(l.text, ":")
+	if i <= 0 {
+		return "", "", yerrf(l.num, "expected 'key: value', got %q", l.text)
+	}
+	if i+1 < len(l.text) && l.text[i+1] != ' ' {
+		return "", "", yerrf(l.num, "missing space after ':' in %q", l.text)
+	}
+	key = strings.TrimSpace(l.text[:i])
+	if key == "" || strings.ContainsAny(key, "\"' {}[]#&*") {
+		return "", "", yerrf(l.num, "invalid key %q", l.text[:i])
+	}
+	return key, stripComment(strings.TrimSpace(l.text[i+1:])), nil
+}
+
+// stripComment removes a trailing ' #...' comment from an unquoted
+// scalar (quoted scalars keep their hashes).
+func stripComment(s string) string {
+	if strings.HasPrefix(s, "\"") || strings.HasPrefix(s, "'") {
+		return s
+	}
+	if i := strings.Index(s, " #"); i >= 0 {
+		return strings.TrimSpace(s[:i])
+	}
+	if strings.HasPrefix(s, "#") {
+		return ""
+	}
+	return s
+}
+
+// parseScalar converts one scalar token to nil/bool/uint64/int64/
+// float64/string.
+func parseScalar(s string, line int) (interface{}, error) {
+	s = stripComment(s)
+	switch s {
+	case "", "~", "null":
+		return nil, nil
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	if strings.HasPrefix(s, "\"") || strings.HasPrefix(s, "'") {
+		q := s[0]
+		if len(s) < 2 || s[len(s)-1] != q {
+			return nil, yerrf(line, "unterminated quoted string %s", s)
+		}
+		body := s[1 : len(s)-1]
+		if q == '"' {
+			unq, err := strconv.Unquote(s)
+			if err != nil {
+				return nil, yerrf(line, "bad escape in %s", s)
+			}
+			return unq, nil
+		}
+		return strings.ReplaceAll(body, "''", "'"), nil
+	}
+	// Numbers: unsigned first (covers large seeds), then signed, then float.
+	numeric := strings.ReplaceAll(s, "_", "")
+	if u, err := strconv.ParseUint(numeric, 0, 64); err == nil {
+		return u, nil
+	}
+	if i, err := strconv.ParseInt(numeric, 0, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(numeric, 64); err == nil {
+		return f, nil
+	}
+	return s, nil // bare string
+}

@@ -1,0 +1,200 @@
+package fdp
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"fdp/internal/obs"
+	"fdp/internal/runner"
+	"fdp/internal/synth"
+	"fdp/internal/wspec"
+)
+
+// TestExampleSpecsCompile: every shipped example spec parses, validates
+// and compiles (the in-test twin of `make spec-check`), and its content
+// hash is reflected on the compiled workload.
+func TestExampleSpecsCompile(t *testing.T) {
+	dir := filepath.Join("examples", "workloads")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".yaml" {
+			continue
+		}
+		n++
+		path := filepath.Join(dir, e.Name())
+		sp, err := wspec.Load(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		w, err := synth.FromSpec(sp)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if w.SpecHash != sp.Hash() {
+			t.Errorf("%s: workload SpecHash %q != spec hash %q", path, w.SpecHash, sp.Hash())
+		}
+	}
+	if n < 3 {
+		t.Fatalf("only %d example specs found in %s, want >= 3", n, dir)
+	}
+}
+
+// churnSpec is a small mixed+phased scenario sized for test budgets: a
+// 3:1 server/client blend redeployed (reseed) at instruction 60000, so
+// a 100K-instruction warmup crosses the phase boundary.
+const churnSpec = `
+version: 1
+name: churn_it
+class: server
+seed: 77
+switch_every: 5000
+mix:
+  - preset: server
+    weight: 3.0
+  - preset: client
+    weight: 1.0
+phases:
+  - at: 60000
+    reseed: 1
+`
+
+func writeSpec(t *testing.T, text string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.yaml")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSpecWorkloadCachedByHash: a spec-defined workload runs through
+// the runner and is served from the result cache when the same spec is
+// re-resolved from disk — the cache identity is the content hash, not
+// the file path or the in-memory Workload pointer.
+func TestSpecWorkloadCachedByHash(t *testing.T) {
+	cache, err := runner.NewCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(path string) *runner.Result {
+		w, err := synth.LoadSpecFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		res, err := runner.Execute(context.Background(),
+			[]runner.Spec{runner.WorkloadSpec(DefaultConfig(), w, 20_000, 80_000)},
+			runner.Options{Cache: cache, Reg: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("cache hits=%d misses=%d",
+			reg.Counter(runner.MetricCacheHits).Value(),
+			reg.Counter(runner.MetricCacheMisses).Value())
+		return &res[0]
+	}
+
+	first := run(writeSpec(t, churnSpec))
+	// Same spec text at a different path: identical content hash, so the
+	// runner must not simulate again.
+	w2, err := synth.LoadSpecFile(writeSpec(t, churnSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	res, err := runner.Execute(context.Background(),
+		[]runner.Spec{runner.WorkloadSpec(DefaultConfig(), w2, 20_000, 80_000)},
+		runner.Options{Cache: cache, Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := reg.Counter(runner.MetricCacheHits).Value(); hits != 1 {
+		t.Errorf("second run cache hits = %d, want 1 (keyed by spec content hash)", hits)
+	}
+	if !reflect.DeepEqual(first.Run, res[0].Run) {
+		t.Error("cached run differs from the original simulation")
+	}
+
+	// Formatting-only edits keep the hash; a semantic change (different
+	// seed, single component) must produce a different hash and key.
+	w3, err := synth.LoadSpecFile(writeSpec(t, churnSpec+"    # trailing comment\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w3.SpecHash != w2.SpecHash {
+		t.Error("formatting-only change altered the spec hash")
+	}
+	other := writeSpec(t, "version: 1\nname: churn_it\nclass: server\nseed: 78\nmix:\n  - preset: server\n")
+	w4, err := synth.LoadSpecFile(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w4.SpecHash == w2.SpecHash {
+		t.Error("semantically different specs share a hash")
+	}
+	sp2 := runner.WorkloadSpec(DefaultConfig(), w2, 20_000, 80_000)
+	sp4 := runner.WorkloadSpec(DefaultConfig(), w4, 20_000, 80_000)
+	if sp2.Key() == sp4.Key() {
+		t.Error("different spec hashes produced the same runner cache key")
+	}
+}
+
+// TestSpecPhaseCheckpointDeterminism: fast-forward warmup of a phased
+// spec workload crosses the reseed boundary; restoring the checkpointed
+// post-warmup state must reproduce the cold fast-forward run exactly,
+// phase position included.
+func TestSpecPhaseCheckpointDeterminism(t *testing.T) {
+	w, err := synth.LoadSpecFile(writeSpec(t, churnSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Phases() != 2 || !w.Mixed() {
+		t.Fatalf("churn spec compiled to %d phases, mixed=%v; want a 2-phase mix", w.Phases(), w.Mixed())
+	}
+	// Warmup 100K crosses the at=60000 boundary; two specs differing
+	// only in a timing knob share one CheckpointKey, so the second run
+	// restores the first's checkpoint.
+	mk := func(lat int) runner.Spec {
+		cfg := DefaultConfig()
+		cfg.BTBLatency = lat
+		sp := runner.WorkloadSpec(cfg, w, 100_000, 50_000)
+		sp.FFwd = true
+		return sp
+	}
+	specs := []runner.Spec{mk(1), mk(2)}
+	if specs[0].CheckpointKey() != specs[1].CheckpointKey() {
+		t.Fatal("timing-only sweep specs do not share a checkpoint key")
+	}
+
+	ref, err := runner.Execute(context.Background(), []runner.Spec{mk(1), mk(2)}, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := runner.NewCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	got, err := runner.Execute(context.Background(), specs,
+		runner.Options{Cache: cache, Checkpoint: true, Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter(runner.MetricCheckpointRestores).Value(); n != 1 {
+		t.Errorf("checkpoint restores = %d, want 1", n)
+	}
+	for i := range specs {
+		if got[i].Run == nil || !reflect.DeepEqual(ref[i].Run, got[i].Run) {
+			t.Errorf("spec %d: checkpoint-restored run differs from cold fast-forward run", i)
+		}
+	}
+}
