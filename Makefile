@@ -26,6 +26,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzHistogram -fuzztime=$(FUZZTIME) ./internal/obs
 	$(GO) test -run=^$$ -fuzz=FuzzEventJSONL -fuzztime=$(FUZZTIME) ./internal/obs
 	$(GO) test -run=^$$ -fuzz=FuzzIntervalJSONL -fuzztime=$(FUZZTIME) ./internal/obs
+	$(GO) test -run=^$$ -fuzz=FuzzSpanJSONL -fuzztime=$(FUZZTIME) ./internal/obs
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run=^$$ -fuzz=FuzzBatchedDecode -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run=^$$ -fuzz=FuzzJournal -fuzztime=$(FUZZTIME) ./internal/runner
@@ -105,10 +106,10 @@ spec-check:
 
 # Coverage gate: per-package `go test -short -cover` (the per-package
 # lines are the useful CI log), then the aggregate statement coverage
-# checked against COVERFLOOR. The aggregate measured 71.4% when the
-# gate was introduced (2026-08); the floor sits a few points below so
-# it trips on real coverage regressions, not refactoring noise.
-COVERFLOOR ?= 68.0
+# checked against COVERFLOOR. The aggregate measured 72.4% as of the
+# observability PR (2026-08); the floor sits a few points below so it
+# trips on real coverage regressions, not refactoring noise.
+COVERFLOOR ?= 69.5
 COVERPROFILE ?= cover.out
 
 cover:

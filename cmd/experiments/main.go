@@ -58,11 +58,14 @@ func main() {
 		retries   = flag.Int("retries", 0, "retries for transiently failed jobs (panics), with exponential backoff")
 		keepGoing = flag.Bool("keep-going", false, "quarantine failing jobs and keep running the rest of the grid")
 
-		metricsOut = flag.String("metrics", "", "write every run's observability manifest as JSONL to this file ('-' for stdout)")
-		traceOut   = flag.String("trace", "", "write pipeline event traces as JSONL to this file ('-' for stdout)")
-		traceCap   = flag.Int("trace-cap", 1<<14, "event-trace ring capacity (last N events per run)")
-		httpAddr   = flag.String("http", "", "serve live telemetry on this address (/metrics, /progress, /debug/pprof)")
-		pprofOut   = flag.String("pprof", "", "write a CPU profile of the experiment run to this file")
+		metricsOut   = flag.String("metrics", "", "write every run's observability manifest as JSONL to this file ('-' for stdout)")
+		traceOut     = flag.String("trace", "", "write pipeline event traces as JSONL to this file ('-' for stdout)")
+		traceCap     = flag.Int("trace-cap", 1<<14, "event-trace ring capacity (last N events per run)")
+		intervals    = flag.Uint64("intervals", 0, "snapshot each run's cycle-accounting time-series every N cycles (0 = off)")
+		intervalsOut = flag.String("intervals-out", "", "write interval records as JSONL to this file ('-' for stdout)")
+		spansOut     = flag.String("spans", "", "write the runner's job lifecycle span timeline as JSONL to this file ('-' for stdout)")
+		httpAddr     = flag.String("http", "", "serve live telemetry on this address (/metrics, /progress, /runs, /intervals, /timeline, /debug/pprof)")
+		pprofOut     = flag.String("pprof", "", "write a CPU profile of the experiment run to this file")
 	)
 	flag.Parse()
 
@@ -178,17 +181,65 @@ func main() {
 		// the cache (which this command always creates).
 		fmt.Fprintln(os.Stderr, "experiments: warning: the result cache is bypassed while -trace is active (traces cannot be replayed from cached results)")
 	}
+	if *intervals > 0 && *intervalsOut == "" && *httpAddr == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -intervals requires -intervals-out or -http (somewhere for the series to go)")
+		os.Exit(1)
+	}
+	if *intervalsOut != "" && *intervals == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -intervals-out requires -intervals N")
+		os.Exit(1)
+	}
+	if *intervals > 0 {
+		opts.IntervalEvery = *intervals
+		if *intervalsOut != "" {
+			intervalsW, err := obs.OpenSink(*intervalsOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			defer intervalsW.Close()
+			opts.IntervalSink = intervalsW
+		}
+		fmt.Fprintln(os.Stderr, "experiments: warning: the result cache is bypassed while -intervals is active (interval series cannot be replayed from cached results)")
+	}
+	var spanLog *obs.SpanLog
+	if *spansOut != "" || *httpAddr != "" {
+		spanLog = obs.NewSpanLog()
+		opts.Spans = spanLog
+	}
+	if *spansOut != "" {
+		spansW, err := obs.OpenSink(*spansOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer spansW.Close()
+		spanLog.SetSink(spansW)
+		defer func() {
+			if serr := spanLog.SinkErr(); serr != nil {
+				fmt.Fprintf(os.Stderr, "experiments: warning: -spans sink: %v\n", serr)
+			}
+		}()
+	}
 
 	if *httpAddr != "" {
 		opts.Status = &runner.Status{}
 		opts.Live = obs.NewManifestLog()
-		srv, err := monitor.Start(*httpAddr, monitor.Source{Status: opts.Status, Manifests: opts.Live})
+		if *intervals > 0 {
+			opts.Intervals = obs.NewIntervalStore(0)
+		}
+		srv, err := monitor.Start(*httpAddr, monitor.Source{
+			Status:    opts.Status,
+			Manifests: opts.Live,
+			Intervals: opts.Intervals,
+			Spans:     spanLog,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "experiments: live telemetry on http://%s (/metrics, /progress, /debug/pprof)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "experiments: live telemetry on http://%s (/metrics, /progress, /runs, /intervals, /timeline, /debug/pprof)\n", srv.Addr())
 	}
 
 	var todo []experiments.Experiment

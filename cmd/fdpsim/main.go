@@ -33,22 +33,22 @@ func main() {
 		workload     = flag.String("workload", "server_a", "comma-separated workload list: standard names, @file.yaml spec references, or 'all'")
 		workloadSpec = flag.String("workload-spec", "", "workload spec file(s) to simulate, comma-separated (shorthand for -workload @file; combines with an explicit -workload)")
 		replayFile   = flag.String("replay", "", "simulate a trace file instead of a synthetic workload")
-		baseline   = flag.Bool("baseline", false, "use the no-FDP/no-prefetch baseline configuration")
-		ftqEntries = flag.Int("ftq", 0, "override FTQ entries (0 = config default)")
-		btbEntries = flag.Int("btb", 0, "override BTB entries")
-		pfc        = flag.Bool("pfc", true, "enable post-fetch correction")
-		dir        = flag.String("dir", "", "direction predictor: tage-9kb|tage-18kb|tage-36kb|gshare-8kb|perceptron-8kb|tage-sc-l-24kb|tage-sc-l-64kb|perfect")
-		hist       = flag.String("hist", "thr", "history policy: thr|ghr-nofix|ghr-fix|ideal")
-		prefetcher = flag.String("prefetcher", "", "dedicated prefetcher: nl1|fnl+mma|djolt|eip-128kb|eip-27kb|sn4l+dis|rdip")
-		btbPref    = flag.Bool("btb-prefetch", false, "enable BTB prefetching at fill pre-decode")
-		l1btb      = flag.Int("l1btb", 0, "enable the two-level BTB extension with this many L1 entries")
-		timeline   = flag.Bool("timeline", false, "print a per-workload IPC sparkline (10K-instruction windows)")
-		warmup     = flag.Uint64("warmup", 200_000, "warmup instructions")
-		measure    = flag.Uint64("measure", 800_000, "measured instructions")
-		ffwd       = flag.Bool("ffwd", false, "functional fast-forward warmup: train predictors/caches architecturally without timing the pipeline (different warmup semantics, much faster)")
-		checkpoint = flag.Bool("checkpoint", false, "with -ffwd, reuse post-warmup state checkpoints across runs (persisted in the -cache directory when set)")
-		parallel   = flag.Int("parallel", 0, "concurrent simulations with -workload all (0 = GOMAXPROCS)")
-		cacheDir   = flag.String("cache", "", "reuse results from this on-disk cache directory (synthetic workloads only)")
+		baseline     = flag.Bool("baseline", false, "use the no-FDP/no-prefetch baseline configuration")
+		ftqEntries   = flag.Int("ftq", 0, "override FTQ entries (0 = config default)")
+		btbEntries   = flag.Int("btb", 0, "override BTB entries")
+		pfc          = flag.Bool("pfc", true, "enable post-fetch correction")
+		dir          = flag.String("dir", "", "direction predictor: tage-9kb|tage-18kb|tage-36kb|gshare-8kb|perceptron-8kb|tage-sc-l-24kb|tage-sc-l-64kb|perfect")
+		hist         = flag.String("hist", "thr", "history policy: thr|ghr-nofix|ghr-fix|ideal")
+		prefetcher   = flag.String("prefetcher", "", "dedicated prefetcher: nl1|fnl+mma|djolt|eip-128kb|eip-27kb|sn4l+dis|rdip")
+		btbPref      = flag.Bool("btb-prefetch", false, "enable BTB prefetching at fill pre-decode")
+		l1btb        = flag.Int("l1btb", 0, "enable the two-level BTB extension with this many L1 entries")
+		timeline     = flag.Bool("timeline", false, "print a per-workload IPC sparkline (10K-instruction windows)")
+		warmup       = flag.Uint64("warmup", 200_000, "warmup instructions")
+		measure      = flag.Uint64("measure", 800_000, "measured instructions")
+		ffwd         = flag.Bool("ffwd", false, "functional fast-forward warmup: train predictors/caches architecturally without timing the pipeline (different warmup semantics, much faster)")
+		checkpoint   = flag.Bool("checkpoint", false, "with -ffwd, reuse post-warmup state checkpoints across runs (persisted in the -cache directory when set)")
+		parallel     = flag.Int("parallel", 0, "concurrent simulations with -workload all (0 = GOMAXPROCS)")
+		cacheDir     = flag.String("cache", "", "reuse results from this on-disk cache directory (synthetic workloads only)")
 
 		check     = flag.Bool("check", false, "enable per-cycle invariant checking")
 		watchdog  = flag.Duration("watchdog", 0, "cancel any simulation making no forward progress for this long (0 = off)")
@@ -60,6 +60,7 @@ func main() {
 		traceCap     = flag.Int("trace-cap", 1<<16, "event-trace ring capacity (last N events per run)")
 		intervals    = flag.Uint64("intervals", 0, "snapshot the cycle-accounting time-series every N cycles (0 = off)")
 		intervalsOut = flag.String("intervals-out", "", "write interval records as JSONL to this file ('-' for stdout)")
+		spansOut     = flag.String("spans", "", "write the runner's job lifecycle span timeline as JSONL to this file ('-' for stdout; synthetic workloads only)")
 		pprofOut     = flag.String("pprof", "", "write a CPU profile of the simulation to this file")
 	)
 	flag.Parse()
@@ -268,6 +269,18 @@ func main() {
 	if intervalsW != nil {
 		ropts.IntervalEvery = *intervals
 		ropts.IntervalSink = intervalsW
+	}
+	if *spansOut != "" {
+		spansW := createOut(*spansOut)
+		defer spansW.Close()
+		spanLog := obs.NewSpanLog()
+		spanLog.SetSink(spansW)
+		ropts.Spans = spanLog
+		defer func() {
+			if serr := spanLog.SinkErr(); serr != nil {
+				fmt.Fprintf(os.Stderr, "fdpsim: warning: -spans sink: %v\n", serr)
+			}
+		}()
 	}
 	specs := make([]runner.Spec, 0, len(workloads))
 	for _, w := range workloads {

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"fdp/internal/experiments"
+	"fdp/internal/monitor"
+	"fdp/internal/obs"
+	"fdp/internal/stats"
+)
+
+// runDiff implements the -diff mode: gather manifests (from a recorded
+// JSONL file, or by running the full experiment suite and collecting
+// every run's manifest), diff each config's accounting against the
+// baseline config, print the table, and optionally emit the JSON
+// document.
+func runDiff(opts experiments.Options, baseline, manifestsPath, jsonOut string) {
+	var ms []*obs.Manifest
+	if manifestsPath != "" {
+		f, err := os.Open(manifestsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			os.Exit(1)
+		}
+		ms, err = readManifests(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: %s: %v\n", manifestsPath, err)
+			os.Exit(1)
+		}
+	} else {
+		log := obs.NewManifestLog()
+		opts.Manifests = log
+		for _, e := range experiments.AllWithExtensions() {
+			if _, err := e.Run(opts); err != nil {
+				fmt.Fprintf(os.Stderr, "report: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "report: %s done\n", e.ID)
+		}
+		ms = log.All()
+	}
+	rep, err := accountingDiff(ms, baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "report: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Table().String())
+	if jsonOut != "" {
+		w, err := obs.OpenSink(jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(w); err == nil {
+			err = w.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: writing %s: %v\n", jsonOut, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// acctRun is one deduped (config, workload) run's accounting state.
+type acctRun struct {
+	v      [obs.NumAcctBuckets]uint64
+	cycles uint64
+	ipc    float64
+}
+
+// DiffRow is one (config, workload) pair's accounting delta against the
+// baseline config on the same workload.
+type DiffRow struct {
+	Config   string `json:"config"`
+	Workload string `json:"workload"`
+	// BaselineCycles / Cycles are the measured-cycle totals of the two
+	// runs; negative DeltaCycles means the config finished the same
+	// instruction budget in fewer cycles than the baseline.
+	BaselineCycles uint64  `json:"baseline_cycles"`
+	Cycles         uint64  `json:"cycles"`
+	DeltaCycles    int64   `json:"delta_cycles"`
+	BaselineIPC    float64 `json:"baseline_ipc"`
+	IPC            float64 `json:"ipc"`
+	DeltaIPC       float64 `json:"delta_ipc"`
+	// DeltaBucketCycles[b] is the signed cycle movement of accounting
+	// bucket b (config minus baseline), index-aligned with the report's
+	// Buckets list; DeltaBucketSharePct[b] is the same movement as a
+	// percentage of the baseline's total cycles.
+	DeltaBucketCycles   [obs.NumAcctBuckets]int64   `json:"delta_bucket_cycles"`
+	DeltaBucketSharePct [obs.NumAcctBuckets]float64 `json:"delta_bucket_share_pct"`
+}
+
+// DiffReport is the machine-readable accounting-delta document (the
+// -diff-json output; the table is rendered from the same rows).
+type DiffReport struct {
+	Schema   int    `json:"schema"`
+	Baseline string `json:"baseline"`
+	// Buckets names the accounting buckets the per-row delta vectors are
+	// index-aligned with.
+	Buckets []string  `json:"buckets"`
+	Rows    []DiffRow `json:"rows"`
+}
+
+// collectAcctRuns indexes the manifests by config then workload,
+// first-wins on duplicates (the shared baseline appears in many
+// experiments) and skipping manifests without the acct.* family.
+func collectAcctRuns(ms []*obs.Manifest) map[string]map[string]acctRun {
+	runs := make(map[string]map[string]acctRun)
+	for _, m := range ms {
+		v, ok := obs.AcctVector(m.Counters)
+		if !ok {
+			continue // pre-accounting manifest or the __runner__ summary
+		}
+		cfg := monitor.ConfigName(m.Config)
+		byWL := runs[cfg]
+		if byWL == nil {
+			byWL = make(map[string]acctRun)
+			runs[cfg] = byWL
+		}
+		if _, dup := byWL[m.Workload]; dup {
+			continue
+		}
+		r := acctRun{v: v, ipc: m.Derived["ipc"]}
+		for _, n := range v {
+			r.cycles += n
+		}
+		byWL[m.Workload] = r
+	}
+	return runs
+}
+
+// accountingDiff computes, for every non-baseline config, where cycles
+// moved per accounting bucket relative to the baseline config on the
+// same workload. Workloads the baseline did not run are skipped.
+func accountingDiff(ms []*obs.Manifest, baseline string) (*DiffReport, error) {
+	runs := collectAcctRuns(ms)
+	base, ok := runs[baseline]
+	if !ok {
+		known := make([]string, 0, len(runs))
+		for cfg := range runs {
+			known = append(known, cfg)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("baseline config %q has no accounting runs in the input (have %v)", baseline, known)
+	}
+	rep := &DiffReport{Schema: 1, Baseline: baseline, Buckets: append([]string(nil), obs.AcctBucketNames[:]...), Rows: []DiffRow{}}
+	for cfg, byWL := range runs {
+		if cfg == baseline {
+			continue
+		}
+		for wl, r := range byWL {
+			b, ok := base[wl]
+			if !ok {
+				continue
+			}
+			row := DiffRow{
+				Config: cfg, Workload: wl,
+				BaselineCycles: b.cycles, Cycles: r.cycles,
+				DeltaCycles: int64(r.cycles) - int64(b.cycles),
+				BaselineIPC: b.ipc, IPC: r.ipc, DeltaIPC: r.ipc - b.ipc,
+			}
+			for i := range row.DeltaBucketCycles {
+				d := int64(r.v[i]) - int64(b.v[i])
+				row.DeltaBucketCycles[i] = d
+				if b.cycles > 0 {
+					row.DeltaBucketSharePct[i] = 100 * float64(d) / float64(b.cycles)
+				}
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool {
+		if rep.Rows[i].Config != rep.Rows[j].Config {
+			return rep.Rows[i].Config < rep.Rows[j].Config
+		}
+		return rep.Rows[i].Workload < rep.Rows[j].Workload
+	})
+	return rep, nil
+}
+
+// Table renders the delta report: one row per (config, workload), each
+// bucket cell showing the signed cycles moved and, in parentheses, that
+// movement as a share of the baseline's measured cycles.
+func (d *DiffReport) Table() *stats.Table {
+	header := []string{"config", "workload", "ΔIPC", "Δcycles"}
+	for _, name := range d.Buckets {
+		header = append(header, "Δ"+name)
+	}
+	t := stats.NewTable(fmt.Sprintf("Accounting delta vs %s (cycles moved per bucket; %% of baseline cycles)", d.Baseline), header...)
+	for _, r := range d.Rows {
+		cells := []interface{}{
+			r.Config, r.Workload,
+			fmt.Sprintf("%+.3f", r.DeltaIPC),
+			fmt.Sprintf("%+d", r.DeltaCycles),
+		}
+		for i := range r.DeltaBucketCycles {
+			cells = append(cells, fmt.Sprintf("%+d (%+.1f%%)", r.DeltaBucketCycles[i], r.DeltaBucketSharePct[i]))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// WriteJSON writes the report as indented JSON.
+func (d *DiffReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

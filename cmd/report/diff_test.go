@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fdp/internal/obs"
+)
+
+// loadDiffFixture reads the baseline-vs-FDP manifests fixture (real
+// fdpsim runs of the baseline and default configs over two golden
+// workloads at 20K/60K budgets).
+func loadDiffFixture(t *testing.T) []*obs.Manifest {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "diff_manifests.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ms, err := readManifests(f)
+	if err != nil {
+		t.Fatalf("readManifests: %v", err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("fixture has %d manifests, want 4", len(ms))
+	}
+	return ms
+}
+
+// TestDiffGolden pins the -diff accounting-delta table for the
+// baseline-vs-FDP pair: read fixture → diff → table → byte-compare.
+func TestDiffGolden(t *testing.T) {
+	ms := loadDiffFixture(t)
+	rep, err := accountingDiff(ms, "baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Table().String()
+	golden := filepath.Join("testdata", "diff.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/report -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("diff table drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestDiffReportContent checks the semantics the golden bytes cannot
+// explain: row identity, delta arithmetic against the raw counters, and
+// the share denominators.
+func TestDiffReportContent(t *testing.T) {
+	ms := loadDiffFixture(t)
+	rep, err := accountingDiff(ms, "baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != 1 || rep.Baseline != "baseline" {
+		t.Fatalf("report header = %+v", rep)
+	}
+	if len(rep.Buckets) != obs.NumAcctBuckets {
+		t.Fatalf("%d buckets, want %d", len(rep.Buckets), obs.NumAcctBuckets)
+	}
+	// One non-baseline config ("custom") on two workloads, sorted.
+	if len(rep.Rows) != 2 {
+		t.Fatalf("%d rows, want 2: %+v", len(rep.Rows), rep.Rows)
+	}
+	if rep.Rows[0].Workload != "client_a" || rep.Rows[1].Workload != "server_a" {
+		t.Fatalf("rows not workload-sorted: %s, %s", rep.Rows[0].Workload, rep.Rows[1].Workload)
+	}
+
+	// Index the fixture's raw vectors for arithmetic cross-checks.
+	byRun := make(map[string][obs.NumAcctBuckets]uint64)
+	cycles := make(map[string]uint64)
+	for _, m := range ms {
+		v, ok := obs.AcctVector(m.Counters)
+		if !ok {
+			t.Fatalf("fixture manifest %s has no accounting", m.Workload)
+		}
+		var cfg struct{ Name string }
+		b, _ := json.Marshal(m.Config)
+		json.Unmarshal(b, &cfg)
+		byRun[cfg.Name+"/"+m.Workload] = v
+		cycles[cfg.Name+"/"+m.Workload] = m.Counters["run.cycles"]
+	}
+	for _, row := range rep.Rows {
+		if row.Config != "custom" {
+			t.Fatalf("unexpected config %q", row.Config)
+		}
+		base, run := byRun["baseline/"+row.Workload], byRun["custom/"+row.Workload]
+		if row.BaselineCycles != cycles["baseline/"+row.Workload] || row.Cycles != cycles["custom/"+row.Workload] {
+			t.Errorf("%s: cycle totals %d/%d disagree with fixture", row.Workload, row.BaselineCycles, row.Cycles)
+		}
+		if row.DeltaCycles != int64(row.Cycles)-int64(row.BaselineCycles) {
+			t.Errorf("%s: DeltaCycles %d inconsistent", row.Workload, row.DeltaCycles)
+		}
+		var deltaSum int64
+		for b := range row.DeltaBucketCycles {
+			want := int64(run[b]) - int64(base[b])
+			if row.DeltaBucketCycles[b] != want {
+				t.Errorf("%s bucket %s: delta %d, want %d", row.Workload, rep.Buckets[b], row.DeltaBucketCycles[b], want)
+			}
+			wantPct := 100 * float64(want) / float64(row.BaselineCycles)
+			if math.Abs(row.DeltaBucketSharePct[b]-wantPct) > 1e-9 {
+				t.Errorf("%s bucket %s: share %v, want %v", row.Workload, rep.Buckets[b], row.DeltaBucketSharePct[b], wantPct)
+			}
+			deltaSum += row.DeltaBucketCycles[b]
+		}
+		// Conservation: bucket deltas sum to the total cycle delta.
+		if deltaSum != row.DeltaCycles {
+			t.Errorf("%s: bucket deltas sum to %d, total delta %d", row.Workload, deltaSum, row.DeltaCycles)
+		}
+	}
+
+	// JSON output round-trips.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back DiffReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("diff JSON unparseable: %v", err)
+	}
+	if back.Baseline != "baseline" || len(back.Rows) != 2 {
+		t.Fatalf("JSON round trip = %+v", back)
+	}
+}
+
+// TestDiffMissingBaseline: an unknown baseline config fails with the
+// known-config list, not a zero-row report.
+func TestDiffMissingBaseline(t *testing.T) {
+	ms := loadDiffFixture(t)
+	_, err := accountingDiff(ms, "nope")
+	if err == nil {
+		t.Fatal("unknown baseline did not error")
+	}
+	if !strings.Contains(err.Error(), "baseline") || !strings.Contains(err.Error(), "custom") {
+		t.Errorf("error %q does not list the known configs", err)
+	}
+}

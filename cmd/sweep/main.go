@@ -61,10 +61,10 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		param     = fs.String("param", "ftq", "parameter to sweep: "+paramNames())
-		valuesStr = fs.String("values", "2,4,8,16,24,32", "comma-separated values")
-		wlStr     = fs.String("workloads", "server_a,client_a,spec_a", "comma-separated workloads: standard names, @file.yaml spec references, or 'all'")
-		wlSpec    = fs.String("workload-spec", "", "workload spec file(s) to sweep, comma-separated (shorthand for @file entries in -workloads)")
+		param      = fs.String("param", "ftq", "parameter to sweep: "+paramNames())
+		valuesStr  = fs.String("values", "2,4,8,16,24,32", "comma-separated values")
+		wlStr      = fs.String("workloads", "server_a,client_a,spec_a", "comma-separated workloads: standard names, @file.yaml spec references, or 'all'")
+		wlSpec     = fs.String("workload-spec", "", "workload spec file(s) to sweep, comma-separated (shorthand for @file entries in -workloads)")
 		pfc        = fs.Bool("pfc", true, "post-fetch correction")
 		warmup     = fs.Uint64("warmup", 100_000, "warmup instructions")
 		measure    = fs.Uint64("measure", 400_000, "measured instructions")
@@ -83,7 +83,8 @@ func run(args []string, stdout io.Writer) error {
 		traceCap     = fs.Int("trace-cap", 1<<14, "event-trace ring capacity (last N events per run)")
 		intervals    = fs.Uint64("intervals", 0, "snapshot each run's cycle-accounting time-series every N cycles (0 = off)")
 		intervalsOut = fs.String("intervals-out", "", "write interval records as JSONL to this file ('-' for stdout)")
-		httpAddr     = fs.String("http", "", "serve live telemetry on this address (/metrics, /progress, /debug/pprof)")
+		spansOut     = fs.String("spans", "", "write the runner's job lifecycle span timeline as JSONL to this file ('-' for stdout)")
+		httpAddr     = fs.String("http", "", "serve live telemetry on this address (/metrics, /progress, /runs, /intervals, /timeline, /debug/pprof)")
 		pprofOut     = fs.String("pprof", "", "write a CPU profile of the sweep to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -123,8 +124,8 @@ func run(args []string, stdout io.Writer) error {
 		traceW = w
 		defer traceW.Close()
 	}
-	if *intervals > 0 && *intervalsOut == "" {
-		return fmt.Errorf("-intervals requires -intervals-out")
+	if *intervals > 0 && *intervalsOut == "" && *httpAddr == "" {
+		return fmt.Errorf("-intervals requires -intervals-out or -http (somewhere for the series to go)")
 	}
 	if *intervalsOut != "" {
 		if *intervals == 0 {
@@ -137,7 +138,7 @@ func run(args []string, stdout io.Writer) error {
 		intervalsW = w
 		defer intervalsW.Close()
 	}
-	if *cacheDir != "" && (traceW != nil || intervalsW != nil) {
+	if *cacheDir != "" && (traceW != nil || *intervals > 0) {
 		fmt.Fprintln(os.Stderr, "sweep: warning: -cache is bypassed while -trace or -intervals is active (non-replayable side outputs)")
 	}
 	gitRev := ""
@@ -184,7 +185,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	observed := metricsW != nil || traceW != nil || intervalsW != nil || *httpAddr != ""
+	observed := metricsW != nil || traceW != nil || *intervals > 0 || *httpAddr != ""
 	ropts := runner.Options{
 		Parallel:        *parallel,
 		Cache:           cache,
@@ -201,19 +202,45 @@ func run(args []string, stdout io.Writer) error {
 		ropts.TraceCap = *traceCap
 		ropts.TraceSink = traceW
 	}
-	if intervalsW != nil {
+	if *intervals > 0 {
 		ropts.IntervalEvery = *intervals
 		ropts.IntervalSink = intervalsW
+	}
+	var spanLog *obs.SpanLog
+	if *spansOut != "" || *httpAddr != "" {
+		spanLog = obs.NewSpanLog()
+		ropts.Spans = spanLog
+	}
+	if *spansOut != "" {
+		w, err := obs.OpenSink(*spansOut)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		spanLog.SetSink(w)
+		defer func() {
+			if serr := spanLog.SinkErr(); serr != nil {
+				fmt.Fprintf(os.Stderr, "sweep: warning: -spans sink: %v\n", serr)
+			}
+		}()
 	}
 	if *httpAddr != "" {
 		ropts.Status = &runner.Status{}
 		ropts.Manifests = obs.NewManifestLog()
-		srv, err := monitor.Start(*httpAddr, monitor.Source{Status: ropts.Status, Manifests: ropts.Manifests})
+		if *intervals > 0 {
+			ropts.Intervals = obs.NewIntervalStore(0)
+		}
+		srv, err := monitor.Start(*httpAddr, monitor.Source{
+			Status:    ropts.Status,
+			Manifests: ropts.Manifests,
+			Intervals: ropts.Intervals,
+			Spans:     spanLog,
+		})
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "sweep: live telemetry on http://%s (/metrics, /progress, /debug/pprof)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "sweep: live telemetry on http://%s (/metrics, /progress, /runs, /intervals, /timeline, /debug/pprof)\n", srv.Addr())
 	}
 
 	specs := make([]runner.Spec, 0, len(values)*len(workloads))

@@ -488,6 +488,21 @@ type SimOptions struct {
 	// from cycle-accurate warmup, so runs using it carry a distinct
 	// identity in the runner's result cache.
 	FastForward bool
+	// Phase, when non-nil, is called at the coarse lifecycle boundaries
+	// of the fast-forward and checkpoint entry points: "ffwd" or
+	// "restore" when warmup-state resolution starts, then "measure" when
+	// the measured simulation starts. Purely observational — the runner
+	// turns the callbacks into timeline spans. The plain cycle-accurate
+	// path never calls it (warmup and measurement share one RunContext
+	// call there, which the caller times as a whole).
+	Phase func(phase string)
+}
+
+// phase invokes o.Phase if set.
+func (o *SimOptions) phase(name string) {
+	if o.Phase != nil {
+		o.Phase(name)
+	}
 }
 
 // SimulateOptions is the fully-optioned simulation entry point: build a
@@ -507,9 +522,11 @@ func SimulateOptions(ctx context.Context, cfg Config, oracle Oracle, workload st
 		c.EnableChecks()
 	}
 	if o.FastForward {
+		o.phase("ffwd")
 		if err := c.FastForward(ctx, warmup); err != nil {
 			return nil, err
 		}
+		o.phase("measure")
 		return c.RunContext(ctx, 0, measure)
 	}
 	return c.RunContext(ctx, warmup, measure)

@@ -345,6 +345,7 @@ func AdvanceOracle(ctx context.Context, o Oracle, n uint64) error {
 // returned snapshot is nil on the restore path.
 func SimulateCheckpointed(ctx context.Context, cfg Config, oracle Oracle, workload string, warmup, measure uint64, o SimOptions, restore []byte) (*stats.Run, []byte, error) {
 	if restore != nil {
+		o.phase("restore")
 		if err := AdvanceOracle(ctx, oracle, warmup); err != nil {
 			return nil, nil, err
 		}
@@ -367,6 +368,7 @@ func SimulateCheckpointed(ctx context.Context, cfg Config, oracle Oracle, worklo
 			return nil, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 		}
 	} else {
+		o.phase("ffwd")
 		if err := c.FastForward(ctx, warmup); err != nil {
 			return nil, nil, err
 		}
@@ -374,6 +376,7 @@ func SimulateCheckpointed(ctx context.Context, cfg Config, oracle Oracle, worklo
 			return nil, nil, err
 		}
 	}
+	o.phase("measure")
 	run, err := c.RunContext(ctx, 0, measure)
 	if err != nil {
 		return nil, nil, err

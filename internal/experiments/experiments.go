@@ -48,6 +48,21 @@ type Options struct {
 	// (one {"run": "config/workload"} header line per run, in completion
 	// order; writes are serialized).
 	TraceSink io.Writer
+	// IntervalEvery, when > 0 together with probes, gives each run an
+	// interval time-series recorder snapshotting the cycle-accounting
+	// vector every IntervalEvery cycles (bypasses the result cache; see
+	// runner.Options).
+	IntervalEvery uint64
+	// IntervalSink, when non-nil, receives each run's interval records as
+	// JSONL at completion (see runner.Options.IntervalSink).
+	IntervalSink io.Writer
+	// Intervals, when non-nil, receives each run's interval records live
+	// as they are snapshotted — the monitor's /intervals source (see
+	// runner.Options.Intervals).
+	Intervals *obs.IntervalStore
+	// Spans, when non-nil, receives every job's lifecycle span timeline —
+	// the monitor's /timeline source (see runner.Options.Spans).
+	Spans *obs.SpanLog
 
 	// Ctx, when non-nil, cancels pending and in-flight simulations once
 	// it is done (simulations poll it; see core.SimulateContext).
@@ -98,7 +113,9 @@ type Options struct {
 
 // observed reports whether runs should carry probe sets.
 func (o *Options) observed() bool {
-	return o.Metrics || o.Manifests != nil || o.Live != nil || (o.TraceCap > 0 && o.TraceSink != nil)
+	return o.Metrics || o.Manifests != nil || o.Live != nil ||
+		(o.TraceCap > 0 && o.TraceSink != nil) ||
+		(o.IntervalEvery > 0 && (o.IntervalSink != nil || o.Intervals != nil))
 }
 
 // DefaultOptions returns the standard scaled-down evaluation: all 12
@@ -227,6 +244,10 @@ func runGrid(opts Options, configs []core.Config) (map[string]*stats.Set, error)
 		Observe:         opts.observed(),
 		TraceCap:        opts.TraceCap,
 		TraceSink:       opts.TraceSink,
+		IntervalEvery:   opts.IntervalEvery,
+		IntervalSink:    opts.IntervalSink,
+		Intervals:       opts.Intervals,
+		Spans:           opts.Spans,
 		Reg:             opts.RunnerReg,
 		Status:          opts.Status,
 		Manifests:       opts.Live,

@@ -1,17 +1,22 @@
 package monitor
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"fdp/internal/core"
 	"fdp/internal/obs"
 	"fdp/internal/runner"
+	"fdp/internal/synth"
 )
 
 func testSource() Source {
@@ -195,5 +200,387 @@ func TestStartAndClose(t *testing.T) {
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
+	}
+}
+
+// intervalSource builds a source with a populated interval store: one
+// finished run and one still-live run.
+func intervalSource() (Source, *obs.IntervalRun) {
+	src := testSource()
+	store := obs.NewIntervalStore(0)
+	doneRun := store.StartRun("aabbcc", "fdp/server_a", 1000)
+	for c := uint64(1); c <= 3; c++ {
+		doneRun.RecordInterval(obs.IntervalRecord{Cycle: c * 1000, Instructions: c * 2000})
+	}
+	doneRun.Finish()
+	live := store.StartRun("ddeeff", "fdp/client_a", 1000)
+	live.RecordInterval(obs.IntervalRecord{Cycle: 1000, Instructions: 1500})
+	src.Intervals = store
+	return src, live
+}
+
+func TestRunsEndpoint(t *testing.T) {
+	src, _ := intervalSource()
+	srv := httptest.NewServer(Handler(src))
+	defer srv.Close()
+
+	body, resp := get(t, srv, "/runs")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q, want application/json", ct)
+	}
+	var runs []obs.IntervalRunMeta
+	if err := json.Unmarshal([]byte(body), &runs); err != nil {
+		t.Fatalf("/runs body not JSON: %v\n%s", err, body)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("/runs = %+v, want 2 entries", runs)
+	}
+	if runs[0].ID != "aabbcc" || runs[0].Run != "fdp/server_a" || !runs[0].Done || runs[0].Records != 3 {
+		t.Errorf("first run meta = %+v", runs[0])
+	}
+	if runs[1].ID != "ddeeff" || runs[1].Done {
+		t.Errorf("second run meta = %+v", runs[1])
+	}
+}
+
+func TestIntervalsEndpoint(t *testing.T) {
+	src, _ := intervalSource()
+	srv := httptest.NewServer(Handler(src))
+	defer srv.Close()
+
+	// No parameters: every run's buffered records, header-framed.
+	body, resp := get(t, srv, "/intervals")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q, want application/x-ndjson", ct)
+	}
+	if !strings.Contains(body, `{"run":"fdp/server_a","every":1000}`) ||
+		!strings.Contains(body, `{"run":"fdp/client_a","every":1000}`) {
+		t.Errorf("/intervals missing run headers:\n%s", body)
+	}
+	recs, err := obs.ReadIntervalJSONL(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/intervals output unparseable: %v", err)
+	}
+	if len(recs) != 4 {
+		t.Errorf("/intervals returned %d records, want 4", len(recs))
+	}
+
+	// Selection: exact id, label, and unique prefix all resolve.
+	for _, q := range []string{"aabbcc", "fdp/server_a", "aab"} {
+		body, _ := get(t, srv, "/intervals?run="+url.QueryEscape(q))
+		recs, err := obs.ReadIntervalJSONL(strings.NewReader(body))
+		if err != nil || len(recs) != 3 {
+			t.Errorf("run=%s: %d records (%v), want 3", q, len(recs), err)
+		}
+		if strings.Contains(body, "fdp/client_a") {
+			t.Errorf("run=%s leaked another run's header", q)
+		}
+	}
+
+	// Unknown or ambiguous selectors 404; follow without run= is a 400.
+	for path, want := range map[string]int{
+		"/intervals?run=nope": http.StatusNotFound,
+		"/intervals?follow=1": http.StatusBadRequest,
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestIntervalsFollow is the live-tail acceptance test: a follow=1
+// request delivers at least two incremental flushes while the run is
+// still unfinished, then terminates when the run finishes.
+func TestIntervalsFollow(t *testing.T) {
+	src, live := intervalSource()
+	srv := httptest.NewServer(Handler(src))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/intervals?run=fdp/client_a&follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+
+	// Header first.
+	if !sc.Scan() {
+		t.Fatalf("no header line: %v", sc.Err())
+	}
+	if got := sc.Text(); !strings.Contains(got, `"run":"fdp/client_a"`) {
+		t.Fatalf("header = %q", got)
+	}
+	// Flush 1: the record buffered before the request.
+	if !sc.Scan() {
+		t.Fatalf("no first record: %v", sc.Err())
+	}
+	first, err := obs.ParseIntervalRecord(sc.Bytes())
+	if err != nil || first.Cycle != 1000 {
+		t.Fatalf("first record %v (%v), want cycle 1000", first, err)
+	}
+
+	// Flush 2: a record taken while the response is open — the live-tail
+	// property. The scanner blocks until the server flushes it.
+	live.RecordInterval(obs.IntervalRecord{Cycle: 2000, Instructions: 3100})
+	if !sc.Scan() {
+		t.Fatalf("no live record: %v", sc.Err())
+	}
+	second, err := obs.ParseIntervalRecord(sc.Bytes())
+	if err != nil || second.Cycle != 2000 {
+		t.Fatalf("live record %v (%v), want cycle 2000", second, err)
+	}
+
+	// A third incremental flush, then Finish ends the stream.
+	live.RecordInterval(obs.IntervalRecord{Cycle: 3000, Instructions: 4700})
+	if !sc.Scan() {
+		t.Fatalf("no third record: %v", sc.Err())
+	}
+	live.Finish()
+	if sc.Scan() {
+		t.Fatalf("stream did not end at Finish: %q", sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+}
+
+// TestIntervalsFollowLiveRun drives the full pipeline end to end: a
+// real Execute streams interval records through the store while an open
+// follow request tails them, proving incremental delivery before the
+// simulation completes.
+func TestIntervalsFollowLiveRun(t *testing.T) {
+	store := obs.NewIntervalStore(0)
+	srv := httptest.NewServer(Handler(Source{Intervals: store}))
+	defer srv.Close()
+
+	cfg := core.DefaultConfig()
+	w := synth.ByName("server_a")
+	sp := runner.WorkloadSpec(cfg, w, 0, 300_000)
+	label := cfg.Name + "/" + w.Name
+
+	// Pre-register the run under its spec key so the follow request can
+	// attach before the attempt begins (the runner re-registers the same
+	// id, which keeps follower cursors valid), and gate the simulation on
+	// the fault hook so every record is provably delivered while the
+	// simulation is in flight.
+	store.StartRun(sp.Key(), label, 10_000)
+	started := make(chan struct{})
+	execDone := make(chan error, 1)
+	go func() {
+		_, err := runner.Execute(context.Background(), []runner.Spec{sp}, runner.Options{
+			Parallel:      1,
+			Observe:       true,
+			IntervalEvery: 10_000,
+			Intervals:     store,
+			FaultHook: func(ctx context.Context, job, attempt int) error {
+				<-started
+				return nil
+			},
+		})
+		execDone <- err
+	}()
+
+	resp, err := srv.Client().Get(srv.URL + "/intervals?run=" + url.QueryEscape(label) + "&follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	// The header arrives before the simulation is released: everything
+	// after it is an incremental flush from a live run.
+	if !sc.Scan() || !strings.Contains(sc.Text(), `"run":`) {
+		t.Fatalf("no header line: %q (%v)", sc.Text(), sc.Err())
+	}
+	close(started)
+	var flushes, lastCycle int
+	for sc.Scan() {
+		line := sc.Bytes()
+		rec, err := obs.ParseIntervalRecord(line)
+		if err != nil {
+			t.Fatalf("bad record %q: %v", line, err)
+		}
+		if int(rec.Cycle) <= lastCycle {
+			t.Fatalf("cycle went backwards: %d after %d", rec.Cycle, lastCycle)
+		}
+		lastCycle = int(rec.Cycle)
+		flushes++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	// The acceptance bar: >= 2 incremental deliveries from a live run.
+	if flushes < 2 {
+		t.Fatalf("follow stream delivered %d records, want >= 2", flushes)
+	}
+	if err := <-execDone; err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if m, ok := store.Run(sp.Key()); !ok || !m.Done {
+		t.Fatalf("run meta after Execute = %+v, %v", m, ok)
+	}
+}
+
+func TestTimelineEndpoint(t *testing.T) {
+	src := testSource()
+	spans := obs.NewSpanLog()
+	epoch := spans.Epoch()
+	spans.Span("fdp/server_a", 0, 1, obs.SpanSimulate, epoch.Add(5*time.Millisecond), epoch.Add(9*time.Millisecond), "cold", "")
+	spans.Span("fdp/client_a", 1, 1, obs.SpanSimulate, epoch.Add(2*time.Millisecond), epoch.Add(4*time.Millisecond), "cold", "")
+	spans.Event("fdp/server_a", 0, 1, obs.SpanRetry, "transient", "boom")
+	src.Spans = spans
+	srv := httptest.NewServer(Handler(src))
+	defer srv.Close()
+
+	var doc struct {
+		Epoch string `json:"epoch"`
+		Spans []struct {
+			Run     string `json:"run"`
+			Kind    string `json:"kind"`
+			StartUS int64  `json:"start_us"`
+			DurUS   int64  `json:"dur_us"`
+			Detail  string `json:"detail"`
+			Err     string `json:"err"`
+		} `json:"spans"`
+	}
+	body, resp := get(t, srv, "/timeline")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q, want application/json", ct)
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/timeline body not JSON: %v\n%s", err, body)
+	}
+	if doc.Epoch == "" {
+		t.Error("/timeline missing epoch")
+	}
+	if len(doc.Spans) != 3 {
+		t.Fatalf("/timeline has %d spans, want 3:\n%s", len(doc.Spans), body)
+	}
+	// Sorted by start: client_a's simulate (2ms) precedes server_a's
+	// (5ms). The retry event fires at "now", so only the relative order
+	// of the two explicitly-timed spans is asserted.
+	var client, server = -1, -1
+	for i, sp := range doc.Spans {
+		switch {
+		case sp.Kind == "simulate" && sp.Run == "fdp/client_a":
+			client = i
+			if sp.StartUS != 2000 || sp.DurUS != 2000 || sp.Detail != "cold" {
+				t.Errorf("client simulate span = %+v", sp)
+			}
+		case sp.Kind == "simulate" && sp.Run == "fdp/server_a":
+			server = i
+			if sp.StartUS != 5000 || sp.DurUS != 4000 {
+				t.Errorf("server simulate span = %+v", sp)
+			}
+		case sp.Kind == "retry":
+			if sp.Err != "boom" || sp.DurUS != 0 {
+				t.Errorf("retry event = %+v", sp)
+			}
+		default:
+			t.Errorf("unexpected span %+v", sp)
+		}
+	}
+	if client == -1 || server == -1 || client > server {
+		t.Errorf("simulate spans out of start order: client=%d server=%d", client, server)
+	}
+
+	// run= filter.
+	body, _ = get(t, srv, "/timeline?run="+url.QueryEscape("fdp/server_a"))
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Spans) != 2 {
+		t.Fatalf("filtered /timeline has %d spans, want 2", len(doc.Spans))
+	}
+	for _, sp := range doc.Spans {
+		if sp.Run != "fdp/server_a" {
+			t.Errorf("filtered span from wrong run: %+v", sp)
+		}
+	}
+}
+
+// TestQueueDepthSummary: /metrics renders the queue-depth histogram as a
+// Prometheus summary with quantiles, sum and count.
+func TestQueueDepthSummary(t *testing.T) {
+	src := testSource()
+	for _, d := range []uint64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9} {
+		src.Status.ObserveQueueDepth(d)
+	}
+	srv := httptest.NewServer(Handler(src))
+	defer srv.Close()
+
+	body, _ := get(t, srv, "/metrics")
+	for _, want := range []string{
+		"# TYPE runner_queue_depth summary\n",
+		"runner_queue_depth{quantile=\"0.5\"} ",
+		"runner_queue_depth{quantile=\"0.9\"} ",
+		"runner_queue_depth{quantile=\"0.99\"} ",
+		"runner_queue_depth_sum 45\n",
+		"runner_queue_depth_count 10\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\ngot:\n%s", want, body)
+		}
+	}
+}
+
+// TestNewEndpointsNilSources: the interval/timeline endpoints stay
+// well-formed with a completely empty source.
+func TestNewEndpointsNilSources(t *testing.T) {
+	srv := httptest.NewServer(Handler(Source{}))
+	defer srv.Close()
+
+	body, _ := get(t, srv, "/runs")
+	if strings.TrimSpace(body) != "[]" {
+		t.Errorf("nil-source /runs = %q, want []", body)
+	}
+	body, _ = get(t, srv, "/intervals")
+	if strings.TrimSpace(body) != "" {
+		t.Errorf("nil-source /intervals = %q, want empty", body)
+	}
+	resp, err := srv.Client().Get(srv.URL + "/intervals?run=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("nil-source /intervals?run=x status %d, want 404", resp.StatusCode)
+	}
+	body, _ = get(t, srv, "/timeline")
+	var doc struct {
+		Spans []any `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("nil-source /timeline not JSON: %v\n%s", err, body)
+	}
+	if len(doc.Spans) != 0 {
+		t.Errorf("nil-source /timeline spans = %v, want none", doc.Spans)
+	}
+	// /metrics still renders the (empty) queue-depth summary.
+	body, _ = get(t, srv, "/metrics")
+	if !strings.Contains(body, "runner_queue_depth_count 0\n") {
+		t.Errorf("nil-source /metrics missing empty summary:\n%s", body)
+	}
+}
+
+// TestProgressBeforeAnyJob: a fresh Status (campaign configured, nothing
+// started) serves a well-formed all-zero snapshot — the pre-first-job
+// scrape regression.
+func TestProgressBeforeAnyJob(t *testing.T) {
+	srv := httptest.NewServer(Handler(Source{Status: &runner.Status{}}))
+	defer srv.Close()
+
+	body, _ := get(t, srv, "/progress")
+	var snap runner.StatusSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("progress body not JSON: %v\n%s", err, body)
+	}
+	if !reflect.DeepEqual(snap, runner.StatusSnapshot{}) {
+		t.Errorf("pre-start snapshot = %+v, want zero value", snap)
 	}
 }

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"testing"
 )
 
@@ -66,6 +67,54 @@ func FuzzHistogram(f *testing.F) {
 		}
 		if len(values) > 0 && (s.Min != min || s.Max != max) {
 			t.Fatalf("min/max = %d/%d, want %d/%d", s.Min, s.Max, min, max)
+		}
+	})
+}
+
+// FuzzSpanJSONL is the span codec's differential fuzz target: arbitrary
+// input must never panic; any line that parses must round-trip through
+// the hand-rolled encoder bit-exactly; and the hand-rolled encoding must
+// agree with encoding/json's view of the wire struct (parse of either
+// yields the same Span).
+func FuzzSpanJSONL(f *testing.F) {
+	for k := SpanKind(0); k < numSpanKinds; k++ {
+		f.Add(AppendSpanJSONL(nil, Span{Run: "fdp/server_a", Job: 3, Attempt: 1, Kind: k, Start: 12345, Dur: 678, Detail: "restored"}))
+	}
+	f.Add(AppendSpanJSONL(nil, Span{Run: `we"ird\run` + "\n\x00\x7f", Kind: SpanRetry, Start: -5, Err: "boom: \"quoted\""}))
+	f.Add([]byte(`{"r":"a/b","j":0,"a":0,"k":"queued","s":0,"d":0}`))
+	f.Add([]byte(`{"r":"x","j":1,"a":2,"k":"nope","s":3,"d":4}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		sp, err := ParseSpan(line)
+		if err != nil {
+			return
+		}
+		enc := AppendSpanJSONL(nil, sp)
+		back, err := ParseSpan(enc)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", enc, err)
+		}
+		if back != sp {
+			t.Fatalf("round trip %v -> %q -> %v", sp, enc, back)
+		}
+		// Differential check: encoding/json over the wire struct must
+		// describe the same span as the hand-rolled encoder.
+		std, err := json.Marshal(wireSpan{R: sp.Run, J: sp.Job, A: sp.Attempt, K: sp.Kind.String(), S: sp.Start, D: sp.Dur, M: sp.Detail, E: sp.Err})
+		if err != nil {
+			t.Fatalf("json.Marshal: %v", err)
+		}
+		fromStd, err := ParseSpan(std)
+		if err != nil {
+			t.Fatalf("parse of std encoding %q failed: %v", std, err)
+		}
+		if fromStd != sp {
+			t.Fatalf("codec divergence: hand-rolled %q vs std %q", enc, std)
+		}
+		// The stream reader must accept the canonical encoding too.
+		sps, err := ReadSpanJSONL(bytes.NewReader(append(enc, '\n')))
+		if err != nil || len(sps) != 1 || sps[0] != sp {
+			t.Fatalf("ReadSpanJSONL(%q) = %v, %v", enc, sps, err)
 		}
 	})
 }

@@ -57,12 +57,26 @@ func (r *IntervalRecord) L1IMPKI() float64 {
 	return 1000 * float64(r.L1IMisses) / float64(r.Instructions)
 }
 
+// IntervalTee receives interval snapshots the moment they are recorded,
+// before the run completes. It is how a live consumer (the monitor's
+// IntervalStore) observes a running simulation; the recorder's own
+// buffer stays the source of truth for the end-of-run JSONL sink. The
+// tee must be safe for calls from the simulation goroutine.
+type IntervalTee interface {
+	// RecordInterval mirrors IntervalRecorder.Record.
+	RecordInterval(IntervalRecord)
+	// ResetIntervals mirrors IntervalRecorder.Reset (the warmup/measure
+	// boundary discard).
+	ResetIntervals()
+}
+
 // IntervalRecorder collects interval snapshots for one run. Like the
 // tracer it belongs to a single run and goroutine; Record appends (the
 // backing slice grows amortized, nothing else allocates).
 type IntervalRecorder struct {
 	every uint64
 	recs  []IntervalRecord
+	tee   IntervalTee
 }
 
 // NewIntervalRecorder creates a recorder snapshotting every `every`
@@ -83,10 +97,21 @@ func (r *IntervalRecorder) Every() uint64 {
 	return r.every
 }
 
+// SetTee attaches a live consumer that is forwarded every Record and
+// Reset from now on. Safe on a nil receiver; pass nil to detach.
+func (r *IntervalRecorder) SetTee(t IntervalTee) {
+	if r != nil {
+		r.tee = t
+	}
+}
+
 // Record appends one snapshot. Safe on a nil receiver (no-op).
 func (r *IntervalRecorder) Record(rec IntervalRecord) {
 	if r != nil {
 		r.recs = append(r.recs, rec)
+		if r.tee != nil {
+			r.tee.RecordInterval(rec)
+		}
 	}
 }
 
@@ -102,6 +127,9 @@ func (r *IntervalRecorder) Records() []IntervalRecord {
 func (r *IntervalRecorder) Reset() {
 	if r != nil {
 		r.recs = r.recs[:0]
+		if r.tee != nil {
+			r.tee.ResetIntervals()
+		}
 	}
 }
 

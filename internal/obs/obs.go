@@ -191,6 +191,48 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the samples by
+// walking the cumulative bucket counts and interpolating linearly inside
+// the bucket the rank falls in, clamped to the observed [Min, Max]. An
+// empty snapshot returns 0. Power-of-two buckets make the estimate
+// coarse (within a factor of two), which is the usual trade for
+// allocation-free observation.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(s.Min)
+	}
+	if q >= 1 {
+		return float64(s.Max)
+	}
+	rank := q * float64(s.Count)
+	var seen float64
+	for _, b := range s.Buckets {
+		bc := float64(b.Count)
+		if seen+bc >= rank {
+			frac := (rank - seen) / bc
+			v := float64(b.Lo) + frac*(float64(b.Hi)-float64(b.Lo))
+			if v < float64(s.Min) {
+				v = float64(s.Min)
+			}
+			if v > float64(s.Max) {
+				v = float64(s.Max)
+			}
+			return v
+		}
+		seen += bc
+	}
+	return float64(s.Max)
+}
+
+// Quantile estimates the q-quantile of the histogram's samples; see
+// HistogramSnapshot.Quantile. Safe on a nil receiver (returns 0).
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}
+
 // Registry holds named counters and histograms. Names are created on
 // first use and stable for the registry's lifetime. Not goroutine-safe:
 // a registry belongs to exactly one simulation run.

@@ -175,3 +175,57 @@ func TestManifestCanonical(t *testing.T) {
 		t.Fatal("histogram snapshot missing from manifest")
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.99); got != 0 {
+		t.Fatalf("nil histogram quantile = %v", got)
+	}
+
+	// 100 distinct values 1..100: power-of-two buckets make the estimate
+	// coarse, but the interpolated result must stay within the bucket the
+	// true quantile falls in (a factor-of-two band).
+	var h Histogram
+	for v := uint64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	for _, c := range []struct {
+		q      float64
+		lo, hi float64
+	}{
+		{0, 1, 1},      // clamps to Min
+		{-1, 1, 1},     // below-range clamps to Min
+		{1, 100, 100},  // clamps to Max
+		{2, 100, 100},  // above-range clamps to Max
+		{0.5, 32, 64},  // true p50 = 50
+		{0.9, 64, 100}, // true p90 = 90, clamped to Max at most
+		{0.99, 64, 100},
+	} {
+		got := h.Quantile(c.q)
+		if got < c.lo || got > c.hi {
+			t.Errorf("Quantile(%v) = %v, want in [%v, %v]", c.q, got, c.lo, c.hi)
+		}
+	}
+	// Monotonic in q.
+	prev := h.Quantile(0)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile not monotonic: q=%v gives %v < %v", q, got, prev)
+		}
+		prev = got
+	}
+
+	// Single-value histogram: every quantile is that value.
+	var one Histogram
+	one.Observe(42)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); got != 42 {
+			t.Fatalf("single-value Quantile(%v) = %v", q, got)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+)
+
+// DefaultIntervalRingCap is the per-run ring capacity an IntervalStore
+// uses when none is given: at the default snapshot window this buffers
+// the most recent few hundred million cycles of each run, plenty for a
+// dashboard tail while bounding memory for arbitrarily long campaigns.
+const DefaultIntervalRingCap = 4096
+
+// IntervalStore is a concurrency-safe, ring-buffered in-memory store of
+// interval time-series for a whole campaign, keyed by run id (the spec
+// key). Simulation workers feed it live through the IntervalTee handles
+// returned by StartRun (wired into each run's IntervalRecorder), and the
+// HTTP monitor reads concurrently via Runs/Read — including blocking
+// follow-mode tails built on Watch.
+//
+// Records are sequence-numbered per run. The ring keeps the most recent
+// capacity records; readers that fall behind (or arrive late) skip the
+// dropped prefix and resume at the oldest buffered record. A warmup
+// reset clears the buffer but keeps the sequence monotonic, so follower
+// cursors stay valid across the warmup/measure boundary.
+type IntervalStore struct {
+	mu     sync.Mutex
+	perRun int
+	order  []*IntervalRun
+	byID   map[string]*IntervalRun
+	change chan struct{}
+}
+
+// NewIntervalStore creates a store whose per-run rings hold perRun
+// records (DefaultIntervalRingCap when perRun <= 0).
+func NewIntervalStore(perRun int) *IntervalStore {
+	if perRun <= 0 {
+		perRun = DefaultIntervalRingCap
+	}
+	return &IntervalStore{
+		perRun: perRun,
+		byID:   make(map[string]*IntervalRun),
+		change: make(chan struct{}),
+	}
+}
+
+// IntervalRunMeta is the serializable index entry of one stored run.
+type IntervalRunMeta struct {
+	// ID is the run's stable identity: the runner spec key.
+	ID string `json:"id"`
+	// Run is the human "config/workload" label.
+	Run string `json:"run"`
+	// Every is the snapshot window in cycles.
+	Every uint64 `json:"every"`
+	// Records is the total number of records ever recorded, including
+	// ones that have since been dropped from the ring or cleared by a
+	// warmup reset; it is the next record's sequence number.
+	Records uint64 `json:"records"`
+	// Buffered is how many of those are currently readable.
+	Buffered int `json:"buffered"`
+	// Resets counts warmup-boundary buffer clears.
+	Resets int `json:"resets"`
+	// Done reports whether the run has finished feeding the store.
+	Done bool `json:"done"`
+}
+
+// IntervalRun is one run's live ring inside an IntervalStore. It is the
+// store-side IntervalTee: attach it to the run's IntervalRecorder with
+// SetTee and every snapshot streams into the ring as it is taken. All
+// methods are safe for concurrent use (they lock the owning store) and
+// safe on a nil receiver.
+type IntervalRun struct {
+	store *IntervalStore
+	meta  IntervalRunMeta
+	buf   []IntervalRecord // ring contents, oldest at head
+	head  int
+}
+
+// StartRun registers (or restarts, on a retry attempt) the run with the
+// given id and label and returns its tee handle. Restarting clears the
+// buffered records and marks the run live again but keeps the sequence
+// numbering monotonic, so followers of the first attempt resume cleanly
+// on the second. Safe on a nil store (returns a nil handle, whose
+// methods are all no-ops).
+func (s *IntervalStore) StartRun(id, label string, every uint64) *IntervalRun {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.byID[id]
+	if !ok {
+		r = &IntervalRun{store: s, meta: IntervalRunMeta{ID: id}}
+		s.byID[id] = r
+		s.order = append(s.order, r)
+	}
+	r.meta.Run = label
+	r.meta.Every = every
+	r.meta.Done = false
+	r.buf = r.buf[:0]
+	r.head = 0
+	s.notifyLocked()
+	return r
+}
+
+// notifyLocked wakes all Watch waiters. Callers hold s.mu.
+func (s *IntervalStore) notifyLocked() {
+	close(s.change)
+	s.change = make(chan struct{})
+}
+
+// Watch returns a channel that is closed on the next store change (any
+// record, reset, registration or finish). Grab the channel *before*
+// reading, then wait on it if the read came up empty — that ordering
+// cannot miss an update. Safe on a nil store (returns nil, which blocks
+// forever; guard with a context).
+func (s *IntervalStore) Watch() <-chan struct{} {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.change
+}
+
+// RecordInterval appends one snapshot to the run's ring, dropping the
+// oldest buffered record once the ring is full.
+func (r *IntervalRun) RecordInterval(rec IntervalRecord) {
+	if r == nil {
+		return
+	}
+	s := r.store
+	s.mu.Lock()
+	if len(r.buf) < s.perRun {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.head] = rec
+		r.head++
+		if r.head == len(r.buf) {
+			r.head = 0
+		}
+	}
+	r.meta.Records++
+	s.notifyLocked()
+	s.mu.Unlock()
+}
+
+// ResetIntervals clears the buffered records at the warmup/measure
+// boundary. The sequence stays monotonic: cleared records count as
+// consumed, so followers simply see measurement records next.
+func (r *IntervalRun) ResetIntervals() {
+	if r == nil {
+		return
+	}
+	s := r.store
+	s.mu.Lock()
+	r.buf = r.buf[:0]
+	r.head = 0
+	r.meta.Resets++
+	s.notifyLocked()
+	s.mu.Unlock()
+}
+
+// Finish marks the run complete; followers drain and stop.
+func (r *IntervalRun) Finish() {
+	if r == nil {
+		return
+	}
+	s := r.store
+	s.mu.Lock()
+	r.meta.Done = true
+	s.notifyLocked()
+	s.mu.Unlock()
+}
+
+// metaLocked returns the run's meta with the derived Buffered field
+// filled in. Callers hold the store lock.
+func (r *IntervalRun) metaLocked() IntervalRunMeta {
+	m := r.meta
+	m.Buffered = len(r.buf)
+	return m
+}
+
+// Runs returns the index of all registered runs, in registration order.
+// Safe on a nil store.
+func (s *IntervalStore) Runs() []IntervalRunMeta {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]IntervalRunMeta, len(s.order))
+	for i, r := range s.order {
+		out[i] = r.metaLocked()
+	}
+	return out
+}
+
+// Run returns the index entry of one run by exact id.
+func (s *IntervalStore) Run(id string) (IntervalRunMeta, bool) {
+	if s == nil {
+		return IntervalRunMeta{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.byID[id]
+	if !ok {
+		return IntervalRunMeta{}, false
+	}
+	return r.metaLocked(), true
+}
+
+// Resolve maps a query to a run id: an exact id match wins, then an
+// exact label match, then a unique id prefix (spec keys are hex hashes,
+// so short prefixes are handy at the curl prompt). Ambiguous or unknown
+// queries return ok=false.
+func (s *IntervalStore) Resolve(q string) (string, bool) {
+	if s == nil || q == "" {
+		return "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[q]; ok {
+		return q, true
+	}
+	for _, r := range s.order {
+		if r.meta.Run == q {
+			return r.meta.ID, true
+		}
+	}
+	var match string
+	for _, r := range s.order {
+		if strings.HasPrefix(r.meta.ID, q) {
+			if match != "" {
+				return "", false // ambiguous
+			}
+			match = r.meta.ID
+		}
+	}
+	return match, match != ""
+}
+
+// Read returns the run's buffered records with sequence number >= from,
+// the cursor to pass next time, and whether the run has finished.
+// Records already dropped from the ring are skipped (the cursor jumps
+// forward past them). ok=false means the id is unknown.
+func (s *IntervalStore) Read(id string, from uint64) (recs []IntervalRecord, next uint64, done, ok bool) {
+	if s == nil {
+		return nil, from, false, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, exists := s.byID[id]
+	if !exists {
+		return nil, from, false, false
+	}
+	first := r.meta.Records - uint64(len(r.buf))
+	if from < first {
+		from = first
+	}
+	if from < r.meta.Records {
+		n := int(r.meta.Records - from)
+		recs = make([]IntervalRecord, 0, n)
+		base := int(from - first)
+		for i := 0; i < n; i++ {
+			idx := r.head + base + i
+			if idx >= len(r.buf) {
+				idx -= len(r.buf)
+			}
+			recs = append(recs, r.buf[idx])
+		}
+	}
+	return recs, r.meta.Records, r.meta.Done, true
+}

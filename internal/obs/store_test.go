@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func rec(c uint64) IntervalRecord {
+	return IntervalRecord{Cycle: c, Instructions: 2 * c}
+}
+
+func TestIntervalStoreBasics(t *testing.T) {
+	s := NewIntervalStore(8)
+	r := s.StartRun("abc123", "fdp/server_a", 1000)
+	if r == nil {
+		t.Fatal("StartRun returned nil handle")
+	}
+	for c := uint64(1); c <= 3; c++ {
+		r.RecordInterval(rec(c * 1000))
+	}
+
+	runs := s.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(runs))
+	}
+	m := runs[0]
+	if m.ID != "abc123" || m.Run != "fdp/server_a" || m.Every != 1000 ||
+		m.Records != 3 || m.Buffered != 3 || m.Resets != 0 || m.Done {
+		t.Fatalf("meta = %+v", m)
+	}
+
+	recs, next, done, ok := s.Read("abc123", 0)
+	if !ok || done || next != 3 || len(recs) != 3 {
+		t.Fatalf("Read = %v, %d, %v, %v", recs, next, done, ok)
+	}
+	for i, got := range recs {
+		if got != rec(uint64(i+1)*1000) {
+			t.Fatalf("record %d = %+v", i, got)
+		}
+	}
+	// Cursor at the end: empty read, same cursor back.
+	recs, next, _, ok = s.Read("abc123", next)
+	if !ok || len(recs) != 0 || next != 3 {
+		t.Fatalf("tail Read = %v, %d, %v", recs, next, ok)
+	}
+
+	r.Finish()
+	if _, _, done, _ := s.Read("abc123", 3); !done {
+		t.Fatal("Finish not visible to Read")
+	}
+	if m, ok := s.Run("abc123"); !ok || !m.Done {
+		t.Fatalf("Run meta after Finish = %+v, %v", m, ok)
+	}
+	if _, _, _, ok := s.Read("nope", 0); ok {
+		t.Fatal("unknown id read ok")
+	}
+}
+
+func TestIntervalStoreRingOverflow(t *testing.T) {
+	s := NewIntervalStore(4)
+	r := s.StartRun("id", "cfg/wl", 1)
+	for c := uint64(1); c <= 10; c++ {
+		r.RecordInterval(rec(c))
+	}
+	m, _ := s.Run("id")
+	if m.Records != 10 || m.Buffered != 4 {
+		t.Fatalf("meta after overflow = %+v", m)
+	}
+	// A stale cursor skips the dropped prefix and resumes at the oldest
+	// buffered record (seq 6, value 7).
+	recs, next, _, ok := s.Read("id", 2)
+	if !ok || next != 10 || len(recs) != 4 {
+		t.Fatalf("Read = %v, %d, %v", recs, next, ok)
+	}
+	for i, got := range recs {
+		if got != rec(uint64(i+7)) {
+			t.Fatalf("record %d = %+v, want cycle %d", i, got, i+7)
+		}
+	}
+	// A mid-ring cursor reads only the suffix.
+	recs, _, _, _ = s.Read("id", 8)
+	if len(recs) != 2 || recs[0] != rec(9) || recs[1] != rec(10) {
+		t.Fatalf("suffix Read = %v", recs)
+	}
+}
+
+func TestIntervalStoreResetKeepsSequence(t *testing.T) {
+	s := NewIntervalStore(8)
+	r := s.StartRun("id", "cfg/wl", 1)
+	r.RecordInterval(rec(1))
+	r.RecordInterval(rec(2))
+	r.ResetIntervals() // warmup boundary
+	r.RecordInterval(rec(100))
+
+	m, _ := s.Run("id")
+	if m.Records != 3 || m.Buffered != 1 || m.Resets != 1 {
+		t.Fatalf("meta after reset = %+v", m)
+	}
+	// A follower that consumed the warmup records keeps its cursor; the
+	// reset is invisible except that it sees only measurement records.
+	recs, next, _, ok := s.Read("id", 2)
+	if !ok || next != 3 || len(recs) != 1 || recs[0] != rec(100) {
+		t.Fatalf("post-reset Read = %v, %d, %v", recs, next, ok)
+	}
+	// A from-zero reader also lands on the measurement records.
+	recs, _, _, _ = s.Read("id", 0)
+	if len(recs) != 1 || recs[0] != rec(100) {
+		t.Fatalf("from-zero Read = %v", recs)
+	}
+}
+
+func TestIntervalStoreRestart(t *testing.T) {
+	s := NewIntervalStore(8)
+	r := s.StartRun("id", "cfg/wl", 1)
+	r.RecordInterval(rec(1))
+	r.Finish()
+
+	// Retry attempt: same id re-registers, clearing the buffer and the
+	// done flag but keeping the sequence monotonic.
+	r2 := s.StartRun("id", "cfg/wl", 1)
+	if r2 != r {
+		t.Fatal("restart allocated a new handle")
+	}
+	m, _ := s.Run("id")
+	if m.Done || m.Buffered != 0 || m.Records != 1 {
+		t.Fatalf("meta after restart = %+v", m)
+	}
+	r2.RecordInterval(rec(5))
+	recs, next, _, _ := s.Read("id", 1)
+	if len(recs) != 1 || recs[0] != rec(5) || next != 2 {
+		t.Fatalf("post-restart Read = %v, %d", recs, next)
+	}
+	if len(s.Runs()) != 1 {
+		t.Fatal("restart duplicated the index entry")
+	}
+}
+
+func TestIntervalStoreWatch(t *testing.T) {
+	s := NewIntervalStore(8)
+	r := s.StartRun("id", "cfg/wl", 1)
+
+	ch := s.Watch()
+	recs, cursor, _, _ := s.Read("id", 0)
+	if len(recs) != 0 {
+		t.Fatalf("unexpected records: %v", recs)
+	}
+	go r.RecordInterval(rec(1))
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Watch channel never closed after a record")
+	}
+	recs, _, _, _ = s.Read("id", cursor)
+	if len(recs) != 1 {
+		t.Fatalf("post-wakeup Read = %v", recs)
+	}
+
+	// Grab-before-read ordering: a record landing between Read and Watch
+	// is still seen, because the channel grabbed before the read is the
+	// one closed by that record.
+	ch = s.Watch()
+	r.RecordInterval(rec(2))
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pre-grabbed Watch channel missed the update")
+	}
+}
+
+func TestIntervalStoreResolve(t *testing.T) {
+	s := NewIntervalStore(8)
+	s.StartRun("aabb11", "fdp/server_a", 1)
+	s.StartRun("aacc22", "baseline/server_a", 1)
+
+	cases := []struct {
+		q    string
+		want string
+		ok   bool
+	}{
+		{"aabb11", "aabb11", true},       // exact id
+		{"fdp/server_a", "aabb11", true}, // exact label
+		{"aab", "aabb11", true},          // unique prefix
+		{"aacc", "aacc22", true},         // unique prefix
+		{"aa", "", false},                // ambiguous prefix
+		{"zz", "", false},                // unknown
+		{"", "", false},                  // empty
+	}
+	for _, c := range cases {
+		got, ok := s.Resolve(c.q)
+		if got != c.want || ok != c.ok {
+			t.Errorf("Resolve(%q) = %q, %v; want %q, %v", c.q, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestIntervalStoreNil(t *testing.T) {
+	var s *IntervalStore
+	r := s.StartRun("id", "x", 1)
+	if r != nil {
+		t.Fatal("nil store returned a handle")
+	}
+	r.RecordInterval(rec(1))
+	r.ResetIntervals()
+	r.Finish()
+	if s.Runs() != nil {
+		t.Fatal("nil store has runs")
+	}
+	if _, ok := s.Run("id"); ok {
+		t.Fatal("nil store resolved a run")
+	}
+	if _, ok := s.Resolve("id"); ok {
+		t.Fatal("nil store resolved a query")
+	}
+	if _, _, _, ok := s.Read("id", 0); ok {
+		t.Fatal("nil store read ok")
+	}
+	if ch := s.Watch(); ch != nil {
+		t.Fatal("nil store Watch non-nil")
+	}
+}
+
+// TestIntervalRecorderTee proves the recorder forwards snapshots and
+// resets to an attached store ring while still accumulating locally.
+func TestIntervalRecorderTee(t *testing.T) {
+	rc := NewIntervalRecorder(10)
+
+	s := NewIntervalStore(8)
+	run := s.StartRun("id", "cfg/wl", 10)
+	rc.SetTee(run)
+
+	rc.Record(IntervalRecord{Cycle: 10, Instructions: 25})
+	recs, _, _, _ := s.Read("id", 0)
+	if len(recs) != 1 || recs[0].Cycle != 10 || recs[0].Instructions != 25 {
+		t.Fatalf("teed record = %+v", recs)
+	}
+
+	rc.Reset()
+	m, _ := s.Run("id")
+	if m.Resets != 1 || m.Buffered != 0 {
+		t.Fatalf("meta after recorder reset = %+v", m)
+	}
+
+	// Detached recorder stops feeding the store but keeps accumulating.
+	rc.SetTee(nil)
+	rc.Record(IntervalRecord{Cycle: 20})
+	if m, _ := s.Run("id"); m.Records != 1 {
+		t.Fatalf("record after detach leaked to store: %+v", m)
+	}
+	if len(rc.Records()) != 1 {
+		t.Fatalf("recorder buffer = %d records, want 1", len(rc.Records()))
+	}
+}

@@ -56,6 +56,19 @@ type Options struct {
 	// completion order. Unlike the Result slice this is visible mid-run,
 	// which is what the HTTP monitor's /metrics endpoint serves.
 	Manifests *obs.ManifestLog
+	// Spans, when non-nil, receives the structured lifecycle timeline of
+	// every job: queued / ckpt_wait / restore / ffwd / simulate /
+	// cache_write spans plus cache_hit / retry / watchdog / quarantine
+	// events (see obs.SpanKind). Visible mid-run (the monitor's /timeline
+	// source) and streamable to JSONL via SpanLog.SetSink. Purely
+	// observational: emission never changes results or cache identity.
+	Spans *obs.SpanLog
+	// Intervals, when non-nil together with Observe and IntervalEvery,
+	// receives every run's interval records live as they are snapshotted
+	// (ring-buffered per run, keyed by spec key) — the monitor's
+	// /intervals and /runs source. Unlike IntervalSink, which gets whole
+	// runs at completion, the store sees records mid-simulation.
+	Intervals *obs.IntervalStore
 
 	// WatchdogTimeout, when > 0, supervises every attempt with a
 	// heartbeat deadline: an attempt whose simulation makes no forward
@@ -131,6 +144,7 @@ func Execute(ctx context.Context, specs []Spec, opts Options) ([]Result, error) 
 	results := make([]Result, len(specs))
 	useCache := opts.Cache != nil && !opts.CacheBypassed()
 	var sinkMu sync.Mutex
+	submitted := time.Now() // every spec's queued span starts here
 
 	if useCache {
 		opts.Cache.SetQuarantineHook(func() {
@@ -159,6 +173,7 @@ func Execute(ctx context.Context, specs []Spec, opts Options) ([]Result, error) 
 	err := sched.Run(ctx, len(specs), func(ctx context.Context, i int) error {
 		sp := &specs[i]
 		label := sp.Config.Name + "/" + sp.Workload
+		opts.Spans.Span(label, i, 0, obs.SpanQueued, submitted, time.Now(), "", "")
 		key := ""
 		if useCache || opts.Journal != nil {
 			key = sp.Key()
@@ -170,6 +185,7 @@ func Execute(ctx context.Context, specs []Spec, opts Options) ([]Result, error) 
 			if run, m, ok := opts.Cache.Get(key, opts.Observe); ok {
 				sched.metrics.count(sched.metrics.cacheHits)
 				opts.Status.cacheHit()
+				opts.Spans.Event(label, i, 0, obs.SpanCacheHit, "", "")
 				if m != nil {
 					opts.Manifests.Add(m)
 				}
@@ -197,10 +213,16 @@ func Execute(ctx context.Context, specs []Spec, opts Options) ([]Result, error) 
 		if ckpts != nil && sp.FFwd && sp.Warmup > 0 {
 			ckptKey = sp.CheckpointKey()
 			var aerr error
+			waitStart := time.Now()
 			ckptRestore, ckptBuild, aerr = ckpts.acquire(ctx, opts.Cache, ckptKey)
 			if aerr != nil {
 				return aerr
 			}
+			ckptMode := "hit"
+			if ckptBuild {
+				ckptMode = "build"
+			}
+			opts.Spans.Span(label, i, 0, obs.SpanCkptWait, waitStart, time.Now(), ckptMode, "")
 			if ckptBuild {
 				sched.metrics.count(sched.metrics.ckptMisses)
 				opts.Status.checkpointMiss()
@@ -231,14 +253,18 @@ func Execute(ctx context.Context, specs []Spec, opts Options) ([]Result, error) 
 					sched.metrics.count(sched.metrics.ckptRestores)
 					opts.Status.checkpointRestored()
 				}
-				if useCache {
-					opts.Cache.Put(key, res.Run, res.Manifest)
-				}
-				if opts.Journal != nil {
-					// Journal after the cache write: a journaled key
-					// promises a replayable (or at worst re-simulatable)
-					// result, never the reverse.
-					_ = opts.Journal.Record(key)
+				if useCache || opts.Journal != nil {
+					wStart := time.Now()
+					if useCache {
+						opts.Cache.Put(key, res.Run, res.Manifest)
+					}
+					if opts.Journal != nil {
+						// Journal after the cache write: a journaled key
+						// promises a replayable (or at worst re-simulatable)
+						// result, never the reverse.
+						_ = opts.Journal.Record(key)
+					}
+					opts.Spans.Span(label, i, attempt, obs.SpanCacheWrite, wStart, time.Now(), "", "")
 				}
 				return nil
 			}
@@ -249,10 +275,14 @@ func Execute(ctx context.Context, specs []Spec, opts Options) ([]Result, error) 
 				!errors.Is(err, ErrHung) {
 				return err
 			}
+			if errors.Is(err, ErrHung) {
+				opts.Spans.Event(label, i, attempt, obs.SpanWatchdog, "", err.Error())
+			}
 			lastErr = &Error{Class: Classify(err), Job: label, Attempts: attempt, Err: err}
 			if Classify(err) == ClassTransient && attempt < policy.Attempts {
 				sched.metrics.count(sched.metrics.retries)
 				opts.Status.retried()
+				opts.Spans.Event(label, i, attempt, obs.SpanRetry, Classify(err).String(), err.Error())
 				if serr := sleepCtx(ctx, policy.Backoff(attempt, seed)); serr != nil {
 					return serr
 				}
@@ -264,6 +294,7 @@ func Execute(ctx context.Context, specs []Spec, opts Options) ([]Result, error) 
 		if opts.KeepGoing {
 			sched.metrics.count(sched.metrics.quarantined)
 			opts.Status.quarantined()
+			opts.Spans.Event(label, i, 0, obs.SpanQuarantine, "", lastErr.Error())
 			quarMu.Lock()
 			if firstQuar == nil {
 				firstQuar = lastErr
@@ -322,9 +353,56 @@ func runAttempt(ctx context.Context, sp *Spec, i, attempt int, label string, opt
 		}
 		if opts.IntervalEvery > 0 {
 			p.EnableIntervals(opts.IntervalEvery)
+			if opts.Intervals != nil {
+				// Stream snapshots into the live store as they are taken.
+				// Finish on every attempt exit — a retry re-registers the
+				// same id, clearing the ring but keeping follower cursors
+				// valid (the store sequence is monotonic per id).
+				ir := opts.Intervals.StartRun(sp.Key(), label, opts.IntervalEvery)
+				p.Intervals.SetTee(ir)
+				defer ir.Finish()
+			}
 		}
 	}
+
+	// The span timeline of the simulation itself: the fast-forward and
+	// checkpoint entry points report their phase boundaries through the
+	// observational SimOptions.Phase callback (same goroutine), which we
+	// fold into restore/ffwd/simulate spans; the plain path emits one
+	// simulate span around the whole call.
+	mode := "cold"
+	switch {
+	case sp.FFwd && restore != nil:
+		mode = "restored"
+	case sp.FFwd && buildSnap:
+		mode = "build"
+	case sp.FFwd:
+		mode = "ffwd"
+	}
+	simStart := time.Now()
+	var (
+		phKind    obs.SpanKind
+		phStart   time.Time
+		phaseOpen bool
+	)
 	simOpts := core.SimOptions{Probes: p, Heartbeat: hb, Check: opts.Check, FastForward: sp.FFwd}
+	if opts.Spans != nil {
+		simOpts.Phase = func(name string) {
+			now := time.Now()
+			if phaseOpen {
+				opts.Spans.Span(label, i, attempt, phKind, phStart, now, mode, "")
+			}
+			switch name {
+			case "ffwd":
+				phKind = obs.SpanFFwd
+			case "restore":
+				phKind = obs.SpanRestore
+			default:
+				phKind = obs.SpanSimulate
+			}
+			phStart, phaseOpen = now, true
+		}
+	}
 	var run *stats.Run
 	var serr error
 	switch {
@@ -336,6 +414,7 @@ func runAttempt(ctx context.Context, sp *Spec, i, attempt int, label string, opt
 			// Damage the CRC did not catch (or a stale geometry). The run is
 			// still correct without the checkpoint: fall back to a cold
 			// fast-forward warmup.
+			mode = "fallback"
 			run, serr = core.SimulateOptions(attemptCtx, sp.Config, sp.NewOracle(), sp.Workload,
 				sp.Warmup, sp.Measure, simOpts)
 		}
@@ -345,6 +424,18 @@ func runAttempt(ctx context.Context, sp *Spec, i, attempt int, label string, opt
 	default:
 		run, serr = core.SimulateOptions(attemptCtx, sp.Config, sp.NewOracle(), sp.Workload,
 			sp.Warmup, sp.Measure, simOpts)
+	}
+	if opts.Spans != nil {
+		now := time.Now()
+		errText := ""
+		if serr != nil {
+			errText = serr.Error()
+		}
+		if phaseOpen {
+			opts.Spans.Span(label, i, attempt, phKind, phStart, now, mode, errText)
+		} else {
+			opts.Spans.Span(label, i, attempt, obs.SpanSimulate, simStart, now, mode, errText)
+		}
 	}
 	if run != nil {
 		run.Class = sp.Class

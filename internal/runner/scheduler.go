@@ -177,6 +177,7 @@ func (s *Scheduler) Run(ctx context.Context, n int, f func(ctx context.Context, 
 					return
 				}
 				s.metrics.jobStart(n - 1 - i)
+				s.status.ObserveQueueDepth(uint64(n - 1 - i))
 				s.status.jobStarted()
 				err := s.runOne(runCtx, i, f)
 				s.status.jobDone()

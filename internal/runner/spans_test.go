@@ -1,0 +1,262 @@
+package runner
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fdp/internal/core"
+	"fdp/internal/obs"
+)
+
+// spansByKind indexes a span log by kind, keeping emission order.
+func spansByKind(l *obs.SpanLog) map[obs.SpanKind][]obs.Span {
+	byKind := make(map[obs.SpanKind][]obs.Span)
+	for _, sp := range l.All() {
+		byKind[sp.Kind] = append(byKind[sp.Kind], sp)
+	}
+	return byKind
+}
+
+// TestExecuteSpans: a plain grid emits one queued and one simulate span
+// per job, with sane timing (non-negative offsets/durations, simulate
+// inside the campaign) and the config/workload run label.
+func TestExecuteSpans(t *testing.T) {
+	specs := smallSpecs(t)
+	spans := obs.NewSpanLog()
+	cache, _ := NewCache(0, "")
+	opts := Options{Parallel: 2, Cache: cache, Spans: spans}
+	if _, err := Execute(context.Background(), specs, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	byKind := spansByKind(spans)
+	if got := len(byKind[obs.SpanQueued]); got != len(specs) {
+		t.Fatalf("%d queued spans, want %d", got, len(specs))
+	}
+	if got := len(byKind[obs.SpanSimulate]); got != len(specs) {
+		t.Fatalf("%d simulate spans, want %d", got, len(specs))
+	}
+	if got := len(byKind[obs.SpanCacheWrite]); got != len(specs) {
+		t.Fatalf("%d cache_write spans, want %d", got, len(specs))
+	}
+	for _, sp := range spans.All() {
+		if sp.Start < 0 || sp.Dur < 0 {
+			t.Fatalf("span with negative timing: %+v", sp)
+		}
+		if sp.Err != "" {
+			t.Fatalf("span with error on a clean run: %+v", sp)
+		}
+	}
+	for _, sim := range byKind[obs.SpanSimulate] {
+		if sim.Job < 0 || sim.Job >= len(specs) {
+			t.Fatalf("simulate span job index out of range: %+v", sim)
+		}
+		sp := specs[sim.Job]
+		if sim.Run != sp.Config.Name+"/"+sp.Workload {
+			t.Fatalf("simulate span run label = %q for job %d", sim.Run, sim.Job)
+		}
+		if sim.Attempt != 1 || sim.Detail != "cold" {
+			t.Fatalf("simulate span attempt/detail = %d/%q, want 1/cold", sim.Attempt, sim.Detail)
+		}
+	}
+
+	// Warm rerun: every job is a cache hit — no simulate or cache_write
+	// spans, one cache_hit event per job.
+	warm := obs.NewSpanLog()
+	opts.Spans = warm
+	if _, err := Execute(context.Background(), specs, opts); err != nil {
+		t.Fatal(err)
+	}
+	wk := spansByKind(warm)
+	if got := len(wk[obs.SpanCacheHit]); got != len(specs) {
+		t.Fatalf("%d cache_hit events on warm run, want %d", got, len(specs))
+	}
+	if len(wk[obs.SpanSimulate]) != 0 || len(wk[obs.SpanCacheWrite]) != 0 {
+		t.Fatalf("warm run simulated: %+v", warm.All())
+	}
+}
+
+// TestExecuteSpansFFwd: a plain fast-forward run splits its timeline
+// into an ffwd span and a measure span (the measure span keeps the
+// simulate kind).
+func TestExecuteSpansFFwd(t *testing.T) {
+	spans := obs.NewSpanLog()
+	specs := []Spec{ffwdSpec(t, core.DefaultConfig(), "server_a", 10_000, 10_000)}
+	if _, err := Execute(context.Background(), specs, Options{Parallel: 1, Spans: spans}); err != nil {
+		t.Fatal(err)
+	}
+	byKind := spansByKind(spans)
+	if len(byKind[obs.SpanFFwd]) != 1 || len(byKind[obs.SpanSimulate]) != 1 {
+		t.Fatalf("ffwd/simulate spans = %d/%d, want 1/1: %+v",
+			len(byKind[obs.SpanFFwd]), len(byKind[obs.SpanSimulate]), spans.All())
+	}
+	ff, sim := byKind[obs.SpanFFwd][0], byKind[obs.SpanSimulate][0]
+	if ff.Detail != "ffwd" || sim.Detail != "ffwd" {
+		t.Fatalf("ffwd-mode details = %q/%q, want ffwd", ff.Detail, sim.Detail)
+	}
+	if sim.Start < ff.Start+ff.Dur {
+		t.Fatalf("measure span starts at %d, inside the ffwd span [%d,%d]",
+			sim.Start, ff.Start, ff.Start+ff.Dur)
+	}
+}
+
+// TestExecuteSpansCheckpoint: a checkpointed timing sweep shows one
+// builder (ckpt_wait "build" + ffwd span) and n-1 restorers (ckpt_wait
+// "hit" + restore span), each followed by a measure span.
+func TestExecuteSpansCheckpoint(t *testing.T) {
+	const n = 3
+	specs := timingSweepSpecs(t, n)
+	cache, err := NewCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := obs.NewSpanLog()
+	opts := Options{Parallel: n, Cache: cache, Checkpoint: true, Spans: spans}
+	if _, err := Execute(context.Background(), specs, opts); err != nil {
+		t.Fatal(err)
+	}
+	byKind := spansByKind(spans)
+	if got := len(byKind[obs.SpanCkptWait]); got != n {
+		t.Fatalf("%d ckpt_wait spans, want %d", got, n)
+	}
+	var builds, hits int
+	for _, sp := range byKind[obs.SpanCkptWait] {
+		switch sp.Detail {
+		case "build":
+			builds++
+		case "hit":
+			hits++
+		default:
+			t.Fatalf("ckpt_wait detail = %q", sp.Detail)
+		}
+	}
+	if builds != 1 || hits != n-1 {
+		t.Fatalf("builds/hits = %d/%d, want 1/%d", builds, hits, n-1)
+	}
+	if got := len(byKind[obs.SpanFFwd]); got != 1 {
+		t.Fatalf("%d ffwd spans, want 1 (the builder)", got)
+	}
+	if byKind[obs.SpanFFwd][0].Detail != "build" {
+		t.Fatalf("builder ffwd detail = %q, want build", byKind[obs.SpanFFwd][0].Detail)
+	}
+	if got := len(byKind[obs.SpanRestore]); got != n-1 {
+		t.Fatalf("%d restore spans, want %d", got, n-1)
+	}
+	for _, sp := range byKind[obs.SpanRestore] {
+		if sp.Detail != "restored" {
+			t.Fatalf("restore detail = %q, want restored", sp.Detail)
+		}
+	}
+	if got := len(byKind[obs.SpanSimulate]); got != n {
+		t.Fatalf("%d measure spans, want %d", got, n)
+	}
+}
+
+// TestExecuteSpansRetry: an injected transient fault produces a retry
+// event carrying the error class, and the second attempt's simulate
+// span has attempt 2.
+func TestExecuteSpansRetry(t *testing.T) {
+	specs := smallSpecs(t)[:1]
+	spans := obs.NewSpanLog()
+	_, err := Execute(context.Background(), specs, Options{
+		Parallel: 1,
+		Spans:    spans,
+		Retry:    RetryPolicy{Attempts: 3, Base: time.Millisecond, Cap: 2 * time.Millisecond},
+		FaultHook: func(ctx context.Context, job, attempt int) error {
+			if attempt == 1 {
+				panic("injected transient fault")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKind := spansByKind(spans)
+	retries := byKind[obs.SpanRetry]
+	if len(retries) != 1 {
+		t.Fatalf("%d retry events, want 1: %+v", len(retries), spans.All())
+	}
+	if retries[0].Detail != "transient" || retries[0].Err == "" {
+		t.Fatalf("retry event = %+v, want transient class and an error", retries[0])
+	}
+	sims := byKind[obs.SpanSimulate]
+	if len(sims) != 1 || sims[0].Attempt != 2 {
+		t.Fatalf("simulate spans = %+v, want one with attempt 2", sims)
+	}
+}
+
+// TestExecuteSpansQuarantine: with KeepGoing a terminally failing job
+// emits a quarantine event instead of failing the grid.
+func TestExecuteSpansQuarantine(t *testing.T) {
+	specs := smallSpecs(t)[:2]
+	spans := obs.NewSpanLog()
+	results, err := Execute(context.Background(), specs, Options{
+		Parallel:  1,
+		Spans:     spans,
+		KeepGoing: true,
+		Retry:     RetryPolicy{Attempts: 2, Base: time.Millisecond, Cap: 2 * time.Millisecond},
+		FaultHook: func(ctx context.Context, job, attempt int) error {
+			if job == 0 {
+				panic("always failing")
+			}
+			return nil
+		},
+	})
+	if err == nil {
+		t.Fatal("KeepGoing run did not surface the quarantined error")
+	}
+	if results[0].Err == nil || results[1].Err != nil {
+		t.Fatalf("results = %v / %v, want job 0 failed only", results[0].Err, results[1].Err)
+	}
+	byKind := spansByKind(spans)
+	if len(byKind[obs.SpanQuarantine]) != 1 {
+		t.Fatalf("%d quarantine events, want 1", len(byKind[obs.SpanQuarantine]))
+	}
+	if byKind[obs.SpanQuarantine][0].Err == "" {
+		t.Fatal("quarantine event carries no error")
+	}
+}
+
+// TestExecuteIntervalStoreStreaming: runs with IntervalEvery and a store
+// feed their interval series into the store's rings, sequence-numbered
+// and marked done when the run finishes.
+func TestExecuteIntervalStoreStreaming(t *testing.T) {
+	specs := smallSpecs(t)[:2]
+	store := obs.NewIntervalStore(0)
+	opts := Options{Parallel: 2, Observe: true, IntervalEvery: 1000, Intervals: store}
+	if _, err := Execute(context.Background(), specs, opts); err != nil {
+		t.Fatal(err)
+	}
+	runs := store.Runs()
+	if len(runs) != len(specs) {
+		t.Fatalf("%d runs in store, want %d", len(runs), len(specs))
+	}
+	for _, m := range runs {
+		if !m.Done {
+			t.Fatalf("run %s not marked done: %+v", m.Run, m)
+		}
+		if m.Records == 0 || m.Buffered == 0 {
+			t.Fatalf("run %s streamed no records: %+v", m.Run, m)
+		}
+		recs, next, done, ok := store.Read(m.ID, 0)
+		if !ok || !done || next != m.Records || len(recs) != m.Buffered {
+			t.Fatalf("Read(%s) = %d recs, next=%d done=%v ok=%v", m.ID, len(recs), next, done, ok)
+		}
+		// The streamed series is the run's own measurement series: the
+		// records' windows sum to the run's measured cycles budget shape
+		// (every window non-empty, cycles monotonic).
+		var prev uint64
+		for i, r := range recs {
+			if r.Cycle <= prev {
+				t.Fatalf("run %s record %d cycle %d not increasing", m.Run, i, r.Cycle)
+			}
+			prev = r.Cycle
+		}
+	}
+	// The two specs resolve by config/workload label.
+	if _, ok := store.Resolve(specs[0].Config.Name + "/" + specs[0].Workload); !ok {
+		t.Fatal("label resolution failed for a streamed run")
+	}
+}

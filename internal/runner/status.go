@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"fdp/internal/core"
+	"fdp/internal/obs"
 )
 
 // Status is the live progress view of an Execute call, built for
@@ -50,6 +51,14 @@ type Status struct {
 
 	mu   sync.Mutex
 	jobs map[int]*jobStatus
+
+	// queueDepth mirrors the runner_queue_depth histogram under Status's
+	// own lock. The obs registry handed to the scheduler is locked only
+	// on the write side (schedMetrics), so the monitor must never read it
+	// mid-run; this mirror is the concurrent-read-safe copy the /metrics
+	// quantile summary is served from.
+	qmu        sync.Mutex
+	queueDepth obs.Histogram
 }
 
 // jobStatus is the live view of one in-flight attempt.
@@ -237,6 +246,30 @@ func (s *Status) checkpointRestored() {
 	if s != nil {
 		s.CheckpointRestores.Add(1)
 	}
+}
+
+// ObserveQueueDepth samples the backlog at a job start. Execute calls
+// this from the scheduler; it is exported, like TrackJob, so alternative
+// runners can feed the same monitor.
+func (s *Status) ObserveQueueDepth(d uint64) {
+	if s == nil {
+		return
+	}
+	s.qmu.Lock()
+	s.queueDepth.Observe(d)
+	s.qmu.Unlock()
+}
+
+// QueueDepthSnapshot returns the queue-depth histogram observed so far
+// (samples taken at every job start). Safe for concurrent use and on a
+// nil receiver.
+func (s *Status) QueueDepthSnapshot() obs.HistogramSnapshot {
+	if s == nil {
+		return obs.HistogramSnapshot{}
+	}
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return s.queueDepth.Snapshot()
 }
 
 // TrackJob registers job i's current attempt (and its heartbeat) for

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"fdp/internal/obs"
 )
 
 func TestRunDerivedMetrics(t *testing.T) {
@@ -342,5 +344,29 @@ func TestRunCountersComplete(t *testing.T) {
 		if math.IsNaN(d) || math.IsInf(d, 0) {
 			t.Errorf("derived %s non-finite: %v", name, d)
 		}
+	}
+}
+
+// TestAcctShareZeroCycles: a run that accounted nothing (zero-cycle
+// measurement, e.g. a 0-budget smoke run) must not divide by zero — every
+// bucket's share is 0, and shares of a populated run sum to 1.
+func TestAcctShareZeroCycles(t *testing.T) {
+	var empty Run
+	for b := 0; b < obs.NumAcctBuckets; b++ {
+		if got := empty.AcctShare(b); got != 0 {
+			t.Fatalf("zero-cycle AcctShare(%d) = %v, want 0", b, got)
+		}
+	}
+
+	var run Run
+	for b := 0; b < obs.NumAcctBuckets; b++ {
+		run.Acct[b] = uint64(b + 1)
+	}
+	var sum float64
+	for b := 0; b < obs.NumAcctBuckets; b++ {
+		sum += run.AcctShare(b)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("bucket shares sum to %v, want 1", sum)
 	}
 }
