@@ -33,6 +33,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzCheckpoint -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzScorecardJSON -fuzztime=$(FUZZTIME) ./internal/repro
 	$(GO) test -run=^$$ -fuzz=FuzzWorkloadSpec -fuzztime=$(FUZZTIME) ./internal/wspec
+	$(GO) test -run=^$$ -fuzz=FuzzResultEnvelope -fuzztime=$(FUZZTIME) ./internal/dist
 
 # Benchmark knobs: BENCHTIME bounds the go-test benchmarks (1x keeps the
 # 17-benchmark sweep fast; raise for stable numbers), BENCHREPS is the
@@ -84,7 +85,10 @@ accounting-check:
 
 # Seeded fault-injection gate: inject a panic, a hang, a corrupt cache
 # entry, and a kill -9 mid-campaign, and assert the runner survives each
-# the advertised way (retry, watchdog, quarantine, journal resume). See
+# the advertised way (retry, watchdog, quarantine, journal resume); then
+# run a distributed campaign over three worker processes while one is
+# SIGKILLed, one hangs every lease, and the network flips bits, and
+# assert the results are byte-identical to a clean local run. See
 # docs/ROBUSTNESS.md and cmd/chaos.
 chaos-check:
 	$(GO) run ./cmd/chaos
@@ -106,9 +110,9 @@ spec-check:
 
 # Coverage gate: per-package `go test -short -cover` (the per-package
 # lines are the useful CI log), then the aggregate statement coverage
-# checked against COVERFLOOR. The aggregate measured 72.4% as of the
-# observability PR (2026-08); the floor sits a few points below so it
-# trips on real coverage regressions, not refactoring noise.
+# checked against COVERFLOOR. The aggregate measured 71.4% as of the
+# distributed-execution PR (2026-08); the floor sits a couple of points
+# below so it trips on real coverage regressions, not refactoring noise.
 COVERFLOOR ?= 69.5
 COVERPROFILE ?= cover.out
 

@@ -1,0 +1,76 @@
+// Command fdpworker serves the distributed execution worker: it accepts
+// leased simulation jobs from a coordinator (any frontend started with
+// -workers), runs them through the same local runner.Execute path a
+// single-box run uses, and streams heartbeats plus a CRC-sealed result
+// envelope back. Results are byte-identical to local execution.
+//
+// Usage:
+//
+//	fdpworker -listen :9131
+//	fdpworker -listen :9131 -slots 4 -cache ./fdp-cache -checkpoint
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"fdp/internal/dist"
+	"fdp/internal/obs"
+	"fdp/internal/runner"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":9131", "address to serve the worker protocol on (use :0 for an ephemeral port)")
+		slots      = flag.Int("slots", 0, "concurrent leases to accept (0 = GOMAXPROCS); excess leases are refused with 503 and routed to other workers")
+		cacheDir   = flag.String("cache", "", "worker-local result cache directory (re-leased specs replay instead of re-simulating)")
+		checkpoint = flag.Bool("checkpoint", false, "reuse post-warmup checkpoints across leases (uses a memory-only store without -cache)")
+		watchdog   = flag.Duration("watchdog", 0, "per-lease local progress watchdog (0 = off; coordinators detect hangs via lease expiry and reassign, so this is usually left off)")
+		quiet      = flag.Bool("quiet", false, "suppress the startup line")
+	)
+	flag.Parse()
+
+	var cache *runner.Cache
+	var err error
+	if *cacheDir != "" {
+		cache, err = runner.NewCache(runner.DefaultCacheCapacity, *cacheDir)
+		if err != nil {
+			fatal("%v", err)
+		}
+	} else if *checkpoint {
+		cache, err = runner.NewCache(runner.DefaultCacheCapacity, "")
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	wk := dist.NewWorker(dist.WorkerOptions{
+		Slots:      *slots,
+		Cache:      cache,
+		Checkpoint: *checkpoint,
+		Watchdog:   *watchdog,
+		Manifests:  obs.NewManifestLog(),
+	})
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if !*quiet {
+		// The fixed prefix is the re-exec handshake: cmd/chaos parses it to
+		// learn a :0 child's port.
+		fmt.Printf("fdpworker: listening on %s (proto %d, epoch %d)\n",
+			ln.Addr(), dist.ProtoVersion, runner.Epoch)
+	}
+	srv := &http.Server{Handler: wk.Handler()}
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "fdpworker: "+format+"\n", args...)
+	os.Exit(1)
+}

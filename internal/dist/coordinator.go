@@ -1,0 +1,804 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fdp/internal/obs"
+	"fdp/internal/runner"
+	"fdp/internal/stats"
+)
+
+// Config configures a Coordinator. The zero value of every field is
+// usable; only Workers is required.
+type Config struct {
+	// Workers are the worker base URLs ("http://host:port").
+	Workers []string
+	// Client issues the lease requests. Replaceable for fault injection
+	// (faultkit.NewTransport); defaults to a plain streaming client.
+	Client *http.Client
+	// LeaseTimeout is the progress deadline of one lease: a worker whose
+	// heartbeat stream shows no forward progress for this long has its
+	// lease expired and reassigned (default 15s). This — not the local
+	// watchdog — is the distributed hang detector, because expiry
+	// reassigns the job to a surviving worker instead of failing it.
+	LeaseTimeout time.Duration
+	// HeartbeatEvery is the heartbeat cadence requested from workers
+	// (default LeaseTimeout/5, clamped to [10ms, 1s]).
+	HeartbeatEvery time.Duration
+	// MaxLeases bounds lease assignments per job per attempt (default
+	// 3 per worker, minimum 4).
+	MaxLeases int
+	// MaxWorkerFails is how many consecutive lease failures mark a
+	// worker lost (default 3). Version skew loses a worker immediately.
+	MaxWorkerFails int
+	// MaxCorrupt bounds corrupt envelopes tolerated per job before the
+	// job fails with the corrupt class (default 3) — a persistently
+	// corrupting link must not retry forever.
+	MaxCorrupt int
+	// Backoff paces reassignments (Base/Cap only; default 25ms–500ms).
+	// Jitter is deterministic per (spec key, assignment), like the
+	// runner's retry backoff.
+	Backoff runner.RetryPolicy
+}
+
+func (c Config) normalized() Config {
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = 15 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = c.LeaseTimeout / 5
+	}
+	if c.HeartbeatEvery < 10*time.Millisecond {
+		c.HeartbeatEvery = 10 * time.Millisecond
+	}
+	if c.HeartbeatEvery > time.Second {
+		c.HeartbeatEvery = time.Second
+	}
+	if c.MaxLeases <= 0 {
+		c.MaxLeases = 3 * len(c.Workers)
+		if c.MaxLeases < 4 {
+			c.MaxLeases = 4
+		}
+	}
+	if c.MaxWorkerFails <= 0 {
+		c.MaxWorkerFails = 3
+	}
+	if c.MaxCorrupt <= 0 {
+		c.MaxCorrupt = 3
+	}
+	if c.Backoff.Base <= 0 {
+		c.Backoff.Base = 25 * time.Millisecond
+	}
+	if c.Backoff.Cap <= 0 {
+		c.Backoff.Cap = 500 * time.Millisecond
+	}
+	return c
+}
+
+// workerState is the coordinator's view of one worker.
+type workerState struct {
+	url string
+
+	mu          sync.Mutex
+	lost        bool
+	lostReason  string
+	consecFails int
+	inflight    int
+	slots       int
+	lease       string // most recent lease label, "" when idle
+	lastBeat    time.Time
+	done        int64
+	failed      int64
+}
+
+func (w *workerState) leaseStart(label string) {
+	w.mu.Lock()
+	w.inflight++
+	w.lease = label
+	w.mu.Unlock()
+}
+
+func (w *workerState) beat() {
+	w.mu.Lock()
+	w.lastBeat = time.Now()
+	w.mu.Unlock()
+}
+
+func (w *workerState) leaseDone() {
+	w.mu.Lock()
+	w.inflight--
+	w.lease = ""
+	w.done++
+	w.consecFails = 0
+	w.mu.Unlock()
+}
+
+// leaseFailed records a failed lease; it reports whether this failure
+// crossed the consecutive-failure threshold and lost the worker.
+func (w *workerState) leaseFailed(maxFails int, reason string) (lostNow bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.inflight--
+	w.lease = ""
+	w.failed++
+	w.consecFails++
+	if !w.lost && w.consecFails >= maxFails {
+		w.lost = true
+		w.lostReason = reason
+		return true
+	}
+	return false
+}
+
+// lose marks the worker permanently dead (version skew); reports
+// whether this call made the transition.
+func (w *workerState) lose(reason string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.lost {
+		return false
+	}
+	w.lost = true
+	w.lostReason = reason
+	return true
+}
+
+func (w *workerState) usable() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return !w.lost
+}
+
+// Coordinator implements runner.Backend over a fleet of HTTP workers.
+// One Coordinator serves any number of concurrent BackendJob calls (the
+// scheduler pool); all fleet state is internally synchronized.
+type Coordinator struct {
+	cfg     Config
+	workers []*workerState
+	nextRR  atomic.Int64 // round-robin tiebreak cursor
+
+	// Campaign counters (FleetSnapshot).
+	leases    atomic.Int64
+	reassigns atomic.Int64
+	expired   atomic.Int64
+	corrupt   atomic.Int64
+	dups      atomic.Int64
+	lostN     atomic.Int64
+	fallbacks atomic.Int64
+}
+
+var _ runner.Backend = (*Coordinator)(nil)
+
+// NewCoordinator builds a coordinator over the given fleet. Call Check
+// to probe /healthz eagerly (version handshake, capacity); without it
+// workers are assumed single-slot and skew is caught at the first
+// envelope.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("dist: no workers configured")
+	}
+	cfg = cfg.normalized()
+	c := &Coordinator{cfg: cfg}
+	seen := map[string]bool{}
+	for _, raw := range cfg.Workers {
+		u, err := url.Parse(strings.TrimRight(raw, "/"))
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("dist: bad worker URL %q (want http://host:port)", raw)
+		}
+		base := u.Scheme + "://" + u.Host
+		if seen[base] {
+			return nil, fmt.Errorf("dist: duplicate worker %q", base)
+		}
+		seen[base] = true
+		c.workers = append(c.workers, &workerState{url: base, slots: 1})
+	}
+	return c, nil
+}
+
+// FromFlag builds a coordinator from a -workers flag value (comma-
+// separated worker base URLs) with default fault tolerance.
+func FromFlag(list string) (*Coordinator, error) {
+	var urls []string
+	for _, tok := range strings.Split(list, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			urls = append(urls, tok)
+		}
+	}
+	return NewCoordinator(Config{Workers: urls})
+}
+
+// Check probes every worker's /healthz: it records capacity, loses
+// version-skewed workers immediately, and fails only when not a single
+// worker is healthy — a partially-up fleet is a working fleet.
+func (c *Coordinator) Check(ctx context.Context) error {
+	var errs []string
+	healthy := 0
+	for _, w := range c.workers {
+		hello, err := c.hello(ctx, w)
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", w.url, err))
+			continue
+		}
+		if hello.Proto != ProtoVersion || hello.Epoch != runner.Epoch {
+			reason := fmt.Sprintf("version skew: worker proto=%d epoch=%d, coordinator proto=%d epoch=%d",
+				hello.Proto, hello.Epoch, ProtoVersion, runner.Epoch)
+			if w.lose(reason) {
+				c.lostN.Add(1)
+			}
+			errs = append(errs, fmt.Sprintf("%s: %s", w.url, reason))
+			continue
+		}
+		w.mu.Lock()
+		if hello.Slots > 0 {
+			w.slots = hello.Slots
+		}
+		w.mu.Unlock()
+		healthy++
+	}
+	if healthy == 0 {
+		return fmt.Errorf("dist: no healthy workers: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+func (c *Coordinator) hello(ctx context.Context, w *workerState) (*Hello, error) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+	var h Hello
+	if err := json.NewDecoder(io2MB(resp)).Decode(&h); err != nil {
+		return nil, fmt.Errorf("healthz: %w", err)
+	}
+	return &h, nil
+}
+
+// pick chooses the lease target: a usable worker, preferring free slots
+// over oversubscription, fewer consecutive failures, then lower load,
+// avoiding skipURL when any alternative exists. Returns nil when the
+// whole fleet is lost.
+func (c *Coordinator) pick(skipURL string) *workerState {
+	type cand struct {
+		w                *workerState
+		free             bool
+		consecFails, inflight int
+	}
+	var cands []cand
+	for _, w := range c.workers {
+		w.mu.Lock()
+		if !w.lost {
+			cands = append(cands, cand{w: w, free: w.inflight < w.slots,
+				consecFails: w.consecFails, inflight: w.inflight})
+		}
+		w.mu.Unlock()
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	if len(cands) > 1 && skipURL != "" {
+		kept := cands[:0]
+		for _, cd := range cands {
+			if cd.w.url != skipURL {
+				kept = append(kept, cd)
+			}
+		}
+		if len(kept) > 0 {
+			cands = kept
+		}
+	}
+	best := cands[0]
+	for _, cd := range cands[1:] {
+		switch {
+		case cd.free != best.free:
+			if cd.free {
+				best = cd
+			}
+		case cd.consecFails != best.consecFails:
+			if cd.consecFails < best.consecFails {
+				best = cd
+			}
+		case cd.inflight < best.inflight:
+			best = cd
+		}
+	}
+	return best.w
+}
+
+// loseWorker marks a worker dead and emits the worker_lost event on the
+// observing job's timeline.
+func (c *Coordinator) loseWorker(w *workerState, reason string, job runner.BackendJob) {
+	if w.lose(reason) {
+		c.lostN.Add(1)
+		job.Spans.Event(job.Label, job.Index, job.Attempt, obs.SpanWorkerLost, w.url, reason)
+	}
+}
+
+// outcome is one lease's terminal report (or its expiry notice).
+type outcome struct {
+	run     *stats.Run
+	m       *obs.Manifest
+	err     error
+	w       *workerState
+	assign  int
+	expired bool // expiry notice: the lease keeps draining in the background
+}
+
+// raceSlot is the per-job first-valid-result-wins gate. Expired leases
+// keep draining while a replacement runs; whichever produces a valid
+// envelope first claims the slot, and any later valid result is counted
+// as a deduped double-completion and dropped.
+type raceSlot struct {
+	mu  sync.Mutex
+	won bool
+}
+
+func (r *raceSlot) claim() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.won {
+		return false
+	}
+	r.won = true
+	return true
+}
+
+// Run implements runner.Backend: lease the spec out, supervise the
+// lease, reassign on expiry or classified-transient failure, and return
+// the first valid result. Deterministic failure classes return as-is
+// (the runner's retry loop and quarantine own the policy); losing the
+// whole fleet returns runner.ErrBackendUnavailable so Execute degrades
+// to local execution.
+func (c *Coordinator) Run(ctx context.Context, job runner.BackendJob) (*stats.Run, *obs.Manifest, error) {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	race := &raceSlot{}
+	// Buffered for every possible message: one expiry notice plus one
+	// final outcome per lease, so no lease goroutine ever blocks on a
+	// departed Run.
+	results := make(chan outcome, 2*c.cfg.MaxLeases+2)
+
+	var (
+		launched   int
+		active     int
+		corruptN   int
+		lastErr    error
+		skipURL    string
+	)
+	launch := func() bool {
+		if launched >= c.cfg.MaxLeases {
+			return false
+		}
+		w := c.pick(skipURL)
+		if w == nil {
+			return false
+		}
+		launched++
+		active++
+		c.leases.Add(1)
+		go c.runLease(runCtx, w, job, launched, race, results)
+		return true
+	}
+	if !launch() {
+		c.fallbacks.Add(1)
+		return nil, nil, fmt.Errorf("%w: every worker is lost", runner.ErrBackendUnavailable)
+	}
+
+	reassign := func(o outcome, class string, detail error) error {
+		c.reassigns.Add(1)
+		job.Spans.Event(job.Label, job.Index, job.Attempt, obs.SpanReassign, class, detail.Error())
+		skipURL = o.w.url
+		if serr := sleepCtx(runCtx, c.cfg.Backoff.Backoff(o.assign, runner.BackoffSeed(job.Key))); serr != nil {
+			return serr
+		}
+		launch() // false when budget or fleet is exhausted; the loop drains
+		return nil
+	}
+
+	for active > 0 {
+		var o outcome
+		select {
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		case o = <-results:
+		}
+		if o.expired {
+			// The lease showed no forward progress for LeaseTimeout. It
+			// keeps draining in the background (a slow-but-alive worker can
+			// still win the race); for assignment purposes it has failed.
+			active--
+			c.expired.Add(1)
+			lastErr = fmt.Errorf("dist: lease %d on %s expired (no progress for %v)", o.assign, o.w.url, c.cfg.LeaseTimeout)
+			if o.w.leaseFailed(c.cfg.MaxWorkerFails, "lease expired") {
+				c.lostN.Add(1)
+				job.Spans.Event(job.Label, job.Index, job.Attempt, obs.SpanWorkerLost, o.w.url, "consecutive lease failures")
+			}
+			if err := reassign(o, "lease-expired", lastErr); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		if o.err == nil {
+			o.w.leaseDone()
+			return o.run, o.m, nil
+		}
+		active--
+		lastErr = o.err
+		class := runner.Classify(o.err)
+		switch {
+		case errors.Is(o.err, ErrVersionSkew):
+			// Skew is fatal for the worker, not the job: quarantine the
+			// worker and run the spec elsewhere.
+			o.w.leaseFailed(c.cfg.MaxWorkerFails, "version skew")
+			c.loseWorker(o.w, o.err.Error(), job)
+			if err := reassign(o, "version-skew", o.err); err != nil {
+				return nil, nil, err
+			}
+		case class == runner.ClassCorruptInput:
+			corruptN++
+			c.corrupt.Add(1)
+			if o.w.leaseFailed(c.cfg.MaxWorkerFails, "corrupt results") {
+				c.lostN.Add(1)
+				job.Spans.Event(job.Label, job.Index, job.Attempt, obs.SpanWorkerLost, o.w.url, "consecutive lease failures")
+			}
+			if corruptN >= c.cfg.MaxCorrupt {
+				// A persistently corrupting path: stop burning the fleet on
+				// this job and surface the corrupt class.
+				return nil, nil, &runner.Error{Class: runner.ClassCorruptInput, Job: job.Label, Attempts: o.assign, Err: o.err}
+			}
+			if err := reassign(o, "corrupt", o.err); err != nil {
+				return nil, nil, err
+			}
+		case class == runner.ClassTransient:
+			if o.w.leaseFailed(c.cfg.MaxWorkerFails, "consecutive lease failures") {
+				c.lostN.Add(1)
+				job.Spans.Event(job.Label, job.Index, job.Attempt, obs.SpanWorkerLost, o.w.url, "consecutive lease failures")
+			}
+			if err := reassign(o, "transient", o.err); err != nil {
+				return nil, nil, err
+			}
+		default:
+			// A deterministic worker-side failure (invariant violation, bad
+			// spec): reassigning replays it bit-for-bit. Hand it straight to
+			// the runner's classification machinery.
+			o.w.leaseFailed(c.cfg.MaxWorkerFails, "job failure")
+			return nil, nil, o.err
+		}
+	}
+	// Every lease is spent and none produced a valid result.
+	usable := 0
+	for _, w := range c.workers {
+		if w.usable() {
+			usable++
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("dist: lease budget exhausted")
+	}
+	if usable == 0 {
+		c.fallbacks.Add(1)
+		return nil, nil, fmt.Errorf("%w: %v", runner.ErrBackendUnavailable, lastErr)
+	}
+	if _, ok := lastErr.(*runner.Error); !ok {
+		lastErr = &runner.Error{Class: runner.Classify(lastErr), Job: job.Label, Attempts: launched, Err: lastErr}
+	}
+	return nil, nil, lastErr
+}
+
+// runLease executes one lease: POST the job, relay heartbeats into the
+// attempt's progress heartbeat, supervise forward progress against
+// LeaseTimeout, and deliver the terminal outcome. On expiry it sends a
+// notice and keeps draining, so a merely-slow worker can still complete
+// the race (dedup counts the loser).
+func (c *Coordinator) runLease(ctx context.Context, w *workerState, job runner.BackendJob, assign int, race *raceSlot, out chan<- outcome) {
+	label := fmt.Sprintf("%.12s#%d.%d", job.Key, job.Attempt, assign)
+	w.leaseStart(job.Label)
+	leaseStart := time.Now()
+	expired := false
+
+	finishSpan := func(errText string) {
+		job.Spans.Span(job.Label, job.Index, job.Attempt, obs.SpanLease, leaseStart, time.Now(), w.url, errText)
+	}
+	// fail delivers a terminal failure (or just worker bookkeeping when
+	// the expiry notice already reported this lease to Run).
+	fail := func(err error) {
+		finishSpan(err.Error())
+		if expired {
+			w.mu.Lock()
+			w.inflight--
+			w.lease = ""
+			w.failed++
+			w.mu.Unlock()
+			return
+		}
+		out <- outcome{err: err, w: w, assign: assign}
+	}
+
+	body, err := json.Marshal(JobFromBackend(job, label, c.cfg.HeartbeatEvery.Milliseconds()))
+	if err != nil {
+		fail(fmt.Errorf("dist: encoding lease %s: %w", label, err))
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/run", bytes.NewReader(body))
+	if err != nil {
+		fail(fmt.Errorf("dist: lease %s: %w", label, err))
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fail(err)
+			return
+		}
+		// The request never completed (refused, reset, or the worker died
+		// mid-request — SIGKILL shows up as a bare EOF here). Leases are
+		// idempotent, so whatever broke it, retrying elsewhere is safe.
+		fail(&runner.Error{Class: runner.ClassTransient, Job: job.Label, Attempts: assign,
+			Err: fmt.Errorf("dist: lease %s to %s: %w", label, w.url, err)})
+		return
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode == http.StatusBadRequest:
+		msg, _ := bufio.NewReader(io2MB(resp)).ReadString('\n')
+		fail(&runner.Error{Class: runner.ClassCorruptInput, Job: job.Label, Attempts: assign,
+			Err: fmt.Errorf("dist: worker %s rejected lease %s: %s", w.url, label, strings.TrimSpace(msg))})
+		return
+	default:
+		fail(&runner.Error{Class: runner.ClassTransient, Job: job.Label, Attempts: assign,
+			Err: fmt.Errorf("dist: worker %s: HTTP %d", w.url, resp.StatusCode)})
+		return
+	}
+
+	// Reader goroutine feeds lines; this goroutine multiplexes them with
+	// the progress deadline so a silent (dead or hung) stream expires
+	// even while the read blocks.
+	type lineMsg struct {
+		line []byte
+		err  error
+	}
+	lines := make(chan lineMsg, 1)
+	go func() {
+		rd := bufio.NewReader(resp.Body)
+		for {
+			line, err := rd.ReadBytes('\n')
+			if len(line) > 0 {
+				lines <- lineMsg{line: line}
+			}
+			if err != nil {
+				lines <- lineMsg{err: err}
+				return
+			}
+		}
+	}()
+
+	expire := time.NewTimer(c.cfg.LeaseTimeout)
+	defer expire.Stop()
+	var lastCycles uint64
+	seenBeat := false
+	for {
+		select {
+		case <-ctx.Done():
+			finishSpan(ctx.Err().Error())
+			if expired {
+				w.mu.Lock()
+				w.inflight--
+				w.lease = ""
+				w.mu.Unlock()
+			} else {
+				out <- outcome{err: ctx.Err(), w: w, assign: assign}
+			}
+			return
+		case <-expire.C:
+			if !expired {
+				expired = true
+				out <- outcome{expired: true, w: w, assign: assign}
+			}
+		case msg := <-lines:
+			if msg.err != nil {
+				// A clean EOF and a body dying mid-line are both the
+				// stream-truncation model: transient, reassign elsewhere.
+				if errors.Is(msg.err, io.EOF) || errors.Is(msg.err, io.ErrUnexpectedEOF) {
+					fail(&runner.Error{Class: runner.ClassTransient, Job: job.Label, Attempts: assign,
+						Err: fmt.Errorf("dist: lease %s: stream from %s truncated before a result", label, w.url)})
+				} else {
+					fail(fmt.Errorf("dist: lease %s reading from %s: %w", label, w.url, msg.err))
+				}
+				return
+			}
+			var rec streamRec
+			if err := json.Unmarshal(msg.line, &rec); err != nil {
+				fail(&runner.Error{Class: runner.ClassCorruptInput, Job: job.Label, Attempts: assign,
+					Err: fmt.Errorf("dist: lease %s: undecodable stream line from %s: %v", label, w.url, err)})
+				return
+			}
+			switch rec.T {
+			case recHeartbeat:
+				w.beat()
+				job.Heartbeat.Beat(rec.Cycles)
+				if !seenBeat || rec.Cycles != lastCycles {
+					// Forward progress (or first liveness): push the
+					// expiry out. A hung job keeps reporting the same
+					// cycle count, so its timer is never reset again.
+					seenBeat = true
+					lastCycles = rec.Cycles
+					if !expired {
+						if !expire.Stop() {
+							select {
+							case <-expire.C:
+							default:
+							}
+						}
+						expire.Reset(c.cfg.LeaseTimeout)
+					}
+				}
+			case recResult:
+				if rec.Env == nil {
+					fail(&runner.Error{Class: runner.ClassCorruptInput, Job: job.Label, Attempts: assign,
+						Err: fmt.Errorf("dist: lease %s: result record without envelope", label)})
+					return
+				}
+				run, m, err := rec.Env.Open(job.Key)
+				if err != nil {
+					cls := runner.ClassCorruptInput
+					if errors.Is(err, ErrVersionSkew) {
+						cls = runner.ClassFatal
+					}
+					fail(&runner.Error{Class: cls, Job: job.Label, Attempts: assign,
+						Err: fmt.Errorf("dist: lease %s from %s: %w", label, w.url, err)})
+					return
+				}
+				if m != nil && job.Spec != nil {
+					// The manifest's Config crossed the wire as generic JSON
+					// and decoded into a map, which marshals with sorted keys.
+					// Restore the typed config — identical by construction,
+					// since job.Key covers the config and the worker verified
+					// it — so a distributed -metrics file is byte-identical
+					// to a local one.
+					m.Config = job.Spec.Config
+				}
+				finishSpan("")
+				if race.claim() {
+					if expired {
+						// The replacement had not finished yet: this lease
+						// lost its deadline but won the race.
+						w.mu.Lock()
+						w.inflight--
+						w.lease = ""
+						w.done++
+						w.mu.Unlock()
+					}
+					out <- outcome{run: run, m: m, w: w, assign: assign}
+				} else {
+					// A replacement already delivered this spec: count the
+					// deterministic dedupe and drop the duplicate.
+					c.dups.Add(1)
+					w.mu.Lock()
+					w.inflight--
+					w.lease = ""
+					w.done++
+					w.mu.Unlock()
+				}
+				return
+			case recError:
+				fail(&runner.Error{Class: classFromString(rec.Class), Job: job.Label, Attempts: assign,
+					Err: fmt.Errorf("dist: worker %s: %s", w.url, rec.Msg)})
+				return
+			default:
+				fail(&runner.Error{Class: runner.ClassCorruptInput, Job: job.Label, Attempts: assign,
+					Err: fmt.Errorf("dist: lease %s: unknown stream record %q from %s", label, rec.T, w.url)})
+				return
+			}
+		}
+	}
+}
+
+// WorkerStatus is one worker's row in a FleetSnapshot.
+type WorkerStatus struct {
+	URL   string `json:"url"`
+	State string `json:"state"` // "ok" or "lost"
+	// Reason is why a lost worker was lost.
+	Reason      string `json:"reason,omitempty"`
+	Slots       int    `json:"slots"`
+	Inflight    int    `json:"inflight"`
+	Lease       string `json:"lease,omitempty"` // job label of the newest lease
+	LastBeatMS  int64  `json:"last_beat_ms"`    // age of the newest heartbeat; -1 = never
+	JobsDone    int64  `json:"jobs_done"`
+	JobsFailed  int64  `json:"jobs_failed"`
+	ConsecFails int    `json:"consec_fails"`
+}
+
+// FleetSnapshot is the coordinator's live view for the monitor's
+// /workers endpoint: per-worker status plus campaign-lifetime lease
+// accounting.
+type FleetSnapshot struct {
+	Workers []WorkerStatus `json:"workers"`
+
+	Leases      int64 `json:"leases"`
+	Reassigns   int64 `json:"reassigns"`
+	Expired     int64 `json:"leases_expired"`
+	Corrupt     int64 `json:"results_corrupt"`
+	Duplicates  int64 `json:"results_deduped"`
+	WorkersLost int64 `json:"workers_lost"`
+	Fallbacks   int64 `json:"local_fallbacks"`
+}
+
+// Fleet snapshots the coordinator's worker fleet. Safe to call from any
+// goroutine at any time (the monitor scrapes mid-campaign).
+func (c *Coordinator) Fleet() FleetSnapshot {
+	snap := FleetSnapshot{
+		Leases:      c.leases.Load(),
+		Reassigns:   c.reassigns.Load(),
+		Expired:     c.expired.Load(),
+		Corrupt:     c.corrupt.Load(),
+		Duplicates:  c.dups.Load(),
+		WorkersLost: c.lostN.Load(),
+		Fallbacks:   c.fallbacks.Load(),
+	}
+	now := time.Now()
+	for _, w := range c.workers {
+		w.mu.Lock()
+		ws := WorkerStatus{
+			URL: w.url, State: "ok", Reason: w.lostReason,
+			Slots: w.slots, Inflight: w.inflight, Lease: w.lease,
+			LastBeatMS: -1, JobsDone: w.done, JobsFailed: w.failed,
+			ConsecFails: w.consecFails,
+		}
+		if w.lost {
+			ws.State = "lost"
+		}
+		if !w.lastBeat.IsZero() {
+			ws.LastBeatMS = now.Sub(w.lastBeat).Milliseconds()
+		}
+		w.mu.Unlock()
+		snap.Workers = append(snap.Workers, ws)
+	}
+	return snap
+}
+
+// io2MB bounds a small (non-streaming) response body.
+func io2MB(resp *http.Response) io.Reader {
+	return io.LimitReader(resp.Body, 2<<20)
+}
+
+// sleepCtx sleeps for d or until ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,369 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fdp/internal/core"
+	"fdp/internal/runner"
+	"fdp/internal/synth"
+)
+
+// smallSpecs builds a tiny config x workload grid (mirrors the runner's
+// own test grid).
+func smallSpecs(t *testing.T) []runner.Spec {
+	t.Helper()
+	var specs []runner.Spec
+	for _, cfgName := range []string{"fdp", "baseline"} {
+		cfg := core.DefaultConfig()
+		if cfgName == "baseline" {
+			cfg = core.BaselineConfig()
+		}
+		for _, wl := range []string{"server_a", "client_a"} {
+			w := synth.ByName(wl)
+			if w == nil {
+				t.Fatalf("unknown workload %s", wl)
+			}
+			specs = append(specs, runner.WorkloadSpec(cfg, w, 5_000, 20_000))
+		}
+	}
+	return specs
+}
+
+func startWorker(t *testing.T, opts WorkerOptions) (*Worker, *httptest.Server) {
+	t.Helper()
+	wk := NewWorker(opts)
+	srv := httptest.NewServer(wk.Handler())
+	t.Cleanup(srv.Close)
+	return wk, srv
+}
+
+func newCoord(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// canonJSON renders v as canonical JSON (marshal → generic unmarshal →
+// marshal), erasing the struct-vs-map difference a wire round trip
+// introduces in interface-typed fields.
+func canonJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g any
+	if err := json.Unmarshal(b, &g); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b2)
+}
+
+// TestDistributedMatchesLocal: a clean two-worker fleet produces
+// byte-identical runs and manifests to plain local execution — the
+// protocol is an execution detail, not a semantics change.
+func TestDistributedMatchesLocal(t *testing.T) {
+	specs := smallSpecs(t)
+	local, err := runner.Execute(context.Background(), specs, runner.Options{Parallel: 2, Observe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, s1 := startWorker(t, WorkerOptions{Slots: 2})
+	_, s2 := startWorker(t, WorkerOptions{Slots: 2})
+	coord := newCoord(t, Config{Workers: []string{s1.URL, s2.URL}})
+	if err := coord.Check(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	remote, err := runner.Execute(context.Background(), specs, runner.Options{
+		Parallel: 2, Observe: true, Backend: coord,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if canonJSON(t, remote[i].Run) != canonJSON(t, local[i].Run) {
+			t.Fatalf("spec %d: distributed run diverged from local", i)
+		}
+		if canonJSON(t, remote[i].Manifest) != canonJSON(t, local[i].Manifest) {
+			t.Fatalf("spec %d: distributed manifest diverged from local", i)
+		}
+	}
+	fs := coord.Fleet()
+	if fs.Leases < int64(len(specs)) {
+		t.Fatalf("expected at least %d leases, saw %d", len(specs), fs.Leases)
+	}
+	if fs.Expired != 0 || fs.Corrupt != 0 || fs.WorkersLost != 0 {
+		t.Fatalf("clean fleet reported faults: %+v", fs)
+	}
+}
+
+// TestHungWorkerLeaseExpiryReassigns: a worker that hangs mid-lease
+// keeps its heartbeat stream alive but shows no cycle progress; the
+// coordinator must expire the lease and land the job on the healthy
+// worker, with the result identical to a local run.
+func TestHungWorkerLeaseExpiryReassigns(t *testing.T) {
+	spec := smallSpecs(t)[:1]
+	local, err := runner.Execute(context.Background(), spec, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The hung worker's fault hook blocks every lease until canceled —
+	// the stuck-simulation model.
+	_, hungSrv := startWorker(t, WorkerOptions{
+		FaultHook: func(ctx context.Context, job, attempt int) error {
+			<-ctx.Done()
+			return ctx.Err()
+		},
+	})
+	_, okSrv := startWorker(t, WorkerOptions{})
+	coord := newCoord(t, Config{
+		// Listed first so pick() leases it first.
+		Workers:        []string{hungSrv.URL, okSrv.URL},
+		LeaseTimeout:   300 * time.Millisecond,
+		HeartbeatEvery: 25 * time.Millisecond,
+	})
+	if err := coord.Check(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	remote, err := runner.Execute(context.Background(), spec, runner.Options{Backend: coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonJSON(t, remote[0].Run) != canonJSON(t, local[0].Run) {
+		t.Fatal("result after reassignment diverged from local")
+	}
+	fs := coord.Fleet()
+	if fs.Expired < 1 {
+		t.Fatalf("expected an expired lease, fleet: %+v", fs)
+	}
+	if fs.Reassigns < 1 {
+		t.Fatalf("expected a reassignment, fleet: %+v", fs)
+	}
+}
+
+// garbleFirstRun corrupts the body of the first /run response — the
+// corrupting-link model at its bluntest.
+type garbleFirstRun struct {
+	base http.RoundTripper
+	hit  atomic.Int32
+}
+
+func (g *garbleFirstRun) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := g.base.RoundTrip(req)
+	if err != nil || !strings.HasSuffix(req.URL.Path, "/run") {
+		return resp, err
+	}
+	if g.hit.Add(1) == 1 {
+		resp.Body.Close()
+		resp.Body = io.NopCloser(strings.NewReader("\x00garbage that is not a protocol line\n"))
+	}
+	return resp, nil
+}
+
+// TestCorruptLinkRecovered: an undecodable result stream is classified
+// corrupt and the lease reassigned; the campaign result is unaffected.
+func TestCorruptLinkRecovered(t *testing.T) {
+	spec := smallSpecs(t)[:1]
+	local, err := runner.Execute(context.Background(), spec, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s1 := startWorker(t, WorkerOptions{})
+	_, s2 := startWorker(t, WorkerOptions{})
+	coord := newCoord(t, Config{
+		Workers: []string{s1.URL, s2.URL},
+		Client:  &http.Client{Transport: &garbleFirstRun{base: http.DefaultTransport}},
+	})
+	remote, err := runner.Execute(context.Background(), spec, runner.Options{Backend: coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonJSON(t, remote[0].Run) != canonJSON(t, local[0].Run) {
+		t.Fatal("result after corrupt-link recovery diverged from local")
+	}
+	if fs := coord.Fleet(); fs.Corrupt < 1 {
+		t.Fatalf("expected a corrupt result to be counted, fleet: %+v", fs)
+	}
+}
+
+// TestVersionSkewLosesWorker: a worker announcing a different epoch is
+// lost at the handshake; one streaming a skewed envelope is lost at
+// result time. Neither contaminates the campaign.
+func TestVersionSkewLosesWorker(t *testing.T) {
+	// Handshake skew.
+	skewed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(Hello{Proto: ProtoVersion, Epoch: runner.Epoch + 1, Slots: 1})
+	}))
+	defer skewed.Close()
+	_, okSrv := startWorker(t, WorkerOptions{})
+	coord := newCoord(t, Config{Workers: []string{skewed.URL, okSrv.URL}})
+	if err := coord.Check(context.Background()); err != nil {
+		t.Fatalf("one healthy worker must be enough: %v", err)
+	}
+	if fs := coord.Fleet(); fs.WorkersLost != 1 {
+		t.Fatalf("skewed worker not lost at handshake: %+v", fs)
+	}
+
+	// Envelope skew: healthz lies, the envelope tells the truth.
+	spec := smallSpecs(t)[:1]
+	liar := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/healthz") {
+			json.NewEncoder(w).Encode(Hello{Proto: ProtoVersion, Epoch: runner.Epoch, Slots: 1})
+			return
+		}
+		env, _ := SealResult(spec[0].Key(), testRun(), nil)
+		env.Epoch = runner.Epoch + 1
+		json.NewEncoder(w).Encode(streamRec{T: recResult, Env: env})
+	}))
+	defer liar.Close()
+	_, okSrv2 := startWorker(t, WorkerOptions{})
+	coord2 := newCoord(t, Config{Workers: []string{liar.URL, okSrv2.URL}})
+	local, err := runner.Execute(context.Background(), spec, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := runner.Execute(context.Background(), spec, runner.Options{Backend: coord2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonJSON(t, remote[0].Run) != canonJSON(t, local[0].Run) {
+		t.Fatal("result after envelope-skew recovery diverged from local")
+	}
+	if fs := coord2.Fleet(); fs.WorkersLost < 1 {
+		t.Fatalf("envelope-skewed worker not lost: %+v", fs)
+	}
+}
+
+// TestAllWorkersLostFallsBackLocal: with the whole fleet unreachable
+// the backend reports ErrBackendUnavailable and runner.Execute degrades
+// to local execution — the campaign completes with correct results.
+func TestAllWorkersLostFallsBackLocal(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := dead.URL
+	dead.Close() // connection refused from here on
+
+	spec := smallSpecs(t)[:1]
+	local, err := runner.Execute(context.Background(), spec, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := newCoord(t, Config{
+		Workers: []string{url},
+		Backoff: runner.RetryPolicy{Base: time.Millisecond, Cap: 2 * time.Millisecond},
+	})
+	st := &runner.Status{}
+	remote, err := runner.Execute(context.Background(), spec, runner.Options{Backend: coord, Status: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonJSON(t, remote[0].Run) != canonJSON(t, local[0].Run) {
+		t.Fatal("local fallback diverged from plain local execution")
+	}
+	if got := st.Snapshot().BackendFallbacks; got < 1 {
+		t.Fatalf("expected a recorded backend fallback, got %d", got)
+	}
+	if fs := coord.Fleet(); fs.WorkersLost != 1 || fs.Fallbacks < 1 {
+		t.Fatalf("fleet should be fully lost with a fallback: %+v", fs)
+	}
+
+	// Direct Run reports the sentinel once the fleet is gone.
+	sp := spec[0]
+	_, _, rerr := coord.Run(context.Background(), runner.BackendJob{Spec: &sp, Key: sp.Key()})
+	if !errors.Is(rerr, runner.ErrBackendUnavailable) {
+		t.Fatalf("want ErrBackendUnavailable from a lost fleet, got %v", rerr)
+	}
+}
+
+// TestDoubleCompletionDedup: two leases for the same spec both deliver
+// valid envelopes; exactly one wins (deterministically, by arrival) and
+// the other is counted as a dedupe, never delivered twice.
+func TestDoubleCompletionDedup(t *testing.T) {
+	spec := smallSpecs(t)[:1]
+	sp := spec[0]
+	_, s1 := startWorker(t, WorkerOptions{})
+	_, s2 := startWorker(t, WorkerOptions{})
+	coord := newCoord(t, Config{Workers: []string{s1.URL, s2.URL}, LeaseTimeout: 10 * time.Second})
+
+	job := runner.BackendJob{Spec: &sp, Key: sp.Key(), Label: sp.Config.Name + "/" + sp.Workload}
+	race := &raceSlot{}
+	out := make(chan outcome, 4)
+	go coord.runLease(context.Background(), coord.workers[0], job, 1, race, out)
+	go coord.runLease(context.Background(), coord.workers[1], job, 2, race, out)
+
+	var delivered []outcome
+	deadline := time.After(30 * time.Second)
+	for len(delivered) < 1 || coord.dups.Load() < 1 {
+		select {
+		case o := <-out:
+			delivered = append(delivered, o)
+		case <-deadline:
+			t.Fatalf("timed out: %d deliveries, %d dedupes", len(delivered), coord.dups.Load())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if len(delivered) != 1 {
+		t.Fatalf("both completions were delivered (%d)", len(delivered))
+	}
+	if delivered[0].err != nil || delivered[0].run == nil {
+		t.Fatalf("winning outcome is not a valid result: %+v", delivered[0])
+	}
+	if coord.dups.Load() != 1 {
+		t.Fatalf("dedupe count = %d, want 1", coord.dups.Load())
+	}
+}
+
+// TestWorkerAtCapacity: a saturated worker refuses with 503 and the
+// coordinator classifies that transient.
+func TestWorkerAtCapacity(t *testing.T) {
+	wk, srv := startWorker(t, WorkerOptions{Slots: 1})
+	// Occupy the only slot.
+	wk.slots <- struct{}{}
+	defer func() { <-wk.slots }()
+	resp, err := http.Post(srv.URL+"/run", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated worker answered %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestFromFlag: the -workers flag syntax.
+func TestFromFlag(t *testing.T) {
+	c, err := FromFlag(" http://a:1 , http://b:2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.workers) != 2 || c.workers[0].url != "http://a:1" || c.workers[1].url != "http://b:2" {
+		t.Fatalf("parsed fleet: %+v", c.workers)
+	}
+	if _, err := FromFlag(""); err == nil {
+		t.Fatal("empty fleet must be rejected")
+	}
+	if _, err := FromFlag("http://a:1,http://a:1"); err == nil {
+		t.Fatal("duplicate workers must be rejected")
+	}
+	if _, err := FromFlag("not a url"); err == nil {
+		t.Fatal("garbage URL must be rejected")
+	}
+}
+

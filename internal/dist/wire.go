@@ -1,0 +1,251 @@
+// Package dist is the fault-tolerant distributed execution backend
+// behind runner.Options.Backend: a Coordinator leases content-hashed
+// runner.Specs to HTTP workers (cmd/fdpworker), which execute them
+// through the same local runner.Execute path and stream progress
+// heartbeats plus a CRC-covered result envelope back. The coordinator
+// reassigns expired or failed leases to surviving workers with the
+// runner's classified retry taxonomy, dedupes double-completions by
+// spec key (first valid result wins), and degrades to local execution
+// when the whole fleet is lost. The protocol is an execution detail:
+// results are byte-identical to a local run (the chaos gate proves it
+// under kill -9, hangs and a corrupting link). See docs/ROBUSTNESS.md.
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"fdp/internal/core"
+	"fdp/internal/obs"
+	"fdp/internal/runner"
+	"fdp/internal/stats"
+	"fdp/internal/synth"
+	"fdp/internal/wspec"
+)
+
+// ProtoVersion is the wire-protocol version. A worker whose /healthz
+// reports a different proto — or a different runner.Epoch, which pins
+// simulator semantics — is version-skewed: assigning it work could mix
+// results from two different simulators into one campaign, so the
+// coordinator classifies skew as fatal for that worker and stops using
+// it.
+const ProtoVersion = 1
+
+// maxJobBytes bounds a /run request body (a spec document plus a
+// config is a few KB; the bound only guards against garbage).
+const maxJobBytes = 8 << 20
+
+// Hello is the /healthz response: the worker's protocol and simulator
+// versions plus its capacity and lifetime job counts.
+type Hello struct {
+	Proto int `json:"proto"`
+	Epoch int `json:"epoch"`
+	Slots int `json:"slots"`
+	Done  int64 `json:"jobs_done"`
+	Failed int64 `json:"jobs_failed"`
+}
+
+// Job is the wire form of one leased spec: everything a worker needs to
+// reconstruct the runner.Spec bit-for-bit. Key is the coordinator's
+// content hash; the worker recomputes it from the reconstructed spec
+// and refuses on mismatch, so request-direction corruption is caught by
+// the same content addressing that names the result.
+type Job struct {
+	// Lease is the coordinator-chosen lease label (diagnostics only).
+	Lease string `json:"lease"`
+	// Key is Spec.Key() — the result's content address.
+	Key string `json:"key"`
+
+	Config   core.Config `json:"config"`
+	Workload string      `json:"workload"`
+	Class    string      `json:"class"`
+	Seed     uint64      `json:"seed"`
+	Warmup   uint64      `json:"warmup"`
+	Measure  uint64      `json:"measure"`
+	FFwd     bool        `json:"ffwd,omitempty"`
+	// SpecHash/SpecDoc identify spec-defined workloads: the canonical
+	// wspec document travels with the lease and must hash to SpecHash on
+	// the worker.
+	SpecHash string `json:"spec_hash,omitempty"`
+	SpecDoc  string `json:"spec_doc,omitempty"`
+
+	// Observe asks the worker for a manifest; Check enables its online
+	// invariant checker.
+	Observe bool `json:"observe,omitempty"`
+	Check   bool `json:"check,omitempty"`
+	// HeartbeatMS is the requested heartbeat cadence for the response
+	// stream.
+	HeartbeatMS int64 `json:"heartbeat_ms,omitempty"`
+}
+
+// JobFromBackend builds the wire Job for one runner.BackendJob.
+func JobFromBackend(bj runner.BackendJob, lease string, hbEvery int64) Job {
+	sp := bj.Spec
+	return Job{
+		Lease: lease, Key: bj.Key,
+		Config: sp.Config, Workload: sp.Workload, Class: sp.Class,
+		Seed: sp.Seed, Warmup: sp.Warmup, Measure: sp.Measure, FFwd: sp.FFwd,
+		SpecHash: sp.SpecHash, SpecDoc: sp.SpecDoc,
+		Observe: bj.Observe, Check: bj.Check, HeartbeatMS: hbEvery,
+	}
+}
+
+// BuildSpec reconstructs the executable runner.Spec on the worker and
+// verifies its content hash against the lease's Key. Any divergence —
+// an unknown workload, a spec document that hashes differently, a
+// config corrupted in flight — surfaces here, classified like the
+// corruption it is.
+func (j *Job) BuildSpec() (runner.Spec, error) {
+	var w *synth.Workload
+	if j.SpecDoc != "" {
+		doc, err := wspec.Parse([]byte(j.SpecDoc))
+		if err != nil {
+			return runner.Spec{}, &runner.Error{Class: runner.ClassCorruptInput, Job: j.Lease,
+				Err: fmt.Errorf("dist: lease spec document: %w", err)}
+		}
+		if h := doc.Hash(); h != j.SpecHash {
+			return runner.Spec{}, &runner.Error{Class: runner.ClassCorruptInput, Job: j.Lease,
+				Err: fmt.Errorf("dist: spec document hashes to %.12s, lease says %.12s", h, j.SpecHash)}
+		}
+		w, err = synth.FromSpec(doc)
+		if err != nil {
+			return runner.Spec{}, &runner.Error{Class: runner.ClassCorruptInput, Job: j.Lease,
+				Err: fmt.Errorf("dist: compiling lease spec: %w", err)}
+		}
+	} else {
+		w = synth.ByName(j.Workload)
+		if w == nil {
+			// A workload this build does not know is skew, not corruption:
+			// the coordinator was built with workloads we lack.
+			return runner.Spec{}, fmt.Errorf("%w: unknown built-in workload %q", ErrVersionSkew, j.Workload)
+		}
+		if w.Seed != j.Seed {
+			// Seed-offset studies shift every built-in's master seed
+			// uniformly; regenerate at the offset and re-resolve.
+			for _, cand := range synth.WorkloadsWithSeedOffset(j.Seed - w.Seed) {
+				if cand.Name == j.Workload {
+					w = cand
+					break
+				}
+			}
+		}
+	}
+	sp := runner.WorkloadSpec(j.Config, w, j.Warmup, j.Measure)
+	sp.FFwd = j.FFwd
+	if got := sp.Key(); got != j.Key {
+		return runner.Spec{}, &runner.Error{Class: runner.ClassCorruptInput, Job: j.Lease,
+			Err: fmt.Errorf("dist: reconstructed spec hashes to %.12s, lease says %.12s", got, j.Key)}
+	}
+	return sp, nil
+}
+
+// Stream-record types on the /run response (one JSON object per line).
+const (
+	recHeartbeat = "hb"  // {"t":"hb","c":<cycles>}
+	recResult    = "res" // {"t":"res","env":<Envelope>}
+	recError     = "err" // {"t":"err","class":<ErrClass>,"msg":...}
+)
+
+// streamRec is one line of the /run response stream.
+type streamRec struct {
+	T      string    `json:"t"`
+	Cycles uint64    `json:"c,omitempty"`
+	Env    *Envelope `json:"env,omitempty"`
+	Class  string    `json:"class,omitempty"`
+	Msg    string    `json:"msg,omitempty"`
+}
+
+// Sentinel wire errors, matched with errors.Is.
+var (
+	// ErrCorrupt marks a result envelope (or stream line) that failed
+	// integrity checks: bad CRC, bad schema, wrong key, undecodable JSON.
+	ErrCorrupt = errors.New("dist: corrupt result envelope")
+	// ErrVersionSkew marks a worker running a different protocol version
+	// or simulator epoch; its results must never enter the campaign.
+	ErrVersionSkew = errors.New("dist: protocol or epoch version skew")
+)
+
+// Envelope is the CRC-covered result wrapper a worker returns: the
+// nested payload (run + manifest) is opaque bytes under a CRC-32, with
+// the protocol version, simulator epoch and spec key alongside, so the
+// coordinator verifies integrity and identity before anything is
+// decoded into the campaign. The shape deliberately mirrors the disk
+// cache's v2 entry: the same failure model (bit flips in transit vs at
+// rest), the same defense.
+type Envelope struct {
+	Proto   int             `json:"proto"`
+	Epoch   int             `json:"epoch"`
+	Key     string          `json:"key"`
+	CRC     uint32          `json:"crc"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// envPayload is the CRC-covered interior.
+type envPayload struct {
+	Run      *stats.Run    `json:"run"`
+	Manifest *obs.Manifest `json:"manifest,omitempty"`
+}
+
+// SealResult wraps a finished run in an integrity-checked envelope.
+func SealResult(key string, run *stats.Run, m *obs.Manifest) (*Envelope, error) {
+	if run == nil {
+		return nil, fmt.Errorf("dist: sealing a nil run")
+	}
+	payload, err := json.Marshal(envPayload{Run: run, Manifest: m})
+	if err != nil {
+		return nil, fmt.Errorf("dist: sealing result: %w", err)
+	}
+	return &Envelope{
+		Proto: ProtoVersion, Epoch: runner.Epoch, Key: key,
+		CRC: crc32.ChecksumIEEE(payload), Payload: payload,
+	}, nil
+}
+
+// Open verifies the envelope — protocol, epoch, key, CRC — and decodes
+// the payload. Version/epoch mismatches return ErrVersionSkew; every
+// integrity failure returns ErrCorrupt (both wrapped, for errors.Is).
+func (e *Envelope) Open(wantKey string) (*stats.Run, *obs.Manifest, error) {
+	if e.Proto != ProtoVersion || e.Epoch != runner.Epoch {
+		return nil, nil, fmt.Errorf("%w: envelope proto=%d epoch=%d, want proto=%d epoch=%d",
+			ErrVersionSkew, e.Proto, e.Epoch, ProtoVersion, runner.Epoch)
+	}
+	if e.Key != wantKey {
+		return nil, nil, fmt.Errorf("%w: result keyed %.12s, lease wants %.12s", ErrCorrupt, e.Key, wantKey)
+	}
+	if got := crc32.ChecksumIEEE(e.Payload); got != e.CRC {
+		return nil, nil, fmt.Errorf("%w: payload CRC %08x, envelope says %08x", ErrCorrupt, got, e.CRC)
+	}
+	var p envPayload
+	if err := json.Unmarshal(e.Payload, &p); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if p.Run == nil {
+		return nil, nil, fmt.Errorf("%w: payload has no run", ErrCorrupt)
+	}
+	return p.Run, p.Manifest, nil
+}
+
+// ParseEnvelope decodes an envelope's JSON (integrity is checked by
+// Open, not here).
+func ParseEnvelope(data []byte) (*Envelope, error) {
+	var e Envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return &e, nil
+}
+
+// classFromString maps an ErrClass wire name back to the class
+// (unknown names land on fatal, the conservative default).
+func classFromString(s string) runner.ErrClass {
+	switch s {
+	case runner.ClassTransient.String():
+		return runner.ClassTransient
+	case runner.ClassCorruptInput.String():
+		return runner.ClassCorruptInput
+	default:
+		return runner.ClassFatal
+	}
+}

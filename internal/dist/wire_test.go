@@ -1,0 +1,221 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"hash/crc32"
+	"strings"
+	"testing"
+
+	"fdp/internal/core"
+	"fdp/internal/obs"
+	"fdp/internal/runner"
+	"fdp/internal/stats"
+	"fdp/internal/synth"
+	"fdp/internal/wspec"
+)
+
+func testRun() *stats.Run {
+	return &stats.Run{Workload: "server_a", Class: "server", Config: "fdp",
+		Cycles: 123_456, Instructions: 98_765}
+}
+
+// TestEnvelopeRoundTrip: seal → marshal → parse → open reproduces the
+// run and manifest exactly.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	run := testRun()
+	m := &obs.Manifest{Workload: "server_a"}
+	env, err := SealResult("k123", run, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2, err := ParseEnvelope(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run2, m2, err := env2.Open("k123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run2.Cycles != run.Cycles || run2.Instructions != run.Instructions || run2.Workload != run.Workload {
+		t.Fatalf("run did not round-trip: %+v vs %+v", run2, run)
+	}
+	if m2 == nil || m2.Workload != "server_a" {
+		t.Fatalf("manifest did not round-trip: %+v", m2)
+	}
+}
+
+// TestEnvelopeRejectsTampering: every integrity violation is rejected
+// with its sentinel, never silently accepted.
+func TestEnvelopeRejectsTampering(t *testing.T) {
+	seal := func() *Envelope {
+		env, err := SealResult("k123", testRun(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return env
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Envelope)
+		want   error
+	}{
+		{"bit flip in payload", func(e *Envelope) { e.Payload[len(e.Payload)/2] ^= 0x10 }, ErrCorrupt},
+		{"crc mismatch", func(e *Envelope) { e.CRC ^= 1 }, ErrCorrupt},
+		{"wrong key", func(e *Envelope) { e.Key = "other" }, ErrCorrupt},
+		{"truncated payload", func(e *Envelope) { e.Payload = e.Payload[:len(e.Payload)-3] }, ErrCorrupt},
+		{"protocol skew", func(e *Envelope) { e.Proto = ProtoVersion + 1 }, ErrVersionSkew},
+		{"epoch skew", func(e *Envelope) { e.Epoch = runner.Epoch + 1 }, ErrVersionSkew},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			env := seal()
+			tc.mutate(env)
+			if _, _, err := env.Open("k123"); !errors.Is(err, tc.want) {
+				t.Fatalf("want %v, got %v", tc.want, err)
+			}
+		})
+	}
+	// A payload that is valid JSON but has no run is corrupt too.
+	env := seal()
+	env.Payload = []byte(`{}`)
+	env.CRC = crc32.ChecksumIEEE(env.Payload)
+	if _, _, err := env.Open("k123"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("runless payload: want ErrCorrupt, got %v", err)
+	}
+	if _, err := SealResult("k", nil, nil); err == nil {
+		t.Fatal("sealing a nil run must fail")
+	}
+}
+
+// TestJobBuildSpecBuiltin: the wire Job reconstructs a built-in
+// workload's spec bit-for-bit (same content key), including under a
+// seed offset.
+func TestJobBuildSpecBuiltin(t *testing.T) {
+	cfg := core.DefaultConfig()
+	w := synth.ByName("server_a")
+	sp := runner.WorkloadSpec(cfg, w, 1000, 2000)
+	job := JobFromBackend(runner.BackendJob{Spec: &sp, Key: sp.Key()}, "L1", 100)
+	got, err := job.BuildSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key() != sp.Key() {
+		t.Fatalf("reconstructed key %s != %s", got.Key(), sp.Key())
+	}
+
+	// Seed-offset suite: the job's seed differs from the cached built-in.
+	wOff := synth.WorkloadsWithSeedOffset(7)[0]
+	spOff := runner.WorkloadSpec(cfg, wOff, 1000, 2000)
+	jobOff := JobFromBackend(runner.BackendJob{Spec: &spOff, Key: spOff.Key()}, "L2", 100)
+	gotOff, err := jobOff.BuildSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotOff.Key() != spOff.Key() {
+		t.Fatalf("seed-offset reconstruction diverged")
+	}
+
+	// An unknown workload name is version skew (the coordinator knows
+	// workloads this build lacks), not corruption.
+	bad := job
+	bad.Workload = "no_such_workload"
+	if _, err := bad.BuildSpec(); !errors.Is(err, ErrVersionSkew) {
+		t.Fatalf("unknown workload: want ErrVersionSkew, got %v", err)
+	}
+}
+
+// TestJobBuildSpecDoc: spec-defined workloads travel as their canonical
+// document; the worker recompiles the document and lands on the same
+// content key.
+func TestJobBuildSpecDoc(t *testing.T) {
+	doc := &wspec.Spec{
+		Version: wspec.Version, Name: "mixy", Class: "server", Seed: 42,
+		SwitchEvery: wspec.DefaultSwitchEvery,
+		Mix: []wspec.Component{
+			{Preset: "server", Variant: 0, Weight: 2},
+			{Preset: "client", Variant: 1, Weight: 1},
+		},
+	}
+	w, err := synth.FromSpec(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := runner.WorkloadSpec(core.DefaultConfig(), w, 1000, 2000)
+	job := JobFromBackend(runner.BackendJob{Spec: &sp, Key: sp.Key()}, "L1", 100)
+	if job.SpecDoc == "" || job.SpecHash == "" {
+		t.Fatal("spec-defined workload must ship its document and hash")
+	}
+	got, err := job.BuildSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key() != sp.Key() {
+		t.Fatalf("spec-doc reconstruction: key %s != %s", got.Key(), sp.Key())
+	}
+
+	// A document tampered in flight no longer matches SpecHash.
+	bad := job
+	bad.SpecDoc = strings.Replace(bad.SpecDoc, "weight: 2", "weight: 3", 1)
+	_, err = bad.BuildSpec()
+	var jerr *runner.Error
+	if !errors.As(err, &jerr) || jerr.Class != runner.ClassCorruptInput {
+		t.Fatalf("tampered spec doc: want corrupt class, got %v", err)
+	}
+}
+
+// TestJobBuildSpecDocCorrupt: a tampered spec document or key mismatch
+// is classified corrupt.
+func TestJobBuildSpecDocCorrupt(t *testing.T) {
+	cfg := core.DefaultConfig()
+	w := synth.ByName("client_a")
+	sp := runner.WorkloadSpec(cfg, w, 1000, 2000)
+	job := JobFromBackend(runner.BackendJob{Spec: &sp, Key: sp.Key()}, "L1", 100)
+
+	garbled := job
+	garbled.Key = strings.Repeat("0", len(job.Key))
+	_, err := garbled.BuildSpec()
+	var jerr *runner.Error
+	if !errors.As(err, &jerr) || jerr.Class != runner.ClassCorruptInput {
+		t.Fatalf("key mismatch: want corrupt-classified error, got %v", err)
+	}
+
+	doc := job
+	doc.SpecDoc = "version: 99\nnot a spec"
+	doc.SpecHash = "deadbeef"
+	if _, err := doc.BuildSpec(); err == nil {
+		t.Fatal("garbage spec doc must fail")
+	} else if !errors.As(err, &jerr) || jerr.Class != runner.ClassCorruptInput {
+		t.Fatalf("garbage spec doc: want corrupt class, got %v", err)
+	}
+}
+
+// FuzzResultEnvelope: no envelope bytes — however mangled — may panic
+// the parser or open to a runless result.
+func FuzzResultEnvelope(f *testing.F) {
+	env, err := SealResult("k123", testRun(), &obs.Manifest{Workload: "server_a"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	good, _ := json.Marshal(env)
+	f.Add(good)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"proto":1,"epoch":2,"key":"k123","crc":0,"payload":{}}`))
+	mangled := append([]byte(nil), good...)
+	mangled[len(mangled)/2] ^= 0x40
+	f.Add(mangled)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := ParseEnvelope(data)
+		if err != nil {
+			return
+		}
+		run, _, err := e.Open("k123")
+		if err == nil && run == nil {
+			t.Fatal("Open returned no error and no run")
+		}
+	})
+}

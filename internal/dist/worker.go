@@ -1,0 +1,218 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fdp/internal/obs"
+	"fdp/internal/runner"
+)
+
+// WorkerOptions configure one worker process (cmd/fdpworker).
+type WorkerOptions struct {
+	// Slots bounds concurrent leases (non-positive = GOMAXPROCS). A
+	// lease arriving with every slot busy is refused with 503, which the
+	// coordinator treats as transient and routes elsewhere.
+	Slots int
+	// Cache, when non-nil, is the worker-local result cache: a spec
+	// re-leased to the same worker replays instead of re-simulating.
+	// Fleet-wide dedupe stays coordinator-mediated — the coordinator
+	// checks its own content-addressed store before leasing at all.
+	Cache *runner.Cache
+	// Checkpoint enables post-warmup checkpoint reuse inside this worker
+	// (requires Cache), exactly as in a local run.
+	Checkpoint bool
+	// Watchdog, when > 0, supervises each lease with the runner's
+	// progress watchdog. Usually left off: the coordinator's lease
+	// expiry is the distributed hang detector, and it reassigns instead
+	// of just failing.
+	Watchdog time.Duration
+	// Manifests, when non-nil, accumulates every observed lease manifest
+	// (the worker monitor's /metrics per-run source).
+	Manifests *obs.ManifestLog
+	// FaultHook is the chaos seam, forwarded to runner.Execute.
+	FaultHook func(ctx context.Context, job, attempt int) error
+}
+
+// Worker serves the lease protocol: GET /healthz (version handshake and
+// capacity) and POST /run (execute one leased spec, streaming heartbeat
+// lines and a final sealed result). Every lease runs through the local
+// runner.Execute path, so worker-side semantics — retry classification,
+// invariant checking, caching — are the single-box semantics.
+type Worker struct {
+	opts  WorkerOptions
+	slots chan struct{}
+
+	done   atomic.Int64
+	failed atomic.Int64
+}
+
+// NewWorker builds a worker.
+func NewWorker(opts WorkerOptions) *Worker {
+	if opts.Slots <= 0 {
+		opts.Slots = runtime.GOMAXPROCS(0)
+	}
+	return &Worker{opts: opts, slots: make(chan struct{}, opts.Slots)}
+}
+
+// Handler returns the protocol mux. Mount extra endpoints (the monitor)
+// on an outer mux if wanted.
+func (wk *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", wk.serveHealth)
+	mux.HandleFunc("/run", wk.serveRun)
+	return mux
+}
+
+// Jobs returns the lifetime (done, failed) lease counts.
+func (wk *Worker) Jobs() (done, failed int64) {
+	return wk.done.Load(), wk.failed.Load()
+}
+
+func (wk *Worker) serveHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	done, failed := wk.Jobs()
+	json.NewEncoder(w).Encode(Hello{
+		Proto: ProtoVersion, Epoch: runner.Epoch, Slots: cap(wk.slots),
+		Done: done, Failed: failed,
+	})
+}
+
+// lineWriter serializes streamed JSONL lines (the heartbeat ticker and
+// the lease body write concurrently) and flushes each line through the
+// chunked response immediately.
+type lineWriter struct {
+	mu sync.Mutex
+	w  http.ResponseWriter
+	rc *http.ResponseController
+}
+
+func (lw *lineWriter) writeRec(rec streamRec) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if _, err := lw.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return lw.rc.Flush()
+}
+
+func (wk *Worker) serveRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	select {
+	case wk.slots <- struct{}{}:
+		defer func() { <-wk.slots }()
+	default:
+		http.Error(w, "worker at capacity", http.StatusServiceUnavailable)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxJobBytes))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var job Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		// A request that does not even decode was corrupted in flight;
+		// 400 is classified corrupt on the coordinator.
+		http.Error(w, fmt.Sprintf("bad lease body: %v", err), http.StatusBadRequest)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	out := &lineWriter{w: w, rc: http.NewResponseController(w)}
+
+	sp, err := job.BuildSpec()
+	if err != nil {
+		wk.failed.Add(1)
+		out.writeRec(streamRec{T: recError, Class: runner.Classify(err).String(), Msg: err.Error()})
+		return
+	}
+
+	// Heartbeat sampler: a per-lease Status carries the attempt's live
+	// heartbeat (the same plumbing /progress uses); the ticker relays its
+	// cycle counter down the stream so the coordinator sees forward
+	// progress, not just connection liveness.
+	st := &runner.Status{}
+	hbEvery := time.Duration(job.HeartbeatMS) * time.Millisecond
+	if hbEvery <= 0 {
+		hbEvery = 250 * time.Millisecond
+	}
+	if hbEvery < 10*time.Millisecond {
+		hbEvery = 10 * time.Millisecond
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(hbEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-r.Context().Done():
+				return
+			case <-t.C:
+				var cycles uint64
+				for _, j := range st.Snapshot().Jobs {
+					cycles += j.Cycles
+				}
+				if out.writeRec(streamRec{T: recHeartbeat, Cycles: cycles}) != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	results, execErr := runner.Execute(r.Context(), []runner.Spec{sp}, runner.Options{
+		Parallel:        1,
+		Observe:         job.Observe,
+		Check:           job.Check,
+		Cache:           wk.opts.Cache,
+		Checkpoint:      wk.opts.Checkpoint,
+		WatchdogTimeout: wk.opts.Watchdog,
+		Status:          st,
+		Manifests:       wk.opts.Manifests,
+		FaultHook:       wk.opts.FaultHook,
+	})
+	close(stop)
+	wg.Wait()
+
+	res := results[0]
+	ferr := execErr
+	if ferr == nil {
+		ferr = res.Err
+	}
+	if ferr != nil || res.Run == nil {
+		if ferr == nil {
+			ferr = fmt.Errorf("dist: lease %s produced no run", job.Lease)
+		}
+		wk.failed.Add(1)
+		out.writeRec(streamRec{T: recError, Class: runner.Classify(ferr).String(), Msg: ferr.Error()})
+		return
+	}
+	env, err := SealResult(job.Key, res.Run, res.Manifest)
+	if err != nil {
+		wk.failed.Add(1)
+		out.writeRec(streamRec{T: recError, Class: runner.ClassFatal.String(), Msg: err.Error()})
+		return
+	}
+	wk.done.Add(1)
+	out.writeRec(streamRec{T: recResult, Env: env})
+}

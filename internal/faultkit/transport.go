@@ -1,0 +1,237 @@
+// transport.go is faultkit's network arm: a fault-injecting
+// http.RoundTripper wrapped around the distributed coordinator's client
+// so chaos runs exercise the lease protocol's failure paths — dropped
+// connections, stalls, truncated streams, flipped bits, server errors —
+// without a real flaky network. Faults fire on a deterministic request
+// cadence (every Nth matching request) with seeded offsets and delays,
+// so a failing chaos run replays exactly.
+package faultkit
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"fdp/internal/xrand"
+)
+
+// NetKind enumerates the injectable network faults.
+type NetKind int
+
+const (
+	// NetDrop fails the round trip with a synthesized timeout (a
+	// net.Error whose Timeout() is true) — the connection-loss model.
+	NetDrop NetKind = iota
+	// NetDelay stalls the round trip before delivering the response.
+	NetDelay
+	// NetTruncate cuts the response body short — the mid-stream
+	// connection-death model.
+	NetTruncate
+	// NetFlip flips one bit early in the response body — the corrupting-
+	// link model the CRC envelope exists to catch.
+	NetFlip
+	// Net5xx replaces the response with a bodyless 503.
+	Net5xx
+)
+
+// String names the kind for logs.
+func (k NetKind) String() string {
+	switch k {
+	case NetDrop:
+		return "drop"
+	case NetDelay:
+		return "delay"
+	case NetTruncate:
+		return "truncate"
+	case NetFlip:
+		return "flip"
+	case Net5xx:
+		return "5xx"
+	default:
+		return fmt.Sprintf("NetKind(%d)", int(k))
+	}
+}
+
+// NetFaults plans the fault cadence: each non-zero Every fires its
+// fault on every Nth matching request (1-based, so Every=1 faults every
+// request). Cadences are deterministic where probabilities would make
+// the injected-fault count depend on goroutine scheduling; only fault
+// *parameters* (flip offset, delay length, truncation point) are
+// seeded.
+type NetFaults struct {
+	DropEvery     int
+	DelayEvery    int
+	TruncateEvery int
+	FlipEvery     int
+	Err5xxEvery   int
+	// DelayMax bounds an injected delay (default 50ms).
+	DelayMax time.Duration
+	// TruncateWithin bounds how many body bytes pass before truncation
+	// (default 512).
+	TruncateWithin int
+	// FlipWithin bounds the flipped bit's byte offset (default 256 — early
+	// enough to land inside any protocol line).
+	FlipWithin int
+	// Match filters which requests are eligible (nil = all).
+	Match func(*http.Request) bool
+}
+
+// Transport injects NetFaults around a base RoundTripper.
+type Transport struct {
+	base   http.RoundTripper
+	faults NetFaults
+
+	mu       sync.Mutex
+	rng      *xrand.SplitMix64
+	seq      int
+	injected map[NetKind]int
+}
+
+// NewTransport wraps base (nil = http.DefaultTransport).
+func NewTransport(seed uint64, base http.RoundTripper, f NetFaults) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if f.DelayMax <= 0 {
+		f.DelayMax = 50 * time.Millisecond
+	}
+	if f.TruncateWithin <= 0 {
+		f.TruncateWithin = 512
+	}
+	if f.FlipWithin <= 0 {
+		f.FlipWithin = 256
+	}
+	return &Transport{base: base, faults: f, rng: xrand.New(seed), injected: make(map[NetKind]int)}
+}
+
+// Injected reports how many faults of kind k actually fired.
+func (t *Transport) Injected(k NetKind) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.injected[k]
+}
+
+// netTimeoutErr satisfies net.Error so runner.Classify sees a
+// transient network timeout, exactly like a dead worker.
+type netTimeoutErr struct{}
+
+func (netTimeoutErr) Error() string   { return "faultkit: injected connection timeout" }
+func (netTimeoutErr) Timeout() bool   { return true }
+func (netTimeoutErr) Temporary() bool { return true }
+
+// plan decides this request's fault under the lock: which kind (at most
+// one per request, first match on a fixed cadence order) and its seeded
+// parameter.
+func (t *Transport) plan(req *http.Request) (kind NetKind, param uint64, fire bool) {
+	if t.faults.Match != nil && !t.faults.Match(req) {
+		return 0, 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	every := func(n int) bool { return n > 0 && t.seq%n == 0 }
+	switch {
+	case every(t.faults.DropEvery):
+		kind = NetDrop
+	case every(t.faults.Err5xxEvery):
+		kind = Net5xx
+	case every(t.faults.TruncateEvery):
+		kind, param = NetTruncate, uint64(t.rng.Intn(t.faults.TruncateWithin))
+	case every(t.faults.FlipEvery):
+		kind, param = NetFlip, uint64(t.rng.Intn(t.faults.FlipWithin*8))
+	case every(t.faults.DelayEvery):
+		kind, param = NetDelay, uint64(t.rng.Intn(int(t.faults.DelayMax)))
+	default:
+		return 0, 0, false
+	}
+	t.injected[kind]++
+	return kind, param, true
+}
+
+// RoundTrip implements http.RoundTripper. Request bodies are never
+// touched: request-direction integrity is the worker's job (it refuses
+// a lease whose reconstructed spec hashes differently), so faulting the
+// response direction exercises every defense the coordinator owns.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	kind, param, fire := t.plan(req)
+	if !fire {
+		return t.base.RoundTrip(req)
+	}
+	switch kind {
+	case NetDrop:
+		return nil, netTimeoutErr{}
+	case Net5xx:
+		return &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Status:     "503 Service Unavailable (faultkit)",
+			Proto:      req.Proto, ProtoMajor: req.ProtoMajor, ProtoMinor: req.ProtoMinor,
+			Header: make(http.Header), Body: http.NoBody, Request: req,
+		}, nil
+	case NetDelay:
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(time.Duration(param)):
+		}
+		return t.base.RoundTrip(req)
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	switch kind {
+	case NetTruncate:
+		resp.Body = &truncateBody{rc: resp.Body, left: int64(param)}
+		resp.ContentLength = -1
+	case NetFlip:
+		resp.Body = &flipBody{rc: resp.Body, bit: int64(param)}
+	}
+	return resp, nil
+}
+
+// truncateBody passes the first left bytes and then reports an
+// unexpected EOF, as a connection dying mid-response does.
+type truncateBody struct {
+	rc   io.ReadCloser
+	left int64
+}
+
+func (b *truncateBody) Read(p []byte) (int, error) {
+	if b.left <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.left {
+		p = p[:b.left]
+	}
+	n, err := b.rc.Read(p)
+	b.left -= int64(n)
+	if err == nil && b.left <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncateBody) Close() error { return b.rc.Close() }
+
+// flipBody flips one bit at a fixed offset as the body streams past.
+type flipBody struct {
+	rc  io.ReadCloser
+	bit int64 // absolute bit offset to flip
+	off int64 // byte position of the next read
+}
+
+func (b *flipBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	if n > 0 {
+		byteOff := b.bit / 8
+		if byteOff >= b.off && byteOff < b.off+int64(n) {
+			p[byteOff-b.off] ^= 1 << (b.bit % 8)
+		}
+		b.off += int64(n)
+	}
+	return n, err
+}
+
+func (b *flipBody) Close() error { return b.rc.Close() }

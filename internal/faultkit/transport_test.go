@@ -1,0 +1,163 @@
+package faultkit
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fdp/internal/runner"
+)
+
+func payloadServer(t *testing.T, body []byte) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestTransportDrop: a dropped request surfaces as a net.Error timeout,
+// which the runner classifies transient — retryable weather.
+func TestTransportDrop(t *testing.T) {
+	srv := payloadServer(t, []byte("hello"))
+	client := &http.Client{Transport: NewTransport(1, nil, NetFaults{DropEvery: 1})}
+	_, err := client.Get(srv.URL)
+	if err == nil {
+		t.Fatal("dropped request returned no error")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("drop error is not a net timeout: %v", err)
+	}
+	if runner.Classify(err) != runner.ClassTransient {
+		t.Fatalf("drop classified %v, want transient", runner.Classify(err))
+	}
+	tr := client.Transport.(*Transport)
+	if tr.Injected(NetDrop) != 1 {
+		t.Fatalf("drop count = %d, want 1", tr.Injected(NetDrop))
+	}
+}
+
+// TestTransportTruncate: the body dies mid-stream within the configured
+// bound, reporting an unexpected EOF.
+func TestTransportTruncate(t *testing.T) {
+	body := bytes.Repeat([]byte("x"), 4096)
+	srv := payloadServer(t, body)
+	tr := NewTransport(7, nil, NetFaults{TruncateEvery: 1, TruncateWithin: 64})
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated body ended with %v, want ErrUnexpectedEOF", err)
+	}
+	if len(got) >= 64 {
+		t.Fatalf("passed %d bytes, want < 64", len(got))
+	}
+	if tr.Injected(NetTruncate) != 1 {
+		t.Fatalf("truncate count = %d", tr.Injected(NetTruncate))
+	}
+}
+
+// TestTransportFlip: exactly one bit differs, within the configured
+// prefix — the CRC envelope's adversary.
+func TestTransportFlip(t *testing.T) {
+	body := bytes.Repeat([]byte{0x00}, 1024)
+	srv := payloadServer(t, body)
+	tr := NewTransport(3, nil, NetFaults{FlipEvery: 1, FlipWithin: 128})
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(body) {
+		t.Fatalf("flip changed the length: %d vs %d", len(got), len(body))
+	}
+	flipped := 0
+	for i, b := range got {
+		for bit := 0; bit < 8; bit++ {
+			if b&(1<<bit) != body[i]&(1<<bit) {
+				flipped++
+				if i >= 128 {
+					t.Fatalf("bit flipped at offset %d, beyond FlipWithin", i)
+				}
+			}
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("%d bits flipped, want exactly 1", flipped)
+	}
+}
+
+// TestTransport5xxAndCadence: the 503 replaces the response; cadence is
+// every-Nth-request, so surrounding requests pass clean.
+func TestTransport5xxAndCadence(t *testing.T) {
+	srv := payloadServer(t, []byte("ok"))
+	tr := NewTransport(9, nil, NetFaults{Err5xxEvery: 2})
+	client := &http.Client{Transport: tr}
+	for i := 1; i <= 4; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := http.StatusOK
+		if i%2 == 0 {
+			want = http.StatusServiceUnavailable
+		}
+		if resp.StatusCode != want {
+			t.Fatalf("request %d: status %d, want %d", i, resp.StatusCode, want)
+		}
+		resp.Body.Close()
+	}
+	if tr.Injected(Net5xx) != 2 {
+		t.Fatalf("5xx count = %d, want 2", tr.Injected(Net5xx))
+	}
+}
+
+// TestTransportMatchAndDelay: the Match filter spares non-matching
+// paths; a delayed request still completes intact.
+func TestTransportMatchAndDelay(t *testing.T) {
+	srv := payloadServer(t, []byte("payload"))
+	tr := NewTransport(5, nil, NetFaults{
+		DropEvery: 1,
+		Match:     func(r *http.Request) bool { return strings.HasSuffix(r.URL.Path, "/run") },
+	})
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("non-matching path was faulted: %v", err)
+	}
+	resp.Body.Close()
+	if _, err := client.Get(srv.URL + "/run"); err == nil {
+		t.Fatal("matching path was not faulted")
+	}
+
+	dl := NewTransport(5, nil, NetFaults{DelayEvery: 1, DelayMax: 5_000_000}) // ≤5ms
+	dclient := &http.Client{Transport: dl}
+	resp, err = dclient.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, _ := io.ReadAll(resp.Body)
+	if string(got) != "payload" {
+		t.Fatalf("delayed body corrupted: %q", got)
+	}
+	if dl.Injected(NetDelay) != 1 {
+		t.Fatalf("delay count = %d", dl.Injected(NetDelay))
+	}
+}

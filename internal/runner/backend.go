@@ -1,0 +1,61 @@
+package runner
+
+import (
+	"context"
+	"errors"
+
+	"fdp/internal/core"
+	"fdp/internal/obs"
+	"fdp/internal/stats"
+)
+
+// Backend executes one attempt of one spec somewhere other than the
+// in-process simulator — the seam the distributed coordinator
+// (internal/dist) plugs into Options.Backend. Execute still owns
+// everything around the attempt: scheduling, the result cache and
+// journal, retry classification and backoff, watchdog supervision and
+// keep-going quarantine. The backend only answers "run this spec and
+// give me its result", so a remote campaign inherits the single-box
+// robustness contract unchanged.
+type Backend interface {
+	// Run executes the attempt and returns its measurement record plus
+	// (when job.Observe) its manifest. Errors are classified by
+	// runner.Classify, so a backend signals retryability the same way a
+	// local attempt does: wrap or return a *runner.Error with the class,
+	// or let the network-error mapping classify raw causes. An error
+	// wrapping ErrBackendUnavailable makes Execute fall back to local
+	// in-process execution for that attempt instead of failing it.
+	Run(ctx context.Context, job BackendJob) (*stats.Run, *obs.Manifest, error)
+}
+
+// BackendJob is everything a Backend needs to execute one attempt and
+// feed the same observability surfaces a local attempt would.
+type BackendJob struct {
+	// Spec is the simulation to run; Key is its content hash
+	// (Spec.Key()), precomputed so backends don't re-hash per attempt.
+	Spec *Spec
+	Key  string
+	// Index is the spec index within the campaign; Attempt is 1-based.
+	Index   int
+	Attempt int
+	// Label is the "config/workload" display label.
+	Label string
+	// Observe asks for a manifest; Check enables the online invariant
+	// checker on the executing side.
+	Observe bool
+	Check   bool
+	// Heartbeat is the attempt's progress heartbeat. Backends must beat
+	// it as the remote simulation advances so the local watchdog (and
+	// /progress) see remote forward progress exactly like local cycles.
+	Heartbeat *core.Heartbeat
+	// Spans, when non-nil, receives the backend's lifecycle spans
+	// (lease / reassign / worker_lost) on the campaign timeline.
+	Spans *obs.SpanLog
+}
+
+// ErrBackendUnavailable signals that the configured backend cannot
+// currently execute anything at all (every worker lost or unreachable).
+// Execute treats an attempt error wrapping it as "degrade, don't fail":
+// the attempt re-runs on the local in-process path, so a fleet that
+// dies mid-campaign costs throughput, never results.
+var ErrBackendUnavailable = errors.New("runner: execution backend unavailable")

@@ -1,0 +1,304 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"fdp/internal/core"
+	"fdp/internal/obs"
+	"fdp/internal/stats"
+)
+
+// fakeNetTimeout is a minimal net.Error with Timeout() true (what a
+// faulted or dead link surfaces through an http.Client).
+type fakeNetTimeout struct{}
+
+func (fakeNetTimeout) Error() string   { return "fake: i/o timeout" }
+func (fakeNetTimeout) Timeout() bool   { return true }
+func (fakeNetTimeout) Temporary() bool { return true }
+
+// TestClassifyNetErrors: the network-weather cases the distributed
+// backend surfaces are transient — a retry against a surviving worker
+// can succeed — while non-network unknowns stay fatal.
+func TestClassifyNetErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want ErrClass
+	}{
+		{"deadline exceeded", context.DeadlineExceeded, ClassTransient},
+		{"wrapped deadline", fmt.Errorf("lease: %w", context.DeadlineExceeded), ClassTransient},
+		{"net timeout", fakeNetTimeout{}, ClassTransient},
+		{"wrapped net timeout", fmt.Errorf("worker: %w", fakeNetTimeout{}), ClassTransient},
+		{"op error", &net.OpError{Op: "dial", Net: "tcp", Err: errors.New("down")}, ClassTransient},
+		{"wrapped op error", fmt.Errorf("post: %w", &net.OpError{Op: "read", Net: "tcp", Err: errors.New("rst")}), ClassTransient},
+		{"connection refused", fmt.Errorf("dial: %w", syscall.ECONNREFUSED), ClassTransient},
+		{"connection reset", fmt.Errorf("read: %w", syscall.ECONNRESET), ClassTransient},
+		{"broken pipe", fmt.Errorf("write: %w", syscall.EPIPE), ClassTransient},
+		// Caller cancellation is not weather; the casualty check owns it
+		// upstream, and anything that leaks this far stays fatal.
+		{"canceled", context.Canceled, ClassFatal},
+		{"unknown", errors.New("anything"), ClassFatal},
+		// An embedded class always wins over cause sniffing.
+		{"classified wins", &Error{Class: ClassFatal, Err: fakeNetTimeout{}}, ClassFatal},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Classify(c.err); got != c.want {
+				t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+			}
+		})
+	}
+}
+
+// TestBackoffGolden pins the jitter stream. The seed and the attempt
+// are both avalanche-mixed before combining; the previous linear fold
+// (seed ^ retry*gamma) correlated the per-retry streams (with seed 0,
+// retry r's successor state is retry r+1's start). These values changing
+// silently would un-reproduce every recorded chaos run.
+func TestBackoffGolden(t *testing.T) {
+	p := RetryPolicy{Attempts: 8, Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond}.normalized()
+	golden := map[uint64][]time.Duration{
+		0: {9531820, 18170038, 27157327, 66494007, 74031684, 47289282},
+		BackoffSeed("00ff00ff00ff00ff"): {6119165, 11282630, 31760126, 54478556, 43317190, 40908209},
+	}
+	for seed, want := range golden {
+		for i, w := range want {
+			if got := p.Backoff(i+1, seed); got != w {
+				t.Errorf("seed %d retry %d: backoff %d, want %d", seed, i+1, got, w)
+			}
+		}
+	}
+	// Once the exponential step saturates at Cap, consecutive attempts
+	// draw from the same range — distinct draws are pure jitter quality.
+	seen := map[time.Duration]int{}
+	for r := 4; r <= 8; r++ { // step capped at 80ms from retry 4 on
+		seen[p.Backoff(r, 0)]++
+	}
+	for d, n := range seen {
+		if n > 1 {
+			t.Errorf("capped attempts repeated jitter value %v ×%d", d, n)
+		}
+	}
+}
+
+// recordingBackend runs jobs through the real simulator (so results are
+// honest) while counting calls — runner.Backend's success path.
+type recordingBackend struct {
+	calls atomic.Int32
+	fail  func(job BackendJob) error
+}
+
+func (b *recordingBackend) Run(ctx context.Context, job BackendJob) (*stats.Run, *obs.Manifest, error) {
+	b.calls.Add(1)
+	if b.fail != nil {
+		if err := b.fail(job); err != nil {
+			return nil, nil, err
+		}
+	}
+	sp := job.Spec
+	run, err := core.Simulate(sp.Config, sp.NewOracle(), sp.Workload, sp.Warmup, sp.Measure)
+	if err != nil {
+		return nil, nil, err
+	}
+	return run, nil, nil
+}
+
+// TestExecuteBackendRunsJobs: with a Backend configured every attempt
+// executes remotely, results match direct simulation, and the cache
+// still short-circuits the second campaign without backend calls.
+func TestExecuteBackendRunsJobs(t *testing.T) {
+	specs := smallSpecs(t)
+	be := &recordingBackend{}
+	cache, err := NewCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Execute(context.Background(), specs, Options{Parallel: 2, Backend: be, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := be.calls.Load(); got != int32(len(specs)) {
+		t.Fatalf("backend ran %d jobs, want %d", got, len(specs))
+	}
+	for i, sp := range specs {
+		want, err := core.Simulate(sp.Config, sp.NewOracle(), sp.Workload, sp.Warmup, sp.Measure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Class = sp.Class
+		if !reflect.DeepEqual(results[i].Run, want) {
+			t.Fatalf("spec %d: backend result diverged from direct simulation", i)
+		}
+	}
+	// Warm cache: zero further backend calls.
+	if _, err := Execute(context.Background(), specs, Options{Parallel: 2, Backend: be, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if got := be.calls.Load(); got != int32(len(specs)) {
+		t.Fatalf("cached campaign still called the backend (%d calls total)", got)
+	}
+}
+
+// unavailableBackend models a fully lost fleet.
+type unavailableBackend struct{ calls atomic.Int32 }
+
+func (b *unavailableBackend) Run(ctx context.Context, job BackendJob) (*stats.Run, *obs.Manifest, error) {
+	b.calls.Add(1)
+	return nil, nil, fmt.Errorf("%w: every worker is lost", ErrBackendUnavailable)
+}
+
+// TestExecuteBackendUnavailableFallsBackLocal: losing the whole fleet
+// degrades each job to local execution instead of failing the campaign.
+func TestExecuteBackendUnavailableFallsBackLocal(t *testing.T) {
+	specs := smallSpecs(t)[:2]
+	be := &unavailableBackend{}
+	st := &Status{}
+	spans := obs.NewSpanLog()
+	results, err := Execute(context.Background(), specs, Options{Parallel: 2, Backend: be, Status: st, Spans: spans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sp := range specs {
+		want, serr := core.Simulate(sp.Config, sp.NewOracle(), sp.Workload, sp.Warmup, sp.Measure)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		want.Class = sp.Class
+		if !reflect.DeepEqual(results[i].Run, want) {
+			t.Fatalf("spec %d: fallback result diverged from direct simulation", i)
+		}
+	}
+	if got := st.BackendFallbacks.Load(); got != int64(len(specs)) {
+		t.Fatalf("recorded %d backend fallbacks, want %d", got, len(specs))
+	}
+	falls := 0
+	for _, sp := range spans.All() {
+		if sp.Kind == obs.SpanReassign && sp.Detail == "local-fallback" {
+			falls++
+		}
+	}
+	if falls != len(specs) {
+		t.Fatalf("%d local-fallback spans, want %d", falls, len(specs))
+	}
+}
+
+// TestExecuteBackendErrorsClassified: a transient backend error is
+// retried (and can succeed on the next attempt); a fatal one aborts.
+func TestExecuteBackendErrorsClassified(t *testing.T) {
+	specs := smallSpecs(t)[:1]
+	var once atomic.Bool
+	be := &recordingBackend{fail: func(job BackendJob) error {
+		if once.CompareAndSwap(false, true) {
+			return &Error{Class: ClassTransient, Job: job.Label, Err: fakeNetTimeout{}}
+		}
+		return nil
+	}}
+	st := &Status{}
+	results, err := Execute(context.Background(), specs, Options{
+		Backend: be, Status: st,
+		Retry: RetryPolicy{Attempts: 3, Base: time.Millisecond, Cap: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Run == nil {
+		t.Fatal("retried job has no result")
+	}
+	if st.Retries.Load() != 1 {
+		t.Fatalf("retries = %d, want 1", st.Retries.Load())
+	}
+
+	fatal := &recordingBackend{fail: func(job BackendJob) error {
+		return &Error{Class: ClassFatal, Job: job.Label, Err: errors.New("worker invariant violation")}
+	}}
+	if _, err := Execute(context.Background(), specs, Options{Backend: fatal}); err == nil {
+		t.Fatal("fatal backend error did not abort the campaign")
+	}
+}
+
+// TestExecuteKeepGoingWatchdogQuarantine is the keep-going × watchdog ×
+// journal interplay contract: a job hung past the watchdog deadline is
+// quarantined exactly once — one errored slot in the results, one
+// quarantine count — and its key must NOT enter the completion journal,
+// so a resume re-simulates it instead of trusting a cache entry that
+// never existed.
+func TestExecuteKeepGoingWatchdogQuarantine(t *testing.T) {
+	specs := smallSpecs(t)
+	dir := t.TempDir()
+	cache, err := NewCache(0, dir+"/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := openTestJournal(t, dir+"/run.wal")
+	st := &Status{}
+	reg := obs.NewRegistry()
+	results, err := Execute(context.Background(), specs, Options{
+		Parallel:        2,
+		Cache:           cache,
+		Journal:         jr,
+		Status:          st,
+		Reg:             reg,
+		KeepGoing:       true,
+		WatchdogTimeout: 400 * time.Millisecond,
+		FaultHook: func(ctx context.Context, job, attempt int) error {
+			if job == 0 {
+				<-ctx.Done()
+				return ctx.Err()
+			}
+			return nil
+		},
+	})
+	var re *Error
+	if !errors.As(err, &re) || !errors.Is(err, ErrHung) {
+		t.Fatalf("want a classified hung-job error, got %v", err)
+	}
+	hung := 0
+	for i, r := range results {
+		if i == 0 {
+			if r.Err == nil || r.Run != nil {
+				t.Fatalf("hung job: err=%v run=%v", r.Err, r.Run)
+			}
+			hung++
+			continue
+		}
+		if r.Err != nil || r.Run == nil {
+			t.Fatalf("healthy job %d did not survive keep-going: %v", i, r.Err)
+		}
+	}
+	if hung != 1 {
+		t.Fatalf("hung job appears %d times in results, want exactly 1", hung)
+	}
+	if got := reg.Counter(MetricQuarantined).Value(); got != 1 {
+		t.Fatalf("runner_jobs_quarantined = %d, want exactly 1", got)
+	}
+	if st.Quarantined.Load() != 1 || st.Watchdog.Load() != 1 {
+		t.Fatalf("status quarantined=%d watchdog=%d, want 1/1", st.Quarantined.Load(), st.Watchdog.Load())
+	}
+	if jr.Done(specs[0].Key()) {
+		t.Fatal("journal marked the quarantined job's key done — a resume would trust a result that was never produced")
+	}
+	if jr.Len() != len(specs)-1 {
+		t.Fatalf("journal has %d keys, want %d", jr.Len(), len(specs)-1)
+	}
+
+	// Resume contract: the quarantined spec re-simulates (no cache trust),
+	// the healthy ones replay from cache.
+	reg2 := obs.NewRegistry()
+	if _, err := Execute(context.Background(), specs, Options{Parallel: 2, Cache: cache, Journal: jr, Reg: reg2}); err != nil {
+		t.Fatal(err)
+	}
+	if hits := reg2.Counter(MetricCacheHits).Value(); hits != uint64(len(specs)-1) {
+		t.Fatalf("resume served %d hits, want %d", hits, len(specs)-1)
+	}
+	if misses := reg2.Counter(MetricCacheMisses).Value(); misses != 1 {
+		t.Fatalf("resume re-simulated %d jobs, want exactly 1 (the quarantined one)", misses)
+	}
+}

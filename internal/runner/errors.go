@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"strconv"
+	"syscall"
 	"time"
 
 	"fdp/internal/core"
@@ -81,7 +83,12 @@ func (e *Error) Error() string {
 func (e *Error) Unwrap() error { return e.Err }
 
 // Classify maps an arbitrary job error onto the taxonomy. A runner *Error
-// keeps its embedded class; raw errors are classified by cause.
+// keeps its embedded class; raw errors are classified by cause. Network
+// weather — timeouts (context.DeadlineExceeded included), refused or
+// reset connections, broken pipes — is transient: the distributed backend
+// surfaces exactly these when a worker dies or a link flaps, and a retry
+// against a surviving worker can succeed where the deterministic
+// simulator could not.
 func Classify(err error) ErrClass {
 	var re *Error
 	if errors.As(err, &re) {
@@ -94,9 +101,34 @@ func Classify(err error) ErrClass {
 		return ClassTransient
 	case errors.Is(err, ErrHung), errors.Is(err, core.ErrInvariant):
 		return ClassFatal
+	case errors.Is(err, context.DeadlineExceeded):
+		// A deadline is a timeout. Note that Execute's cancellation-
+		// casualty check runs before classification, so a caller-imposed
+		// deadline never reaches this line; what does is a per-attempt or
+		// per-request timeout, which retrying may well beat.
+		return ClassTransient
+	case isNetTransient(err):
+		return ClassTransient
 	default:
 		return ClassFatal
 	}
+}
+
+// isNetTransient reports whether err is network weather worth retrying:
+// a net.Error timeout, any net.OpError (dial/read/write failures), or
+// the raw connection errnos those typically wrap.
+func isNetTransient(err error) bool {
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return true
+	}
+	var operr *net.OpError
+	if errors.As(err, &operr) {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE)
 }
 
 // RetryPolicy bounds re-execution of transiently failed jobs:
@@ -134,6 +166,13 @@ func (p RetryPolicy) normalized() RetryPolicy {
 // exponential step capped at Cap, jittered into [step/2, step) by a
 // SplitMix64 stream seeded from (seed, retry). Same inputs, same delay —
 // chaos runs replay byte-for-byte.
+//
+// The jitter seed avalanche-mixes the spec seed and the attempt number
+// (xrand.Mix on each before combining). The previous linear fold
+// (seed ^ retry*gamma) left the per-retry streams correlated — with
+// seed 0, retry r's second draw equals retry r+1's first — so nearby
+// attempts of one spec could jitter in near-lockstep, which is exactly
+// what jitter exists to prevent. TestBackoffGolden pins the values.
 func (p RetryPolicy) Backoff(retry int, seed uint64) time.Duration {
 	if retry < 1 {
 		retry = 1
@@ -149,13 +188,14 @@ func (p RetryPolicy) Backoff(retry int, seed uint64) time.Duration {
 	if half <= 0 {
 		return step
 	}
-	rng := xrand.New(seed ^ uint64(retry)*0x9e3779b97f4a7c15)
+	rng := xrand.New(xrand.Mix(seed) ^ xrand.Mix(uint64(retry)))
 	return half + time.Duration(rng.Uint64()%uint64(half))
 }
 
-// backoffSeed derives the deterministic jitter seed from a spec key (the
-// leading 16 hex digits of the content hash).
-func backoffSeed(key string) uint64 {
+// BackoffSeed derives the deterministic jitter seed from a spec key (the
+// leading 16 hex digits of the content hash). Exported so alternative
+// backends (internal/dist) reassign with the same reproducible jitter.
+func BackoffSeed(key string) uint64 {
 	if len(key) < 16 {
 		return 0
 	}

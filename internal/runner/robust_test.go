@@ -61,7 +61,7 @@ func contains(s, sub string) bool {
 // [Base/2 * 2^k, Cap].
 func TestBackoffDeterministic(t *testing.T) {
 	p := RetryPolicy{Attempts: 5, Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond}.normalized()
-	seed := backoffSeed("00ff00ff00ff00ff" + "0000000000000000000000000000000000000000000000000000000000000000"[:48])
+	seed := BackoffSeed("00ff00ff00ff00ff" + "0000000000000000000000000000000000000000000000000000000000000000"[:48])
 	for retry := 1; retry <= 4; retry++ {
 		a := p.Backoff(retry, seed)
 		b := p.Backoff(retry, seed)

@@ -163,6 +163,7 @@ func FromSpec(sp *wspec.Spec) (*Workload, error) {
 			return nil, err
 		}
 		w.SpecHash = sp.Hash()
+		w.SpecDoc = string(sp.Encode())
 		w.comps[0].Label = c.label
 		return w, nil
 	}
@@ -202,6 +203,7 @@ func FromSpec(sp *wspec.Spec) (*Workload, error) {
 	}
 	return &Workload{
 		Name: sp.Name, Class: sp.Class, Seed: sp.Seed, SpecHash: sp.Hash(),
+		SpecDoc: string(sp.Encode()),
 		img: img, info: info, entry: runPhases[0].comps[0].entry, base: imageBase,
 		phases: runPhases, switchEvery: sp.SwitchEvery, seedRanges: ranges,
 		comps: compStats,
